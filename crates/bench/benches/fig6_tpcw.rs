@@ -1,0 +1,104 @@
+//! **Figure 6** — TPC-W benchmark results.
+//!
+//! Paper: WIPS vs the number of remote browser emulators (7–70), with the
+//! PGE and Bank replicated at `n ∈ {1, 4, 7, 10}` (§6.1, Fig. 6). Expected
+//! shape: WIPS grows almost linearly with RBE count and "the effects of
+//! replicating the PGE and Bank layers is minimal" (§6.4) because only
+//! 5–10 % of interactions reach the PGE. A `--sync`-style series reproduces
+//! the §6.4 claim that asynchronous PGE/Bank implementations perform up to
+//! ~4 % better.
+
+use pws_bench::{emit_table, quick_mode};
+use pws_simnet::SimDuration;
+use pws_tpcw::{run_tpcw, TpcwConfig};
+
+fn main() {
+    let (replicas, rbe_counts, duration): (&[u32], Vec<u32>, u64) = if quick_mode() {
+        (&[1, 4], vec![14, 28], 40)
+    } else {
+        (&[1, 4, 7, 10], (1..=10).map(|i| i * 7).collect(), 90)
+    };
+
+    println!("Figure 6: TPC-W WIPS vs RBE count (duration {duration}s simulated per cell)");
+    let mut rows = Vec::new();
+    for &n in replicas {
+        for &rbes in &rbe_counts {
+            let r = run_tpcw(TpcwConfig {
+                n_pge: n,
+                n_bank: n,
+                rbes,
+                duration: SimDuration::from_secs(duration),
+                warmup: SimDuration::from_secs(15),
+                sync_pge: false,
+                think_mean: SimDuration::from_secs(7),
+                seed: 2007,
+            });
+            rows.push(vec![
+                n.to_string(),
+                rbes.to_string(),
+                format!("{:.2}", r.wips),
+                format!("{:.1}%", r.pge_share * 100.0),
+            ]);
+        }
+    }
+    emit_table(
+        "fig6_tpcw",
+        &["n_pge=n_bank", "rbes", "wips", "pge_share"],
+        &rows,
+    );
+
+    let wips = |n: u32, rbes: u32| -> f64 {
+        rows.iter()
+            .find(|r| r[0] == n.to_string() && r[1] == rbes.to_string())
+            .map(|r| r[2].parse().unwrap())
+            .unwrap()
+    };
+    let max_rbe = *rbe_counts.last().unwrap();
+    let min_rbe = rbe_counts[0];
+    // Shape: WIPS grows with RBE count; replication cost is minimal.
+    for &n in replicas {
+        assert!(
+            wips(n, max_rbe) > wips(n, min_rbe) * 1.5,
+            "n={n}: WIPS should grow with load"
+        );
+    }
+    let n_max = *replicas.last().unwrap();
+    let penalty = 1.0 - wips(n_max, max_rbe) / wips(1, max_rbe);
+    println!(
+        "\nshape check: replicating PGE+Bank at n={n_max} costs {:.1}% WIPS \
+         (paper: 'minimal')",
+        penalty * 100.0
+    );
+    assert!(
+        penalty < 0.15,
+        "replication penalty should be minimal, got {:.1}%",
+        penalty * 100.0
+    );
+
+    // §6.4 sync-vs-async comparison at a mid-size configuration.
+    let cfg = TpcwConfig {
+        n_pge: 4,
+        n_bank: 4,
+        rbes: *rbe_counts.last().unwrap(),
+        duration: SimDuration::from_secs(duration),
+        warmup: SimDuration::from_secs(15),
+        sync_pge: false,
+        think_mean: SimDuration::from_secs(7),
+        seed: 2007,
+    };
+    let async_r = run_tpcw(cfg);
+    let sync_r = run_tpcw(TpcwConfig {
+        sync_pge: true,
+        ..cfg
+    });
+    let gain = (async_r.wips / sync_r.wips - 1.0) * 100.0;
+    emit_table(
+        "fig6_sync_vs_async",
+        &["variant", "wips"],
+        &[
+            vec!["async".into(), format!("{:.2}", async_r.wips)],
+            vec!["sync".into(), format!("{:.2}", sync_r.wips)],
+        ],
+    );
+    println!("async vs sync PGE/Bank: {gain:+.1}% WIPS (paper: up to ~4% better)");
+}

@@ -1,0 +1,61 @@
+//! **Figure 7** — Replica scalability (null requests).
+//!
+//! Paper: "We first measured the request throughput as the number of
+//! calling and target Web Service replicas was varied, using groups of
+//! size 1, 4, 7, and 10" (§6.2); Fig. 7 plots throughput (reqs/sec) against
+//! `n_c` with one series per `n_t`. Expected shape: throughput falls as
+//! either group grows, steeply from 1→4 and flattening after — "the
+//! decrease in throughput as a percentage of total throughput diminishes as
+//! we add more replicas" (§6.4).
+
+use pws_bench::{emit_table, quick_mode, run_two_tier};
+use pws_simnet::SimDuration;
+
+fn main() {
+    let sizes: &[u32] = if quick_mode() { &[1, 4] } else { &[1, 4, 7, 10] };
+    let total: u64 = if quick_mode() { 120 } else { 400 };
+
+    let mut rows = Vec::new();
+    println!("Figure 7: replica scalability, null requests ({total} calls per cell)");
+    for &nt in sizes {
+        for &nc in sizes {
+            let r = run_two_tier(nc, nt, total, 1, SimDuration::ZERO, 2007);
+            rows.push(vec![
+                nc.to_string(),
+                nt.to_string(),
+                format!("{:.1}", r.throughput),
+                format!("{:.3}", r.completion_ms),
+            ]);
+        }
+    }
+    emit_table(
+        "fig7_scalability",
+        &["nc", "nt", "throughput_rps", "ms_per_req"],
+        &rows,
+    );
+
+    // Sanity properties of the shape (who wins, direction of scaling).
+    let tput = |nc: u32, nt: u32| -> f64 {
+        rows.iter()
+            .find(|r| r[0] == nc.to_string() && r[1] == nt.to_string())
+            .map(|r| r[2].parse().unwrap())
+            .unwrap_or(f64::NAN)
+    };
+    let n_max = *sizes.last().unwrap();
+    assert!(
+        tput(1, 1) > tput(n_max, n_max),
+        "unreplicated must outperform fully replicated"
+    );
+    if !quick_mode() {
+        let drop_1_4 = tput(1, 1) - tput(4, 4);
+        let drop_7_10 = tput(7, 7) - tput(10, 10);
+        assert!(
+            drop_1_4 > drop_7_10,
+            "throughput loss must flatten at larger groups ({drop_1_4:.1} vs {drop_7_10:.1})"
+        );
+        println!(
+            "\nshape check: 1->4 drop {:.1} rps, 7->10 drop {:.1} rps (flattening ok)",
+            drop_1_4, drop_7_10
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! **Figure 9** — Effect of asynchronous messaging.
+//!
+//! Paper: throughput vs the number of parallel asynchronous requests
+//! (1, 5, 10, 20, 25) for `n_t = n_c ∈ {4, 7, 10}`. Expected shape:
+//! throughput climbs steeply as the window opens and saturates around
+//! window 10–20; the paper reports gains of up to 225 % (n=4), 239 % (n=7),
+//! and 227 % (n=10) over the synchronous case (§6.4).
+
+use pws_bench::{emit_table, quick_mode, run_two_tier};
+use pws_simnet::SimDuration;
+
+fn main() {
+    let sizes: &[u32] = if quick_mode() { &[4] } else { &[4, 7, 10] };
+    let windows: &[u64] = if quick_mode() { &[1, 10] } else { &[1, 5, 10, 20, 25] };
+    let total: u64 = if quick_mode() { 150 } else { 500 };
+
+    println!("Figure 9: parallel asynchronous requests ({total} calls per cell)");
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let mut sync_tput = 0.0;
+        for &w in windows {
+            let r = run_two_tier(n, n, total, w, SimDuration::ZERO, 2007);
+            if w == 1 {
+                sync_tput = r.throughput;
+            }
+            let gain = (r.throughput / sync_tput - 1.0) * 100.0;
+            rows.push(vec![
+                n.to_string(),
+                w.to_string(),
+                format!("{:.1}", r.throughput),
+                format!("{:+.0}%", gain),
+            ]);
+        }
+    }
+    emit_table(
+        "fig9_async",
+        &["n", "parallel_requests", "throughput_rps", "gain_vs_sync"],
+        &rows,
+    );
+
+    // Shape checks: async pipelining must raise throughput materially for
+    // every group size, with most of the gain arriving by window 10.
+    let tput = |n: u32, w: u64| -> f64 {
+        rows.iter()
+            .find(|r| r[0] == n.to_string() && r[1] == w.to_string())
+            .map(|r| r[2].parse().unwrap())
+            .unwrap()
+    };
+    let w_max = *windows.last().unwrap();
+    for &n in sizes {
+        let gain = tput(n, w_max) / tput(n, 1);
+        assert!(
+            gain > 1.4,
+            "n={n}: async gain must be large, got {gain:.2}x"
+        );
+        println!("shape check: n={n} async gain {:.0}%", (gain - 1.0) * 100.0);
+    }
+}

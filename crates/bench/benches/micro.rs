@@ -1,0 +1,135 @@
+//! Criterion micro-benchmarks backing the §3/§6.4 cost claims:
+//!
+//! * MAC computation vs (cost-model) digital signatures — the paper's
+//!   three-orders-of-magnitude argument for scaling to large groups;
+//! * XML marshal/demarshal vs MAC authentication — the observation that
+//!   "the cost of authentication and encryption at the ChannelAdapter layer
+//!   dwarfs the cost of marshaling and demarshaling XML requests";
+//! * CLBFT agreement round and reply-bundle verification throughput.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pws_clbft::{Action, Config, Msg, Replica, ReplicaId, Request, RequestId};
+use pws_crypto::auth::{verify_bundle, BundleShare};
+use pws_crypto::keys::{KeyTable, Principal};
+use pws_crypto::{sha256, MacKey, SigKeypair};
+use pws_soap::MessageContext;
+use std::collections::VecDeque;
+use std::time::Duration;
+
+fn bench_crypto(c: &mut Criterion) {
+    let mut g = c.benchmark_group("crypto");
+    g.measurement_time(Duration::from_secs(2)).sample_size(30);
+    let key = MacKey::derive_from_label(1, b"bench");
+    let kp = SigKeypair::derive(1, 1);
+    let msg = vec![0xabu8; 1024];
+
+    g.bench_function("sha256_1k", |b| b.iter(|| sha256(&msg)));
+    g.bench_function("mac_compute_1k", |b| b.iter(|| key.compute(&msg)));
+    let mac = key.compute(&msg);
+    g.bench_function("mac_verify_1k", |b| b.iter(|| key.verify(&msg, &mac)));
+    g.bench_function("sig_sign_1k", |b| b.iter(|| kp.sign(&msg)));
+    let sig = kp.sign(&msg);
+    g.bench_function("sig_verify_1k", |b| b.iter(|| kp.verify(&msg, &sig)));
+    g.finish();
+}
+
+fn bench_bundle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bundle");
+    g.measurement_time(Duration::from_secs(2)).sample_size(30);
+    for n in [4u32, 10] {
+        let mut keys = KeyTable::new(1);
+        let callers: Vec<Principal> = (0..n).map(|i| Principal::new(1, i)).collect();
+        let digest = sha256(b"reply");
+        let f = (n - 1) / 3;
+        let shares: Vec<BundleShare> = (0..2 * f + 1)
+            .map(|i| BundleShare::build(&mut keys, Principal::new(2, i), b"tag", digest, &callers))
+            .collect();
+        g.bench_function(format!("verify_bundle_n{n}"), |b| {
+            b.iter(|| {
+                assert!(verify_bundle(
+                    &mut keys,
+                    &shares,
+                    b"tag",
+                    &digest,
+                    callers[0],
+                    f as usize + 1,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_soap(c: &mut Criterion) {
+    let mut g = c.benchmark_group("soap");
+    g.measurement_time(Duration::from_secs(2)).sample_size(30);
+    let mut mc = MessageContext::request("urn:svc:pge", "authorize");
+    mc.addressing_mut().message_id = Some("urn:uuid:bench-1".into());
+    mc.addressing_mut().reply_to = Some("urn:svc:store".into());
+    mc.body_mut().name = "authorize".into();
+    mc.body_mut().text = "4199".into();
+    let bytes = mc.to_bytes().unwrap();
+    g.bench_function("marshal_envelope", |b| b.iter(|| mc.to_bytes().unwrap()));
+    g.bench_function("demarshal_envelope", |b| {
+        b.iter(|| MessageContext::from_bytes(&bytes).unwrap())
+    });
+    g.finish();
+}
+
+/// One full CLBFT agreement round for a 4-replica group, messages delivered
+/// in memory.
+fn clbft_round(replicas: &mut [Replica], counter: u64) -> usize {
+    let req = Request::new(
+        RequestId::new(1, counter),
+        bytes::Bytes::from(counter.to_string()),
+    );
+    let mut inbox: VecDeque<(usize, ReplicaId, Msg)> = VecDeque::new();
+    let mut executed = 0usize;
+    let route = |at: usize, actions: Vec<Action>, inbox: &mut VecDeque<(usize, ReplicaId, Msg)>, executed: &mut usize| {
+        for a in actions {
+            match a {
+                Action::Broadcast(m) => {
+                    for i in 0..4 {
+                        if i != at {
+                            inbox.push_back((i, ReplicaId(at as u32), m.clone()));
+                        }
+                    }
+                }
+                Action::Send(d, m) => inbox.push_back((d.0 as usize, ReplicaId(at as u32), m)),
+                Action::Execute { .. } => *executed += 1,
+                _ => {}
+            }
+        }
+    };
+    let first = replicas[0].on_request(req);
+    route(0, first, &mut inbox, &mut executed);
+    while let Some((to, from, m)) = inbox.pop_front() {
+        let actions = replicas[to].on_message(from, m);
+        route(to, actions, &mut inbox, &mut executed);
+    }
+    executed
+}
+
+fn bench_clbft(c: &mut Criterion) {
+    let mut g = c.benchmark_group("clbft");
+    g.measurement_time(Duration::from_secs(2)).sample_size(20);
+    g.bench_function("agreement_round_n4", |b| {
+        b.iter_batched(
+            || {
+                let cfg = Config::new(4);
+                let rs: Vec<Replica> =
+                    (0..4).map(|i| Replica::new(ReplicaId(i), cfg.clone())).collect();
+                rs
+            },
+            |mut rs| {
+                let executed = clbft_round(&mut rs, 1);
+                assert_eq!(executed, 4);
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_crypto, bench_bundle, bench_soap, bench_clbft);
+criterion_main!(benches);

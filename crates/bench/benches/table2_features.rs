@@ -1,0 +1,26 @@
+//! **Figure 2** — Unique properties of Perpetual-WS (the §3 comparison
+//! matrix against Thema, BFT-WS, and SWS). The Perpetual-WS column is
+//! pinned to this repository's implementation by unit tests in
+//! `perpetual_ws::features`.
+
+use perpetual_ws::{feature_matrix, Approach};
+use pws_bench::emit_table;
+
+fn main() {
+    println!("Figure 2: unique properties of Perpetual-WS (paper §3)");
+    let rows: Vec<Vec<String>> = feature_matrix()
+        .into_iter()
+        .map(|row| {
+            let mut cells = vec![row.property.to_string()];
+            for a in Approach::ALL {
+                cells.push(if row.supports(a) { "yes" } else { "-" }.to_string());
+            }
+            cells
+        })
+        .collect();
+    emit_table(
+        "table2_features",
+        &["property", "Perpetual-WS", "Thema", "BFT-WS", "SWS"],
+        &rows,
+    );
+}

@@ -1,0 +1,282 @@
+//! # pws-bench
+//!
+//! Shared machinery for the benchmark targets that regenerate the paper's
+//! evaluation (one bench per table/figure; see DESIGN.md for the index):
+//!
+//! | Target | Paper artifact |
+//! |---|---|
+//! | `table2_features` | Fig. 2 (property matrix) |
+//! | `fig6_tpcw` | Fig. 6 (TPC-W WIPS vs RBE count) |
+//! | `fig7_scalability` | Fig. 7 (null-request throughput vs replicas) |
+//! | `fig8_processing` | Fig. 8 (completion time & overhead vs CPU time) |
+//! | `fig9_async` | Fig. 9 (throughput vs parallel async requests) |
+//! | `micro` | §6.4 micro-claims (MAC vs signature, marshal vs crypto) |
+//!
+//! Absolute numbers come from the simulation's calibrated cost model, so
+//! they are not comparable to the paper's testbed; the *shapes* (who wins,
+//! scaling direction, crossovers) are the reproduction target. Each bench
+//! prints a table and writes a CSV under `target/figures/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use perpetual_ws::{
+    ActiveService, Incoming, MessageHandler, PassiveService, PassiveUtils, ServiceApi,
+    SystemBuilder,
+};
+use pws_simnet::{SimDuration, SimTime};
+use pws_soap::{MessageContext, XmlNode};
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// Whether `PWS_BENCH_QUICK=1` trims sweeps for smoke runs.
+pub fn quick_mode() -> bool {
+    std::env::var("PWS_BENCH_QUICK").map_or(false, |v| v == "1")
+}
+
+/// The `increment` null-op service of §6.2, with configurable per-request
+/// processing cost (0 for the null benchmark, >0 for Fig. 8).
+#[derive(Debug)]
+pub struct Increment {
+    counter: u64,
+    processing: SimDuration,
+}
+
+impl Increment {
+    /// A null-op service.
+    pub fn null() -> Self {
+        Increment {
+            counter: 0,
+            processing: SimDuration::ZERO,
+        }
+    }
+
+    /// A service that burns `processing` CPU per request (the paper used
+    /// message-digest calculations of the required length).
+    pub fn with_processing(processing: SimDuration) -> Self {
+        Increment {
+            counter: 0,
+            processing,
+        }
+    }
+}
+
+impl PassiveService for Increment {
+    fn handle(&mut self, req: MessageContext, utils: &mut PassiveUtils) -> MessageContext {
+        if self.processing > SimDuration::ZERO {
+            utils.spend(self.processing);
+        }
+        let old = self.counter;
+        self.counter += 1;
+        req.reply_with("", XmlNode::new("incrementResult").with_text(old.to_string()))
+    }
+}
+
+/// A replicated *calling* Web Service that drives `total` requests at a
+/// target, keeping `window` in flight (window 1 ≈ the paper's synchronous
+/// micro-benchmark loop; >1 ≈ the parallel asynchronous requests of
+/// Fig. 9). Measurements are taken at the calling service, as in §6.2.
+#[derive(Debug)]
+pub struct LoadCaller {
+    target_uri: String,
+    total: u64,
+    window: u64,
+}
+
+impl LoadCaller {
+    /// Creates a caller of service `target`.
+    pub fn new(target: &str, total: u64, window: u64) -> Self {
+        LoadCaller {
+            target_uri: format!("urn:svc:{target}"),
+            total,
+            window: window.max(1),
+        }
+    }
+
+    fn request(&self, seq: u64) -> MessageContext {
+        let mut mc = MessageContext::request(&self.target_uri, "increment");
+        mc.body_mut().name = "increment".into();
+        mc.body_mut().text = seq.to_string();
+        mc
+    }
+}
+
+impl ActiveService for LoadCaller {
+    fn run(self: Box<Self>, api: &mut ServiceApi) {
+        let mut sent = 0u64;
+        let mut done = 0u64;
+        while sent < self.window.min(self.total) {
+            let _ = api.send(self.request(sent));
+            sent += 1;
+        }
+        while done < self.total {
+            match api.receive_any() {
+                Some(Incoming::Reply(_)) => {
+                    done += 1;
+                    if sent < self.total {
+                        let _ = api.send(self.request(sent));
+                        sent += 1;
+                    }
+                }
+                Some(Incoming::Request(_)) => {}
+                None => return,
+            }
+        }
+    }
+}
+
+/// Result of one two-tier micro-benchmark run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TwoTierResult {
+    /// Requests per second observed at the calling service.
+    pub throughput: f64,
+    /// Mean request completion time in milliseconds.
+    pub completion_ms: f64,
+    /// Requests completed.
+    pub completed: u64,
+}
+
+/// Runs the two-tier setting of §6.2: a calling service of `nc` replicas
+/// issuing `total` requests (window `window`) at a target of `nt` replicas
+/// whose per-request processing cost is `processing`.
+pub fn run_two_tier(
+    nc: u32,
+    nt: u32,
+    total: u64,
+    window: u64,
+    processing: SimDuration,
+    seed: u64,
+) -> TwoTierResult {
+    let mut b = SystemBuilder::new(seed);
+    b.service("caller", nc, move |_| {
+        Box::new(LoadCaller::new("target", total, window))
+    });
+    b.passive_service("target", nt, move |_| {
+        Box::new(Increment::with_processing(processing))
+    });
+    let mut sys = b.build();
+    sys.run_until(SimTime::from_secs(3_600));
+    let completed = sys.metrics().counter("perpetual.calls_completed") / nc as u64;
+    // Elapsed = time of the last completed call (the sim clock jumps to the
+    // deadline once the event queue drains).
+    let elapsed = sys
+        .metrics()
+        .summary("perpetual.completion_time_s")
+        .map_or(0.0, |s| s.max);
+    let throughput = if elapsed > 0.0 {
+        completed as f64 / elapsed
+    } else {
+        0.0
+    };
+    TwoTierResult {
+        throughput,
+        completion_ms: if completed > 0 {
+            elapsed * 1000.0 / completed as f64
+        } else {
+            f64::NAN
+        },
+        completed,
+    }
+}
+
+/// Prints an aligned table and writes it as CSV under `target/figures/`.
+pub fn emit_table(name: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {name} ==");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!("{:>w$}  ", c, w = widths.get(i).copied().unwrap_or(8)));
+        }
+        s
+    };
+    println!(
+        "{}",
+        line(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    );
+    for row in rows {
+        println!("{}", line(row));
+    }
+    if let Err(e) = write_csv(name, header, rows) {
+        eprintln!("(csv not written: {e})");
+    }
+}
+
+fn write_csv(name: &str, header: &[&str], rows: &[Vec<String>]) -> std::io::Result<()> {
+    let mut path = PathBuf::from(
+        std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_owned()),
+    );
+    path.push("figures");
+    std::fs::create_dir_all(&path)?;
+    path.push(format!("{name}.csv"));
+    let mut f = std::fs::File::create(&path)?;
+    writeln!(f, "{}", header.join(","))?;
+    for row in rows {
+        writeln!(f, "{}", row.join(","))?;
+    }
+    println!("(csv: {})", path.display());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_tier_null_run_completes() {
+        let r = run_two_tier(1, 1, 50, 1, SimDuration::ZERO, 3);
+        assert_eq!(r.completed, 50);
+        assert!(r.throughput > 0.0);
+        assert!(r.completion_ms > 0.0);
+    }
+
+    #[test]
+    fn replication_reduces_null_throughput() {
+        let base = run_two_tier(1, 1, 60, 1, SimDuration::ZERO, 3);
+        let repl = run_two_tier(4, 4, 60, 1, SimDuration::ZERO, 3);
+        assert_eq!(repl.completed, 60);
+        assert!(
+            repl.throughput < base.throughput,
+            "replication must cost something: {} vs {}",
+            repl.throughput,
+            base.throughput
+        );
+    }
+
+    #[test]
+    fn async_window_raises_throughput() {
+        let sync = run_two_tier(4, 4, 60, 1, SimDuration::ZERO, 3);
+        let parallel = run_two_tier(4, 4, 60, 10, SimDuration::ZERO, 3);
+        assert_eq!(parallel.completed, 60);
+        assert!(
+            parallel.throughput > sync.throughput * 1.5,
+            "pipelining should raise throughput substantially: {} vs {}",
+            parallel.throughput,
+            sync.throughput
+        );
+    }
+
+    #[test]
+    fn processing_time_shrinks_relative_overhead() {
+        // The heart of Fig. 8: as request processing grows, the *relative*
+        // cost of replication falls.
+        let t = SimDuration::from_millis(6);
+        let base_null = run_two_tier(1, 1, 40, 1, SimDuration::ZERO, 3);
+        let repl_null = run_two_tier(4, 4, 40, 1, SimDuration::ZERO, 3);
+        let base_busy = run_two_tier(1, 1, 40, 1, t, 3);
+        let repl_busy = run_two_tier(4, 4, 40, 1, t, 3);
+        let overhead_null = repl_null.completion_ms / base_null.completion_ms;
+        let overhead_busy = repl_busy.completion_ms / base_busy.completion_ms;
+        assert!(
+            overhead_busy < overhead_null,
+            "overhead must fall with processing time: {overhead_busy} vs {overhead_null}"
+        );
+    }
+}

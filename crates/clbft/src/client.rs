@@ -1,0 +1,116 @@
+//! Client-side reply aggregation.
+//!
+//! A CLBFT client accepts a result once it has `f + 1` matching replies from
+//! distinct replicas — at least one of them must be correct. The same rule
+//! appears twice in Perpetual: the target voter primary waits for `f_c + 1`
+//! matching requests (paper stage 2), and the responder collects `f_t + 1`
+//! matching replies (stage 5).
+
+use crate::ReplicaId;
+use pws_crypto::sha256::Digest32;
+use std::collections::HashMap;
+
+/// Collects votes keyed by digest until a threshold of distinct voters agree.
+#[derive(Debug, Clone)]
+pub struct ReplyCollector<T> {
+    threshold: usize,
+    votes: HashMap<Digest32, Vec<(ReplicaId, T)>>,
+    decided: bool,
+}
+
+impl<T: Clone> ReplyCollector<T> {
+    /// Creates a collector that decides at `threshold` matching votes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is zero.
+    pub fn new(threshold: usize) -> Self {
+        assert!(threshold > 0, "threshold must be positive");
+        ReplyCollector {
+            threshold,
+            votes: HashMap::new(),
+            decided: false,
+        }
+    }
+
+    /// Adds a vote. Returns the agreed value the first time the threshold is
+    /// reached, `None` otherwise. Duplicate votes from the same replica for
+    /// the same digest are ignored.
+    pub fn add(&mut self, from: ReplicaId, digest: Digest32, value: T) -> Option<T> {
+        if self.decided {
+            return None;
+        }
+        let entry = self.votes.entry(digest).or_default();
+        if entry.iter().any(|(r, _)| *r == from) {
+            return None;
+        }
+        entry.push((from, value));
+        if entry.len() >= self.threshold {
+            self.decided = true;
+            Some(entry[0].1.clone())
+        } else {
+            None
+        }
+    }
+
+    /// Whether a value has been decided.
+    pub fn is_decided(&self) -> bool {
+        self.decided
+    }
+
+    /// Total number of votes received so far (across digests).
+    pub fn votes(&self) -> usize {
+        self.votes.values().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pws_crypto::sha256;
+
+    #[test]
+    fn decides_at_threshold() {
+        let mut c = ReplyCollector::new(2);
+        let d = sha256(b"result");
+        assert!(c.add(ReplicaId(0), d, "result").is_none());
+        assert!(!c.is_decided());
+        assert_eq!(c.add(ReplicaId(1), d, "result"), Some("result"));
+        assert!(c.is_decided());
+        // Further votes are ignored.
+        assert!(c.add(ReplicaId(2), d, "result").is_none());
+    }
+
+    #[test]
+    fn duplicate_voters_do_not_count() {
+        let mut c = ReplyCollector::new(2);
+        let d = sha256(b"x");
+        assert!(c.add(ReplicaId(0), d, 1).is_none());
+        assert!(c.add(ReplicaId(0), d, 1).is_none());
+        assert_eq!(c.votes(), 1);
+        assert_eq!(c.add(ReplicaId(1), d, 1), Some(1));
+    }
+
+    #[test]
+    fn conflicting_digests_tracked_separately() {
+        let mut c = ReplyCollector::new(2);
+        let good = sha256(b"good");
+        let bad = sha256(b"bad");
+        assert!(c.add(ReplicaId(0), bad, "bad").is_none());
+        assert!(c.add(ReplicaId(1), good, "good").is_none());
+        assert_eq!(c.add(ReplicaId(2), good, "good"), Some("good"));
+    }
+
+    #[test]
+    fn threshold_one_decides_immediately() {
+        let mut c = ReplyCollector::new(1);
+        let d = sha256(b"v");
+        assert_eq!(c.add(ReplicaId(3), d, 9), Some(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_threshold_panics() {
+        let _ = ReplyCollector::<()>::new(0);
+    }
+}

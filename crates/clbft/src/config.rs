@@ -1,0 +1,92 @@
+//! Group configuration.
+
+use crate::ReplicaId;
+
+/// Static configuration of one CLBFT replica group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Config {
+    /// Number of replicas; must be `3f + 1` for the tolerated `f`.
+    pub n: u32,
+    /// Checkpoint interval: a checkpoint is taken every `k` executions.
+    pub checkpoint_interval: u64,
+    /// Log window size (high watermark = low watermark + window).
+    pub watermark_window: u64,
+}
+
+impl Config {
+    /// A configuration for `n` replicas with default checkpointing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `n != 3f + 1` for some `f >= 0` — i.e. `n` must
+    /// be in `{1, 4, 7, 10, ...}`, matching the replica group sizes the
+    /// paper evaluates.
+    pub fn new(n: u32) -> Self {
+        assert!(n >= 1 && (n - 1) % 3 == 0, "n must be 3f+1, got {n}");
+        Config {
+            n,
+            checkpoint_interval: 64,
+            watermark_window: 256,
+        }
+    }
+
+    /// The number of Byzantine faults this group tolerates: `f = (n-1)/3`.
+    pub fn f(&self) -> u32 {
+        (self.n - 1) / 3
+    }
+
+    /// Quorum of matching `prepare`s needed (beyond the pre-prepare): `2f`.
+    pub fn prepare_quorum(&self) -> usize {
+        2 * self.f() as usize
+    }
+
+    /// Quorum of matching `commit`s needed: `2f + 1`.
+    pub fn commit_quorum(&self) -> usize {
+        2 * self.f() as usize + 1
+    }
+
+    /// Quorum of matching checkpoint messages for stability: `2f + 1`.
+    pub fn checkpoint_quorum(&self) -> usize {
+        self.commit_quorum()
+    }
+
+    /// Quorum of view-change messages the new primary needs: `2f + 1`.
+    pub fn view_change_quorum(&self) -> usize {
+        self.commit_quorum()
+    }
+
+    /// All replica ids in the group.
+    pub fn replicas(&self) -> impl Iterator<Item = ReplicaId> {
+        (0..self.n).map(ReplicaId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quorums_for_paper_sizes() {
+        for (n, f, prep, commit) in [(1, 0, 0, 1), (4, 1, 2, 3), (7, 2, 4, 5), (10, 3, 6, 7)] {
+            let c = Config::new(n);
+            assert_eq!(c.f(), f, "n={n}");
+            assert_eq!(c.prepare_quorum(), prep, "n={n}");
+            assert_eq!(c.commit_quorum(), commit, "n={n}");
+            assert_eq!(c.checkpoint_quorum(), commit);
+            assert_eq!(c.view_change_quorum(), commit);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "3f+1")]
+    fn rejects_non_3f1() {
+        Config::new(5);
+    }
+
+    #[test]
+    fn replicas_enumerates_all() {
+        let ids: Vec<_> = Config::new(4).replicas().collect();
+        assert_eq!(ids.len(), 4);
+        assert_eq!(ids[3], ReplicaId(3));
+    }
+}

@@ -1,0 +1,162 @@
+//! # pws-clbft
+//!
+//! A from-scratch implementation of the Castro–Liskov practical Byzantine
+//! fault tolerance algorithm (**CLBFT**, OSDI '99) — the agreement substrate
+//! the Perpetual algorithm runs inside each voter group (paper §2.1.1).
+//!
+//! The implementation is **sans-io**: a [`Replica`] consumes protocol
+//! messages and emits [`Action`]s (sends, broadcasts, executions, timer
+//! requests) that a transport harness — in this repository,
+//! `pws-perpetual`'s voter running on `pws-simnet` — turns into real
+//! messages and timers. This keeps the protocol purely deterministic and
+//! directly property-testable.
+//!
+//! Implemented: the normal three-phase case (pre-prepare / prepare /
+//! commit), request deduplication, periodic checkpoints with log garbage
+//! collection below the low watermark, sequence-number watermarks, and view
+//! changes with new-view re-proposals (including null-request gap filling).
+//!
+//! ## Trust boundary
+//!
+//! Channels are assumed point-to-point authenticated (MACs are applied by
+//! the transport layer, `pws-perpetual`, using `pws-crypto`); therefore a
+//! faulty replica can lie about its *own* state but cannot impersonate
+//! others. View-change messages carry prepared-set claims whose digest
+//! consistency is checked structurally; the nested MAC chains of the
+//! original paper's proofs are elided (see DESIGN.md).
+//!
+//! # Example: a four-replica group reaching agreement in memory
+//!
+//! ```
+//! use pws_clbft::{Config, Replica, Request, RequestId, Action, Msg, ReplicaId};
+//! use bytes::Bytes;
+//!
+//! let cfg = Config::new(4);
+//! let mut replicas: Vec<Replica> =
+//!     (0..4).map(|i| Replica::new(ReplicaId(i), cfg.clone())).collect();
+//!
+//! // Inject a request at the primary (replica 0 in view 0) and run all
+//! // resulting actions to quiescence.
+//! let req = Request::new(RequestId::new(7, 1), Bytes::from_static(b"op"));
+//! let mut inbox: Vec<(usize, Option<usize>, Msg)> = vec![]; // (to, from, msg)
+//! for a in replicas[0].on_request(req) {
+//!     if let Action::Broadcast(m) = a {
+//!         for to in 1..4 { inbox.push((to, Some(0), m.clone())); }
+//!     }
+//! }
+//! let mut executed = 0;
+//! while let Some((to, from, msg)) = inbox.pop() {
+//!     let from = ReplicaId(from.unwrap() as u32);
+//!     for a in replicas[to].on_message(from, msg) {
+//!         match a {
+//!             Action::Broadcast(m) => {
+//!                 for peer in 0..4 {
+//!                     if peer != to { inbox.push((peer, Some(to), m.clone())); }
+//!                 }
+//!             }
+//!             Action::Send(dest, m) => inbox.push((dest.0 as usize, Some(to), m)),
+//!             Action::Execute { .. } => executed += 1,
+//!             _ => {}
+//!         }
+//!     }
+//! }
+//! assert!(executed >= 3, "at least the backups execute; got {executed}");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod client;
+mod config;
+mod log;
+mod messages;
+mod replica;
+pub mod wire;
+
+pub use client::ReplyCollector;
+pub use config::Config;
+pub use messages::{
+    CheckpointMsg, CommitMsg, Msg, NewViewMsg, PrePrepareMsg, PrepareMsg, PreparedClaim, Request,
+    RequestId, ViewChangeMsg,
+};
+pub use replica::{Action, Replica, TimerCmd};
+
+/// A replica index within one group: `0..n`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ReplicaId(pub u32);
+
+impl std::fmt::Debug for ReplicaId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl std::fmt::Display for ReplicaId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A protocol view number. The primary of view `v` is replica `v mod n`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct View(pub u64);
+
+impl View {
+    /// The primary replica for this view in a group of `n`.
+    pub fn primary(self, n: u32) -> ReplicaId {
+        ReplicaId((self.0 % n as u64) as u32)
+    }
+
+    /// The next view.
+    pub fn next(self) -> View {
+        View(self.0 + 1)
+    }
+}
+
+impl std::fmt::Debug for View {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A sequence number in the total order.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Seq(pub u64);
+
+impl Seq {
+    /// The sequence number before the first real one.
+    pub const ZERO: Seq = Seq(0);
+
+    /// The next sequence number.
+    pub fn next(self) -> Seq {
+        Seq(self.0 + 1)
+    }
+}
+
+impl std::fmt::Debug for Seq {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod id_tests {
+    use super::*;
+
+    #[test]
+    fn primary_rotates() {
+        assert_eq!(View(0).primary(4), ReplicaId(0));
+        assert_eq!(View(1).primary(4), ReplicaId(1));
+        assert_eq!(View(5).primary(4), ReplicaId(1));
+        assert_eq!(View(0).primary(1), ReplicaId(0));
+    }
+
+    #[test]
+    fn debug_formats() {
+        assert_eq!(format!("{:?}", ReplicaId(2)), "r2");
+        assert_eq!(format!("{:?}", View(3)), "v3");
+        assert_eq!(format!("{:?}", Seq(4)), "s4");
+        assert_eq!(Seq::ZERO.next(), Seq(1));
+        assert_eq!(View(1).next(), View(2));
+    }
+}

@@ -1,0 +1,251 @@
+//! Protocol messages.
+
+use crate::{ReplicaId, Seq, View};
+use bytes::Bytes;
+use pws_crypto::sha256::{Digest32, Sha256};
+
+/// Identifies a request uniquely across the group's lifetime.
+///
+/// In Perpetual, the "client" of a voter group is a set of drivers that all
+/// submit the same logical event, so the id is derived from the event
+/// content and origin rather than a per-client socket.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RequestId {
+    /// Originating principal (client id, or a hash of the event source).
+    pub origin: u64,
+    /// Origin-local sequence counter.
+    pub counter: u64,
+}
+
+impl RequestId {
+    /// Creates a request id.
+    pub const fn new(origin: u64, counter: u64) -> Self {
+        RequestId { origin, counter }
+    }
+
+    /// The id used for null (gap-filling) requests issued at view change.
+    pub const fn null(seq: u64) -> Self {
+        RequestId {
+            origin: u64::MAX,
+            counter: seq,
+        }
+    }
+
+    /// Whether this is a null request id.
+    pub fn is_null(&self) -> bool {
+        self.origin == u64::MAX
+    }
+}
+
+impl std::fmt::Debug for RequestId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_null() {
+            write!(f, "req(null@{})", self.counter)
+        } else {
+            write!(f, "req({}:{})", self.origin, self.counter)
+        }
+    }
+}
+
+/// An opaque operation to be totally ordered by the group.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Unique id (used for deduplication).
+    pub id: RequestId,
+    /// Opaque payload; the harness interprets it after `Execute`.
+    pub payload: Bytes,
+}
+
+impl Request {
+    /// Creates a request.
+    pub fn new(id: RequestId, payload: Bytes) -> Self {
+        Request { id, payload }
+    }
+
+    /// The null request used to fill sequence gaps after a view change.
+    pub fn null(seq: Seq) -> Self {
+        Request {
+            id: RequestId::null(seq.0),
+            payload: Bytes::new(),
+        }
+    }
+
+    /// Whether this is a null request.
+    pub fn is_null(&self) -> bool {
+        self.id.is_null()
+    }
+
+    /// The canonical digest of this request.
+    pub fn digest(&self) -> Digest32 {
+        let mut h = Sha256::new();
+        h.update_u64(self.id.origin);
+        h.update_u64(self.id.counter);
+        h.update_u64(self.payload.len() as u64);
+        h.update(&self.payload);
+        h.finalize()
+    }
+}
+
+impl std::fmt::Debug for Request {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Request({:?}, {} bytes)", self.id, self.payload.len())
+    }
+}
+
+/// Primary's ordering proposal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrePrepareMsg {
+    /// The view this proposal belongs to.
+    pub view: View,
+    /// The proposed sequence number.
+    pub seq: Seq,
+    /// Digest of `request` (redundant but matches the paper's wire format).
+    pub digest: Digest32,
+    /// The full request (piggybacked, as in CLBFT).
+    pub request: Request,
+}
+
+/// Backup's acknowledgement of a pre-prepare.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrepareMsg {
+    /// View of the pre-prepare being acknowledged.
+    pub view: View,
+    /// Sequence number being acknowledged.
+    pub seq: Seq,
+    /// Digest being acknowledged.
+    pub digest: Digest32,
+    /// Sender.
+    pub replica: ReplicaId,
+}
+
+/// A replica's commitment to execute at this sequence number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommitMsg {
+    /// View in which the request prepared.
+    pub view: View,
+    /// Sequence number.
+    pub seq: Seq,
+    /// Digest.
+    pub digest: Digest32,
+    /// Sender.
+    pub replica: ReplicaId,
+}
+
+/// Periodic checkpoint announcement used for garbage collection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointMsg {
+    /// Last executed sequence number covered by this checkpoint.
+    pub seq: Seq,
+    /// Digest of the execution history up to `seq`.
+    pub state_digest: Digest32,
+    /// Sender.
+    pub replica: ReplicaId,
+}
+
+/// A prepared-request claim carried inside a view change.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PreparedClaim {
+    /// View in which the request pre-prepared.
+    pub view: View,
+    /// Claimed sequence number.
+    pub seq: Seq,
+    /// Request digest.
+    pub digest: Digest32,
+    /// The full request, so the new primary can re-propose it.
+    pub request: Request,
+}
+
+/// Vote to move to a new view.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ViewChangeMsg {
+    /// The view being moved to.
+    pub new_view: View,
+    /// Sender's last stable checkpoint.
+    pub stable_seq: Seq,
+    /// Digest of the stable checkpoint (ZERO if `stable_seq` is 0).
+    pub stable_digest: Digest32,
+    /// Requests prepared above the stable checkpoint.
+    pub prepared: Vec<PreparedClaim>,
+    /// Sender.
+    pub replica: ReplicaId,
+}
+
+/// New primary's view installation message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NewViewMsg {
+    /// The view being installed.
+    pub view: View,
+    /// Replicas whose view-change votes justified this new view.
+    pub voters: Vec<ReplicaId>,
+    /// Re-proposals (including null gap fillers) for the new view.
+    pub pre_prepares: Vec<PrePrepareMsg>,
+    /// Sender (the new primary).
+    pub replica: ReplicaId,
+}
+
+/// Any CLBFT protocol message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Msg {
+    /// A request forwarded to the primary by another replica.
+    Forward(Request),
+    /// Ordering proposal from the primary.
+    PrePrepare(PrePrepareMsg),
+    /// Prepare acknowledgement.
+    Prepare(PrepareMsg),
+    /// Commit.
+    Commit(CommitMsg),
+    /// Checkpoint announcement.
+    Checkpoint(CheckpointMsg),
+    /// View-change vote.
+    ViewChange(ViewChangeMsg),
+    /// New-view installation.
+    NewView(NewViewMsg),
+}
+
+impl Msg {
+    /// A short tag for metrics and traces.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Msg::Forward(_) => "forward",
+            Msg::PrePrepare(_) => "pre-prepare",
+            Msg::Prepare(_) => "prepare",
+            Msg::Commit(_) => "commit",
+            Msg::Checkpoint(_) => "checkpoint",
+            Msg::ViewChange(_) => "view-change",
+            Msg::NewView(_) => "new-view",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_digest_depends_on_all_fields() {
+        let r = Request::new(RequestId::new(1, 2), Bytes::from_static(b"abc"));
+        let d0 = r.digest();
+        assert_eq!(d0, r.digest(), "digest is deterministic");
+        let r2 = Request::new(RequestId::new(1, 3), Bytes::from_static(b"abc"));
+        assert_ne!(d0, r2.digest());
+        let r3 = Request::new(RequestId::new(1, 2), Bytes::from_static(b"abd"));
+        assert_ne!(d0, r3.digest());
+    }
+
+    #[test]
+    fn null_requests() {
+        let r = Request::null(Seq(9));
+        assert!(r.is_null());
+        assert!(r.id.is_null());
+        assert_eq!(format!("{:?}", r.id), "req(null@9)");
+        let real = RequestId::new(3, 4);
+        assert!(!real.is_null());
+        assert_eq!(format!("{real:?}"), "req(3:4)");
+    }
+
+    #[test]
+    fn msg_kinds() {
+        let r = Request::new(RequestId::new(0, 0), Bytes::new());
+        assert_eq!(Msg::Forward(r).kind(), "forward");
+    }
+}

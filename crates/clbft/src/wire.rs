@@ -1,0 +1,438 @@
+//! A hand-rolled, dependency-free binary codec for CLBFT messages.
+//!
+//! The format is length-prefixed and tag-discriminated; it exists so the
+//! voter layer can ship CLBFT messages over `pws-simnet` as opaque bytes
+//! without pulling a serialization framework into the digest-stable wire
+//! path.
+
+use crate::messages::{
+    CheckpointMsg, CommitMsg, Msg, NewViewMsg, PrePrepareMsg, PrepareMsg, PreparedClaim, Request,
+    RequestId, ViewChangeMsg,
+};
+use crate::{ReplicaId, Seq, View};
+use bytes::{Bytes, BytesMut};
+use pws_crypto::sha256::Digest32;
+use std::fmt;
+
+/// Error produced when decoding malformed bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    what: &'static str,
+}
+
+impl WireError {
+    fn new(what: &'static str) -> Self {
+        WireError { what }
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed clbft message: {}", self.what)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// An append-only encoder.
+#[derive(Debug, Default)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// A fresh encoder.
+    pub fn new() -> Self {
+        Encoder::default()
+    }
+
+    /// Appends a single byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a big-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a length-prefixed byte string.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Appends a 32-byte digest.
+    pub fn put_digest(&mut self, d: &Digest32) {
+        self.buf.extend_from_slice(d.as_bytes());
+    }
+
+    /// Finishes, returning the encoded bytes.
+    pub fn finish(self) -> Bytes {
+        BytesMut::from(&self.buf[..]).freeze()
+    }
+}
+
+/// A cursor-based decoder.
+#[derive(Debug)]
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Wraps `buf` for decoding.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Decoder { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.pos + n > self.buf.len() {
+            return Err(WireError::new("truncated"));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a big-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        let s = self.take(4)?;
+        Ok(u32::from_be_bytes([s[0], s[1], s[2], s[3]]))
+    }
+
+    /// Reads a big-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        let s = self.take(8)?;
+        Ok(u64::from_be_bytes([
+            s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7],
+        ]))
+    }
+
+    /// Reads a length-prefixed byte string.
+    pub fn bytes(&mut self) -> Result<Bytes, WireError> {
+        let len = self.u32()? as usize;
+        if len > 64 * 1024 * 1024 {
+            return Err(WireError::new("length prefix too large"));
+        }
+        Ok(Bytes::copy_from_slice(self.take(len)?))
+    }
+
+    /// Reads a 32-byte digest.
+    pub fn digest(&mut self) -> Result<Digest32, WireError> {
+        let s = self.take(32)?;
+        let mut d = [0u8; 32];
+        d.copy_from_slice(s);
+        Ok(Digest32(d))
+    }
+
+    /// Fails unless the whole buffer was consumed.
+    pub fn finish(&self) -> Result<(), WireError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(WireError::new("trailing bytes"))
+        }
+    }
+}
+
+fn put_request(e: &mut Encoder, r: &Request) {
+    e.put_u64(r.id.origin);
+    e.put_u64(r.id.counter);
+    e.put_bytes(&r.payload);
+}
+
+fn get_request(d: &mut Decoder<'_>) -> Result<Request, WireError> {
+    let origin = d.u64()?;
+    let counter = d.u64()?;
+    let payload = d.bytes()?;
+    Ok(Request::new(RequestId::new(origin, counter), payload))
+}
+
+fn put_pre_prepare(e: &mut Encoder, pp: &PrePrepareMsg) {
+    e.put_u64(pp.view.0);
+    e.put_u64(pp.seq.0);
+    e.put_digest(&pp.digest);
+    put_request(e, &pp.request);
+}
+
+fn get_pre_prepare(d: &mut Decoder<'_>) -> Result<PrePrepareMsg, WireError> {
+    Ok(PrePrepareMsg {
+        view: View(d.u64()?),
+        seq: Seq(d.u64()?),
+        digest: d.digest()?,
+        request: get_request(d)?,
+    })
+}
+
+const TAG_FORWARD: u8 = 1;
+const TAG_PRE_PREPARE: u8 = 2;
+const TAG_PREPARE: u8 = 3;
+const TAG_COMMIT: u8 = 4;
+const TAG_CHECKPOINT: u8 = 5;
+const TAG_VIEW_CHANGE: u8 = 6;
+const TAG_NEW_VIEW: u8 = 7;
+
+/// Encodes a CLBFT message.
+pub fn encode_msg(msg: &Msg) -> Bytes {
+    let mut e = Encoder::new();
+    match msg {
+        Msg::Forward(r) => {
+            e.put_u8(TAG_FORWARD);
+            put_request(&mut e, r);
+        }
+        Msg::PrePrepare(pp) => {
+            e.put_u8(TAG_PRE_PREPARE);
+            put_pre_prepare(&mut e, pp);
+        }
+        Msg::Prepare(p) => {
+            e.put_u8(TAG_PREPARE);
+            e.put_u64(p.view.0);
+            e.put_u64(p.seq.0);
+            e.put_digest(&p.digest);
+            e.put_u32(p.replica.0);
+        }
+        Msg::Commit(c) => {
+            e.put_u8(TAG_COMMIT);
+            e.put_u64(c.view.0);
+            e.put_u64(c.seq.0);
+            e.put_digest(&c.digest);
+            e.put_u32(c.replica.0);
+        }
+        Msg::Checkpoint(c) => {
+            e.put_u8(TAG_CHECKPOINT);
+            e.put_u64(c.seq.0);
+            e.put_digest(&c.state_digest);
+            e.put_u32(c.replica.0);
+        }
+        Msg::ViewChange(vc) => {
+            e.put_u8(TAG_VIEW_CHANGE);
+            e.put_u64(vc.new_view.0);
+            e.put_u64(vc.stable_seq.0);
+            e.put_digest(&vc.stable_digest);
+            e.put_u32(vc.prepared.len() as u32);
+            for c in &vc.prepared {
+                e.put_u64(c.view.0);
+                e.put_u64(c.seq.0);
+                e.put_digest(&c.digest);
+                put_request(&mut e, &c.request);
+            }
+            e.put_u32(vc.replica.0);
+        }
+        Msg::NewView(nv) => {
+            e.put_u8(TAG_NEW_VIEW);
+            e.put_u64(nv.view.0);
+            e.put_u32(nv.voters.len() as u32);
+            for v in &nv.voters {
+                e.put_u32(v.0);
+            }
+            e.put_u32(nv.pre_prepares.len() as u32);
+            for pp in &nv.pre_prepares {
+                put_pre_prepare(&mut e, pp);
+            }
+            e.put_u32(nv.replica.0);
+        }
+    }
+    e.finish()
+}
+
+/// Decodes a CLBFT message.
+///
+/// # Errors
+///
+/// Returns [`WireError`] for truncated, oversized, or unknown-tag input.
+pub fn decode_msg(buf: &[u8]) -> Result<Msg, WireError> {
+    let mut d = Decoder::new(buf);
+    let tag = d.u8()?;
+    let msg = match tag {
+        TAG_FORWARD => Msg::Forward(get_request(&mut d)?),
+        TAG_PRE_PREPARE => Msg::PrePrepare(get_pre_prepare(&mut d)?),
+        TAG_PREPARE => Msg::Prepare(PrepareMsg {
+            view: View(d.u64()?),
+            seq: Seq(d.u64()?),
+            digest: d.digest()?,
+            replica: ReplicaId(d.u32()?),
+        }),
+        TAG_COMMIT => Msg::Commit(CommitMsg {
+            view: View(d.u64()?),
+            seq: Seq(d.u64()?),
+            digest: d.digest()?,
+            replica: ReplicaId(d.u32()?),
+        }),
+        TAG_CHECKPOINT => Msg::Checkpoint(CheckpointMsg {
+            seq: Seq(d.u64()?),
+            state_digest: d.digest()?,
+            replica: ReplicaId(d.u32()?),
+        }),
+        TAG_VIEW_CHANGE => {
+            let new_view = View(d.u64()?);
+            let stable_seq = Seq(d.u64()?);
+            let stable_digest = d.digest()?;
+            let n = d.u32()? as usize;
+            if n > 100_000 {
+                return Err(WireError::new("too many prepared claims"));
+            }
+            let mut prepared = Vec::with_capacity(n);
+            for _ in 0..n {
+                prepared.push(PreparedClaim {
+                    view: View(d.u64()?),
+                    seq: Seq(d.u64()?),
+                    digest: d.digest()?,
+                    request: get_request(&mut d)?,
+                });
+            }
+            Msg::ViewChange(ViewChangeMsg {
+                new_view,
+                stable_seq,
+                stable_digest,
+                prepared,
+                replica: ReplicaId(d.u32()?),
+            })
+        }
+        TAG_NEW_VIEW => {
+            let view = View(d.u64()?);
+            let nv_count = d.u32()? as usize;
+            if nv_count > 100_000 {
+                return Err(WireError::new("too many voters"));
+            }
+            let mut voters = Vec::with_capacity(nv_count);
+            for _ in 0..nv_count {
+                voters.push(ReplicaId(d.u32()?));
+            }
+            let pp_count = d.u32()? as usize;
+            if pp_count > 1_000_000 {
+                return Err(WireError::new("too many pre-prepares"));
+            }
+            let mut pre_prepares = Vec::with_capacity(pp_count);
+            for _ in 0..pp_count {
+                pre_prepares.push(get_pre_prepare(&mut d)?);
+            }
+            Msg::NewView(NewViewMsg {
+                view,
+                voters,
+                pre_prepares,
+                replica: ReplicaId(d.u32()?),
+            })
+        }
+        _ => return Err(WireError::new("unknown tag")),
+    };
+    d.finish()?;
+    Ok(msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample_request(c: u64) -> Request {
+        Request::new(RequestId::new(3, c), Bytes::from(vec![c as u8; 5]))
+    }
+
+    fn roundtrip(m: Msg) {
+        let bytes = encode_msg(&m);
+        let back = decode_msg(&bytes).expect("decode");
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn roundtrip_all_variants() {
+        roundtrip(Msg::Forward(sample_request(1)));
+        let pp = PrePrepareMsg {
+            view: View(2),
+            seq: Seq(9),
+            digest: sample_request(1).digest(),
+            request: sample_request(1),
+        };
+        roundtrip(Msg::PrePrepare(pp.clone()));
+        roundtrip(Msg::Prepare(PrepareMsg {
+            view: View(2),
+            seq: Seq(9),
+            digest: sample_request(1).digest(),
+            replica: ReplicaId(3),
+        }));
+        roundtrip(Msg::Commit(CommitMsg {
+            view: View(2),
+            seq: Seq(9),
+            digest: sample_request(1).digest(),
+            replica: ReplicaId(3),
+        }));
+        roundtrip(Msg::Checkpoint(CheckpointMsg {
+            seq: Seq(64),
+            state_digest: sample_request(2).digest(),
+            replica: ReplicaId(1),
+        }));
+        roundtrip(Msg::ViewChange(ViewChangeMsg {
+            new_view: View(4),
+            stable_seq: Seq(64),
+            stable_digest: sample_request(2).digest(),
+            prepared: vec![PreparedClaim {
+                view: View(3),
+                seq: Seq(65),
+                digest: sample_request(3).digest(),
+                request: sample_request(3),
+            }],
+            replica: ReplicaId(2),
+        }));
+        roundtrip(Msg::NewView(NewViewMsg {
+            view: View(4),
+            voters: vec![ReplicaId(0), ReplicaId(1), ReplicaId(2)],
+            pre_prepares: vec![pp],
+            replica: ReplicaId(0),
+        }));
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(decode_msg(&[]).is_err());
+        assert!(decode_msg(&[99]).is_err(), "unknown tag");
+        assert!(decode_msg(&[TAG_PREPARE, 0, 1]).is_err(), "truncated");
+        // Trailing bytes rejected.
+        let mut bytes = encode_msg(&Msg::Forward(sample_request(1))).to_vec();
+        bytes.push(0);
+        assert!(decode_msg(&bytes).is_err());
+    }
+
+    #[test]
+    fn oversized_length_prefix_rejected() {
+        let mut e = Encoder::new();
+        e.put_u8(TAG_FORWARD);
+        e.put_u64(1);
+        e.put_u64(2);
+        e.put_u32(u32::MAX); // absurd length prefix
+        let mut bytes = e.finish().to_vec();
+        bytes.extend_from_slice(&[0; 16]);
+        assert!(decode_msg(&bytes).is_err());
+    }
+
+    #[test]
+    fn wire_error_displays() {
+        let err = decode_msg(&[]).unwrap_err();
+        assert!(err.to_string().contains("malformed"));
+    }
+
+    proptest! {
+        #[test]
+        fn arbitrary_bytes_never_panic(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let _ = decode_msg(&data);
+        }
+
+        #[test]
+        fn forward_roundtrip(origin in any::<u64>(), counter in any::<u64>(),
+                             payload in proptest::collection::vec(any::<u8>(), 0..128)) {
+            let m = Msg::Forward(Request::new(RequestId::new(origin, counter), Bytes::from(payload)));
+            let back = decode_msg(&encode_msg(&m)).unwrap();
+            prop_assert_eq!(m, back);
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Property-based safety tests for CLBFT.
+//!
+//! The central invariant: no two correct replicas execute different requests
+//! at the same sequence number, no matter how the network reorders,
+//! duplicates, or delays messages, and regardless of which ≤ f replicas are
+//! silenced.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use pws_clbft::{Action, Config, Msg, Replica, ReplicaId, Request, RequestId, Seq};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+struct Harness {
+    replicas: Vec<Replica>,
+    /// Pending messages: (to, from, msg).
+    pending: Vec<(usize, ReplicaId, Msg)>,
+    executed: Vec<Vec<(Seq, RequestId)>>,
+    silenced: Vec<usize>,
+}
+
+impl Harness {
+    fn new(n: u32, silenced: Vec<usize>) -> Self {
+        let cfg = Config::new(n);
+        Harness {
+            replicas: (0..n).map(|i| Replica::new(ReplicaId(i), cfg.clone())).collect(),
+            pending: Vec::new(),
+            executed: vec![Vec::new(); n as usize],
+            silenced,
+        }
+    }
+
+    fn apply(&mut self, at: usize, actions: Vec<Action>) {
+        let me = self.replicas[at].id();
+        for a in actions {
+            match a {
+                Action::Broadcast(m) => {
+                    for i in 0..self.replicas.len() {
+                        if i != at {
+                            self.pending.push((i, me, m.clone()));
+                        }
+                    }
+                }
+                Action::Send(dest, m) => self.pending.push((dest.0 as usize, me, m)),
+                Action::Execute { seq, request } => self.executed[at].push((seq, request.id)),
+                _ => {}
+            }
+        }
+    }
+
+    fn submit(&mut self, at: usize, req: Request) {
+        let actions = self.replicas[at].on_request(req);
+        self.apply(at, actions);
+    }
+
+    /// Delivers messages in a random order, sometimes duplicating them,
+    /// until none remain (messages to silenced replicas are dropped).
+    fn run_randomized(&mut self, rng: &mut StdRng) {
+        let mut steps = 0usize;
+        while !self.pending.is_empty() {
+            steps += 1;
+            assert!(steps < 2_000_000, "livelock in randomized run");
+            let idx = rng.gen_range(0..self.pending.len());
+            let (to, from, msg) = self.pending.swap_remove(idx);
+            if self.silenced.contains(&to) {
+                continue;
+            }
+            // 5% duplication.
+            if rng.gen_bool(0.05) {
+                self.pending.push((to, from, msg.clone()));
+            }
+            let actions = self.replicas[to].on_message(from, msg);
+            self.apply(to, actions);
+        }
+    }
+}
+
+fn check_agreement(h: &Harness) {
+    // Safety: for each sequence number, all correct replicas that executed
+    // it executed the same request.
+    use std::collections::HashMap;
+    let mut by_seq: HashMap<Seq, RequestId> = HashMap::new();
+    for (i, log) in h.executed.iter().enumerate() {
+        if h.silenced.contains(&i) {
+            continue;
+        }
+        // Each replica's own order is gap-free and increasing.
+        for (k, (seq, _)) in log.iter().enumerate() {
+            assert_eq!(seq.0, (k + 1) as u64, "replica {i} has order gaps");
+        }
+        for (seq, id) in log {
+            match by_seq.get(seq) {
+                Some(existing) => assert_eq!(existing, id, "divergence at {seq:?}"),
+                None => {
+                    by_seq.insert(*seq, *id);
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_schedules_preserve_safety(seed in any::<u64>(), req_count in 1usize..12) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut h = Harness::new(4, vec![]);
+        for c in 0..req_count {
+            let submit_at = rng.gen_range(0..4);
+            h.submit(submit_at, Request::new(
+                RequestId::new(7, c as u64),
+                Bytes::from(format!("op{c}")),
+            ));
+            if rng.gen_bool(0.5) {
+                h.run_randomized(&mut rng);
+            }
+        }
+        h.run_randomized(&mut rng);
+        check_agreement(&h);
+        // Liveness in the fault-free case: everyone executed everything.
+        for log in &h.executed {
+            prop_assert_eq!(log.len(), req_count);
+        }
+    }
+
+    #[test]
+    fn random_schedules_with_f_silent_replicas(seed in any::<u64>(), req_count in 1usize..8) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Silence one non-primary replica (f = 1 for n = 4).
+        let silenced = 1 + rng.gen_range(0..3usize);
+        let mut h = Harness::new(4, vec![silenced]);
+        for c in 0..req_count {
+            let mut at = rng.gen_range(0..4usize);
+            if at == silenced { at = 0; }
+            h.submit(at, Request::new(
+                RequestId::new(9, c as u64),
+                Bytes::from(format!("op{c}")),
+            ));
+        }
+        h.run_randomized(&mut rng);
+        check_agreement(&h);
+        for (i, log) in h.executed.iter().enumerate() {
+            if i != silenced {
+                prop_assert_eq!(log.len(), req_count, "replica {} stalled", i);
+            }
+        }
+    }
+
+    #[test]
+    fn larger_groups_agree(seed in any::<u64>(), n in prop::sample::select(vec![7u32, 10])) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut h = Harness::new(n, vec![]);
+        for c in 0..5u64 {
+            h.submit((c % n as u64) as usize, Request::new(
+                RequestId::new(1, c),
+                Bytes::from(format!("op{c}")),
+            ));
+        }
+        h.run_randomized(&mut rng);
+        check_agreement(&h);
+        for log in &h.executed {
+            prop_assert_eq!(log.len(), 5);
+        }
+    }
+}
+
+#[test]
+fn execution_chains_match_across_replicas() {
+    let mut h = Harness::new(4, vec![]);
+    let mut rng = StdRng::seed_from_u64(42);
+    for c in 0..70u64 {
+        h.submit((c % 4) as usize, Request::new(RequestId::new(3, c), Bytes::from(vec![c as u8])));
+    }
+    h.run_randomized(&mut rng);
+    check_agreement(&h);
+    let chains: std::collections::HashSet<_> =
+        h.replicas.iter().map(|r| r.execution_chain()).collect();
+    assert_eq!(chains.len(), 1);
+    // 70 requests crossed the checkpoint interval (64): logs must be GCed
+    // and all replicas stable at 64.
+    for r in &h.replicas {
+        assert_eq!(r.stable_seq(), Seq(64));
+    }
+}

@@ -1,0 +1,286 @@
+//! Active services: the paper's long-running single thread of computation
+//! (§4.1), hosted one-per-replica in lock-step with the simulation.
+
+use crate::api::{FromApp, ServiceApi, ToApp, WsCmd, WsEvent};
+use crate::runtime::UriMap;
+use crate::wscost::WsCostModel;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use pws_perpetual::{AppEvent, AppOutput, Executor};
+use pws_simnet::SimDuration;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A deterministic, single-threaded Web Service application with a
+/// long-running thread of computation.
+///
+/// `run` is invoked once per replica on a dedicated thread; it may block in
+/// the [`crate::MessageHandler`] receive methods. It must be a
+/// deterministic function of the event sequence (no wall clocks, no OS
+/// randomness — use [`crate::Utils`]). Return promptly once a `receive_*`
+/// call yields `None` (shutdown).
+pub trait ActiveService: Send + 'static {
+    /// The service body.
+    fn run(self: Box<Self>, api: &mut ServiceApi);
+}
+
+impl<F> ActiveService for F
+where
+    F: FnOnce(&mut ServiceApi) + Send + 'static,
+{
+    fn run(self: Box<Self>, api: &mut ServiceApi) {
+        (*self)(api)
+    }
+}
+
+/// The simulation-side executor hosting an [`ActiveService`] thread.
+pub struct ActiveExecutor {
+    service: Option<Box<dyn ActiveService>>,
+    service_name: String,
+    uris: Arc<UriMap>,
+    ws_cost: WsCostModel,
+    to_app: Option<Sender<ToApp>>,
+    from_app: Option<Receiver<FromApp>>,
+    thread: Option<JoinHandle<()>>,
+    /// Call id → request `wsa:MessageID`, for abort correlation.
+    call_msg: HashMap<u64, String>,
+    /// Events sent to the app whose matching Yield is still outstanding.
+    pending_yields: usize,
+    finished: bool,
+}
+
+impl std::fmt::Debug for ActiveExecutor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ActiveExecutor")
+            .field("service", &self.service_name)
+            .field("finished", &self.finished)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ActiveExecutor {
+    /// Wraps `service` for the replica of service `name`.
+    pub fn new(
+        service: Box<dyn ActiveService>,
+        name: impl Into<String>,
+        uris: Arc<UriMap>,
+        ws_cost: WsCostModel,
+    ) -> Self {
+        ActiveExecutor {
+            service: Some(service),
+            service_name: name.into(),
+            uris,
+            ws_cost,
+            to_app: None,
+            from_app: None,
+            thread: None,
+            call_msg: HashMap::new(),
+            pending_yields: 0,
+            finished: false,
+        }
+    }
+
+    fn send_event(&mut self, ev: WsEvent) {
+        if self.finished {
+            return;
+        }
+        if let Some(tx) = &self.to_app {
+            if tx.send(ToApp::Event(ev)).is_ok() {
+                self.pending_yields += 1;
+            } else {
+                self.finished = true;
+            }
+        }
+    }
+
+    /// Runs the application thread until every delivered event has been
+    /// answered with a Yield (the app is blocked again).
+    fn pump(&mut self, out: &mut AppOutput) {
+        while self.pending_yields > 0 && !self.finished {
+            let msg = match &self.from_app {
+                Some(rx) => rx.recv(),
+                None => return,
+            };
+            match msg {
+                Ok(FromApp::Cmd(cmd)) => self.apply(cmd, out),
+                Ok(FromApp::Yield) => self.pending_yields -= 1,
+                Ok(FromApp::Finished) | Err(_) => {
+                    self.finished = true;
+                    self.pending_yields = 0;
+                }
+            }
+        }
+    }
+
+    fn apply(&mut self, cmd: WsCmd, out: &mut AppOutput) {
+        match cmd {
+            WsCmd::Send {
+                msg_id,
+                to,
+                bytes,
+                timeout_ms,
+            } => {
+                out.spend(self.ws_cost.marshal_cost(bytes.len()));
+                match self.uris.group(&to) {
+                    Some(target) => {
+                        let call = out.call(
+                            target,
+                            bytes,
+                            timeout_ms.map(SimDuration::from_millis),
+                        );
+                        self.call_msg.insert(call.0, msg_id);
+                    }
+                    None => {
+                        // Unknown endpoint: deterministic immediate abort.
+                        self.send_event(WsEvent::Aborted { msg_id });
+                    }
+                }
+            }
+            WsCmd::Reply { handle, bytes } => {
+                out.spend(self.ws_cost.marshal_cost(bytes.len()));
+                out.reply(handle, bytes);
+            }
+            WsCmd::QueryTime => {
+                out.query_time();
+            }
+            WsCmd::Spend(d) => out.spend(d),
+        }
+    }
+}
+
+impl Executor for ActiveExecutor {
+    fn on_event(&mut self, ev: AppEvent, out: &mut AppOutput) {
+        match ev {
+            AppEvent::Init { seed } => {
+                let (to_tx, to_rx) = unbounded();
+                let (from_tx, from_rx) = unbounded();
+                let service = self.service.take().expect("init delivered once");
+                let prefix = self.service_name.clone();
+                let _ = to_tx.send(ToApp::Event(WsEvent::Init { seed }));
+                self.pending_yields += 1;
+                self.to_app = Some(to_tx);
+                self.from_app = Some(from_rx);
+                self.thread = Some(std::thread::spawn(move || {
+                    let mut api = ServiceApi::new(to_rx, from_tx, &prefix);
+                    service.run(&mut api);
+                    api.finish();
+                }));
+                self.pump(out);
+            }
+            AppEvent::Request { handle, payload } => {
+                out.spend(self.ws_cost.demarshal_cost(payload.len()));
+                self.send_event(WsEvent::Request {
+                    handle,
+                    bytes: payload,
+                });
+                self.pump(out);
+            }
+            AppEvent::Reply { call, payload } => {
+                out.spend(self.ws_cost.demarshal_cost(payload.len()));
+                self.call_msg.remove(&call.0);
+                self.send_event(WsEvent::Reply { bytes: payload });
+                self.pump(out);
+            }
+            AppEvent::Aborted { call } => {
+                if let Some(msg_id) = self.call_msg.remove(&call.0) {
+                    self.send_event(WsEvent::Aborted { msg_id });
+                    self.pump(out);
+                }
+            }
+            AppEvent::Time { millis, .. } => {
+                self.send_event(WsEvent::Time { millis });
+                self.pump(out);
+            }
+        }
+    }
+}
+
+impl Drop for ActiveExecutor {
+    fn drop(&mut self) {
+        if let Some(tx) = self.to_app.take() {
+            let _ = tx.send(ToApp::Shutdown);
+        }
+        // Dropping our end of from_app unblocks nothing on the app side
+        // (the app blocks on to_app), so join after Shutdown is safe.
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::MessageHandler;
+    use pws_perpetual::GroupId;
+    use pws_soap::MessageContext;
+
+    fn uris() -> Arc<UriMap> {
+        let mut m = UriMap::default();
+        m.insert("bank", GroupId(3));
+        Arc::new(m)
+    }
+
+    #[test]
+    fn init_spawns_and_runs_until_first_block() {
+        let svc = |api: &mut ServiceApi| {
+            let mut req = MessageContext::request("urn:svc:bank", "check");
+            req.options_mut().set_timeout_millis(1000);
+            let _ = api.send(req);
+            // Block for the reply; shutdown arrives instead.
+            let _ = api.receive_reply();
+        };
+        let mut exec = ActiveExecutor::new(Box::new(svc), "store", uris(), WsCostModel::FREE);
+        let mut out = AppOutput::new(0, 0);
+        exec.on_event(AppEvent::Init { seed: 5 }, &mut out);
+        // The service issued one call before blocking.
+        let calls: Vec<_> = out
+            .cmds()
+            .iter()
+            .filter(|c| matches!(c, pws_perpetual::AppCmd::Call { .. }))
+            .collect();
+        assert_eq!(calls.len(), 1);
+        if let pws_perpetual::AppCmd::Call { target, timeout, .. } = calls[0] {
+            assert_eq!(*target, GroupId(3));
+            assert_eq!(*timeout, Some(SimDuration::from_millis(1000)));
+        }
+        drop(exec); // clean shutdown must not hang
+    }
+
+    #[test]
+    fn unknown_endpoint_aborts_immediately() {
+        let svc = |api: &mut ServiceApi| {
+            let req = MessageContext::request("urn:svc:nowhere", "op");
+            let id = api.send(req);
+            let reply = api.receive_reply_for(&id);
+            // The abort surfaces as a fault before shutdown.
+            if let Some(r) = reply {
+                assert!(r.envelope().as_fault().is_some());
+            }
+        };
+        let mut exec = ActiveExecutor::new(Box::new(svc), "store", uris(), WsCostModel::FREE);
+        let mut out = AppOutput::new(0, 0);
+        exec.on_event(AppEvent::Init { seed: 5 }, &mut out);
+        assert!(
+            out.cmds()
+                .iter()
+                .all(|c| !matches!(c, pws_perpetual::AppCmd::Call { .. })),
+            "no call issued for unknown endpoint"
+        );
+        drop(exec);
+    }
+
+    #[test]
+    fn service_that_returns_is_finished() {
+        let svc = |_api: &mut ServiceApi| {
+            // Immediately done.
+        };
+        let mut exec = ActiveExecutor::new(Box::new(svc), "x", uris(), WsCostModel::FREE);
+        let mut out = AppOutput::new(0, 0);
+        exec.on_event(AppEvent::Init { seed: 1 }, &mut out);
+        assert!(exec.finished);
+        // Later events are ignored without hanging.
+        exec.on_event(AppEvent::Time { token: 0, millis: 1 }, &mut out);
+        drop(exec);
+    }
+}

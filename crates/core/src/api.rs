@@ -1,0 +1,547 @@
+//! The Perpetual-WS application API (paper Fig. 3) and the lock-step
+//! channel protocol behind it.
+//!
+//! User code runs on a dedicated OS thread per replica and talks to the
+//! simulation through a strict alternation protocol: the simulation thread
+//! delivers one agreed event and waits; the application thread computes,
+//! emits commands, and *yields* when it blocks in a `receive_*` call (or
+//! finishes). At most one of the two threads is ever runnable, so wall-clock
+//! thread scheduling cannot influence the application — execution stays a
+//! deterministic function of the agreed event order, which is exactly the
+//! property Perpetual needs from executors (§4.1).
+
+use bytes::Bytes;
+use crossbeam::channel::{Receiver, Sender};
+use pws_perpetual::RequestHandle;
+use pws_simnet::SimDuration;
+use pws_soap::engine::Engine;
+use pws_soap::{Envelope, Fault, MessageContext};
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use std::collections::{HashMap, VecDeque};
+
+/// Simulation → application messages.
+#[derive(Debug)]
+pub(crate) enum ToApp {
+    /// An agreed event.
+    Event(WsEvent),
+    /// The simulation is tearing down; `receive_*` calls return `None`.
+    Shutdown,
+}
+
+/// Agreed events, translated to the Web-Services level.
+#[derive(Debug)]
+pub(crate) enum WsEvent {
+    /// Delivered first; carries the group-agreed random seed.
+    Init { seed: u64 },
+    /// An external SOAP request.
+    Request {
+        handle: RequestHandle,
+        bytes: Bytes,
+    },
+    /// A SOAP reply to one of our requests (correlated by `wsa:RelatesTo`).
+    Reply { bytes: Bytes },
+    /// One of our requests was deterministically aborted.
+    Aborted { msg_id: String },
+    /// An agreed time value.
+    Time { millis: u64 },
+}
+
+/// Application → simulation messages.
+#[derive(Debug)]
+pub(crate) enum FromApp {
+    /// A command to perform.
+    Cmd(WsCmd),
+    /// The application is blocking; control returns to the simulation.
+    Yield,
+    /// The application's `run` returned.
+    Finished,
+}
+
+/// Commands the application can issue.
+#[derive(Debug)]
+pub(crate) enum WsCmd {
+    /// Send a request message.
+    Send {
+        msg_id: String,
+        to: String,
+        bytes: Bytes,
+        timeout_ms: Option<u64>,
+    },
+    /// Send a reply to an external request.
+    Reply {
+        handle: RequestHandle,
+        bytes: Bytes,
+    },
+    /// Request an agreed clock value.
+    QueryTime,
+    /// Burn simulated CPU time.
+    Spend(SimDuration),
+}
+
+/// The messaging half of the paper's Fig. 3 API.
+///
+/// Implemented by [`ServiceApi`]; exists as a trait so application code can
+/// be written against the same surface the paper presents.
+pub trait MessageHandler {
+    /// Sends the message without blocking; returns its `wsa:MessageID`.
+    fn send(&mut self, request: MessageContext) -> String;
+
+    /// Returns the next reply, blocking if none are available.
+    /// `None` means the service is shutting down.
+    fn receive_reply(&mut self) -> Option<MessageContext>;
+
+    /// Returns the reply to a specific request (matched on
+    /// `wsa:RelatesTo`), blocking if necessary.
+    fn receive_reply_for(&mut self, request_msg_id: &str) -> Option<MessageContext>;
+
+    /// Sends the message and waits for its reply (synchronous invocation).
+    fn send_receive(&mut self, request: MessageContext) -> Option<MessageContext> {
+        let id = self.send(request);
+        self.receive_reply_for(&id)
+    }
+
+    /// Returns the next request, blocking if none are available.
+    fn receive_request(&mut self) -> Option<MessageContext>;
+
+    /// Asynchronously sends `reply` as the response to `request`.
+    fn send_reply(&mut self, reply: MessageContext, request: &MessageContext);
+}
+
+/// The deterministic utility half of the paper's Fig. 3 API (§4.2).
+pub trait Utils {
+    /// Group-agreed milliseconds since the epoch. Replaces
+    /// `System.currentTimeMillis()`; may block while the voters agree.
+    fn current_time_millis(&mut self) -> u64;
+
+    /// Group-agreed timestamp. Same agreement as
+    /// [`Utils::current_time_millis`].
+    fn timestamp(&mut self) -> u64 {
+        self.current_time_millis()
+    }
+
+    /// Deterministic randomness seeded by the group-agreed seed. Replaces
+    /// direct `java.util.Random` construction.
+    fn random_u64(&mut self) -> u64;
+}
+
+/// An entry from the service's unified event queue (§2.1.1: voters place
+/// agreed events in "the local event queue" that the executor consumes).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Incoming {
+    /// An external request to serve.
+    Request(MessageContext),
+    /// A reply (or abort fault) for one of our own requests.
+    Reply(MessageContext),
+}
+
+/// The handle through which an [`crate::ActiveService`] interacts with the
+/// world. Implements [`MessageHandler`] and [`Utils`].
+pub struct ServiceApi {
+    rx: Receiver<ToApp>,
+    tx: Sender<FromApp>,
+    engine: Engine,
+    /// This service's own URI, used as the default `wsa:ReplyTo` (§5.1
+    /// stage 1: "the MessageHandler augments the MessageContext by setting
+    /// the wsa:replyTo field").
+    own_uri: String,
+    /// Unified inbox in agreed delivery order.
+    inbox: VecDeque<Incoming>,
+    times: VecDeque<u64>,
+    handles: HashMap<String, RequestHandle>,
+    rng: StdRng,
+    shutdown: bool,
+    /// Whether we owe the simulation a Yield for the last satisfying event.
+    owed: bool,
+}
+
+impl std::fmt::Debug for ServiceApi {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceApi")
+            .field("inbox", &self.inbox.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServiceApi {
+    /// Creates the API endpoint on the application thread. Waits for the
+    /// Init event to seed the deterministic RNG.
+    pub(crate) fn new(rx: Receiver<ToApp>, tx: Sender<FromApp>, id_prefix: &str) -> ServiceApi {
+        let mut api = ServiceApi {
+            rx,
+            tx,
+            engine: Engine::with_id_prefix(id_prefix),
+            own_uri: format!("urn:svc:{id_prefix}"),
+            inbox: VecDeque::new(),
+            times: VecDeque::new(),
+            handles: HashMap::new(),
+            rng: StdRng::seed_from_u64(0),
+            shutdown: false,
+            owed: false,
+        };
+        // The first event is always Init.
+        match api.rx.recv() {
+            Ok(ToApp::Event(WsEvent::Init { seed })) => {
+                api.rng = StdRng::seed_from_u64(seed);
+                api.owed = true;
+            }
+            _ => api.shutdown = true,
+        }
+        api
+    }
+
+    /// Burns simulated CPU time at this replica — the deterministic
+    /// replacement for "this computation takes a while".
+    pub fn spend(&mut self, d: SimDuration) {
+        let _ = self.tx.send(FromApp::Cmd(WsCmd::Spend(d)));
+    }
+
+    /// Pops the next entry — request or reply — from the unified event
+    /// queue in agreed order, blocking if it is empty. This is the §2.1.1
+    /// "local event queue" view, which orchestrating services (e.g. the
+    /// TPC-W bookstore) use to interleave serving new requests with
+    /// consuming replies to outstanding calls. `None` means shutdown.
+    pub fn receive_any(&mut self) -> Option<Incoming> {
+        loop {
+            if let Some(item) = self.inbox.pop_front() {
+                return Some(item);
+            }
+            if !self.pump_once() {
+                return None;
+            }
+        }
+    }
+
+    /// Whether shutdown has been observed.
+    pub fn is_shutdown(&self) -> bool {
+        self.shutdown
+    }
+
+    pub(crate) fn finish(&mut self) {
+        let _ = self.tx.send(FromApp::Finished);
+        self.owed = false;
+    }
+
+    fn flush_owed(&mut self) {
+        if self.owed {
+            self.owed = false;
+            let _ = self.tx.send(FromApp::Yield);
+        }
+    }
+
+    /// Blocks for the next event; returns false on shutdown.
+    fn pump_once(&mut self) -> bool {
+        if self.shutdown {
+            return false;
+        }
+        self.flush_owed();
+        match self.rx.recv() {
+            Ok(ToApp::Event(ev)) => {
+                self.owed = true;
+                self.ingest(ev);
+                true
+            }
+            Ok(ToApp::Shutdown) | Err(_) => {
+                self.shutdown = true;
+                false
+            }
+        }
+    }
+
+    fn ingest(&mut self, ev: WsEvent) {
+        match ev {
+            WsEvent::Init { seed } => {
+                // Re-init should not happen; reseed defensively.
+                self.rng = StdRng::seed_from_u64(seed);
+            }
+            WsEvent::Request { handle, bytes } => {
+                if let Ok(mc) = MessageContext::from_bytes(&bytes) {
+                    if let Some(id) = &mc.addressing().message_id {
+                        self.handles.insert(id.clone(), handle);
+                    }
+                    self.inbox.push_back(Incoming::Request(mc));
+                } // malformed requests are dropped identically everywhere
+            }
+            WsEvent::Reply { bytes } => {
+                if let Ok(mc) = MessageContext::from_bytes(&bytes) {
+                    self.inbox.push_back(Incoming::Reply(mc));
+                }
+            }
+            WsEvent::Aborted { msg_id } => {
+                // Surface the abort as a SOAP fault correlated to the
+                // request, so receive_reply(_for) observers see it.
+                let fault = Fault {
+                    code: "soap:Receiver".to_owned(),
+                    reason: "request aborted by Perpetual-WS timeout".to_owned(),
+                };
+                let mut mc = MessageContext::from_envelope(Envelope::fault(&fault));
+                mc.addressing_mut().relates_to = Some(msg_id);
+                self.inbox.push_back(Incoming::Reply(mc));
+            }
+            WsEvent::Time { millis } => {
+                self.times.push_back(millis);
+            }
+        }
+    }
+}
+
+impl MessageHandler for ServiceApi {
+    fn send(&mut self, mut request: MessageContext) -> String {
+        if request.addressing().reply_to.is_none() {
+            request.addressing_mut().reply_to = Some(self.own_uri.clone());
+        }
+        if self.engine.run_out_pipe(&mut request).is_err() {
+            return String::new();
+        }
+        let msg_id = request
+            .addressing()
+            .message_id
+            .clone()
+            .unwrap_or_default();
+        let to = request.addressing().to.clone().unwrap_or_default();
+        let timeout_ms = request.options().timeout_ms;
+        let bytes = match request.to_bytes() {
+            Ok(b) => b,
+            Err(_) => return String::new(),
+        };
+        let _ = self.tx.send(FromApp::Cmd(WsCmd::Send {
+            msg_id: msg_id.clone(),
+            to,
+            bytes,
+            timeout_ms,
+        }));
+        msg_id
+    }
+
+    fn receive_reply(&mut self) -> Option<MessageContext> {
+        loop {
+            if let Some(pos) = self
+                .inbox
+                .iter()
+                .position(|i| matches!(i, Incoming::Reply(_)))
+            {
+                let Some(Incoming::Reply(mc)) = self.inbox.remove(pos) else {
+                    unreachable!("position matched a reply");
+                };
+                return Some(mc);
+            }
+            if !self.pump_once() {
+                return None;
+            }
+        }
+    }
+
+    fn receive_reply_for(&mut self, request_msg_id: &str) -> Option<MessageContext> {
+        loop {
+            if let Some(pos) = self.inbox.iter().position(|i| {
+                matches!(i, Incoming::Reply(r)
+                    if r.addressing().relates_to.as_deref() == Some(request_msg_id))
+            }) {
+                let Some(Incoming::Reply(mc)) = self.inbox.remove(pos) else {
+                    unreachable!("position matched a reply");
+                };
+                return Some(mc);
+            }
+            if !self.pump_once() {
+                return None;
+            }
+        }
+    }
+
+    fn receive_request(&mut self) -> Option<MessageContext> {
+        loop {
+            if let Some(pos) = self
+                .inbox
+                .iter()
+                .position(|i| matches!(i, Incoming::Request(_)))
+            {
+                let Some(Incoming::Request(mc)) = self.inbox.remove(pos) else {
+                    unreachable!("position matched a request");
+                };
+                return Some(mc);
+            }
+            if !self.pump_once() {
+                return None;
+            }
+        }
+    }
+
+    fn send_reply(&mut self, mut reply: MessageContext, request: &MessageContext) {
+        let Some(req_id) = request.addressing().message_id.clone() else {
+            return;
+        };
+        let Some(handle) = self.handles.get(&req_id).copied() else {
+            return;
+        };
+        // Fill in WS-Addressing correlation exactly as §5.1 stage (7):
+        // to ← request.replyTo, relatesTo ← request.messageID.
+        if reply.addressing().relates_to.is_none() {
+            reply.addressing_mut().relates_to = Some(req_id.clone());
+        }
+        if reply.addressing().to.is_none() {
+            reply.addressing_mut().to = request.addressing().reply_to.clone();
+        }
+        if self.engine.run_out_pipe(&mut reply).is_err() {
+            return;
+        }
+        if let Ok(bytes) = reply.to_bytes() {
+            let _ = self.tx.send(FromApp::Cmd(WsCmd::Reply { handle, bytes }));
+        }
+    }
+}
+
+impl Utils for ServiceApi {
+    fn current_time_millis(&mut self) -> u64 {
+        let _ = self.tx.send(FromApp::Cmd(WsCmd::QueryTime));
+        loop {
+            if let Some(ms) = self.times.pop_front() {
+                return ms;
+            }
+            if !self.pump_once() {
+                return 0;
+            }
+        }
+    }
+
+    fn random_u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::unbounded;
+
+    fn api_pair() -> (ServiceApi, Sender<ToApp>, Receiver<FromApp>) {
+        let (to_tx, to_rx) = unbounded();
+        let (from_tx, from_rx) = unbounded();
+        to_tx
+            .send(ToApp::Event(WsEvent::Init { seed: 9 }))
+            .unwrap();
+        let api = ServiceApi::new(to_rx, from_tx, "test");
+        (api, to_tx, from_rx)
+    }
+
+    #[test]
+    fn init_seeds_rng_deterministically() {
+        let (mut a, _ta, _fa) = api_pair();
+        let (mut b, _tb, _fb) = api_pair();
+        assert_eq!(a.random_u64(), b.random_u64());
+        assert_eq!(a.random_u64(), b.random_u64());
+    }
+
+    #[test]
+    fn send_assigns_ids_and_emits_cmd() {
+        let (mut api, _to, from) = api_pair();
+        let mc = MessageContext::request("urn:svc:bank", "check");
+        let id = api.send(mc);
+        assert!(id.starts_with("urn:uuid:test-"));
+        match from.try_recv().unwrap() {
+            FromApp::Cmd(WsCmd::Send { msg_id, to, .. }) => {
+                assert_eq!(msg_id, id);
+                assert_eq!(to, "urn:svc:bank");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn receive_returns_queued_then_blocks_until_event() {
+        let (mut api, to, from) = api_pair();
+        // Feed a request event, then shutdown.
+        let mut req = MessageContext::request("urn:svc:me", "op");
+        req.addressing_mut().message_id = Some("m1".into());
+        to.send(ToApp::Event(WsEvent::Request {
+            handle: RequestHandle {
+                caller: pws_perpetual::GroupId(9),
+                req_no: 0,
+            },
+            bytes: req.to_bytes().unwrap(),
+        }))
+        .unwrap();
+        to.send(ToApp::Shutdown).unwrap();
+        let got = api.receive_request().unwrap();
+        assert_eq!(got.addressing().message_id.as_deref(), Some("m1"));
+        assert!(api.receive_request().is_none(), "shutdown → None");
+        // The app yielded exactly once: for Init (owed) before blocking.
+        let yields: usize = from
+            .try_iter()
+            .filter(|m| matches!(m, FromApp::Yield))
+            .count();
+        assert_eq!(yields, 2, "one for Init, one for the request event");
+    }
+
+    #[test]
+    fn aborts_surface_as_faults() {
+        let (mut api, to, _from) = api_pair();
+        to.send(ToApp::Event(WsEvent::Aborted {
+            msg_id: "m7".into(),
+        }))
+        .unwrap();
+        to.send(ToApp::Shutdown).unwrap();
+        let reply = api.receive_reply_for("m7").unwrap();
+        let fault = reply.envelope().as_fault().expect("fault body");
+        assert!(fault.reason.contains("aborted"));
+    }
+
+    #[test]
+    fn time_values_pop_in_order() {
+        let (mut api, to, _from) = api_pair();
+        to.send(ToApp::Event(WsEvent::Time { millis: 100 }))
+            .unwrap();
+        to.send(ToApp::Event(WsEvent::Time { millis: 200 }))
+            .unwrap();
+        assert_eq!(api.current_time_millis(), 100);
+        assert_eq!(api.current_time_millis(), 200);
+    }
+
+    #[test]
+    fn reply_for_skips_unrelated() {
+        let (mut api, to, _from) = api_pair();
+        let mk = |relates: &str| {
+            let mut mc = MessageContext::request("urn:x", "opResponse");
+            mc.addressing_mut().relates_to = Some(relates.into());
+            WsEvent::Reply {
+                bytes: mc.to_bytes().unwrap(),
+            }
+        };
+        to.send(ToApp::Event(mk("a"))).unwrap();
+        to.send(ToApp::Event(mk("b"))).unwrap();
+        let b = api.receive_reply_for("b").unwrap();
+        assert_eq!(b.addressing().relates_to.as_deref(), Some("b"));
+        let a = api.receive_reply().unwrap();
+        assert_eq!(a.addressing().relates_to.as_deref(), Some("a"));
+    }
+
+    #[test]
+    fn send_reply_correlates_and_needs_known_handle() {
+        let (mut api, to, from) = api_pair();
+        let mut req = MessageContext::request("urn:svc:me", "op");
+        req.addressing_mut().message_id = Some("req-1".into());
+        req.addressing_mut().reply_to = Some("urn:svc:caller".into());
+        to.send(ToApp::Event(WsEvent::Request {
+            handle: RequestHandle {
+                caller: pws_perpetual::GroupId(2),
+                req_no: 5,
+            },
+            bytes: req.to_bytes().unwrap(),
+        }))
+        .unwrap();
+        let got = api.receive_request().unwrap();
+        let reply = got.reply_with("", pws_soap::XmlNode::new("ok"));
+        api.send_reply(reply, &got);
+        let cmds: Vec<FromApp> = from.try_iter().collect();
+        let sent = cmds.iter().any(|c| {
+            matches!(c, FromApp::Cmd(WsCmd::Reply { handle, bytes })
+                if handle.req_no == 5 && !bytes.is_empty())
+        });
+        assert!(sent, "reply command emitted: {cmds:?}");
+        // Replying to an unknown request is a no-op.
+        let stranger = MessageContext::request("urn:x", "op");
+        api.send_reply(
+            MessageContext::request("urn:y", "r"),
+            &stranger,
+        );
+    }
+}

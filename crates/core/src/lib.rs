@@ -1,0 +1,74 @@
+//! # Perpetual-WS
+//!
+//! Byzantine fault-tolerant middleware for n-Tier and Service Oriented
+//! Architecture Web Services — a Rust reproduction of Pallemulle & Goldman,
+//! *"Byzantine Fault-Tolerant Web Services for n-Tier and Service Oriented
+//! Architectures"* (WUCSE-2007-53 / ICDCS 2008).
+//!
+//! Perpetual-WS lets replicated Web Services call other replicated Web
+//! Services while guaranteeing the safety and liveness of every correct
+//! service, even when peers are compromised. It layers a SOAP /
+//! WS-Addressing engine ([`pws_soap`]) over the Perpetual replica-group
+//! protocol ([`pws_perpetual`]), which in turn runs Castro–Liskov BFT
+//! ([`pws_clbft`]) inside each voter group.
+//!
+//! ## The programming model (paper §4)
+//!
+//! Applications are **deterministic, single-threaded** services written
+//! against the [`MessageHandler`]-style API of the paper's Fig. 3:
+//!
+//! * [`ActiveService`] — a long-running thread of computation that may
+//!   `send`, `receive_request`, `receive_reply`, `send_receive`, and
+//!   `send_reply` in any order, with blocking semantics, plus deterministic
+//!   [`ServiceApi::current_time_millis`], [`ServiceApi::timestamp`] and
+//!   [`ServiceApi::random_u64`] utilities. This is what lets orchestration
+//!   (SOA/BPEL-style) run *inside* a replicated service.
+//! * [`PassiveService`] — the classic request→reply function, the model to
+//!   which Thema/BFT-WS/SWS are limited; existing services of this shape
+//!   run unmodified.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use perpetual_ws::{SystemBuilder, PassiveService, PassiveUtils};
+//! use pws_soap::MessageContext;
+//! use pws_simnet::SimTime;
+//!
+//! struct Counter(u64);
+//! impl PassiveService for Counter {
+//!     fn handle(&mut self, req: MessageContext, _u: &mut PassiveUtils) -> MessageContext {
+//!         self.0 += 1;
+//!         let mut body = pws_soap::XmlNode::new("incrementResult");
+//!         body.text = (self.0 - 1).to_string(); // return the old value
+//!         req.reply_with("", body)
+//!     }
+//! }
+//!
+//! let mut b = SystemBuilder::new(42);
+//! b.passive_service("counter", 4, |_| Box::new(Counter(0)));
+//! b.scripted_client("rbe", "counter", 3); // fire 3 increments
+//! let mut sys = b.build();
+//! sys.run_until(SimTime::from_secs(10));
+//! let replies = sys.client_replies("rbe");
+//! assert_eq!(replies.len(), 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod active;
+pub mod api;
+pub mod deployment;
+pub mod features;
+pub mod passive;
+pub mod runtime;
+pub mod wscost;
+
+pub use active::{ActiveExecutor, ActiveService};
+pub use api::{Incoming, MessageHandler, ServiceApi, Utils};
+pub use deployment::{parse_replicas_xml, DeploymentError, ReplicasConfig, ServiceEntry};
+pub use features::{feature_matrix, Approach, FeatureRow};
+pub use passive::{PassiveService, PassiveUtils};
+pub use pws_perpetual::{CostModel, FaultMode, GroupId};
+pub use runtime::{ScriptedClient, System, SystemBuilder};
+pub use wscost::WsCostModel;

@@ -1,0 +1,241 @@
+//! Passive services: the request→reply model of Thema/BFT-WS/SWS.
+//!
+//! "Thema, BFT-WS, SWS, and Perpetual-WS can all replicate existing passive
+//! deterministic Web Services ... without modification to the application
+//! code" (§3). This adapter runs such services directly inside the driver —
+//! no dedicated thread needed, since a passive service never blocks.
+
+use crate::wscost::WsCostModel;
+use bytes::Bytes;
+use pws_perpetual::{AppEvent, AppOutput, Executor};
+use pws_simnet::SimDuration;
+use pws_soap::engine::Engine;
+use pws_soap::MessageContext;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Deterministic utilities available to a passive service.
+///
+/// Passive services cannot block, so the voted `currentTimeMillis` of the
+/// active model is unavailable; deterministic randomness and simulated
+/// computation are.
+#[derive(Debug)]
+pub struct PassiveUtils {
+    rng: StdRng,
+    spend: SimDuration,
+}
+
+impl PassiveUtils {
+    /// Deterministic randomness from the group-agreed seed.
+    pub fn random_u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    /// Burns simulated CPU time while handling this request (drives the
+    /// Fig. 8 experiment's processing-time knob).
+    pub fn spend(&mut self, d: SimDuration) {
+        self.spend += d;
+    }
+}
+
+/// A deterministic request→reply Web Service.
+pub trait PassiveService: 'static {
+    /// Handles one request, returning the reply.
+    fn handle(&mut self, request: MessageContext, utils: &mut PassiveUtils) -> MessageContext;
+}
+
+impl<F> PassiveService for F
+where
+    F: FnMut(MessageContext, &mut PassiveUtils) -> MessageContext + 'static,
+{
+    fn handle(&mut self, request: MessageContext, utils: &mut PassiveUtils) -> MessageContext {
+        self(request, utils)
+    }
+}
+
+/// Executor adapter hosting a [`PassiveService`].
+pub struct PassiveExecutor {
+    service: Box<dyn PassiveService>,
+    engine: Engine,
+    ws_cost: WsCostModel,
+    rng: Option<StdRng>,
+}
+
+impl std::fmt::Debug for PassiveExecutor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PassiveExecutor").finish_non_exhaustive()
+    }
+}
+
+impl PassiveExecutor {
+    /// Wraps `service`; `name` prefixes generated message ids (must be the
+    /// same on every replica of the group).
+    pub fn new(
+        service: Box<dyn PassiveService>,
+        name: impl Into<String>,
+        ws_cost: WsCostModel,
+    ) -> Self {
+        PassiveExecutor {
+            service,
+            engine: Engine::with_id_prefix(name.into()),
+            ws_cost,
+            rng: None,
+        }
+    }
+}
+
+impl Executor for PassiveExecutor {
+    fn on_event(&mut self, ev: AppEvent, out: &mut AppOutput) {
+        match ev {
+            AppEvent::Init { seed } => {
+                self.rng = Some(StdRng::seed_from_u64(seed));
+            }
+            AppEvent::Request { handle, payload } => {
+                out.spend(self.ws_cost.demarshal_cost(payload.len()));
+                let Ok(request) = MessageContext::from_bytes(&payload) else {
+                    return; // malformed requests dropped identically
+                };
+                let mut utils = PassiveUtils {
+                    rng: self
+                        .rng
+                        .as_mut()
+                        .map(|r| StdRng::seed_from_u64(r.next_u64()))
+                        .unwrap_or_else(|| StdRng::seed_from_u64(0)),
+                    spend: SimDuration::ZERO,
+                };
+                let mut reply = self.service.handle(request.clone(), &mut utils);
+                out.spend(utils.spend);
+                if reply.addressing().relates_to.is_none() {
+                    reply.addressing_mut().relates_to =
+                        request.addressing().message_id.clone();
+                }
+                if reply.addressing().to.is_none() {
+                    reply.addressing_mut().to = request.addressing().reply_to.clone();
+                }
+                if self.engine.run_out_pipe(&mut reply).is_err() {
+                    return;
+                }
+                let Ok(bytes) = reply.to_bytes() else { return };
+                out.spend(self.ws_cost.marshal_cost(bytes.len()));
+                out.reply(handle, Bytes::from(bytes));
+            }
+            // Passive services issue no calls, so these cannot occur.
+            AppEvent::Reply { .. } | AppEvent::Aborted { .. } | AppEvent::Time { .. } => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pws_perpetual::{GroupId, RequestHandle};
+    use pws_soap::XmlNode;
+
+    fn request_event(id: &str, text: &str) -> AppEvent {
+        let mut mc = MessageContext::request("urn:svc:counter", "increment");
+        mc.addressing_mut().message_id = Some(id.into());
+        mc.addressing_mut().reply_to = Some("urn:svc:client".into());
+        mc.body_mut().text = text.into();
+        AppEvent::Request {
+            handle: RequestHandle {
+                caller: GroupId(1),
+                req_no: 0,
+            },
+            payload: mc.to_bytes().unwrap(),
+        }
+    }
+
+    #[test]
+    fn passive_service_replies_with_correlation() {
+        let svc = |req: MessageContext, _u: &mut PassiveUtils| {
+            req.reply_with("", XmlNode::new("result").with_text("done"))
+        };
+        let mut exec = PassiveExecutor::new(Box::new(svc), "counter", WsCostModel::FREE);
+        let mut out = AppOutput::new(0, 0);
+        exec.on_event(AppEvent::Init { seed: 1 }, &mut out);
+        exec.on_event(request_event("m9", "x"), &mut out);
+        let replies: Vec<_> = out
+            .cmds()
+            .iter()
+            .filter_map(|c| match c {
+                pws_perpetual::AppCmd::Reply { payload, .. } => Some(payload.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(replies.len(), 1);
+        let mc = MessageContext::from_bytes(&replies[0]).unwrap();
+        assert_eq!(mc.addressing().relates_to.as_deref(), Some("m9"));
+        assert_eq!(mc.addressing().to.as_deref(), Some("urn:svc:client"));
+        assert_eq!(mc.body().text, "done");
+    }
+
+    #[test]
+    fn utils_spend_accumulates_into_output() {
+        let svc = |req: MessageContext, u: &mut PassiveUtils| {
+            u.spend(SimDuration::from_millis(6));
+            req.reply_with("", XmlNode::new("r"))
+        };
+        let mut exec = PassiveExecutor::new(Box::new(svc), "c", WsCostModel::FREE);
+        let mut out = AppOutput::new(0, 0);
+        exec.on_event(AppEvent::Init { seed: 1 }, &mut out);
+        exec.on_event(request_event("m1", ""), &mut out);
+        let spent: Vec<_> = out
+            .cmds()
+            .iter()
+            .filter(|c| matches!(c, pws_perpetual::AppCmd::Spend(d) if *d == SimDuration::from_millis(6)))
+            .collect();
+        assert_eq!(spent.len(), 1);
+    }
+
+    #[test]
+    fn per_request_rng_is_deterministic_across_replicas() {
+        let mk = || {
+            let svc = |req: MessageContext, u: &mut PassiveUtils| {
+                req.reply_with("", XmlNode::new("r").with_text(u.random_u64().to_string()))
+            };
+            PassiveExecutor::new(Box::new(svc), "c", WsCostModel::FREE)
+        };
+        let run = |mut exec: PassiveExecutor| {
+            let mut out = AppOutput::new(0, 0);
+            exec.on_event(AppEvent::Init { seed: 77 }, &mut out);
+            exec.on_event(request_event("m1", ""), &mut out);
+            exec.on_event(request_event("m2", ""), &mut out);
+            out.cmds()
+                .iter()
+                .filter_map(|c| match c {
+                    pws_perpetual::AppCmd::Reply { payload, .. } => Some(
+                        MessageContext::from_bytes(payload).unwrap().body().text.clone(),
+                    ),
+                    _ => None,
+                })
+                .collect::<Vec<_>>()
+        };
+        let a = run(mk());
+        let b = run(mk());
+        assert_eq!(a, b);
+        assert_ne!(a[0], a[1], "distinct randomness per request");
+    }
+
+    #[test]
+    fn malformed_requests_are_dropped() {
+        let svc =
+            |req: MessageContext, _u: &mut PassiveUtils| req.reply_with("", XmlNode::new("r"));
+        let mut exec = PassiveExecutor::new(Box::new(svc), "c", WsCostModel::FREE);
+        let mut out = AppOutput::new(0, 0);
+        exec.on_event(AppEvent::Init { seed: 1 }, &mut out);
+        exec.on_event(
+            AppEvent::Request {
+                handle: RequestHandle {
+                    caller: GroupId(1),
+                    req_no: 0,
+                },
+                payload: Bytes::from_static(b"\xff\xff"),
+            },
+            &mut out,
+        );
+        assert!(out
+            .cmds()
+            .iter()
+            .all(|c| !matches!(c, pws_perpetual::AppCmd::Reply { .. })));
+    }
+}

@@ -1,0 +1,638 @@
+//! Deployment runtime: assemble services, clients, and the simulated
+//! network into a runnable [`System`].
+
+use crate::active::{ActiveExecutor, ActiveService};
+use crate::passive::{PassiveExecutor, PassiveService};
+use crate::wscost::WsCostModel;
+use bytes::Bytes;
+use pws_perpetual::{
+    ClientCore, ClientEvent, CostModel, Executor, FaultMode, GroupId, PerpetualReplica,
+    ReplicaConfig, Topology,
+};
+use pws_simnet::{
+    Context, LinkConfig, NetConfig, Node, NodeId, RunOutcome, SimDuration, SimTime, Simulation,
+};
+use pws_soap::engine::Engine;
+use pws_soap::MessageContext;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Maps service URIs (`urn:svc:<name>`) to replica groups.
+#[derive(Debug, Default, Clone)]
+pub struct UriMap {
+    by_uri: HashMap<String, GroupId>,
+}
+
+impl UriMap {
+    /// Registers service `name` as `urn:svc:<name>`.
+    pub fn insert(&mut self, name: &str, group: GroupId) {
+        self.by_uri.insert(format!("urn:svc:{name}"), group);
+    }
+
+    /// Resolves a URI to its group.
+    pub fn group(&self, uri: &str) -> Option<GroupId> {
+        self.by_uri.get(uri).copied()
+    }
+}
+
+/// The canonical URI of a service.
+pub fn service_uri(name: &str) -> String {
+    format!("urn:svc:{name}")
+}
+
+/// The default network for Perpetual-WS deployments: the paper's Gigabit
+/// LAN (78 µs ping RTT) *plus* the per-hop latency of the 2007-era
+/// SOAP-over-SSL stack (JSSE record processing, servlet dispatch, kernel
+/// crossings) that a raw ping does not see. This latency is pipelined away
+/// by asynchronous messaging, which is what gives Fig. 9 its headroom.
+pub fn default_ws_net() -> NetConfig {
+    NetConfig::new(LinkConfig {
+        base: SimDuration::from_micros(250),
+        per_byte_us: 0.008,
+        jitter: SimDuration::from_micros(25),
+        drop_probability: 0.0,
+    })
+}
+
+enum Factory {
+    Active(Box<dyn FnMut(u32) -> Box<dyn ActiveService>>),
+    Passive(Box<dyn FnMut(u32) -> Box<dyn PassiveService>>),
+}
+
+struct ServiceSpec {
+    name: String,
+    n: u32,
+    factory: Factory,
+    faults: HashMap<u32, FaultMode>,
+}
+
+struct ClientSpec {
+    name: String,
+    kind: ClientKind,
+}
+
+enum ClientKind {
+    Scripted {
+        target: String,
+        total: u64,
+        window: u64,
+        op: String,
+        payload: String,
+        timeout: Option<SimDuration>,
+    },
+    /// Custom unreplicated endpoint (e.g. a TPC-W remote browser emulator):
+    /// built from the wired-up `ClientCore` and the URI map.
+    Custom(Box<dyn FnOnce(ClientCore, Arc<UriMap>) -> Box<dyn Node>>),
+}
+
+/// Builds a Perpetual-WS deployment.
+///
+/// See the [crate docs](crate) for a complete example.
+pub struct SystemBuilder {
+    seed: u64,
+    cost: CostModel,
+    ws_cost: WsCostModel,
+    net: Option<NetConfig>,
+    view_timeout: SimDuration,
+    retry_interval: SimDuration,
+    services: Vec<ServiceSpec>,
+    clients: Vec<ClientSpec>,
+}
+
+impl std::fmt::Debug for SystemBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SystemBuilder")
+            .field("seed", &self.seed)
+            .field("services", &self.services.len())
+            .field("clients", &self.clients.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl SystemBuilder {
+    /// A builder with the default (paper-calibrated) cost models and LAN.
+    pub fn new(seed: u64) -> Self {
+        SystemBuilder {
+            seed,
+            cost: CostModel::DEFAULT,
+            ws_cost: WsCostModel::DEFAULT,
+            net: None,
+            view_timeout: SimDuration::from_millis(400),
+            retry_interval: SimDuration::from_millis(700),
+            services: Vec::new(),
+            clients: Vec::new(),
+        }
+    }
+
+    /// Overrides the crypto/transport cost model.
+    pub fn cost(&mut self, cost: CostModel) -> &mut Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Overrides the XML marshal cost model.
+    pub fn ws_cost(&mut self, ws_cost: WsCostModel) -> &mut Self {
+        self.ws_cost = ws_cost;
+        self
+    }
+
+    /// Overrides the network configuration.
+    pub fn net(&mut self, net: NetConfig) -> &mut Self {
+        self.net = Some(net);
+        self
+    }
+
+    /// Overrides the CLBFT view-change timeout.
+    pub fn view_timeout(&mut self, d: SimDuration) -> &mut Self {
+        self.view_timeout = d;
+        self
+    }
+
+    /// Adds a replicated active service with `n` replicas. The factory is
+    /// invoked once per replica (replica index passed in) and must produce
+    /// deterministic, identical services.
+    pub fn service<F>(&mut self, name: &str, n: u32, mut factory: F) -> &mut Self
+    where
+        F: FnMut(u32) -> Box<dyn ActiveService> + 'static,
+    {
+        self.services.push(ServiceSpec {
+            name: name.to_owned(),
+            n,
+            factory: Factory::Active(Box::new(move |i| factory(i))),
+            faults: HashMap::new(),
+        });
+        self
+    }
+
+    /// Adds a replicated passive service with `n` replicas.
+    pub fn passive_service<F>(&mut self, name: &str, n: u32, mut factory: F) -> &mut Self
+    where
+        F: FnMut(u32) -> Box<dyn PassiveService> + 'static,
+    {
+        self.services.push(ServiceSpec {
+            name: name.to_owned(),
+            n,
+            factory: Factory::Passive(Box::new(move |i| factory(i))),
+            faults: HashMap::new(),
+        });
+        self
+    }
+
+    /// Injects a fault into replica `idx` of service `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the service has not been added yet.
+    pub fn fault(&mut self, name: &str, idx: u32, fault: FaultMode) -> &mut Self {
+        let spec = self
+            .services
+            .iter_mut()
+            .find(|s| s.name == name)
+            .unwrap_or_else(|| panic!("unknown service '{name}'"));
+        spec.faults.insert(idx, fault);
+        self
+    }
+
+    /// Adds an unreplicated scripted client that fires `total` requests at
+    /// service `target`, all at once (open window).
+    pub fn scripted_client(&mut self, name: &str, target: &str, total: u64) -> &mut Self {
+        self.scripted_client_windowed(name, target, total, total)
+    }
+
+    /// Adds a scripted client that keeps at most `window` requests
+    /// outstanding until `total` complete — `window = 1` is the paper's
+    /// synchronous client; larger windows are the parallel asynchronous
+    /// clients of Fig. 9.
+    pub fn scripted_client_windowed(
+        &mut self,
+        name: &str,
+        target: &str,
+        total: u64,
+        window: u64,
+    ) -> &mut Self {
+        self.clients.push(ClientSpec {
+            name: name.to_owned(),
+            kind: ClientKind::Scripted {
+                target: target.to_owned(),
+                total,
+                window: window.max(1),
+                op: "increment".to_owned(),
+                payload: String::new(),
+                timeout: None,
+            },
+        });
+        self
+    }
+
+    /// Sets a client-side give-up timeout on the most recently added
+    /// scripted client.
+    pub fn client_timeout(&mut self, d: SimDuration) -> &mut Self {
+        if let Some(ClientSpec {
+            kind: ClientKind::Scripted { timeout, .. },
+            ..
+        }) = self.clients.last_mut()
+        {
+            *timeout = Some(d);
+        }
+        self
+    }
+
+    /// Adds a custom unreplicated client node (e.g. a TPC-W browser
+    /// emulator). The factory receives the client's wired-up [`ClientCore`]
+    /// and the deployment's URI map.
+    pub fn custom_client<F>(&mut self, name: &str, factory: F) -> &mut Self
+    where
+        F: FnOnce(ClientCore, Arc<UriMap>) -> Box<dyn Node> + 'static,
+    {
+        self.clients.push(ClientSpec {
+            name: name.to_owned(),
+            kind: ClientKind::Custom(Box::new(factory)),
+        });
+        self
+    }
+
+    /// Constructs the deployment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a client's target service does not exist or a group size is
+    /// not `3f + 1`.
+    pub fn build(self) -> System {
+        let mut sim = match self.net {
+            Some(net) => Simulation::with_net(self.seed, net),
+            None => Simulation::with_net(self.seed, default_ws_net()),
+        };
+        let mut topo = Topology::new();
+        let mut uris = UriMap::default();
+        let mut groups_by_name = HashMap::new();
+        let mut next_node = 0u32;
+        let mut next_group = 0u32;
+
+        for spec in &self.services {
+            let gid = GroupId(next_group);
+            next_group += 1;
+            let nodes: Vec<NodeId> = (next_node..next_node + spec.n)
+                .map(NodeId::from_raw)
+                .collect();
+            next_node += spec.n;
+            topo.register(gid, nodes);
+            uris.insert(&spec.name, gid);
+            groups_by_name.insert(spec.name.clone(), gid);
+        }
+        for client in &self.clients {
+            let gid = GroupId(next_group);
+            next_group += 1;
+            topo.register(gid, vec![NodeId::from_raw(next_node)]);
+            next_node += 1;
+            groups_by_name.insert(client.name.clone(), gid);
+        }
+
+        let topo = Arc::new(topo);
+        let uris = Arc::new(uris);
+
+        let mut client_nodes = HashMap::new();
+        for mut spec in self.services {
+            let gid = groups_by_name[&spec.name];
+            for idx in 0..spec.n {
+                let mut cfg = ReplicaConfig::new(gid, idx, topo.clone(), self.seed);
+                cfg.cost = self.cost;
+                cfg.view_timeout = self.view_timeout;
+                cfg.retry_interval = self.retry_interval;
+                cfg.fault = spec.faults.get(&idx).copied().unwrap_or_default();
+                let executor: Box<dyn Executor> = match &mut spec.factory {
+                    Factory::Active(f) => Box::new(ActiveExecutor::new(
+                        f(idx),
+                        &spec.name,
+                        uris.clone(),
+                        self.ws_cost,
+                    )),
+                    Factory::Passive(f) => {
+                        Box::new(PassiveExecutor::new(f(idx), &spec.name, self.ws_cost))
+                    }
+                };
+                let node = sim.add_node(Box::new(PerpetualReplica::new(cfg, executor)));
+                debug_assert_eq!(node, topo.node(gid, idx));
+            }
+        }
+        for spec in self.clients {
+            let gid = groups_by_name[&spec.name];
+            let core = ClientCore::new(gid, topo.clone(), self.seed, self.cost);
+            let node_box: Box<dyn Node> = match spec.kind {
+                ClientKind::Scripted {
+                    target,
+                    total,
+                    window,
+                    op,
+                    payload,
+                    timeout,
+                } => {
+                    let target_gid = *groups_by_name
+                        .get(&target)
+                        .unwrap_or_else(|| panic!("client target '{target}' unknown"));
+                    Box::new(ScriptedClient {
+                        core,
+                        target: target_gid,
+                        target_uri: service_uri(&target),
+                        engine: Engine::with_id_prefix(spec.name.clone()),
+                        ws_cost: self.ws_cost,
+                        total,
+                        window,
+                        op,
+                        payload,
+                        timeout,
+                        sent: 0,
+                        send_times: HashMap::new(),
+                        replies: Vec::new(),
+                        latencies: Vec::new(),
+                        first_send: None,
+                        last_complete: None,
+                        retry_timer: None,
+                    })
+                }
+                ClientKind::Custom(factory) => factory(core, uris.clone()),
+            };
+            let node = sim.add_node(node_box);
+            client_nodes.insert(spec.name.clone(), node);
+            debug_assert_eq!(node, topo.node(gid, 0));
+        }
+
+        System {
+            sim,
+            groups_by_name,
+            client_nodes,
+        }
+    }
+}
+
+/// A built deployment ready to run.
+pub struct System {
+    sim: Simulation,
+    groups_by_name: HashMap<String, GroupId>,
+    client_nodes: HashMap<String, NodeId>,
+}
+
+impl std::fmt::Debug for System {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("System")
+            .field("groups", &self.groups_by_name.len())
+            .field("now", &self.sim.now())
+            .finish_non_exhaustive()
+    }
+}
+
+impl System {
+    /// Runs until quiescence or `deadline`.
+    pub fn run_until(&mut self, deadline: SimTime) -> RunOutcome {
+        self.sim.run_until(deadline)
+    }
+
+    /// Runs for an additional span of virtual time.
+    pub fn run_for(&mut self, d: SimDuration) -> RunOutcome {
+        self.sim.run_for(d)
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// The group id of a service or client.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is unknown.
+    pub fn group(&self, name: &str) -> GroupId {
+        self.groups_by_name[name]
+    }
+
+    /// Direct access to the simulation (metrics, network faults, tracing).
+    pub fn sim_mut(&mut self) -> &mut Simulation {
+        &mut self.sim
+    }
+
+    /// The metrics registry.
+    pub fn metrics(&self) -> &pws_simnet::metrics::Metrics {
+        self.sim.metrics()
+    }
+
+    /// Replies recorded by a scripted client.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the client name is unknown.
+    pub fn client_replies(&mut self, name: &str) -> Vec<MessageContext> {
+        let node = self.client_nodes[name];
+        self.sim
+            .node_mut::<ScriptedClient>(node)
+            .expect("scripted client")
+            .replies
+            .clone()
+    }
+
+    /// Per-request completion latencies recorded by a scripted client.
+    pub fn client_latencies(&mut self, name: &str) -> Vec<SimDuration> {
+        let node = self.client_nodes[name];
+        self.sim
+            .node_mut::<ScriptedClient>(node)
+            .expect("scripted client")
+            .latencies
+            .clone()
+    }
+
+    /// Client throughput: completed requests / (last completion − first
+    /// send), in requests per second. `None` until two data points exist.
+    pub fn client_throughput(&mut self, name: &str) -> Option<f64> {
+        let node = self.client_nodes[name];
+        let c = self
+            .sim
+            .node_mut::<ScriptedClient>(node)
+            .expect("scripted client");
+        let (first, last) = (c.first_send?, c.last_complete?);
+        let span = (last - first).as_secs_f64();
+        if span <= 0.0 {
+            return None;
+        }
+        Some(c.replies.len() as f64 / span)
+    }
+
+    /// The simnet node hosting a client (for typed access to custom client
+    /// nodes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the client name is unknown.
+    pub fn client_node(&self, name: &str) -> NodeId {
+        self.client_nodes[name]
+    }
+
+    /// Typed access to a service replica's hosted state (for assertions).
+    pub fn replica_mut(&mut self, name: &str, idx: u32) -> Option<&mut PerpetualReplica> {
+        let gid = self.groups_by_name.get(name)?;
+        // Topology assigned node ids densely in registration order; look the
+        // node up through the replica itself.
+        let node = self.replica_node(*gid, idx)?;
+        self.sim.node_mut::<PerpetualReplica>(node)
+    }
+
+    fn replica_node(&mut self, gid: GroupId, idx: u32) -> Option<NodeId> {
+        // Node ids are assigned densely: scan is fine at deployment sizes.
+        for raw in 0..self.sim.node_count() as u32 {
+            let node = NodeId::from_raw(raw);
+            if let Some(r) = self.sim.node_mut::<PerpetualReplica>(node) {
+                if r.group() == gid && r.index() == idx {
+                    return Some(node);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// A simnet node that drives a replicated service with a fixed script of
+/// requests, keeping a bounded window outstanding. The workhorse behind the
+/// micro-benchmarks (Figs. 7–9).
+pub struct ScriptedClient {
+    core: ClientCore,
+    target: GroupId,
+    target_uri: String,
+    engine: Engine,
+    ws_cost: WsCostModel,
+    total: u64,
+    window: u64,
+    op: String,
+    payload: String,
+    timeout: Option<SimDuration>,
+    sent: u64,
+    send_times: HashMap<u64, SimTime>,
+    /// Replies received, in completion order.
+    pub replies: Vec<MessageContext>,
+    /// Completion latencies, in completion order.
+    pub latencies: Vec<SimDuration>,
+    first_send: Option<SimTime>,
+    last_complete: Option<SimTime>,
+    retry_timer: Option<pws_simnet::TimerId>,
+}
+
+/// How often a scripted client re-transmits stale outstanding calls.
+const RETRY_SWEEP: SimDuration = SimDuration::from_millis(900);
+
+impl std::fmt::Debug for ScriptedClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScriptedClient")
+            .field("sent", &self.sent)
+            .field("completed", &self.replies.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ScriptedClient {
+    fn fire(&mut self, ctx: &mut Context<'_>) {
+        if self.sent >= self.total {
+            return;
+        }
+        let seq = self.sent;
+        self.sent += 1;
+        let mut mc = MessageContext::request(&self.target_uri, &self.op);
+        mc.body_mut().name = self.op.clone();
+        mc.body_mut().text = if self.payload.is_empty() {
+            seq.to_string()
+        } else {
+            self.payload.clone()
+        };
+        mc.addressing_mut().reply_to = Some("urn:client".to_owned());
+        if self.engine.run_out_pipe(&mut mc).is_err() {
+            return;
+        }
+        let Ok(bytes) = mc.to_bytes() else { return };
+        ctx.spend(self.ws_cost.marshal_cost(bytes.len()));
+        let call = self.core.call(ctx, self.target, Bytes::from(bytes));
+        self.send_times.insert(call.0, ctx.now());
+        if self.first_send.is_none() {
+            self.first_send = Some(ctx.now());
+        }
+        if let Some(t) = self.timeout {
+            ctx.set_timer(t);
+        }
+    }
+}
+
+impl Node for ScriptedClient {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        for _ in 0..self.window.min(self.total) {
+            self.fire(ctx);
+        }
+        // Periodic retry sweep (responder rotation for faulty responders).
+        self.retry_timer = Some(ctx.set_timer(RETRY_SWEEP));
+    }
+
+    fn on_message(&mut self, _from: NodeId, msg: Bytes, ctx: &mut Context<'_>) {
+        if let Some(ClientEvent::Reply { call, payload }) = self.core.on_message(&msg, ctx) {
+            ctx.spend(self.ws_cost.demarshal_cost(payload.len()));
+            if let Ok(mc) = MessageContext::from_bytes(&payload) {
+                if let Some(sent_at) = self.send_times.remove(&call.0) {
+                    self.latencies.push(ctx.now() - sent_at);
+                }
+                self.replies.push(mc);
+                self.last_complete = Some(ctx.now());
+                ctx.metrics().incr("client.web_interactions");
+                self.fire(ctx);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, timer: pws_simnet::TimerId, ctx: &mut Context<'_>) {
+        if Some(timer) == self.retry_timer {
+            // Retry sweep: retransmit every call outstanding longer than a
+            // sweep interval (responder rotation masks a faulty responder).
+            let now = ctx.now();
+            let stale: Vec<u64> = self
+                .send_times
+                .iter()
+                .filter(|(_, t)| now - **t >= RETRY_SWEEP)
+                .map(|(c, _)| *c)
+                .collect();
+            for call in stale {
+                self.core.retry(ctx, pws_perpetual::CallId(call));
+            }
+            self.retry_timer = if self.send_times.is_empty() && self.sent >= self.total {
+                None
+            } else {
+                Some(ctx.set_timer(RETRY_SWEEP))
+            };
+            return;
+        }
+        // A give-up timer fired; abandon the oldest outstanding call if it
+        // has really been outstanding for the timeout, so closed-loop
+        // clients cannot wedge on a compromised target.
+        let Some(timeout) = self.timeout else { return };
+        if let Some((&call, &sent_at)) = self.send_times.iter().min_by_key(|(_, t)| **t) {
+            if ctx.now() - sent_at >= timeout {
+                self.send_times.remove(&call);
+                self.core.abandon(pws_perpetual::CallId(call));
+                ctx.metrics().incr("client.abandoned");
+                self.fire(ctx);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uri_map_resolves() {
+        let mut m = UriMap::default();
+        m.insert("pge", GroupId(4));
+        assert_eq!(m.group("urn:svc:pge"), Some(GroupId(4)));
+        assert_eq!(m.group("urn:svc:bank"), None);
+        assert_eq!(service_uri("pge"), "urn:svc:pge");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown service")]
+    fn fault_on_unknown_service_panics() {
+        let mut b = SystemBuilder::new(1);
+        b.fault("ghost", 0, FaultMode::Silent);
+    }
+}

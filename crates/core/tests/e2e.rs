@@ -1,0 +1,222 @@
+//! End-to-end tests of the Perpetual-WS middleware: active services with
+//! long-running threads, synchronous and asynchronous messaging, agreed
+//! utilities, orchestration across tiers, and fault injection.
+
+use perpetual_ws::{
+    ActiveService, FaultMode, MessageHandler, PassiveService, PassiveUtils, ServiceApi,
+    SystemBuilder, Utils,
+};
+use pws_simnet::{SimDuration, SimTime};
+use pws_soap::{MessageContext, XmlNode};
+
+/// A passive echo used as a backend tier.
+struct EchoBackend(&'static str);
+impl PassiveService for EchoBackend {
+    fn handle(&mut self, req: MessageContext, _u: &mut PassiveUtils) -> MessageContext {
+        let text = format!("{}{}", self.0, req.body().text);
+        req.reply_with("", XmlNode::new("echoResult").with_text(text))
+    }
+}
+
+/// An active middle tier: forwards each request to the backend
+/// *asynchronously*, continuing to accept new requests while replies are in
+/// flight — the §4.1 model.
+struct AsyncForwarder {
+    backend: &'static str,
+}
+impl ActiveService for AsyncForwarder {
+    fn run(self: Box<Self>, api: &mut ServiceApi) {
+        let mut pending: Vec<(String, MessageContext)> = Vec::new();
+        loop {
+            // Prefer handing out replies we already have, then take more
+            // work; receive_request blocks when idle.
+            let Some(req) = api.receive_request() else {
+                return;
+            };
+            let mut out = MessageContext::request(
+                &format!("urn:svc:{}", self.backend),
+                "echo",
+            );
+            out.body_mut().name = "echo".into();
+            out.body_mut().text = req.body().text.clone();
+            let id = api.send(out);
+            pending.push((id, req));
+            // Opportunistically complete any call whose reply arrived.
+            while let Some(pos) = pending.iter().position(|_| true) {
+                let (id, orig) = pending[pos].clone();
+                let Some(reply) = api.receive_reply_for(&id) else {
+                    return;
+                };
+                let text = reply.body().text.clone();
+                let resp = orig.reply_with("", XmlNode::new("fwdResult").with_text(text));
+                api.send_reply(resp, &orig);
+                pending.remove(pos);
+            }
+        }
+    }
+}
+
+#[test]
+fn active_middle_tier_forwards_to_backend() {
+    let mut b = SystemBuilder::new(5);
+    b.service("mid", 4, |_| {
+        Box::new(AsyncForwarder { backend: "back" })
+    });
+    b.passive_service("back", 4, |_| Box::new(EchoBackend("be:")));
+    b.scripted_client("rbe", "mid", 5);
+    let mut sys = b.build();
+    sys.run_until(SimTime::from_secs(60));
+    let replies = sys.client_replies("rbe");
+    assert_eq!(replies.len(), 5);
+    for r in &replies {
+        assert!(r.body().text.starts_with("be:"), "body: {:?}", r.body());
+    }
+}
+
+#[test]
+fn sync_send_receive_works_inside_active_service() {
+    struct SyncCaller;
+    impl ActiveService for SyncCaller {
+        fn run(self: Box<Self>, api: &mut ServiceApi) {
+            loop {
+                let Some(req) = api.receive_request() else { return };
+                let mut call = MessageContext::request("urn:svc:back", "echo");
+                call.body_mut().text = req.body().text.clone();
+                let Some(reply) = api.send_receive(call) else { return };
+                let resp = req.reply_with(
+                    "",
+                    XmlNode::new("r").with_text(format!("sync:{}", reply.body().text)),
+                );
+                api.send_reply(resp, &req);
+            }
+        }
+    }
+    let mut b = SystemBuilder::new(6);
+    b.service("mid", 4, |_| Box::new(SyncCaller));
+    b.passive_service("back", 1, |_| Box::new(EchoBackend("b:")));
+    b.scripted_client("rbe", "mid", 3);
+    let mut sys = b.build();
+    sys.run_until(SimTime::from_secs(60));
+    let replies = sys.client_replies("rbe");
+    assert_eq!(replies.len(), 3);
+    assert!(replies.iter().all(|r| r.body().text.starts_with("sync:b:")));
+}
+
+#[test]
+fn agreed_time_and_seeded_random_are_consistent() {
+    // The service answers each request with (agreed time, random). All four
+    // replicas must produce identical values or agreement on the reply
+    // digest would fail and nothing would come back.
+    struct TimeService;
+    impl ActiveService for TimeService {
+        fn run(self: Box<Self>, api: &mut ServiceApi) {
+            loop {
+                let Some(req) = api.receive_request() else { return };
+                let t = api.current_time_millis();
+                let r = api.random_u64();
+                let resp = req.reply_with(
+                    "",
+                    XmlNode::new("now").with_text(format!("{t}:{r}")),
+                );
+                api.send_reply(resp, &req);
+            }
+        }
+    }
+    let mut b = SystemBuilder::new(7);
+    b.service("clock", 4, |_| Box::new(TimeService));
+    b.scripted_client("rbe", "clock", 3);
+    let mut sys = b.build();
+    sys.run_until(SimTime::from_secs(60));
+    let replies = sys.client_replies("rbe");
+    assert_eq!(
+        replies.len(),
+        3,
+        "replies only arrive if all replicas agreed on time+random"
+    );
+    let parts: Vec<u64> = replies[0]
+        .body()
+        .text
+        .split(':')
+        .map(|s| s.parse().unwrap())
+        .collect();
+    assert!(parts[0] >= 1_190_000_000_000, "epoch-offset time");
+}
+
+#[test]
+fn f_faulty_replicas_are_masked_by_builder_faults() {
+    let mut b = SystemBuilder::new(8);
+    b.passive_service("svc", 4, |_| Box::new(EchoBackend("x:")));
+    b.fault("svc", 2, FaultMode::Silent);
+    b.scripted_client("rbe", "svc", 6);
+    let mut sys = b.build();
+    sys.run_until(SimTime::from_secs(60));
+    assert_eq!(sys.client_replies("rbe").len(), 6);
+}
+
+#[test]
+fn corrupt_reply_replica_is_outvoted() {
+    let mut b = SystemBuilder::new(9);
+    b.passive_service("svc", 4, |_| Box::new(EchoBackend("x:")));
+    b.fault("svc", 0, FaultMode::CorruptReplies);
+    b.scripted_client("rbe", "svc", 6);
+    let mut sys = b.build();
+    sys.run_until(SimTime::from_secs(60));
+    let replies = sys.client_replies("rbe");
+    assert_eq!(replies.len(), 6);
+    assert!(replies.iter().all(|r| r.body().text.starts_with("x:")));
+}
+
+#[test]
+fn windowed_client_paces_requests() {
+    let mut b = SystemBuilder::new(10);
+    b.passive_service("svc", 1, |_| Box::new(EchoBackend("e:")));
+    b.scripted_client_windowed("sync", "svc", 10, 1);
+    b.scripted_client_windowed("burst", "svc", 10, 10);
+    let mut sys = b.build();
+    sys.run_until(SimTime::from_secs(60));
+    assert_eq!(sys.client_replies("sync").len(), 10);
+    assert_eq!(sys.client_replies("burst").len(), 10);
+    let sync_lat = sys.client_latencies("sync");
+    let burst_lat = sys.client_latencies("burst");
+    // The burst client's later requests queue behind earlier ones, so its
+    // completion latencies exceed the one-at-a-time client's.
+    let avg = |v: &Vec<SimDuration>| {
+        v.iter().map(|d| d.as_micros()).sum::<u64>() / v.len() as u64
+    };
+    assert!(avg(&burst_lat) > avg(&sync_lat));
+}
+
+#[test]
+fn throughput_counters_populate() {
+    let mut b = SystemBuilder::new(11);
+    b.passive_service("svc", 4, |_| Box::new(EchoBackend("e:")));
+    b.scripted_client("rbe", "svc", 20);
+    let mut sys = b.build();
+    sys.run_until(SimTime::from_secs(120));
+    let tput = sys.client_throughput("rbe").expect("throughput");
+    assert!(tput > 0.0);
+    assert!(sys.metrics().counter("client.web_interactions") >= 20);
+    assert!(sys.metrics().counter("perpetual.requests_delivered") > 0);
+}
+
+#[test]
+fn deterministic_runs_same_seed() {
+    let run = |seed| {
+        let mut b = SystemBuilder::new(seed);
+        b.passive_service("svc", 4, |_| Box::new(EchoBackend("e:")));
+        b.scripted_client("rbe", "svc", 5);
+        let mut sys = b.build();
+        sys.run_until(SimTime::from_secs(30));
+        (
+            sys.sim_mut().trace_digest().value(),
+            sys.client_replies("rbe")
+                .iter()
+                .map(|r| r.body().text.clone())
+                .collect::<Vec<_>>(),
+        )
+    };
+    let (t1, r1) = run(123);
+    let (t2, r2) = run(123);
+    assert_eq!(t1, t2);
+    assert_eq!(r1, r2);
+}

@@ -1,0 +1,235 @@
+//! Unreplicated client endpoints.
+//!
+//! The paper's endpoints "may be other Web Services or client applications"
+//! (§1, footnote 3); an unreplicated client is the degenerate case of a
+//! group with `n = 1, f = 0`. [`ClientCore`] implements just the calling
+//! half of a driver — issue `OutRequest`s, validate reply bundles — without
+//! a voter, so plain simulation nodes (such as the TPC-W remote browser
+//! emulators) can invoke replicated services cheaply.
+
+use crate::cost::CostModel;
+use crate::event::Event;
+use crate::executor::CallId;
+use crate::group::{GroupId, Topology};
+use crate::messages::{decode_pmsg, encode_pmsg, reply_digest, request_tag, PMsg};
+use bytes::Bytes;
+use pws_crypto::auth::verify_bundle;
+use pws_crypto::keys::KeyTable;
+use pws_simnet::{Context, SimDuration};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// What a client observes about one of its calls.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientEvent {
+    /// A validated reply arrived.
+    Reply {
+        /// The completed call.
+        call: CallId,
+        /// Reply payload.
+        payload: Bytes,
+    },
+}
+
+#[derive(Debug)]
+struct Pending {
+    target: GroupId,
+    done: bool,
+    payload: Bytes,
+    retries: u64,
+}
+
+/// The calling half of a Perpetual driver, for unreplicated endpoints.
+#[derive(Debug)]
+pub struct ClientCore {
+    group: GroupId,
+    topology: Arc<Topology>,
+    keys: KeyTable,
+    cost: CostModel,
+    next_call: u64,
+    pending: HashMap<u64, Pending>,
+}
+
+impl ClientCore {
+    /// Creates a client for the (size-1) `group` registered in `topology`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group` is not registered or not of size 1.
+    pub fn new(
+        group: GroupId,
+        topology: Arc<Topology>,
+        master_seed: u64,
+        cost: CostModel,
+    ) -> Self {
+        assert_eq!(topology.n(group), 1, "client groups have exactly 1 member");
+        ClientCore {
+            group,
+            topology,
+            keys: KeyTable::new(master_seed),
+            cost,
+            next_call: 0,
+            pending: HashMap::new(),
+        }
+    }
+
+    /// The client's group id.
+    pub fn group(&self) -> GroupId {
+        self.group
+    }
+
+    /// Number of calls still awaiting replies.
+    pub fn outstanding(&self) -> usize {
+        self.pending.values().filter(|p| !p.done).count()
+    }
+
+    /// Issues an asynchronous call to `target`; the reply arrives later via
+    /// [`ClientCore::on_message`].
+    pub fn call(&mut self, ctx: &mut Context<'_>, target: GroupId, payload: Bytes) -> CallId {
+        let call_no = self.next_call;
+        self.next_call += 1;
+        self.pending.insert(
+            call_no,
+            Pending {
+                target,
+                done: false,
+                payload: payload.clone(),
+                retries: 0,
+            },
+        );
+        self.transmit(ctx, call_no, target, 0, payload);
+        ctx.metrics().incr("client.calls_issued");
+        CallId(call_no)
+    }
+
+    /// Retransmits an outstanding call, rotating the responder to the next
+    /// target replica — the client half of Perpetual's fault handling for
+    /// an unresponsive responder. No-op for completed or unknown calls.
+    pub fn retry(&mut self, ctx: &mut Context<'_>, call: CallId) {
+        let Some(p) = self.pending.get_mut(&call.0) else {
+            return;
+        };
+        if p.done {
+            return;
+        }
+        p.retries += 1;
+        let (target, retries, payload) = (p.target, p.retries, p.payload.clone());
+        ctx.metrics().incr("client.call_retries");
+        self.transmit(ctx, call.0, target, retries, payload);
+    }
+
+    fn transmit(
+        &mut self,
+        ctx: &mut Context<'_>,
+        call_no: u64,
+        target: GroupId,
+        retries: u64,
+        payload: Bytes,
+    ) {
+        let target_n = self.topology.n(target);
+        let ev = Event::External {
+            caller: self.group,
+            caller_n: 1,
+            req_no: call_no,
+            responder: ((call_no + retries) % target_n as u64) as u32,
+            timeout_ms: 0,
+            payload,
+        };
+        let msg = encode_pmsg(&PMsg::OutRequest(ev));
+        for &node in self.topology.nodes(target) {
+            ctx.spend(self.cost.send_cost(msg.len(), 0));
+            ctx.send(node, msg.clone());
+        }
+    }
+
+    /// Abandons a call locally (e.g. after a client-side timeout); later
+    /// replies for it are ignored.
+    pub fn abandon(&mut self, call: CallId) {
+        if let Some(p) = self.pending.get_mut(&call.0) {
+            p.done = true;
+        }
+    }
+
+    /// Processes an incoming message; returns the validated reply if this
+    /// message completed one of our calls.
+    pub fn on_message(&mut self, msg: &[u8], ctx: &mut Context<'_>) -> Option<ClientEvent> {
+        ctx.spend(self.cost.recv_cost(msg.len(), 0));
+        let Ok(PMsg::ReplyBundle {
+            req_no,
+            payload,
+            shares,
+        }) = decode_pmsg(msg)
+        else {
+            return None;
+        };
+        let p = self.pending.get_mut(&req_no)?;
+        if p.done {
+            return None;
+        }
+        let target_f = self.topology.f(p.target) as usize;
+        if shares.iter().any(|s| s.from.group != p.target.0) {
+            return None;
+        }
+        let digest = reply_digest(&payload);
+        let me = self.topology.principal(self.group, 0);
+        let tag = request_tag(self.group, req_no);
+        ctx.spend(self.cost.mac.saturating_mul(shares.len() as u64));
+        if !verify_bundle(&mut self.keys, &shares, &tag, &digest, me, target_f + 1) {
+            ctx.metrics().incr("client.bundles_rejected");
+            return None;
+        }
+        p.done = true;
+        ctx.metrics().incr("client.calls_completed");
+        Some(ClientEvent::Reply {
+            call: CallId(req_no),
+            payload,
+        })
+    }
+
+    /// Convenience: milliseconds to wait before abandoning, for callers that
+    /// implement client-side timeouts with simnet timers.
+    pub fn suggested_timeout(&self) -> SimDuration {
+        SimDuration::from_secs(5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pws_simnet::NodeId;
+
+    fn topo() -> Arc<Topology> {
+        let mut t = Topology::new();
+        t.register(GroupId(0), (0..4).map(NodeId::from_raw).collect());
+        t.register(GroupId(1), vec![NodeId::from_raw(4)]);
+        Arc::new(t)
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly 1 member")]
+    fn rejects_replicated_group() {
+        let t = topo();
+        let _ = ClientCore::new(GroupId(0), t, 1, CostModel::FREE);
+    }
+
+    #[test]
+    fn bookkeeping() {
+        let t = topo();
+        let mut c = ClientCore::new(GroupId(1), t, 1, CostModel::FREE);
+        assert_eq!(c.group(), GroupId(1));
+        assert_eq!(c.outstanding(), 0);
+        c.pending.insert(
+            0,
+            Pending {
+                target: GroupId(0),
+                done: false,
+                payload: Bytes::new(),
+                retries: 0,
+            },
+        );
+        assert_eq!(c.outstanding(), 1);
+        c.abandon(CallId(0));
+        assert_eq!(c.outstanding(), 0);
+        assert!(c.suggested_timeout() > SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,40 @@
+//! Byzantine fault injection modes for replicas, used by tests and the
+//! fault-isolation experiments.
+
+/// How a replica misbehaves (if at all).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FaultMode {
+    /// Follows the protocol.
+    #[default]
+    Correct,
+    /// Drops every input and sends nothing (crash-like, but the node is
+    /// still "up" from the network's point of view).
+    Silent,
+    /// Participates in agreement but produces corrupted reply shares, as a
+    /// compromised executor would.
+    CorruptReplies,
+    /// When serving as responder, sends a valid bundle to some calling
+    /// drivers and a corrupted one to others (tests fault isolation on the
+    /// calling side).
+    EquivocatingResponder,
+}
+
+impl FaultMode {
+    /// Whether the replica participates at all.
+    pub fn is_silent(self) -> bool {
+        matches!(self, FaultMode::Silent)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_correct() {
+        assert_eq!(FaultMode::default(), FaultMode::Correct);
+        assert!(!FaultMode::Correct.is_silent());
+        assert!(FaultMode::Silent.is_silent());
+        assert!(!FaultMode::CorruptReplies.is_silent());
+    }
+}

@@ -1,0 +1,224 @@
+//! Inter-node messages of the Perpetual protocol and their wire codec.
+
+use crate::event::{get_share, put_share, Event};
+use crate::group::GroupId;
+use bytes::Bytes;
+use pws_clbft::wire::{Decoder, Encoder, WireError};
+use pws_crypto::auth::BundleShare;
+use pws_crypto::sha256::Digest32;
+
+/// Canonical byte tag naming a call, MACed inside bundle shares.
+pub fn request_tag(caller: GroupId, req_no: u64) -> [u8; 12] {
+    let mut tag = [0u8; 12];
+    tag[..4].copy_from_slice(&caller.0.to_be_bytes());
+    tag[4..].copy_from_slice(&req_no.to_be_bytes());
+    tag
+}
+
+/// A message between Perpetual nodes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PMsg {
+    /// Intra-group CLBFT traffic (opaque `pws_clbft::wire` bytes).
+    Bft(Bytes),
+    /// Stage 1: a calling driver submits an outcall to the target voters.
+    /// The payload is the full canonical [`Event::External`].
+    OutRequest(Event),
+    /// Stage 5: a target voter forwards its reply share to the responder.
+    ReplyShare {
+        /// The calling group.
+        caller: GroupId,
+        /// The caller's call number.
+        req_no: u64,
+        /// The reply payload (the responder includes one copy in the bundle).
+        payload: Bytes,
+        /// This replica's MACs for every calling driver.
+        share: BundleShare,
+    },
+    /// Stage 6: the responder forwards the reply bundle to every calling
+    /// driver.
+    ReplyBundle {
+        /// The caller's call number.
+        req_no: u64,
+        /// The reply payload.
+        payload: Bytes,
+        /// Shares from distinct target replicas vouching for the payload.
+        shares: Vec<BundleShare>,
+    },
+}
+
+const TAG_BFT: u8 = 1;
+const TAG_OUT_REQUEST: u8 = 2;
+const TAG_REPLY_SHARE: u8 = 3;
+const TAG_REPLY_BUNDLE: u8 = 4;
+
+fn wire_err() -> WireError {
+    Event::decode(&[]).expect_err("empty input always fails")
+}
+
+/// Encodes a Perpetual message.
+pub fn encode_pmsg(msg: &PMsg) -> Bytes {
+    let mut e = Encoder::new();
+    match msg {
+        PMsg::Bft(inner) => {
+            e.put_u8(TAG_BFT);
+            e.put_bytes(inner);
+        }
+        PMsg::OutRequest(ev) => {
+            e.put_u8(TAG_OUT_REQUEST);
+            e.put_bytes(&ev.encode());
+        }
+        PMsg::ReplyShare {
+            caller,
+            req_no,
+            payload,
+            share,
+        } => {
+            e.put_u8(TAG_REPLY_SHARE);
+            e.put_u32(caller.0);
+            e.put_u64(*req_no);
+            e.put_bytes(payload);
+            put_share(&mut e, share);
+        }
+        PMsg::ReplyBundle {
+            req_no,
+            payload,
+            shares,
+        } => {
+            e.put_u8(TAG_REPLY_BUNDLE);
+            e.put_u64(*req_no);
+            e.put_bytes(payload);
+            e.put_u32(shares.len() as u32);
+            for s in shares {
+                put_share(&mut e, s);
+            }
+        }
+    }
+    e.finish()
+}
+
+/// Decodes a Perpetual message.
+///
+/// # Errors
+///
+/// Returns [`WireError`] on malformed input.
+pub fn decode_pmsg(buf: &[u8]) -> Result<PMsg, WireError> {
+    let mut d = Decoder::new(buf);
+    let tag = d.u8()?;
+    let msg = match tag {
+        TAG_BFT => PMsg::Bft(d.bytes()?),
+        TAG_OUT_REQUEST => {
+            let ev_bytes = d.bytes()?;
+            PMsg::OutRequest(Event::decode(&ev_bytes)?)
+        }
+        TAG_REPLY_SHARE => PMsg::ReplyShare {
+            caller: GroupId(d.u32()?),
+            req_no: d.u64()?,
+            payload: d.bytes()?,
+            share: get_share(&mut d)?,
+        },
+        TAG_REPLY_BUNDLE => {
+            let req_no = d.u64()?;
+            let payload = d.bytes()?;
+            let n = d.u32()? as usize;
+            if n > 4096 {
+                return Err(wire_err());
+            }
+            let mut shares = Vec::with_capacity(n);
+            for _ in 0..n {
+                shares.push(get_share(&mut d)?);
+            }
+            PMsg::ReplyBundle {
+                req_no,
+                payload,
+                shares,
+            }
+        }
+        _ => return Err(wire_err()),
+    };
+    d.finish()?;
+    Ok(msg)
+}
+
+/// Reply digest a share vouches for: SHA-256 of the payload.
+pub fn reply_digest(payload: &[u8]) -> Digest32 {
+    pws_crypto::sha256(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use pws_crypto::keys::{KeyTable, Principal};
+
+    fn sample_share(keys: &mut KeyTable, from_idx: u32) -> BundleShare {
+        let callers: Vec<Principal> = (0..4).map(|i| Principal::new(1, i)).collect();
+        BundleShare::build(
+            keys,
+            Principal::new(2, from_idx),
+            &request_tag(GroupId(1), 7),
+            reply_digest(b"the-reply"),
+            &callers,
+        )
+    }
+
+    #[test]
+    fn roundtrip_all_variants() {
+        let mut keys = KeyTable::new(1);
+        let msgs = vec![
+            PMsg::Bft(Bytes::from_static(b"opaque")),
+            PMsg::OutRequest(Event::External {
+                caller: GroupId(1),
+                caller_n: 4,
+                req_no: 7,
+                responder: 0,
+                timeout_ms: 0,
+                payload: Bytes::from_static(b"op"),
+            }),
+            PMsg::ReplyShare {
+                caller: GroupId(1),
+                req_no: 7,
+                payload: Bytes::from_static(b"the-reply"),
+                share: sample_share(&mut keys, 0),
+            },
+            PMsg::ReplyBundle {
+                req_no: 7,
+                payload: Bytes::from_static(b"the-reply"),
+                shares: vec![sample_share(&mut keys, 0), sample_share(&mut keys, 1)],
+            },
+        ];
+        for m in msgs {
+            let bytes = encode_pmsg(&m);
+            assert_eq!(decode_pmsg(&bytes).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn shares_survive_the_wire_and_still_verify() {
+        let mut keys = KeyTable::new(1);
+        let m = PMsg::ReplyShare {
+            caller: GroupId(1),
+            req_no: 7,
+            payload: Bytes::from_static(b"the-reply"),
+            share: sample_share(&mut keys, 2),
+        };
+        let decoded = decode_pmsg(&encode_pmsg(&m)).unwrap();
+        let PMsg::ReplyShare { share, .. } = decoded else {
+            panic!("wrong variant");
+        };
+        assert!(share.verify(&mut keys, &request_tag(GroupId(1), 7), Principal::new(1, 3)));
+        assert!(!share.verify(&mut keys, &request_tag(GroupId(1), 8), Principal::new(1, 3)));
+    }
+
+    #[test]
+    fn tag_is_unique_per_call() {
+        assert_ne!(request_tag(GroupId(1), 7), request_tag(GroupId(1), 8));
+        assert_ne!(request_tag(GroupId(1), 7), request_tag(GroupId(2), 7));
+    }
+
+    proptest! {
+        #[test]
+        fn arbitrary_bytes_never_panic(data in proptest::collection::vec(any::<u8>(), 0..200)) {
+            let _ = decode_pmsg(&data);
+        }
+    }
+}

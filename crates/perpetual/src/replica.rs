@@ -1,0 +1,933 @@
+//! The Perpetual replica: a co-located voter + driver pair on one node
+//! (paper §2.1.1, Fig. 1).
+//!
+//! Each replica hosts:
+//!
+//! * a **voter** — a CLBFT instance ordering this group's [`Event`] stream,
+//!   plus the candidate/validation bookkeeping that decides *which* events
+//!   may enter agreement (the `f_c + 1` matching-request rule, bundle
+//!   validation, local abort timers);
+//! * a **driver** — the deterministic [`Executor`] plus the outcall table,
+//!   reply routing, and responder duty.
+//!
+//! ## Local-validation gate
+//!
+//! A backup voter refuses to *prepare* an ordering proposal for an external
+//! request or an outcall result until it has locally validated the same
+//! event (received `f_c + 1` matching `OutRequest`s, or a reply bundle with
+//! `f_t + 1` valid shares). Proposals arriving before local validation are
+//! parked in a gate buffer and released when validation catches up. This is
+//! what stops a faulty primary from injecting forged cross-group events and
+//! is the mechanism behind the paper's fault-isolation guarantee.
+
+use crate::cost::CostModel;
+use crate::event::Event;
+use crate::executor::{AppCmd, AppEvent, AppOutput, CallId, Executor, RequestHandle};
+use crate::faults::FaultMode;
+use crate::group::{GroupId, Topology};
+use crate::messages::{decode_pmsg, encode_pmsg, reply_digest, request_tag, PMsg};
+use bytes::Bytes;
+use pws_clbft::{wire as bft_wire, Action, Config, Msg, Replica as BftReplica, ReplicaId, TimerCmd};
+use pws_crypto::auth::{verify_bundle, BundleShare};
+use pws_crypto::keys::KeyTable;
+use pws_crypto::sha256::Digest32;
+use pws_simnet::{Context, Node, NodeId, SimDuration, TimerId};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// Static configuration of one Perpetual replica.
+pub struct ReplicaConfig {
+    /// This replica's group.
+    pub group: GroupId,
+    /// This replica's index within the group.
+    pub index: u32,
+    /// The deployment topology.
+    pub topology: Arc<Topology>,
+    /// Deployment-wide master seed (keys, deterministic app seeds).
+    pub master_seed: u64,
+    /// CPU cost model.
+    pub cost: CostModel,
+    /// CLBFT view-change timeout.
+    pub view_timeout: SimDuration,
+    /// Interval after which an unanswered outcall is retransmitted with the
+    /// responder role rotated to the next target replica (masks a faulty
+    /// responder; part of Perpetual's fault handling).
+    pub retry_interval: SimDuration,
+    /// Milliseconds added to the simulated clock for time votes, so agreed
+    /// timestamps look like wall-clock epochs.
+    pub epoch_offset_ms: u64,
+    /// Fault injection mode.
+    pub fault: FaultMode,
+}
+
+impl ReplicaConfig {
+    /// A correct replica with default cost model and timeouts.
+    pub fn new(group: GroupId, index: u32, topology: Arc<Topology>, master_seed: u64) -> Self {
+        ReplicaConfig {
+            group,
+            index,
+            topology,
+            master_seed,
+            cost: CostModel::DEFAULT,
+            view_timeout: SimDuration::from_millis(400),
+            retry_interval: SimDuration::from_millis(700),
+            epoch_offset_ms: 1_190_000_000_000,
+            fault: FaultMode::Correct,
+        }
+    }
+}
+
+impl std::fmt::Debug for ReplicaConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReplicaConfig")
+            .field("group", &self.group)
+            .field("index", &self.index)
+            .field("fault", &self.fault)
+            .finish_non_exhaustive()
+    }
+}
+
+#[derive(Debug)]
+struct CallState {
+    target: GroupId,
+    done: bool,
+    /// Original request payload, kept for retransmission.
+    payload: Bytes,
+}
+
+#[derive(Debug)]
+struct ReplyRoute {
+    responder: u32,
+}
+
+#[derive(Debug, Default)]
+struct ResponderEntry {
+    /// payload + shares per digest (dedup by share origin).
+    by_digest: HashMap<Digest32, (Bytes, Vec<BundleShare>)>,
+    sent: bool,
+}
+
+/// The group-agreed seed delivered in [`AppEvent::Init`].
+pub fn group_seed(master_seed: u64, group: GroupId) -> u64 {
+    let mut z = master_seed ^ ((group.0 as u64) << 32 | 0x5eed);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A Perpetual replica node (voter + driver). Implements [`Node`].
+pub struct PerpetualReplica {
+    cfg: ReplicaConfig,
+    n: u32,
+    f: u32,
+    bft: BftReplica,
+    keys: KeyTable,
+    // ----- voter state -----
+    /// External-request candidates: (caller, req_no) → digest → driver idxs.
+    candidates: HashMap<(GroupId, u64), HashMap<Digest32, HashSet<u32>>>,
+    /// CLBFT request digests the gate lets through.
+    validated: HashSet<Digest32>,
+    /// (call, reply digest) pairs validated by the co-located driver.
+    validated_results: HashSet<(u64, Digest32)>,
+    /// Ordering proposals parked until local validation.
+    gated: Vec<(ReplicaId, Msg)>,
+    /// Calls whose local abort timer fired.
+    abort_fired: HashSet<u64>,
+    // ----- driver state -----
+    executor: Box<dyn Executor>,
+    next_call: u64,
+    next_token: u64,
+    calls: HashMap<u64, CallState>,
+    delivered_external: HashSet<(GroupId, u64)>,
+    reply_info: HashMap<(GroupId, u64), ReplyRoute>,
+    /// Replies already produced, kept for responder-rotation retransmits.
+    replies_sent: HashMap<(GroupId, u64), Bytes>,
+    /// Result proposals submitted into agreement, per call, so obsolete ones
+    /// can be withdrawn when the call resolves.
+    submitted_results: HashMap<u64, Vec<pws_clbft::RequestId>>,
+    resolved_tokens: HashSet<u64>,
+    // ----- responder duty -----
+    responder_state: HashMap<(GroupId, u64), ResponderEntry>,
+    // ----- timers -----
+    view_timer: Option<TimerId>,
+    call_timers: HashMap<TimerId, u64>,
+    timers_by_call: HashMap<u64, TimerId>,
+    retry_timers: HashMap<TimerId, u64>,
+    retry_by_call: HashMap<u64, TimerId>,
+    retries: HashMap<u64, u32>,
+}
+
+impl std::fmt::Debug for PerpetualReplica {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PerpetualReplica")
+            .field("group", &self.cfg.group)
+            .field("index", &self.cfg.index)
+            .field("pending_calls", &self.calls.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl PerpetualReplica {
+    /// Creates a replica hosting `executor`.
+    pub fn new(cfg: ReplicaConfig, executor: Box<dyn Executor>) -> Self {
+        let n = cfg.topology.n(cfg.group);
+        let f = cfg.topology.f(cfg.group);
+        assert!(cfg.index < n, "replica index out of range");
+        let bft = BftReplica::new(ReplicaId(cfg.index), Config::new(n));
+        let keys = KeyTable::new(cfg.master_seed);
+        PerpetualReplica {
+            n,
+            f,
+            bft,
+            keys,
+            candidates: HashMap::new(),
+            validated: HashSet::new(),
+            validated_results: HashSet::new(),
+            gated: Vec::new(),
+            abort_fired: HashSet::new(),
+            executor,
+            next_call: 0,
+            next_token: 0,
+            calls: HashMap::new(),
+            delivered_external: HashSet::new(),
+            reply_info: HashMap::new(),
+            replies_sent: HashMap::new(),
+            submitted_results: HashMap::new(),
+            resolved_tokens: HashSet::new(),
+            responder_state: HashMap::new(),
+            view_timer: None,
+            call_timers: HashMap::new(),
+            timers_by_call: HashMap::new(),
+            retry_timers: HashMap::new(),
+            retry_by_call: HashMap::new(),
+            retries: HashMap::new(),
+            cfg,
+        }
+    }
+
+    /// Typed access to the hosted executor (for harvesting results after a
+    /// run).
+    pub fn executor_mut<T: Executor>(&mut self) -> Option<&mut T> {
+        let any: &mut dyn std::any::Any = self.executor.as_mut();
+        any.downcast_mut::<T>()
+    }
+
+    /// This replica's group.
+    pub fn group(&self) -> GroupId {
+        self.cfg.group
+    }
+
+    /// This replica's index.
+    pub fn index(&self) -> u32 {
+        self.cfg.index
+    }
+
+    /// The CLBFT view the voter is currently in (for tests).
+    pub fn bft_view(&self) -> pws_clbft::View {
+        self.bft.view()
+    }
+
+    /// Diagnostic snapshot: (view, last_exec, bft outstanding, gated
+    /// proposals, validated digests, delivered externals). For tests.
+    pub fn debug_state(&self) -> (u64, u64, usize, usize, usize, usize) {
+        (
+            self.bft.view().0,
+            self.bft.last_executed().0,
+            self.bft.outstanding(),
+            self.gated.len(),
+            self.validated.len(),
+            self.delivered_external.len(),
+        )
+    }
+
+    fn my_node(&self) -> NodeId {
+        self.cfg.topology.node(self.cfg.group, self.cfg.index)
+    }
+
+    fn send_pmsg(&mut self, to: NodeId, msg: &PMsg, extra_macs: usize, ctx: &mut Context<'_>) {
+        if self.cfg.fault.is_silent() {
+            return;
+        }
+        let bytes = encode_pmsg(msg);
+        ctx.spend(self.cfg.cost.send_cost(bytes.len(), extra_macs));
+        ctx.metrics().incr("perpetual.messages_sent");
+        ctx.send(to, bytes);
+    }
+
+    fn send_bft(&mut self, to: ReplicaId, msg: &Msg, ctx: &mut Context<'_>) {
+        let inner = bft_wire::encode_msg(msg);
+        let node = self.cfg.topology.node(self.cfg.group, to.0);
+        self.send_pmsg(node, &PMsg::Bft(inner), 0, ctx);
+    }
+
+    fn broadcast_bft(&mut self, msg: &Msg, ctx: &mut Context<'_>) {
+        for i in 0..self.n {
+            if i != self.cfg.index {
+                self.send_bft(ReplicaId(i), msg, ctx);
+            }
+        }
+    }
+
+    fn process_actions(&mut self, actions: Vec<Action>, ctx: &mut Context<'_>) {
+        for a in actions {
+            match a {
+                Action::Send(to, msg) => self.send_bft(to, &msg, ctx),
+                Action::Broadcast(msg) => self.broadcast_bft(&msg, ctx),
+                Action::Execute { request, .. } => self.handle_ordered(request.payload, ctx),
+                Action::Stable(_) => ctx.metrics().incr("perpetual.checkpoints_stable"),
+                Action::EnteredView(_) => ctx.metrics().incr("perpetual.view_changes"),
+                Action::ViewTimer(TimerCmd::Restart) => {
+                    if let Some(t) = self.view_timer.take() {
+                        ctx.cancel_timer(t);
+                    }
+                    self.view_timer = Some(ctx.set_timer(self.cfg.view_timeout));
+                }
+                Action::ViewTimer(TimerCmd::Stop) => {
+                    if let Some(t) = self.view_timer.take() {
+                        ctx.cancel_timer(t);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Whether an ordering proposal may enter agreement at this replica.
+    fn gate_ok(&mut self, msg: &Msg) -> bool {
+        let Msg::PrePrepare(pp) = msg else {
+            return true;
+        };
+        if pp.request.is_null() {
+            return true;
+        }
+        match Event::decode(&pp.request.payload) {
+            Ok(Event::External { .. }) => self.validated.contains(&pp.request.digest()),
+            Ok(Event::Result {
+                call_no,
+                digest,
+                payload,
+                shares,
+            }) => self.result_gate_ok(call_no, digest, &payload, &shares),
+            Ok(Event::Abort { call_no }) => {
+                self.abort_fired.contains(&call_no)
+                    || self.calls.get(&call_no).is_some_and(|c| c.done)
+            }
+            Ok(Event::TimeVote { .. }) => true,
+            // Malformed events pass the gate; execution skips them
+            // identically at every correct replica.
+            Err(_) => true,
+        }
+    }
+
+    /// Validates a result proposal: either our own driver already validated
+    /// a bundle with this digest, or the embedded shares prove `f_t + 1`
+    /// target replicas vouch for the payload.
+    fn result_gate_ok(
+        &mut self,
+        call_no: u64,
+        digest: Digest32,
+        payload: &Bytes,
+        shares: &[BundleShare],
+    ) -> bool {
+        let Some(call) = self.calls.get(&call_no) else {
+            return false; // unknown call: wait (calls are deterministic)
+        };
+        if call.done || self.validated_results.contains(&(call_no, digest)) {
+            return true;
+        }
+        let target = call.target;
+        if digest != reply_digest(payload) || shares.iter().any(|s| s.from.group != target.0) {
+            return false;
+        }
+        let target_f = self.cfg.topology.f(target) as usize;
+        let me = self.cfg.topology.principal(self.cfg.group, self.cfg.index);
+        let tag = request_tag(self.cfg.group, call_no);
+        if verify_bundle(&mut self.keys, shares, &tag, &digest, me, target_f + 1) {
+            self.validated_results.insert((call_no, digest));
+            true
+        } else {
+            false
+        }
+    }
+
+    fn drain_gate(&mut self, ctx: &mut Context<'_>) {
+        let mut i = 0;
+        while i < self.gated.len() {
+            let releasable = {
+                let (_, msg) = self.gated[i].clone();
+                self.gate_ok(&msg)
+            };
+            if releasable {
+                let (from, msg) = self.gated.swap_remove(i);
+                let actions = self.bft.on_message(from, msg);
+                self.process_actions(actions, ctx);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    fn submit_event(&mut self, ev: &Event, ctx: &mut Context<'_>) {
+        let req = ev.to_request();
+        self.validated.insert(req.digest());
+        self.drain_gate(ctx);
+        let actions = self.bft.on_request(req);
+        self.process_actions(actions, ctx);
+    }
+
+    // ---------------------------------------------------------------- voter
+
+    fn handle_out_request(&mut self, from: NodeId, ev: Event, ctx: &mut Context<'_>) {
+        let Event::External {
+            caller,
+            caller_n,
+            req_no,
+            ..
+        } = &ev
+        else {
+            return;
+        };
+        let (caller, caller_n, req_no) = (*caller, *caller_n, *req_no);
+        if !self.cfg.topology.contains(caller) || self.cfg.topology.n(caller) != caller_n {
+            return;
+        }
+        // Identify which calling driver sent this.
+        let Some(driver_idx) = self
+            .cfg
+            .topology
+            .nodes(caller)
+            .iter()
+            .position(|&n| n == from)
+        else {
+            return;
+        };
+        let key = (caller, req_no);
+        let req = ev.to_request();
+        let digest = req.digest();
+        let voters = self
+            .candidates
+            .entry(key)
+            .or_default()
+            .entry(digest)
+            .or_default();
+        voters.insert(driver_idx as u32);
+        let threshold = self.cfg.topology.f(caller) as usize + 1;
+        if voters.len() < threshold {
+            return;
+        }
+        if self.delivered_external.contains(&key) {
+            // A retransmit of an already-executed request: the caller is
+            // still waiting for the reply (e.g. the original responder is
+            // faulty). Honour the rotated responder choice and re-send our
+            // share.
+            let Event::External { responder, .. } = ev else {
+                return;
+            };
+            let responder = responder.min(self.n - 1);
+            self.reply_info.insert(key, ReplyRoute { responder });
+            self.candidates.remove(&key);
+            if let Some(payload) = self.replies_sent.get(&key).cloned() {
+                ctx.metrics().incr("perpetual.shares_retransmitted");
+                self.send_share(caller, req_no, responder, payload, ctx);
+            }
+            return;
+        }
+        if !self.validated.contains(&digest) {
+            ctx.metrics().incr("perpetual.external_requests_validated");
+            self.submit_event(&ev, ctx);
+        }
+    }
+
+    /// Builds this replica's bundle share for a reply and routes it to the
+    /// responder (possibly ourselves).
+    fn send_share(
+        &mut self,
+        caller: GroupId,
+        req_no: u64,
+        responder: u32,
+        payload: Bytes,
+        ctx: &mut Context<'_>,
+    ) {
+        let digest = reply_digest(&payload);
+        let caller_principals = self.cfg.topology.principals(caller);
+        let me = self.cfg.topology.principal(self.cfg.group, self.cfg.index);
+        let tag = request_tag(caller, req_no);
+        ctx.spend(
+            self.cfg
+                .cost
+                .mac
+                .saturating_mul(caller_principals.len() as u64),
+        );
+        let share = BundleShare::build(&mut self.keys, me, &tag, digest, &caller_principals);
+        if responder == self.cfg.index {
+            self.handle_reply_share(caller, req_no, payload, share, ctx);
+        } else {
+            let node = self.cfg.topology.node(self.cfg.group, responder);
+            self.send_pmsg(
+                node,
+                &PMsg::ReplyShare {
+                    caller,
+                    req_no,
+                    payload,
+                    share,
+                },
+                caller_principals.len(),
+                ctx,
+            );
+        }
+    }
+
+    fn handle_bft_bytes(&mut self, from: NodeId, inner: &[u8], ctx: &mut Context<'_>) {
+        // Only accept intra-group traffic.
+        let Some(idx) = self
+            .cfg
+            .topology
+            .nodes(self.cfg.group)
+            .iter()
+            .position(|&n| n == from)
+        else {
+            return;
+        };
+        let Ok(msg) = bft_wire::decode_msg(inner) else {
+            return;
+        };
+        let from = ReplicaId(idx as u32);
+        if !self.gate_ok(&msg) {
+            ctx.metrics().incr("perpetual.proposals_gated");
+            self.gated.push((from, msg));
+            return;
+        }
+        let actions = self.bft.on_message(from, msg);
+        self.process_actions(actions, ctx);
+    }
+
+    // ------------------------------------------------------------ responder
+
+    fn handle_reply_share(
+        &mut self,
+        caller: GroupId,
+        req_no: u64,
+        payload: Bytes,
+        share: BundleShare,
+        ctx: &mut Context<'_>,
+    ) {
+        if share.reply_digest != reply_digest(&payload) {
+            return; // internally inconsistent share
+        }
+        if share.from.group != self.cfg.group.0 || share.from.replica >= self.n {
+            return;
+        }
+        let entry = self.responder_state.entry((caller, req_no)).or_default();
+        if entry.sent {
+            return;
+        }
+        let (stored_payload, shares) = entry
+            .by_digest
+            .entry(share.reply_digest)
+            .or_insert_with(|| (payload, Vec::new()));
+        if shares.iter().any(|s| s.from == share.from) {
+            return;
+        }
+        shares.push(share.clone());
+        // Wait for 2f+1 matching shares so at least f+1 come from correct
+        // replicas: then every correct calling driver can validate the
+        // bundle even if f shares carry bad MACs (see DESIGN.md).
+        let threshold = (2 * self.f + 1).min(self.n) as usize;
+        if shares.len() >= threshold {
+            let bundle_payload = stored_payload.clone();
+            let bundle_shares = shares.clone();
+            entry.sent = true;
+            self.send_bundle(caller, req_no, bundle_payload, bundle_shares, ctx);
+        }
+    }
+
+    fn send_bundle(
+        &mut self,
+        caller: GroupId,
+        req_no: u64,
+        payload: Bytes,
+        shares: Vec<BundleShare>,
+        ctx: &mut Context<'_>,
+    ) {
+        ctx.metrics().incr("perpetual.bundles_sent");
+        let caller_nodes: Vec<NodeId> = self.cfg.topology.nodes(caller).to_vec();
+        let equivocate = self.cfg.fault == FaultMode::EquivocatingResponder;
+        for (i, node) in caller_nodes.into_iter().enumerate() {
+            let msg = if equivocate && i % 2 == 1 {
+                // Corrupt the payload for half of the drivers; MACs no
+                // longer match, so these drivers must reject the bundle.
+                let mut bad = payload.to_vec();
+                if let Some(b) = bad.first_mut() {
+                    *b ^= 0xff;
+                } else {
+                    bad.push(0xff);
+                }
+                PMsg::ReplyBundle {
+                    req_no,
+                    payload: Bytes::from(bad),
+                    shares: shares.clone(),
+                }
+            } else {
+                PMsg::ReplyBundle {
+                    req_no,
+                    payload: payload.clone(),
+                    shares: shares.clone(),
+                }
+            };
+            self.send_pmsg(node, &msg, 0, ctx);
+        }
+    }
+
+    // --------------------------------------------------------------- driver
+
+    fn handle_reply_bundle(
+        &mut self,
+        req_no: u64,
+        payload: Bytes,
+        shares: Vec<BundleShare>,
+        ctx: &mut Context<'_>,
+    ) {
+        let Some(call) = self.calls.get(&req_no) else {
+            return;
+        };
+        if call.done {
+            return;
+        }
+        let target = call.target;
+        let target_f = self.cfg.topology.f(target) as usize;
+        let digest = reply_digest(&payload);
+        let me = self.cfg.topology.principal(self.cfg.group, self.cfg.index);
+        let tag = request_tag(self.cfg.group, req_no);
+        // Shares must come from the target group.
+        if shares.iter().any(|s| s.from.group != target.0) {
+            return;
+        }
+        ctx.spend(self.cfg.cost.mac.saturating_mul(shares.len() as u64));
+        if !verify_bundle(&mut self.keys, &shares, &tag, &digest, me, target_f + 1) {
+            ctx.metrics().incr("perpetual.bundles_rejected");
+            return;
+        }
+        ctx.metrics().incr("perpetual.bundles_validated");
+        self.validated_results.insert((req_no, digest));
+        let ev = Event::Result {
+            call_no: req_no,
+            digest,
+            payload,
+            shares,
+        };
+        self.submitted_results
+            .entry(req_no)
+            .or_default()
+            .push(ev.request_id());
+        self.submit_event(&ev, ctx);
+    }
+
+    fn handle_ordered(&mut self, payload: Bytes, ctx: &mut Context<'_>) {
+        ctx.spend(self.cfg.cost.event_overhead);
+        let Ok(ev) = Event::decode(&payload) else {
+            return;
+        };
+        match ev {
+            Event::External {
+                caller,
+                req_no,
+                responder,
+                payload,
+                ..
+            } => {
+                let key = (caller, req_no);
+                if !self.delivered_external.insert(key) {
+                    return;
+                }
+                self.candidates.remove(&key);
+                self.reply_info.insert(
+                    key,
+                    ReplyRoute {
+                        responder: responder.min(self.n - 1),
+                    },
+                );
+                ctx.metrics().incr("perpetual.requests_delivered");
+                self.deliver(
+                    AppEvent::Request {
+                        handle: RequestHandle { caller, req_no },
+                        payload,
+                    },
+                    ctx,
+                );
+            }
+            Event::Result {
+                call_no, payload, ..
+            } => {
+                if !self.mark_call_done(call_no, ctx) {
+                    return;
+                }
+                ctx.metrics().incr("perpetual.calls_completed");
+                let now_s = ctx.now().as_secs_f64();
+                ctx.metrics().sample("perpetual.completion_time_s", now_s);
+                self.deliver(
+                    AppEvent::Reply {
+                        call: CallId(call_no),
+                        payload,
+                    },
+                    ctx,
+                );
+            }
+            Event::Abort { call_no } => {
+                if !self.mark_call_done(call_no, ctx) {
+                    return;
+                }
+                ctx.metrics().incr("perpetual.calls_aborted");
+                self.deliver(AppEvent::Aborted { call: CallId(call_no) }, ctx);
+            }
+            Event::TimeVote { token, millis } => {
+                if !self.resolved_tokens.insert(token) {
+                    return;
+                }
+                self.deliver(AppEvent::Time { token, millis }, ctx);
+            }
+        }
+    }
+
+    fn cancel_call_timer(&mut self, call_no: u64, ctx: &mut Context<'_>) {
+        if let Some(t) = self.timers_by_call.remove(&call_no) {
+            self.call_timers.remove(&t);
+            ctx.cancel_timer(t);
+        }
+        if let Some(t) = self.retry_by_call.remove(&call_no) {
+            self.retry_timers.remove(&t);
+            ctx.cancel_timer(t);
+        }
+        self.retries.remove(&call_no);
+    }
+
+    /// Marks a call resolved (first resolution wins). Cancels its timers and
+    /// withdraws now-obsolete proposals from agreement. Returns whether this
+    /// was the first resolution.
+    fn mark_call_done(&mut self, call_no: u64, ctx: &mut Context<'_>) -> bool {
+        let Some(call) = self.calls.get_mut(&call_no) else {
+            return false;
+        };
+        if call.done {
+            return false;
+        }
+        call.done = true;
+        self.cancel_call_timer(call_no, ctx);
+        let mut obsolete = self.submitted_results.remove(&call_no).unwrap_or_default();
+        obsolete.push(Event::Abort { call_no }.request_id());
+        for id in obsolete {
+            let actions = self.bft.drop_request(id);
+            self.process_actions(actions, ctx);
+        }
+        // The gate may be holding proposals that are now releasable
+        // (aborts gate-open once the call is done).
+        self.drain_gate(ctx);
+        true
+    }
+
+    fn deliver(&mut self, ev: AppEvent, ctx: &mut Context<'_>) {
+        let mut out = AppOutput::new(self.next_call, self.next_token);
+        self.executor.on_event(ev, &mut out);
+        let (nc, nt) = out.counters();
+        self.next_call = nc;
+        self.next_token = nt;
+        let cmds = std::mem::take(&mut out.cmds);
+        for cmd in cmds {
+            self.run_cmd(cmd, ctx);
+        }
+    }
+
+    fn run_cmd(&mut self, cmd: AppCmd, ctx: &mut Context<'_>) {
+        match cmd {
+            AppCmd::Call {
+                call,
+                target,
+                payload,
+                timeout,
+            } => {
+                if !self.cfg.topology.contains(target) || target == self.cfg.group {
+                    // Unknown target or self-call: abort immediately and
+                    // deterministically (every replica does the same).
+                    self.calls.insert(
+                        call.0,
+                        CallState {
+                            target,
+                            done: true,
+                            payload,
+                        },
+                    );
+                    self.deliver(AppEvent::Aborted { call }, ctx);
+                    return;
+                }
+                self.calls.insert(
+                    call.0,
+                    CallState {
+                        target,
+                        done: false,
+                        payload: payload.clone(),
+                    },
+                );
+                let target_n = self.cfg.topology.n(target);
+                let ev = Event::External {
+                    caller: self.cfg.group,
+                    caller_n: self.n,
+                    req_no: call.0,
+                    responder: (call.0 % target_n as u64) as u32,
+                    timeout_ms: timeout.map_or(0, |d| d.as_millis()),
+                    payload,
+                };
+                ctx.metrics().incr("perpetual.calls_issued");
+                let msg = PMsg::OutRequest(ev);
+                for node in self.cfg.topology.nodes(target).to_vec() {
+                    self.send_pmsg(node, &msg, 0, ctx);
+                }
+                if let Some(d) = timeout {
+                    let t = ctx.set_timer(d);
+                    self.call_timers.insert(t, call.0);
+                    self.timers_by_call.insert(call.0, t);
+                }
+                let rt = ctx.set_timer(self.cfg.retry_interval);
+                self.retry_timers.insert(rt, call.0);
+                self.retry_by_call.insert(call.0, rt);
+            }
+            AppCmd::Reply { to, payload } => {
+                let key = (to.caller, to.req_no);
+                let Some(route) = self.reply_info.get(&key) else {
+                    return;
+                };
+                let responder = route.responder;
+                let mut payload = payload;
+                if self.cfg.fault == FaultMode::CorruptReplies {
+                    let mut bad = payload.to_vec();
+                    if let Some(b) = bad.first_mut() {
+                        *b ^= 0xff;
+                    } else {
+                        bad.push(0xff);
+                    }
+                    payload = Bytes::from(bad);
+                }
+                self.replies_sent.insert(key, payload.clone());
+                ctx.metrics().incr("perpetual.replies_produced");
+                self.send_share(to.caller, to.req_no, responder, payload, ctx);
+            }
+            AppCmd::QueryTime { token } => {
+                let millis = ctx.now().as_millis() + self.cfg.epoch_offset_ms;
+                let ev = Event::TimeVote { token, millis };
+                // Every replica proposes its own local reading; CLBFT's
+                // request-id dedup makes the primary's suggestion win (§4.2).
+                let actions = self.bft.on_request(ev.to_request());
+                self.process_actions(actions, ctx);
+            }
+            AppCmd::Spend(d) => ctx.spend(d),
+        }
+    }
+}
+
+impl Node for PerpetualReplica {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        if self.cfg.fault.is_silent() {
+            return;
+        }
+        debug_assert_eq!(ctx.id(), self.my_node(), "topology/node mismatch");
+        let seed = group_seed(self.cfg.master_seed, self.cfg.group);
+        self.deliver(AppEvent::Init { seed }, ctx);
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: Bytes, ctx: &mut Context<'_>) {
+        if self.cfg.fault.is_silent() {
+            return;
+        }
+        ctx.spend(self.cfg.cost.recv_cost(msg.len(), 0));
+        let Ok(pmsg) = decode_pmsg(&msg) else {
+            ctx.metrics().incr("perpetual.malformed_messages");
+            return;
+        };
+        match pmsg {
+            PMsg::Bft(inner) => self.handle_bft_bytes(from, &inner, ctx),
+            PMsg::OutRequest(ev) => self.handle_out_request(from, ev, ctx),
+            PMsg::ReplyShare {
+                caller,
+                req_no,
+                payload,
+                share,
+            } => {
+                // Shares must come from within this group.
+                if self
+                    .cfg
+                    .topology
+                    .nodes(self.cfg.group)
+                    .iter()
+                    .any(|&n| n == from)
+                {
+                    self.handle_reply_share(caller, req_no, payload, share, ctx);
+                }
+            }
+            PMsg::ReplyBundle {
+                req_no,
+                payload,
+                shares,
+            } => self.handle_reply_bundle(req_no, payload, shares, ctx),
+        }
+    }
+
+    fn on_timer(&mut self, timer: TimerId, ctx: &mut Context<'_>) {
+        if self.cfg.fault.is_silent() {
+            return;
+        }
+        if self.view_timer == Some(timer) {
+            self.view_timer = None;
+            ctx.metrics().incr("perpetual.view_timeouts");
+            let actions = self.bft.on_view_timer();
+            self.process_actions(actions, ctx);
+            return;
+        }
+        if let Some(call_no) = self.call_timers.remove(&timer) {
+            self.timers_by_call.remove(&call_no);
+            if self.calls.get(&call_no).is_some_and(|c| c.done) {
+                return;
+            }
+            ctx.metrics().incr("perpetual.call_timeouts");
+            self.abort_fired.insert(call_no);
+            self.drain_gate(ctx);
+            let ev = Event::Abort { call_no };
+            let actions = self.bft.on_request(ev.to_request());
+            self.process_actions(actions, ctx);
+            return;
+        }
+        if let Some(call_no) = self.retry_timers.remove(&timer) {
+            self.retry_by_call.remove(&call_no);
+            let Some(call) = self.calls.get(&call_no) else {
+                return;
+            };
+            if call.done {
+                return;
+            }
+            let target = call.target;
+            // Rotate the responder and retransmit the request to every
+            // target voter; already-executed requests only re-trigger the
+            // reply path on the target side.
+            let r = self.retries.entry(call_no).or_insert(0);
+            *r += 1;
+            let retries = *r as u64;
+            ctx.metrics().incr("perpetual.call_retries");
+            let target_n = self.cfg.topology.n(target);
+            let payload = match self.calls.get(&call_no) {
+                Some(c) => c.payload.clone(),
+                None => return,
+            };
+            let ev = Event::External {
+                caller: self.cfg.group,
+                caller_n: self.n,
+                req_no: call_no,
+                responder: ((call_no + retries) % target_n as u64) as u32,
+                timeout_ms: 0,
+                payload,
+            };
+            let msg = PMsg::OutRequest(ev);
+            for node in self.cfg.topology.nodes(target).to_vec() {
+                self.send_pmsg(node, &msg, 0, ctx);
+            }
+            let rt = ctx.set_timer(self.cfg.retry_interval);
+            self.retry_timers.insert(rt, call_no);
+            self.retry_by_call.insert(call_no, rt);
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Property tests: for *any* placement of up to `f` faulty replicas in the
+//! target group and any network jitter seed, a replicated caller completes
+//! all calls with correct payloads, and all caller replicas agree.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use pws_perpetual::{
+    AppEvent, AppOutput, CostModel, Executor, FaultMode, GroupId, PerpetualReplica, ReplicaConfig,
+    Topology,
+};
+use pws_simnet::{NodeId, SimTime, Simulation};
+use std::sync::Arc;
+
+struct Echo;
+impl Executor for Echo {
+    fn on_event(&mut self, ev: AppEvent, out: &mut AppOutput) {
+        if let AppEvent::Request { handle, payload } = ev {
+            let mut reply = b"ok:".to_vec();
+            reply.extend_from_slice(&payload);
+            out.reply(handle, Bytes::from(reply));
+        }
+    }
+}
+
+struct Caller {
+    target: GroupId,
+    count: u64,
+    replies: Vec<(u64, Bytes)>,
+}
+impl Executor for Caller {
+    fn on_event(&mut self, ev: AppEvent, out: &mut AppOutput) {
+        match ev {
+            AppEvent::Init { .. } => {
+                for i in 0..self.count {
+                    out.call(self.target, Bytes::from(format!("r{i}")), None);
+                }
+            }
+            AppEvent::Reply { call, payload } => self.replies.push((call.0, payload)),
+            _ => {}
+        }
+    }
+}
+
+fn run_with_fault(seed: u64, faulty_idx: u32, fault: FaultMode, calls: u64) {
+    let mut sim = Simulation::new(seed);
+    let mut topo = Topology::new();
+    topo.register(GroupId(0), (0..4).map(NodeId::from_raw).collect());
+    topo.register(GroupId(1), (4..8).map(NodeId::from_raw).collect());
+    let topo = Arc::new(topo);
+    for idx in 0..4 {
+        let mut cfg = ReplicaConfig::new(GroupId(0), idx, topo.clone(), seed);
+        cfg.cost = CostModel::FREE;
+        sim.add_node(Box::new(PerpetualReplica::new(
+            cfg,
+            Box::new(Caller {
+                target: GroupId(1),
+                count: calls,
+                replies: Vec::new(),
+            }),
+        )));
+    }
+    for idx in 0..4 {
+        let mut cfg = ReplicaConfig::new(GroupId(1), idx, topo.clone(), seed);
+        cfg.cost = CostModel::FREE;
+        if idx == faulty_idx {
+            cfg.fault = fault;
+        }
+        sim.add_node(Box::new(PerpetualReplica::new(cfg, Box::new(Echo))));
+    }
+    sim.run_until(SimTime::from_secs(60));
+
+    let mut reference: Option<Vec<(u64, Bytes)>> = None;
+    for raw in 0..4u32 {
+        let node = NodeId::from_raw(raw);
+        let replica = sim.node_mut::<PerpetualReplica>(node).unwrap();
+        let caller = replica.executor_mut::<Caller>().unwrap();
+        assert_eq!(
+            caller.replies.len(),
+            calls as usize,
+            "caller replica {raw} (fault {fault:?} at target {faulty_idx}) missing replies"
+        );
+        for (_, payload) in &caller.replies {
+            assert!(payload.starts_with(b"ok:"), "corrupted payload accepted");
+        }
+        match &reference {
+            None => reference = Some(caller.replies.clone()),
+            Some(r) => assert_eq!(&caller.replies, r, "caller replica {raw} diverged"),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    #[test]
+    fn any_single_fault_is_masked(
+        seed in 1u64..10_000,
+        faulty_idx in 0u32..4,
+        fault_kind in 0u8..3,
+        calls in 1u64..6,
+    ) {
+        let fault = match fault_kind {
+            0 => FaultMode::Silent,
+            1 => FaultMode::CorruptReplies,
+            _ => FaultMode::EquivocatingResponder,
+        };
+        run_with_fault(seed, faulty_idx, fault, calls);
+    }
+}
+
+#[test]
+fn all_fault_kinds_at_every_position() {
+    // Exhaustive over position × kind at a fixed seed (cheap and stable).
+    for idx in 0..4 {
+        for fault in [
+            FaultMode::Silent,
+            FaultMode::CorruptReplies,
+            FaultMode::EquivocatingResponder,
+        ] {
+            run_with_fault(77, idx, fault, 3);
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! The [`Context`] handed to node handlers.
+
+use crate::metrics::Metrics;
+use crate::node::NodeId;
+use crate::rng::DetRng;
+use crate::sim::SimState;
+use crate::time::{SimDuration, SimTime};
+use bytes::Bytes;
+use std::fmt;
+
+/// Identifies a timer set with [`Context::set_timer`], scoped to one node.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TimerId(pub(crate) u64);
+
+impl TimerId {
+    /// The raw timer number (unique within a simulation).
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for TimerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "timer#{}", self.0)
+    }
+}
+
+/// The capabilities a [`crate::Node`] handler has while it runs: sending
+/// messages, setting timers, spending simulated CPU time, deterministic
+/// randomness, and metrics.
+pub struct Context<'a> {
+    pub(crate) node: NodeId,
+    pub(crate) state: &'a mut SimState,
+    /// CPU time consumed so far within this handler invocation.
+    pub(crate) elapsed: SimDuration,
+}
+
+impl<'a> Context<'a> {
+    /// The current virtual time, including CPU time already spent in this
+    /// handler invocation.
+    pub fn now(&self) -> SimTime {
+        self.state.now + self.elapsed
+    }
+
+    /// The id of the node whose handler is running.
+    pub fn id(&self) -> NodeId {
+        self.node
+    }
+
+    /// Sends `msg` to `to`. Delivery time follows the network model; the
+    /// message may be lost if links are lossy, partitioned, or either end is
+    /// crashed.
+    pub fn send(&mut self, to: NodeId, msg: Bytes) {
+        let depart = self.state.now + self.elapsed;
+        self.state.send_message(self.node, to, msg, depart);
+    }
+
+    /// Consumes `d` of simulated CPU time. Subsequent deliveries to this
+    /// node are deferred until the node is free again, so heavy handlers
+    /// reduce the node's throughput exactly as a busy server would.
+    pub fn spend(&mut self, d: SimDuration) {
+        self.elapsed += d;
+    }
+
+    /// Sets a one-shot timer that fires after `delay` of virtual time.
+    pub fn set_timer(&mut self, delay: SimDuration) -> TimerId {
+        let at = self.state.now + self.elapsed + delay;
+        self.state.set_timer(self.node, at)
+    }
+
+    /// Cancels a timer if it has not fired yet. Cancelling an already-fired
+    /// or foreign timer is a no-op.
+    pub fn cancel_timer(&mut self, timer: TimerId) {
+        self.state.cancel_timer(timer);
+    }
+
+    /// This node's deterministic RNG stream.
+    pub fn rng(&mut self) -> &mut DetRng {
+        self.state.node_rng(self.node)
+    }
+
+    /// The shared metrics registry.
+    pub fn metrics(&mut self) -> &mut Metrics {
+        &mut self.state.metrics
+    }
+
+    /// Requests the simulation to stop after this handler returns.
+    pub fn stop(&mut self) {
+        self.state.stop = true;
+    }
+}
+
+impl fmt::Debug for Context<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Context")
+            .field("node", &self.node)
+            .field("now", &self.now())
+            .finish_non_exhaustive()
+    }
+}

@@ -1,0 +1,164 @@
+//! Lightweight metrics used by tests and the benchmark harnesses.
+
+use crate::time::SimDuration;
+use std::collections::BTreeMap;
+
+/// A registry of named counters and sample histograms.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    counters: BTreeMap<String, u64>,
+    samples: BTreeMap<String, Vec<f64>>,
+}
+
+impl Metrics {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Adds `v` to the counter `name`, creating it at zero if absent.
+    pub fn add(&mut self, name: &str, v: u64) {
+        *self.counters.entry(name.to_owned()).or_insert(0) += v;
+    }
+
+    /// Increments the counter `name` by one.
+    pub fn incr(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// The current value of counter `name` (0 if never written).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Records a raw sample under `name`.
+    pub fn sample(&mut self, name: &str, v: f64) {
+        self.samples.entry(name.to_owned()).or_default().push(v);
+    }
+
+    /// Records a duration sample (in milliseconds) under `name`.
+    pub fn sample_duration(&mut self, name: &str, d: SimDuration) {
+        self.sample(name, d.as_micros() as f64 / 1000.0);
+    }
+
+    /// Summary statistics of the samples recorded under `name`.
+    pub fn summary(&self, name: &str) -> Option<Summary> {
+        let xs = self.samples.get(name)?;
+        Summary::of(xs)
+    }
+
+    /// Number of samples recorded under `name`.
+    pub fn sample_count(&self, name: &str) -> usize {
+        self.samples.get(name).map_or(0, Vec::len)
+    }
+
+    /// Iterates over `(name, value)` for all counters, sorted by name.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Clears every counter and sample (used between benchmark phases so a
+    /// warm-up does not pollute measurements).
+    pub fn reset(&mut self) {
+        self.counters.clear();
+        self.samples.clear();
+    }
+}
+
+/// Summary statistics over a set of samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Median (50th percentile).
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+impl Summary {
+    /// Computes a summary; returns `None` for an empty slice.
+    pub fn of(xs: &[f64]) -> Option<Summary> {
+        if xs.is_empty() {
+            return None;
+        }
+        let mut sorted: Vec<f64> = xs.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+        let pct = |p: f64| -> f64 {
+            let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+            sorted[idx]
+        };
+        Some(Summary {
+            count: sorted.len(),
+            mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
+            min: sorted[0],
+            max: *sorted.last().expect("nonempty"),
+            p50: pct(0.50),
+            p95: pct(0.95),
+            p99: pct(0.99),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = Metrics::new();
+        assert_eq!(m.counter("x"), 0);
+        m.incr("x");
+        m.add("x", 4);
+        assert_eq!(m.counter("x"), 5);
+        let all: Vec<_> = m.counters().collect();
+        assert_eq!(all, vec![("x", 5)]);
+    }
+
+    #[test]
+    fn summary_percentiles() {
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = Summary::of(&xs).unwrap();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        assert!((s.mean - 50.5).abs() < 1e-9);
+        assert!((s.p50 - 50.0).abs() <= 1.0);
+        assert!((s.p95 - 95.0).abs() <= 1.0);
+        assert!((s.p99 - 99.0).abs() <= 1.0);
+    }
+
+    #[test]
+    fn summary_of_empty_is_none() {
+        assert!(Summary::of(&[]).is_none());
+        let m = Metrics::new();
+        assert!(m.summary("missing").is_none());
+    }
+
+    #[test]
+    fn duration_samples_in_millis() {
+        let mut m = Metrics::new();
+        m.sample_duration("lat", SimDuration::from_micros(2500));
+        let s = m.summary("lat").unwrap();
+        assert!((s.mean - 2.5).abs() < 1e-9);
+        assert_eq!(m.sample_count("lat"), 1);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut m = Metrics::new();
+        m.incr("a");
+        m.sample("b", 1.0);
+        m.reset();
+        assert_eq!(m.counter("a"), 0);
+        assert_eq!(m.sample_count("b"), 0);
+    }
+}

@@ -1,0 +1,75 @@
+//! The [`Node`] trait and node identifiers.
+
+use crate::context::{Context, TimerId};
+use bytes::Bytes;
+use std::fmt;
+
+/// Identifies a node (a simulated host) within one [`crate::Simulation`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// Creates a node id from its raw index.
+    ///
+    /// Normally ids are obtained from [`crate::Simulation::add_node`]; this
+    /// constructor exists for tables that must be built before the node, such
+    /// as replica-group topologies.
+    pub const fn from_raw(raw: u32) -> Self {
+        NodeId(raw)
+    }
+
+    /// The raw index of this node.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A simulated host.
+///
+/// Handlers run to completion at a single virtual instant (plus any CPU time
+/// added with [`Context::spend`]); there is no intra-node concurrency, which
+/// mirrors the single-threaded application model of the paper (§4.1).
+///
+/// The `Any` supertrait enables typed access to nodes after a run via
+/// [`crate::Simulation::node_mut`].
+pub trait Node: std::any::Any {
+    /// Called once when the simulation starts (or when the node is added to a
+    /// running simulation).
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        let _ = ctx;
+    }
+
+    /// Called when a message addressed to this node is delivered.
+    fn on_message(&mut self, from: NodeId, msg: Bytes, ctx: &mut Context<'_>);
+
+    /// Called when a timer set through [`Context::set_timer`] fires.
+    fn on_timer(&mut self, timer: TimerId, ctx: &mut Context<'_>) {
+        let _ = (timer, ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_debug_and_raw() {
+        let id = NodeId::from_raw(3);
+        assert_eq!(id.raw(), 3);
+        assert_eq!(format!("{id:?}"), "n3");
+        assert_eq!(id.to_string(), "n3");
+        assert!(NodeId::from_raw(1) < NodeId::from_raw(2));
+    }
+}

@@ -1,0 +1,119 @@
+//! The engine: OUT-PIPE and IN-PIPE around a transport boundary (§2.3).
+
+use crate::context::MessageContext;
+use crate::handler::{AddressingOutHandler, Flow, HandlerError, Pipe, ValidateToHandler};
+
+/// An Axis2-style engine: messages leave through the OUT-PIPE and arrive
+/// through the IN-PIPE. Perpetual-WS plugs its transport between the two
+/// (Fig. 4 of the paper).
+#[derive(Debug)]
+pub struct Engine {
+    out_pipe: Pipe,
+    in_pipe: Pipe,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new()
+    }
+}
+
+impl Engine {
+    /// An engine with the default handlers: destination validation and
+    /// message-id assignment on the way out, nothing on the way in.
+    pub fn new() -> Self {
+        Engine::with_id_prefix("engine")
+    }
+
+    /// An engine whose assigned message ids carry `prefix` — replicas of a
+    /// group must share the prefix so ids agree across replicas.
+    pub fn with_id_prefix(prefix: impl Into<String>) -> Self {
+        let mut out_pipe = Pipe::new();
+        out_pipe
+            .add(Box::new(ValidateToHandler))
+            .add(Box::new(AddressingOutHandler::new(prefix)));
+        Engine {
+            out_pipe,
+            in_pipe: Pipe::new(),
+        }
+    }
+
+    /// Adds a custom handler to the OUT-PIPE.
+    pub fn add_out_handler(&mut self, h: Box<dyn crate::handler::Handler>) {
+        self.out_pipe.add(h);
+    }
+
+    /// Adds a custom handler to the IN-PIPE.
+    pub fn add_in_handler(&mut self, h: Box<dyn crate::handler::Handler>) {
+        self.in_pipe.add(h);
+    }
+
+    /// Runs an outgoing message through the OUT-PIPE.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`HandlerError`].
+    pub fn run_out_pipe(&mut self, ctx: &mut MessageContext) -> Result<Flow, HandlerError> {
+        self.out_pipe.run(ctx)
+    }
+
+    /// Runs an incoming message through the IN-PIPE.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`HandlerError`].
+    pub fn run_in_pipe(&mut self, ctx: &mut MessageContext) -> Result<Flow, HandlerError> {
+        self.in_pipe.run(ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::handler::Handler;
+
+    #[test]
+    fn out_pipe_assigns_ids_and_validates() {
+        let mut e = Engine::with_id_prefix("g7");
+        let mut ctx = MessageContext::request("urn:svc", "op");
+        e.run_out_pipe(&mut ctx).unwrap();
+        assert!(ctx
+            .addressing()
+            .message_id
+            .as_deref()
+            .unwrap()
+            .starts_with("urn:uuid:g7-"));
+        let mut bad = MessageContext::request("", "op");
+        assert!(e.run_out_pipe(&mut bad).is_err());
+    }
+
+    #[test]
+    fn custom_in_handler_runs() {
+        struct Mark;
+        impl Handler for Mark {
+            fn name(&self) -> &str {
+                "mark"
+            }
+            fn invoke(&mut self, ctx: &mut MessageContext) -> Result<Flow, HandlerError> {
+                ctx.body_mut().text = "seen".into();
+                Ok(Flow::Continue)
+            }
+        }
+        let mut e = Engine::new();
+        e.add_in_handler(Box::new(Mark));
+        let mut ctx = MessageContext::request("urn:svc", "op");
+        e.run_in_pipe(&mut ctx).unwrap();
+        assert_eq!(ctx.body().text, "seen");
+    }
+
+    #[test]
+    fn replicas_with_same_prefix_assign_same_ids() {
+        let mut e1 = Engine::with_id_prefix("group3");
+        let mut e2 = Engine::with_id_prefix("group3");
+        let mut c1 = MessageContext::request("urn:x", "op");
+        let mut c2 = MessageContext::request("urn:x", "op");
+        e1.run_out_pipe(&mut c1).unwrap();
+        e2.run_out_pipe(&mut c2).unwrap();
+        assert_eq!(c1.addressing().message_id, c2.addressing().message_id);
+    }
+}

@@ -1,0 +1,230 @@
+//! Axis2-style handler chains (paper §2.3).
+//!
+//! Messages pass through an OUT-PIPE of [`Handler`]s before reaching the
+//! transport, and an IN-PIPE after arriving. Pipes are customizable —
+//! Perpetual-WS inserts its `MessageHandler` exactly this way (§5.2).
+
+use crate::context::MessageContext;
+use std::fmt;
+
+/// Outcome of one handler invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Flow {
+    /// Continue to the next handler.
+    Continue,
+    /// Stop the pipe; the message is consumed (e.g. cached response).
+    Abort,
+}
+
+/// Error raised by a handler; aborts the pipe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HandlerError {
+    /// Which handler failed.
+    pub handler: String,
+    /// Why.
+    pub message: String,
+}
+
+impl fmt::Display for HandlerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "handler '{}' failed: {}", self.handler, self.message)
+    }
+}
+
+impl std::error::Error for HandlerError {}
+
+/// A message-processing stage.
+pub trait Handler {
+    /// The handler's name (for errors and introspection).
+    fn name(&self) -> &str;
+
+    /// Processes the message.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HandlerError`] to abort the pipe with an error.
+    fn invoke(&mut self, ctx: &mut MessageContext) -> Result<Flow, HandlerError>;
+}
+
+/// An ordered chain of handlers.
+#[derive(Default)]
+pub struct Pipe {
+    handlers: Vec<Box<dyn Handler>>,
+}
+
+impl fmt::Debug for Pipe {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names: Vec<&str> = self.handlers.iter().map(|h| h.name()).collect();
+        write!(f, "Pipe({names:?})")
+    }
+}
+
+impl Pipe {
+    /// An empty pipe.
+    pub fn new() -> Self {
+        Pipe::default()
+    }
+
+    /// Appends a handler (the customization point of §2.3).
+    pub fn add(&mut self, handler: Box<dyn Handler>) -> &mut Self {
+        self.handlers.push(handler);
+        self
+    }
+
+    /// Number of handlers.
+    pub fn len(&self) -> usize {
+        self.handlers.len()
+    }
+
+    /// Whether the pipe has no handlers.
+    pub fn is_empty(&self) -> bool {
+        self.handlers.is_empty()
+    }
+
+    /// Runs the message through every handler in order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`HandlerError`].
+    pub fn run(&mut self, ctx: &mut MessageContext) -> Result<Flow, HandlerError> {
+        for h in &mut self.handlers {
+            match h.invoke(ctx)? {
+                Flow::Continue => {}
+                Flow::Abort => return Ok(Flow::Abort),
+            }
+        }
+        Ok(Flow::Continue)
+    }
+}
+
+/// A built-in handler that assigns a `wsa:MessageID` if absent, as the
+/// Perpetual-WS MessageHandler does in stage (1) of §5.1.
+#[derive(Debug)]
+pub struct AddressingOutHandler {
+    prefix: String,
+    counter: u64,
+}
+
+impl AddressingOutHandler {
+    /// Creates the handler; ids look like `urn:uuid:<prefix>-<n>`.
+    ///
+    /// The prefix must be deterministic per service group (not per host!)
+    /// so replicas assign identical ids.
+    pub fn new(prefix: impl Into<String>) -> Self {
+        AddressingOutHandler {
+            prefix: prefix.into(),
+            counter: 0,
+        }
+    }
+}
+
+impl Handler for AddressingOutHandler {
+    fn name(&self) -> &str {
+        "addressing-out"
+    }
+
+    fn invoke(&mut self, ctx: &mut MessageContext) -> Result<Flow, HandlerError> {
+        if ctx.addressing().message_id.is_none() {
+            self.counter += 1;
+            ctx.addressing_mut().message_id =
+                Some(format!("urn:uuid:{}-{}", self.prefix, self.counter));
+        }
+        Ok(Flow::Continue)
+    }
+}
+
+/// A built-in handler that rejects messages without a destination.
+#[derive(Debug, Default)]
+pub struct ValidateToHandler;
+
+impl Handler for ValidateToHandler {
+    fn name(&self) -> &str {
+        "validate-to"
+    }
+
+    fn invoke(&mut self, ctx: &mut MessageContext) -> Result<Flow, HandlerError> {
+        if ctx.addressing().to.as_deref().unwrap_or("").is_empty() {
+            return Err(HandlerError {
+                handler: self.name().to_owned(),
+                message: "message has no wsa:To destination".to_owned(),
+            });
+        }
+        Ok(Flow::Continue)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Tagger(&'static str);
+    impl Handler for Tagger {
+        fn name(&self) -> &str {
+            self.0
+        }
+        fn invoke(&mut self, ctx: &mut MessageContext) -> Result<Flow, HandlerError> {
+            let t = ctx.body().text.clone();
+            ctx.body_mut().text = format!("{t}{}", self.0);
+            Ok(Flow::Continue)
+        }
+    }
+
+    struct Stopper;
+    impl Handler for Stopper {
+        fn name(&self) -> &str {
+            "stopper"
+        }
+        fn invoke(&mut self, _: &mut MessageContext) -> Result<Flow, HandlerError> {
+            Ok(Flow::Abort)
+        }
+    }
+
+    #[test]
+    fn handlers_run_in_order() {
+        let mut pipe = Pipe::new();
+        pipe.add(Box::new(Tagger("a"))).add(Box::new(Tagger("b")));
+        assert_eq!(pipe.len(), 2);
+        assert!(!pipe.is_empty());
+        let mut ctx = MessageContext::request("urn:x", "op");
+        assert_eq!(pipe.run(&mut ctx).unwrap(), Flow::Continue);
+        assert_eq!(ctx.body().text, "ab");
+        assert!(format!("{pipe:?}").contains("a"));
+    }
+
+    #[test]
+    fn abort_stops_the_pipe() {
+        let mut pipe = Pipe::new();
+        pipe.add(Box::new(Tagger("a")))
+            .add(Box::new(Stopper))
+            .add(Box::new(Tagger("b")));
+        let mut ctx = MessageContext::request("urn:x", "op");
+        assert_eq!(pipe.run(&mut ctx).unwrap(), Flow::Abort);
+        assert_eq!(ctx.body().text, "a");
+    }
+
+    #[test]
+    fn addressing_out_assigns_sequential_ids() {
+        let mut h = AddressingOutHandler::new("g1");
+        let mut c1 = MessageContext::request("urn:x", "op");
+        let mut c2 = MessageContext::request("urn:x", "op");
+        h.invoke(&mut c1).unwrap();
+        h.invoke(&mut c2).unwrap();
+        assert_eq!(c1.addressing().message_id.as_deref(), Some("urn:uuid:g1-1"));
+        assert_eq!(c2.addressing().message_id.as_deref(), Some("urn:uuid:g1-2"));
+        // Existing ids are preserved.
+        let mut c3 = MessageContext::request("urn:x", "op");
+        c3.addressing_mut().message_id = Some("keep".into());
+        h.invoke(&mut c3).unwrap();
+        assert_eq!(c3.addressing().message_id.as_deref(), Some("keep"));
+    }
+
+    #[test]
+    fn validate_to_rejects_missing_destination() {
+        let mut h = ValidateToHandler;
+        let mut ok = MessageContext::request("urn:x", "op");
+        assert!(h.invoke(&mut ok).is_ok());
+        let mut bad = MessageContext::request("", "op");
+        let err = h.invoke(&mut bad).unwrap_err();
+        assert!(err.to_string().contains("wsa:To"));
+    }
+}

@@ -1,0 +1,51 @@
+//! # pws-soap
+//!
+//! A minimal SOAP 1.2 / WS-Addressing substrate: the stand-in for Apache
+//! Axis2 in the Perpetual-WS reproduction (paper §2.2–2.3, §5).
+//!
+//! Provides:
+//!
+//! * [`xml`] — a small, dependency-free XML writer and pull parser
+//!   (elements, attributes, text, escaping) sufficient for SOAP envelopes
+//!   and `replicas.xml` deployment descriptors.
+//! * [`envelope`] — SOAP envelopes with headers, bodies, and faults.
+//! * [`addressing`] — WS-Addressing headers: `wsa:To`, `wsa:ReplyTo`,
+//!   `wsa:MessageID`, `wsa:RelatesTo`, `wsa:Action` (§5.1).
+//! * [`context`] — [`MessageContext`], the unit that flows through the
+//!   engine, with per-message [`Options`] (including the abort timeout of
+//!   §4.2).
+//! * [`handler`] — Axis2-style handler chains: an OUT-PIPE and IN-PIPE of
+//!   pluggable [`Handler`]s around a transport boundary (§2.3).
+//! * [`engine`] — the engine that runs contexts through the pipes and
+//!   hands them to a transport sender / message receiver.
+//!
+//! # Example
+//!
+//! ```
+//! use pws_soap::{MessageContext, Envelope, engine::Engine};
+//!
+//! let mut engine = Engine::new();
+//! let mut ctx = MessageContext::request("urn:svc:payment", "authorize");
+//! ctx.body_mut().text = "42".to_owned();
+//! engine.run_out_pipe(&mut ctx).expect("out pipe");
+//! assert!(ctx.addressing().message_id.is_some(), "engine assigned an id");
+//! let bytes = ctx.to_bytes().expect("serialize");
+//! let back = MessageContext::from_bytes(&bytes).expect("parse");
+//! assert_eq!(back.addressing().to.as_deref(), Some("urn:svc:payment"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod addressing;
+pub mod context;
+pub mod engine;
+pub mod envelope;
+pub mod handler;
+pub mod xml;
+
+pub use addressing::Addressing;
+pub use context::{MessageContext, Options};
+pub use envelope::{Envelope, Fault};
+pub use handler::{Flow, Handler, HandlerError, Pipe};
+pub use xml::{XmlError, XmlNode};

@@ -1,0 +1,149 @@
+//! Assembles the full TPC-W deployment of Fig. 5 and measures WIPS.
+
+use crate::bank::Bank;
+use crate::bookstore::Bookstore;
+use crate::pge::Pge;
+use crate::rbe::Rbe;
+use perpetual_ws::SystemBuilder;
+use pws_simnet::SimDuration;
+
+/// Parameters of one TPC-W run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TpcwConfig {
+    /// PGE replica count (paper: 1, 4, 7, 10).
+    pub n_pge: u32,
+    /// Bank replica count (paper keeps `n_bank = n_pge`).
+    pub n_bank: u32,
+    /// Number of remote browser emulators.
+    pub rbes: u32,
+    /// Measurement window (after warm-up).
+    pub duration: SimDuration,
+    /// Warm-up time excluded from WIPS.
+    pub warmup: SimDuration,
+    /// Use the synchronous PGE/Bank variants (§6.4 comparison).
+    pub sync_pge: bool,
+    /// Mean think time (TPC-W uses 7 s).
+    pub think_mean: SimDuration,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for TpcwConfig {
+    fn default() -> Self {
+        TpcwConfig {
+            n_pge: 4,
+            n_bank: 4,
+            rbes: 28,
+            duration: SimDuration::from_secs(120),
+            warmup: SimDuration::from_secs(20),
+            sync_pge: false,
+            think_mean: SimDuration::from_secs(7),
+            seed: 2007,
+        }
+    }
+}
+
+/// Results of one TPC-W run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TpcwResult {
+    /// Web interactions per second over the measurement window.
+    pub wips: f64,
+    /// Total interactions measured.
+    pub interactions: u64,
+    /// Interactions that triggered PGE calls.
+    pub pge_interactions: u64,
+    /// Fraction of traffic hitting the PGE.
+    pub pge_share: f64,
+}
+
+/// Runs the TPC-W benchmark once.
+pub fn run_tpcw(cfg: TpcwConfig) -> TpcwResult {
+    let mut b = SystemBuilder::new(cfg.seed);
+    // Bookstore: unreplicated active service (Tomcat-like front tier).
+    b.service("bookstore", 1, move |_| {
+        Box::new(Bookstore::new(1000, "pge"))
+    });
+    let sync_pge = cfg.sync_pge;
+    b.service("pge", cfg.n_pge, move |_| {
+        if sync_pge {
+            Box::new(Pge::synchronous("bank"))
+        } else {
+            Box::new(Pge::new("bank"))
+        }
+    });
+    b.passive_service("bank", cfg.n_bank, |_| Box::new(Bank::new()));
+    for i in 0..cfg.rbes {
+        let think = cfg.think_mean;
+        b.custom_client(&format!("rbe{i}"), move |core, uris| {
+            let bookstore = uris.group("urn:svc:bookstore").expect("bookstore");
+            Box::new(Rbe::new(core, bookstore, i as u64, think))
+        });
+    }
+    let mut sys = b.build();
+    sys.run_for(cfg.warmup);
+    sys.sim_mut().metrics_mut().reset();
+    sys.run_for(cfg.duration);
+    let interactions = sys.metrics().counter("tpcw.web_interactions");
+    let pge_interactions = sys.metrics().counter("tpcw.pge_interactions");
+    TpcwResult {
+        wips: interactions as f64 / cfg.duration.as_secs_f64(),
+        interactions,
+        pge_interactions,
+        pge_share: if interactions == 0 {
+            0.0
+        } else {
+            pge_interactions as f64 / interactions as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(n: u32, sync_pge: bool, rbes: u32) -> TpcwConfig {
+        TpcwConfig {
+            n_pge: n,
+            n_bank: n,
+            rbes,
+            duration: SimDuration::from_secs(60),
+            warmup: SimDuration::from_secs(10),
+            sync_pge,
+            think_mean: SimDuration::from_secs(7),
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn smoke_run_produces_interactions() {
+        let r = run_tpcw(small(1, false, 7));
+        assert!(r.interactions > 20, "got {}", r.interactions);
+        assert!(r.wips > 0.3, "wips={}", r.wips);
+    }
+
+    #[test]
+    fn replicated_pge_still_serves() {
+        let r = run_tpcw(small(4, false, 7));
+        assert!(r.interactions > 20, "got {}", r.interactions);
+    }
+
+    #[test]
+    fn pge_share_is_in_band_over_long_runs() {
+        let mut cfg = small(1, false, 14);
+        cfg.duration = SimDuration::from_secs(400);
+        let r = run_tpcw(cfg);
+        assert!(
+            (0.02..=0.13).contains(&r.pge_share),
+            "pge share {} out of band ({} of {})",
+            r.pge_share,
+            r.pge_interactions,
+            r.interactions
+        );
+    }
+
+    #[test]
+    fn sync_variant_also_completes() {
+        let r = run_tpcw(small(4, true, 7));
+        assert!(r.interactions > 20, "got {}", r.interactions);
+    }
+}

@@ -1,0 +1,151 @@
+//! Remote Browser Emulators (RBEs): closed-loop clients that walk the
+//! TPC-W page graph with exponential think times (§6.1).
+
+use crate::model::{next_interaction, Interaction};
+use bytes::Bytes;
+use perpetual_ws::GroupId;
+use pws_perpetual::{CallId, ClientCore, ClientEvent};
+use pws_simnet::{Context, Node, NodeId, SimDuration, SimTime, TimerId};
+use pws_soap::engine::Engine;
+use pws_soap::MessageContext;
+
+/// One emulated browser session.
+pub struct Rbe {
+    core: ClientCore,
+    bookstore: GroupId,
+    bookstore_uri: String,
+    engine: Engine,
+    session: u64,
+    page: Interaction,
+    think_mean: SimDuration,
+    /// Interactions completed (including warm-up).
+    pub completed: u64,
+    /// Completion timestamps, for windowed WIPS computation.
+    pub completions: Vec<SimTime>,
+    outstanding: Option<(CallId, SimTime)>,
+    think_timer: Option<TimerId>,
+    sweep_timer: Option<TimerId>,
+}
+
+impl std::fmt::Debug for Rbe {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Rbe")
+            .field("session", &self.session)
+            .field("completed", &self.completed)
+            .finish_non_exhaustive()
+    }
+}
+
+const SWEEP: SimDuration = SimDuration::from_millis(1_500);
+
+impl Rbe {
+    /// Creates an RBE with the given session id and think-time mean.
+    pub fn new(
+        core: ClientCore,
+        bookstore: GroupId,
+        session: u64,
+        think_mean: SimDuration,
+    ) -> Self {
+        Rbe {
+            core,
+            bookstore,
+            bookstore_uri: "urn:svc:bookstore".to_owned(),
+            engine: Engine::with_id_prefix(format!("rbe{session}")),
+            session,
+            page: Interaction::Home,
+            think_mean,
+            completed: 0,
+            completions: Vec::new(),
+            outstanding: None,
+            think_timer: None,
+            sweep_timer: None,
+        }
+    }
+
+    fn schedule_think(&mut self, ctx: &mut Context<'_>) {
+        let think = ctx.rng().exponential(self.think_mean.as_micros() as f64);
+        self.think_timer = Some(ctx.set_timer(SimDuration::from_micros(think as u64)));
+    }
+
+    fn fire_next_page(&mut self, ctx: &mut Context<'_>) {
+        self.page = next_interaction(self.page, ctx.rng());
+        let mut mc = MessageContext::request(&self.bookstore_uri, self.page.op_name());
+        mc.body_mut().name = self.page.op_name().to_owned();
+        mc.body_mut().text = self.session.to_string();
+        mc.addressing_mut().reply_to = Some(format!("urn:rbe:{}", self.session));
+        if self.engine.run_out_pipe(&mut mc).is_err() {
+            return;
+        }
+        let Ok(bytes) = mc.to_bytes() else { return };
+        let call = self.core.call(ctx, self.bookstore, Bytes::from(bytes));
+        self.outstanding = Some((call, ctx.now()));
+        if self.sweep_timer.is_none() {
+            self.sweep_timer = Some(ctx.set_timer(SWEEP));
+        }
+    }
+}
+
+impl Node for Rbe {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        self.schedule_think(ctx);
+    }
+
+    fn on_message(&mut self, _from: NodeId, msg: Bytes, ctx: &mut Context<'_>) {
+        if let Some(ClientEvent::Reply { call, .. }) = self.core.on_message(&msg, ctx) {
+            if self.outstanding.map(|(c, _)| c) == Some(call) {
+                self.outstanding = None;
+                self.completed += 1;
+                self.completions.push(ctx.now());
+                ctx.metrics().incr("tpcw.web_interactions");
+                ctx.metrics().incr(&format!("tpcw.page.{}", self.page.op_name()));
+                if self.page.hits_pge() {
+                    ctx.metrics().incr("tpcw.pge_interactions");
+                }
+                self.schedule_think(ctx);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, timer: TimerId, ctx: &mut Context<'_>) {
+        if Some(timer) == self.think_timer {
+            self.think_timer = None;
+            if self.outstanding.is_none() {
+                self.fire_next_page(ctx);
+            }
+            return;
+        }
+        if Some(timer) == self.sweep_timer {
+            self.sweep_timer = None;
+            if let Some((call, sent)) = self.outstanding {
+                if ctx.now() - sent >= SWEEP {
+                    self.core.retry(ctx, call);
+                }
+                self.sweep_timer = Some(ctx.set_timer(SWEEP));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pws_perpetual::Topology;
+    use std::sync::Arc;
+
+    #[test]
+    fn construction_defaults() {
+        let mut topo = Topology::new();
+        topo.register(GroupId(0), vec![NodeId::from_raw(0)]);
+        topo.register(GroupId(1), vec![NodeId::from_raw(1)]);
+        let core = ClientCore::new(
+            GroupId(1),
+            Arc::new(topo),
+            1,
+            pws_perpetual::CostModel::FREE,
+        );
+        let rbe = Rbe::new(core, GroupId(0), 7, SimDuration::from_secs(7));
+        assert_eq!(rbe.session, 7);
+        assert_eq!(rbe.page, Interaction::Home);
+        assert_eq!(rbe.completed, 0);
+    }
+}

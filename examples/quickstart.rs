@@ -1,0 +1,53 @@
+//! Quickstart: replicate a tiny Web Service across four replicas and call
+//! it through Perpetual-WS.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use perpetual_ws::{PassiveService, PassiveUtils, SystemBuilder};
+use pws_simnet::SimTime;
+use pws_soap::{MessageContext, XmlNode};
+
+/// The paper's `increment` null-op service: returns the old counter value.
+struct Counter(u64);
+
+impl PassiveService for Counter {
+    fn handle(&mut self, req: MessageContext, _u: &mut PassiveUtils) -> MessageContext {
+        let old = self.0;
+        self.0 += 1;
+        req.reply_with("", XmlNode::new("incrementResult").with_text(old.to_string()))
+    }
+}
+
+fn main() {
+    // A deployment: one service ("counter") replicated 4 ways (tolerates
+    // f = 1 Byzantine replica), plus one unreplicated client firing ten
+    // requests.
+    let mut b = SystemBuilder::new(42);
+    b.passive_service("counter", 4, |_| Box::new(Counter(0)));
+    b.scripted_client_windowed("client", "counter", 10, 1);
+    let mut sys = b.build();
+
+    sys.run_until(SimTime::from_secs(30));
+
+    let replies = sys.client_replies("client");
+    println!("completed {} calls:", replies.len());
+    for (i, r) in replies.iter().enumerate() {
+        println!(
+            "  call {i}: {} = {:?} (relates to {:?})",
+            r.body().name,
+            r.body().text,
+            r.addressing().relates_to.as_deref().unwrap_or("-")
+        );
+    }
+    let lat = sys.client_latencies("client");
+    let mean_us: u64 = lat.iter().map(|d| d.as_micros()).sum::<u64>() / lat.len() as u64;
+    println!("mean latency: {:.3} ms over a BFT group of 4", mean_us as f64 / 1000.0);
+    assert_eq!(replies.len(), 10);
+    // The counter is a replicated state machine: replies are 0..9 in order.
+    for (i, r) in replies.iter().enumerate() {
+        assert_eq!(r.body().text, i.to_string());
+    }
+    println!("all replies correct and in order — the replica group agrees.");
+}

@@ -1,0 +1,23 @@
+//! Workspace umbrella crate for the Perpetual-WS reproduction.
+//!
+//! This crate only hosts the runnable examples (`examples/`) and the
+//! cross-crate integration tests (`tests/`); the library surface lives in
+//! the member crates, re-exported here for convenience:
+//!
+//! * [`perpetual_ws`] — the middleware (start here).
+//! * [`pws_perpetual`] — the Perpetual replica-group protocol.
+//! * [`pws_clbft`] — Castro–Liskov BFT.
+//! * [`pws_soap`] — SOAP / WS-Addressing substrate.
+//! * [`pws_crypto`] — MACs, authenticators, signatures.
+//! * [`pws_simnet`] — the deterministic simulator.
+//! * [`pws_tpcw`] — the TPC-W macro-benchmark workload.
+
+#![forbid(unsafe_code)]
+
+pub use perpetual_ws;
+pub use pws_clbft;
+pub use pws_crypto;
+pub use pws_perpetual;
+pub use pws_simnet;
+pub use pws_soap;
+pub use pws_tpcw;

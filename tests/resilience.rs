@@ -1,0 +1,171 @@
+//! Resilience integration tests: network partitions, primary failures,
+//! skewed clocks, and client-side give-up behavior across the full stack.
+
+use perpetual_ws::{
+    ActiveService, FaultMode, MessageHandler, PassiveService, PassiveUtils, ServiceApi,
+    SystemBuilder, Utils,
+};
+use pws_simnet::{SimDuration, SimTime};
+use pws_soap::{MessageContext, XmlNode};
+
+struct Echo;
+impl PassiveService for Echo {
+    fn handle(&mut self, req: MessageContext, _u: &mut PassiveUtils) -> MessageContext {
+        req.reply_with("", XmlNode::new("ok").with_text(req.body().text.clone()))
+    }
+}
+
+#[test]
+fn crashed_target_primary_is_replaced_by_view_change() {
+    // Crash the target group's initial primary (replica 0) at the network
+    // level before any traffic: the group must view-change and still serve.
+    let mut b = SystemBuilder::new(61);
+    b.passive_service("svc", 4, |_| Box::new(Echo));
+    b.scripted_client("user", "svc", 4);
+    let mut sys = b.build();
+    let primary_node = {
+        // service groups are registered before clients: replica 0 of the
+        // first service is simnet node 0.
+        pws_simnet::NodeId::from_raw(0)
+    };
+    sys.sim_mut().net_mut().crash(primary_node);
+    sys.run_until(SimTime::from_secs(120));
+    assert_eq!(sys.client_replies("user").len(), 4);
+    assert!(
+        sys.metrics().counter("perpetual.view_changes") > 0,
+        "a view change must have replaced the crashed primary"
+    );
+}
+
+#[test]
+fn healed_partition_lets_straggler_catch_up_on_new_requests() {
+    // Partition one backup replica away, serve traffic, heal, serve more:
+    // the group never loses liveness (quorums of 3 suffice), and after the
+    // heal the system still works end to end.
+    let mut b = SystemBuilder::new(67);
+    b.passive_service("svc", 4, |_| Box::new(Echo));
+    b.scripted_client_windowed("user", "svc", 8, 1);
+    let mut sys = b.build();
+    let backup = pws_simnet::NodeId::from_raw(3);
+    // Sever the backup from its peers (both directions, all peers).
+    for peer in 0..3u32 {
+        sys.sim_mut()
+            .net_mut()
+            .partition_both(backup, pws_simnet::NodeId::from_raw(peer));
+    }
+    sys.run_for(SimDuration::from_secs(20));
+    let before = sys.client_replies("user").len();
+    assert!(before >= 1, "group of 3 correct replicas must keep serving");
+    sys.sim_mut().net_mut().heal_all();
+    sys.run_until(SimTime::from_secs(240));
+    assert_eq!(sys.client_replies("user").len(), 8);
+}
+
+#[test]
+fn agreed_time_is_monotone_consistent_even_with_byzantine_backup() {
+    // One target replica lies in replies; time votes still come from the
+    // (correct) primary and all replicas answer with the same values.
+    struct Clock;
+    impl ActiveService for Clock {
+        fn run(self: Box<Self>, api: &mut ServiceApi) {
+            let mut last = 0u64;
+            loop {
+                let Some(req) = api.receive_request() else { return };
+                let t = api.current_time_millis();
+                assert!(t >= last, "agreed clock must not go backwards");
+                last = t;
+                let reply = req.reply_with("", XmlNode::new("t").with_text(t.to_string()));
+                api.send_reply(reply, &req);
+            }
+        }
+    }
+    let mut b = SystemBuilder::new(71);
+    b.service("clock", 4, |_| Box::new(Clock));
+    b.fault("clock", 2, FaultMode::CorruptReplies);
+    b.scripted_client_windowed("user", "clock", 5, 1);
+    let mut sys = b.build();
+    sys.run_until(SimTime::from_secs(120));
+    let replies = sys.client_replies("user");
+    assert_eq!(replies.len(), 5);
+    let mut prev = 0u64;
+    for r in &replies {
+        let t: u64 = r.body().text.parse().expect("numeric time");
+        assert!(t >= prev);
+        prev = t;
+    }
+}
+
+#[test]
+fn client_give_up_timeout_keeps_closed_loop_running() {
+    // Target fully compromised; a windowed client with a give-up timeout
+    // must keep cycling (abandoning calls) instead of wedging.
+    let mut b = SystemBuilder::new(73);
+    b.passive_service("dead", 4, |_| Box::new(Echo));
+    for i in 0..4 {
+        b.fault("dead", i, FaultMode::Silent);
+    }
+    b.scripted_client_windowed("user", "dead", 5, 1);
+    b.client_timeout(SimDuration::from_secs(2));
+    let mut sys = b.build();
+    sys.run_until(SimTime::from_secs(60));
+    assert_eq!(sys.client_replies("user").len(), 0);
+    assert!(
+        sys.metrics().counter("client.abandoned") >= 4,
+        "client must abandon and move on: {}",
+        sys.metrics().counter("client.abandoned")
+    );
+}
+
+#[test]
+fn seeded_randomness_is_identical_across_replicas_and_runs() {
+    struct RandomService;
+    impl ActiveService for RandomService {
+        fn run(self: Box<Self>, api: &mut ServiceApi) {
+            loop {
+                let Some(req) = api.receive_request() else { return };
+                let r = api.random_u64();
+                let reply = req.reply_with("", XmlNode::new("r").with_text(r.to_string()));
+                api.send_reply(reply, &req);
+            }
+        }
+    }
+    let run = |seed: u64| -> Vec<String> {
+        let mut b = SystemBuilder::new(seed);
+        b.service("rng", 4, |_| Box::new(RandomService));
+        b.scripted_client_windowed("user", "rng", 3, 1);
+        let mut sys = b.build();
+        sys.run_until(SimTime::from_secs(60));
+        sys.client_replies("user")
+            .iter()
+            .map(|r| r.body().text.clone())
+            .collect()
+    };
+    let a = run(5);
+    // Replies exist at all means 2f+1 replicas agreed on each random value.
+    assert_eq!(a.len(), 3);
+    assert_eq!(a, run(5), "same seed, same agreed random stream");
+    assert_ne!(a, run(6), "different seed, different stream");
+}
+
+#[test]
+fn message_ids_correlate_replies_under_pipelining() {
+    // Window 5 with an echo: every reply must carry a RelatesTo matching a
+    // request that was actually sent, with no duplicates.
+    let mut b = SystemBuilder::new(79);
+    b.passive_service("svc", 4, |_| Box::new(Echo));
+    b.scripted_client_windowed("user", "svc", 10, 5);
+    let mut sys = b.build();
+    sys.run_until(SimTime::from_secs(60));
+    let replies = sys.client_replies("user");
+    assert_eq!(replies.len(), 10);
+    let mut seen = std::collections::HashSet::new();
+    for r in &replies {
+        let rid = r
+            .addressing()
+            .relates_to
+            .clone()
+            .expect("reply has RelatesTo");
+        assert!(rid.starts_with("urn:uuid:user-"), "rid={rid}");
+        assert!(seen.insert(rid), "duplicate correlation id");
+    }
+}
