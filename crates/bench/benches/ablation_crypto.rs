@@ -17,8 +17,8 @@ fn cost_with_signatures() -> CostModel {
     // entries are replaced by one signature (cheap marginal cost but huge
     // fixed cost).
     let mut c = CostModel::DEFAULT;
-    c.send_crypto = c.send_crypto + SimDuration::from_micros(SIGN_COST_US);
-    c.recv_crypto = c.recv_crypto + SimDuration::from_micros(VERIFY_COST_US);
+    c.send_crypto += SimDuration::from_micros(SIGN_COST_US);
+    c.recv_crypto += SimDuration::from_micros(VERIFY_COST_US);
     c.mac = SimDuration::from_micros(0);
     c
 }
@@ -45,7 +45,11 @@ fn run(n: u32, cost: CostModel, total: u64) -> f64 {
 }
 
 fn main() {
-    let sizes: &[u32] = if quick_mode() { &[1, 4] } else { &[1, 4, 7, 10] };
+    let sizes: &[u32] = if quick_mode() {
+        &[1, 4]
+    } else {
+        &[1, 4, 7, 10]
+    };
     let total = if quick_mode() { 80 } else { 250 };
     println!(
         "Ablation: MAC authenticators (Perpetual-WS/Thema) vs digital signatures (SWS-like)\n\

@@ -12,7 +12,11 @@ use pws_bench::{emit_table, quick_mode, run_two_tier};
 use pws_simnet::SimDuration;
 
 fn main() {
-    let sizes: &[u32] = if quick_mode() { &[1, 4] } else { &[1, 4, 7, 10] };
+    let sizes: &[u32] = if quick_mode() {
+        &[1, 4]
+    } else {
+        &[1, 4, 7, 10]
+    };
     let total: u64 = if quick_mode() { 120 } else { 400 };
 
     let mut rows = Vec::new();

@@ -12,7 +12,11 @@ use pws_bench::{emit_table, quick_mode, run_two_tier};
 use pws_simnet::SimDuration;
 
 fn main() {
-    let sizes: &[u32] = if quick_mode() { &[1, 4] } else { &[1, 4, 7, 10] };
+    let sizes: &[u32] = if quick_mode() {
+        &[1, 4]
+    } else {
+        &[1, 4, 7, 10]
+    };
     let proc_ms: &[u64] = if quick_mode() {
         &[0, 6]
     } else {
@@ -69,6 +73,9 @@ fn main() {
             overhead(0, 4),
             o6
         );
-        assert!(o6 < overhead(0, 4) * 0.7, "6ms should cut n=4 overhead substantially");
+        assert!(
+            o6 < overhead(0, 4) * 0.7,
+            "6ms should cut n=4 overhead substantially"
+        );
     }
 }

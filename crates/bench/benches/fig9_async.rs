@@ -11,7 +11,11 @@ use pws_simnet::SimDuration;
 
 fn main() {
     let sizes: &[u32] = if quick_mode() { &[4] } else { &[4, 7, 10] };
-    let windows: &[u64] = if quick_mode() { &[1, 10] } else { &[1, 5, 10, 20, 25] };
+    let windows: &[u64] = if quick_mode() {
+        &[1, 10]
+    } else {
+        &[1, 5, 10, 20, 25]
+    };
     let total: u64 = if quick_mode() { 150 } else { 500 };
 
     println!("Figure 9: parallel asynchronous requests ({total} calls per cell)");

@@ -85,7 +85,10 @@ fn clbft_round(replicas: &mut [Replica], counter: u64) -> usize {
     );
     let mut inbox: VecDeque<(usize, ReplicaId, Msg)> = VecDeque::new();
     let mut executed = 0usize;
-    let route = |at: usize, actions: Vec<Action>, inbox: &mut VecDeque<(usize, ReplicaId, Msg)>, executed: &mut usize| {
+    let route = |at: usize,
+                 actions: Vec<Action>,
+                 inbox: &mut VecDeque<(usize, ReplicaId, Msg)>,
+                 executed: &mut usize| {
         for a in actions {
             match a {
                 Action::Broadcast(m) => {
@@ -117,8 +120,9 @@ fn bench_clbft(c: &mut Criterion) {
         b.iter_batched(
             || {
                 let cfg = Config::new(4);
-                let rs: Vec<Replica> =
-                    (0..4).map(|i| Replica::new(ReplicaId(i), cfg.clone())).collect();
+                let rs: Vec<Replica> = (0..4)
+                    .map(|i| Replica::new(ReplicaId(i), cfg.clone()))
+                    .collect();
                 rs
             },
             |mut rs| {

@@ -31,7 +31,7 @@ use std::path::PathBuf;
 
 /// Whether `PWS_BENCH_QUICK=1` trims sweeps for smoke runs.
 pub fn quick_mode() -> bool {
-    std::env::var("PWS_BENCH_QUICK").map_or(false, |v| v == "1")
+    std::env::var("PWS_BENCH_QUICK").is_ok_and(|v| v == "1")
 }
 
 /// The `increment` null-op service of §6.2, with configurable per-request
@@ -68,7 +68,10 @@ impl PassiveService for Increment {
         }
         let old = self.counter;
         self.counter += 1;
-        req.reply_with("", XmlNode::new("incrementResult").with_text(old.to_string()))
+        req.reply_with(
+            "",
+            XmlNode::new("incrementResult").with_text(old.to_string()),
+        )
     }
 }
 
@@ -193,7 +196,11 @@ pub fn emit_table(name: &str, header: &[&str], rows: &[Vec<String>]) {
     let line = |cells: &[String]| {
         let mut s = String::new();
         for (i, c) in cells.iter().enumerate() {
-            s.push_str(&format!("{:>w$}  ", c, w = widths.get(i).copied().unwrap_or(8)));
+            s.push_str(&format!(
+                "{:>w$}  ",
+                c,
+                w = widths.get(i).copied().unwrap_or(8)
+            ));
         }
         s
     };
@@ -209,10 +216,25 @@ pub fn emit_table(name: &str, header: &[&str], rows: &[Vec<String>]) {
     }
 }
 
+/// The cargo target dir this executable was built into. Bench executables
+/// run with cwd = the package dir (not the workspace root), so a relative
+/// path would scatter CSVs under crates/bench/; instead walk up from the
+/// binary itself (<target>/<profile>/deps/...) to the directory cargo marks
+/// with CACHEDIR.TAG, which honors CARGO_TARGET_DIR exactly. Falls back to
+/// the build-time workspace target for unusual layouts.
+fn target_root() -> PathBuf {
+    std::env::current_exe()
+        .ok()
+        .and_then(|exe| {
+            exe.ancestors()
+                .find(|a| a.join("CACHEDIR.TAG").is_file())
+                .map(std::path::Path::to_path_buf)
+        })
+        .unwrap_or_else(|| PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../target")))
+}
+
 fn write_csv(name: &str, header: &[&str], rows: &[Vec<String>]) -> std::io::Result<()> {
-    let mut path = PathBuf::from(
-        std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_owned()),
-    );
+    let mut path = target_root();
     path.push("figures");
     std::fs::create_dir_all(&path)?;
     path.push(format!("{name}.csv"));

@@ -22,7 +22,10 @@ impl Config {
     /// be in `{1, 4, 7, 10, ...}`, matching the replica group sizes the
     /// paper evaluates.
     pub fn new(n: u32) -> Self {
-        assert!(n >= 1 && (n - 1) % 3 == 0, "n must be 3f+1, got {n}");
+        assert!(
+            n >= 1 && (n - 1).is_multiple_of(3),
+            "n must be 3f+1, got {n}"
+        );
         Config {
             n,
             checkpoint_interval: 64,

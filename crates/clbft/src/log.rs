@@ -99,9 +99,15 @@ mod tests {
         assert!(slot.prepared(&cfg).is_none());
         slot.pre_prepare = Some((View(0), d, r));
         assert!(slot.prepared(&cfg).is_none());
-        slot.prepares.entry((View(0), d)).or_default().insert(ReplicaId(1));
+        slot.prepares
+            .entry((View(0), d))
+            .or_default()
+            .insert(ReplicaId(1));
         assert!(slot.prepared(&cfg).is_none());
-        slot.prepares.entry((View(0), d)).or_default().insert(ReplicaId(2));
+        slot.prepares
+            .entry((View(0), d))
+            .or_default()
+            .insert(ReplicaId(2));
         assert_eq!(slot.prepared(&cfg), Some((View(0), d)));
     }
 
@@ -113,7 +119,10 @@ mod tests {
         let d = r.digest();
         slot.pre_prepare = Some((View(0), d, r));
         assert_eq!(slot.prepared(&cfg), Some((View(0), d)));
-        slot.commits.entry((View(0), d)).or_default().insert(ReplicaId(0));
+        slot.commits
+            .entry((View(0), d))
+            .or_default()
+            .insert(ReplicaId(0));
         assert!(slot.committed(&cfg));
     }
 
@@ -125,13 +134,22 @@ mod tests {
         let d = r.digest();
         slot.pre_prepare = Some((View(0), d, r));
         for i in 1..=2 {
-            slot.prepares.entry((View(0), d)).or_default().insert(ReplicaId(i));
+            slot.prepares
+                .entry((View(0), d))
+                .or_default()
+                .insert(ReplicaId(i));
         }
         for i in 0..=1 {
-            slot.commits.entry((View(0), d)).or_default().insert(ReplicaId(i));
+            slot.commits
+                .entry((View(0), d))
+                .or_default()
+                .insert(ReplicaId(i));
         }
         assert!(!slot.committed(&cfg));
-        slot.commits.entry((View(0), d)).or_default().insert(ReplicaId(2));
+        slot.commits
+            .entry((View(0), d))
+            .or_default()
+            .insert(ReplicaId(2));
         assert!(slot.committed(&cfg));
     }
 
@@ -143,8 +161,14 @@ mod tests {
         let d = r.digest();
         let other = req(2).digest();
         slot.pre_prepare = Some((View(0), d, r));
-        slot.prepares.entry((View(0), other)).or_default().insert(ReplicaId(1));
-        slot.prepares.entry((View(0), other)).or_default().insert(ReplicaId(2));
+        slot.prepares
+            .entry((View(0), other))
+            .or_default()
+            .insert(ReplicaId(1));
+        slot.prepares
+            .entry((View(0), other))
+            .or_default()
+            .insert(ReplicaId(2));
         assert!(slot.prepared(&cfg).is_none());
     }
 

@@ -94,7 +94,11 @@ impl Replica {
     ///
     /// Panics if `id` is out of range for the group.
     pub fn new(id: ReplicaId, cfg: Config) -> Self {
-        assert!(id.0 < cfg.n, "replica id {id:?} out of range for n={}", cfg.n);
+        assert!(
+            id.0 < cfg.n,
+            "replica id {id:?} out of range for n={}",
+            cfg.n
+        );
         Replica {
             id,
             cfg,
@@ -379,14 +383,11 @@ impl Replica {
                 self.requests.insert(request.id, ReqState::Executed);
                 if !already {
                     self.outstanding = self.outstanding.saturating_sub(1);
-                    out.push(Action::Execute {
-                        seq: next,
-                        request,
-                    });
+                    out.push(Action::Execute { seq: next, request });
                 }
             }
 
-            if next.0 % self.cfg.checkpoint_interval == 0 {
+            if next.0.is_multiple_of(self.cfg.checkpoint_interval) {
                 self.take_checkpoint(next, out);
             }
         }
@@ -534,11 +535,14 @@ impl Replica {
         // join the smallest such view even if our timer has not fired.
         let join = self
             .view_changes
-            .range((std::ops::Bound::Excluded(self.view), std::ops::Bound::Unbounded))
+            .range((
+                std::ops::Bound::Excluded(self.view),
+                std::ops::Bound::Unbounded,
+            ))
             .filter(|(v, votes)| {
                 **v > self.view
                     && (!self.in_view_change || **v > self.vc_target)
-                    && votes.len() >= self.cfg.f() as usize + 1
+                    && votes.len() > self.cfg.f() as usize
             })
             .map(|(v, _)| *v)
             .next();
@@ -767,7 +771,9 @@ mod tests {
 
     fn group(n: u32) -> Vec<Replica> {
         let cfg = Config::new(n);
-        (0..n).map(|i| Replica::new(ReplicaId(i), cfg.clone())).collect()
+        (0..n)
+            .map(|i| Replica::new(ReplicaId(i), cfg.clone()))
+            .collect()
     }
 
     #[test]
@@ -957,15 +963,20 @@ mod tests {
             request: r2,
         };
         let a1 = rs[1].on_message(ReplicaId(0), Msg::PrePrepare(pp1.clone()));
-        assert!(a1.iter().any(|a| matches!(a, Action::Broadcast(Msg::Prepare(_)))));
+        assert!(a1
+            .iter()
+            .any(|a| matches!(a, Action::Broadcast(Msg::Prepare(_)))));
         let a2 = rs[1].on_message(ReplicaId(0), Msg::PrePrepare(pp2));
         assert!(
-            !a2.iter().any(|a| matches!(a, Action::Broadcast(Msg::Prepare(_)))),
+            !a2.iter()
+                .any(|a| matches!(a, Action::Broadcast(Msg::Prepare(_)))),
             "second conflicting pre-prepare must not be prepared"
         );
         // Duplicate of the first is also ignored.
         let a3 = rs[1].on_message(ReplicaId(0), Msg::PrePrepare(pp1));
-        assert!(!a3.iter().any(|a| matches!(a, Action::Broadcast(Msg::Prepare(_)))));
+        assert!(!a3
+            .iter()
+            .any(|a| matches!(a, Action::Broadcast(Msg::Prepare(_)))));
     }
 
     #[test]
@@ -1071,7 +1082,8 @@ mod tests {
         };
         let a = rs[3].on_message(ReplicaId(1), Msg::PrePrepare(pp));
         assert!(
-            !a.iter().any(|x| matches!(x, Action::Broadcast(Msg::Prepare(_)))),
+            !a.iter()
+                .any(|x| matches!(x, Action::Broadcast(Msg::Prepare(_)))),
             "must not prepare while the view change is pending"
         );
         // ... then the NewView. Build it legitimately via the new primary.
@@ -1120,10 +1132,13 @@ mod tests {
             replica: ReplicaId(i),
         };
         let a1 = rs[3].on_message(ReplicaId(0), Msg::ViewChange(vc(0)));
-        assert!(!a1.iter().any(|a| matches!(a, Action::Broadcast(Msg::ViewChange(_)))));
+        assert!(!a1
+            .iter()
+            .any(|a| matches!(a, Action::Broadcast(Msg::ViewChange(_)))));
         let a2 = rs[3].on_message(ReplicaId(1), Msg::ViewChange(vc(1)));
         assert!(
-            a2.iter().any(|a| matches!(a, Action::Broadcast(Msg::ViewChange(_)))),
+            a2.iter()
+                .any(|a| matches!(a, Action::Broadcast(Msg::ViewChange(_)))),
             "f+1 = 2 votes should trigger a join"
         );
         assert!(rs[3].in_view_change());

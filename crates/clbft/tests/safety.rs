@@ -23,7 +23,9 @@ impl Harness {
     fn new(n: u32, silenced: Vec<usize>) -> Self {
         let cfg = Config::new(n);
         Harness {
-            replicas: (0..n).map(|i| Replica::new(ReplicaId(i), cfg.clone())).collect(),
+            replicas: (0..n)
+                .map(|i| Replica::new(ReplicaId(i), cfg.clone()))
+                .collect(),
             pending: Vec::new(),
             executed: vec![Vec::new(); n as usize],
             silenced,
@@ -170,7 +172,10 @@ fn execution_chains_match_across_replicas() {
     let mut h = Harness::new(4, vec![]);
     let mut rng = StdRng::seed_from_u64(42);
     for c in 0..70u64 {
-        h.submit((c % 4) as usize, Request::new(RequestId::new(3, c), Bytes::from(vec![c as u8])));
+        h.submit(
+            (c % 4) as usize,
+            Request::new(RequestId::new(3, c), Bytes::from(vec![c as u8])),
+        );
     }
     h.run_randomized(&mut rng);
     check_agreement(&h);

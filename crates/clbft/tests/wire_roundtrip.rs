@@ -1,0 +1,160 @@
+//! Property suite for the CLBFT wire codec: `decode(encode(m)) == m` for
+//! every message variant, and malformed frames (truncated, trailing junk,
+//! corrupted) are rejected or re-decoded differently — never a panic.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use pws_clbft::wire::{decode_msg, encode_msg};
+use pws_clbft::{
+    CheckpointMsg, CommitMsg, Msg, NewViewMsg, PrePrepareMsg, PrepareMsg, PreparedClaim, ReplicaId,
+    Request, RequestId, Seq, View,
+};
+use pws_crypto::Digest32;
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+fn arb_digest(rng: &mut StdRng) -> Digest32 {
+    let mut d = [0u8; 32];
+    rng.fill_bytes(&mut d);
+    Digest32(d)
+}
+
+fn arb_request(rng: &mut StdRng) -> Request {
+    if rng.gen_bool(0.15) {
+        Request::null(Seq(rng.gen_range(0u64..1 << 32)))
+    } else {
+        let len = rng.gen_range(0usize..96);
+        let mut payload = vec![0u8; len];
+        rng.fill_bytes(&mut payload);
+        Request::new(
+            RequestId::new(rng.next_u64(), rng.next_u64()),
+            Bytes::from(payload),
+        )
+    }
+}
+
+fn arb_pre_prepare(rng: &mut StdRng) -> PrePrepareMsg {
+    PrePrepareMsg {
+        view: View(rng.next_u64()),
+        seq: Seq(rng.next_u64()),
+        digest: arb_digest(rng),
+        request: arb_request(rng),
+    }
+}
+
+/// Builds one message of each variant family, chosen and filled from `seed`.
+fn arb_msg(seed: u64) -> Msg {
+    let mut rng = StdRng::seed_from_u64(seed);
+    match rng.gen_range(0u8..7) {
+        0 => Msg::Forward(arb_request(&mut rng)),
+        1 => Msg::PrePrepare(arb_pre_prepare(&mut rng)),
+        2 => Msg::Prepare(PrepareMsg {
+            view: View(rng.next_u64()),
+            seq: Seq(rng.next_u64()),
+            digest: arb_digest(&mut rng),
+            replica: ReplicaId(rng.next_u32()),
+        }),
+        3 => Msg::Commit(CommitMsg {
+            view: View(rng.next_u64()),
+            seq: Seq(rng.next_u64()),
+            digest: arb_digest(&mut rng),
+            replica: ReplicaId(rng.next_u32()),
+        }),
+        4 => Msg::Checkpoint(CheckpointMsg {
+            seq: Seq(rng.next_u64()),
+            state_digest: arb_digest(&mut rng),
+            replica: ReplicaId(rng.next_u32()),
+        }),
+        5 => {
+            let prepared = (0..rng.gen_range(0usize..4))
+                .map(|_| PreparedClaim {
+                    view: View(rng.next_u64()),
+                    seq: Seq(rng.next_u64()),
+                    digest: arb_digest(&mut rng),
+                    request: arb_request(&mut rng),
+                })
+                .collect();
+            Msg::ViewChange(pws_clbft::ViewChangeMsg {
+                new_view: View(rng.next_u64()),
+                stable_seq: Seq(rng.next_u64()),
+                stable_digest: arb_digest(&mut rng),
+                prepared,
+                replica: ReplicaId(rng.next_u32()),
+            })
+        }
+        _ => {
+            let voters = (0..rng.gen_range(0usize..7))
+                .map(|_| ReplicaId(rng.next_u32()))
+                .collect();
+            let pre_prepares = (0..rng.gen_range(0usize..4))
+                .map(|_| arb_pre_prepare(&mut rng))
+                .collect();
+            Msg::NewView(NewViewMsg {
+                view: View(rng.next_u64()),
+                voters,
+                pre_prepares,
+                replica: ReplicaId(rng.next_u32()),
+            })
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn encode_decode_is_identity(seed in any::<u64>()) {
+        let msg = arb_msg(seed);
+        let encoded = encode_msg(&msg);
+        let back = decode_msg(&encoded);
+        prop_assert!(back.is_ok(), "decode failed for {msg:?}: {back:?}");
+        prop_assert_eq!(msg, back.unwrap());
+    }
+
+    #[test]
+    fn truncated_frames_are_rejected(seed in any::<u64>(), cut in 1usize..64) {
+        let encoded = encode_msg(&arb_msg(seed));
+        let cut = cut.min(encoded.len());
+        let truncated = &encoded[..encoded.len() - cut];
+        prop_assert!(
+            decode_msg(truncated).is_err(),
+            "a frame short {cut} bytes must not decode"
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected(seed in any::<u64>(), junk in 1u8..=255) {
+        let mut bytes = encode_msg(&arb_msg(seed)).to_vec();
+        bytes.push(junk);
+        prop_assert!(
+            decode_msg(&bytes).is_err(),
+            "a frame with trailing bytes must not decode"
+        );
+    }
+
+    #[test]
+    fn corrupted_frames_never_panic_or_alias(
+        seed in any::<u64>(),
+        pos_seed in any::<u64>(),
+        flip in 1u8..=255,
+    ) {
+        let msg = arb_msg(seed);
+        let mut bytes = encode_msg(&msg).to_vec();
+        let pos = (pos_seed % bytes.len() as u64) as usize;
+        bytes[pos] ^= flip;
+        // Any outcome is fine except panicking or silently decoding back to
+        // the original message: the flipped byte changed the frame, so an
+        // Ok result must describe a different message.
+        if let Ok(decoded) = decode_msg(&bytes) {
+            prop_assert_ne!(
+                decoded, msg,
+                "byte {} flipped by {:#04x} decoded back to the original", pos, flip
+            );
+        }
+    }
+
+    #[test]
+    fn arbitrary_garbage_never_panics(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = decode_msg(&data);
+    }
+}

@@ -123,11 +123,8 @@ impl ActiveExecutor {
                 out.spend(self.ws_cost.marshal_cost(bytes.len()));
                 match self.uris.group(&to) {
                     Some(target) => {
-                        let call = out.call(
-                            target,
-                            bytes,
-                            timeout_ms.map(SimDuration::from_millis),
-                        );
+                        let call =
+                            out.call(target, bytes, timeout_ms.map(SimDuration::from_millis));
                         self.call_msg.insert(call.0, msg_id);
                     }
                     None => {
@@ -240,7 +237,10 @@ mod tests {
             .filter(|c| matches!(c, pws_perpetual::AppCmd::Call { .. }))
             .collect();
         assert_eq!(calls.len(), 1);
-        if let pws_perpetual::AppCmd::Call { target, timeout, .. } = calls[0] {
+        if let pws_perpetual::AppCmd::Call {
+            target, timeout, ..
+        } = calls[0]
+        {
             assert_eq!(*target, GroupId(3));
             assert_eq!(*timeout, Some(SimDuration::from_millis(1000)));
         }
@@ -280,7 +280,13 @@ mod tests {
         exec.on_event(AppEvent::Init { seed: 1 }, &mut out);
         assert!(exec.finished);
         // Later events are ignored without hanging.
-        exec.on_event(AppEvent::Time { token: 0, millis: 1 }, &mut out);
+        exec.on_event(
+            AppEvent::Time {
+                token: 0,
+                millis: 1,
+            },
+            &mut out,
+        );
         drop(exec);
     }
 }

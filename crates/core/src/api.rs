@@ -35,10 +35,7 @@ pub(crate) enum WsEvent {
     /// Delivered first; carries the group-agreed random seed.
     Init { seed: u64 },
     /// An external SOAP request.
-    Request {
-        handle: RequestHandle,
-        bytes: Bytes,
-    },
+    Request { handle: RequestHandle, bytes: Bytes },
     /// A SOAP reply to one of our requests (correlated by `wsa:RelatesTo`).
     Reply { bytes: Bytes },
     /// One of our requests was deterministically aborted.
@@ -69,10 +66,7 @@ pub(crate) enum WsCmd {
         timeout_ms: Option<u64>,
     },
     /// Send a reply to an external request.
-    Reply {
-        handle: RequestHandle,
-        bytes: Bytes,
-    },
+    Reply { handle: RequestHandle, bytes: Bytes },
     /// Request an agreed clock value.
     QueryTime,
     /// Burn simulated CPU time.
@@ -293,11 +287,7 @@ impl MessageHandler for ServiceApi {
         if self.engine.run_out_pipe(&mut request).is_err() {
             return String::new();
         }
-        let msg_id = request
-            .addressing()
-            .message_id
-            .clone()
-            .unwrap_or_default();
+        let msg_id = request.addressing().message_id.clone().unwrap_or_default();
         let to = request.addressing().to.clone().unwrap_or_default();
         let timeout_ms = request.options().timeout_ms;
         let bytes = match request.to_bytes() {
@@ -416,9 +406,7 @@ mod tests {
     fn api_pair() -> (ServiceApi, Sender<ToApp>, Receiver<FromApp>) {
         let (to_tx, to_rx) = unbounded();
         let (from_tx, from_rx) = unbounded();
-        to_tx
-            .send(ToApp::Event(WsEvent::Init { seed: 9 }))
-            .unwrap();
+        to_tx.send(ToApp::Event(WsEvent::Init { seed: 9 })).unwrap();
         let api = ServiceApi::new(to_rx, from_tx, "test");
         (api, to_tx, from_rx)
     }
@@ -539,9 +527,6 @@ mod tests {
         assert!(sent, "reply command emitted: {cmds:?}");
         // Replying to an unknown request is a no-op.
         let stranger = MessageContext::request("urn:x", "op");
-        api.send_reply(
-            MessageContext::request("urn:y", "r"),
-            &stranger,
-        );
+        api.send_reply(MessageContext::request("urn:y", "r"), &stranger);
     }
 }

@@ -100,8 +100,7 @@ impl std::error::Error for DeploymentError {}
 /// Returns [`DeploymentError`] on malformed XML, missing attributes,
 /// duplicate services, or group sizes that are not `3f + 1`.
 pub fn parse_replicas_xml(xml: &str) -> Result<ReplicasConfig, DeploymentError> {
-    let root =
-        XmlNode::parse(xml).map_err(|e| DeploymentError::new(format!("xml: {e}")))?;
+    let root = XmlNode::parse(xml).map_err(|e| DeploymentError::new(format!("xml: {e}")))?;
     if root.name != "replicas" {
         return Err(DeploymentError::new("root element must be <replicas>"));
     }
@@ -132,7 +131,7 @@ pub fn parse_replicas_xml(xml: &str) -> Result<ReplicasConfig, DeploymentError> 
             endpoints.push((host, port));
         }
         let n = endpoints.len() as u32;
-        if n == 0 || (n - 1) % 3 != 0 {
+        if n == 0 || !(n - 1).is_multiple_of(3) {
             return Err(DeploymentError::new(format!(
                 "service '{name}' has {n} replicas; must be 3f+1"
             )));

@@ -142,7 +142,10 @@ mod tests {
         assert!(!interop.supports(Approach::BftWs));
         assert!(interop.supports(Approach::Sws));
         // SWS uses signatures; Thema uses MACs (§3 crypto overhead).
-        let crypto = m.iter().find(|r| r.property.contains("cryptographic")).unwrap();
+        let crypto = m
+            .iter()
+            .find(|r| r.property.contains("cryptographic"))
+            .unwrap();
         assert!(crypto.supports(Approach::Thema));
         assert!(!crypto.supports(Approach::Sws));
         // Everyone supports unmodified passive services.

@@ -6,7 +6,6 @@
 //! no dedicated thread needed, since a passive service never blocks.
 
 use crate::wscost::WsCostModel;
-use bytes::Bytes;
 use pws_perpetual::{AppEvent, AppOutput, Executor};
 use pws_simnet::SimDuration;
 use pws_soap::engine::Engine;
@@ -106,8 +105,7 @@ impl Executor for PassiveExecutor {
                 let mut reply = self.service.handle(request.clone(), &mut utils);
                 out.spend(utils.spend);
                 if reply.addressing().relates_to.is_none() {
-                    reply.addressing_mut().relates_to =
-                        request.addressing().message_id.clone();
+                    reply.addressing_mut().relates_to = request.addressing().message_id.clone();
                 }
                 if reply.addressing().to.is_none() {
                     reply.addressing_mut().to = request.addressing().reply_to.clone();
@@ -117,7 +115,7 @@ impl Executor for PassiveExecutor {
                 }
                 let Ok(bytes) = reply.to_bytes() else { return };
                 out.spend(self.ws_cost.marshal_cost(bytes.len()));
-                out.reply(handle, Bytes::from(bytes));
+                out.reply(handle, bytes);
             }
             // Passive services issue no calls, so these cannot occur.
             AppEvent::Reply { .. } | AppEvent::Aborted { .. } | AppEvent::Time { .. } => {}
@@ -128,6 +126,7 @@ impl Executor for PassiveExecutor {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bytes::Bytes;
     use pws_perpetual::{GroupId, RequestHandle};
     use pws_soap::XmlNode;
 
@@ -204,7 +203,11 @@ mod tests {
                 .iter()
                 .filter_map(|c| match c {
                     pws_perpetual::AppCmd::Reply { payload, .. } => Some(
-                        MessageContext::from_bytes(payload).unwrap().body().text.clone(),
+                        MessageContext::from_bytes(payload)
+                            .unwrap()
+                            .body()
+                            .text
+                            .clone(),
                     ),
                     _ => None,
                 })

@@ -545,7 +545,7 @@ impl ScriptedClient {
         }
         let Ok(bytes) = mc.to_bytes() else { return };
         ctx.spend(self.ws_cost.marshal_cost(bytes.len()));
-        let call = self.core.call(ctx, self.target, Bytes::from(bytes));
+        let call = self.core.call(ctx, self.target, bytes);
         self.send_times.insert(call.0, ctx.now());
         if self.first_send.is_none() {
             self.first_send = Some(ctx.now());

@@ -33,10 +33,7 @@ impl ActiveService for AsyncForwarder {
             let Some(req) = api.receive_request() else {
                 return;
             };
-            let mut out = MessageContext::request(
-                &format!("urn:svc:{}", self.backend),
-                "echo",
-            );
+            let mut out = MessageContext::request(format!("urn:svc:{}", self.backend), "echo");
             out.body_mut().name = "echo".into();
             out.body_mut().text = req.body().text.clone();
             let id = api.send(out);
@@ -59,9 +56,7 @@ impl ActiveService for AsyncForwarder {
 #[test]
 fn active_middle_tier_forwards_to_backend() {
     let mut b = SystemBuilder::new(5);
-    b.service("mid", 4, |_| {
-        Box::new(AsyncForwarder { backend: "back" })
-    });
+    b.service("mid", 4, |_| Box::new(AsyncForwarder { backend: "back" }));
     b.passive_service("back", 4, |_| Box::new(EchoBackend("be:")));
     b.scripted_client("rbe", "mid", 5);
     let mut sys = b.build();
@@ -79,10 +74,14 @@ fn sync_send_receive_works_inside_active_service() {
     impl ActiveService for SyncCaller {
         fn run(self: Box<Self>, api: &mut ServiceApi) {
             loop {
-                let Some(req) = api.receive_request() else { return };
+                let Some(req) = api.receive_request() else {
+                    return;
+                };
                 let mut call = MessageContext::request("urn:svc:back", "echo");
                 call.body_mut().text = req.body().text.clone();
-                let Some(reply) = api.send_receive(call) else { return };
+                let Some(reply) = api.send_receive(call) else {
+                    return;
+                };
                 let resp = req.reply_with(
                     "",
                     XmlNode::new("r").with_text(format!("sync:{}", reply.body().text)),
@@ -111,13 +110,12 @@ fn agreed_time_and_seeded_random_are_consistent() {
     impl ActiveService for TimeService {
         fn run(self: Box<Self>, api: &mut ServiceApi) {
             loop {
-                let Some(req) = api.receive_request() else { return };
+                let Some(req) = api.receive_request() else {
+                    return;
+                };
                 let t = api.current_time_millis();
                 let r = api.random_u64();
-                let resp = req.reply_with(
-                    "",
-                    XmlNode::new("now").with_text(format!("{t}:{r}")),
-                );
+                let resp = req.reply_with("", XmlNode::new("now").with_text(format!("{t}:{r}")));
                 api.send_reply(resp, &req);
             }
         }
@@ -180,9 +178,7 @@ fn windowed_client_paces_requests() {
     let burst_lat = sys.client_latencies("burst");
     // The burst client's later requests queue behind earlier ones, so its
     // completion latencies exceed the one-at-a-time client's.
-    let avg = |v: &Vec<SimDuration>| {
-        v.iter().map(|d| d.as_micros()).sum::<u64>() / v.len() as u64
-    };
+    let avg = |v: &Vec<SimDuration>| v.iter().map(|d| d.as_micros()).sum::<u64>() / v.len() as u64;
     assert!(avg(&burst_lat) > avg(&sync_lat));
 }
 

@@ -193,13 +193,15 @@ mod tests {
         let digest = sha256(b"the reply");
         let tag = b"req-42";
         let shares: Vec<BundleShare> = (0..2)
-            .map(|i| {
-                BundleShare::build(&mut keys, Principal::new(2, i), tag, digest, &callers)
-            })
+            .map(|i| BundleShare::build(&mut keys, Principal::new(2, i), tag, digest, &callers))
             .collect();
         // threshold 2 (= f_t + 1 with f_t = 1)
-        assert!(verify_bundle(&mut keys, &shares, tag, &digest, callers[0], 2));
-        assert!(!verify_bundle(&mut keys, &shares, tag, &digest, callers[0], 3));
+        assert!(verify_bundle(
+            &mut keys, &shares, tag, &digest, callers[0], 2
+        ));
+        assert!(!verify_bundle(
+            &mut keys, &shares, tag, &digest, callers[0], 3
+        ));
     }
 
     #[test]
@@ -210,7 +212,9 @@ mod tests {
         let tag = b"req-1";
         let share = BundleShare::build(&mut keys, Principal::new(2, 0), tag, digest, &callers);
         let shares = vec![share.clone(), share];
-        assert!(!verify_bundle(&mut keys, &shares, tag, &digest, callers[0], 2));
+        assert!(!verify_bundle(
+            &mut keys, &shares, tag, &digest, callers[0], 2
+        ));
     }
 
     #[test]
@@ -224,7 +228,9 @@ mod tests {
             BundleShare::build(&mut keys, Principal::new(2, 0), tag, good, &callers),
             BundleShare::build(&mut keys, Principal::new(2, 1), tag, bad, &callers),
         ];
-        assert!(!verify_bundle(&mut keys, &shares, tag, &good, callers[0], 2));
+        assert!(!verify_bundle(
+            &mut keys, &shares, tag, &good, callers[0], 2
+        ));
     }
 
     #[test]
@@ -238,7 +244,11 @@ mod tests {
             BundleShare::build(&mut keys, Principal::new(2, 0), tag, digest, &callers),
             BundleShare::build(&mut other_keys, Principal::new(2, 1), tag, digest, &callers),
         ];
-        assert!(!verify_bundle(&mut keys, &shares, tag, &digest, callers[0], 2));
-        assert!(verify_bundle(&mut keys, &shares, tag, &digest, callers[0], 1));
+        assert!(!verify_bundle(
+            &mut keys, &shares, tag, &digest, callers[0], 2
+        ));
+        assert!(verify_bundle(
+            &mut keys, &shares, tag, &digest, callers[0], 1
+        ));
     }
 }

@@ -124,7 +124,7 @@ mod tests {
     fn cost_model_matches_paper_claim() {
         // "MAC calculations are three orders of magnitude faster than
         // digital signature calculations" (§3).
-        assert!(SIGN_COST_US / MAC_COMPUTE_COST_US == 1000);
+        assert_eq!(SIGN_COST_US / MAC_COMPUTE_COST_US, 1000);
     }
 
     #[test]

@@ -56,12 +56,7 @@ impl ClientCore {
     /// # Panics
     ///
     /// Panics if `group` is not registered or not of size 1.
-    pub fn new(
-        group: GroupId,
-        topology: Arc<Topology>,
-        master_seed: u64,
-        cost: CostModel,
-    ) -> Self {
+    pub fn new(group: GroupId, topology: Arc<Topology>, master_seed: u64, cost: CostModel) -> Self {
         assert_eq!(topology.n(group), 1, "client groups have exactly 1 member");
         ClientCore {
             group,

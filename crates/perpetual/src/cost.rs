@@ -91,10 +91,7 @@ mod tests {
         let small = c.send_cost(100, 0);
         let big = c.send_cost(10 * 1024, 0);
         assert!(big > small);
-        assert_eq!(
-            (big - small).as_micros(),
-            c.send_per_kb.as_micros() * 10
-        );
+        assert_eq!((big - small).as_micros(), c.send_per_kb.as_micros() * 10);
     }
 
     #[test]

@@ -122,7 +122,7 @@ mod origin {
         0x4558_5400_0000_0000 | caller as u64 // "EXT" | caller
     }
     pub const RESULT: u64 = 0x5245_5355_4c54_0000;
-    pub const ABORT: u64 = 0x41424f_5254_000000;
+    pub const ABORT: u64 = 0x4142_4f52_5400_0000;
     pub const TIME: u64 = 0x5449_4d45_0000_0000;
 }
 
@@ -235,7 +235,9 @@ impl Event {
             Event::External { caller, req_no, .. } => {
                 RequestId::new(origin::external(caller.0), *req_no)
             }
-            Event::Result { call_no, digest, .. } => {
+            Event::Result {
+                call_no, digest, ..
+            } => {
                 // Different digests make different requests: a conflicting
                 // (equivocated) result is a distinct proposal; the first one
                 // ordered wins at execution time.
@@ -318,17 +320,25 @@ mod tests {
     #[test]
     fn request_ids_are_distinct_across_families() {
         let evs = sample_events();
-        let ids: std::collections::HashSet<_> =
-            evs.iter().map(|e| e.request_id()).collect();
+        let ids: std::collections::HashSet<_> = evs.iter().map(|e| e.request_id()).collect();
         assert_eq!(ids.len(), evs.len());
     }
 
     #[test]
     fn time_votes_share_id_per_token() {
-        let a = Event::TimeVote { token: 5, millis: 100 };
-        let b = Event::TimeVote { token: 5, millis: 999 };
+        let a = Event::TimeVote {
+            token: 5,
+            millis: 100,
+        };
+        let b = Event::TimeVote {
+            token: 5,
+            millis: 999,
+        };
         assert_eq!(a.request_id(), b.request_id());
-        let c = Event::TimeVote { token: 6, millis: 100 };
+        let c = Event::TimeVote {
+            token: 6,
+            millis: 100,
+        };
         assert_ne!(a.request_id(), c.request_id());
     }
 

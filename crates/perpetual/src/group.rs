@@ -54,7 +54,10 @@ impl Topology {
             "group {group:?} registered twice"
         );
         let n = nodes.len() as u32;
-        assert!(n >= 1 && (n - 1) % 3 == 0, "group size must be 3f+1, got {n}");
+        assert!(
+            n >= 1 && (n - 1).is_multiple_of(3),
+            "group size must be 3f+1, got {n}"
+        );
         self.groups.insert(group, GroupInfo { nodes });
     }
 

@@ -27,7 +27,9 @@ use crate::faults::FaultMode;
 use crate::group::{GroupId, Topology};
 use crate::messages::{decode_pmsg, encode_pmsg, reply_digest, request_tag, PMsg};
 use bytes::Bytes;
-use pws_clbft::{wire as bft_wire, Action, Config, Msg, Replica as BftReplica, ReplicaId, TimerCmd};
+use pws_clbft::{
+    wire as bft_wire, Action, Config, Msg, Replica as BftReplica, ReplicaId, TimerCmd,
+};
 use pws_crypto::auth::{verify_bundle, BundleShare};
 use pws_crypto::keys::KeyTable;
 use pws_crypto::sha256::Digest32;
@@ -676,7 +678,12 @@ impl PerpetualReplica {
                     return;
                 }
                 ctx.metrics().incr("perpetual.calls_aborted");
-                self.deliver(AppEvent::Aborted { call: CallId(call_no) }, ctx);
+                self.deliver(
+                    AppEvent::Aborted {
+                        call: CallId(call_no),
+                    },
+                    ctx,
+                );
             }
             Event::TimeVote { token, millis } => {
                 if !self.resolved_tokens.insert(token) {
@@ -850,13 +857,7 @@ impl Node for PerpetualReplica {
                 share,
             } => {
                 // Shares must come from within this group.
-                if self
-                    .cfg
-                    .topology
-                    .nodes(self.cfg.group)
-                    .iter()
-                    .any(|&n| n == from)
-                {
+                if self.cfg.topology.nodes(self.cfg.group).contains(&from) {
                     self.handle_reply_share(caller, req_no, payload, share, ctx);
                 }
             }

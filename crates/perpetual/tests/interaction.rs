@@ -68,11 +68,7 @@ impl Executor for Caller {
                     out.query_time();
                 }
                 for i in 0..self.count {
-                    out.call(
-                        self.target,
-                        Bytes::from(format!("req-{i}")),
-                        self.timeout,
-                    );
+                    out.call(self.target, Bytes::from(format!("req-{i}")), self.timeout);
                 }
             }
             AppEvent::Reply { call, payload } => self.replies.push((call, payload)),
@@ -92,10 +88,9 @@ struct Deployment {
 
 /// Builds a deployment: for each entry `(n, make_executor, faults)` one
 /// group of `n` replicas; faults lists per-replica fault modes.
-fn build(
-    seed: u64,
-    specs: Vec<(u32, Box<dyn Fn(u32) -> Box<dyn Executor>>, Vec<FaultMode>)>,
-) -> Deployment {
+type GroupSpec = (u32, Box<dyn Fn(u32) -> Box<dyn Executor>>, Vec<FaultMode>);
+
+fn build(seed: u64, specs: Vec<GroupSpec>) -> Deployment {
     let mut sim = Simulation::new(seed);
     let mut topo = Topology::new();
     let mut next_node = 0u32;
@@ -363,7 +358,8 @@ fn unreplicated_client_core_calls_replicated_target() {
     impl Node for ClientNode {
         fn on_start(&mut self, ctx: &mut Context<'_>) {
             for _ in 0..self.want {
-                self.core.call(ctx, self.target, Bytes::from_static(b"ping"));
+                self.core
+                    .call(ctx, self.target, Bytes::from_static(b"ping"));
             }
         }
         fn on_message(&mut self, _from: NodeId, msg: Bytes, ctx: &mut Context<'_>) {

@@ -141,7 +141,10 @@ impl NetConfig {
         if self.partitioned.contains(&(from, to)) {
             return None;
         }
-        let link = self.overrides.get(&(from, to)).unwrap_or(&self.default_link);
+        let link = self
+            .overrides
+            .get(&(from, to))
+            .unwrap_or(&self.default_link);
         if link.drop_probability > 0.0 && rng.unit() < link.drop_probability {
             return None;
         }

@@ -133,7 +133,11 @@ impl SimDuration {
     /// Rounds to the nearest microsecond; negative factors are clamped to 0.
     pub fn mul_f64(self, k: f64) -> SimDuration {
         let v = (self.0 as f64 * k.max(0.0)).round();
-        SimDuration(if v >= u64::MAX as f64 { u64::MAX } else { v as u64 })
+        SimDuration(if v >= u64::MAX as f64 {
+            u64::MAX
+        } else {
+            v as u64
+        })
     }
 }
 
@@ -200,7 +204,10 @@ mod tests {
     fn mul_f64_rounds_and_clamps() {
         assert_eq!(SimDuration::from_micros(100).mul_f64(0.5).as_micros(), 50);
         assert_eq!(SimDuration::from_micros(3).mul_f64(0.4).as_micros(), 1);
-        assert_eq!(SimDuration::from_micros(10).mul_f64(-2.0), SimDuration::ZERO);
+        assert_eq!(
+            SimDuration::from_micros(10).mul_f64(-2.0),
+            SimDuration::ZERO
+        );
     }
 
     #[test]

@@ -51,8 +51,7 @@ impl Addressing {
         }
         if let Some(v) = &self.reply_to {
             env.add_header(
-                XmlNode::new("wsa:ReplyTo")
-                    .child(XmlNode::new("wsa:Address").with_text(v.clone())),
+                XmlNode::new("wsa:ReplyTo").child(XmlNode::new("wsa:Address").with_text(v.clone())),
             );
         }
         if let Some(v) = &self.message_id {

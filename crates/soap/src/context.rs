@@ -123,8 +123,8 @@ impl MessageContext {
     ///
     /// Returns [`XmlError`] if the bytes are not a valid SOAP envelope.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, XmlError> {
-        let text = std::str::from_utf8(bytes)
-            .map_err(|_| XmlNode::parse("<invalid-utf8").unwrap_err())?;
+        let text =
+            std::str::from_utf8(bytes).map_err(|_| XmlNode::parse("<invalid-utf8").unwrap_err())?;
         let envelope = Envelope::parse(text)?;
         Ok(MessageContext::from_envelope(envelope))
     }

@@ -215,10 +215,7 @@ impl<'a> Parser<'a> {
             self.pos += 1;
             Ok(())
         } else {
-            Err(XmlError::new(
-                format!("expected '{}'", c as char),
-                self.pos,
-            ))
+            Err(XmlError::new(format!("expected '{}'", c as char), self.pos))
         }
     }
 

@@ -1,0 +1,110 @@
+//! Property suite for SOAP envelope serialization: a message context's
+//! addressing headers and body survive `to_bytes` → `from_bytes` unchanged,
+//! and mangled envelopes (truncated, corrupted) are rejected or at least
+//! never panic the parser.
+
+use proptest::prelude::*;
+use pws_soap::{MessageContext, XmlNode};
+
+/// URI-ish strings for WS-Addressing headers (no XML structure, no edge
+/// whitespace — the parser canonicalizes those away by design).
+fn arb_uri() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9:/._-]{1,24}"
+}
+
+/// Body text exercising the XML escaper, trimmed because the parser trims
+/// edge whitespace.
+fn arb_text() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9 <>&'\"_.-]{0,40}".prop_map(|s| s.trim().to_owned())
+}
+
+fn arb_name() -> impl Strategy<Value = String> {
+    "[a-zA-Z][a-zA-Z0-9]{0,11}"
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn envelope_round_trips(
+        to in arb_uri(),
+        action in arb_uri(),
+        message_id in arb_uri(),
+        reply_to in arb_uri(),
+        relates_to in arb_uri(),
+        body_name in arb_name(),
+        body_text in arb_text(),
+        attr in arb_text(),
+    ) {
+        let mut mc = MessageContext::request(to.clone(), action.clone());
+        mc.addressing_mut().message_id = Some(message_id.clone());
+        mc.addressing_mut().reply_to = Some(reply_to.clone());
+        mc.addressing_mut().relates_to = Some(relates_to.clone());
+        *mc.body_mut() = XmlNode::new(body_name.clone())
+            .with_text(body_text.clone())
+            .attr("a", attr.clone());
+
+        let bytes = mc.to_bytes().expect("serialize");
+        let back = MessageContext::from_bytes(&bytes).expect("reparse");
+
+        prop_assert_eq!(back.addressing().to.as_deref(), Some(to.as_str()));
+        prop_assert_eq!(back.addressing().action.as_deref(), Some(action.as_str()));
+        prop_assert_eq!(back.addressing().message_id.as_deref(), Some(message_id.as_str()));
+        prop_assert_eq!(back.addressing().reply_to.as_deref(), Some(reply_to.as_str()));
+        prop_assert_eq!(back.addressing().relates_to.as_deref(), Some(relates_to.as_str()));
+        prop_assert_eq!(back.body().name.as_str(), body_name.as_str());
+        prop_assert_eq!(back.body().text.as_str(), body_text.as_str());
+        prop_assert_eq!(back.body().attribute("a"), Some(attr.as_str()));
+    }
+
+    #[test]
+    fn serialization_is_stable(
+        to in arb_uri(),
+        action in arb_uri(),
+        text in arb_text(),
+    ) {
+        // Marshal → demarshal → marshal must be a fixed point, otherwise
+        // MAC'd envelope bytes would not be comparable across hops.
+        let mut mc = MessageContext::request(to, action);
+        mc.body_mut().text = text;
+        let once = mc.to_bytes().expect("serialize");
+        let back = MessageContext::from_bytes(&once).expect("reparse");
+        let twice = back.to_bytes().expect("re-serialize");
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn truncated_envelopes_are_rejected(
+        to in arb_uri(),
+        action in arb_uri(),
+        cut in 1usize..64,
+    ) {
+        let bytes = MessageContext::request(to, action).to_bytes().expect("serialize");
+        let cut = cut.min(bytes.len());
+        let truncated = &bytes[..bytes.len() - cut];
+        prop_assert!(
+            MessageContext::from_bytes(truncated).is_err(),
+            "an envelope short {cut} bytes must not parse"
+        );
+    }
+
+    #[test]
+    fn corrupted_envelopes_never_panic(
+        to in arb_uri(),
+        action in arb_uri(),
+        pos_seed in any::<u64>(),
+        flip in 1u8..=255,
+    ) {
+        let mut bytes = MessageContext::request(to, action).to_bytes().expect("serialize").to_vec();
+        let pos = (pos_seed % bytes.len() as u64) as usize;
+        bytes[pos] ^= flip;
+        // Corruption may still be well-formed XML (e.g. a flipped byte in
+        // text content); the property is that the parser never panics.
+        let _ = MessageContext::from_bytes(&bytes);
+    }
+
+    #[test]
+    fn arbitrary_garbage_never_panics(data in proptest::collection::vec(any::<u8>(), 0..400)) {
+        let _ = MessageContext::from_bytes(&data);
+    }
+}

@@ -54,14 +54,12 @@ impl ActiveService for Bookstore {
                         Interaction::ShoppingCart => {
                             let item = (api.random_u64() % self.db.item_count() as u64) as u32;
                             let lines = self.db.add_to_cart(session, item, 1);
-                            let reply =
-                                Bookstore::page_reply(&req, page, format!("lines={lines}"));
+                            let reply = Bookstore::page_reply(&req, page, format!("lines={lines}"));
                             api.send_reply(reply, &req);
                         }
                         Interaction::BuyConfirm => {
                             let (order, total) = self.db.place_order(session);
-                            let mut pge_req =
-                                MessageContext::request(&self.pge_uri, "authorize");
+                            let mut pge_req = MessageContext::request(&self.pge_uri, "authorize");
                             pge_req.body_mut().name = "authorize".into();
                             pge_req.body_mut().text = total.to_string();
                             let id = api.send(pge_req);

@@ -96,9 +96,7 @@ impl Db {
         }
         let total: u64 = lines
             .iter()
-            .map(|(item, qty)| {
-                self.item(*item).map_or(999, |i| i.price_cents) * *qty as u64
-            })
+            .map(|(item, qty)| self.item(*item).map_or(999, |i| i.price_cents) * *qty as u64)
             .sum();
         let id = self.next_order;
         self.next_order += 1;

@@ -108,11 +108,7 @@ fn transitions(from: Interaction) -> &'static [(Interaction, u32)] {
             (Home, 270),
         ],
         SearchRequest => &[(SearchResults, 900), (Home, 100)],
-        SearchResults => &[
-            (ProductDetail, 500),
-            (SearchRequest, 250),
-            (Home, 250),
-        ],
+        SearchResults => &[(ProductDetail, 500), (SearchRequest, 250), (Home, 250)],
         ShoppingCart => &[
             (CustomerRegistration, 650),
             (ShoppingCart, 100),
@@ -185,7 +181,10 @@ mod tests {
         );
         // Every page is reachable.
         for i in Interaction::ALL {
-            assert!(counts.get(&i).copied().unwrap_or(0) > 0, "{i:?} unreachable");
+            assert!(
+                counts.get(&i).copied().unwrap_or(0) > 0,
+                "{i:?} unreachable"
+            );
         }
     }
 

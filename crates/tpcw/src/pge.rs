@@ -47,13 +47,12 @@ impl Pge {
     }
 
     fn verdict_reply(original: &MessageContext, bank_reply: &MessageContext) -> MessageContext {
-        let verdict = if bank_reply.envelope().as_fault().is_none()
-            && bank_reply.body().text == "approved"
-        {
-            "approved"
-        } else {
-            "declined"
-        };
+        let verdict =
+            if bank_reply.envelope().as_fault().is_none() && bank_reply.body().text == "approved" {
+                "approved"
+            } else {
+                "declined"
+            };
         original.reply_with("", XmlNode::new("authorizeResult").with_text(verdict))
     }
 }
@@ -63,10 +62,11 @@ impl ActiveService for Pge {
         if self.synchronous {
             // Blocking per request: incoming work queues up meanwhile.
             loop {
-                let Some(req) = api.receive_request() else { return };
+                let Some(req) = api.receive_request() else {
+                    return;
+                };
                 api.spend(PGE_PROCESSING);
-                let Some(bank_reply) = api.send_receive(self.bank_request(&req.body().text))
-                else {
+                let Some(bank_reply) = api.send_receive(self.bank_request(&req.body().text)) else {
                     return;
                 };
                 let reply = Pge::verdict_reply(&req, &bank_reply);

@@ -77,7 +77,7 @@ impl Rbe {
             return;
         }
         let Ok(bytes) = mc.to_bytes() else { return };
-        let call = self.core.call(ctx, self.bookstore, Bytes::from(bytes));
+        let call = self.core.call(ctx, self.bookstore, bytes);
         self.outstanding = Some((call, ctx.now()));
         if self.sweep_timer.is_none() {
             self.sweep_timer = Some(ctx.set_timer(SWEEP));
@@ -97,7 +97,8 @@ impl Node for Rbe {
                 self.completed += 1;
                 self.completions.push(ctx.now());
                 ctx.metrics().incr("tpcw.web_interactions");
-                ctx.metrics().incr(&format!("tpcw.page.{}", self.page.op_name()));
+                ctx.metrics()
+                    .incr(&format!("tpcw.page.{}", self.page.op_name()));
                 if self.page.hits_pge() {
                     ctx.metrics().incr("tpcw.pge_interactions");
                 }

@@ -46,7 +46,9 @@ impl ActiveService for Probe {
         // Publish the outcome so the driver can read it back: serve one
         // report request.
         loop {
-            let Some(req) = api.receive_request() else { return };
+            let Some(req) = api.receive_request() else {
+                return;
+            };
             let reply = req.reply_with("", XmlNode::new("report").with_text(outcomes.join("; ")));
             api.send_reply(reply, &req);
         }
@@ -73,13 +75,19 @@ fn scenario(name: &str, configure: impl FnOnce(&mut SystemBuilder)) {
 fn main() {
     scenario("healthy target group", |_| {});
 
-    scenario("one silent replica in the target group (f = 1, masked)", |b| {
-        b.fault("target", 1, FaultMode::Silent);
-    });
+    scenario(
+        "one silent replica in the target group (f = 1, masked)",
+        |b| {
+            b.fault("target", 1, FaultMode::Silent);
+        },
+    );
 
-    scenario("one corrupt-replies replica (outvoted by the bundle rule)", |b| {
-        b.fault("target", 3, FaultMode::CorruptReplies);
-    });
+    scenario(
+        "one corrupt-replies replica (outvoted by the bundle rule)",
+        |b| {
+            b.fault("target", 3, FaultMode::CorruptReplies);
+        },
+    );
 
     scenario(
         "fully compromised target (all silent) — deterministic abort",

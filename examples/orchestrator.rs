@@ -80,9 +80,15 @@ impl ActiveService for QuoteOrchestrator {
                     );
                 }
                 Some(Incoming::Reply(rep)) => {
-                    let Some(rid) = rep.addressing().relates_to.clone() else { continue };
-                    let Some((quote_id, is_price)) = by_call.remove(&rid) else { continue };
-                    let Some(q) = quotes.get_mut(&quote_id) else { continue };
+                    let Some(rid) = rep.addressing().relates_to.clone() else {
+                        continue;
+                    };
+                    let Some((quote_id, is_price)) = by_call.remove(&rid) else {
+                        continue;
+                    };
+                    let Some(q) = quotes.get_mut(&quote_id) else {
+                        continue;
+                    };
                     let text = rep.body().text.clone();
                     if is_price {
                         q.price = Some(text);
@@ -117,7 +123,11 @@ fn main() {
     let replies = sys.client_replies("buyer");
     println!("quotes completed: {}", replies.len());
     for r in &replies {
-        let stock = r.body().find("stock").map(|n| n.text.as_str()).unwrap_or("?");
+        let stock = r
+            .body()
+            .find("stock")
+            .map(|n| n.text.as_str())
+            .unwrap_or("?");
         let price = r
             .body()
             .find("priceCents")

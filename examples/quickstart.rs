@@ -16,7 +16,10 @@ impl PassiveService for Counter {
     fn handle(&mut self, req: MessageContext, _u: &mut PassiveUtils) -> MessageContext {
         let old = self.0;
         self.0 += 1;
-        req.reply_with("", XmlNode::new("incrementResult").with_text(old.to_string()))
+        req.reply_with(
+            "",
+            XmlNode::new("incrementResult").with_text(old.to_string()),
+        )
     }
 }
 
@@ -43,7 +46,10 @@ fn main() {
     }
     let lat = sys.client_latencies("client");
     let mean_us: u64 = lat.iter().map(|d| d.as_micros()).sum::<u64>() / lat.len() as u64;
-    println!("mean latency: {:.3} ms over a BFT group of 4", mean_us as f64 / 1000.0);
+    println!(
+        "mean latency: {:.3} ms over a BFT group of 4",
+        mean_us as f64 / 1000.0
+    );
     assert_eq!(replies.len(), 10);
     // The counter is a replicated state machine: replies are 0..9 in order.
     for (i, r) in replies.iter().enumerate() {

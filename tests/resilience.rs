@@ -70,7 +70,9 @@ fn agreed_time_is_monotone_consistent_even_with_byzantine_backup() {
         fn run(self: Box<Self>, api: &mut ServiceApi) {
             let mut last = 0u64;
             loop {
-                let Some(req) = api.receive_request() else { return };
+                let Some(req) = api.receive_request() else {
+                    return;
+                };
                 let t = api.current_time_millis();
                 assert!(t >= last, "agreed clock must not go backwards");
                 last = t;
@@ -122,7 +124,9 @@ fn seeded_randomness_is_identical_across_replicas_and_runs() {
     impl ActiveService for RandomService {
         fn run(self: Box<Self>, api: &mut ServiceApi) {
             loop {
-                let Some(req) = api.receive_request() else { return };
+                let Some(req) = api.receive_request() else {
+                    return;
+                };
                 let r = api.random_u64();
                 let reply = req.reply_with("", XmlNode::new("r").with_text(r.to_string()));
                 api.send_reply(reply, &req);

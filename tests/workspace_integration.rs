@@ -23,11 +23,15 @@ fn four_tier_chain_works_end_to_end() {
     impl ActiveService for Forward {
         fn run(self: Box<Self>, api: &mut ServiceApi) {
             loop {
-                let Some(req) = api.receive_request() else { return };
-                let mut call = MessageContext::request(&format!("urn:svc:{}", self.0), "echo");
+                let Some(req) = api.receive_request() else {
+                    return;
+                };
+                let mut call = MessageContext::request(format!("urn:svc:{}", self.0), "echo");
                 call.body_mut().name = "echo".into();
                 call.body_mut().text = req.body().text.clone();
-                let Some(rep) = api.send_receive(call) else { return };
+                let Some(rep) = api.send_receive(call) else {
+                    return;
+                };
                 let reply = req.reply_with(
                     "",
                     XmlNode::new("ok").with_text(format!("{}<{}", self.0, rep.body().text)),
@@ -64,12 +68,16 @@ fn fault_isolation_across_three_tiers() {
     impl ActiveService for Degrading {
         fn run(self: Box<Self>, api: &mut ServiceApi) {
             loop {
-                let Some(req) = api.receive_request() else { return };
+                let Some(req) = api.receive_request() else {
+                    return;
+                };
                 let mut call = MessageContext::request("urn:svc:backend", "echo");
                 call.body_mut().name = "echo".into();
                 call.body_mut().text = req.body().text.clone();
                 call.options_mut().set_timeout_millis(800);
-                let Some(rep) = api.send_receive(call) else { return };
+                let Some(rep) = api.send_receive(call) else {
+                    return;
+                };
                 let text = if rep.envelope().as_fault().is_some() {
                     "degraded".to_owned()
                 } else {
@@ -103,10 +111,14 @@ fn different_replication_degrees_interoperate() {
         impl ActiveService for Caller {
             fn run(self: Box<Self>, api: &mut ServiceApi) {
                 loop {
-                    let Some(req) = api.receive_request() else { return };
-                    let mut call = MessageContext::request("urn:svc:svc", "echo");
+                    let Some(req) = api.receive_request() else {
+                        return;
+                    };
+                    let mut call = MessageContext::request(format!("urn:svc:{}", self.0), "echo");
                     call.body_mut().text = req.body().text.clone();
-                    let Some(rep) = api.send_receive(call) else { return };
+                    let Some(rep) = api.send_receive(call) else {
+                        return;
+                    };
                     let reply =
                         req.reply_with("", XmlNode::new("ok").with_text(rep.body().text.clone()));
                     api.send_reply(reply, &req);
