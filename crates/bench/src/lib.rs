@@ -21,8 +21,7 @@
 #![warn(missing_docs)]
 
 use perpetual_ws::{
-    ActiveService, Incoming, MessageHandler, PassiveService, PassiveUtils, ServiceApi,
-    SystemBuilder,
+    PassiveService, PassiveUtils, Poll, Service, ServiceCtx, SystemBuilder, WsEvent,
 };
 use pws_simnet::{SimDuration, SimTime};
 use pws_soap::{MessageContext, XmlNode};
@@ -84,6 +83,8 @@ pub struct LoadCaller {
     target_uri: String,
     total: u64,
     window: u64,
+    sent: u64,
+    done: u64,
 }
 
 impl LoadCaller {
@@ -93,6 +94,8 @@ impl LoadCaller {
             target_uri: format!("urn:svc:{target}"),
             total,
             window: window.max(1),
+            sent: 0,
+            done: 0,
         }
     }
 
@@ -102,28 +105,34 @@ impl LoadCaller {
         mc.body_mut().text = seq.to_string();
         mc
     }
+
+    fn fire(&mut self, ctx: &mut ServiceCtx<'_>) {
+        let req = self.request(self.sent);
+        let _ = ctx.send(req);
+        self.sent += 1;
+    }
 }
 
-impl ActiveService for LoadCaller {
-    fn run(self: Box<Self>, api: &mut ServiceApi) {
-        let mut sent = 0u64;
-        let mut done = 0u64;
-        while sent < self.window.min(self.total) {
-            let _ = api.send(self.request(sent));
-            sent += 1;
-        }
-        while done < self.total {
-            match api.receive_any() {
-                Some(Incoming::Reply(_)) => {
-                    done += 1;
-                    if sent < self.total {
-                        let _ = api.send(self.request(sent));
-                        sent += 1;
-                    }
+impl Service for LoadCaller {
+    fn on_event(&mut self, ev: WsEvent, ctx: &mut ServiceCtx<'_>) -> Poll {
+        match ev {
+            WsEvent::Init { .. } => {
+                while self.sent < self.window.min(self.total) {
+                    self.fire(ctx);
                 }
-                Some(Incoming::Request(_)) => {}
-                None => return,
             }
+            WsEvent::Reply { .. } => {
+                self.done += 1;
+                if self.sent < self.total {
+                    self.fire(ctx);
+                }
+            }
+            WsEvent::Request { .. } | WsEvent::Time { .. } => {}
+        }
+        if self.done >= self.total {
+            Poll::Done
+        } else {
+            Poll::any_reply()
         }
     }
 }

@@ -1,532 +1,321 @@
-//! The Perpetual-WS application API (paper Fig. 3) and the lock-step
-//! channel protocol behind it.
+//! The Perpetual-WS application API (paper Fig. 3) as a sans-IO,
+//! poll-driven state machine.
 //!
-//! User code runs on a dedicated OS thread per replica and talks to the
-//! simulation through a strict alternation protocol: the simulation thread
-//! delivers one agreed event and waits; the application thread computes,
-//! emits commands, and *yields* when it blocks in a `receive_*` call (or
-//! finishes). At most one of the two threads is ever runnable, so wall-clock
-//! thread scheduling cannot influence the application — execution stays a
-//! deterministic function of the agreed event order, which is exactly the
-//! property Perpetual needs from executors (§4.1).
+//! A [`Service`] is *polled* with agreed events and *returns* what it is
+//! waiting on; it never blocks. The runtime calls
+//! [`Service::on_event`] with one [`WsEvent`] at a time, the service emits
+//! commands through the [`ServiceCtx`] (`send`, `reply`, `spend`,
+//! `query_time`) and answers with a [`Poll`]: take anything
+//! ([`Poll::Next`]), take only events matching a typed [`WaitSet`]
+//! ([`Poll::Wait`]) while everything else stays queued in agreed order, or
+//! stop ([`Poll::Done`]).
+//!
+//! Determinism is structural: the whole deployment runs on one thread, and
+//! a service's execution is a pure function of the agreed event order plus
+//! its own (deterministic) wait-set evolution. Nothing depends on thread
+//! scheduling, because there are no threads — which is exactly the property
+//! Perpetual needs from executors (§4.1), now by construction rather than
+//! by a lock-step channel protocol.
+//!
+//! ## Multi-outcall support (§5 asynchronous invocation)
+//!
+//! [`ServiceCtx::send`] is non-blocking and returns a [`CallToken`]. The
+//! reply — or, for timed-out and unroutable calls, a synthesized SOAP
+//! fault — arrives later as [`WsEvent::Reply`] carrying that token. A
+//! service may keep any number of calls in flight and use a `select`-like
+//! [`WaitSet`] to resume exactly the continuations it cares about:
+//!
+//! ```
+//! use perpetual_ws::{CallToken, Poll, Service, ServiceCtx, WaitSet, WsEvent};
+//!
+//! /// Fans out two backend calls per request, replies when both are back.
+//! struct FanOut {
+//!     inflight: Vec<CallToken>,
+//! }
+//!
+//! impl Service for FanOut {
+//!     fn on_event(&mut self, ev: WsEvent, ctx: &mut ServiceCtx<'_>) -> Poll {
+//!         if let WsEvent::Reply { token, .. } = &ev {
+//!             self.inflight.retain(|t| t != token);
+//!         }
+//!         // ... issue calls with ctx.send(...), collect tokens ...
+//!         if self.inflight.is_empty() {
+//!             Poll::Next // idle: accept whatever comes
+//!         } else {
+//!             // select: requests may interleave, but only *our* replies wake us
+//!             Poll::Wait(WaitSet::new().requests().replies(self.inflight.iter().copied()))
+//!         }
+//!     }
+//! }
+//! ```
 
-use bytes::Bytes;
-use crossbeam::channel::{Receiver, Sender};
-use pws_perpetual::RequestHandle;
-use pws_simnet::SimDuration;
-use pws_soap::engine::Engine;
-use pws_soap::{Envelope, Fault, MessageContext};
-use rand::rngs::StdRng;
-use rand::{RngCore, SeedableRng};
-use std::collections::{HashMap, VecDeque};
+use pws_soap::MessageContext;
+use std::collections::BTreeSet;
+use std::fmt;
 
-/// Simulation → application messages.
-#[derive(Debug)]
-pub(crate) enum ToApp {
-    /// An agreed event.
-    Event(WsEvent),
-    /// The simulation is tearing down; `receive_*` calls return `None`.
-    Shutdown,
+/// Identifies one of this service's own outcalls.
+///
+/// Tokens are assigned densely from a deterministic per-replica counter, so
+/// every replica of a group assigns identical tokens to identical calls.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CallToken(pub(crate) u64);
+
+impl CallToken {
+    /// Creates a token from its raw index.
+    ///
+    /// Normally tokens are obtained from `ServiceCtx::send`; this
+    /// constructor exists for tests and for tables keyed by token that must
+    /// be built beforehand. Tokens count up from 0 per replica.
+    pub const fn from_raw(raw: u64) -> Self {
+        CallToken(raw)
+    }
+
+    /// The raw index of this token.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for CallToken {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "out#{}", self.0)
+    }
+}
+
+/// Identifies one agreed-time query issued with [`ServiceCtx::query_time`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TimeToken(pub(crate) u64);
+
+impl fmt::Debug for TimeToken {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "time#{}", self.0)
+    }
 }
 
 /// Agreed events, translated to the Web-Services level.
-#[derive(Debug)]
-pub(crate) enum WsEvent {
-    /// Delivered first; carries the group-agreed random seed.
-    Init { seed: u64 },
-    /// An external SOAP request.
-    Request { handle: RequestHandle, bytes: Bytes },
-    /// A SOAP reply to one of our requests (correlated by `wsa:RelatesTo`).
-    Reply { bytes: Bytes },
-    /// One of our requests was deterministically aborted.
-    Aborted { msg_id: String },
-    /// An agreed time value.
-    Time { millis: u64 },
-}
-
-/// Application → simulation messages.
-#[derive(Debug)]
-pub(crate) enum FromApp {
-    /// A command to perform.
-    Cmd(WsCmd),
-    /// The application is blocking; control returns to the simulation.
-    Yield,
-    /// The application's `run` returned.
-    Finished,
-}
-
-/// Commands the application can issue.
-#[derive(Debug)]
-pub(crate) enum WsCmd {
-    /// Send a request message.
-    Send {
-        msg_id: String,
-        to: String,
-        bytes: Bytes,
-        timeout_ms: Option<u64>,
-    },
-    /// Send a reply to an external request.
-    Reply { handle: RequestHandle, bytes: Bytes },
-    /// Request an agreed clock value.
-    QueryTime,
-    /// Burn simulated CPU time.
-    Spend(SimDuration),
-}
-
-/// The messaging half of the paper's Fig. 3 API.
 ///
-/// Implemented by [`ServiceApi`]; exists as a trait so application code can
-/// be written against the same surface the paper presents.
-pub trait MessageHandler {
-    /// Sends the message without blocking; returns its `wsa:MessageID`.
-    fn send(&mut self, request: MessageContext) -> String;
-
-    /// Returns the next reply, blocking if none are available.
-    /// `None` means the service is shutting down.
-    fn receive_reply(&mut self) -> Option<MessageContext>;
-
-    /// Returns the reply to a specific request (matched on
-    /// `wsa:RelatesTo`), blocking if necessary.
-    fn receive_reply_for(&mut self, request_msg_id: &str) -> Option<MessageContext>;
-
-    /// Sends the message and waits for its reply (synchronous invocation).
-    fn send_receive(&mut self, request: MessageContext) -> Option<MessageContext> {
-        let id = self.send(request);
-        self.receive_reply_for(&id)
-    }
-
-    /// Returns the next request, blocking if none are available.
-    fn receive_request(&mut self) -> Option<MessageContext>;
-
-    /// Asynchronously sends `reply` as the response to `request`.
-    fn send_reply(&mut self, reply: MessageContext, request: &MessageContext);
+/// Events are delivered in the group-agreed total order, filtered by the
+/// service's current wait set (events not admitted stay queued, in order).
+#[derive(Debug)]
+pub enum WsEvent {
+    /// Delivered first; carries the group-agreed random seed (which also
+    /// seeds [`ServiceCtx::random_u64`] before this event is delivered).
+    Init {
+        /// The group-agreed seed.
+        seed: u64,
+    },
+    /// An external SOAP request to serve. Answer it — now or after any
+    /// number of intervening events — with [`ServiceCtx::reply`].
+    Request {
+        /// The decoded request.
+        request: MessageContext,
+    },
+    /// The outcome of one of our own calls: the reply, or a synthesized
+    /// SOAP fault if the call was deterministically aborted (§5 timeout
+    /// vote) or addressed to an unknown endpoint.
+    Reply {
+        /// The call this resolves.
+        token: CallToken,
+        /// The decoded reply; `reply.envelope().as_fault()` is `Some` for
+        /// aborts.
+        reply: MessageContext,
+    },
+    /// The agreed answer to a [`ServiceCtx::query_time`] query (§4.2).
+    Time {
+        /// The query this answers.
+        token: TimeToken,
+        /// Agreed milliseconds since the epoch.
+        millis: u64,
+    },
 }
 
-/// The deterministic utility half of the paper's Fig. 3 API (§4.2).
-pub trait Utils {
-    /// Group-agreed milliseconds since the epoch. Replaces
-    /// `System.currentTimeMillis()`; may block while the voters agree.
-    fn current_time_millis(&mut self) -> u64;
-
-    /// Group-agreed timestamp. Same agreement as
-    /// [`Utils::current_time_millis`].
-    fn timestamp(&mut self) -> u64 {
-        self.current_time_millis()
-    }
-
-    /// Deterministic randomness seeded by the group-agreed seed. Replaces
-    /// direct `java.util.Random` construction.
-    fn random_u64(&mut self) -> u64;
+/// A typed, `select`-like set of continuations a service is waiting on.
+///
+/// Build one with the chainable constructors; an empty set admits nothing
+/// (the service sleeps until it widens its interest — which it can only do
+/// when an admitted event wakes it, so an empty set on a service with no
+/// queued interest is effectively permanent).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WaitSet {
+    requests: bool,
+    any_reply: bool,
+    replies: BTreeSet<CallToken>,
+    times: bool,
 }
 
-/// An entry from the service's unified event queue (§2.1.1: voters place
-/// agreed events in "the local event queue" that the executor consumes).
-#[derive(Debug, Clone, PartialEq)]
-pub enum Incoming {
-    /// An external request to serve.
-    Request(MessageContext),
-    /// A reply (or abort fault) for one of our own requests.
-    Reply(MessageContext),
-}
-
-/// The handle through which an [`crate::ActiveService`] interacts with the
-/// world. Implements [`MessageHandler`] and [`Utils`].
-pub struct ServiceApi {
-    rx: Receiver<ToApp>,
-    tx: Sender<FromApp>,
-    engine: Engine,
-    /// This service's own URI, used as the default `wsa:ReplyTo` (§5.1
-    /// stage 1: "the MessageHandler augments the MessageContext by setting
-    /// the wsa:replyTo field").
-    own_uri: String,
-    /// Unified inbox in agreed delivery order.
-    inbox: VecDeque<Incoming>,
-    times: VecDeque<u64>,
-    handles: HashMap<String, RequestHandle>,
-    rng: StdRng,
-    shutdown: bool,
-    /// Whether we owe the simulation a Yield for the last satisfying event.
-    owed: bool,
-}
-
-impl std::fmt::Debug for ServiceApi {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ServiceApi")
-            .field("inbox", &self.inbox.len())
-            .finish_non_exhaustive()
-    }
-}
-
-impl ServiceApi {
-    /// Creates the API endpoint on the application thread. Waits for the
-    /// Init event to seed the deterministic RNG.
-    pub(crate) fn new(rx: Receiver<ToApp>, tx: Sender<FromApp>, id_prefix: &str) -> ServiceApi {
-        let mut api = ServiceApi {
-            rx,
-            tx,
-            engine: Engine::with_id_prefix(id_prefix),
-            own_uri: format!("urn:svc:{id_prefix}"),
-            inbox: VecDeque::new(),
-            times: VecDeque::new(),
-            handles: HashMap::new(),
-            rng: StdRng::seed_from_u64(0),
-            shutdown: false,
-            owed: false,
-        };
-        // The first event is always Init.
-        match api.rx.recv() {
-            Ok(ToApp::Event(WsEvent::Init { seed })) => {
-                api.rng = StdRng::seed_from_u64(seed);
-                api.owed = true;
-            }
-            _ => api.shutdown = true,
-        }
-        api
+impl WaitSet {
+    /// An empty wait set.
+    pub fn new() -> Self {
+        WaitSet::default()
     }
 
-    /// Burns simulated CPU time at this replica — the deterministic
-    /// replacement for "this computation takes a while".
-    pub fn spend(&mut self, d: SimDuration) {
-        let _ = self.tx.send(FromApp::Cmd(WsCmd::Spend(d)));
+    /// Also wake on the next external request.
+    pub fn requests(mut self) -> Self {
+        self.requests = true;
+        self
     }
 
-    /// Pops the next entry — request or reply — from the unified event
-    /// queue in agreed order, blocking if it is empty. This is the §2.1.1
-    /// "local event queue" view, which orchestrating services (e.g. the
-    /// TPC-W bookstore) use to interleave serving new requests with
-    /// consuming replies to outstanding calls. `None` means shutdown.
-    pub fn receive_any(&mut self) -> Option<Incoming> {
-        loop {
-            if let Some(item) = self.inbox.pop_front() {
-                return Some(item);
-            }
-            if !self.pump_once() {
-                return None;
-            }
-        }
+    /// Also wake on the reply (or abort fault) for `token`.
+    pub fn reply(mut self, token: CallToken) -> Self {
+        self.replies.insert(token);
+        self
     }
 
-    /// Whether shutdown has been observed.
-    pub fn is_shutdown(&self) -> bool {
-        self.shutdown
+    /// Also wake on the replies for every token in `tokens`.
+    pub fn replies(mut self, tokens: impl IntoIterator<Item = CallToken>) -> Self {
+        self.replies.extend(tokens);
+        self
     }
 
-    pub(crate) fn finish(&mut self) {
-        let _ = self.tx.send(FromApp::Finished);
-        self.owed = false;
+    /// Also wake on *any* reply.
+    pub fn any_reply(mut self) -> Self {
+        self.any_reply = true;
+        self
     }
 
-    fn flush_owed(&mut self) {
-        if self.owed {
-            self.owed = false;
-            let _ = self.tx.send(FromApp::Yield);
-        }
+    /// Also wake on agreed-time answers.
+    pub fn times(mut self) -> Self {
+        self.times = true;
+        self
     }
 
-    /// Blocks for the next event; returns false on shutdown.
-    fn pump_once(&mut self) -> bool {
-        if self.shutdown {
-            return false;
-        }
-        self.flush_owed();
-        match self.rx.recv() {
-            Ok(ToApp::Event(ev)) => {
-                self.owed = true;
-                self.ingest(ev);
-                true
-            }
-            Ok(ToApp::Shutdown) | Err(_) => {
-                self.shutdown = true;
-                false
-            }
-        }
-    }
-
-    fn ingest(&mut self, ev: WsEvent) {
+    /// Whether `ev` matches this wait set. `Init` is always admitted.
+    pub fn admits(&self, ev: &WsEvent) -> bool {
         match ev {
-            WsEvent::Init { seed } => {
-                // Re-init should not happen; reseed defensively.
-                self.rng = StdRng::seed_from_u64(seed);
-            }
-            WsEvent::Request { handle, bytes } => {
-                if let Ok(mc) = MessageContext::from_bytes(&bytes) {
-                    if let Some(id) = &mc.addressing().message_id {
-                        self.handles.insert(id.clone(), handle);
-                    }
-                    self.inbox.push_back(Incoming::Request(mc));
-                } // malformed requests are dropped identically everywhere
-            }
-            WsEvent::Reply { bytes } => {
-                if let Ok(mc) = MessageContext::from_bytes(&bytes) {
-                    self.inbox.push_back(Incoming::Reply(mc));
-                }
-            }
-            WsEvent::Aborted { msg_id } => {
-                // Surface the abort as a SOAP fault correlated to the
-                // request, so receive_reply(_for) observers see it.
-                let fault = Fault {
-                    code: "soap:Receiver".to_owned(),
-                    reason: "request aborted by Perpetual-WS timeout".to_owned(),
-                };
-                let mut mc = MessageContext::from_envelope(Envelope::fault(&fault));
-                mc.addressing_mut().relates_to = Some(msg_id);
-                self.inbox.push_back(Incoming::Reply(mc));
-            }
-            WsEvent::Time { millis } => {
-                self.times.push_back(millis);
-            }
+            WsEvent::Init { .. } => true,
+            WsEvent::Request { .. } => self.requests,
+            WsEvent::Reply { token, .. } => self.any_reply || self.replies.contains(token),
+            WsEvent::Time { .. } => self.times,
         }
     }
 }
 
-impl MessageHandler for ServiceApi {
-    fn send(&mut self, mut request: MessageContext) -> String {
-        if request.addressing().reply_to.is_none() {
-            request.addressing_mut().reply_to = Some(self.own_uri.clone());
-        }
-        if self.engine.run_out_pipe(&mut request).is_err() {
-            return String::new();
-        }
-        let msg_id = request.addressing().message_id.clone().unwrap_or_default();
-        let to = request.addressing().to.clone().unwrap_or_default();
-        let timeout_ms = request.options().timeout_ms;
-        let bytes = match request.to_bytes() {
-            Ok(b) => b,
-            Err(_) => return String::new(),
-        };
-        let _ = self.tx.send(FromApp::Cmd(WsCmd::Send {
-            msg_id: msg_id.clone(),
-            to,
-            bytes,
-            timeout_ms,
-        }));
-        msg_id
+/// What a service declares after handling an event: its continuation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Poll {
+    /// Deliver the next agreed event, whatever it is.
+    Next,
+    /// Deliver only events admitted by the wait set; queue the rest in
+    /// agreed order until the service widens its interest.
+    Wait(WaitSet),
+    /// The service is finished; discard queued and future events.
+    Done,
+}
+
+impl Poll {
+    /// Wait for the next external request only (the passive idiom).
+    pub fn request() -> Poll {
+        Poll::Wait(WaitSet::new().requests())
     }
 
-    fn receive_reply(&mut self) -> Option<MessageContext> {
-        loop {
-            if let Some(pos) = self
-                .inbox
-                .iter()
-                .position(|i| matches!(i, Incoming::Reply(_)))
-            {
-                let Some(Incoming::Reply(mc)) = self.inbox.remove(pos) else {
-                    unreachable!("position matched a reply");
-                };
-                return Some(mc);
-            }
-            if !self.pump_once() {
-                return None;
-            }
-        }
+    /// Wait for the reply to one specific call only (the synchronous
+    /// `send_receive` idiom: requests arriving meanwhile stay queued).
+    pub fn reply(token: CallToken) -> Poll {
+        Poll::Wait(WaitSet::new().reply(token))
     }
 
-    fn receive_reply_for(&mut self, request_msg_id: &str) -> Option<MessageContext> {
-        loop {
-            if let Some(pos) = self.inbox.iter().position(|i| {
-                matches!(i, Incoming::Reply(r)
-                    if r.addressing().relates_to.as_deref() == Some(request_msg_id))
-            }) {
-                let Some(Incoming::Reply(mc)) = self.inbox.remove(pos) else {
-                    unreachable!("position matched a reply");
-                };
-                return Some(mc);
-            }
-            if !self.pump_once() {
-                return None;
-            }
-        }
+    /// Wait for any reply (the windowed-pipeline idiom).
+    pub fn any_reply() -> Poll {
+        Poll::Wait(WaitSet::new().any_reply())
     }
 
-    fn receive_request(&mut self) -> Option<MessageContext> {
-        loop {
-            if let Some(pos) = self
-                .inbox
-                .iter()
-                .position(|i| matches!(i, Incoming::Request(_)))
-            {
-                let Some(Incoming::Request(mc)) = self.inbox.remove(pos) else {
-                    unreachable!("position matched a request");
-                };
-                return Some(mc);
-            }
-            if !self.pump_once() {
-                return None;
-            }
-        }
-    }
-
-    fn send_reply(&mut self, mut reply: MessageContext, request: &MessageContext) {
-        let Some(req_id) = request.addressing().message_id.clone() else {
-            return;
-        };
-        let Some(handle) = self.handles.get(&req_id).copied() else {
-            return;
-        };
-        // Fill in WS-Addressing correlation exactly as §5.1 stage (7):
-        // to ← request.replyTo, relatesTo ← request.messageID.
-        if reply.addressing().relates_to.is_none() {
-            reply.addressing_mut().relates_to = Some(req_id.clone());
-        }
-        if reply.addressing().to.is_none() {
-            reply.addressing_mut().to = request.addressing().reply_to.clone();
-        }
-        if self.engine.run_out_pipe(&mut reply).is_err() {
-            return;
-        }
-        if let Ok(bytes) = reply.to_bytes() {
-            let _ = self.tx.send(FromApp::Cmd(WsCmd::Reply { handle, bytes }));
-        }
+    /// Wait for an agreed-time answer only.
+    pub fn time() -> Poll {
+        Poll::Wait(WaitSet::new().times())
     }
 }
 
-impl Utils for ServiceApi {
-    fn current_time_millis(&mut self) -> u64 {
-        let _ = self.tx.send(FromApp::Cmd(WsCmd::QueryTime));
-        loop {
-            if let Some(ms) = self.times.pop_front() {
-                return ms;
-            }
-            if !self.pump_once() {
-                return 0;
-            }
-        }
-    }
+/// A deterministic, poll-driven Web Service.
+///
+/// Implementations must be deterministic functions of the delivered event
+/// sequence: no wall clocks, no OS randomness, no I/O — use
+/// [`ServiceCtx::query_time`] and [`ServiceCtx::random_u64`] instead
+/// (§4.2). The `Any` supertrait enables typed access after a run.
+pub trait Service: std::any::Any {
+    /// Handles one agreed event and declares the continuation.
+    fn on_event(&mut self, ev: WsEvent, ctx: &mut ServiceCtx<'_>) -> Poll;
+}
 
-    fn random_u64(&mut self) -> u64 {
-        self.rng.next_u64()
+impl<F> Service for F
+where
+    F: FnMut(WsEvent, &mut ServiceCtx<'_>) -> Poll + 'static,
+{
+    fn on_event(&mut self, ev: WsEvent, ctx: &mut ServiceCtx<'_>) -> Poll {
+        self(ev, ctx)
     }
 }
+
+pub(crate) use crate::host::ServiceCtx;
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crossbeam::channel::unbounded;
 
-    fn api_pair() -> (ServiceApi, Sender<ToApp>, Receiver<FromApp>) {
-        let (to_tx, to_rx) = unbounded();
-        let (from_tx, from_rx) = unbounded();
-        to_tx.send(ToApp::Event(WsEvent::Init { seed: 9 })).unwrap();
-        let api = ServiceApi::new(to_rx, from_tx, "test");
-        (api, to_tx, from_rx)
-    }
-
-    #[test]
-    fn init_seeds_rng_deterministically() {
-        let (mut a, _ta, _fa) = api_pair();
-        let (mut b, _tb, _fb) = api_pair();
-        assert_eq!(a.random_u64(), b.random_u64());
-        assert_eq!(a.random_u64(), b.random_u64());
-    }
-
-    #[test]
-    fn send_assigns_ids_and_emits_cmd() {
-        let (mut api, _to, from) = api_pair();
-        let mc = MessageContext::request("urn:svc:bank", "check");
-        let id = api.send(mc);
-        assert!(id.starts_with("urn:uuid:test-"));
-        match from.try_recv().unwrap() {
-            FromApp::Cmd(WsCmd::Send { msg_id, to, .. }) => {
-                assert_eq!(msg_id, id);
-                assert_eq!(to, "urn:svc:bank");
-            }
-            other => panic!("unexpected {other:?}"),
+    fn req_ev() -> WsEvent {
+        WsEvent::Request {
+            request: MessageContext::request("urn:svc:x", "op"),
         }
     }
 
     #[test]
-    fn receive_returns_queued_then_blocks_until_event() {
-        let (mut api, to, from) = api_pair();
-        // Feed a request event, then shutdown.
-        let mut req = MessageContext::request("urn:svc:me", "op");
-        req.addressing_mut().message_id = Some("m1".into());
-        to.send(ToApp::Event(WsEvent::Request {
-            handle: RequestHandle {
-                caller: pws_perpetual::GroupId(9),
-                req_no: 0,
-            },
-            bytes: req.to_bytes().unwrap(),
-        }))
-        .unwrap();
-        to.send(ToApp::Shutdown).unwrap();
-        let got = api.receive_request().unwrap();
-        assert_eq!(got.addressing().message_id.as_deref(), Some("m1"));
-        assert!(api.receive_request().is_none(), "shutdown → None");
-        // The app yielded exactly once: for Init (owed) before blocking.
-        let yields: usize = from
-            .try_iter()
-            .filter(|m| matches!(m, FromApp::Yield))
-            .count();
-        assert_eq!(yields, 2, "one for Init, one for the request event");
-    }
-
-    #[test]
-    fn aborts_surface_as_faults() {
-        let (mut api, to, _from) = api_pair();
-        to.send(ToApp::Event(WsEvent::Aborted {
-            msg_id: "m7".into(),
-        }))
-        .unwrap();
-        to.send(ToApp::Shutdown).unwrap();
-        let reply = api.receive_reply_for("m7").unwrap();
-        let fault = reply.envelope().as_fault().expect("fault body");
-        assert!(fault.reason.contains("aborted"));
-    }
-
-    #[test]
-    fn time_values_pop_in_order() {
-        let (mut api, to, _from) = api_pair();
-        to.send(ToApp::Event(WsEvent::Time { millis: 100 }))
-            .unwrap();
-        to.send(ToApp::Event(WsEvent::Time { millis: 200 }))
-            .unwrap();
-        assert_eq!(api.current_time_millis(), 100);
-        assert_eq!(api.current_time_millis(), 200);
-    }
-
-    #[test]
-    fn reply_for_skips_unrelated() {
-        let (mut api, to, _from) = api_pair();
-        let mk = |relates: &str| {
-            let mut mc = MessageContext::request("urn:x", "opResponse");
-            mc.addressing_mut().relates_to = Some(relates.into());
-            WsEvent::Reply {
-                bytes: mc.to_bytes().unwrap(),
-            }
+    fn wait_set_admission_rules() {
+        let ws = WaitSet::new().requests();
+        assert!(ws.admits(&req_ev()));
+        assert!(
+            ws.admits(&WsEvent::Init { seed: 1 }),
+            "Init always admitted"
+        );
+        assert!(!ws.admits(&WsEvent::Time {
+            token: TimeToken(0),
+            millis: 5
+        }));
+        let reply = WsEvent::Reply {
+            token: CallToken(3),
+            reply: MessageContext::request("urn:x", "r"),
         };
-        to.send(ToApp::Event(mk("a"))).unwrap();
-        to.send(ToApp::Event(mk("b"))).unwrap();
-        let b = api.receive_reply_for("b").unwrap();
-        assert_eq!(b.addressing().relates_to.as_deref(), Some("b"));
-        let a = api.receive_reply().unwrap();
-        assert_eq!(a.addressing().relates_to.as_deref(), Some("a"));
+        assert!(!ws.admits(&reply));
+        assert!(WaitSet::new().reply(CallToken(3)).admits(&reply));
+        assert!(!WaitSet::new().reply(CallToken(4)).admits(&reply));
+        assert!(WaitSet::new().any_reply().admits(&reply));
+        assert!(WaitSet::new().times().admits(&WsEvent::Time {
+            token: TimeToken(9),
+            millis: 5
+        }));
+        assert!(
+            !WaitSet::new().admits(&req_ev()),
+            "empty set admits nothing"
+        );
     }
 
     #[test]
-    fn send_reply_correlates_and_needs_known_handle() {
-        let (mut api, to, from) = api_pair();
-        let mut req = MessageContext::request("urn:svc:me", "op");
-        req.addressing_mut().message_id = Some("req-1".into());
-        req.addressing_mut().reply_to = Some("urn:svc:caller".into());
-        to.send(ToApp::Event(WsEvent::Request {
-            handle: RequestHandle {
-                caller: pws_perpetual::GroupId(2),
-                req_no: 5,
-            },
-            bytes: req.to_bytes().unwrap(),
-        }))
-        .unwrap();
-        let got = api.receive_request().unwrap();
-        let reply = got.reply_with("", pws_soap::XmlNode::new("ok"));
-        api.send_reply(reply, &got);
-        let cmds: Vec<FromApp> = from.try_iter().collect();
-        let sent = cmds.iter().any(|c| {
-            matches!(c, FromApp::Cmd(WsCmd::Reply { handle, bytes })
-                if handle.req_no == 5 && !bytes.is_empty())
-        });
-        assert!(sent, "reply command emitted: {cmds:?}");
-        // Replying to an unknown request is a no-op.
-        let stranger = MessageContext::request("urn:x", "op");
-        api.send_reply(MessageContext::request("urn:y", "r"), &stranger);
+    fn poll_shorthands() {
+        assert_eq!(Poll::request(), Poll::Wait(WaitSet::new().requests()));
+        assert_eq!(
+            Poll::reply(CallToken(7)),
+            Poll::Wait(WaitSet::new().reply(CallToken(7)))
+        );
+        assert_eq!(Poll::any_reply(), Poll::Wait(WaitSet::new().any_reply()));
+        assert_eq!(Poll::time(), Poll::Wait(WaitSet::new().times()));
+    }
+
+    #[test]
+    fn wait_set_replies_bulk_constructor() {
+        let ws = WaitSet::new().replies([CallToken(1), CallToken(2)]);
+        for t in [1, 2] {
+            assert!(ws.admits(&WsEvent::Reply {
+                token: CallToken(t),
+                reply: MessageContext::request("urn:x", "r"),
+            }));
+        }
+        assert!(!ws.admits(&WsEvent::Reply {
+            token: CallToken(3),
+            reply: MessageContext::request("urn:x", "r"),
+        }));
+    }
+
+    #[test]
+    fn tokens_format_compactly() {
+        assert_eq!(format!("{:?}", CallToken(4)), "out#4");
+        assert_eq!(format!("{:?}", TimeToken(2)), "time#2");
     }
 }

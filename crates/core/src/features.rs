@@ -116,11 +116,14 @@ mod tests {
         assert!(sup("Replicated-WS interoperability"));
         // Fault isolation: ...::compromised_target_group_triggers_deterministic_abort.
         assert!(sup("Fault isolation"));
-        // Long-running threads: crate::ActiveService.
+        // Long-running computations: crate::Service state machines with
+        // multi-event continuations (crate::Poll wait sets).
         assert!(sup("Long-running active threads"));
-        // Async: MessageHandler::send + receive_reply are non-coupled.
+        // Async: crate::ServiceCtx::send returns a CallToken; replies
+        // resume continuations out of order via crate::WaitSet.
         assert!(sup("Asynchronous communication"));
-        // Host-specific info: crate::Utils (time votes + seeded random).
+        // Host-specific info: crate::ServiceCtx::query_time (time votes)
+        // + crate::ServiceCtx::random_u64 (seeded random).
         assert!(sup("Access to host-specific information"));
         // MACs not signatures: pws-crypto (HMAC authenticators).
         assert!(sup("Low cryptographic overhead"));

@@ -1,0 +1,676 @@
+//! Hosting: bridges a poll-driven [`Service`] onto the Perpetual executor
+//! interface, entirely on the simulation thread.
+//!
+//! One [`ServiceExecutor`] per replica translates agreed
+//! [`pws_perpetual::AppEvent`]s into [`WsEvent`]s, delivers them to the
+//! service filtered through its declared [`Poll`] continuation (events the
+//! service is not waiting on stay queued, in agreed order), and turns
+//! [`ServiceCtx`] commands back into [`pws_perpetual::AppOutput`] commands.
+//! There is no per-replica OS thread, no channel handshake, and no
+//! join/shutdown choreography: a replica host is a plain struct, so
+//! creating and tearing one down costs nanoseconds instead of a thread
+//! spawn + join.
+
+use crate::api::{CallToken, Poll, Service, TimeToken, WsEvent};
+use crate::runtime::UriMap;
+use crate::wscost::WsCostModel;
+use pws_perpetual::{AppEvent, AppOutput, Executor, RequestHandle};
+use pws_simnet::SimDuration;
+use pws_soap::engine::Engine;
+use pws_soap::{Envelope, Fault, MessageContext};
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// Synthetic `wsa:MessageID` prefix for inbound requests that arrive
+/// without one. Derived from the agreed [`RequestHandle`], so every replica
+/// assigns the identical id and the request stays repliable; [`ServiceCtx::reply`]
+/// keeps synthetic ids off the wire (no `RelatesTo` is fabricated from
+/// them, matching the old executor's behavior for id-less requests).
+const ANON_MSG_ID_PREFIX: &str = "urn:pws:anon:";
+
+/// Persistent per-replica state shared with the service through
+/// [`ServiceCtx`].
+struct HostState {
+    engine: Engine,
+    /// This service's own URI, used as the default `wsa:ReplyTo` (§5.1
+    /// stage 1: "the MessageHandler augments the MessageContext by setting
+    /// the wsa:replyTo field").
+    own_uri: String,
+    uris: Arc<UriMap>,
+    ws_cost: WsCostModel,
+    /// Deterministic randomness seeded by the group-agreed seed.
+    rng: StdRng,
+    /// Incoming request `wsa:MessageID` → reply handle.
+    handles: HashMap<String, RequestHandle>,
+    /// Outcall token assignment (deterministic dense counter).
+    next_token: u64,
+    /// Perpetual call id → token, for reply/abort correlation.
+    calls: HashMap<u64, CallToken>,
+    /// Token → request `wsa:MessageID`, for abort fault correlation.
+    token_msg: HashMap<CallToken, String>,
+    /// Sends that failed locally (unroutable endpoint, marshal error):
+    /// surfaced as deterministic abort faults after the current event.
+    failed_sends: Vec<CallToken>,
+}
+
+/// The handle through which a [`Service`] acts on the world during one
+/// [`Service::on_event`] delivery.
+///
+/// All commands are non-blocking; answers come back as later [`WsEvent`]s.
+pub struct ServiceCtx<'a> {
+    st: &'a mut HostState,
+    out: &'a mut AppOutput,
+}
+
+impl std::fmt::Debug for ServiceCtx<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceCtx").finish_non_exhaustive()
+    }
+}
+
+impl ServiceCtx<'_> {
+    /// Sends a request message without blocking; returns the token that
+    /// will identify its [`WsEvent::Reply`]. Sets `wsa:ReplyTo` to this
+    /// service's own URI if unset. A request that cannot be routed or
+    /// marshalled resolves deterministically to an abort fault delivered
+    /// after the current event (every replica does the same).
+    pub fn send(&mut self, mut request: MessageContext) -> CallToken {
+        let token = CallToken(self.st.next_token);
+        self.st.next_token += 1;
+        if request.addressing().reply_to.is_none() {
+            request.addressing_mut().reply_to = Some(self.st.own_uri.clone());
+        }
+        if self.st.engine.run_out_pipe(&mut request).is_err() {
+            self.st.failed_sends.push(token);
+            return token;
+        }
+        let msg_id = request.addressing().message_id.clone().unwrap_or_default();
+        let to = request.addressing().to.clone().unwrap_or_default();
+        let timeout_ms = request.options().timeout_ms;
+        let Ok(bytes) = request.to_bytes() else {
+            self.st.token_msg.insert(token, msg_id);
+            self.st.failed_sends.push(token);
+            return token;
+        };
+        match self.st.uris.group(&to) {
+            Some(target) => {
+                self.out.spend(self.st.ws_cost.marshal_cost(bytes.len()));
+                let call = self
+                    .out
+                    .call(target, bytes, timeout_ms.map(SimDuration::from_millis));
+                self.st.calls.insert(call.0, token);
+                self.st.token_msg.insert(token, msg_id);
+            }
+            None => {
+                self.st.token_msg.insert(token, msg_id);
+                self.st.failed_sends.push(token);
+            }
+        }
+        token
+    }
+
+    /// Sends `reply` as the response to `request` (a previously delivered
+    /// [`WsEvent::Request`]). Fills in WS-Addressing correlation exactly as
+    /// §5.1 stage (7): `to ← request.replyTo`, `relatesTo ←
+    /// request.messageID`. Each request can be answered at most once.
+    pub fn reply(&mut self, mut reply: MessageContext, request: &MessageContext) {
+        let Some(req_id) = request.addressing().message_id.clone() else {
+            return;
+        };
+        let Some(handle) = self.st.handles.get(&req_id).copied() else {
+            return;
+        };
+        if reply.addressing().relates_to.is_none() {
+            reply.addressing_mut().relates_to = Some(req_id.clone());
+        }
+        // Synthetic ids (requests that arrived without wsa:MessageID) stay
+        // off the wire, however they got into RelatesTo.
+        if reply
+            .addressing()
+            .relates_to
+            .as_deref()
+            .is_some_and(|r| r.starts_with(ANON_MSG_ID_PREFIX))
+        {
+            reply.addressing_mut().relates_to = None;
+        }
+        if reply.addressing().to.is_none() {
+            reply.addressing_mut().to = request.addressing().reply_to.clone();
+        }
+        if self.st.engine.run_out_pipe(&mut reply).is_err() {
+            return;
+        }
+        let Ok(bytes) = reply.to_bytes() else { return };
+        self.st.handles.remove(&req_id);
+        self.out.spend(self.st.ws_cost.marshal_cost(bytes.len()));
+        self.out.reply(handle, bytes);
+    }
+
+    /// Asks the voter group to agree on the current time; the answer
+    /// arrives as [`WsEvent::Time`] with the returned token. Replaces
+    /// `System.currentTimeMillis()` (§4.2).
+    pub fn query_time(&mut self) -> TimeToken {
+        TimeToken(self.out.query_time())
+    }
+
+    /// Burns simulated CPU time at this replica — the deterministic
+    /// replacement for "this computation takes a while".
+    pub fn spend(&mut self, d: SimDuration) {
+        self.out.spend(d);
+    }
+
+    /// Deterministic randomness seeded by the group-agreed seed. Replaces
+    /// direct `java.util.Random` construction (§4.2).
+    pub fn random_u64(&mut self) -> u64 {
+        self.st.rng.next_u64()
+    }
+
+    /// This service's own URI (`urn:svc:<name>`).
+    pub fn own_uri(&self) -> &str {
+        &self.st.own_uri
+    }
+}
+
+/// The simulation-side executor hosting one replica of a poll-driven
+/// [`Service`].
+pub struct ServiceExecutor {
+    service: Box<dyn Service>,
+    service_name: String,
+    state: HostState,
+    /// Events not yet admitted by the service's wait set, in agreed order.
+    queue: VecDeque<WsEvent>,
+    /// The service's current continuation.
+    wait: Poll,
+}
+
+impl std::fmt::Debug for ServiceExecutor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceExecutor")
+            .field("service", &self.service_name)
+            .field("queued", &self.queue.len())
+            .field("wait", &self.wait)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServiceExecutor {
+    /// Wraps `service` for one replica of the service named `name`.
+    pub fn new(
+        service: Box<dyn Service>,
+        name: impl Into<String>,
+        uris: Arc<UriMap>,
+        ws_cost: WsCostModel,
+    ) -> Self {
+        let name = name.into();
+        ServiceExecutor {
+            service,
+            state: HostState {
+                engine: Engine::with_id_prefix(&name),
+                own_uri: format!("urn:svc:{name}"),
+                uris,
+                ws_cost,
+                rng: StdRng::seed_from_u64(0),
+                handles: HashMap::new(),
+                next_token: 0,
+                calls: HashMap::new(),
+                token_msg: HashMap::new(),
+                failed_sends: Vec::new(),
+            },
+            service_name: name,
+            queue: VecDeque::new(),
+            wait: Poll::Next,
+        }
+    }
+
+    /// Whether the service declared [`Poll::Done`].
+    pub fn is_done(&self) -> bool {
+        self.wait == Poll::Done
+    }
+
+    /// Typed access to the hosted service (for harvesting results after a
+    /// run).
+    pub fn service_mut<T: Service>(&mut self) -> Option<&mut T> {
+        let any: &mut dyn std::any::Any = self.service.as_mut();
+        any.downcast_mut::<T>()
+    }
+
+    /// A synthesized abort fault for `token`, correlated to the original
+    /// request if its `wsa:MessageID` is known.
+    fn abort_fault(&mut self, token: CallToken) -> WsEvent {
+        let fault = Fault {
+            code: "soap:Receiver".to_owned(),
+            reason: "request aborted by Perpetual-WS timeout".to_owned(),
+        };
+        let mut mc = MessageContext::from_envelope(Envelope::fault(&fault));
+        mc.addressing_mut().relates_to = self.state.token_msg.remove(&token);
+        WsEvent::Reply { token, reply: mc }
+    }
+
+    /// Delivers queued events admitted by the current wait set, in agreed
+    /// order, until the service blocks (no admitted event) or finishes.
+    fn drain(&mut self, out: &mut AppOutput) {
+        loop {
+            let pos = match &self.wait {
+                Poll::Done => {
+                    self.queue.clear();
+                    return;
+                }
+                Poll::Next => {
+                    if self.queue.is_empty() {
+                        return;
+                    }
+                    0
+                }
+                Poll::Wait(ws) => match self.queue.iter().position(|e| ws.admits(e)) {
+                    Some(p) => p,
+                    None => return,
+                },
+            };
+            let ev = self.queue.remove(pos).expect("position within queue");
+            let mut ctx = ServiceCtx {
+                st: &mut self.state,
+                out,
+            };
+            let poll = self.service.on_event(ev, &mut ctx);
+            // Locally-failed sends surface as deterministic abort faults,
+            // queued after the event that issued them.
+            let failed: Vec<CallToken> = std::mem::take(&mut self.state.failed_sends);
+            for token in failed {
+                let ev = self.abort_fault(token);
+                self.queue.push_back(ev);
+            }
+            self.wait = poll;
+        }
+    }
+}
+
+impl Executor for ServiceExecutor {
+    fn on_event(&mut self, ev: AppEvent, out: &mut AppOutput) {
+        // A finished service ignores events outright: no demarshal cost,
+        // no bookkeeping growth.
+        if self.wait == Poll::Done {
+            return;
+        }
+        match ev {
+            AppEvent::Init { seed } => {
+                self.state.rng = StdRng::seed_from_u64(seed);
+                self.queue.push_back(WsEvent::Init { seed });
+            }
+            AppEvent::Request { handle, payload } => {
+                out.spend(self.state.ws_cost.demarshal_cost(payload.len()));
+                if let Ok(mut request) = MessageContext::from_bytes(&payload) {
+                    let id = match &request.addressing().message_id {
+                        Some(id) => id.clone(),
+                        None => {
+                            let id = format!(
+                                "{ANON_MSG_ID_PREFIX}{}:{}",
+                                handle.caller.0, handle.req_no
+                            );
+                            request.addressing_mut().message_id = Some(id.clone());
+                            id
+                        }
+                    };
+                    self.state.handles.insert(id, handle);
+                    self.queue.push_back(WsEvent::Request { request });
+                } // malformed requests are dropped identically everywhere
+            }
+            AppEvent::Reply { call, payload } => {
+                out.spend(self.state.ws_cost.demarshal_cost(payload.len()));
+                let Some(token) = self.state.calls.remove(&call.0) else {
+                    return;
+                };
+                self.state.token_msg.remove(&token);
+                if let Ok(reply) = MessageContext::from_bytes(&payload) {
+                    self.queue.push_back(WsEvent::Reply { token, reply });
+                }
+            }
+            AppEvent::Aborted { call } => {
+                let Some(token) = self.state.calls.remove(&call.0) else {
+                    return;
+                };
+                let ev = self.abort_fault(token);
+                self.queue.push_back(ev);
+            }
+            AppEvent::Time { token, millis } => {
+                self.queue.push_back(WsEvent::Time {
+                    token: TimeToken(token),
+                    millis,
+                });
+            }
+        }
+        self.drain(out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pws_perpetual::GroupId;
+    use pws_soap::XmlNode;
+
+    fn uris() -> Arc<UriMap> {
+        let mut m = UriMap::default();
+        m.insert("bank", GroupId(3));
+        Arc::new(m)
+    }
+
+    fn request_bytes(id: &str, op: &str, text: &str) -> bytes::Bytes {
+        let mut mc = MessageContext::request("urn:svc:store", op);
+        mc.addressing_mut().message_id = Some(id.into());
+        mc.addressing_mut().reply_to = Some("urn:svc:caller".into());
+        mc.body_mut().name = op.into();
+        mc.body_mut().text = text.into();
+        mc.to_bytes().unwrap()
+    }
+
+    /// Records every delivered event kind; issues one call on Init.
+    struct Recorder {
+        events: Vec<String>,
+        poll: Poll,
+    }
+    impl Service for Recorder {
+        fn on_event(&mut self, ev: WsEvent, ctx: &mut ServiceCtx<'_>) -> Poll {
+            match ev {
+                WsEvent::Init { .. } => {
+                    let mut req = MessageContext::request("urn:svc:bank", "check");
+                    req.options_mut().set_timeout_millis(1000);
+                    let t = ctx.send(req);
+                    self.events.push(format!("init->{t:?}"));
+                }
+                WsEvent::Request { request } => {
+                    self.events.push(format!("req:{}", request.body().name));
+                    let reply = request.reply_with("", XmlNode::new("ok"));
+                    ctx.reply(reply, &request);
+                }
+                WsEvent::Reply { token, reply } => {
+                    let kind = if reply.envelope().as_fault().is_some() {
+                        "fault"
+                    } else {
+                        "ok"
+                    };
+                    self.events.push(format!("reply:{token:?}:{kind}"));
+                }
+                WsEvent::Time { millis, .. } => self.events.push(format!("time:{millis}")),
+            }
+            self.poll.clone()
+        }
+    }
+
+    #[test]
+    fn init_issues_call_with_timeout() {
+        let svc = Recorder {
+            events: Vec::new(),
+            poll: Poll::Next,
+        };
+        let mut exec = ServiceExecutor::new(Box::new(svc), "store", uris(), WsCostModel::FREE);
+        let mut out = AppOutput::new(0, 0);
+        exec.on_event(AppEvent::Init { seed: 5 }, &mut out);
+        let calls: Vec<_> = out
+            .cmds()
+            .iter()
+            .filter(|c| matches!(c, pws_perpetual::AppCmd::Call { .. }))
+            .collect();
+        assert_eq!(calls.len(), 1);
+        if let pws_perpetual::AppCmd::Call {
+            target, timeout, ..
+        } = calls[0]
+        {
+            assert_eq!(*target, GroupId(3));
+            assert_eq!(*timeout, Some(SimDuration::from_millis(1000)));
+        }
+        let r = exec.service_mut::<Recorder>().unwrap();
+        assert_eq!(r.events, vec!["init->out#0"]);
+    }
+
+    #[test]
+    fn unknown_endpoint_aborts_as_fault_reply() {
+        let svc = |ev: WsEvent, ctx: &mut ServiceCtx<'_>| match ev {
+            WsEvent::Init { .. } => {
+                let t = ctx.send(MessageContext::request("urn:svc:nowhere", "op"));
+                Poll::reply(t)
+            }
+            WsEvent::Reply { reply, .. } => {
+                assert!(reply.envelope().as_fault().is_some(), "abort is a fault");
+                Poll::Done
+            }
+            _ => Poll::Next,
+        };
+        let mut exec = ServiceExecutor::new(Box::new(svc), "store", uris(), WsCostModel::FREE);
+        let mut out = AppOutput::new(0, 0);
+        exec.on_event(AppEvent::Init { seed: 5 }, &mut out);
+        assert!(
+            out.cmds()
+                .iter()
+                .all(|c| !matches!(c, pws_perpetual::AppCmd::Call { .. })),
+            "no call issued for unknown endpoint"
+        );
+        assert!(exec.is_done(), "the abort fault resumed the continuation");
+    }
+
+    #[test]
+    fn wait_set_holds_back_unadmitted_events() {
+        // The service waits only on its outcall's reply; a request arriving
+        // first stays queued and is delivered after interest widens.
+        let svc = Recorder {
+            events: Vec::new(),
+            poll: Poll::Next,
+        };
+        let mut exec = ServiceExecutor::new(Box::new(svc), "store", uris(), WsCostModel::FREE);
+        let mut out = AppOutput::new(0, 0);
+        exec.on_event(AppEvent::Init { seed: 5 }, &mut out);
+        // Narrow the wait to the outcall's reply only.
+        exec.service_mut::<Recorder>().unwrap().poll = Poll::reply(CallToken(0));
+        exec.wait = Poll::Wait(crate::api::WaitSet::new().reply(CallToken(0)));
+        let h = RequestHandle {
+            caller: GroupId(9),
+            req_no: 1,
+        };
+        exec.on_event(
+            AppEvent::Request {
+                handle: h,
+                payload: request_bytes("m1", "op", "x"),
+            },
+            &mut out,
+        );
+        assert_eq!(
+            exec.service_mut::<Recorder>().unwrap().events.len(),
+            1,
+            "request held back while waiting on the reply"
+        );
+        // Once the reply arrives the service widens to Next, so the queued
+        // request is delivered in the same drain — reply first (agreed
+        // order among admitted events), then the request.
+        exec.service_mut::<Recorder>().unwrap().poll = Poll::Next;
+        let reply_payload = {
+            let mut mc = MessageContext::request("urn:svc:store", "checkResponse");
+            mc.addressing_mut().relates_to = Some("whatever".into());
+            mc.to_bytes().unwrap()
+        };
+        exec.on_event(
+            AppEvent::Reply {
+                call: pws_perpetual::CallId(0),
+                payload: reply_payload,
+            },
+            &mut out,
+        );
+        let r = exec.service_mut::<Recorder>().unwrap();
+        assert_eq!(r.events, vec!["init->out#0", "reply:out#0:ok", "req:op"]);
+    }
+
+    #[test]
+    fn done_discards_queued_and_future_events() {
+        let svc = |ev: WsEvent, _ctx: &mut ServiceCtx<'_>| match ev {
+            WsEvent::Init { .. } => Poll::Done,
+            _ => panic!("no event may reach a Done service"),
+        };
+        let mut exec = ServiceExecutor::new(Box::new(svc), "x", uris(), WsCostModel::FREE);
+        let mut out = AppOutput::new(0, 0);
+        exec.on_event(AppEvent::Init { seed: 1 }, &mut out);
+        assert!(exec.is_done());
+        exec.on_event(
+            AppEvent::Time {
+                token: 0,
+                millis: 1,
+            },
+            &mut out,
+        );
+        exec.on_event(
+            AppEvent::Request {
+                handle: RequestHandle {
+                    caller: GroupId(2),
+                    req_no: 0,
+                },
+                payload: request_bytes("m1", "op", ""),
+            },
+            &mut out,
+        );
+        assert!(exec.is_done());
+    }
+
+    #[test]
+    fn reply_consumes_the_request_handle() {
+        let svc = Recorder {
+            events: Vec::new(),
+            poll: Poll::Next,
+        };
+        let mut exec = ServiceExecutor::new(Box::new(svc), "store", uris(), WsCostModel::FREE);
+        let mut out = AppOutput::new(0, 0);
+        exec.on_event(AppEvent::Init { seed: 1 }, &mut out);
+        exec.on_event(
+            AppEvent::Request {
+                handle: RequestHandle {
+                    caller: GroupId(2),
+                    req_no: 5,
+                },
+                payload: request_bytes("req-1", "op", ""),
+            },
+            &mut out,
+        );
+        let replies = out
+            .cmds()
+            .iter()
+            .filter(|c| matches!(c, pws_perpetual::AppCmd::Reply { to, .. } if to.req_no == 5))
+            .count();
+        assert_eq!(replies, 1);
+        assert!(exec.state.handles.is_empty(), "handle consumed on reply");
+    }
+
+    #[test]
+    fn request_without_message_id_is_still_repliable() {
+        let svc = Recorder {
+            events: Vec::new(),
+            poll: Poll::Next,
+        };
+        let mut exec = ServiceExecutor::new(Box::new(svc), "store", uris(), WsCostModel::FREE);
+        let mut out = AppOutput::new(0, 0);
+        exec.on_event(AppEvent::Init { seed: 1 }, &mut out);
+        let mut mc = MessageContext::request("urn:svc:store", "op");
+        mc.addressing_mut().reply_to = Some("urn:svc:caller".into());
+        assert!(mc.addressing().message_id.is_none());
+        exec.on_event(
+            AppEvent::Request {
+                handle: RequestHandle {
+                    caller: GroupId(4),
+                    req_no: 9,
+                },
+                payload: mc.to_bytes().unwrap(),
+            },
+            &mut out,
+        );
+        let reply = out
+            .cmds()
+            .iter()
+            .find_map(|c| match c {
+                pws_perpetual::AppCmd::Reply { to, payload } if to.req_no == 9 => {
+                    Some(MessageContext::from_bytes(payload).unwrap())
+                }
+                _ => None,
+            })
+            .expect("id-less request still answered via its handle");
+        // The synthetic id stays off the wire: no fabricated RelatesTo.
+        assert_eq!(reply.addressing().relates_to, None);
+    }
+
+    #[test]
+    fn done_service_pays_nothing_for_later_events() {
+        let svc = |ev: WsEvent, _ctx: &mut ServiceCtx<'_>| match ev {
+            WsEvent::Init { .. } => Poll::Done,
+            _ => unreachable!(),
+        };
+        let mut exec = ServiceExecutor::new(
+            Box::new(svc),
+            "x",
+            uris(),
+            WsCostModel::DEFAULT, // nonzero demarshal cost
+        );
+        let mut out = AppOutput::new(0, 0);
+        exec.on_event(AppEvent::Init { seed: 1 }, &mut out);
+        assert!(exec.is_done());
+        exec.on_event(
+            AppEvent::Request {
+                handle: RequestHandle {
+                    caller: GroupId(2),
+                    req_no: 0,
+                },
+                payload: request_bytes("m1", "op", ""),
+            },
+            &mut out,
+        );
+        assert!(
+            out.cmds()
+                .iter()
+                .all(|c| !matches!(c, pws_perpetual::AppCmd::Spend(_))),
+            "no demarshal spend after Done: {:?}",
+            out.cmds()
+        );
+        assert!(exec.state.handles.is_empty(), "no bookkeeping growth");
+    }
+
+    #[test]
+    fn agreed_time_round_trips_with_token() {
+        let svc = |ev: WsEvent, ctx: &mut ServiceCtx<'_>| match ev {
+            WsEvent::Init { .. } => {
+                let t = ctx.query_time();
+                assert_eq!(t, TimeToken(0));
+                Poll::time()
+            }
+            WsEvent::Time { token, millis } => {
+                assert_eq!(token, TimeToken(0));
+                assert_eq!(millis, 777);
+                Poll::Done
+            }
+            _ => panic!("unexpected event"),
+        };
+        let mut exec = ServiceExecutor::new(Box::new(svc), "x", uris(), WsCostModel::FREE);
+        let mut out = AppOutput::new(0, 0);
+        exec.on_event(AppEvent::Init { seed: 1 }, &mut out);
+        assert!(out
+            .cmds()
+            .iter()
+            .any(|c| matches!(c, pws_perpetual::AppCmd::QueryTime { token: 0 })));
+        exec.on_event(
+            AppEvent::Time {
+                token: 0,
+                millis: 777,
+            },
+            &mut out,
+        );
+        assert!(exec.is_done());
+    }
+
+    #[test]
+    fn rng_is_seeded_from_init_identically() {
+        let mk = || {
+            let svc = |_ev: WsEvent, _ctx: &mut ServiceCtx<'_>| Poll::Next;
+            ServiceExecutor::new(Box::new(svc), "x", uris(), WsCostModel::FREE)
+        };
+        let mut a = mk();
+        let mut b = mk();
+        let mut out = AppOutput::new(0, 0);
+        a.on_event(AppEvent::Init { seed: 9 }, &mut out);
+        b.on_event(AppEvent::Init { seed: 9 }, &mut out);
+        assert_eq!(a.state.rng.next_u64(), b.state.rng.next_u64());
+        assert_eq!(a.state.rng.next_u64(), b.state.rng.next_u64());
+    }
+}

@@ -10,22 +10,54 @@
 //! service, even when peers are compromised. It layers a SOAP /
 //! WS-Addressing engine ([`pws_soap`]) over the Perpetual replica-group
 //! protocol ([`pws_perpetual`]), which in turn runs Castro–Liskov BFT
-//! ([`pws_clbft`]) inside each voter group.
+//! (`pws-clbft`) inside each voter group.
 //!
-//! ## The programming model (paper §4)
+//! ## The programming model (paper §4, poll-driven)
 //!
-//! Applications are **deterministic, single-threaded** services written
-//! against the [`MessageHandler`]-style API of the paper's Fig. 3:
+//! Applications are **deterministic, sans-IO state machines** written
+//! against the [`Service`] trait — the paper's Fig. 3 API recast so the
+//! runtime *polls* the service with agreed [`WsEvent`]s and the service
+//! *returns* what it waits on:
 //!
-//! * [`ActiveService`] — a long-running thread of computation that may
-//!   `send`, `receive_request`, `receive_reply`, `send_receive`, and
-//!   `send_reply` in any order, with blocking semantics, plus deterministic
-//!   [`ServiceApi::current_time_millis`], [`ServiceApi::timestamp`] and
-//!   [`ServiceApi::random_u64`] utilities. This is what lets orchestration
-//!   (SOA/BPEL-style) run *inside* a replicated service.
+//! * [`Service::on_event`] receives one agreed event, issues commands
+//!   through the [`ServiceCtx`] ([`ServiceCtx::send`],
+//!   [`ServiceCtx::reply`], [`ServiceCtx::spend`],
+//!   [`ServiceCtx::query_time`], [`ServiceCtx::random_u64`]) and answers
+//!   with a [`Poll`] continuation: [`Poll::Next`] for anything,
+//!   [`Poll::Wait`] with a `select`-like [`WaitSet`] (reply-for-token,
+//!   next-request, agreed-time), or [`Poll::Done`].
+//! * [`ServiceCtx::send`] returns a [`CallToken`]; any number of calls may
+//!   be in flight, which makes the paper's §5 asynchronous invocation (and
+//!   SOA/BPEL-style orchestration *inside* a replicated service) first
+//!   class.
 //! * [`PassiveService`] — the classic request→reply function, the model to
 //!   which Thema/BFT-WS/SWS are limited; existing services of this shape
-//!   run unmodified.
+//!   run unmodified as the trivial one-shot case ([`PassiveHost`]).
+//!
+//! The whole deployment — every replica of every group — runs on the
+//! simulation thread. Determinism does not depend on a thread-alternation
+//! protocol; it is structural.
+//!
+//! ### Migrating from the thread API
+//!
+//! Earlier revisions ran each replica's service on a dedicated OS thread
+//! with blocking `receive_request()` / `receive_reply_for()` calls. The
+//! mapping to the poll model is mechanical:
+//!
+//! | thread API (old) | poll API (new) |
+//! |---|---|
+//! | `fn run(self, api)` loop | [`Service::on_event`] per event |
+//! | `api.receive_request()` | return [`Poll::request`], handle [`WsEvent::Request`] |
+//! | `api.receive_reply_for(id)` | return [`Poll::reply`]`(token)`, handle [`WsEvent::Reply`] |
+//! | `api.send_receive(req)` | [`ServiceCtx::send`] + [`Poll::reply`] (requests queue meanwhile) |
+//! | `api.receive_any()` | return [`Poll::Next`] |
+//! | `api.current_time_millis()` | [`ServiceCtx::query_time`] + [`Poll::time`], handle [`WsEvent::Time`] |
+//! | `api.send_reply(rep, &req)` | [`ServiceCtx::reply`] |
+//! | returning from `run` | return [`Poll::Done`] |
+//!
+//! Blocked-state bookkeeping that used to live on the thread's stack
+//! becomes explicit service state — and in exchange a deployment of G
+//! groups × (3f+1) replicas costs zero threads instead of G·(3f+1).
 //!
 //! ## Quickstart
 //!
@@ -56,19 +88,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod active;
 pub mod api;
 pub mod deployment;
 pub mod features;
+pub mod host;
 pub mod passive;
 pub mod runtime;
 pub mod wscost;
 
-pub use active::{ActiveExecutor, ActiveService};
-pub use api::{Incoming, MessageHandler, ServiceApi, Utils};
+pub use api::{CallToken, Poll, Service, TimeToken, WaitSet, WsEvent};
 pub use deployment::{parse_replicas_xml, DeploymentError, ReplicasConfig, ServiceEntry};
 pub use features::{feature_matrix, Approach, FeatureRow};
-pub use passive::{PassiveService, PassiveUtils};
+pub use host::{ServiceCtx, ServiceExecutor};
+pub use passive::{PassiveHost, PassiveService, PassiveUtils};
 pub use pws_perpetual::{CostModel, FaultMode, GroupId};
 pub use runtime::{ScriptedClient, System, SystemBuilder};
 pub use wscost::WsCostModel;

@@ -2,20 +2,22 @@
 //!
 //! "Thema, BFT-WS, SWS, and Perpetual-WS can all replicate existing passive
 //! deterministic Web Services ... without modification to the application
-//! code" (§3). This adapter runs such services directly inside the driver —
-//! no dedicated thread needed, since a passive service never blocks.
+//! code" (§3). Under the poll-driven runtime a passive service is just the
+//! trivial one-shot case of the [`Service`] trait: the [`PassiveHost`]
+//! adapter waits on requests only, calls [`PassiveService::handle`] once
+//! per request, replies, and waits again.
 
-use crate::wscost::WsCostModel;
-use pws_perpetual::{AppEvent, AppOutput, Executor};
+use crate::api::{Poll, Service, WsEvent};
+use crate::host::ServiceCtx;
 use pws_simnet::SimDuration;
-use pws_soap::engine::Engine;
 use pws_soap::MessageContext;
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 
-/// Deterministic utilities available to a passive service.
+/// Deterministic utilities available to a passive service while it handles
+/// one request.
 ///
-/// Passive services cannot block, so the voted `currentTimeMillis` of the
+/// Passive services cannot wait, so the voted `currentTimeMillis` of the
 /// active model is unavailable; deterministic randomness and simulated
 /// computation are.
 #[derive(Debug)]
@@ -52,83 +54,60 @@ where
     }
 }
 
-/// Executor adapter hosting a [`PassiveService`].
-pub struct PassiveExecutor {
+/// Adapter hosting a [`PassiveService`] as a poll-driven [`Service`].
+pub struct PassiveHost {
     service: Box<dyn PassiveService>,
-    engine: Engine,
-    ws_cost: WsCostModel,
-    rng: Option<StdRng>,
 }
 
-impl std::fmt::Debug for PassiveExecutor {
+impl std::fmt::Debug for PassiveHost {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("PassiveExecutor").finish_non_exhaustive()
+        f.debug_struct("PassiveHost").finish_non_exhaustive()
     }
 }
 
-impl PassiveExecutor {
-    /// Wraps `service`; `name` prefixes generated message ids (must be the
-    /// same on every replica of the group).
-    pub fn new(
-        service: Box<dyn PassiveService>,
-        name: impl Into<String>,
-        ws_cost: WsCostModel,
-    ) -> Self {
-        PassiveExecutor {
-            service,
-            engine: Engine::with_id_prefix(name.into()),
-            ws_cost,
-            rng: None,
-        }
+impl PassiveHost {
+    /// Wraps `service`.
+    pub fn new(service: Box<dyn PassiveService>) -> Self {
+        PassiveHost { service }
     }
 }
 
-impl Executor for PassiveExecutor {
-    fn on_event(&mut self, ev: AppEvent, out: &mut AppOutput) {
-        match ev {
-            AppEvent::Init { seed } => {
-                self.rng = Some(StdRng::seed_from_u64(seed));
-            }
-            AppEvent::Request { handle, payload } => {
-                out.spend(self.ws_cost.demarshal_cost(payload.len()));
-                let Ok(request) = MessageContext::from_bytes(&payload) else {
-                    return; // malformed requests dropped identically
-                };
-                let mut utils = PassiveUtils {
-                    rng: self
-                        .rng
-                        .as_mut()
-                        .map(|r| StdRng::seed_from_u64(r.next_u64()))
-                        .unwrap_or_else(|| StdRng::seed_from_u64(0)),
-                    spend: SimDuration::ZERO,
-                };
-                let mut reply = self.service.handle(request.clone(), &mut utils);
-                out.spend(utils.spend);
-                if reply.addressing().relates_to.is_none() {
-                    reply.addressing_mut().relates_to = request.addressing().message_id.clone();
-                }
-                if reply.addressing().to.is_none() {
-                    reply.addressing_mut().to = request.addressing().reply_to.clone();
-                }
-                if self.engine.run_out_pipe(&mut reply).is_err() {
-                    return;
-                }
-                let Ok(bytes) = reply.to_bytes() else { return };
-                out.spend(self.ws_cost.marshal_cost(bytes.len()));
-                out.reply(handle, bytes);
-            }
-            // Passive services issue no calls, so these cannot occur.
-            AppEvent::Reply { .. } | AppEvent::Aborted { .. } | AppEvent::Time { .. } => {}
+impl Service for PassiveHost {
+    fn on_event(&mut self, ev: WsEvent, ctx: &mut ServiceCtx<'_>) -> Poll {
+        if let WsEvent::Request { request } = ev {
+            // A fresh per-request RNG derived from the agreed stream keeps
+            // randomness deterministic and identical across replicas.
+            let mut utils = PassiveUtils {
+                rng: StdRng::seed_from_u64(ctx.random_u64()),
+                spend: SimDuration::ZERO,
+            };
+            let reply = self.service.handle(request.clone(), &mut utils);
+            ctx.spend(utils.spend);
+            ctx.reply(reply, &request);
         }
+        Poll::request()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::host::ServiceExecutor;
+    use crate::runtime::UriMap;
+    use crate::wscost::WsCostModel;
     use bytes::Bytes;
-    use pws_perpetual::{GroupId, RequestHandle};
+    use pws_perpetual::{AppEvent, AppOutput, Executor, GroupId, RequestHandle};
     use pws_soap::XmlNode;
+    use std::sync::Arc;
+
+    fn host(service: impl PassiveService) -> ServiceExecutor {
+        ServiceExecutor::new(
+            Box::new(PassiveHost::new(Box::new(service))),
+            "counter",
+            Arc::new(UriMap::default()),
+            WsCostModel::FREE,
+        )
+    }
 
     fn request_event(id: &str, text: &str) -> AppEvent {
         let mut mc = MessageContext::request("urn:svc:counter", "increment");
@@ -149,7 +128,7 @@ mod tests {
         let svc = |req: MessageContext, _u: &mut PassiveUtils| {
             req.reply_with("", XmlNode::new("result").with_text("done"))
         };
-        let mut exec = PassiveExecutor::new(Box::new(svc), "counter", WsCostModel::FREE);
+        let mut exec = host(svc);
         let mut out = AppOutput::new(0, 0);
         exec.on_event(AppEvent::Init { seed: 1 }, &mut out);
         exec.on_event(request_event("m9", "x"), &mut out);
@@ -174,7 +153,7 @@ mod tests {
             u.spend(SimDuration::from_millis(6));
             req.reply_with("", XmlNode::new("r"))
         };
-        let mut exec = PassiveExecutor::new(Box::new(svc), "c", WsCostModel::FREE);
+        let mut exec = host(svc);
         let mut out = AppOutput::new(0, 0);
         exec.on_event(AppEvent::Init { seed: 1 }, &mut out);
         exec.on_event(request_event("m1", ""), &mut out);
@@ -189,12 +168,11 @@ mod tests {
     #[test]
     fn per_request_rng_is_deterministic_across_replicas() {
         let mk = || {
-            let svc = |req: MessageContext, u: &mut PassiveUtils| {
+            host(|req: MessageContext, u: &mut PassiveUtils| {
                 req.reply_with("", XmlNode::new("r").with_text(u.random_u64().to_string()))
-            };
-            PassiveExecutor::new(Box::new(svc), "c", WsCostModel::FREE)
+            })
         };
-        let run = |mut exec: PassiveExecutor| {
+        let run = |mut exec: ServiceExecutor| {
             let mut out = AppOutput::new(0, 0);
             exec.on_event(AppEvent::Init { seed: 77 }, &mut out);
             exec.on_event(request_event("m1", ""), &mut out);
@@ -223,7 +201,7 @@ mod tests {
     fn malformed_requests_are_dropped() {
         let svc =
             |req: MessageContext, _u: &mut PassiveUtils| req.reply_with("", XmlNode::new("r"));
-        let mut exec = PassiveExecutor::new(Box::new(svc), "c", WsCostModel::FREE);
+        let mut exec = host(svc);
         let mut out = AppOutput::new(0, 0);
         exec.on_event(AppEvent::Init { seed: 1 }, &mut out);
         exec.on_event(

@@ -1,8 +1,9 @@
 //! Deployment runtime: assemble services, clients, and the simulated
 //! network into a runnable [`System`].
 
-use crate::active::{ActiveExecutor, ActiveService};
-use crate::passive::{PassiveExecutor, PassiveService};
+use crate::api::Service;
+use crate::host::ServiceExecutor;
+use crate::passive::{PassiveHost, PassiveService};
 use crate::wscost::WsCostModel;
 use bytes::Bytes;
 use pws_perpetual::{
@@ -55,7 +56,7 @@ pub fn default_ws_net() -> NetConfig {
 }
 
 enum Factory {
-    Active(Box<dyn FnMut(u32) -> Box<dyn ActiveService>>),
+    Service(Box<dyn FnMut(u32) -> Box<dyn Service>>),
     Passive(Box<dyn FnMut(u32) -> Box<dyn PassiveService>>),
 }
 
@@ -148,23 +149,23 @@ impl SystemBuilder {
         self
     }
 
-    /// Adds a replicated active service with `n` replicas. The factory is
-    /// invoked once per replica (replica index passed in) and must produce
-    /// deterministic, identical services.
+    /// Adds a replicated poll-driven service with `n` replicas. The factory
+    /// is invoked once per replica (replica index passed in) and must
+    /// produce deterministic, identical services.
     pub fn service<F>(&mut self, name: &str, n: u32, mut factory: F) -> &mut Self
     where
-        F: FnMut(u32) -> Box<dyn ActiveService> + 'static,
+        F: FnMut(u32) -> Box<dyn Service> + 'static,
     {
         self.services.push(ServiceSpec {
             name: name.to_owned(),
             n,
-            factory: Factory::Active(Box::new(move |i| factory(i))),
+            factory: Factory::Service(Box::new(move |i| factory(i))),
             faults: HashMap::new(),
         });
         self
     }
 
-    /// Adds a replicated passive service with `n` replicas.
+    /// Adds a replicated passive (request→reply) service with `n` replicas.
     pub fn passive_service<F>(&mut self, name: &str, n: u32, mut factory: F) -> &mut Self
     where
         F: FnMut(u32) -> Box<dyn PassiveService> + 'static,
@@ -299,17 +300,16 @@ impl SystemBuilder {
                 cfg.view_timeout = self.view_timeout;
                 cfg.retry_interval = self.retry_interval;
                 cfg.fault = spec.faults.get(&idx).copied().unwrap_or_default();
-                let executor: Box<dyn Executor> = match &mut spec.factory {
-                    Factory::Active(f) => Box::new(ActiveExecutor::new(
-                        f(idx),
-                        &spec.name,
-                        uris.clone(),
-                        self.ws_cost,
-                    )),
-                    Factory::Passive(f) => {
-                        Box::new(PassiveExecutor::new(f(idx), &spec.name, self.ws_cost))
-                    }
+                let service: Box<dyn Service> = match &mut spec.factory {
+                    Factory::Service(f) => f(idx),
+                    Factory::Passive(f) => Box::new(PassiveHost::new(f(idx))),
                 };
+                let executor: Box<dyn Executor> = Box::new(ServiceExecutor::new(
+                    service,
+                    &spec.name,
+                    uris.clone(),
+                    self.ws_cost,
+                ));
                 let node = sim.add_node(Box::new(PerpetualReplica::new(cfg, executor)));
                 debug_assert_eq!(node, topo.node(gid, idx));
             }

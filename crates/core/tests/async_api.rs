@@ -1,0 +1,261 @@
+//! Properties of the async multi-outcall wait set: N concurrent calls with
+//! out-of-order replies and one deterministic abort always resume their
+//! continuations in agreed-event order, regardless of the interleaving and
+//! of whether the service selects on the full token set or on any reply —
+//! and a narrowed wait set holds events back without reordering them.
+
+use perpetual_ws::runtime::UriMap;
+use perpetual_ws::{
+    CallToken, Poll, Service, ServiceCtx, ServiceExecutor, WaitSet, WsCostModel, WsEvent,
+};
+use proptest::prelude::*;
+use pws_perpetual::{AppEvent, AppOutput, CallId, Executor, GroupId};
+use pws_soap::MessageContext;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// How the service declares its continuation between events.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum WaitMode {
+    /// `select` on exactly the outstanding token set, shrinking as calls
+    /// resolve.
+    ExplicitSet,
+    /// Wake on any reply.
+    AnyReply,
+}
+
+/// Issues `n` calls on Init and records the order continuations resume.
+struct FanOut {
+    n: u64,
+    mode: WaitMode,
+    outstanding: BTreeSet<CallToken>,
+    resumed: Vec<(CallToken, bool)>,
+}
+
+impl FanOut {
+    fn new(n: u64, mode: WaitMode) -> Self {
+        FanOut {
+            n,
+            mode,
+            outstanding: BTreeSet::new(),
+            resumed: Vec::new(),
+        }
+    }
+
+    fn continuation(&self) -> Poll {
+        if self.outstanding.is_empty() {
+            Poll::Done
+        } else {
+            match self.mode {
+                WaitMode::ExplicitSet => {
+                    Poll::Wait(WaitSet::new().replies(self.outstanding.iter().copied()))
+                }
+                WaitMode::AnyReply => Poll::any_reply(),
+            }
+        }
+    }
+}
+
+impl Service for FanOut {
+    fn on_event(&mut self, ev: WsEvent, ctx: &mut ServiceCtx<'_>) -> Poll {
+        match ev {
+            WsEvent::Init { .. } => {
+                for i in 0..self.n {
+                    let mut mc = MessageContext::request("urn:svc:target", "op");
+                    mc.body_mut().text = i.to_string();
+                    let token = ctx.send(mc);
+                    self.outstanding.insert(token);
+                }
+            }
+            WsEvent::Reply { token, reply } => {
+                assert!(
+                    self.outstanding.remove(&token),
+                    "{token:?} resumed exactly once"
+                );
+                self.resumed
+                    .push((token, reply.envelope().as_fault().is_some()));
+            }
+            _ => {}
+        }
+        self.continuation()
+    }
+}
+
+fn host(service: impl Service) -> ServiceExecutor {
+    let mut uris = UriMap::default();
+    uris.insert("target", GroupId(1));
+    ServiceExecutor::new(
+        Box::new(service),
+        "caller",
+        Arc::new(uris),
+        WsCostModel::FREE,
+    )
+}
+
+/// Drives `exec` like the replica driver does: counters persist across
+/// deliveries so call ids are assigned deterministically.
+struct Driver {
+    exec: ServiceExecutor,
+    next_call: u64,
+    next_token: u64,
+}
+
+impl Driver {
+    fn new(exec: ServiceExecutor) -> Self {
+        Driver {
+            exec,
+            next_call: 0,
+            next_token: 0,
+        }
+    }
+
+    fn deliver(&mut self, ev: AppEvent) -> AppOutput {
+        let mut out = AppOutput::new(self.next_call, self.next_token);
+        self.exec.on_event(ev, &mut out);
+        let (nc, nt) = out.counters();
+        self.next_call = nc;
+        self.next_token = nt;
+        out
+    }
+}
+
+fn reply_payload(i: u64) -> bytes::Bytes {
+    let mut mc = MessageContext::request("urn:svc:caller", "opResponse");
+    mc.addressing_mut().relates_to = Some(format!("r{i}"));
+    mc.body_mut().text = format!("answer-{i}");
+    mc.to_bytes().unwrap()
+}
+
+/// Deterministic Fisher–Yates permutation of `0..n` from a seed.
+fn permutation(n: u64, seed: u64) -> Vec<u64> {
+    let mut v: Vec<u64> = (0..n).collect();
+    let mut s = seed
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    for i in (1..v.len()).rev() {
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let j = (s >> 33) as usize % (i + 1);
+        v.swap(i, j);
+    }
+    v
+}
+
+/// Runs the fan-out scenario: `n` calls, replies delivered in a permuted
+/// order, call `abort_idx` aborted instead of answered. Returns the resume
+/// log.
+fn run_fan_out(n: u64, perm_seed: u64, abort_idx: u64, mode: WaitMode) -> Vec<(CallToken, bool)> {
+    let mut d = Driver::new(host(FanOut::new(n, mode)));
+    let out = d.deliver(AppEvent::Init { seed: 1 });
+    let calls = out
+        .cmds()
+        .iter()
+        .filter(|c| matches!(c, pws_perpetual::AppCmd::Call { .. }))
+        .count();
+    assert_eq!(calls as u64, n, "all calls issued concurrently on Init");
+
+    for &i in &permutation(n, perm_seed) {
+        if i == abort_idx {
+            d.deliver(AppEvent::Aborted { call: CallId(i) });
+        } else {
+            d.deliver(AppEvent::Reply {
+                call: CallId(i),
+                payload: reply_payload(i),
+            });
+        }
+    }
+    assert!(d.exec.is_done(), "every continuation resumed");
+    d.exec
+        .service_mut::<FanOut>()
+        .expect("typed access")
+        .resumed
+        .clone()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn continuations_resume_in_agreed_event_order(
+        n in 2u64..9,
+        perm_seed in 0u64..1_000_000,
+        abort_pick in 0u64..9,
+    ) {
+        let abort_idx = abort_pick % n;
+        let fed = permutation(n, perm_seed);
+        for mode in [WaitMode::ExplicitSet, WaitMode::AnyReply] {
+            let resumed = run_fan_out(n, perm_seed, abort_idx, mode);
+            // Resume order is exactly the agreed delivery order...
+            let order: Vec<u64> = resumed.iter().map(|(t, _)| t.raw()).collect();
+            prop_assert_eq!(&order, &fed, "mode {:?}", mode);
+            // ...and exactly the aborted call resumed as a fault.
+            for (t, is_fault) in &resumed {
+                prop_assert_eq!(*is_fault, t.raw() == abort_idx);
+            }
+        }
+    }
+
+    #[test]
+    fn both_wait_modes_agree_exactly(
+        n in 2u64..9,
+        perm_seed in 0u64..1_000_000,
+    ) {
+        // No abort: selecting on the explicit token set and waking on any
+        // reply are observationally identical when all tokens are selected.
+        let a = run_fan_out(n, perm_seed, u64::MAX, WaitMode::ExplicitSet);
+        let b = run_fan_out(n, perm_seed, u64::MAX, WaitMode::AnyReply);
+        prop_assert_eq!(a, b);
+    }
+}
+
+#[test]
+fn narrowed_wait_set_holds_back_but_never_reorders() {
+    // The service first selects only token #2; the other replies arrive
+    // earlier but must stay queued, then deliver in agreed order once the
+    // service widens to any_reply.
+    struct Narrow {
+        resumed: Vec<u64>,
+    }
+    impl Service for Narrow {
+        fn on_event(&mut self, ev: WsEvent, ctx: &mut ServiceCtx<'_>) -> Poll {
+            match ev {
+                WsEvent::Init { .. } => {
+                    for _ in 0..4 {
+                        ctx.send(MessageContext::request("urn:svc:target", "op"));
+                    }
+                    Poll::reply(CallToken::from_raw(2))
+                }
+                WsEvent::Reply { token, .. } => {
+                    self.resumed.push(token.raw());
+                    if self.resumed.len() == 4 {
+                        Poll::Done
+                    } else {
+                        Poll::any_reply()
+                    }
+                }
+                _ => Poll::Next,
+            }
+        }
+    }
+    let mut d = Driver::new(host(Narrow {
+        resumed: Vec::new(),
+    }));
+    d.deliver(AppEvent::Init { seed: 1 });
+    for i in [0u64, 3, 2, 1] {
+        d.deliver(AppEvent::Reply {
+            call: CallId(i),
+            payload: reply_payload(i),
+        });
+    }
+    let resumed = d
+        .exec
+        .service_mut::<Narrow>()
+        .expect("typed access")
+        .resumed
+        .clone();
+    // #2 wakes the service first; the held-back 0 and 3 then deliver in
+    // their original agreed order, followed by 1.
+    assert_eq!(resumed, vec![2, 0, 3, 1]);
+    assert!(d.exec.is_done());
+}

@@ -1,13 +1,14 @@
-//! End-to-end tests of the Perpetual-WS middleware: active services with
-//! long-running threads, synchronous and asynchronous messaging, agreed
-//! utilities, orchestration across tiers, and fault injection.
+//! End-to-end tests of the Perpetual-WS middleware: poll-driven services,
+//! synchronous and asynchronous invocation, agreed utilities, orchestration
+//! across tiers, fault injection, and panic surfacing.
 
 use perpetual_ws::{
-    ActiveService, FaultMode, MessageHandler, PassiveService, PassiveUtils, ServiceApi,
-    SystemBuilder, Utils,
+    CallToken, FaultMode, PassiveService, PassiveUtils, Poll, Service, ServiceCtx, SystemBuilder,
+    WsEvent,
 };
-use pws_simnet::{SimDuration, SimTime};
+use pws_simnet::{RunOutcome, SimDuration, SimTime};
 use pws_soap::{MessageContext, XmlNode};
+use std::collections::HashMap;
 
 /// A passive echo used as a backend tier.
 struct EchoBackend(&'static str);
@@ -18,45 +19,45 @@ impl PassiveService for EchoBackend {
     }
 }
 
-/// An active middle tier: forwards each request to the backend
-/// *asynchronously*, continuing to accept new requests while replies are in
-/// flight — the §4.1 model.
+/// An asynchronous middle tier: forwards each request to the backend and
+/// keeps accepting new requests while any number of calls are in flight —
+/// the §4.1/§5 model, now expressed directly as a state machine.
 struct AsyncForwarder {
     backend: &'static str,
+    pending: HashMap<CallToken, MessageContext>,
 }
-impl ActiveService for AsyncForwarder {
-    fn run(self: Box<Self>, api: &mut ServiceApi) {
-        let mut pending: Vec<(String, MessageContext)> = Vec::new();
-        loop {
-            // Prefer handing out replies we already have, then take more
-            // work; receive_request blocks when idle.
-            let Some(req) = api.receive_request() else {
-                return;
-            };
-            let mut out = MessageContext::request(format!("urn:svc:{}", self.backend), "echo");
-            out.body_mut().name = "echo".into();
-            out.body_mut().text = req.body().text.clone();
-            let id = api.send(out);
-            pending.push((id, req));
-            // Opportunistically complete any call whose reply arrived.
-            while let Some(pos) = pending.iter().position(|_| true) {
-                let (id, orig) = pending[pos].clone();
-                let Some(reply) = api.receive_reply_for(&id) else {
-                    return;
-                };
-                let text = reply.body().text.clone();
-                let resp = orig.reply_with("", XmlNode::new("fwdResult").with_text(text));
-                api.send_reply(resp, &orig);
-                pending.remove(pos);
+impl Service for AsyncForwarder {
+    fn on_event(&mut self, ev: WsEvent, ctx: &mut ServiceCtx<'_>) -> Poll {
+        match ev {
+            WsEvent::Request { request } => {
+                let mut out = MessageContext::request(format!("urn:svc:{}", self.backend), "echo");
+                out.body_mut().name = "echo".into();
+                out.body_mut().text = request.body().text.clone();
+                let token = ctx.send(out);
+                self.pending.insert(token, request);
             }
+            WsEvent::Reply { token, reply } => {
+                if let Some(orig) = self.pending.remove(&token) {
+                    let text = reply.body().text.clone();
+                    let resp = orig.reply_with("", XmlNode::new("fwdResult").with_text(text));
+                    ctx.reply(resp, &orig);
+                }
+            }
+            _ => {}
         }
+        Poll::Next
     }
 }
 
 #[test]
 fn active_middle_tier_forwards_to_backend() {
     let mut b = SystemBuilder::new(5);
-    b.service("mid", 4, |_| Box::new(AsyncForwarder { backend: "back" }));
+    b.service("mid", 4, |_| {
+        Box::new(AsyncForwarder {
+            backend: "back",
+            pending: HashMap::new(),
+        })
+    });
     b.passive_service("back", 4, |_| Box::new(EchoBackend("be:")));
     b.scripted_client("rbe", "mid", 5);
     let mut sys = b.build();
@@ -69,29 +70,38 @@ fn active_middle_tier_forwards_to_backend() {
 }
 
 #[test]
-fn sync_send_receive_works_inside_active_service() {
-    struct SyncCaller;
-    impl ActiveService for SyncCaller {
-        fn run(self: Box<Self>, api: &mut ServiceApi) {
-            loop {
-                let Some(req) = api.receive_request() else {
-                    return;
-                };
-                let mut call = MessageContext::request("urn:svc:back", "echo");
-                call.body_mut().text = req.body().text.clone();
-                let Some(reply) = api.send_receive(call) else {
-                    return;
-                };
-                let resp = req.reply_with(
-                    "",
-                    XmlNode::new("r").with_text(format!("sync:{}", reply.body().text)),
-                );
-                api.send_reply(resp, &req);
+fn sync_wait_set_works_inside_service() {
+    // The synchronous `send_receive` idiom: while the downstream call is in
+    // flight only its reply is admitted; new requests queue in agreed order.
+    #[derive(Default)]
+    struct SyncCaller {
+        serving: Option<MessageContext>,
+    }
+    impl Service for SyncCaller {
+        fn on_event(&mut self, ev: WsEvent, ctx: &mut ServiceCtx<'_>) -> Poll {
+            match ev {
+                WsEvent::Request { request } => {
+                    let mut call = MessageContext::request("urn:svc:back", "echo");
+                    call.body_mut().text = request.body().text.clone();
+                    let token = ctx.send(call);
+                    self.serving = Some(request);
+                    Poll::reply(token)
+                }
+                WsEvent::Reply { reply, .. } => {
+                    let req = self.serving.take().expect("pending");
+                    let resp = req.reply_with(
+                        "",
+                        XmlNode::new("r").with_text(format!("sync:{}", reply.body().text)),
+                    );
+                    ctx.reply(resp, &req);
+                    Poll::request()
+                }
+                _ => Poll::request(),
             }
         }
     }
     let mut b = SystemBuilder::new(6);
-    b.service("mid", 4, |_| Box::new(SyncCaller));
+    b.service("mid", 4, |_| Box::<SyncCaller>::default());
     b.passive_service("back", 1, |_| Box::new(EchoBackend("b:")));
     b.scripted_client("rbe", "mid", 3);
     let mut sys = b.build();
@@ -106,22 +116,32 @@ fn agreed_time_and_seeded_random_are_consistent() {
     // The service answers each request with (agreed time, random). All four
     // replicas must produce identical values or agreement on the reply
     // digest would fail and nothing would come back.
-    struct TimeService;
-    impl ActiveService for TimeService {
-        fn run(self: Box<Self>, api: &mut ServiceApi) {
-            loop {
-                let Some(req) = api.receive_request() else {
-                    return;
-                };
-                let t = api.current_time_millis();
-                let r = api.random_u64();
-                let resp = req.reply_with("", XmlNode::new("now").with_text(format!("{t}:{r}")));
-                api.send_reply(resp, &req);
+    #[derive(Default)]
+    struct TimeService {
+        serving: Option<MessageContext>,
+    }
+    impl Service for TimeService {
+        fn on_event(&mut self, ev: WsEvent, ctx: &mut ServiceCtx<'_>) -> Poll {
+            match ev {
+                WsEvent::Request { request } => {
+                    ctx.query_time();
+                    self.serving = Some(request);
+                    Poll::time()
+                }
+                WsEvent::Time { millis, .. } => {
+                    let r = ctx.random_u64();
+                    let req = self.serving.take().expect("pending");
+                    let resp =
+                        req.reply_with("", XmlNode::new("now").with_text(format!("{millis}:{r}")));
+                    ctx.reply(resp, &req);
+                    Poll::request()
+                }
+                _ => Poll::request(),
             }
         }
     }
     let mut b = SystemBuilder::new(7);
-    b.service("clock", 4, |_| Box::new(TimeService));
+    b.service("clock", 4, |_| Box::<TimeService>::default());
     b.scripted_client("rbe", "clock", 3);
     let mut sys = b.build();
     sys.run_until(SimTime::from_secs(60));
@@ -215,4 +235,39 @@ fn deterministic_runs_same_seed() {
     let (t2, r2) = run(123);
     assert_eq!(t1, t2);
     assert_eq!(r1, r2);
+}
+
+#[test]
+fn service_panic_surfaces_as_run_failure_not_a_hang() {
+    // A deterministic bug in service code must fail the run loudly — the
+    // old thread model could leave a panicking service thread joined
+    // silently.
+    struct Buggy;
+    impl Service for Buggy {
+        fn on_event(&mut self, ev: WsEvent, _ctx: &mut ServiceCtx<'_>) -> Poll {
+            if let WsEvent::Request { .. } = ev {
+                panic!("deterministic service bug");
+            }
+            Poll::request()
+        }
+    }
+    let mut b = SystemBuilder::new(12);
+    b.service("buggy", 4, |_| Box::new(Buggy));
+    b.scripted_client("rbe", "buggy", 1);
+    let mut sys = b.build();
+    let outcome = sys.run_until(SimTime::from_secs(60));
+    assert!(
+        matches!(outcome, RunOutcome::NodePanicked { .. }),
+        "got {outcome:?}"
+    );
+    assert!(sys
+        .sim_mut()
+        .panic_message()
+        .unwrap()
+        .contains("deterministic service bug"));
+    // Subsequent runs must not hang either.
+    assert!(matches!(
+        sys.run_until(SimTime::from_secs(120)),
+        RunOutcome::NodePanicked { .. }
+    ));
 }

@@ -24,6 +24,16 @@ pub enum RunOutcome {
     DeadlineReached,
     /// The event budget was exhausted (runaway-protection).
     BudgetExhausted,
+    /// A node handler panicked. The simulation is poisoned: the panicking
+    /// node is dropped and every subsequent `run_*` call returns this same
+    /// outcome. [`Simulation::panic_message`] carries the payload. A bug in
+    /// deterministic application code would hit every replica identically,
+    /// so it surfaces as a simulation failure instead of Byzantine noise —
+    /// and never as a hang.
+    NodePanicked {
+        /// The node whose handler panicked.
+        node: NodeId,
+    },
 }
 
 /// Mutable simulation state shared with running handlers via [`Context`].
@@ -80,6 +90,8 @@ pub struct Simulation {
     busy_until: Vec<SimTime>,
     state: SimState,
     event_budget: u64,
+    /// Set once a node handler panics; poisons all subsequent runs.
+    panicked: Option<(NodeId, String)>,
 }
 
 impl std::fmt::Debug for Simulation {
@@ -118,7 +130,13 @@ impl Simulation {
                 trace: TraceDigest::new(),
             },
             event_budget: u64::MAX,
+            panicked: None,
         }
+    }
+
+    /// The payload of the node panic that poisoned this simulation, if any.
+    pub fn panic_message(&self) -> Option<&str> {
+        self.panicked.as_ref().map(|(_, m)| m.as_str())
     }
 
     /// Caps the total number of processed events (protection against
@@ -200,6 +218,9 @@ impl Simulation {
     /// stops the simulation. On deadline return, `now()` equals `deadline`.
     pub fn run_until(&mut self, deadline: SimTime) -> RunOutcome {
         loop {
+            if let Some((node, _)) = self.panicked {
+                return RunOutcome::NodePanicked { node };
+            }
             if self.state.stop {
                 self.state.stop = false;
                 return RunOutcome::Stopped;
@@ -256,19 +277,32 @@ impl Simulation {
                 state: &mut self.state,
                 elapsed: SimDuration::ZERO,
             };
-            match ev.kind {
-                EventKind::Start => node.on_start(&mut ctx),
-                EventKind::Deliver { from, msg } => {
-                    ctx.state.trace.record_delivery(ev.at, from, to, &msg);
-                    ctx.state.metrics.incr("net.messages_delivered");
-                    node.on_message(from, msg, &mut ctx);
-                }
-                EventKind::Timer { id } => {
-                    ctx.state.trace.record_timer(ev.at, to, id);
-                    node.on_timer(TimerId(id), &mut ctx);
-                }
-            }
+            // A panicking handler surfaces as a simulation failure (never a
+            // hang): the node is dropped and the run poisoned.
+            let dispatch =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match ev.kind {
+                    EventKind::Start => node.on_start(&mut ctx),
+                    EventKind::Deliver { from, msg } => {
+                        ctx.state.trace.record_delivery(ev.at, from, to, &msg);
+                        ctx.state.metrics.incr("net.messages_delivered");
+                        node.on_message(from, msg, &mut ctx);
+                    }
+                    EventKind::Timer { id } => {
+                        ctx.state.trace.record_timer(ev.at, to, id);
+                        node.on_timer(TimerId(id), &mut ctx);
+                    }
+                }));
             let spent = ctx.elapsed;
+            if let Err(payload) = dispatch {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_owned())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_owned());
+                drop(node); // the node's state is broken; leave the slot empty
+                self.panicked = Some((to, msg));
+                return RunOutcome::NodePanicked { node: to };
+            }
             self.nodes[idx] = Some(node);
             if spent > SimDuration::ZERO {
                 self.state.metrics.add("cpu.busy_us", spent.as_micros());
@@ -464,6 +498,26 @@ mod tests {
         assert_eq!(sim.run(), RunOutcome::Stopped);
         // Can resume afterwards.
         assert_eq!(sim.run(), RunOutcome::Quiescent);
+    }
+
+    #[test]
+    fn node_panic_surfaces_as_failed_outcome_and_poisons_the_run() {
+        struct Bomb;
+        impl Node for Bomb {
+            fn on_message(&mut self, _: NodeId, _: Bytes, _: &mut Context<'_>) {
+                panic!("service bug: boom");
+            }
+        }
+        let mut sim = Simulation::new(3);
+        let b = sim.add_node(Box::new(Bomb));
+        let fake = NodeId::from_raw(999);
+        sim.inject(fake, b, Bytes::from_static(b"x"));
+        assert_eq!(sim.run(), RunOutcome::NodePanicked { node: b });
+        assert!(sim.panic_message().unwrap().contains("boom"));
+        // Poisoned: later runs report the same failure instead of hanging.
+        assert_eq!(sim.run(), RunOutcome::NodePanicked { node: b });
+        // The broken node is gone; typed access returns None.
+        assert!(sim.node_mut::<Bomb>(b).is_none());
     }
 
     #[test]

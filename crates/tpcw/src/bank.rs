@@ -57,9 +57,10 @@ mod tests {
 
     #[test]
     fn replies_with_verdict() {
-        let mut exec = perpetual_ws::passive::PassiveExecutor::new(
-            Box::new(Bank::new()),
+        let mut exec = perpetual_ws::ServiceExecutor::new(
+            Box::new(perpetual_ws::PassiveHost::new(Box::new(Bank::new()))),
             "bank",
+            std::sync::Arc::new(perpetual_ws::runtime::UriMap::default()),
             perpetual_ws::WsCostModel::FREE,
         );
         let mut out = AppOutput::new(0, 0);

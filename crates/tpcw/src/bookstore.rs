@@ -1,10 +1,10 @@
-//! The bookstore: the front tier of Fig. 5 — an *active* Perpetual-WS
+//! The bookstore: the front tier of Fig. 5 — a poll-driven Perpetual-WS
 //! service (unreplicated, like the paper's Tomcat deployment) that serves
 //! the twelve TPC-W pages and calls the PGE asynchronously on Buy Confirm.
 
 use crate::db::{page_cost, Db};
 use crate::model::Interaction;
-use perpetual_ws::{ActiveService, Incoming, MessageHandler, ServiceApi, Utils};
+use perpetual_ws::{CallToken, Poll, Service, ServiceCtx, WsEvent};
 use pws_soap::{MessageContext, XmlNode};
 use std::collections::HashMap;
 
@@ -13,6 +13,10 @@ use std::collections::HashMap;
 pub struct Bookstore {
     db: Db,
     pge_uri: String,
+    /// Buy-confirms awaiting PGE authorization: call token → (original
+    /// request, order id). The store keeps serving other pages while
+    /// authorizations are in flight (asynchronous messaging, §6.1).
+    awaiting: HashMap<CallToken, (MessageContext, u64)>,
 }
 
 impl Bookstore {
@@ -22,6 +26,7 @@ impl Bookstore {
         Bookstore {
             db: Db::new(item_count),
             pge_uri: format!("urn:svc:{pge}"),
+            awaiting: HashMap::new(),
         }
     }
 
@@ -31,78 +36,79 @@ impl Bookstore {
             XmlNode::new(format!("{}Result", page.op_name())).with_text(detail),
         )
     }
-}
 
-impl ActiveService for Bookstore {
-    fn run(mut self: Box<Self>, api: &mut ServiceApi) {
-        // Buy-confirms awaiting PGE authorization: pge msg id → (original
-        // request, order id). The store keeps serving other pages while
-        // authorizations are in flight (asynchronous messaging, §6.1).
-        let mut awaiting: HashMap<String, (MessageContext, u64)> = HashMap::new();
-        loop {
-            match api.receive_any() {
-                Some(Incoming::Request(req)) => {
-                    let Some(page) = Interaction::from_op_name(&req.body().name) else {
-                        // Unknown page: reply with a fault-ish body.
-                        let reply = req.reply_with("", XmlNode::new("error"));
-                        api.send_reply(reply, &req);
-                        continue;
-                    };
-                    let session: u64 = req.body().text.parse().unwrap_or(0);
-                    api.spend(page_cost(page));
-                    match page {
-                        Interaction::ShoppingCart => {
-                            let item = (api.random_u64() % self.db.item_count() as u64) as u32;
-                            let lines = self.db.add_to_cart(session, item, 1);
-                            let reply = Bookstore::page_reply(&req, page, format!("lines={lines}"));
-                            api.send_reply(reply, &req);
-                        }
-                        Interaction::BuyConfirm => {
-                            let (order, total) = self.db.place_order(session);
-                            let mut pge_req = MessageContext::request(&self.pge_uri, "authorize");
-                            pge_req.body_mut().name = "authorize".into();
-                            pge_req.body_mut().text = total.to_string();
-                            let id = api.send(pge_req);
-                            awaiting.insert(id, (req, order));
-                        }
-                        Interaction::OrderDisplay => {
-                            let detail = self
-                                .db
-                                .last_order(session)
-                                .map(|o| format!("order={},total={}", o.id, o.total_cents))
-                                .unwrap_or_else(|| "none".to_owned());
-                            let reply = Bookstore::page_reply(&req, page, detail);
-                            api.send_reply(reply, &req);
-                        }
-                        _ => {
-                            let reply = Bookstore::page_reply(&req, page, String::new());
-                            api.send_reply(reply, &req);
-                        }
-                    }
-                }
-                Some(Incoming::Reply(pge_reply)) => {
-                    let Some(rid) = pge_reply.addressing().relates_to.clone() else {
-                        continue;
-                    };
-                    let Some((orig, order)) = awaiting.remove(&rid) else {
-                        continue;
-                    };
-                    let approved = pge_reply.envelope().as_fault().is_none()
-                        && pge_reply.body().text == "approved";
-                    if approved {
-                        self.db.authorize_order(order);
-                    }
-                    let verdict = if approved { "approved" } else { "declined" };
-                    let reply = Bookstore::page_reply(
-                        &orig,
-                        Interaction::BuyConfirm,
-                        format!("order={order},payment={verdict}"),
-                    );
-                    api.send_reply(reply, &orig);
-                }
-                None => return,
+    fn serve_page(&mut self, req: MessageContext, ctx: &mut ServiceCtx<'_>) {
+        let Some(page) = Interaction::from_op_name(&req.body().name) else {
+            // Unknown page: reply with a fault-ish body.
+            let reply = req.reply_with("", XmlNode::new("error"));
+            ctx.reply(reply, &req);
+            return;
+        };
+        let session: u64 = req.body().text.parse().unwrap_or(0);
+        ctx.spend(page_cost(page));
+        match page {
+            Interaction::ShoppingCart => {
+                let item = (ctx.random_u64() % self.db.item_count() as u64) as u32;
+                let lines = self.db.add_to_cart(session, item, 1);
+                let reply = Bookstore::page_reply(&req, page, format!("lines={lines}"));
+                ctx.reply(reply, &req);
+            }
+            Interaction::BuyConfirm => {
+                let (order, total) = self.db.place_order(session);
+                let mut pge_req = MessageContext::request(&self.pge_uri, "authorize");
+                pge_req.body_mut().name = "authorize".into();
+                pge_req.body_mut().text = total.to_string();
+                let token = ctx.send(pge_req);
+                self.awaiting.insert(token, (req, order));
+            }
+            Interaction::OrderDisplay => {
+                let detail = self
+                    .db
+                    .last_order(session)
+                    .map(|o| format!("order={},total={}", o.id, o.total_cents))
+                    .unwrap_or_else(|| "none".to_owned());
+                let reply = Bookstore::page_reply(&req, page, detail);
+                ctx.reply(reply, &req);
+            }
+            _ => {
+                let reply = Bookstore::page_reply(&req, page, String::new());
+                ctx.reply(reply, &req);
             }
         }
+    }
+
+    fn settle_authorization(
+        &mut self,
+        token: CallToken,
+        pge_reply: MessageContext,
+        ctx: &mut ServiceCtx<'_>,
+    ) {
+        let Some((orig, order)) = self.awaiting.remove(&token) else {
+            return;
+        };
+        let approved =
+            pge_reply.envelope().as_fault().is_none() && pge_reply.body().text == "approved";
+        if approved {
+            self.db.authorize_order(order);
+        }
+        let verdict = if approved { "approved" } else { "declined" };
+        let reply = Bookstore::page_reply(
+            &orig,
+            Interaction::BuyConfirm,
+            format!("order={order},payment={verdict}"),
+        );
+        ctx.reply(reply, &orig);
+    }
+}
+
+impl Service for Bookstore {
+    fn on_event(&mut self, ev: WsEvent, ctx: &mut ServiceCtx<'_>) -> Poll {
+        match ev {
+            WsEvent::Request { request } => self.serve_page(request, ctx),
+            WsEvent::Reply { token, reply } => self.settle_authorization(token, reply, ctx),
+            WsEvent::Init { .. } | WsEvent::Time { .. } => {}
+        }
+        Poll::Next
     }
 }
 
@@ -115,6 +121,7 @@ mod tests {
         let b = Bookstore::new(100, "pge");
         assert_eq!(b.db.item_count(), 100);
         assert_eq!(b.pge_uri, "urn:svc:pge");
+        assert!(b.awaiting.is_empty());
     }
 
     #[test]

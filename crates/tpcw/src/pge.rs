@@ -2,13 +2,14 @@
 //! replicated with Perpetual-WS. "The PGE calls another Perpetual-WS Web
 //! Service that simulates the actions of a credit card issuing bank"
 //! (§6.1). The asynchronous variant keeps serving new authorizations while
-//! bank calls are in flight; the synchronous variant blocks per request —
-//! the comparison behind the up-to-4 % gain reported in §6.4.
+//! bank calls are in flight; the synchronous variant waits per request
+//! (incoming authorizations queue meanwhile, via the wait set) — the
+//! comparison behind the up-to-4 % gain reported in §6.4.
 
-use perpetual_ws::{ActiveService, Incoming, MessageHandler, ServiceApi};
+use perpetual_ws::{CallToken, Poll, Service, ServiceCtx, WsEvent};
 use pws_simnet::SimDuration;
 use pws_soap::{MessageContext, XmlNode};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Local bookkeeping cost per authorization. The paper disregarded the
 /// TPC-W minimum execution time for the PGE "to ensure that the effects of
@@ -20,6 +21,8 @@ pub const PGE_PROCESSING: SimDuration = SimDuration::from_micros(800);
 pub struct Pge {
     bank_uri: String,
     synchronous: bool,
+    /// Authorizations whose bank call is in flight, by call token.
+    pending: BTreeMap<CallToken, MessageContext>,
 }
 
 impl Pge {
@@ -28,6 +31,7 @@ impl Pge {
         Pge {
             bank_uri: format!("urn:svc:{bank}"),
             synchronous: false,
+            pending: BTreeMap::new(),
         }
     }
 
@@ -36,6 +40,7 @@ impl Pge {
         Pge {
             bank_uri: format!("urn:svc:{bank}"),
             synchronous: true,
+            pending: BTreeMap::new(),
         }
     }
 
@@ -55,48 +60,41 @@ impl Pge {
             };
         original.reply_with("", XmlNode::new("authorizeResult").with_text(verdict))
     }
-}
 
-impl ActiveService for Pge {
-    fn run(self: Box<Self>, api: &mut ServiceApi) {
+    /// The continuation: the synchronous variant admits only its one
+    /// outstanding bank reply (new requests queue); the asynchronous
+    /// variant takes whatever the agreed order delivers next. `pending` is
+    /// a BTreeMap so the (at most one, for sync) token choice is
+    /// deterministic and identical across replicas.
+    fn continuation(&self) -> Poll {
         if self.synchronous {
-            // Blocking per request: incoming work queues up meanwhile.
-            loop {
-                let Some(req) = api.receive_request() else {
-                    return;
-                };
-                api.spend(PGE_PROCESSING);
-                let Some(bank_reply) = api.send_receive(self.bank_request(&req.body().text)) else {
-                    return;
-                };
-                let reply = Pge::verdict_reply(&req, &bank_reply);
-                api.send_reply(reply, &req);
+            match self.pending.keys().next() {
+                Some(&token) => Poll::reply(token),
+                None => Poll::request(),
             }
         } else {
-            // Fully asynchronous: consume the unified event queue,
-            // interleaving new authorizations with bank replies.
-            let mut pending: HashMap<String, MessageContext> = HashMap::new();
-            loop {
-                match api.receive_any() {
-                    Some(Incoming::Request(req)) => {
-                        api.spend(PGE_PROCESSING);
-                        let id = api.send(self.bank_request(&req.body().text));
-                        pending.insert(id, req);
-                    }
-                    Some(Incoming::Reply(bank_reply)) => {
-                        let Some(rid) = bank_reply.addressing().relates_to.clone() else {
-                            continue;
-                        };
-                        let Some(original) = pending.remove(&rid) else {
-                            continue;
-                        };
-                        let reply = Pge::verdict_reply(&original, &bank_reply);
-                        api.send_reply(reply, &original);
-                    }
-                    None => return,
+            Poll::Next
+        }
+    }
+}
+
+impl Service for Pge {
+    fn on_event(&mut self, ev: WsEvent, ctx: &mut ServiceCtx<'_>) -> Poll {
+        match ev {
+            WsEvent::Request { request } => {
+                ctx.spend(PGE_PROCESSING);
+                let token = ctx.send(self.bank_request(&request.body().text));
+                self.pending.insert(token, request);
+            }
+            WsEvent::Reply { token, reply } => {
+                if let Some(original) = self.pending.remove(&token) {
+                    let verdict = Pge::verdict_reply(&original, &reply);
+                    ctx.reply(verdict, &original);
                 }
             }
+            WsEvent::Init { .. } | WsEvent::Time { .. } => {}
         }
+        self.continuation()
     }
 }
 
@@ -130,5 +128,22 @@ mod tests {
             reason: "r".into(),
         }));
         assert_eq!(Pge::verdict_reply(&orig, &fault).body().text, "declined");
+    }
+
+    #[test]
+    fn sync_variant_waits_on_its_one_bank_call() {
+        let mut pge = Pge::synchronous("bank");
+        assert_eq!(pge.continuation(), Poll::request(), "idle: serve requests");
+        pge.pending.insert(
+            CallToken::from_raw(7),
+            MessageContext::request("urn:x", "a"),
+        );
+        assert_eq!(
+            pge.continuation(),
+            Poll::reply(CallToken::from_raw(7)),
+            "waiting: only the bank reply wakes it; requests queue"
+        );
+        let a = Pge::new("bank");
+        assert_eq!(a.continuation(), Poll::Next, "async takes anything");
     }
 }

@@ -12,8 +12,7 @@
 //! ```
 
 use perpetual_ws::{
-    ActiveService, FaultMode, MessageHandler, PassiveService, PassiveUtils, ServiceApi,
-    SystemBuilder,
+    FaultMode, PassiveService, PassiveUtils, Poll, Service, ServiceCtx, SystemBuilder, WsEvent,
 };
 use pws_simnet::SimTime;
 use pws_soap::{MessageContext, XmlNode};
@@ -25,39 +24,64 @@ impl PassiveService for Echo {
     }
 }
 
-/// Issues three calls with a 1-second timeout and reports what came back.
-struct Probe;
-impl ActiveService for Probe {
-    fn run(self: Box<Self>, api: &mut ServiceApi) {
-        let mut outcomes = Vec::new();
-        for i in 0..3 {
-            let mut mc = MessageContext::request("urn:svc:target", "echo");
-            mc.body_mut().name = "echo".into();
-            mc.body_mut().text = format!("probe-{i}");
-            mc.options_mut().set_timeout_millis(1_000);
-            match api.send_receive(mc) {
-                Some(rep) if rep.envelope().as_fault().is_some() => {
-                    outcomes.push(format!("probe-{i}: ABORTED (deterministic timeout)"))
+/// Issues three calls with a 1-second timeout, one at a time, and reports
+/// what came back. The synchronous probe loop of the old thread API is now
+/// an explicit state machine: each outstanding call's reply is the only
+/// event admitted until it resolves.
+#[derive(Default)]
+struct Probe {
+    next: u64,
+    outcomes: Vec<String>,
+}
+
+impl Probe {
+    fn fire(&mut self, ctx: &mut ServiceCtx<'_>) -> Poll {
+        let mut mc = MessageContext::request("urn:svc:target", "echo");
+        mc.body_mut().name = "echo".into();
+        mc.body_mut().text = format!("probe-{}", self.next);
+        mc.options_mut().set_timeout_millis(1_000);
+        Poll::reply(ctx.send(mc))
+    }
+}
+
+impl Service for Probe {
+    fn on_event(&mut self, ev: WsEvent, ctx: &mut ServiceCtx<'_>) -> Poll {
+        match ev {
+            WsEvent::Init { .. } => self.fire(ctx),
+            WsEvent::Reply { reply, .. } => {
+                let i = self.next;
+                if reply.envelope().as_fault().is_some() {
+                    self.outcomes
+                        .push(format!("probe-{i}: ABORTED (deterministic timeout)"));
+                } else {
+                    self.outcomes
+                        .push(format!("probe-{i}: ok -> {:?}", reply.body().text));
                 }
-                Some(rep) => outcomes.push(format!("probe-{i}: ok -> {:?}", rep.body().text)),
-                None => break,
+                self.next += 1;
+                if self.next < 3 {
+                    self.fire(ctx)
+                } else {
+                    // Publish the outcome so the driver can read it back:
+                    // serve report requests.
+                    Poll::request()
+                }
             }
-        }
-        // Publish the outcome so the driver can read it back: serve one
-        // report request.
-        loop {
-            let Some(req) = api.receive_request() else {
-                return;
-            };
-            let reply = req.reply_with("", XmlNode::new("report").with_text(outcomes.join("; ")));
-            api.send_reply(reply, &req);
+            WsEvent::Request { request } => {
+                let reply = request.reply_with(
+                    "",
+                    XmlNode::new("report").with_text(self.outcomes.join("; ")),
+                );
+                ctx.reply(reply, &request);
+                Poll::request()
+            }
+            WsEvent::Time { .. } => Poll::request(),
         }
     }
 }
 
 fn scenario(name: &str, configure: impl FnOnce(&mut SystemBuilder)) {
     let mut b = SystemBuilder::new(99);
-    b.service("probe", 4, |_| Box::new(Probe));
+    b.service("probe", 4, |_| Box::<Probe>::default());
     b.passive_service("target", 4, |_| Box::new(Echo));
     configure(&mut b);
     b.scripted_client("observer", "probe", 1);

@@ -1,5 +1,5 @@
 //! A Service-Oriented-Architecture orchestration (the paper's §2.2): a
-//! *replicated* orchestrator with a long-running active thread fans out
+//! *replicated* poll-driven orchestrator fans out
 //! parallel asynchronous calls to two independent replicated services —
 //! an inventory service and a pricing service — and combines their answers
 //! into a quote. This is the programming model Thema/BFT-WS/SWS cannot
@@ -10,8 +10,7 @@
 //! ```
 
 use perpetual_ws::{
-    ActiveService, Incoming, MessageHandler, PassiveService, PassiveUtils, ServiceApi,
-    SystemBuilder,
+    CallToken, PassiveService, PassiveUtils, Poll, Service, ServiceCtx, SystemBuilder, WsEvent,
 };
 use pws_simnet::SimTime;
 use pws_soap::{MessageContext, XmlNode};
@@ -36,9 +35,16 @@ impl PassiveService for Pricing {
 }
 
 /// The BPEL-engine-like orchestrator: for each incoming quote request it
-/// issues *both* backend calls at once, keeps serving other quote requests,
-/// and replies when both answers for a given quote have arrived.
-struct QuoteOrchestrator;
+/// issues *both* backend calls at once (multi-outcall: two `ctx.send`
+/// tokens live per quote), keeps serving other quote requests, and replies
+/// when both answers for a given quote have arrived.
+#[derive(Default)]
+struct QuoteOrchestrator {
+    quotes: HashMap<u64, Quote>,
+    /// call token -> (quote id, is_price)
+    by_call: HashMap<CallToken, (u64, bool)>,
+    next_quote: u64,
+}
 
 #[derive(Default)]
 struct Quote {
@@ -47,73 +53,64 @@ struct Quote {
     price: Option<String>,
 }
 
-impl ActiveService for QuoteOrchestrator {
-    fn run(self: Box<Self>, api: &mut ServiceApi) {
-        let mut quotes: HashMap<u64, Quote> = HashMap::new();
-        let mut by_call: HashMap<String, (u64, bool)> = HashMap::new(); // msg id -> (quote, is_price)
-        let mut next_quote = 0u64;
-        loop {
-            match api.receive_any() {
-                Some(Incoming::Request(req)) => {
-                    let quote_id = next_quote;
-                    next_quote += 1;
-                    let sku = req.body().text.clone();
+impl Service for QuoteOrchestrator {
+    fn on_event(&mut self, ev: WsEvent, ctx: &mut ServiceCtx<'_>) -> Poll {
+        match ev {
+            WsEvent::Request { request } => {
+                let quote_id = self.next_quote;
+                self.next_quote += 1;
+                let sku = request.body().text.clone();
 
-                    let mut inv = MessageContext::request("urn:svc:inventory", "check");
-                    inv.body_mut().name = "check".into();
-                    inv.body_mut().text = sku.clone();
-                    let inv_id = api.send(inv);
+                let mut inv = MessageContext::request("urn:svc:inventory", "check");
+                inv.body_mut().name = "check".into();
+                inv.body_mut().text = sku.clone();
+                let inv_token = ctx.send(inv);
 
-                    let mut price = MessageContext::request("urn:svc:pricing", "quote");
-                    price.body_mut().name = "quote".into();
-                    price.body_mut().text = sku;
-                    let price_id = api.send(price);
+                let mut price = MessageContext::request("urn:svc:pricing", "quote");
+                price.body_mut().name = "quote".into();
+                price.body_mut().text = sku;
+                let price_token = ctx.send(price);
 
-                    by_call.insert(inv_id, (quote_id, false));
-                    by_call.insert(price_id, (quote_id, true));
-                    quotes.insert(
-                        quote_id,
-                        Quote {
-                            original: Some(req),
-                            ..Default::default()
-                        },
-                    );
-                }
-                Some(Incoming::Reply(rep)) => {
-                    let Some(rid) = rep.addressing().relates_to.clone() else {
-                        continue;
-                    };
-                    let Some((quote_id, is_price)) = by_call.remove(&rid) else {
-                        continue;
-                    };
-                    let Some(q) = quotes.get_mut(&quote_id) else {
-                        continue;
-                    };
-                    let text = rep.body().text.clone();
-                    if is_price {
-                        q.price = Some(text);
-                    } else {
-                        q.stock = Some(text);
-                    }
-                    if let (Some(stock), Some(price)) = (q.stock.clone(), q.price.clone()) {
-                        let q = quotes.remove(&quote_id).expect("present");
-                        let original = q.original.expect("kept");
-                        let body = XmlNode::new("quoteResult")
-                            .child(XmlNode::new("stock").with_text(stock))
-                            .child(XmlNode::new("priceCents").with_text(price));
-                        let reply = original.reply_with("", body);
-                        api.send_reply(reply, &original);
-                    }
-                }
-                None => return,
+                self.by_call.insert(inv_token, (quote_id, false));
+                self.by_call.insert(price_token, (quote_id, true));
+                self.quotes.insert(
+                    quote_id,
+                    Quote {
+                        original: Some(request),
+                        ..Default::default()
+                    },
+                );
             }
+            WsEvent::Reply { token, reply } => {
+                if let Some((quote_id, is_price)) = self.by_call.remove(&token) {
+                    if let Some(q) = self.quotes.get_mut(&quote_id) {
+                        let text = reply.body().text.clone();
+                        if is_price {
+                            q.price = Some(text);
+                        } else {
+                            q.stock = Some(text);
+                        }
+                        if let (Some(stock), Some(price)) = (q.stock.clone(), q.price.clone()) {
+                            let q = self.quotes.remove(&quote_id).expect("present");
+                            let original = q.original.expect("kept");
+                            let body = XmlNode::new("quoteResult")
+                                .child(XmlNode::new("stock").with_text(stock))
+                                .child(XmlNode::new("priceCents").with_text(price));
+                            let out = original.reply_with("", body);
+                            ctx.reply(out, &original);
+                        }
+                    }
+                }
+            }
+            WsEvent::Init { .. } | WsEvent::Time { .. } => {}
         }
+        Poll::Next
     }
 }
 
 fn main() {
     let mut b = SystemBuilder::new(7);
-    b.service("orchestrator", 4, |_| Box::new(QuoteOrchestrator));
+    b.service("orchestrator", 4, |_| Box::<QuoteOrchestrator>::default());
     b.passive_service("inventory", 4, |_| Box::new(Inventory));
     b.passive_service("pricing", 7, |_| Box::new(Pricing)); // different degree!
     b.scripted_client("buyer", "orchestrator", 6);
@@ -139,6 +136,6 @@ fn main() {
     println!(
         "\nAn orchestrator replicated 4-way coordinated services replicated 4- and\n\
          7-way — interoperation between different replication degrees, with both\n\
-         backend calls issued in parallel from a long-running active thread."
+         backend calls issued in parallel by one poll-driven orchestrator state machine."
     );
 }

@@ -2,8 +2,7 @@
 //! skewed clocks, and client-side give-up behavior across the full stack.
 
 use perpetual_ws::{
-    ActiveService, FaultMode, MessageHandler, PassiveService, PassiveUtils, ServiceApi,
-    SystemBuilder, Utils,
+    FaultMode, PassiveService, PassiveUtils, Poll, Service, ServiceCtx, SystemBuilder, WsEvent,
 };
 use pws_simnet::{SimDuration, SimTime};
 use pws_soap::{MessageContext, XmlNode};
@@ -65,24 +64,33 @@ fn healed_partition_lets_straggler_catch_up_on_new_requests() {
 fn agreed_time_is_monotone_consistent_even_with_byzantine_backup() {
     // One target replica lies in replies; time votes still come from the
     // (correct) primary and all replicas answer with the same values.
-    struct Clock;
-    impl ActiveService for Clock {
-        fn run(self: Box<Self>, api: &mut ServiceApi) {
-            let mut last = 0u64;
-            loop {
-                let Some(req) = api.receive_request() else {
-                    return;
-                };
-                let t = api.current_time_millis();
-                assert!(t >= last, "agreed clock must not go backwards");
-                last = t;
-                let reply = req.reply_with("", XmlNode::new("t").with_text(t.to_string()));
-                api.send_reply(reply, &req);
+    #[derive(Default)]
+    struct Clock {
+        last: u64,
+        serving: Option<MessageContext>,
+    }
+    impl Service for Clock {
+        fn on_event(&mut self, ev: WsEvent, ctx: &mut ServiceCtx<'_>) -> Poll {
+            match ev {
+                WsEvent::Request { request } => {
+                    ctx.query_time();
+                    self.serving = Some(request);
+                    Poll::time()
+                }
+                WsEvent::Time { millis, .. } => {
+                    assert!(millis >= self.last, "agreed clock must not go backwards");
+                    self.last = millis;
+                    let req = self.serving.take().expect("time answers a request");
+                    let reply = req.reply_with("", XmlNode::new("t").with_text(millis.to_string()));
+                    ctx.reply(reply, &req);
+                    Poll::request()
+                }
+                _ => Poll::request(),
             }
         }
     }
     let mut b = SystemBuilder::new(71);
-    b.service("clock", 4, |_| Box::new(Clock));
+    b.service("clock", 4, |_| Box::<Clock>::default());
     b.fault("clock", 2, FaultMode::CorruptReplies);
     b.scripted_client_windowed("user", "clock", 5, 1);
     let mut sys = b.build();
@@ -121,16 +129,14 @@ fn client_give_up_timeout_keeps_closed_loop_running() {
 #[test]
 fn seeded_randomness_is_identical_across_replicas_and_runs() {
     struct RandomService;
-    impl ActiveService for RandomService {
-        fn run(self: Box<Self>, api: &mut ServiceApi) {
-            loop {
-                let Some(req) = api.receive_request() else {
-                    return;
-                };
-                let r = api.random_u64();
-                let reply = req.reply_with("", XmlNode::new("r").with_text(r.to_string()));
-                api.send_reply(reply, &req);
+    impl Service for RandomService {
+        fn on_event(&mut self, ev: WsEvent, ctx: &mut ServiceCtx<'_>) -> Poll {
+            if let WsEvent::Request { request } = ev {
+                let r = ctx.random_u64();
+                let reply = request.reply_with("", XmlNode::new("r").with_text(r.to_string()));
+                ctx.reply(reply, &request);
             }
+            Poll::request()
         }
     }
     let run = |seed: u64| -> Vec<String> {

@@ -2,8 +2,8 @@
 //! clbft → perpetual → soap → perpetual-ws → tpcw) through public APIs.
 
 use perpetual_ws::{
-    parse_replicas_xml, ActiveService, FaultMode, MessageHandler, PassiveService, PassiveUtils,
-    ServiceApi, SystemBuilder,
+    parse_replicas_xml, FaultMode, PassiveService, PassiveUtils, Poll, Service, ServiceCtx,
+    SystemBuilder, WsEvent,
 };
 use pws_simnet::{SimDuration, SimTime};
 use pws_soap::{MessageContext, XmlNode};
@@ -19,31 +19,37 @@ impl PassiveService for Echo {
 fn four_tier_chain_works_end_to_end() {
     // client -> gateway(4) -> middle(7) -> backend(4): three replicated
     // tiers with different degrees, all calls synchronous.
-    struct Forward(&'static str);
-    impl ActiveService for Forward {
-        fn run(self: Box<Self>, api: &mut ServiceApi) {
-            loop {
-                let Some(req) = api.receive_request() else {
-                    return;
-                };
-                let mut call = MessageContext::request(format!("urn:svc:{}", self.0), "echo");
-                call.body_mut().name = "echo".into();
-                call.body_mut().text = req.body().text.clone();
-                let Some(rep) = api.send_receive(call) else {
-                    return;
-                };
-                let reply = req.reply_with(
-                    "",
-                    XmlNode::new("ok").with_text(format!("{}<{}", self.0, rep.body().text)),
-                );
-                api.send_reply(reply, &req);
+    // A synchronous forwarder: one request at a time; while the downstream
+    // call is in flight only its reply is admitted (new requests queue).
+    struct Forward(&'static str, Option<MessageContext>);
+    impl Service for Forward {
+        fn on_event(&mut self, ev: WsEvent, ctx: &mut ServiceCtx<'_>) -> Poll {
+            match ev {
+                WsEvent::Request { request } => {
+                    let mut call = MessageContext::request(format!("urn:svc:{}", self.0), "echo");
+                    call.body_mut().name = "echo".into();
+                    call.body_mut().text = request.body().text.clone();
+                    let token = ctx.send(call);
+                    self.1 = Some(request);
+                    Poll::reply(token)
+                }
+                WsEvent::Reply { reply, .. } => {
+                    let req = self.1.take().expect("reply resumes a pending request");
+                    let out = req.reply_with(
+                        "",
+                        XmlNode::new("ok").with_text(format!("{}<{}", self.0, reply.body().text)),
+                    );
+                    ctx.reply(out, &req);
+                    Poll::request()
+                }
+                _ => Poll::request(),
             }
         }
     }
 
     let mut b = SystemBuilder::new(31);
-    b.service("gateway", 4, |_| Box::new(Forward("middle")));
-    b.service("middle", 7, |_| Box::new(Forward("backend")));
+    b.service("gateway", 4, |_| Box::new(Forward("middle", None)));
+    b.service("middle", 7, |_| Box::new(Forward("backend", None)));
     b.passive_service("backend", 4, |_| Box::new(Echo));
     b.scripted_client("user", "gateway", 3);
     let mut sys = b.build();
@@ -64,33 +70,37 @@ fn fault_isolation_across_three_tiers() {
     // The middle tier's target (backend) is fully compromised; the middle
     // tier aborts deterministically and degrades gracefully, and the
     // gateway/client still get answers.
-    struct Degrading;
-    impl ActiveService for Degrading {
-        fn run(self: Box<Self>, api: &mut ServiceApi) {
-            loop {
-                let Some(req) = api.receive_request() else {
-                    return;
-                };
-                let mut call = MessageContext::request("urn:svc:backend", "echo");
-                call.body_mut().name = "echo".into();
-                call.body_mut().text = req.body().text.clone();
-                call.options_mut().set_timeout_millis(800);
-                let Some(rep) = api.send_receive(call) else {
-                    return;
-                };
-                let text = if rep.envelope().as_fault().is_some() {
-                    "degraded".to_owned()
-                } else {
-                    rep.body().text.clone()
-                };
-                let reply = req.reply_with("", XmlNode::new("ok").with_text(text));
-                api.send_reply(reply, &req);
+    #[derive(Default)]
+    struct Degrading(Option<MessageContext>);
+    impl Service for Degrading {
+        fn on_event(&mut self, ev: WsEvent, ctx: &mut ServiceCtx<'_>) -> Poll {
+            match ev {
+                WsEvent::Request { request } => {
+                    let mut call = MessageContext::request("urn:svc:backend", "echo");
+                    call.body_mut().name = "echo".into();
+                    call.body_mut().text = request.body().text.clone();
+                    call.options_mut().set_timeout_millis(800);
+                    let token = ctx.send(call);
+                    self.0 = Some(request);
+                    Poll::reply(token)
+                }
+                WsEvent::Reply { reply, .. } => {
+                    let req = self.0.take().expect("pending request");
+                    let text = if reply.envelope().as_fault().is_some() {
+                        "degraded".to_owned()
+                    } else {
+                        reply.body().text.clone()
+                    };
+                    ctx.reply(req.reply_with("", XmlNode::new("ok").with_text(text)), &req);
+                    Poll::request()
+                }
+                _ => Poll::request(),
             }
         }
     }
 
     let mut b = SystemBuilder::new(37);
-    b.service("middle", 4, |_| Box::new(Degrading));
+    b.service("middle", 4, |_| Box::<Degrading>::default());
     b.passive_service("backend", 4, |_| Box::new(Echo));
     for i in 0..4 {
         b.fault("backend", i, FaultMode::Silent);
@@ -107,26 +117,33 @@ fn fault_isolation_across_three_tiers() {
 #[test]
 fn different_replication_degrees_interoperate() {
     for (nc, nt) in [(1u32, 10u32), (10, 1), (7, 4)] {
-        struct Caller(&'static str);
-        impl ActiveService for Caller {
-            fn run(self: Box<Self>, api: &mut ServiceApi) {
-                loop {
-                    let Some(req) = api.receive_request() else {
-                        return;
-                    };
-                    let mut call = MessageContext::request(format!("urn:svc:{}", self.0), "echo");
-                    call.body_mut().text = req.body().text.clone();
-                    let Some(rep) = api.send_receive(call) else {
-                        return;
-                    };
-                    let reply =
-                        req.reply_with("", XmlNode::new("ok").with_text(rep.body().text.clone()));
-                    api.send_reply(reply, &req);
+        struct Caller(&'static str, Option<MessageContext>);
+        impl Service for Caller {
+            fn on_event(&mut self, ev: WsEvent, ctx: &mut ServiceCtx<'_>) -> Poll {
+                match ev {
+                    WsEvent::Request { request } => {
+                        let mut call =
+                            MessageContext::request(format!("urn:svc:{}", self.0), "echo");
+                        call.body_mut().text = request.body().text.clone();
+                        let token = ctx.send(call);
+                        self.1 = Some(request);
+                        Poll::reply(token)
+                    }
+                    WsEvent::Reply { reply, .. } => {
+                        let req = self.1.take().expect("pending request");
+                        let out = req.reply_with(
+                            "",
+                            XmlNode::new("ok").with_text(reply.body().text.clone()),
+                        );
+                        ctx.reply(out, &req);
+                        Poll::request()
+                    }
+                    _ => Poll::request(),
                 }
             }
         }
         let mut b = SystemBuilder::new(41);
-        b.service("front", nc, |_| Box::new(Caller("svc")));
+        b.service("front", nc, |_| Box::new(Caller("svc", None)));
         b.passive_service("svc", nt, |_| Box::new(Echo));
         b.scripted_client("user", "front", 2);
         let mut sys = b.build();
