@@ -7,8 +7,13 @@
 //! processing time; relative overhead falls rapidly — the paper quotes
 //! throughput rising from 31 % of unreplicated (null) to 66 % at 6 ms for
 //! n = 4 (§6.4).
+//!
+//! Beyond the paper, the run ends with a CLBFT **batch-size sweep**
+//! (`max_batch ∈ {1, 4, 16}` under a 16-deep client window): request
+//! batching is the classic throughput lever for this protocol family, and
+//! the sweep records how far it lifts the saturated hot path.
 
-use pws_bench::{emit_table, quick_mode, run_two_tier};
+use pws_bench::{emit_table, quick_mode, run_two_tier, run_two_tier_batched};
 use pws_simnet::SimDuration;
 
 fn main() {
@@ -78,4 +83,53 @@ fn main() {
             "6ms should cut n=4 overhead substantially"
         );
     }
+
+    // Batch-size sweep: a 16-deep client window saturates the agreement
+    // pipeline so the primary actually accumulates. max_batch = 1 is the
+    // pre-batching protocol (one request per slot).
+    let batch_total: u64 = if quick_mode() { 120 } else { 400 };
+    let mut batch_rows = Vec::new();
+    for &max_batch in &[1usize, 4, 16] {
+        let r = run_two_tier_batched(4, 4, batch_total, 16, SimDuration::ZERO, 2007, max_batch);
+        batch_rows.push(vec![
+            max_batch.to_string(),
+            format!("{:.1}", r.throughput),
+            format!("{:.3}", r.completion_ms),
+            r.batches.to_string(),
+            format!("{:.2}", r.mean_batch),
+        ]);
+    }
+    emit_table(
+        "fig8_batch_sweep",
+        &[
+            "max_batch",
+            "throughput_rps",
+            "ms_per_req",
+            "batches",
+            "mean_reqs_per_batch",
+        ],
+        &batch_rows,
+    );
+    let tput_at = |i: usize| -> f64 { batch_rows[i][1].parse().unwrap() };
+    let occ_at = |i: usize| -> f64 { batch_rows[i][4].parse().unwrap() };
+    assert!(
+        occ_at(2) > occ_at(0),
+        "batching must engage at cap 16 ({} vs {})",
+        occ_at(2),
+        occ_at(0)
+    );
+    assert!(
+        tput_at(2) > tput_at(0),
+        "batch 16 must out-run batch 1 on the same topology ({} vs {})",
+        tput_at(2),
+        tput_at(0)
+    );
+    println!(
+        "\nbatch sweep: {:.1} rps at batch 1 -> {:.1} rps at batch 16 \
+         ({:.2}x, mean occupancy {:.2})",
+        tput_at(0),
+        tput_at(2),
+        tput_at(2) / tput_at(0),
+        occ_at(2)
+    );
 }

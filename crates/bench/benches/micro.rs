@@ -78,39 +78,65 @@ fn bench_soap(c: &mut Criterion) {
     g.finish();
 }
 
-/// One full CLBFT agreement round for a 4-replica group, messages delivered
-/// in memory.
-fn clbft_round(replicas: &mut [Replica], counter: u64) -> usize {
-    let req = Request::new(
-        RequestId::new(1, counter),
-        bytes::Bytes::from(counter.to_string()),
-    );
-    let mut inbox: VecDeque<(usize, ReplicaId, Msg)> = VecDeque::new();
-    let mut executed = 0usize;
-    let route = |at: usize,
-                 actions: Vec<Action>,
-                 inbox: &mut VecDeque<(usize, ReplicaId, Msg)>,
-                 executed: &mut usize| {
-        for a in actions {
-            match a {
-                Action::Broadcast(m) => {
-                    for i in 0..4 {
-                        if i != at {
-                            inbox.push_back((i, ReplicaId(at as u32), m.clone()));
-                        }
+fn route_actions(
+    at: usize,
+    actions: Vec<Action>,
+    inbox: &mut VecDeque<(usize, ReplicaId, Msg)>,
+    executed: &mut usize,
+) {
+    for a in actions {
+        match a {
+            Action::Broadcast(m) => {
+                for i in 0..4 {
+                    if i != at {
+                        inbox.push_back((i, ReplicaId(at as u32), m.clone()));
                     }
                 }
-                Action::Send(d, m) => inbox.push_back((d.0 as usize, ReplicaId(at as u32), m)),
-                Action::Execute { .. } => *executed += 1,
-                _ => {}
             }
+            Action::Send(d, m) => inbox.push_back((d.0 as usize, ReplicaId(at as u32), m)),
+            Action::Execute { batch, .. } => *executed += batch.len(),
+            _ => {}
         }
-    };
-    let first = replicas[0].on_request(req);
-    route(0, first, &mut inbox, &mut executed);
+    }
+}
+
+/// One full CLBFT agreement round for a 4-replica group, messages delivered
+/// in memory. Returns executed request deliveries across all replicas.
+fn clbft_round(replicas: &mut [Replica], counter: u64) -> usize {
+    clbft_load(replicas, counter..counter + 1)
+}
+
+/// Pushes a range of requests into the primary and runs the group to
+/// quiescence; with the default pipeline depth the primary seals queued
+/// requests into batches as slots complete. Returns executed request
+/// deliveries summed across all replicas.
+fn clbft_load(replicas: &mut [Replica], counters: std::ops::Range<u64>) -> usize {
+    let mut inbox: VecDeque<(usize, ReplicaId, Msg)> = VecDeque::new();
+    let mut executed = 0usize;
+    for counter in counters {
+        let req = Request::new(
+            RequestId::new(1, counter),
+            bytes::Bytes::from(counter.to_string()),
+        );
+        let first = replicas[0].on_request(req);
+        route_actions(0, first, &mut inbox, &mut executed);
+    }
     while let Some((to, from, m)) = inbox.pop_front() {
         let actions = replicas[to].on_message(from, m);
-        route(to, actions, &mut inbox, &mut executed);
+        route_actions(to, actions, &mut inbox, &mut executed);
+    }
+    // Anything still queued behind a full pipeline: seal it (the harness's
+    // batch timer would).
+    loop {
+        let timer_actions = replicas[0].on_batch_timer();
+        if timer_actions.is_empty() {
+            break;
+        }
+        route_actions(0, timer_actions, &mut inbox, &mut executed);
+        while let Some((to, from, m)) = inbox.pop_front() {
+            let actions = replicas[to].on_message(from, m);
+            route_actions(to, actions, &mut inbox, &mut executed);
+        }
     }
     executed
 }
@@ -134,6 +160,35 @@ fn bench_clbft(c: &mut Criterion) {
             BatchSize::SmallInput,
         )
     });
+    g.finish();
+}
+
+/// Batch assembly: 32 requests through a 4-replica group at CLBFT batching
+/// caps 1 / 4 / 16. The work is identical (32 ordered executions per
+/// replica); what shrinks with the cap is the number of agreement slots and
+/// therefore protocol messages — the §6.4-style argument for batching.
+fn bench_clbft_batching(c: &mut Criterion) {
+    let mut g = c.benchmark_group("clbft_batch");
+    g.measurement_time(Duration::from_secs(2)).sample_size(20);
+    for max_batch in [1usize, 4, 16] {
+        g.bench_function(format!("order_32_reqs_cap{max_batch}"), |b| {
+            b.iter_batched(
+                || {
+                    let mut cfg = Config::new(4);
+                    cfg.max_batch_size = max_batch;
+                    let rs: Vec<Replica> = (0..4)
+                        .map(|i| Replica::new(ReplicaId(i), cfg.clone()))
+                        .collect();
+                    rs
+                },
+                |mut rs| {
+                    let executed = clbft_load(&mut rs, 0..32);
+                    assert_eq!(executed, 32 * 4);
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
     g.finish();
 }
 
@@ -195,6 +250,7 @@ criterion_group!(
     bench_bundle,
     bench_soap,
     bench_clbft,
+    bench_clbft_batching,
     bench_service_host
 );
 criterion_main!(benches);

@@ -16,6 +16,9 @@
 //! they are not comparable to the paper's testbed; the *shapes* (who wins,
 //! scaling direction, crossovers) are the reproduction target. Each bench
 //! prints a table and writes a CSV under `target/figures/`.
+//!
+//! See `docs/ARCHITECTURE.md` at the repository root for the crate map and
+//! the wire formats the cost model charges for.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -146,11 +149,17 @@ pub struct TwoTierResult {
     pub completion_ms: f64,
     /// Requests completed.
     pub completed: u64,
+    /// Agreement batches executed across all voter groups.
+    pub batches: u64,
+    /// Mean requests per executed agreement batch (1.0 = batching never
+    /// engaged).
+    pub mean_batch: f64,
 }
 
 /// Runs the two-tier setting of §6.2: a calling service of `nc` replicas
 /// issuing `total` requests (window `window`) at a target of `nt` replicas
-/// whose per-request processing cost is `processing`.
+/// whose per-request processing cost is `processing`, with the default
+/// CLBFT batching cap.
 pub fn run_two_tier(
     nc: u32,
     nt: u32,
@@ -159,7 +168,23 @@ pub fn run_two_tier(
     processing: SimDuration,
     seed: u64,
 ) -> TwoTierResult {
+    run_two_tier_batched(nc, nt, total, window, processing, seed, 16)
+}
+
+/// [`run_two_tier`] with an explicit CLBFT batching cap (`max_batch = 1`
+/// disables batching). Drives the fig8 batch-size sweep.
+#[allow(clippy::too_many_arguments)]
+pub fn run_two_tier_batched(
+    nc: u32,
+    nt: u32,
+    total: u64,
+    window: u64,
+    processing: SimDuration,
+    seed: u64,
+    max_batch: usize,
+) -> TwoTierResult {
     let mut b = SystemBuilder::new(seed);
+    b.max_batch_size(max_batch);
     b.service("caller", nc, move |_| {
         Box::new(LoadCaller::new("target", total, window))
     });
@@ -188,6 +213,8 @@ pub fn run_two_tier(
             f64::NAN
         },
         completed,
+        batches: sys.metrics().batches("clbft.exec"),
+        mean_batch: sys.metrics().mean_batch_occupancy("clbft.exec"),
     }
 }
 
@@ -291,6 +318,33 @@ mod tests {
             "pipelining should raise throughput substantially: {} vs {}",
             parallel.throughput,
             sync.throughput
+        );
+    }
+
+    #[test]
+    fn batching_engages_and_raises_windowed_throughput() {
+        // Window 16 keeps the agreement pipeline saturated, so the primary
+        // accumulates: with the cap at 16 the mean occupancy must rise
+        // above 1 and throughput must beat the unbatched (cap 1) run.
+        let unbatched = run_two_tier_batched(4, 4, 60, 16, SimDuration::ZERO, 3, 1);
+        let batched = run_two_tier_batched(4, 4, 60, 16, SimDuration::ZERO, 3, 16);
+        assert_eq!(batched.completed, 60);
+        assert_eq!(unbatched.completed, 60);
+        assert!(
+            (unbatched.mean_batch - 1.0).abs() < 1e-9,
+            "cap 1 disables batching, occupancy {}",
+            unbatched.mean_batch
+        );
+        assert!(
+            batched.mean_batch > 1.5,
+            "batching engaged via metrics, occupancy {}",
+            batched.mean_batch
+        );
+        assert!(
+            batched.throughput > unbatched.throughput,
+            "batch 16 must out-run batch 1: {} vs {}",
+            batched.throughput,
+            unbatched.throughput
         );
     }
 

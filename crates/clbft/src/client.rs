@@ -5,6 +5,12 @@
 //! appears twice in Perpetual: the target voter primary waits for `f_c + 1`
 //! matching requests (paper stage 2), and the responder collects `f_t + 1`
 //! matching replies (stage 5).
+//!
+//! Request batching is invisible here: batches are an *agreement-side*
+//! packing (many requests per sequence slot), and replicas still reply per
+//! request. The only client-observable effect is that replies for requests
+//! that rode the same batch tend to arrive together, since their slot
+//! commits and executes as one unit.
 
 use crate::ReplicaId;
 use pws_crypto::sha256::Digest32;

@@ -11,6 +11,24 @@ pub struct Config {
     pub checkpoint_interval: u64,
     /// Log window size (high watermark = low watermark + window).
     pub watermark_window: u64,
+    /// Maximum number of requests the primary seals into one batch (one
+    /// agreement slot). `1` disables batching entirely.
+    pub max_batch_size: usize,
+    /// Number of slots the primary keeps in flight (proposed but not yet
+    /// executed locally) before it starts accumulating requests into
+    /// batches. Within this depth requests propose immediately, so
+    /// agreement for slot `s + 1` overlaps execution of slot `s`; beyond
+    /// it, arrivals coalesce until a slot completes (freeing pipeline
+    /// capacity), the watermark advances, or the batch timer fires —
+    /// `max_batch_size` caps how much a seal takes, it does not trigger
+    /// one. Bounded above by `watermark_window`.
+    pub pipeline_depth: u64,
+    /// Upper bound, in microseconds, on how long a queued request may wait
+    /// for a batch to seal. The replica itself owns no clock — it only
+    /// emits [`crate::Action::BatchTimer`] commands — so the transport
+    /// harness reads this value (via [`crate::Replica::config`]) to size
+    /// the real timer.
+    pub batch_delay_us: u64,
 }
 
 impl Config {
@@ -30,7 +48,16 @@ impl Config {
             n,
             checkpoint_interval: 64,
             watermark_window: 256,
+            max_batch_size: 16,
+            pipeline_depth: 2,
+            batch_delay_us: 1_000,
         }
+    }
+
+    /// The effective in-flight proposal bound: the configured pipeline
+    /// depth, never exceeding the watermark window.
+    pub fn effective_pipeline_depth(&self) -> u64 {
+        self.pipeline_depth.min(self.watermark_window)
     }
 
     /// The number of Byzantine faults this group tolerates: `f = (n-1)/3`.
@@ -84,6 +111,17 @@ mod tests {
     #[should_panic(expected = "3f+1")]
     fn rejects_non_3f1() {
         Config::new(5);
+    }
+
+    #[test]
+    fn batching_defaults_are_sane() {
+        let c = Config::new(4);
+        assert!(c.max_batch_size >= 1);
+        assert!(c.pipeline_depth >= 1);
+        assert_eq!(c.effective_pipeline_depth(), c.pipeline_depth);
+        let mut wide = c.clone();
+        wide.pipeline_depth = wide.watermark_window + 100;
+        assert_eq!(wide.effective_pipeline_depth(), wide.watermark_window);
     }
 
     #[test]

@@ -12,9 +12,17 @@
 //! directly property-testable.
 //!
 //! Implemented: the normal three-phase case (pre-prepare / prepare /
-//! commit), request deduplication, periodic checkpoints with log garbage
-//! collection below the low watermark, sequence-number watermarks, and view
-//! changes with new-view re-proposals (including null-request gap filling).
+//! commit), Castro–Liskov request **batching** with pipelined proposals
+//! (the primary seals queued requests into a [`Batch`] per slot; see
+//! [`Config::max_batch_size`] and [`Config::pipeline_depth`]), request
+//! deduplication, periodic checkpoints with log garbage collection below
+//! the low watermark, sequence-number watermarks, and view changes with
+//! new-view re-proposals (including null-batch gap filling). A batch is
+//! ordered or dropped atomically — never split — including across view
+//! changes, because prepares and commits cover the batch digest.
+//!
+//! See `docs/ARCHITECTURE.md` at the repository root for how this crate
+//! slots into the full Perpetual-WS stack and for the wire-format tables.
 //!
 //! ## Trust boundary
 //!
@@ -76,8 +84,8 @@ pub mod wire;
 pub use client::ReplyCollector;
 pub use config::Config;
 pub use messages::{
-    CheckpointMsg, CommitMsg, Msg, NewViewMsg, PrePrepareMsg, PrepareMsg, PreparedClaim, Request,
-    RequestId, ViewChangeMsg,
+    Batch, CheckpointMsg, CommitMsg, Msg, NewViewMsg, PrePrepareMsg, PrepareMsg, PreparedClaim,
+    Request, RequestId, ViewChangeMsg,
 };
 pub use replica::{Action, Replica, TimerCmd};
 

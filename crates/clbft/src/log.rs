@@ -1,6 +1,6 @@
 //! The message log: per-sequence-number slots with quorum tracking.
 
-use crate::messages::Request;
+use crate::messages::Batch;
 use crate::{Config, ReplicaId, Seq, View};
 use pws_crypto::sha256::Digest32;
 use std::collections::{BTreeMap, HashMap, HashSet};
@@ -9,14 +9,14 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 #[derive(Debug, Default)]
 pub(crate) struct Slot {
     /// The accepted pre-prepare for the highest view seen at this seq.
-    pub pre_prepare: Option<(View, Digest32, Request)>,
+    pub pre_prepare: Option<(View, Digest32, Batch)>,
     /// Prepare senders per (view, digest).
     pub prepares: HashMap<(View, Digest32), HashSet<ReplicaId>>,
     /// Commit senders per (view, digest).
     pub commits: HashMap<(View, Digest32), HashSet<ReplicaId>>,
     /// Whether this replica already broadcast its commit for this slot.
     pub commit_sent: bool,
-    /// Whether the slot's request has been executed locally.
+    /// Whether the slot's batch has been executed locally.
     pub executed: bool,
 }
 
@@ -62,14 +62,14 @@ impl Log {
     }
 
     /// Sequence numbers (above `from`) that this replica has prepared, for
-    /// view-change claims.
-    pub fn prepared_above(&self, from: Seq, cfg: &Config) -> Vec<(Seq, View, Digest32, Request)> {
+    /// view-change claims. Each claim carries its whole batch.
+    pub fn prepared_above(&self, from: Seq, cfg: &Config) -> Vec<(Seq, View, Digest32, Batch)> {
         self.slots
             .range(from.next()..)
             .filter_map(|(seq, slot)| {
                 let (v, d) = slot.prepared(cfg)?;
-                let (_, _, req) = slot.pre_prepare.as_ref()?;
-                Some((*seq, v, d, req.clone()))
+                let (_, _, batch) = slot.pre_prepare.as_ref()?;
+                Some((*seq, v, d, batch.clone()))
             })
             .collect()
     }
@@ -83,11 +83,11 @@ impl Log {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::messages::RequestId;
+    use crate::messages::{Request, RequestId};
     use bytes::Bytes;
 
-    fn req(c: u64) -> Request {
-        Request::new(RequestId::new(1, c), Bytes::from_static(b"x"))
+    fn req(c: u64) -> Batch {
+        Batch::of(Request::new(RequestId::new(1, c), Bytes::from_static(b"x")))
     }
 
     #[test]

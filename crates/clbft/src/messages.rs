@@ -22,28 +22,11 @@ impl RequestId {
     pub const fn new(origin: u64, counter: u64) -> Self {
         RequestId { origin, counter }
     }
-
-    /// The id used for null (gap-filling) requests issued at view change.
-    pub const fn null(seq: u64) -> Self {
-        RequestId {
-            origin: u64::MAX,
-            counter: seq,
-        }
-    }
-
-    /// Whether this is a null request id.
-    pub fn is_null(&self) -> bool {
-        self.origin == u64::MAX
-    }
 }
 
 impl std::fmt::Debug for RequestId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        if self.is_null() {
-            write!(f, "req(null@{})", self.counter)
-        } else {
-            write!(f, "req({}:{})", self.origin, self.counter)
-        }
+        write!(f, "req({}:{})", self.origin, self.counter)
     }
 }
 
@@ -60,19 +43,6 @@ impl Request {
     /// Creates a request.
     pub fn new(id: RequestId, payload: Bytes) -> Self {
         Request { id, payload }
-    }
-
-    /// The null request used to fill sequence gaps after a view change.
-    pub fn null(seq: Seq) -> Self {
-        Request {
-            id: RequestId::null(seq.0),
-            payload: Bytes::new(),
-        }
-    }
-
-    /// Whether this is a null request.
-    pub fn is_null(&self) -> bool {
-        self.id.is_null()
     }
 
     /// The canonical digest of this request.
@@ -92,17 +62,88 @@ impl std::fmt::Debug for Request {
     }
 }
 
-/// Primary's ordering proposal.
+/// An ordered batch of requests agreed as a single unit: one sequence slot
+/// carries the whole batch, and execution unpacks it in order (the
+/// Castro–Liskov request-batching optimization). A batch is ordered or
+/// dropped atomically — it is never split, including across view changes,
+/// because the batch digest (not per-request digests) is what prepares and
+/// commits.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Batch {
+    /// The requests, in the order they will execute within the slot.
+    pub requests: Vec<Request>,
+}
+
+impl Batch {
+    /// A batch over `requests`, preserving their order.
+    pub fn new(requests: Vec<Request>) -> Self {
+        Batch { requests }
+    }
+
+    /// A batch holding a single request.
+    pub fn of(request: Request) -> Self {
+        Batch {
+            requests: vec![request],
+        }
+    }
+
+    /// The empty (null) batch used to fill sequence gaps after a view
+    /// change: it commits like any batch but executes as a no-op.
+    pub fn null() -> Self {
+        Batch {
+            requests: Vec::new(),
+        }
+    }
+
+    /// Whether this is a null (gap-filling) batch.
+    pub fn is_null(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// Number of requests in the batch.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Whether the batch holds no requests (same as [`Batch::is_null`]).
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// The canonical digest of the ordered batch: a hash over the request
+    /// count and every request digest, in order. Reordering, dropping, or
+    /// substituting any member changes the batch digest.
+    pub fn digest(&self) -> Digest32 {
+        let mut h = Sha256::new();
+        h.update_u64(self.requests.len() as u64);
+        for r in &self.requests {
+            h.update(r.digest().as_bytes());
+        }
+        h.finalize()
+    }
+}
+
+impl std::fmt::Debug for Batch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_null() {
+            write!(f, "Batch(null)")
+        } else {
+            write!(f, "Batch[{}]{:?}", self.len(), self.requests)
+        }
+    }
+}
+
+/// Primary's ordering proposal: one slot, one batch.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PrePrepareMsg {
     /// The view this proposal belongs to.
     pub view: View,
     /// The proposed sequence number.
     pub seq: Seq,
-    /// Digest of `request` (redundant but matches the paper's wire format).
+    /// Digest of `batch` (redundant but matches the paper's wire format).
     pub digest: Digest32,
-    /// The full request (piggybacked, as in CLBFT).
-    pub request: Request,
+    /// The full batch (piggybacked, as in CLBFT).
+    pub batch: Batch,
 }
 
 /// Backup's acknowledgement of a pre-prepare.
@@ -142,17 +183,19 @@ pub struct CheckpointMsg {
     pub replica: ReplicaId,
 }
 
-/// A prepared-request claim carried inside a view change.
+/// A prepared-batch claim carried inside a view change. The claim carries
+/// the *whole* batch so the new primary can only ever re-propose it intact,
+/// in the same internal order — never a subset.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PreparedClaim {
-    /// View in which the request pre-prepared.
+    /// View in which the batch pre-prepared.
     pub view: View,
     /// Claimed sequence number.
     pub seq: Seq,
-    /// Request digest.
+    /// Batch digest.
     pub digest: Digest32,
-    /// The full request, so the new primary can re-propose it.
-    pub request: Request,
+    /// The full batch, so the new primary can re-propose it whole.
+    pub batch: Batch,
 }
 
 /// Vote to move to a new view.
@@ -233,14 +276,31 @@ mod tests {
     }
 
     #[test]
-    fn null_requests() {
-        let r = Request::null(Seq(9));
-        assert!(r.is_null());
-        assert!(r.id.is_null());
-        assert_eq!(format!("{:?}", r.id), "req(null@9)");
-        let real = RequestId::new(3, 4);
-        assert!(!real.is_null());
-        assert_eq!(format!("{real:?}"), "req(3:4)");
+    fn batch_digest_covers_order_and_membership() {
+        let a = Request::new(RequestId::new(1, 1), Bytes::from_static(b"a"));
+        let b = Request::new(RequestId::new(1, 2), Bytes::from_static(b"b"));
+        let ab = Batch::new(vec![a.clone(), b.clone()]);
+        let ba = Batch::new(vec![b.clone(), a.clone()]);
+        assert_eq!(ab.digest(), ab.digest(), "deterministic");
+        assert_ne!(ab.digest(), ba.digest(), "order matters");
+        assert_ne!(ab.digest(), Batch::of(a.clone()).digest(), "membership");
+        assert_eq!(ab.len(), 2);
+        assert!(!ab.is_empty());
+        assert_eq!(Batch::of(a).len(), 1);
+    }
+
+    #[test]
+    fn null_batches() {
+        let b = Batch::null();
+        assert!(b.is_null());
+        assert!(b.is_empty());
+        assert_eq!(b.digest(), Batch::new(vec![]).digest());
+        assert_ne!(
+            b.digest(),
+            Batch::of(Request::new(RequestId::new(1, 1), Bytes::new())).digest()
+        );
+        assert_eq!(format!("{b:?}"), "Batch(null)");
+        assert_eq!(format!("{:?}", RequestId::new(3, 4)), "req(3:4)");
     }
 
     #[test]

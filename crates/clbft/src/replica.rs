@@ -2,18 +2,19 @@
 
 use crate::log::Log;
 use crate::messages::{
-    CheckpointMsg, CommitMsg, Msg, NewViewMsg, PrePrepareMsg, PrepareMsg, PreparedClaim, Request,
-    RequestId, ViewChangeMsg,
+    Batch, CheckpointMsg, CommitMsg, Msg, NewViewMsg, PrePrepareMsg, PrepareMsg, PreparedClaim,
+    Request, RequestId, ViewChangeMsg,
 };
 use crate::{Config, ReplicaId, Seq, View};
 use pws_crypto::sha256::{Digest32, Sha256};
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 
 /// Timer guidance emitted alongside protocol actions. The harness maintains
-/// a single view-change timer per replica and applies these commands.
+/// one view-change timer and one batch timer per replica and applies these
+/// commands to whichever timer the enclosing [`Action`] names.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TimerCmd {
-    /// Start (or restart) the view-change timer.
+    /// Start (or restart) the timer.
     Restart,
     /// Stop the timer: no outstanding work.
     Stop,
@@ -26,12 +27,14 @@ pub enum Action {
     Send(ReplicaId, Msg),
     /// Send a message to every *other* replica in the group.
     Broadcast(Msg),
-    /// Deliver the request at its agreed position in the total order.
+    /// Deliver the batch agreed at `seq`, unpacked in batch order. `batch`
+    /// contains only the requests that have not executed before
+    /// (deduplicated); null gap-filler batches deliver nothing.
     Execute {
-        /// Agreed sequence number.
+        /// Agreed sequence number (one slot per batch).
         seq: Seq,
-        /// The ordered request.
-        request: Request,
+        /// The not-yet-executed requests of the slot's batch, in order.
+        batch: Vec<Request>,
     },
     /// A checkpoint became stable; the log below it was discarded.
     Stable(Seq),
@@ -39,6 +42,11 @@ pub enum Action {
     EnteredView(View),
     /// Maintain the view-change timer.
     ViewTimer(TimerCmd),
+    /// Maintain the primary's batch-accumulation timer. When the timer
+    /// fires the harness calls [`Replica::on_batch_timer`], which seals
+    /// whatever is queued regardless of pipeline occupancy. The delay is
+    /// the harness's rendering of [`Config::batch_delay_us`].
+    BatchTimer(TimerCmd),
 }
 
 #[derive(Debug, Clone)]
@@ -74,8 +82,16 @@ pub struct Replica {
     checkpoint_votes: BTreeMap<Seq, HashMap<Digest32, HashSet<ReplicaId>>>,
     requests: HashMap<RequestId, ReqState>,
     outstanding: usize,
-    /// Requests buffered at the primary while beyond the high watermark.
-    buffered: VecDeque<RequestId>,
+    /// Requests awaiting proposal at the primary: the batch accumulator.
+    /// Drained into sealed batches by [`Replica::drain_queue`] whenever
+    /// pipeline and watermark capacity allow.
+    queue: VecDeque<RequestId>,
+    /// Whether a batch-delay timer is currently armed at the harness.
+    batch_timer_armed: bool,
+    /// Re-entrancy guard: `drain_queue` can be re-entered through
+    /// `try_execute` when a proposal executes synchronously (n = 1); the
+    /// outer drain loop already continues, so inner calls are no-ops.
+    draining: bool,
     view_changes: BTreeMap<View, HashMap<ReplicaId, ViewChangeMsg>>,
     new_view_sent: HashSet<u64>,
     /// Pre-prepares/prepares for views we have not entered yet (e.g. a new
@@ -115,7 +131,9 @@ impl Replica {
             checkpoint_votes: BTreeMap::new(),
             requests: HashMap::new(),
             outstanding: 0,
-            buffered: VecDeque::new(),
+            queue: VecDeque::new(),
+            batch_timer_armed: false,
+            draining: false,
             view_changes: BTreeMap::new(),
             new_view_sent: HashSet::new(),
             stashed: Vec::new(),
@@ -125,6 +143,13 @@ impl Replica {
     /// This replica's id.
     pub fn id(&self) -> ReplicaId {
         self.id
+    }
+
+    /// The group configuration this replica runs with. The transport
+    /// harness reads [`Config::batch_delay_us`] from here to size the
+    /// timer behind [`Action::BatchTimer`].
+    pub fn config(&self) -> &Config {
+        &self.cfg
     }
 
     /// The current view.
@@ -167,6 +192,19 @@ impl Replica {
         self.outstanding
     }
 
+    /// Requests queued at this replica awaiting batch proposal (primary
+    /// only; always 0 on an idle backup).
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Slots this primary has proposed that have not yet executed locally.
+    /// While this is below [`Config::pipeline_depth`] proposals go out
+    /// immediately; above it, requests accumulate into batches.
+    pub fn in_flight(&self) -> u64 {
+        self.next_seq.0.saturating_sub(self.last_exec.0)
+    }
+
     fn high_watermark(&self) -> Seq {
         Seq(self.stable_seq.0 + self.cfg.watermark_window)
     }
@@ -194,35 +232,99 @@ impl Replica {
             return out;
         }
         if self.is_primary() {
-            self.propose(request, &mut out);
+            self.queue.push_back(request.id);
+            self.drain_queue(false, &mut out);
         } else {
             out.push(Action::Send(self.primary(), Msg::Forward(request)));
         }
         out
     }
 
-    fn propose(&mut self, request: Request, out: &mut Vec<Action>) {
-        if self.next_seq >= self.high_watermark() {
-            self.buffered.push_back(request.id);
+    /// Seals queued requests into batches and proposes them, while the
+    /// watermark window and (unless `force`) the pipeline depth permit.
+    /// `force = true` is the batch timer's path: the accumulated batch goes
+    /// out even with a full pipeline, bounding request latency.
+    fn drain_queue(&mut self, force: bool, out: &mut Vec<Action>) {
+        if self.draining {
             return;
         }
+        self.draining = true;
+        while !self.queue.is_empty() && self.next_seq < self.high_watermark() {
+            if !force && self.in_flight() >= self.cfg.effective_pipeline_depth() {
+                break;
+            }
+            let mut requests = Vec::new();
+            while requests.len() < self.cfg.max_batch_size {
+                let Some(id) = self.queue.pop_front() else {
+                    break;
+                };
+                // Entries can go stale in the queue (dropped via
+                // `drop_request`, or ordered through another path).
+                if let Some(ReqState::Pending(r)) = self.requests.get(&id) {
+                    requests.push(r.clone());
+                }
+            }
+            if requests.is_empty() {
+                continue;
+            }
+            self.propose_batch(Batch::new(requests), out);
+        }
+        self.draining = false;
+        self.update_batch_timer(out);
+    }
+
+    fn propose_batch(&mut self, batch: Batch, out: &mut Vec<Action>) {
         self.next_seq = self.next_seq.next();
         let seq = self.next_seq;
-        let digest = request.digest();
+        let digest = batch.digest();
         let pp = PrePrepareMsg {
             view: self.view,
             seq,
             digest,
-            request: request.clone(),
+            batch: batch.clone(),
         };
         let slot = self.log.slot_mut(seq);
-        slot.pre_prepare = Some((self.view, digest, request.clone()));
-        if let Some(state) = self.requests.get_mut(&request.id) {
-            *state = ReqState::Ordered(request);
+        slot.pre_prepare = Some((self.view, digest, batch.clone()));
+        for r in &batch.requests {
+            if let Some(state) = self.requests.get_mut(&r.id) {
+                *state = ReqState::Ordered(r.clone());
+            }
         }
         out.push(Action::Broadcast(Msg::PrePrepare(pp)));
         // n = 1 degenerate group: prepared immediately.
         self.try_prepare_transition(seq, out);
+    }
+
+    /// Arms the batch timer while requests are waiting in the queue and
+    /// stops it when the queue drains, emitting at most one command per
+    /// transition. A queue blocked on the *watermark* (rather than the
+    /// pipeline) does not arm the timer — firing could not seal anything,
+    /// so re-arming would busy-spin every `batch_delay_us` until a
+    /// checkpoint stabilizes; the watermark-advance path in
+    /// `try_stabilize` drains the queue instead.
+    fn update_batch_timer(&mut self, out: &mut Vec<Action>) {
+        let want = !self.queue.is_empty()
+            && self.is_primary()
+            && !self.in_view_change
+            && self.next_seq < self.high_watermark();
+        if want && !self.batch_timer_armed {
+            self.batch_timer_armed = true;
+            out.push(Action::BatchTimer(TimerCmd::Restart));
+        } else if !want && self.batch_timer_armed {
+            self.batch_timer_armed = false;
+            out.push(Action::BatchTimer(TimerCmd::Stop));
+        }
+    }
+
+    /// The batch-delay timer fired: seal whatever is queued, even though
+    /// the pipeline is still full.
+    pub fn on_batch_timer(&mut self) -> Vec<Action> {
+        let mut out = Vec::new();
+        self.batch_timer_armed = false;
+        if self.is_primary() && !self.in_view_change {
+            self.drain_queue(true, &mut out);
+        }
+        out
     }
 
     /// Handles a protocol message from another replica.
@@ -254,7 +356,7 @@ impl Replica {
         if pp.view != self.view
             || from != self.primary()
             || !self.in_watermarks(pp.seq)
-            || pp.digest != pp.request.digest()
+            || pp.digest != pp.batch.digest()
         {
             return;
         }
@@ -270,20 +372,20 @@ impl Replica {
             // the old view no longer applies.
             slot.commit_sent = false;
         }
-        slot.pre_prepare = Some((pp.view, pp.digest, pp.request.clone()));
-        if !pp.request.is_null() {
-            match self.requests.get_mut(&pp.request.id) {
-                Some(st @ ReqState::Pending(_)) => *st = ReqState::Ordered(pp.request.clone()),
+        slot.pre_prepare = Some((pp.view, pp.digest, pp.batch.clone()));
+        let was_idle = self.outstanding == 0;
+        for r in &pp.batch.requests {
+            match self.requests.get_mut(&r.id) {
+                Some(st @ ReqState::Pending(_)) => *st = ReqState::Ordered(r.clone()),
                 Some(_) => {}
                 None => {
-                    self.requests
-                        .insert(pp.request.id, ReqState::Ordered(pp.request.clone()));
+                    self.requests.insert(r.id, ReqState::Ordered(r.clone()));
                     self.outstanding += 1;
-                    if self.outstanding == 1 {
-                        out.push(Action::ViewTimer(TimerCmd::Restart));
-                    }
                 }
             }
+        }
+        if was_idle && self.outstanding > 0 {
+            out.push(Action::ViewTimer(TimerCmd::Restart));
         }
         let prep = PrepareMsg {
             view: pp.view,
@@ -368,7 +470,7 @@ impl Replica {
             }
             let slot = self.log.slot_mut(next);
             slot.executed = true;
-            let (_, digest, request) = slot.pre_prepare.clone().expect("committed implies pp");
+            let (_, digest, batch) = slot.pre_prepare.clone().expect("committed implies pp");
             self.last_exec = next;
             progressed = true;
             // Chain the execution history for checkpoints.
@@ -378,13 +480,22 @@ impl Replica {
             h.update(digest.as_bytes());
             self.exec_chain = h.finalize();
 
-            if !request.is_null() {
+            // Unpack the batch in order, skipping already-executed requests
+            // (re-proposals across view changes can repeat them).
+            let mut fresh = Vec::new();
+            for request in batch.requests {
                 let already = matches!(self.requests.get(&request.id), Some(ReqState::Executed));
                 self.requests.insert(request.id, ReqState::Executed);
                 if !already {
                     self.outstanding = self.outstanding.saturating_sub(1);
-                    out.push(Action::Execute { seq: next, request });
+                    fresh.push(request);
                 }
+            }
+            if !fresh.is_empty() {
+                out.push(Action::Execute {
+                    seq: next,
+                    batch: fresh,
+                });
             }
 
             if next.0.is_multiple_of(self.cfg.checkpoint_interval) {
@@ -397,6 +508,11 @@ impl Replica {
             } else {
                 TimerCmd::Restart
             }));
+            // Completed slots free pipeline capacity: the primary seals the
+            // next batch from whatever accumulated meanwhile.
+            if self.is_primary() && !self.in_view_change {
+                self.drain_queue(false, out);
+            }
         }
     }
 
@@ -451,16 +567,10 @@ impl Replica {
         self.own_checkpoints = self.own_checkpoints.split_off(&seq);
         self.checkpoint_votes = self.checkpoint_votes.split_off(&seq.next());
         out.push(Action::Stable(seq));
-        // The watermark advanced: the primary can drain buffered requests.
+        // The watermark advanced: the primary can seal queued batches that
+        // were blocked on the window.
         if self.is_primary() && !self.in_view_change {
-            while let Some(id) = self.buffered.pop_front() {
-                if let Some(ReqState::Pending(req)) = self.requests.get(&id).cloned() {
-                    self.propose(req, out);
-                }
-                if self.next_seq >= self.high_watermark() {
-                    break;
-                }
-            }
+            self.drain_queue(false, out);
         }
     }
 
@@ -471,11 +581,12 @@ impl Replica {
         let mut out = Vec::new();
         if matches!(self.requests.get(&id), Some(ReqState::Pending(_))) {
             self.requests.remove(&id);
-            self.buffered.retain(|b| *b != id);
+            self.queue.retain(|b| *b != id);
             self.outstanding = self.outstanding.saturating_sub(1);
             if self.outstanding == 0 {
                 out.push(Action::ViewTimer(TimerCmd::Stop));
             }
+            self.update_batch_timer(&mut out);
         }
         out
     }
@@ -495,15 +606,17 @@ impl Replica {
     fn start_view_change(&mut self, target: View, out: &mut Vec<Action>) {
         self.in_view_change = true;
         self.vc_target = target;
+        // The primary role is suspended until the new view installs.
+        self.update_batch_timer(out);
         let prepared = self
             .log
             .prepared_above(self.stable_seq, &self.cfg)
             .into_iter()
-            .map(|(seq, view, digest, request)| PreparedClaim {
+            .map(|(seq, view, digest, batch)| PreparedClaim {
                 view,
                 seq,
                 digest,
-                request,
+                batch,
             })
             .collect();
         let vc = ViewChangeMsg {
@@ -580,16 +693,19 @@ impl Replica {
         let mut pre_prepares = Vec::new();
         let mut s = min_s.next();
         while s <= max_s {
-            // Choose the claim from the highest view for this seq.
+            // Choose the claim from the highest view for this seq. The
+            // claim's batch is re-proposed verbatim — same membership, same
+            // internal order — or, if no quorum member prepared this slot,
+            // the whole batch is dropped and a null batch fills the gap.
             let best = votes
                 .iter()
                 .flat_map(|vc| vc.prepared.iter())
                 .filter(|c| c.seq == s)
                 .max_by_key(|c| c.view);
-            let (digest, request) = match best {
-                Some(c) => (c.digest, c.request.clone()),
+            let (digest, batch) = match best {
+                Some(c) => (c.digest, c.batch.clone()),
                 None => {
-                    let null = Request::null(s);
+                    let null = Batch::null();
                     (null.digest(), null)
                 }
             };
@@ -597,7 +713,7 @@ impl Replica {
                 view: target,
                 seq: s,
                 digest,
-                request,
+                batch,
             });
             s = s.next();
         }
@@ -614,12 +730,12 @@ impl Replica {
         // Install our own re-proposals.
         for pp in pre_prepares {
             let slot = self.log.slot_mut(pp.seq);
-            slot.pre_prepare = Some((pp.view, pp.digest, pp.request.clone()));
+            slot.pre_prepare = Some((pp.view, pp.digest, pp.batch.clone()));
             slot.commit_sent = false;
-            if !pp.request.is_null() {
-                if let Some(st) = self.requests.get_mut(&pp.request.id) {
+            for r in &pp.batch.requests {
+                if let Some(st) = self.requests.get_mut(&r.id) {
                     if matches!(st, ReqState::Pending(_)) {
-                        *st = ReqState::Ordered(pp.request.clone());
+                        *st = ReqState::Ordered(r.clone());
                     }
                 }
             }
@@ -648,6 +764,9 @@ impl Replica {
         self.in_view_change = false;
         self.vc_target = v;
         self.view_changes = self.view_changes.split_off(&v.next());
+        // The old view's batch accumulator is stale; `repropose_pending`
+        // rebuilds it (or forwards) from the demoted request states below.
+        self.queue.clear();
         // Ordered-but-unexecuted requests may have been dropped by the view
         // change; demote them so they are re-proposed if needed.
         for st in self.requests.values_mut() {
@@ -682,7 +801,7 @@ impl Replica {
     }
 
     fn repropose_pending(&mut self, out: &mut Vec<Action>) {
-        let pending: Vec<Request> = self
+        let mut pending: Vec<Request> = self
             .requests
             .values()
             .filter_map(|st| match st {
@@ -691,12 +810,14 @@ impl Replica {
             })
             .collect();
         // Deterministic order: by request id.
-        let mut pending = pending;
         pending.sort_by_key(|r| r.id);
-        for req in pending {
-            if self.is_primary() {
-                self.propose(req, out);
-            } else {
+        if self.is_primary() {
+            for req in &pending {
+                self.queue.push_back(req.id);
+            }
+            self.drain_queue(false, out);
+        } else {
+            for req in pending {
                 out.push(Action::Send(self.primary(), Msg::Forward(req)));
             }
         }
@@ -752,8 +873,15 @@ mod tests {
                     }
                 }
                 Action::Send(dest, m) => inbox.push_back((dest.0 as usize, me, m)),
-                Action::Execute { seq, request } => executed[at].push((seq, request.id)),
-                Action::Stable(_) | Action::EnteredView(_) | Action::ViewTimer(_) => {}
+                Action::Execute { seq, batch } => {
+                    for request in batch {
+                        executed[at].push((seq, request.id));
+                    }
+                }
+                Action::Stable(_)
+                | Action::EnteredView(_)
+                | Action::ViewTimer(_)
+                | Action::BatchTimer(_) => {}
             }
         }
     }
@@ -770,7 +898,12 @@ mod tests {
     }
 
     fn group(n: u32) -> Vec<Replica> {
-        let cfg = Config::new(n);
+        group_with(n, |_| {})
+    }
+
+    fn group_with(n: u32, tweak: impl Fn(&mut Config)) -> Vec<Replica> {
+        let mut cfg = Config::new(n);
+        tweak(&mut cfg);
         (0..n)
             .map(|i| Replica::new(ReplicaId(i), cfg.clone()))
             .collect()
@@ -826,6 +959,72 @@ mod tests {
     }
 
     #[test]
+    fn requests_accumulate_into_batches_under_load() {
+        let mut rs = group(4);
+        let mut inbox = VecDeque::new();
+        let mut executed = vec![Vec::new(); 4];
+        // Ten requests land at the primary before any agreement messages
+        // are delivered: the pipeline (depth 2) admits two solo proposals,
+        // the rest accumulate in the batch queue.
+        for c in 1..=10 {
+            submit(&mut rs, 0, req(c), &mut inbox, &mut executed);
+        }
+        assert_eq!(rs[0].in_flight(), 2, "pipeline admits two proposals");
+        assert_eq!(rs[0].queued(), 8, "the rest accumulate");
+        let more = run_to_quiescence(&mut rs, inbox, &[]);
+        for (i, m) in more.into_iter().enumerate() {
+            executed[i].extend(m);
+        }
+        for (i, ex) in executed.iter().enumerate() {
+            assert_eq!(ex.len(), 10, "replica {i} executed all requests");
+        }
+        for i in 1..4 {
+            assert_eq!(executed[0], executed[i], "order differs at replica {i}");
+        }
+        // Batching engaged: the ten requests rode in fewer than ten slots.
+        let slots: HashSet<Seq> = executed[0].iter().map(|(s, _)| *s).collect();
+        assert!(
+            slots.len() < 10,
+            "expected multi-request batches, got {} slots",
+            slots.len()
+        );
+        assert_eq!(rs[0].queued(), 0, "queue fully drained");
+    }
+
+    #[test]
+    fn batch_timer_seals_when_pipeline_is_full() {
+        // Pipeline depth 0: nothing proposes until the batch timer fires,
+        // and submitting arms the timer exactly once.
+        let mut rs = group_with(4, |c| c.pipeline_depth = 0);
+        let a1 = rs[0].on_request(req(1));
+        assert!(
+            a1.iter()
+                .any(|a| matches!(a, Action::BatchTimer(TimerCmd::Restart))),
+            "first queued request arms the batch timer: {a1:?}"
+        );
+        let a2 = rs[0].on_request(req(2));
+        assert!(
+            !a2.iter().any(|a| matches!(a, Action::BatchTimer(_))),
+            "timer already armed: {a2:?}"
+        );
+        let fired = rs[0].on_batch_timer();
+        let pp = fired
+            .iter()
+            .find_map(|a| match a {
+                Action::Broadcast(Msg::PrePrepare(pp)) => Some(pp),
+                _ => None,
+            })
+            .expect("timer seals the batch");
+        assert_eq!(pp.batch.len(), 2, "both requests ride one batch");
+        assert!(
+            !fired
+                .iter()
+                .any(|a| matches!(a, Action::BatchTimer(TimerCmd::Restart))),
+            "queue drained: the one-shot timer must not re-arm: {fired:?}"
+        );
+    }
+
+    #[test]
     fn single_replica_group_executes_immediately() {
         let mut rs = group(1);
         let actions = rs[0].on_request(req(1));
@@ -856,7 +1055,9 @@ mod tests {
 
     #[test]
     fn checkpoints_stabilize_and_gc() {
-        let mut rs = group(4);
+        // One request per slot (batching off) so 69 requests cross the
+        // 64-execution checkpoint interval.
+        let mut rs = group_with(4, |c| c.max_batch_size = 1);
         let interval = rs[0].cfg.checkpoint_interval;
         let mut inbox = VecDeque::new();
         let mut executed = vec![Vec::new(); 4];
@@ -947,20 +1148,20 @@ mod tests {
     #[test]
     fn equivocating_pre_prepare_is_ignored() {
         let mut rs = group(4);
-        let r1 = req(1);
-        let r2 = req(2);
+        let b1 = Batch::of(req(1));
+        let b2 = Batch::of(req(2));
         // Primary 0 equivocates: sends different pre-prepares for seq 1.
         let pp1 = PrePrepareMsg {
             view: View(0),
             seq: Seq(1),
-            digest: r1.digest(),
-            request: r1,
+            digest: b1.digest(),
+            batch: b1,
         };
         let pp2 = PrePrepareMsg {
             view: View(0),
             seq: Seq(1),
-            digest: r2.digest(),
-            request: r2,
+            digest: b2.digest(),
+            batch: b2,
         };
         let a1 = rs[1].on_message(ReplicaId(0), Msg::PrePrepare(pp1.clone()));
         assert!(a1
@@ -982,12 +1183,12 @@ mod tests {
     #[test]
     fn pre_prepare_from_non_primary_rejected() {
         let mut rs = group(4);
-        let r1 = req(1);
+        let b1 = Batch::of(req(1));
         let pp = PrePrepareMsg {
             view: View(0),
             seq: Seq(1),
-            digest: r1.digest(),
-            request: r1,
+            digest: b1.digest(),
+            batch: b1,
         };
         let a = rs[2].on_message(ReplicaId(1), Msg::PrePrepare(pp));
         assert!(a.is_empty());
@@ -996,12 +1197,11 @@ mod tests {
     #[test]
     fn mismatched_digest_pre_prepare_rejected() {
         let mut rs = group(4);
-        let r1 = req(1);
         let pp = PrePrepareMsg {
             view: View(0),
             seq: Seq(1),
-            digest: req(9).digest(),
-            request: r1,
+            digest: Batch::of(req(9)).digest(),
+            batch: Batch::of(req(1)),
         };
         let a = rs[1].on_message(ReplicaId(0), Msg::PrePrepare(pp));
         assert!(a.is_empty());
@@ -1010,12 +1210,12 @@ mod tests {
     #[test]
     fn out_of_watermark_pre_prepare_rejected() {
         let mut rs = group(4);
-        let r1 = req(1);
+        let b1 = Batch::of(req(1));
         let pp = PrePrepareMsg {
             view: View(0),
             seq: Seq(100_000),
-            digest: r1.digest(),
-            request: r1,
+            digest: b1.digest(),
+            batch: b1,
         };
         let a = rs[1].on_message(ReplicaId(0), Msg::PrePrepare(pp));
         assert!(a.is_empty());
@@ -1026,8 +1226,8 @@ mod tests {
         // Deliver commits first, then the pre-prepare/prepares; execution
         // must still happen exactly once.
         let mut rs = group(4);
-        let r1 = req(1);
-        let d = r1.digest();
+        let b1 = Batch::of(req(1));
+        let d = b1.digest();
         let mk_commit = |i: u32| CommitMsg {
             view: View(0),
             seq: Seq(1),
@@ -1043,7 +1243,7 @@ mod tests {
             view: View(0),
             seq: Seq(1),
             digest: d,
-            request: r1,
+            batch: b1,
         };
         all.extend(rs[3].on_message(ReplicaId(0), Msg::PrePrepare(pp)));
         let mk_prep = |i: u32| PrepareMsg {
@@ -1073,12 +1273,12 @@ mod tests {
         let _ = rs[3].on_view_timer();
         assert!(rs[3].in_view_change());
         // The (future) view-1 primary's proposal arrives first...
-        let r1 = req(1);
+        let b1 = Batch::of(req(1));
         let pp = PrePrepareMsg {
             view: View(1),
             seq: Seq(1),
-            digest: r1.digest(),
-            request: r1,
+            digest: b1.digest(),
+            batch: b1,
         };
         let a = rs[3].on_message(ReplicaId(1), Msg::PrePrepare(pp));
         assert!(

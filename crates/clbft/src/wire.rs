@@ -6,8 +6,8 @@
 //! path.
 
 use crate::messages::{
-    CheckpointMsg, CommitMsg, Msg, NewViewMsg, PrePrepareMsg, PrepareMsg, PreparedClaim, Request,
-    RequestId, ViewChangeMsg,
+    Batch, CheckpointMsg, CommitMsg, Msg, NewViewMsg, PrePrepareMsg, PrepareMsg, PreparedClaim,
+    Request, RequestId, ViewChangeMsg,
 };
 use crate::{ReplicaId, Seq, View};
 use bytes::{Bytes, BytesMut};
@@ -159,11 +159,35 @@ fn get_request(d: &mut Decoder<'_>) -> Result<Request, WireError> {
     Ok(Request::new(RequestId::new(origin, counter), payload))
 }
 
+/// Hard cap on the request count of one wire batch: far above any sane
+/// [`crate::Config::max_batch_size`], low enough that a hostile count
+/// prefix cannot drive a huge allocation.
+const MAX_WIRE_BATCH: usize = 65_536;
+
+fn put_batch(e: &mut Encoder, b: &Batch) {
+    e.put_u32(b.requests.len() as u32);
+    for r in &b.requests {
+        put_request(e, r);
+    }
+}
+
+fn get_batch(d: &mut Decoder<'_>) -> Result<Batch, WireError> {
+    let n = d.u32()? as usize;
+    if n > MAX_WIRE_BATCH {
+        return Err(WireError::new("batch too large"));
+    }
+    let mut requests = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        requests.push(get_request(d)?);
+    }
+    Ok(Batch::new(requests))
+}
+
 fn put_pre_prepare(e: &mut Encoder, pp: &PrePrepareMsg) {
     e.put_u64(pp.view.0);
     e.put_u64(pp.seq.0);
     e.put_digest(&pp.digest);
-    put_request(e, &pp.request);
+    put_batch(e, &pp.batch);
 }
 
 fn get_pre_prepare(d: &mut Decoder<'_>) -> Result<PrePrepareMsg, WireError> {
@@ -171,7 +195,7 @@ fn get_pre_prepare(d: &mut Decoder<'_>) -> Result<PrePrepareMsg, WireError> {
         view: View(d.u64()?),
         seq: Seq(d.u64()?),
         digest: d.digest()?,
-        request: get_request(d)?,
+        batch: get_batch(d)?,
     })
 }
 
@@ -225,7 +249,7 @@ pub fn encode_msg(msg: &Msg) -> Bytes {
                 e.put_u64(c.view.0);
                 e.put_u64(c.seq.0);
                 e.put_digest(&c.digest);
-                put_request(&mut e, &c.request);
+                put_batch(&mut e, &c.batch);
             }
             e.put_u32(vc.replica.0);
         }
@@ -288,7 +312,7 @@ pub fn decode_msg(buf: &[u8]) -> Result<Msg, WireError> {
                     view: View(d.u64()?),
                     seq: Seq(d.u64()?),
                     digest: d.digest()?,
-                    request: get_request(&mut d)?,
+                    batch: get_batch(&mut d)?,
                 });
             }
             Msg::ViewChange(ViewChangeMsg {
@@ -348,13 +372,21 @@ mod tests {
     #[test]
     fn roundtrip_all_variants() {
         roundtrip(Msg::Forward(sample_request(1)));
+        let batch = Batch::new(vec![sample_request(1), sample_request(2)]);
         let pp = PrePrepareMsg {
             view: View(2),
             seq: Seq(9),
-            digest: sample_request(1).digest(),
-            request: sample_request(1),
+            digest: batch.digest(),
+            batch,
         };
         roundtrip(Msg::PrePrepare(pp.clone()));
+        // Null (gap-filling) batches also round-trip.
+        roundtrip(Msg::PrePrepare(PrePrepareMsg {
+            view: View(3),
+            seq: Seq(10),
+            digest: Batch::null().digest(),
+            batch: Batch::null(),
+        }));
         roundtrip(Msg::Prepare(PrepareMsg {
             view: View(2),
             seq: Seq(9),
@@ -379,8 +411,8 @@ mod tests {
             prepared: vec![PreparedClaim {
                 view: View(3),
                 seq: Seq(65),
-                digest: sample_request(3).digest(),
-                request: sample_request(3),
+                digest: Batch::of(sample_request(3)).digest(),
+                batch: Batch::of(sample_request(3)),
             }],
             replica: ReplicaId(2),
         }));
@@ -401,6 +433,35 @@ mod tests {
         let mut bytes = encode_msg(&Msg::Forward(sample_request(1))).to_vec();
         bytes.push(0);
         assert!(decode_msg(&bytes).is_err());
+    }
+
+    #[test]
+    fn oversized_batch_count_rejected() {
+        let mut e = Encoder::new();
+        e.put_u8(TAG_PRE_PREPARE);
+        e.put_u64(0); // view
+        e.put_u64(1); // seq
+        e.put_digest(&Batch::null().digest());
+        e.put_u32((MAX_WIRE_BATCH + 1) as u32); // absurd request count
+        let bytes = e.finish();
+        let err = decode_msg(&bytes).unwrap_err();
+        assert!(err.to_string().contains("batch too large"));
+    }
+
+    #[test]
+    fn truncated_batch_rejected() {
+        let batch = Batch::new(vec![sample_request(1), sample_request(2)]);
+        let full = encode_msg(&Msg::PrePrepare(PrePrepareMsg {
+            view: View(0),
+            seq: Seq(1),
+            digest: batch.digest(),
+            batch,
+        }));
+        // Every proper prefix must fail to decode (the count promises more
+        // requests than the frame carries).
+        for cut in 1..full.len() {
+            assert!(decode_msg(&full[..cut]).is_err(), "prefix len {cut}");
+        }
     }
 
     #[test]

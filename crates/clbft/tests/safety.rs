@@ -21,7 +21,18 @@ struct Harness {
 
 impl Harness {
     fn new(n: u32, silenced: Vec<usize>) -> Self {
-        let cfg = Config::new(n);
+        Harness::with_config(Config::new(n), silenced)
+    }
+
+    /// A group with batching disabled (one request per slot).
+    fn new_unbatched(n: u32, silenced: Vec<usize>) -> Self {
+        let mut cfg = Config::new(n);
+        cfg.max_batch_size = 1;
+        Harness::with_config(cfg, silenced)
+    }
+
+    fn with_config(cfg: Config, silenced: Vec<usize>) -> Self {
+        let n = cfg.n;
         Harness {
             replicas: (0..n)
                 .map(|i| Replica::new(ReplicaId(i), cfg.clone()))
@@ -44,7 +55,11 @@ impl Harness {
                     }
                 }
                 Action::Send(dest, m) => self.pending.push((dest.0 as usize, me, m)),
-                Action::Execute { seq, request } => self.executed[at].push((seq, request.id)),
+                Action::Execute { seq, batch } => {
+                    for request in batch {
+                        self.executed[at].push((seq, request.id));
+                    }
+                }
                 _ => {}
             }
         }
@@ -78,23 +93,34 @@ impl Harness {
 }
 
 fn check_agreement(h: &Harness) {
-    // Safety: for each sequence number, all correct replicas that executed
-    // it executed the same request.
+    // Safety: for each sequence slot, all correct replicas that executed it
+    // executed the same batch — same requests, same internal order. Slots
+    // execute in increasing order at every replica (a slot may carry
+    // several requests, and null gap-filler slots deliver nothing, so the
+    // observed slot numbers are non-decreasing rather than gap-free).
     use std::collections::HashMap;
-    let mut by_seq: HashMap<Seq, RequestId> = HashMap::new();
+    let mut by_seq: HashMap<Seq, Vec<RequestId>> = HashMap::new();
     for (i, log) in h.executed.iter().enumerate() {
         if h.silenced.contains(&i) {
             continue;
         }
-        // Each replica's own order is gap-free and increasing.
-        for (k, (seq, _)) in log.iter().enumerate() {
-            assert_eq!(seq.0, (k + 1) as u64, "replica {i} has order gaps");
-        }
+        let mut per_slot: Vec<(Seq, Vec<RequestId>)> = Vec::new();
         for (seq, id) in log {
-            match by_seq.get(seq) {
-                Some(existing) => assert_eq!(existing, id, "divergence at {seq:?}"),
+            match per_slot.last_mut() {
+                Some((s, ids)) if s == seq => ids.push(*id),
+                _ => per_slot.push((*seq, vec![*id])),
+            }
+        }
+        for w in per_slot.windows(2) {
+            assert!(w[0].0 < w[1].0, "replica {i} executed slots out of order");
+        }
+        for (seq, ids) in per_slot {
+            match by_seq.get(&seq) {
+                Some(existing) => {
+                    assert_eq!(existing, &ids, "batch divergence at {seq:?} (replica {i})")
+                }
                 None => {
-                    by_seq.insert(*seq, *id);
+                    by_seq.insert(seq, ids);
                 }
             }
         }
@@ -167,9 +193,158 @@ proptest! {
     }
 }
 
+/// Builds a 4-replica group where the primary accumulates (pipeline depth
+/// 0: nothing proposes until the batch timer fires), seals one batch of
+/// `k` requests, and returns the group plus the sealed pre-prepare.
+fn group_with_sealed_batch(k: u64) -> (Vec<Replica>, pws_clbft::PrePrepareMsg) {
+    let mut cfg = Config::new(4);
+    cfg.pipeline_depth = 0;
+    let mut rs: Vec<Replica> = (0..4)
+        .map(|i| Replica::new(ReplicaId(i), cfg.clone()))
+        .collect();
+    for c in 0..k {
+        let actions = rs[0].on_request(Request::new(
+            RequestId::new(7, c),
+            Bytes::from(format!("op{c}")),
+        ));
+        assert!(
+            !actions
+                .iter()
+                .any(|a| matches!(a, Action::Broadcast(Msg::PrePrepare(_)))),
+            "pipeline depth 0 must hold proposals for the batch timer"
+        );
+    }
+    let actions = rs[0].on_batch_timer();
+    let pp = actions
+        .iter()
+        .find_map(|a| match a {
+            Action::Broadcast(Msg::PrePrepare(pp)) => Some(pp.clone()),
+            _ => None,
+        })
+        .expect("batch timer seals the accumulated batch");
+    assert_eq!(pp.batch.len(), k as usize, "one batch carries all requests");
+    (rs, pp)
+}
+
+/// Runs a view change to view 1 by firing timers at replicas 1..3 and
+/// letting them exchange messages (replica 0, the old primary, stays
+/// silent). Returns the NewView the new primary broadcast.
+fn view_change_to_v1(rs: &mut [Replica]) -> pws_clbft::NewViewMsg {
+    let mut inbox: Vec<(usize, ReplicaId, Msg)> = Vec::new();
+    let mut nv = None;
+    for (i, r) in rs.iter_mut().enumerate().take(4).skip(1) {
+        let actions = r.on_view_timer();
+        let me = r.id();
+        for a in actions {
+            if let Action::Broadcast(m) = a {
+                for to in 1..4 {
+                    if to != i {
+                        inbox.push((to, me, m.clone()));
+                    }
+                }
+            }
+        }
+    }
+    while let Some((to, from, msg)) = inbox.pop() {
+        let me = rs[to].id();
+        for a in rs[to].on_message(from, msg) {
+            if let Action::Broadcast(m) = a {
+                if let Msg::NewView(n) = &m {
+                    nv = Some(n.clone());
+                }
+                for peer in 1..4 {
+                    if peer != to {
+                        inbox.push((peer, me, m.clone()));
+                    }
+                }
+            }
+        }
+    }
+    nv.expect("quorum of view changes installs view 1")
+}
+
+#[test]
+fn mid_view_change_prepared_batch_is_reproposed_whole_in_order() {
+    let (mut rs, pp) = group_with_sealed_batch(3);
+    // Backups 1 and 2 accept the pre-prepare and see each other's
+    // prepares, so the batch is *prepared* at both when the view changes.
+    let mut prepares = Vec::new();
+    for i in [1usize, 2] {
+        for a in rs[i].on_message(ReplicaId(0), Msg::PrePrepare(pp.clone())) {
+            if let Action::Broadcast(m @ Msg::Prepare(_)) = a {
+                prepares.push((i, m));
+            }
+        }
+    }
+    for (from, m) in prepares {
+        for i in [1usize, 2] {
+            if i != from {
+                let _ = rs[i].on_message(ReplicaId(from as u32), m.clone());
+            }
+        }
+    }
+    let nv = view_change_to_v1(&mut rs);
+    // The new primary must re-propose the batch whole: same slot, same
+    // digest, same requests in the same internal order.
+    let reproposed = nv
+        .pre_prepares
+        .iter()
+        .find(|p| p.seq == pp.seq)
+        .expect("prepared slot re-proposed in the new view");
+    assert_eq!(reproposed.digest, pp.digest, "batch digest preserved");
+    assert_eq!(
+        reproposed.batch, pp.batch,
+        "batch re-proposed intact, in the same internal order"
+    );
+}
+
+#[test]
+fn mid_view_change_unprepared_batch_is_dropped_whole_then_rebatched() {
+    let (mut rs, pp) = group_with_sealed_batch(3);
+    // Only backup 1 ever sees the pre-prepare and no prepares reach
+    // anyone: the batch is not prepared at any correct replica.
+    let _ = rs[1].on_message(ReplicaId(0), Msg::PrePrepare(pp.clone()));
+    let nv = view_change_to_v1(&mut rs);
+    // No slot carries any *subset* of the batch: it is dropped whole.
+    assert!(
+        nv.pre_prepares.iter().all(|p| p
+            .batch
+            .requests
+            .iter()
+            .all(|r| { !pp.batch.requests.iter().any(|orig| orig.id == r.id) })),
+        "no partial re-proposal of the dropped batch: {:?}",
+        nv.pre_prepares
+    );
+    // The requests themselves survive: replica 1 knew them from the
+    // pre-prepare, demoted them to pending on view entry, and the new
+    // primary (replica 1) re-proposes them as a fresh batch.
+    let known: usize = rs[1].outstanding();
+    assert_eq!(known, 3, "requests still outstanding at the new primary");
+    assert_eq!(rs[1].view(), pws_clbft::View(1));
+    assert!(rs[1].is_primary());
+    // Sealing the accumulator (pipeline depth is 0 in this group, so the
+    // timer does it) re-proposes all three in one fresh batch.
+    let actions = rs[1].on_batch_timer();
+    let fresh = actions
+        .iter()
+        .find_map(|a| match a {
+            Action::Broadcast(Msg::PrePrepare(p)) => Some(p.clone()),
+            _ => None,
+        })
+        .expect("new primary re-batches the surviving requests");
+    assert_eq!(fresh.batch.len(), 3);
+    let mut ids: Vec<_> = fresh.batch.requests.iter().map(|r| r.id).collect();
+    ids.sort();
+    let mut orig: Vec<_> = pp.batch.requests.iter().map(|r| r.id).collect();
+    orig.sort();
+    assert_eq!(ids, orig, "same request set rides the new batch");
+}
+
 #[test]
 fn execution_chains_match_across_replicas() {
-    let mut h = Harness::new(4, vec![]);
+    // One request per slot (batching off) so 70 requests cross the
+    // 64-execution checkpoint interval.
+    let mut h = Harness::new_unbatched(4, vec![]);
     let mut rng = StdRng::seed_from_u64(42);
     for c in 0..70u64 {
         h.submit(

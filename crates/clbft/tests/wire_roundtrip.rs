@@ -6,8 +6,8 @@ use bytes::Bytes;
 use proptest::prelude::*;
 use pws_clbft::wire::{decode_msg, encode_msg};
 use pws_clbft::{
-    CheckpointMsg, CommitMsg, Msg, NewViewMsg, PrePrepareMsg, PrepareMsg, PreparedClaim, ReplicaId,
-    Request, RequestId, Seq, View,
+    Batch, CheckpointMsg, CommitMsg, Msg, NewViewMsg, PrePrepareMsg, PrepareMsg, PreparedClaim,
+    ReplicaId, Request, RequestId, Seq, View,
 };
 use pws_crypto::Digest32;
 use rand::rngs::StdRng;
@@ -20,25 +20,33 @@ fn arb_digest(rng: &mut StdRng) -> Digest32 {
 }
 
 fn arb_request(rng: &mut StdRng) -> Request {
+    let len = rng.gen_range(0usize..96);
+    let mut payload = vec![0u8; len];
+    rng.fill_bytes(&mut payload);
+    Request::new(
+        RequestId::new(rng.next_u64(), rng.next_u64()),
+        Bytes::from(payload),
+    )
+}
+
+/// An arbitrary batch: sometimes null (gap filler), sometimes several
+/// requests, exercising the count-prefixed wire form.
+fn arb_batch(rng: &mut StdRng) -> Batch {
     if rng.gen_bool(0.15) {
-        Request::null(Seq(rng.gen_range(0u64..1 << 32)))
+        Batch::null()
     } else {
-        let len = rng.gen_range(0usize..96);
-        let mut payload = vec![0u8; len];
-        rng.fill_bytes(&mut payload);
-        Request::new(
-            RequestId::new(rng.next_u64(), rng.next_u64()),
-            Bytes::from(payload),
-        )
+        let n = rng.gen_range(1usize..6);
+        Batch::new((0..n).map(|_| arb_request(rng)).collect())
     }
 }
 
 fn arb_pre_prepare(rng: &mut StdRng) -> PrePrepareMsg {
+    let batch = arb_batch(rng);
     PrePrepareMsg {
         view: View(rng.next_u64()),
         seq: Seq(rng.next_u64()),
-        digest: arb_digest(rng),
-        request: arb_request(rng),
+        digest: batch.digest(),
+        batch,
     }
 }
 
@@ -71,7 +79,7 @@ fn arb_msg(seed: u64) -> Msg {
                     view: View(rng.next_u64()),
                     seq: Seq(rng.next_u64()),
                     digest: arb_digest(&mut rng),
-                    request: arb_request(&mut rng),
+                    batch: arb_batch(&mut rng),
                 })
                 .collect();
             Msg::ViewChange(pws_clbft::ViewChangeMsg {

@@ -96,6 +96,8 @@ pub struct SystemBuilder {
     net: Option<NetConfig>,
     view_timeout: SimDuration,
     retry_interval: SimDuration,
+    max_batch_size: usize,
+    batch_delay: SimDuration,
     services: Vec<ServiceSpec>,
     clients: Vec<ClientSpec>,
 }
@@ -120,6 +122,8 @@ impl SystemBuilder {
             net: None,
             view_timeout: SimDuration::from_millis(400),
             retry_interval: SimDuration::from_millis(700),
+            max_batch_size: 16,
+            batch_delay: SimDuration::from_millis(1),
             services: Vec::new(),
             clients: Vec::new(),
         }
@@ -146,6 +150,22 @@ impl SystemBuilder {
     /// Overrides the CLBFT view-change timeout.
     pub fn view_timeout(&mut self, d: SimDuration) -> &mut Self {
         self.view_timeout = d;
+        self
+    }
+
+    /// Overrides the CLBFT request-batching cap for every replica group:
+    /// the most requests a voter primary seals into one agreement slot.
+    /// `1` disables batching (one request per slot, the pre-batching
+    /// behaviour).
+    pub fn max_batch_size(&mut self, n: usize) -> &mut Self {
+        self.max_batch_size = n.max(1);
+        self
+    }
+
+    /// Overrides the CLBFT batch-delay bound: how long a queued request may
+    /// wait for its batch to seal when the agreement pipeline is full.
+    pub fn batch_delay(&mut self, d: SimDuration) -> &mut Self {
+        self.batch_delay = d;
         self
     }
 
@@ -299,6 +319,8 @@ impl SystemBuilder {
                 cfg.cost = self.cost;
                 cfg.view_timeout = self.view_timeout;
                 cfg.retry_interval = self.retry_interval;
+                cfg.max_batch_size = self.max_batch_size;
+                cfg.batch_delay = self.batch_delay;
                 cfg.fault = spec.faults.get(&idx).copied().unwrap_or_default();
                 let service: Box<dyn Service> = match &mut spec.factory {
                     Factory::Service(f) => f(idx),

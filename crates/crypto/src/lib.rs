@@ -20,6 +20,9 @@
 //!   baseline comparisons (SWS/BFT-WS sign replies); see module docs for
 //!   the substitution rationale.
 //!
+//! See `docs/ARCHITECTURE.md` at the repository root for how this crate
+//! slots into the full Perpetual-WS stack.
+//!
 //! # Example
 //!
 //! ```

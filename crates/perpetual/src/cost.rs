@@ -22,8 +22,14 @@ pub struct CostModel {
     pub recv_per_kb: SimDuration,
     /// Cost to compute one extra MAC (authenticator entries, bundle shares).
     pub mac: SimDuration,
-    /// Fixed protocol bookkeeping per delivered event.
+    /// Fixed protocol bookkeeping per delivered batch (authenticator
+    /// bookkeeping, ordering-table updates). Charged once per agreement
+    /// slot, however many requests the slot's batch carries.
     pub event_overhead: SimDuration,
+    /// Marginal bookkeeping per additional request in a batch beyond the
+    /// first (demarshal + dispatch; the authenticator work is amortized
+    /// across the whole batch, which is the point of batching).
+    pub batch_item: SimDuration,
 }
 
 impl CostModel {
@@ -39,6 +45,7 @@ impl CostModel {
         recv_per_kb: SimDuration::from_micros(20),
         mac: SimDuration::from_micros(3),
         event_overhead: SimDuration::from_micros(260),
+        batch_item: SimDuration::from_micros(90),
     };
 
     /// A zero-cost model (for protocol unit tests where CPU time is noise).
@@ -49,7 +56,17 @@ impl CostModel {
         recv_per_kb: SimDuration::ZERO,
         mac: SimDuration::ZERO,
         event_overhead: SimDuration::ZERO,
+        batch_item: SimDuration::ZERO,
     };
+
+    /// Total CPU cost of delivering one ordered batch of `len` requests:
+    /// the fixed per-slot overhead plus the marginal per-request cost for
+    /// every request beyond the first. `batch_cost(1)` equals the cost one
+    /// unbatched event used to pay, so batching is free for singletons and
+    /// strictly amortizing beyond.
+    pub fn batch_cost(&self, len: usize) -> SimDuration {
+        self.event_overhead + self.batch_item.saturating_mul(len.saturating_sub(1) as u64)
+    }
 
     /// Total CPU cost of sending a message of `len` bytes with `extra_macs`
     /// additional authenticator entries.
@@ -108,5 +125,20 @@ mod tests {
         let c = CostModel::FREE;
         assert_eq!(c.send_cost(1 << 20, 100), SimDuration::ZERO);
         assert_eq!(c.recv_cost(1 << 20, 100), SimDuration::ZERO);
+        assert_eq!(c.batch_cost(16), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn batch_cost_amortizes() {
+        let c = CostModel::DEFAULT;
+        assert_eq!(c.batch_cost(0), c.event_overhead);
+        assert_eq!(c.batch_cost(1), c.event_overhead, "singletons pay no extra");
+        let sixteen = c.batch_cost(16);
+        let one_by_one = c.event_overhead.saturating_mul(16);
+        assert!(
+            sixteen < one_by_one,
+            "a 16-batch must be cheaper than 16 singletons: {sixteen:?} vs {one_by_one:?}"
+        );
+        assert_eq!(sixteen, c.event_overhead + c.batch_item.saturating_mul(15));
     }
 }

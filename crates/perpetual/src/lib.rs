@@ -27,7 +27,8 @@
 //!
 //! The crate runs on [`pws_simnet`]; see `perpetual-ws` (the `crates/core`
 //! crate) for the Web-Services layer and a builder that assembles whole
-//! deployments.
+//! deployments, and `docs/ARCHITECTURE.md` at the repository root for the
+//! full request lifecycle and wire-format tables.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

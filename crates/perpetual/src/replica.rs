@@ -58,6 +58,12 @@ pub struct ReplicaConfig {
     /// Milliseconds added to the simulated clock for time votes, so agreed
     /// timestamps look like wall-clock epochs.
     pub epoch_offset_ms: u64,
+    /// Maximum requests the voter's primary seals into one agreement batch
+    /// (CLBFT request batching; `1` disables it).
+    pub max_batch_size: usize,
+    /// Upper bound on how long a queued request may wait for its batch to
+    /// seal when the agreement pipeline is full.
+    pub batch_delay: SimDuration,
     /// Fault injection mode.
     pub fault: FaultMode,
 }
@@ -74,6 +80,8 @@ impl ReplicaConfig {
             view_timeout: SimDuration::from_millis(400),
             retry_interval: SimDuration::from_millis(700),
             epoch_offset_ms: 1_190_000_000_000,
+            max_batch_size: 16,
+            batch_delay: SimDuration::from_millis(1),
             fault: FaultMode::Correct,
         }
     }
@@ -152,6 +160,7 @@ pub struct PerpetualReplica {
     responder_state: HashMap<(GroupId, u64), ResponderEntry>,
     // ----- timers -----
     view_timer: Option<TimerId>,
+    batch_timer: Option<TimerId>,
     call_timers: HashMap<TimerId, u64>,
     timers_by_call: HashMap<u64, TimerId>,
     retry_timers: HashMap<TimerId, u64>,
@@ -175,7 +184,10 @@ impl PerpetualReplica {
         let n = cfg.topology.n(cfg.group);
         let f = cfg.topology.f(cfg.group);
         assert!(cfg.index < n, "replica index out of range");
-        let bft = BftReplica::new(ReplicaId(cfg.index), Config::new(n));
+        let mut bft_cfg = Config::new(n);
+        bft_cfg.max_batch_size = cfg.max_batch_size.max(1);
+        bft_cfg.batch_delay_us = cfg.batch_delay.as_micros();
+        let bft = BftReplica::new(ReplicaId(cfg.index), bft_cfg);
         let keys = KeyTable::new(cfg.master_seed);
         PerpetualReplica {
             n,
@@ -198,6 +210,7 @@ impl PerpetualReplica {
             resolved_tokens: HashSet::new(),
             responder_state: HashMap::new(),
             view_timer: None,
+            batch_timer: None,
             call_timers: HashMap::new(),
             timers_by_call: HashMap::new(),
             retry_timers: HashMap::new(),
@@ -275,7 +288,7 @@ impl PerpetualReplica {
             match a {
                 Action::Send(to, msg) => self.send_bft(to, &msg, ctx),
                 Action::Broadcast(msg) => self.broadcast_bft(&msg, ctx),
-                Action::Execute { request, .. } => self.handle_ordered(request.payload, ctx),
+                Action::Execute { batch, .. } => self.handle_ordered_batch(batch, ctx),
                 Action::Stable(_) => ctx.metrics().incr("perpetual.checkpoints_stable"),
                 Action::EnteredView(_) => ctx.metrics().incr("perpetual.view_changes"),
                 Action::ViewTimer(TimerCmd::Restart) => {
@@ -289,20 +302,51 @@ impl PerpetualReplica {
                         ctx.cancel_timer(t);
                     }
                 }
+                Action::BatchTimer(TimerCmd::Restart) => {
+                    if let Some(t) = self.batch_timer.take() {
+                        ctx.cancel_timer(t);
+                    }
+                    // Single source of truth: the delay the voter was
+                    // configured with (ReplicaConfig::batch_delay, written
+                    // into the CLBFT config at construction).
+                    let delay = SimDuration::from_micros(self.bft.config().batch_delay_us);
+                    self.batch_timer = Some(ctx.set_timer(delay));
+                }
+                Action::BatchTimer(TimerCmd::Stop) => {
+                    if let Some(t) = self.batch_timer.take() {
+                        ctx.cancel_timer(t);
+                    }
+                }
             }
         }
     }
 
+    /// Delivers one ordered batch to the driver: the per-slot agreement
+    /// bookkeeping (authenticator work, ordering-table updates) is charged
+    /// once for the whole batch, so multi-outcall services amortize it
+    /// across every request the slot carries.
+    fn handle_ordered_batch(&mut self, batch: Vec<pws_clbft::Request>, ctx: &mut Context<'_>) {
+        ctx.metrics().record_batch("clbft.exec", batch.len());
+        ctx.spend(self.cfg.cost.batch_cost(batch.len()));
+        for request in batch {
+            self.handle_ordered(request.payload, ctx);
+        }
+    }
+
     /// Whether an ordering proposal may enter agreement at this replica.
+    /// A batched pre-prepare passes only when *every* request in the batch
+    /// passes: the batch is the unit of agreement, so it is gated (and
+    /// later released) atomically.
     fn gate_ok(&mut self, msg: &Msg) -> bool {
         let Msg::PrePrepare(pp) = msg else {
             return true;
         };
-        if pp.request.is_null() {
-            return true;
-        }
-        match Event::decode(&pp.request.payload) {
-            Ok(Event::External { .. }) => self.validated.contains(&pp.request.digest()),
+        pp.batch.requests.iter().all(|r| self.request_gate_ok(r))
+    }
+
+    fn request_gate_ok(&mut self, request: &pws_clbft::Request) -> bool {
+        match Event::decode(&request.payload) {
+            Ok(Event::External { .. }) => self.validated.contains(&request.digest()),
             Ok(Event::Result {
                 call_no,
                 digest,
@@ -624,7 +668,6 @@ impl PerpetualReplica {
     }
 
     fn handle_ordered(&mut self, payload: Bytes, ctx: &mut Context<'_>) {
-        ctx.spend(self.cfg.cost.event_overhead);
         let Ok(ev) = Event::decode(&payload) else {
             return;
         };
@@ -877,6 +920,13 @@ impl Node for PerpetualReplica {
             self.view_timer = None;
             ctx.metrics().incr("perpetual.view_timeouts");
             let actions = self.bft.on_view_timer();
+            self.process_actions(actions, ctx);
+            return;
+        }
+        if self.batch_timer == Some(timer) {
+            self.batch_timer = None;
+            ctx.metrics().incr("clbft.batch_timeouts");
+            let actions = self.bft.on_batch_timer();
             self.process_actions(actions, ctx);
             return;
         }

@@ -19,6 +19,9 @@
 //! * **Metrics** ([`metrics::Metrics`]): counters and sample histograms used
 //!   by the benchmark harnesses.
 //!
+//! See `docs/ARCHITECTURE.md` at the repository root for how the
+//! simulator slots into the full Perpetual-WS stack.
+//!
 //! Determinism: given the same master seed and the same sequence of API
 //! calls, a simulation run is bit-for-bit reproducible. Event ties at equal
 //! timestamps are broken by insertion sequence number.

@@ -63,6 +63,34 @@ impl Metrics {
         self.counters.clear();
         self.samples.clear();
     }
+
+    /// Records one ordered batch of `len` items under `prefix`: bumps
+    /// `<prefix>.batches`, adds `len` to `<prefix>.requests`, and samples
+    /// the occupancy under `<prefix>.occupancy`. Benches and tests use this
+    /// to assert batching actually engaged (via
+    /// [`Metrics::mean_batch_occupancy`]) instead of inferring it from
+    /// wall-clock.
+    pub fn record_batch(&mut self, prefix: &str, len: usize) {
+        self.add(&format!("{prefix}.batches"), 1);
+        self.add(&format!("{prefix}.requests"), len as u64);
+        self.sample(&format!("{prefix}.occupancy"), len as f64);
+    }
+
+    /// Number of batches recorded under `prefix` via
+    /// [`Metrics::record_batch`].
+    pub fn batches(&self, prefix: &str) -> u64 {
+        self.counter(&format!("{prefix}.batches"))
+    }
+
+    /// Mean requests per batch recorded under `prefix`; `0.0` if no batch
+    /// was ever recorded.
+    pub fn mean_batch_occupancy(&self, prefix: &str) -> f64 {
+        let batches = self.counter(&format!("{prefix}.batches"));
+        if batches == 0 {
+            return 0.0;
+        }
+        self.counter(&format!("{prefix}.requests")) as f64 / batches as f64
+    }
 }
 
 /// Summary statistics over a set of samples.
@@ -150,6 +178,22 @@ mod tests {
         let s = m.summary("lat").unwrap();
         assert!((s.mean - 2.5).abs() < 1e-9);
         assert_eq!(m.sample_count("lat"), 1);
+    }
+
+    #[test]
+    fn batch_occupancy_tracks_mean_and_count() {
+        let mut m = Metrics::new();
+        assert_eq!(m.mean_batch_occupancy("clbft"), 0.0);
+        assert_eq!(m.batches("clbft"), 0);
+        m.record_batch("clbft", 1);
+        m.record_batch("clbft", 16);
+        m.record_batch("clbft", 7);
+        assert_eq!(m.batches("clbft"), 3);
+        assert_eq!(m.counter("clbft.requests"), 24);
+        assert!((m.mean_batch_occupancy("clbft") - 8.0).abs() < 1e-9);
+        let s = m.summary("clbft.occupancy").unwrap();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.max, 16.0);
     }
 
     #[test]

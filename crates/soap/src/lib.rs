@@ -19,6 +19,9 @@
 //! * [`engine`] — the engine that runs contexts through the pipes and
 //!   hands them to a transport sender / message receiver.
 //!
+//! See `docs/ARCHITECTURE.md` at the repository root for how this crate
+//! slots into the full Perpetual-WS stack.
+//!
 //! # Example
 //!
 //! ```

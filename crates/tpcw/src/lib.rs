@@ -22,6 +22,10 @@
 //! * [`harness`] — assembles a full deployment and measures WIPS (web
 //!   interactions per second), regenerating Fig. 6.
 
+//!
+//! See `docs/ARCHITECTURE.md` at the repository root for how this crate
+//! slots into the full Perpetual-WS stack.
+
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 

@@ -11,6 +11,10 @@
 //! * [`pws_crypto`] — MACs, authenticators, signatures.
 //! * [`pws_simnet`] — the deterministic simulator.
 //! * [`pws_tpcw`] — the TPC-W macro-benchmark workload.
+//!
+//! `docs/ARCHITECTURE.md` maps every crate to the paper component it
+//! reproduces, walks a request through the stack, and tabulates the wire
+//! formats.
 
 #![forbid(unsafe_code)]
 

@@ -67,7 +67,12 @@ fn full_stack_same_seed_reproduces_exactly() {
 /// change is *intended* to alter the event stream, re-pin the constant in
 /// the same commit and say why.
 const QUICKSTART_SEED: u64 = 42;
-const QUICKSTART_GOLDEN_DIGEST: u64 = 0x3b03_505f_7aac_8ce7;
+// Re-pinned for the batched-agreement wire format (PR 3): pre-prepares now
+// carry a count-prefixed batch instead of a single request, so every frame
+// length — and therefore every cost-model charge and delivery time —
+// shifted. Previous value: 0x3b03_505f_7aac_8ce7 (single-request
+// pre-prepares, PR 2).
+const QUICKSTART_GOLDEN_DIGEST: u64 = 0xe3a1_09d3_61e7_4817;
 
 struct Counter(u64);
 impl PassiveService for Counter {
