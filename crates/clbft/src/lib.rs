@@ -15,11 +15,17 @@
 //! commit), Castro–Liskov request **batching** with pipelined proposals
 //! (the primary seals queued requests into a [`Batch`] per slot; see
 //! [`Config::max_batch_size`] and [`Config::pipeline_depth`]), request
-//! deduplication, periodic checkpoints with log garbage collection below
-//! the low watermark, sequence-number watermarks, and view changes with
-//! new-view re-proposals (including null-batch gap filling). A batch is
-//! ordered or dropped atomically — never split — including across view
-//! changes, because prepares and commits cover the batch digest.
+//! deduplication, periodic **checkpoint certificates** over the application
+//! snapshot (the harness supplies the snapshot bytes in answer to
+//! [`Action::TakeCheckpoint`]; `2f + 1` matching digests stabilize the
+//! checkpoint and garbage-collect the log below the low watermark),
+//! **state transfer** (`FetchState`/`StateResponse`: a lagging or wiped
+//! replica installs the latest stable snapshot — verified against `f + 1`
+//! matching checkpoint votes — plus the committed log suffix), sequence-
+//! number watermarks, and view changes with new-view re-proposals
+//! (including null-batch gap filling). A batch is ordered or dropped
+//! atomically — never split — including across view changes, because
+//! prepares and commits cover the batch digest.
 //!
 //! See `docs/ARCHITECTURE.md` at the repository root for how this crate
 //! slots into the full Perpetual-WS stack and for the wire-format tables.
@@ -84,8 +90,9 @@ pub mod wire;
 pub use client::ReplyCollector;
 pub use config::Config;
 pub use messages::{
-    Batch, CheckpointMsg, CommitMsg, Msg, NewViewMsg, PrePrepareMsg, PrepareMsg, PreparedClaim,
-    Request, RequestId, ViewChangeMsg,
+    checkpoint_digest, Batch, CheckpointMsg, CommitMsg, FetchStateMsg, Msg, NewViewMsg,
+    PrePrepareMsg, PrepareMsg, PreparedClaim, Request, RequestId, StateResponseMsg, SuffixSlot,
+    ViewChangeMsg,
 };
 pub use replica::{Action, Replica, TimerCmd};
 

@@ -74,6 +74,25 @@ impl Log {
             .collect()
     }
 
+    /// Executed slots in `(from, to]` with their batches, in order — the
+    /// committed log suffix shipped during state transfer so a fetcher
+    /// lands at the responder's execution frontier.
+    pub fn executed_suffix(&self, from: Seq, to: Seq) -> Vec<(Seq, Batch)> {
+        if to <= from {
+            return Vec::new();
+        }
+        self.slots
+            .range(from.next()..=to)
+            .filter_map(|(seq, slot)| {
+                if !slot.executed {
+                    return None;
+                }
+                let (_, _, batch) = slot.pre_prepare.as_ref()?;
+                Some((*seq, batch.clone()))
+            })
+            .collect()
+    }
+
     #[cfg(test)]
     pub fn len(&self) -> usize {
         self.slots.len()
@@ -183,6 +202,23 @@ mod tests {
         assert_eq!(log.len(), 4);
         assert!(log.slot(Seq(6)).is_none());
         assert!(log.slot(Seq(7)).is_some());
+    }
+
+    #[test]
+    fn executed_suffix_skips_unexecuted_slots() {
+        let mut log = Log::default();
+        for i in 1..=4u64 {
+            let r = req(i);
+            let d = r.digest();
+            let slot = log.slot_mut(Seq(i));
+            slot.pre_prepare = Some((View(0), d, r));
+            slot.executed = i != 3;
+        }
+        let suffix = log.executed_suffix(Seq(1), Seq(4));
+        let seqs: Vec<u64> = suffix.iter().map(|(s, _)| s.0).collect();
+        assert_eq!(seqs, vec![2, 4]);
+        assert!(log.executed_suffix(Seq(4), Seq(4)).is_empty());
+        assert!(log.executed_suffix(Seq(4), Seq(1)).is_empty());
     }
 
     #[test]

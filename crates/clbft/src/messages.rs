@@ -172,13 +172,82 @@ pub struct CommitMsg {
     pub replica: ReplicaId,
 }
 
-/// Periodic checkpoint announcement used for garbage collection.
+/// Periodic checkpoint announcement used for garbage collection and as
+/// the evidence a lagging replica verifies fetched state against.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CheckpointMsg {
     /// Last executed sequence number covered by this checkpoint.
     pub seq: Seq,
-    /// Digest of the execution history up to `seq`.
+    /// The [`checkpoint_digest`] over `(seq, snapshot, executed, chain)`.
     pub state_digest: Digest32,
+    /// Sender.
+    pub replica: ReplicaId,
+}
+
+/// The canonical digest of a checkpoint: covers the sequence number, the
+/// opaque application snapshot, the executed-request deduplication set
+/// (sorted by id), and the execution chain. Every correct replica computes
+/// the identical digest at the same sequence boundary, so `2f + 1` matching
+/// [`CheckpointMsg`]s prove the state is group-stable and `f + 1` prove at
+/// least one correct replica holds it (the state-transfer trust anchor).
+pub fn checkpoint_digest(
+    seq: Seq,
+    snapshot: &[u8],
+    executed: &[RequestId],
+    exec_chain: &Digest32,
+) -> Digest32 {
+    let mut h = Sha256::new();
+    h.update_u64(seq.0);
+    h.update_u64(snapshot.len() as u64);
+    h.update(snapshot);
+    h.update_u64(executed.len() as u64);
+    for id in executed {
+        h.update_u64(id.origin);
+        h.update_u64(id.counter);
+    }
+    h.update(exec_chain.as_bytes());
+    h.finalize()
+}
+
+/// A lagging replica's request for the latest stable checkpoint state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FetchStateMsg {
+    /// The requester's own stable checkpoint; responders with nothing newer
+    /// stay silent.
+    pub have: Seq,
+    /// Sender.
+    pub replica: ReplicaId,
+}
+
+/// One committed slot above the checkpoint, replayed during state transfer
+/// so the fetcher lands at the responder's execution frontier instead of a
+/// checkpoint boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SuffixSlot {
+    /// The slot's sequence number.
+    pub seq: Seq,
+    /// The slot's whole batch, in execution order.
+    pub batch: Batch,
+}
+
+/// A stable checkpoint plus the committed log suffix, answering a
+/// [`FetchStateMsg`]. The fetcher verifies the checkpoint part against
+/// `f + 1` matching [`CheckpointMsg`] digests before installing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateResponseMsg {
+    /// The stable checkpoint's sequence number.
+    pub seq: Seq,
+    /// The responder's current view, so a rebooted replica rejoins the live
+    /// view instead of stalling in view 0.
+    pub view: View,
+    /// The execution chain at `seq`.
+    pub exec_chain: Digest32,
+    /// The opaque application snapshot at `seq`.
+    pub snapshot: Bytes,
+    /// Request ids executed up to `seq` (the dedup table), sorted.
+    pub executed: Vec<RequestId>,
+    /// Committed slots in `(seq, responder's last_exec]`, in order.
+    pub suffix: Vec<SuffixSlot>,
     /// Sender.
     pub replica: ReplicaId,
 }
@@ -243,6 +312,10 @@ pub enum Msg {
     ViewChange(ViewChangeMsg),
     /// New-view installation.
     NewView(NewViewMsg),
+    /// State-transfer request from a lagging replica.
+    FetchState(FetchStateMsg),
+    /// State-transfer response: stable snapshot plus log suffix.
+    StateResponse(StateResponseMsg),
 }
 
 impl Msg {
@@ -256,6 +329,8 @@ impl Msg {
             Msg::Checkpoint(_) => "checkpoint",
             Msg::ViewChange(_) => "view-change",
             Msg::NewView(_) => "new-view",
+            Msg::FetchState(_) => "fetch-state",
+            Msg::StateResponse(_) => "state-response",
         }
     }
 }
@@ -307,5 +382,41 @@ mod tests {
     fn msg_kinds() {
         let r = Request::new(RequestId::new(0, 0), Bytes::new());
         assert_eq!(Msg::Forward(r).kind(), "forward");
+        assert_eq!(
+            Msg::FetchState(crate::messages::FetchStateMsg {
+                have: Seq(0),
+                replica: ReplicaId(0)
+            })
+            .kind(),
+            "fetch-state"
+        );
+    }
+
+    #[test]
+    fn checkpoint_digest_covers_every_component() {
+        let ids = [RequestId::new(1, 1), RequestId::new(1, 2)];
+        let base = checkpoint_digest(Seq(64), b"state", &ids, &Digest32::ZERO);
+        assert_eq!(
+            base,
+            checkpoint_digest(Seq(64), b"state", &ids, &Digest32::ZERO),
+            "deterministic"
+        );
+        assert_ne!(
+            base,
+            checkpoint_digest(Seq(65), b"state", &ids, &Digest32::ZERO)
+        );
+        assert_ne!(
+            base,
+            checkpoint_digest(Seq(64), b"statf", &ids, &Digest32::ZERO)
+        );
+        assert_ne!(
+            base,
+            checkpoint_digest(Seq(64), b"state", &ids[..1], &Digest32::ZERO)
+        );
+        let other_chain = Digest32([1u8; 32]);
+        assert_ne!(
+            base,
+            checkpoint_digest(Seq(64), b"state", &ids, &other_chain)
+        );
     }
 }

@@ -2,10 +2,12 @@
 
 use crate::log::Log;
 use crate::messages::{
-    Batch, CheckpointMsg, CommitMsg, Msg, NewViewMsg, PrePrepareMsg, PrepareMsg, PreparedClaim,
-    Request, RequestId, ViewChangeMsg,
+    checkpoint_digest, Batch, CheckpointMsg, CommitMsg, FetchStateMsg, Msg, NewViewMsg,
+    PrePrepareMsg, PrepareMsg, PreparedClaim, Request, RequestId, StateResponseMsg, SuffixSlot,
+    ViewChangeMsg,
 };
 use crate::{Config, ReplicaId, Seq, View};
+use bytes::Bytes;
 use pws_crypto::sha256::{Digest32, Sha256};
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 
@@ -36,6 +38,22 @@ pub enum Action {
         /// The not-yet-executed requests of the slot's batch, in order.
         batch: Vec<Request>,
     },
+    /// Execution crossed a checkpoint boundary: the harness must capture
+    /// the application state *as of this point in the action stream* (all
+    /// `Execute`s emitted before this action applied, none after) and hand
+    /// it back via [`Replica::on_snapshot`], which digests it, broadcasts
+    /// the checkpoint certificate vote, and retains it for state transfer.
+    TakeCheckpoint(Seq),
+    /// A verified stable snapshot was fetched from a peer: the harness must
+    /// replace the application state with `snapshot` (the bytes it captured
+    /// for [`Action::TakeCheckpoint`] at `seq` on some correct replica).
+    /// `Execute` actions that follow resume from `seq`.
+    InstallState {
+        /// The checkpoint the snapshot captures.
+        seq: Seq,
+        /// The opaque application snapshot to restore.
+        snapshot: Bytes,
+    },
     /// A checkpoint became stable; the log below it was discarded.
     Stable(Seq),
     /// The replica entered a new view.
@@ -47,6 +65,26 @@ pub enum Action {
     /// whatever is queued regardless of pipeline occupancy. The delay is
     /// the harness's rendering of [`Config::batch_delay_us`].
     BatchTimer(TimerCmd),
+}
+
+/// Execution-chain and dedup-set values captured when execution crosses a
+/// checkpoint boundary, consumed when the harness answers with the
+/// application snapshot.
+#[derive(Debug, Clone)]
+struct BoundaryInfo {
+    exec_chain: Digest32,
+    executed: Vec<RequestId>,
+}
+
+/// A fully-materialized checkpoint retained to serve state transfer. Its
+/// digest is recomputed by fetchers from these components, so it is not
+/// stored here.
+#[derive(Debug, Clone)]
+struct CheckpointState {
+    seq: Seq,
+    exec_chain: Digest32,
+    snapshot: Bytes,
+    executed: Vec<RequestId>,
 }
 
 #[derive(Debug, Clone)]
@@ -80,6 +118,16 @@ pub struct Replica {
     stable_digest: Digest32,
     own_checkpoints: BTreeMap<Seq, Digest32>,
     checkpoint_votes: BTreeMap<Seq, HashMap<Digest32, HashSet<ReplicaId>>>,
+    /// Chain/dedup values at checkpoint boundaries awaiting the harness's
+    /// snapshot ([`Replica::on_snapshot`]).
+    pending_boundaries: BTreeMap<Seq, BoundaryInfo>,
+    /// Checkpoints taken locally but not yet group-stable.
+    pending_states: BTreeMap<Seq, CheckpointState>,
+    /// The latest stable checkpoint's full state, serving `FetchState`.
+    latest_stable: Option<CheckpointState>,
+    /// Highest checkpoint seq a lag-triggered fetch is in flight for
+    /// (suppresses re-broadcasting for the same evidence).
+    fetch_target: Option<Seq>,
     requests: HashMap<RequestId, ReqState>,
     outstanding: usize,
     /// Requests awaiting proposal at the primary: the batch accumulator.
@@ -129,6 +177,10 @@ impl Replica {
             stable_digest: Digest32::ZERO,
             own_checkpoints: BTreeMap::new(),
             checkpoint_votes: BTreeMap::new(),
+            pending_boundaries: BTreeMap::new(),
+            pending_states: BTreeMap::new(),
+            latest_stable: None,
+            fetch_target: None,
             requests: HashMap::new(),
             outstanding: 0,
             queue: VecDeque::new(),
@@ -180,6 +232,12 @@ impl Replica {
     /// Last stable checkpoint.
     pub fn stable_seq(&self) -> Seq {
         self.stable_seq
+    }
+
+    /// Digest of the last stable checkpoint ([`checkpoint_digest`]; ZERO
+    /// before the first checkpoint stabilizes).
+    pub fn stable_digest(&self) -> Digest32 {
+        self.stable_digest
     }
 
     /// Whether a view change is in progress.
@@ -340,6 +398,8 @@ impl Replica {
             Msg::Checkpoint(c) => self.handle_checkpoint(from, c, &mut out),
             Msg::ViewChange(vc) => self.handle_view_change(from, vc, &mut out),
             Msg::NewView(nv) => self.handle_new_view(from, nv, &mut out),
+            Msg::FetchState(fs) => self.handle_fetch_state(from, fs, &mut out),
+            Msg::StateResponse(sr) => self.handle_state_response(from, sr, &mut out),
         }
         out
     }
@@ -499,7 +559,7 @@ impl Replica {
             }
 
             if next.0.is_multiple_of(self.cfg.checkpoint_interval) {
-                self.take_checkpoint(next, out);
+                self.request_checkpoint(next, out);
             }
         }
         if progressed {
@@ -516,8 +576,54 @@ impl Replica {
         }
     }
 
-    fn take_checkpoint(&mut self, seq: Seq, out: &mut Vec<Action>) {
-        let digest = self.exec_chain;
+    /// Captures the boundary values and asks the harness for the
+    /// application snapshot; [`Replica::on_snapshot`] completes the
+    /// checkpoint.
+    fn request_checkpoint(&mut self, seq: Seq, out: &mut Vec<Action>) {
+        self.pending_boundaries.insert(
+            seq,
+            BoundaryInfo {
+                exec_chain: self.exec_chain,
+                executed: self.executed_ids(),
+            },
+        );
+        out.push(Action::TakeCheckpoint(seq));
+    }
+
+    /// The executed-request dedup set, sorted by id — identical at every
+    /// correct replica at the same execution point.
+    fn executed_ids(&self) -> Vec<RequestId> {
+        let mut ids: Vec<RequestId> = self
+            .requests
+            .iter()
+            .filter_map(|(id, st)| matches!(st, ReqState::Executed).then_some(*id))
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// The harness's answer to [`Action::TakeCheckpoint`]: `snapshot` is
+    /// the application state at `seq`. Digests `(seq, snapshot, dedup set,
+    /// exec chain)`, retains the full state for state transfer, and
+    /// broadcasts this replica's checkpoint vote.
+    pub fn on_snapshot(&mut self, seq: Seq, snapshot: Bytes) -> Vec<Action> {
+        let mut out = Vec::new();
+        let Some(info) = self.pending_boundaries.remove(&seq) else {
+            return out; // boundary superseded by an install or never emitted
+        };
+        if seq <= self.stable_seq {
+            return out;
+        }
+        let digest = checkpoint_digest(seq, &snapshot, &info.executed, &info.exec_chain);
+        self.pending_states.insert(
+            seq,
+            CheckpointState {
+                seq,
+                exec_chain: info.exec_chain,
+                snapshot,
+                executed: info.executed,
+            },
+        );
         self.own_checkpoints.insert(seq, digest);
         self.checkpoint_votes
             .entry(seq)
@@ -530,7 +636,8 @@ impl Replica {
             state_digest: digest,
             replica: self.id,
         })));
-        self.try_stabilize(seq, out);
+        self.try_stabilize(seq, &mut out);
+        out
     }
 
     fn handle_checkpoint(&mut self, from: ReplicaId, c: CheckpointMsg, out: &mut Vec<Action>) {
@@ -544,6 +651,221 @@ impl Replica {
             .or_default()
             .insert(c.replica);
         self.try_stabilize(c.seq, out);
+        self.maybe_fetch(c.seq, out);
+    }
+
+    /// Lag detection: `f + 1` distinct replicas vouching for a checkpoint a
+    /// full interval (or a whole watermark window) ahead of our execution
+    /// frontier means we missed history that retransmits will never
+    /// replay — the slots below the group's stable checkpoint are
+    /// garbage-collected at every correct peer. Fetch state instead.
+    fn maybe_fetch(&mut self, seq: Seq, out: &mut Vec<Action>) {
+        if seq <= self.last_exec {
+            return;
+        }
+        let lagging =
+            seq > self.high_watermark() || seq.0 >= self.last_exec.0 + self.cfg.checkpoint_interval;
+        if !lagging {
+            return;
+        }
+        let vouched = self
+            .checkpoint_votes
+            .get(&seq)
+            .is_some_and(|per| per.values().any(|v| v.len() > self.cfg.f() as usize));
+        if !vouched || self.fetch_target.is_some_and(|t| t >= seq) {
+            return;
+        }
+        self.fetch_target = Some(seq);
+        out.push(Action::Broadcast(Msg::FetchState(FetchStateMsg {
+            have: self.stable_seq,
+            replica: self.id,
+        })));
+    }
+
+    /// Explicitly (re)joins via state transfer: broadcast a `FetchState`
+    /// for anything newer than our stable checkpoint. Used by proactive
+    /// recovery right after a replica's state is torn down.
+    pub fn begin_state_fetch(&mut self) -> Vec<Action> {
+        if self.cfg.n == 1 {
+            return Vec::new();
+        }
+        vec![Action::Broadcast(Msg::FetchState(FetchStateMsg {
+            have: self.stable_seq,
+            replica: self.id,
+        }))]
+    }
+
+    fn handle_fetch_state(&mut self, from: ReplicaId, fs: FetchStateMsg, out: &mut Vec<Action>) {
+        if from != fs.replica || from == self.id {
+            return;
+        }
+        let Some(state) = &self.latest_stable else {
+            return;
+        };
+        if state.seq <= fs.have {
+            return;
+        }
+        // Honest responders respect the wire caps. A dedup set past the
+        // executed-id cap cannot be shipped at all (no fetcher would
+        // decode the frame; bounding the set is the ROADMAP's
+        // dedup-compaction item), while an oversized suffix can simply be
+        // truncated — the fetcher lands earlier and re-fetches.
+        if state.executed.len() > crate::wire::MAX_WIRE_EXECUTED {
+            return;
+        }
+        let mut suffix: Vec<SuffixSlot> = self
+            .log
+            .executed_suffix(state.seq, self.last_exec)
+            .into_iter()
+            .map(|(seq, batch)| SuffixSlot { seq, batch })
+            .collect();
+        suffix.truncate(crate::wire::MAX_WIRE_SUFFIX);
+        out.push(Action::Send(
+            from,
+            Msg::StateResponse(StateResponseMsg {
+                seq: state.seq,
+                view: self.view,
+                exec_chain: state.exec_chain,
+                snapshot: state.snapshot.clone(),
+                executed: state.executed.clone(),
+                suffix,
+                replica: self.id,
+            }),
+        ));
+    }
+
+    /// Installs a fetched checkpoint if its digest is vouched for by
+    /// `f + 1` distinct replicas (so at least one correct replica holds
+    /// exactly this state), then replays the committed log suffix.
+    fn handle_state_response(
+        &mut self,
+        from: ReplicaId,
+        sr: StateResponseMsg,
+        out: &mut Vec<Action>,
+    ) {
+        if from != sr.replica || sr.seq <= self.last_exec || sr.seq <= self.stable_seq {
+            return;
+        }
+        let digest = checkpoint_digest(sr.seq, &sr.snapshot, &sr.executed, &sr.exec_chain);
+        // The response itself is the sender's implicit checkpoint vote.
+        self.checkpoint_votes
+            .entry(sr.seq)
+            .or_default()
+            .entry(digest)
+            .or_default()
+            .insert(from);
+        let votes = self
+            .checkpoint_votes
+            .get(&sr.seq)
+            .and_then(|per| per.get(&digest))
+            .map_or(0, HashSet::len);
+        if votes <= self.cfg.f() as usize {
+            return;
+        }
+        self.install_state(sr, digest, out);
+    }
+
+    fn install_state(&mut self, sr: StateResponseMsg, digest: Digest32, out: &mut Vec<Action>) {
+        // Jump the protocol state to the verified checkpoint.
+        self.last_exec = sr.seq;
+        self.exec_chain = sr.exec_chain;
+        self.stable_seq = sr.seq;
+        self.stable_digest = digest;
+        self.log.gc_below(sr.seq);
+        self.own_checkpoints = self.own_checkpoints.split_off(&sr.seq);
+        self.own_checkpoints.insert(sr.seq, digest);
+        self.checkpoint_votes = self.checkpoint_votes.split_off(&sr.seq.next());
+        self.pending_boundaries = self.pending_boundaries.split_off(&sr.seq.next());
+        self.pending_states = self.pending_states.split_off(&sr.seq.next());
+        self.latest_stable = Some(CheckpointState {
+            seq: sr.seq,
+            exec_chain: sr.exec_chain,
+            snapshot: sr.snapshot.clone(),
+            executed: sr.executed.clone(),
+        });
+        // Adopt the transferred dedup set so replayed or re-proposed
+        // requests are filtered exactly as at the peers.
+        for id in &sr.executed {
+            match self.requests.insert(*id, ReqState::Executed) {
+                Some(ReqState::Pending(_)) | Some(ReqState::Ordered(_)) => {
+                    self.outstanding = self.outstanding.saturating_sub(1);
+                    self.queue.retain(|q| q != id);
+                }
+                _ => {}
+            }
+        }
+        out.push(Action::InstallState {
+            seq: sr.seq,
+            snapshot: sr.snapshot,
+        });
+        out.push(Action::Stable(sr.seq));
+        // Rejoin the live view (a rebooted replica restarts in view 0 and
+        // would otherwise ignore the current primary forever).
+        if sr.view > self.view {
+            self.enter_view(sr.view, out);
+        }
+        // Replay the committed suffix so we land at the responder's
+        // execution frontier, not a checkpoint boundary.
+        for slot in sr.suffix {
+            if slot.seq != self.last_exec.next() {
+                break; // non-contiguous: stop trusting the remainder
+            }
+            self.apply_transferred_slot(slot.seq, slot.batch, out);
+        }
+        if self.fetch_target.is_some_and(|t| t <= self.last_exec) {
+            self.fetch_target = None;
+        }
+        self.next_seq = self.next_seq.max(self.last_exec);
+        out.push(Action::ViewTimer(if self.outstanding == 0 {
+            TimerCmd::Stop
+        } else {
+            TimerCmd::Restart
+        }));
+        // Commits that arrived while we lagged may already complete later
+        // slots; the watermark jump also unblocks a primary's queue.
+        self.try_execute(out);
+        if self.is_primary() && !self.in_view_change {
+            self.drain_queue(false, out);
+        }
+        self.update_batch_timer(out);
+    }
+
+    /// Applies one state-transferred slot: chains the execution digest,
+    /// dedups, delivers, and re-enters the checkpoint cadence at
+    /// boundaries.
+    fn apply_transferred_slot(&mut self, seq: Seq, batch: Batch, out: &mut Vec<Action>) {
+        let digest = batch.digest();
+        let slot = self.log.slot_mut(seq);
+        slot.pre_prepare = Some((self.view, digest, batch.clone()));
+        slot.executed = true;
+        slot.commit_sent = true;
+        self.last_exec = seq;
+        let mut h = Sha256::new();
+        h.update(self.exec_chain.as_bytes());
+        h.update_u64(seq.0);
+        h.update(digest.as_bytes());
+        self.exec_chain = h.finalize();
+        let mut fresh = Vec::new();
+        for request in batch.requests {
+            let prev = self.requests.insert(request.id, ReqState::Executed);
+            match prev {
+                Some(ReqState::Executed) => {}
+                Some(ReqState::Pending(_)) | Some(ReqState::Ordered(_)) => {
+                    self.outstanding = self.outstanding.saturating_sub(1);
+                    self.queue.retain(|q| *q != request.id);
+                    fresh.push(request);
+                }
+                // Unknown here, but agreed by the group: deliver without
+                // touching `outstanding` (it was never counted).
+                None => fresh.push(request),
+            }
+        }
+        if !fresh.is_empty() {
+            out.push(Action::Execute { seq, batch: fresh });
+        }
+        if seq.0.is_multiple_of(self.cfg.checkpoint_interval) {
+            self.request_checkpoint(seq, out);
+        }
     }
 
     fn try_stabilize(&mut self, seq: Seq, out: &mut Vec<Action>) {
@@ -566,6 +888,13 @@ impl Replica {
         self.log.gc_below(seq);
         self.own_checkpoints = self.own_checkpoints.split_off(&seq);
         self.checkpoint_votes = self.checkpoint_votes.split_off(&seq.next());
+        // Promote the full state to serve FetchState; drop older retained
+        // checkpoints (and boundaries the harness never answered).
+        if let Some(state) = self.pending_states.remove(&seq) {
+            self.latest_stable = Some(state);
+        }
+        self.pending_states = self.pending_states.split_off(&seq.next());
+        self.pending_boundaries = self.pending_boundaries.split_off(&seq.next());
         out.push(Action::Stable(seq));
         // The watermark advanced: the primary can seal queued batches that
         // were blocked on the window.
@@ -878,12 +1207,25 @@ mod tests {
                         executed[at].push((seq, request.id));
                     }
                 }
-                Action::Stable(_)
+                Action::TakeCheckpoint(seq) => {
+                    // The harness answers synchronously with a snapshot
+                    // that is a deterministic function of the boundary, as
+                    // a real deterministic application would be.
+                    let actions = replicas[at].on_snapshot(seq, test_snapshot(seq));
+                    route(replicas, at, actions, inbox, executed);
+                }
+                Action::InstallState { .. }
+                | Action::Stable(_)
                 | Action::EnteredView(_)
                 | Action::ViewTimer(_)
                 | Action::BatchTimer(_) => {}
             }
         }
+    }
+
+    /// The stand-in application snapshot at `seq`.
+    fn test_snapshot(seq: Seq) -> Bytes {
+        Bytes::from(format!("app@{}", seq.0))
     }
 
     fn submit(
@@ -1319,6 +1661,190 @@ mod tests {
                 .any(|x| matches!(x, Action::Broadcast(Msg::Prepare(p)) if p.view == View(1))),
             "stashed pre-prepare must be prepared after entering the view: {actions:?}"
         );
+    }
+
+    #[test]
+    fn wiped_replica_rejoins_via_explicit_state_fetch() {
+        // Run past a checkpoint, wipe replica 3, let it recover through
+        // FetchState/StateResponse: it must land at its peers' execution
+        // frontier with the identical execution chain.
+        let mut cfg = Config::new(4);
+        cfg.max_batch_size = 1;
+        cfg.checkpoint_interval = 8;
+        let mut rs: Vec<Replica> = (0..4)
+            .map(|i| Replica::new(ReplicaId(i), cfg.clone()))
+            .collect();
+        let mut inbox = VecDeque::new();
+        let mut executed = vec![Vec::new(); 4];
+        for c in 1..=13 {
+            submit(&mut rs, 0, req(c), &mut inbox, &mut executed);
+        }
+        run_to_quiescence(&mut rs, inbox, &[]);
+        assert_eq!(rs[0].stable_seq(), Seq(8), "checkpoint stabilized");
+        let frontier = rs[0].last_executed();
+        let chain = rs[0].execution_chain();
+
+        // Crash-and-wipe replica 3, then rejoin via state transfer.
+        rs[3] = Replica::new(ReplicaId(3), cfg);
+        let mut inbox = VecDeque::new();
+        let actions = rs[3].begin_state_fetch();
+        route(&mut rs, 3, actions, &mut inbox, &mut executed);
+        let more = run_to_quiescence(&mut rs, inbox, &[]);
+        assert_eq!(rs[3].last_executed(), frontier, "suffix replayed");
+        assert_eq!(rs[3].execution_chain(), chain, "chains agree");
+        assert_eq!(rs[3].stable_seq(), Seq(8));
+        assert_eq!(rs[3].stable_digest(), rs[0].stable_digest());
+        // The snapshot install plus suffix redelivered slots 9..=13 to the
+        // (fresh) application.
+        assert!(!more[3].is_empty(), "suffix slots delivered");
+
+        // The recovered replica keeps up with new traffic normally.
+        let mut inbox = VecDeque::new();
+        submit(&mut rs, 0, req(99), &mut inbox, &mut executed);
+        run_to_quiescence(&mut rs, inbox, &[]);
+        assert_eq!(rs[3].last_executed(), rs[0].last_executed());
+        assert_eq!(rs[3].execution_chain(), rs[0].execution_chain());
+    }
+
+    #[test]
+    fn lag_evidence_triggers_automatic_state_fetch() {
+        // Replica 3 misses everything for two checkpoint intervals; the
+        // peers' checkpoint votes are the lag evidence that must trigger a
+        // fetch — no explicit recovery call.
+        let mut cfg = Config::new(4);
+        cfg.max_batch_size = 1;
+        cfg.checkpoint_interval = 8;
+        let mut rs: Vec<Replica> = (0..4)
+            .map(|i| Replica::new(ReplicaId(i), cfg.clone()))
+            .collect();
+        let mut inbox = VecDeque::new();
+        let mut executed = vec![Vec::new(); 4];
+        for c in 1..=20 {
+            submit(&mut rs, 0, req(c), &mut inbox, &mut executed);
+        }
+        run_to_quiescence(&mut rs, std::mem::take(&mut inbox), &[3]);
+        assert_eq!(rs[3].last_executed(), Seq::ZERO, "replica 3 missed all");
+
+        // New traffic crosses the next boundary with replica 3 connected:
+        // its peers' checkpoint broadcasts reveal the lag.
+        let mut inbox = VecDeque::new();
+        for c in 21..=28 {
+            submit(&mut rs, 0, req(c), &mut inbox, &mut executed);
+        }
+        run_to_quiescence(&mut rs, inbox, &[]);
+        assert_eq!(rs[3].last_executed(), rs[0].last_executed());
+        assert_eq!(rs[3].execution_chain(), rs[0].execution_chain());
+        assert!(rs[3].stable_seq() >= Seq(16), "installed a fetched state");
+    }
+
+    #[test]
+    fn state_response_requires_f_plus_one_vouchers() {
+        let mut cfg = Config::new(4);
+        cfg.checkpoint_interval = 8;
+        let mut target = Replica::new(ReplicaId(3), cfg);
+        let snapshot = Bytes::from_static(b"claimed-state");
+        let chain = Digest32([7u8; 32]);
+        let executed = vec![RequestId::new(1, 1)];
+        let response = StateResponseMsg {
+            seq: Seq(8),
+            view: View(0),
+            exec_chain: chain,
+            snapshot: snapshot.clone(),
+            executed: executed.clone(),
+            suffix: vec![],
+            replica: ReplicaId(1),
+        };
+        // One voucher (the responder itself) is not enough for f = 1.
+        let a = target.on_message(ReplicaId(1), Msg::StateResponse(response.clone()));
+        assert!(
+            !a.iter().any(|x| matches!(x, Action::InstallState { .. })),
+            "a lone responder must not be believed: {a:?}"
+        );
+        assert_eq!(target.last_executed(), Seq::ZERO);
+
+        // A matching checkpoint vote from a second replica makes f + 1.
+        let digest = crate::messages::checkpoint_digest(Seq(8), &snapshot, &executed, &chain);
+        let _ = target.on_message(
+            ReplicaId(2),
+            Msg::Checkpoint(CheckpointMsg {
+                seq: Seq(8),
+                state_digest: digest,
+                replica: ReplicaId(2),
+            }),
+        );
+        let a = target.on_message(ReplicaId(1), Msg::StateResponse(response));
+        assert!(
+            a.iter().any(|x| matches!(
+                x,
+                Action::InstallState { seq, snapshot: s } if *seq == Seq(8) && s == &snapshot
+            )),
+            "vouched state must install: {a:?}"
+        );
+        assert_eq!(target.last_executed(), Seq(8));
+        assert_eq!(target.stable_seq(), Seq(8));
+
+        // A corrupted snapshot no longer matches the vouched digest.
+        let mut fresh = Replica::new(ReplicaId(3), Config::new(4));
+        let _ = fresh.on_message(
+            ReplicaId(2),
+            Msg::Checkpoint(CheckpointMsg {
+                seq: Seq(8),
+                state_digest: digest,
+                replica: ReplicaId(2),
+            }),
+        );
+        let bogus = StateResponseMsg {
+            seq: Seq(8),
+            view: View(0),
+            exec_chain: chain,
+            snapshot: Bytes::from_static(b"tampered-state"),
+            executed,
+            suffix: vec![],
+            replica: ReplicaId(1),
+        };
+        let a = fresh.on_message(ReplicaId(1), Msg::StateResponse(bogus));
+        assert!(!a.iter().any(|x| matches!(x, Action::InstallState { .. })));
+        assert_eq!(fresh.last_executed(), Seq::ZERO);
+    }
+
+    #[test]
+    fn non_contiguous_suffix_is_cut_at_the_gap() {
+        let mut cfg = Config::new(4);
+        cfg.checkpoint_interval = 8;
+        let mut target = Replica::new(ReplicaId(3), cfg);
+        let snapshot = Bytes::from_static(b"state");
+        let chain = Digest32::ZERO;
+        let digest = crate::messages::checkpoint_digest(Seq(8), &snapshot, &[], &chain);
+        let _ = target.on_message(
+            ReplicaId(2),
+            Msg::Checkpoint(CheckpointMsg {
+                seq: Seq(8),
+                state_digest: digest,
+                replica: ReplicaId(2),
+            }),
+        );
+        let response = StateResponseMsg {
+            seq: Seq(8),
+            view: View(0),
+            exec_chain: chain,
+            snapshot,
+            executed: vec![],
+            // Slot 9 is contiguous; slot 11 is not and must be dropped.
+            suffix: vec![
+                SuffixSlot {
+                    seq: Seq(9),
+                    batch: Batch::of(req(50)),
+                },
+                SuffixSlot {
+                    seq: Seq(11),
+                    batch: Batch::of(req(51)),
+                },
+            ],
+            replica: ReplicaId(1),
+        };
+        let a = target.on_message(ReplicaId(1), Msg::StateResponse(response));
+        assert!(a.iter().any(|x| matches!(x, Action::InstallState { .. })));
+        assert_eq!(target.last_executed(), Seq(9), "stopped at the gap");
     }
 
     #[test]

@@ -6,8 +6,8 @@
 //! path.
 
 use crate::messages::{
-    Batch, CheckpointMsg, CommitMsg, Msg, NewViewMsg, PrePrepareMsg, PrepareMsg, PreparedClaim,
-    Request, RequestId, ViewChangeMsg,
+    Batch, CheckpointMsg, CommitMsg, FetchStateMsg, Msg, NewViewMsg, PrePrepareMsg, PrepareMsg,
+    PreparedClaim, Request, RequestId, StateResponseMsg, SuffixSlot, ViewChangeMsg,
 };
 use crate::{ReplicaId, Seq, View};
 use bytes::{Bytes, BytesMut};
@@ -23,6 +23,12 @@ pub struct WireError {
 impl WireError {
     fn new(what: &'static str) -> Self {
         WireError { what }
+    }
+
+    /// A malformed-input error with an explicit cause, for codecs layered
+    /// on [`Encoder`]/[`Decoder`] outside this crate (snapshot formats).
+    pub fn malformed(what: &'static str) -> Self {
+        WireError::new(what)
     }
 }
 
@@ -206,6 +212,23 @@ const TAG_COMMIT: u8 = 4;
 const TAG_CHECKPOINT: u8 = 5;
 const TAG_VIEW_CHANGE: u8 = 6;
 const TAG_NEW_VIEW: u8 = 7;
+const TAG_FETCH_STATE: u8 = 8;
+const TAG_STATE_RESPONSE: u8 = 9;
+
+/// Hard cap on the executed-id count of one state response: bounds the
+/// allocation a hostile count prefix can drive, like the wire batch cap.
+/// Public because honest responders must also respect it — a dedup set
+/// past the cap cannot be shipped (see the ROADMAP's dedup-compaction
+/// item) and the responder stays silent rather than emit a frame no
+/// fetcher would accept.
+pub const MAX_WIRE_EXECUTED: usize = 1 << 20;
+
+/// Hard cap on the log-suffix slot count of one state response: the suffix
+/// spans at most a watermark window of slots in any honest response.
+/// Public so responders can truncate an oversized suffix (safe: the
+/// fetcher just lands earlier and re-fetches) instead of emitting an
+/// undecodable frame.
+pub const MAX_WIRE_SUFFIX: usize = 65_536;
 
 /// Encodes a CLBFT message.
 pub fn encode_msg(msg: &Msg) -> Bytes {
@@ -265,6 +288,29 @@ pub fn encode_msg(msg: &Msg) -> Bytes {
                 put_pre_prepare(&mut e, pp);
             }
             e.put_u32(nv.replica.0);
+        }
+        Msg::FetchState(fs) => {
+            e.put_u8(TAG_FETCH_STATE);
+            e.put_u64(fs.have.0);
+            e.put_u32(fs.replica.0);
+        }
+        Msg::StateResponse(sr) => {
+            e.put_u8(TAG_STATE_RESPONSE);
+            e.put_u64(sr.seq.0);
+            e.put_u64(sr.view.0);
+            e.put_digest(&sr.exec_chain);
+            e.put_bytes(&sr.snapshot);
+            e.put_u32(sr.executed.len() as u32);
+            for id in &sr.executed {
+                e.put_u64(id.origin);
+                e.put_u64(id.counter);
+            }
+            e.put_u32(sr.suffix.len() as u32);
+            for slot in &sr.suffix {
+                e.put_u64(slot.seq.0);
+                put_batch(&mut e, &slot.batch);
+            }
+            e.put_u32(sr.replica.0);
         }
     }
     e.finish()
@@ -348,6 +394,46 @@ pub fn decode_msg(buf: &[u8]) -> Result<Msg, WireError> {
                 replica: ReplicaId(d.u32()?),
             })
         }
+        TAG_FETCH_STATE => Msg::FetchState(FetchStateMsg {
+            have: Seq(d.u64()?),
+            replica: ReplicaId(d.u32()?),
+        }),
+        TAG_STATE_RESPONSE => {
+            let seq = Seq(d.u64()?);
+            let view = View(d.u64()?);
+            let exec_chain = d.digest()?;
+            let snapshot = d.bytes()?;
+            let exec_count = d.u32()? as usize;
+            if exec_count > MAX_WIRE_EXECUTED {
+                return Err(WireError::new("too many executed ids"));
+            }
+            let mut executed = Vec::with_capacity(exec_count.min(4096));
+            for _ in 0..exec_count {
+                let origin = d.u64()?;
+                let counter = d.u64()?;
+                executed.push(RequestId::new(origin, counter));
+            }
+            let suffix_count = d.u32()? as usize;
+            if suffix_count > MAX_WIRE_SUFFIX {
+                return Err(WireError::new("suffix too large"));
+            }
+            let mut suffix = Vec::with_capacity(suffix_count.min(4096));
+            for _ in 0..suffix_count {
+                suffix.push(SuffixSlot {
+                    seq: Seq(d.u64()?),
+                    batch: get_batch(&mut d)?,
+                });
+            }
+            Msg::StateResponse(StateResponseMsg {
+                seq,
+                view,
+                exec_chain,
+                snapshot,
+                executed,
+                suffix,
+                replica: ReplicaId(d.u32()?),
+            })
+        }
         _ => return Err(WireError::new("unknown tag")),
     };
     d.finish()?;
@@ -422,6 +508,42 @@ mod tests {
             pre_prepares: vec![pp],
             replica: ReplicaId(0),
         }));
+        roundtrip(Msg::FetchState(FetchStateMsg {
+            have: Seq(64),
+            replica: ReplicaId(3),
+        }));
+        roundtrip(Msg::StateResponse(StateResponseMsg {
+            seq: Seq(64),
+            view: View(2),
+            exec_chain: sample_request(1).digest(),
+            snapshot: Bytes::from_static(b"app-state"),
+            executed: vec![RequestId::new(3, 1), RequestId::new(3, 2)],
+            suffix: vec![SuffixSlot {
+                seq: Seq(65),
+                batch: Batch::of(sample_request(4)),
+            }],
+            replica: ReplicaId(1),
+        }));
+    }
+
+    #[test]
+    fn oversized_state_response_counts_rejected() {
+        let chain = sample_request(1).digest();
+        for (exec_count, suffix_count, what) in [
+            ((MAX_WIRE_EXECUTED + 1) as u32, 0, "too many executed ids"),
+            (0, (MAX_WIRE_SUFFIX + 1) as u32, "suffix too large"),
+        ] {
+            let mut e = Encoder::new();
+            e.put_u8(TAG_STATE_RESPONSE);
+            e.put_u64(64); // seq
+            e.put_u64(0); // view
+            e.put_digest(&chain);
+            e.put_bytes(b"snap");
+            e.put_u32(exec_count);
+            e.put_u32(suffix_count);
+            let err = decode_msg(&e.finish()).unwrap_err();
+            assert!(err.to_string().contains(what), "{err}");
+        }
     }
 
     #[test]

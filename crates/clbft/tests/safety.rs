@@ -60,6 +60,13 @@ impl Harness {
                         self.executed[at].push((seq, request.id));
                     }
                 }
+                Action::TakeCheckpoint(seq) => {
+                    // Answer with a deterministic application snapshot, as
+                    // the real (deterministic) harness would.
+                    let actions =
+                        self.replicas[at].on_snapshot(seq, Bytes::from(format!("app@{}", seq.0)));
+                    self.apply(at, actions);
+                }
                 _ => {}
             }
         }

@@ -6,8 +6,8 @@ use bytes::Bytes;
 use proptest::prelude::*;
 use pws_clbft::wire::{decode_msg, encode_msg};
 use pws_clbft::{
-    Batch, CheckpointMsg, CommitMsg, Msg, NewViewMsg, PrePrepareMsg, PrepareMsg, PreparedClaim,
-    ReplicaId, Request, RequestId, Seq, View,
+    Batch, CheckpointMsg, CommitMsg, FetchStateMsg, Msg, NewViewMsg, PrePrepareMsg, PrepareMsg,
+    PreparedClaim, ReplicaId, Request, RequestId, Seq, StateResponseMsg, SuffixSlot, View,
 };
 use pws_crypto::Digest32;
 use rand::rngs::StdRng;
@@ -50,10 +50,37 @@ fn arb_pre_prepare(rng: &mut StdRng) -> PrePrepareMsg {
     }
 }
 
+/// An arbitrary state-transfer response: snapshot bytes, a sorted executed
+/// set, and a (sometimes empty) committed log suffix.
+fn arb_state_response(rng: &mut StdRng) -> StateResponseMsg {
+    let snap_len = rng.gen_range(0usize..128);
+    let mut snapshot = vec![0u8; snap_len];
+    rng.fill_bytes(&mut snapshot);
+    let executed = (0..rng.gen_range(0usize..8))
+        .map(|_| RequestId::new(rng.next_u64(), rng.next_u64()))
+        .collect();
+    let base = rng.next_u64() & 0xffff_ffff;
+    let suffix = (0..rng.gen_range(0usize..4))
+        .map(|i| SuffixSlot {
+            seq: Seq(base + 1 + i as u64),
+            batch: arb_batch(rng),
+        })
+        .collect();
+    StateResponseMsg {
+        seq: Seq(base),
+        view: View(rng.next_u64()),
+        exec_chain: arb_digest(rng),
+        snapshot: Bytes::from(snapshot),
+        executed,
+        suffix,
+        replica: ReplicaId(rng.next_u32()),
+    }
+}
+
 /// Builds one message of each variant family, chosen and filled from `seed`.
 fn arb_msg(seed: u64) -> Msg {
     let mut rng = StdRng::seed_from_u64(seed);
-    match rng.gen_range(0u8..7) {
+    match rng.gen_range(0u8..9) {
         0 => Msg::Forward(arb_request(&mut rng)),
         1 => Msg::PrePrepare(arb_pre_prepare(&mut rng)),
         2 => Msg::Prepare(PrepareMsg {
@@ -90,7 +117,7 @@ fn arb_msg(seed: u64) -> Msg {
                 replica: ReplicaId(rng.next_u32()),
             })
         }
-        _ => {
+        6 => {
             let voters = (0..rng.gen_range(0usize..7))
                 .map(|_| ReplicaId(rng.next_u32()))
                 .collect();
@@ -104,6 +131,11 @@ fn arb_msg(seed: u64) -> Msg {
                 replica: ReplicaId(rng.next_u32()),
             })
         }
+        7 => Msg::FetchState(FetchStateMsg {
+            have: Seq(rng.next_u64()),
+            replica: ReplicaId(rng.next_u32()),
+        }),
+        _ => Msg::StateResponse(arb_state_response(&mut rng)),
     }
 }
 
@@ -164,5 +196,39 @@ proptest! {
     #[test]
     fn arbitrary_garbage_never_panics(data in proptest::collection::vec(any::<u8>(), 0..512)) {
         let _ = decode_msg(&data);
+    }
+
+    /// Every proper prefix of a state-transfer response must fail to
+    /// decode: the nested counts (executed ids, suffix slots, batches)
+    /// promise more content than a truncated frame carries — mirroring the
+    /// batched pre-prepare every-prefix suite.
+    #[test]
+    fn every_state_response_prefix_is_rejected(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let full = encode_msg(&Msg::StateResponse(arb_state_response(&mut rng)));
+        for cut in 0..full.len() {
+            prop_assert!(
+                decode_msg(&full[..cut]).is_err(),
+                "prefix of len {} decoded", cut
+            );
+        }
+    }
+
+    /// A corrupted state-transfer frame must never decode back to the
+    /// original message (and never panic).
+    #[test]
+    fn corrupted_state_response_never_aliases(
+        seed in any::<u64>(),
+        pos_seed in any::<u64>(),
+        flip in 1u8..=255,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let msg = Msg::StateResponse(arb_state_response(&mut rng));
+        let mut bytes = encode_msg(&msg).to_vec();
+        let pos = (pos_seed % bytes.len() as u64) as usize;
+        bytes[pos] ^= flip;
+        if let Ok(decoded) = decode_msg(&bytes) {
+            prop_assert_ne!(decoded, msg);
+        }
     }
 }

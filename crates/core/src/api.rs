@@ -137,10 +137,10 @@ pub enum WsEvent {
 /// queued interest is effectively permanent).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct WaitSet {
-    requests: bool,
-    any_reply: bool,
-    replies: BTreeSet<CallToken>,
-    times: bool,
+    pub(crate) requests: bool,
+    pub(crate) any_reply: bool,
+    pub(crate) replies: BTreeSet<CallToken>,
+    pub(crate) times: bool,
 }
 
 impl WaitSet {
@@ -234,6 +234,29 @@ impl Poll {
 pub trait Service: std::any::Any {
     /// Handles one agreed event and declares the continuation.
     fn on_event(&mut self, ev: WsEvent, ctx: &mut ServiceCtx<'_>) -> Poll;
+
+    /// Captures the service's application state at a sequence boundary, for
+    /// checkpointing and state transfer.
+    ///
+    /// The contract: `snapshot` must be a **deterministic** function of the
+    /// delivered event sequence (no iteration over unordered containers,
+    /// no addresses, no wall-clock), so every correct replica produces
+    /// byte-identical snapshots at the same agreed boundary — the snapshot
+    /// bytes feed the checkpoint digest that replicas vote on. `restore`
+    /// must rebuild exactly the state `snapshot` captured; a recovered
+    /// replica resumes execution from the boundary with this state.
+    ///
+    /// The default captures nothing, which is correct for stateless
+    /// services only. A stateful service that keeps the default can still
+    /// be hosted, but a recovered replica of it restarts from the initial
+    /// state and will diverge — implement both methods or neither.
+    fn snapshot(&self) -> Vec<u8> {
+        Vec::new()
+    }
+
+    /// Replaces the service's state with a previously captured
+    /// [`Service::snapshot`]. See there for the contract.
+    fn restore(&mut self, _snapshot: &[u8]) {}
 }
 
 impl<F> Service for F

@@ -42,6 +42,11 @@ struct HostState {
     ws_cost: WsCostModel,
     /// Deterministic randomness seeded by the group-agreed seed.
     rng: StdRng,
+    /// The seed behind `rng` and the number of values drawn from it —
+    /// checkpoint state: a restored replica re-seeds and replays the draw
+    /// count so the agreed random stream continues where it left off.
+    rng_seed: u64,
+    rng_draws: u64,
     /// Incoming request `wsa:MessageID` → reply handle.
     handles: HashMap<String, RequestHandle>,
     /// Outcall token assignment (deterministic dense counter).
@@ -163,6 +168,7 @@ impl ServiceCtx<'_> {
     /// Deterministic randomness seeded by the group-agreed seed. Replaces
     /// direct `java.util.Random` construction (§4.2).
     pub fn random_u64(&mut self) -> u64 {
+        self.st.rng_draws += 1;
         self.st.rng.next_u64()
     }
 
@@ -211,6 +217,8 @@ impl ServiceExecutor {
                 uris,
                 ws_cost,
                 rng: StdRng::seed_from_u64(0),
+                rng_seed: 0,
+                rng_draws: 0,
                 handles: HashMap::new(),
                 next_token: 0,
                 calls: HashMap::new(),
@@ -285,7 +293,264 @@ impl ServiceExecutor {
     }
 }
 
+// ------------------------------------------------------------ checkpointing
+
+use crate::api::WaitSet;
+use pws_perpetual::snapshot::{Decoder, Encoder, WireError};
+
+const EV_INIT: u8 = 1;
+const EV_REQUEST: u8 = 2;
+const EV_REPLY: u8 = 3;
+const EV_TIME: u8 = 4;
+
+const POLL_NEXT: u8 = 0;
+const POLL_WAIT: u8 = 1;
+const POLL_DONE: u8 = 2;
+
+/// Cap on any one collection in a host snapshot (mirrors the wire codec's
+/// allocation caps).
+const MAX_HOST_ITEMS: usize = 1 << 20;
+
+fn put_str(e: &mut Encoder, s: &str) {
+    e.put_bytes(s.as_bytes());
+}
+
+fn get_str(d: &mut Decoder<'_>) -> Result<String, WireError> {
+    let b = d.bytes()?;
+    String::from_utf8(b.to_vec()).map_err(|_| host_snap_err())
+}
+
+fn put_mc(e: &mut Encoder, mc: &MessageContext) {
+    let bytes = mc
+        .to_bytes()
+        .expect("queued agreed message must re-marshal");
+    e.put_bytes(&bytes);
+}
+
+fn get_mc(d: &mut Decoder<'_>) -> Result<MessageContext, WireError> {
+    let bytes = d.bytes()?;
+    MessageContext::from_bytes(&bytes).map_err(|_| host_snap_err())
+}
+
+fn put_event(e: &mut Encoder, ev: &WsEvent) {
+    match ev {
+        WsEvent::Init { seed } => {
+            e.put_u8(EV_INIT);
+            e.put_u64(*seed);
+        }
+        WsEvent::Request { request } => {
+            e.put_u8(EV_REQUEST);
+            put_mc(e, request);
+        }
+        WsEvent::Reply { token, reply } => {
+            e.put_u8(EV_REPLY);
+            e.put_u64(token.0);
+            put_mc(e, reply);
+        }
+        WsEvent::Time { token, millis } => {
+            e.put_u8(EV_TIME);
+            e.put_u64(token.0);
+            e.put_u64(*millis);
+        }
+    }
+}
+
+fn get_event(d: &mut Decoder<'_>) -> Result<WsEvent, WireError> {
+    Ok(match d.u8()? {
+        EV_INIT => WsEvent::Init { seed: d.u64()? },
+        EV_REQUEST => WsEvent::Request {
+            request: get_mc(d)?,
+        },
+        EV_REPLY => WsEvent::Reply {
+            token: CallToken(d.u64()?),
+            reply: get_mc(d)?,
+        },
+        EV_TIME => WsEvent::Time {
+            token: TimeToken(d.u64()?),
+            millis: d.u64()?,
+        },
+        _ => return Err(host_snap_err()),
+    })
+}
+
+fn put_poll(e: &mut Encoder, poll: &Poll) {
+    match poll {
+        Poll::Next => e.put_u8(POLL_NEXT),
+        Poll::Done => e.put_u8(POLL_DONE),
+        Poll::Wait(ws) => {
+            e.put_u8(POLL_WAIT);
+            e.put_u8(u8::from(ws.requests));
+            e.put_u8(u8::from(ws.any_reply));
+            e.put_u8(u8::from(ws.times));
+            e.put_u32(ws.replies.len() as u32);
+            for t in &ws.replies {
+                e.put_u64(t.0);
+            }
+        }
+    }
+}
+
+fn get_poll(d: &mut Decoder<'_>) -> Result<Poll, WireError> {
+    Ok(match d.u8()? {
+        POLL_NEXT => Poll::Next,
+        POLL_DONE => Poll::Done,
+        POLL_WAIT => {
+            let mut ws = WaitSet::new();
+            ws.requests = d.u8()? != 0;
+            ws.any_reply = d.u8()? != 0;
+            ws.times = d.u8()? != 0;
+            let n = d.u32()? as usize;
+            if n > MAX_HOST_ITEMS {
+                return Err(host_snap_err());
+            }
+            for _ in 0..n {
+                ws.replies.insert(CallToken(d.u64()?));
+            }
+            Poll::Wait(ws)
+        }
+        _ => return Err(host_snap_err()),
+    })
+}
+
+fn host_snap_err() -> WireError {
+    WireError::malformed("malformed host snapshot")
+}
+
+impl ServiceExecutor {
+    /// Serializes the whole host: the service's own snapshot plus every
+    /// piece of deterministic host state a recovered replica needs to
+    /// resume mid-conversation — the reply-handle table, outcall token
+    /// maps, the queued (not yet admitted) events in agreed order, the
+    /// declared wait set, the RNG position, and the engine's message-id
+    /// counter. All maps are emitted in sorted key order so correct
+    /// replicas produce byte-identical snapshots at the same boundary.
+    fn encode_host(&self) -> Vec<u8> {
+        let st = &self.state;
+        let mut e = Encoder::new();
+        e.put_u8(1); // version
+        e.put_bytes(&self.service.snapshot());
+        e.put_u64(st.next_token);
+        e.put_u64(st.rng_seed);
+        e.put_u64(st.rng_draws);
+        e.put_u64(st.engine.id_counter());
+        let mut handles: Vec<(&String, &RequestHandle)> = st.handles.iter().collect();
+        handles.sort_by_key(|(id, _)| id.as_str());
+        e.put_u32(handles.len() as u32);
+        for (id, h) in handles {
+            put_str(&mut e, id);
+            e.put_u32(h.caller.0);
+            e.put_u64(h.req_no);
+        }
+        let mut calls: Vec<(u64, u64)> = st.calls.iter().map(|(c, t)| (*c, t.0)).collect();
+        calls.sort_unstable();
+        e.put_u32(calls.len() as u32);
+        for (c, t) in calls {
+            e.put_u64(c);
+            e.put_u64(t);
+        }
+        let mut token_msg: Vec<(u64, &String)> =
+            st.token_msg.iter().map(|(t, m)| (t.0, m)).collect();
+        token_msg.sort_by_key(|(t, _)| *t);
+        e.put_u32(token_msg.len() as u32);
+        for (t, m) in token_msg {
+            e.put_u64(t);
+            put_str(&mut e, m);
+        }
+        put_poll(&mut e, &self.wait);
+        e.put_u32(self.queue.len() as u32);
+        for ev in &self.queue {
+            put_event(&mut e, ev);
+        }
+        e.finish().to_vec()
+    }
+
+    fn decode_host(&mut self, snapshot: &[u8]) -> Result<(), WireError> {
+        let mut d = Decoder::new(snapshot);
+        if d.u8()? != 1 {
+            return Err(host_snap_err());
+        }
+        let service_snap = d.bytes()?;
+        let next_token = d.u64()?;
+        let rng_seed = d.u64()?;
+        let rng_draws = d.u64()?;
+        let id_counter = d.u64()?;
+        let n = d.u32()? as usize;
+        if n > MAX_HOST_ITEMS {
+            return Err(host_snap_err());
+        }
+        let mut handles = HashMap::with_capacity(n.min(4096));
+        for _ in 0..n {
+            let id = get_str(&mut d)?;
+            let caller = pws_perpetual::GroupId(d.u32()?);
+            let req_no = d.u64()?;
+            handles.insert(id, RequestHandle { caller, req_no });
+        }
+        let n = d.u32()? as usize;
+        if n > MAX_HOST_ITEMS {
+            return Err(host_snap_err());
+        }
+        let mut calls = HashMap::with_capacity(n.min(4096));
+        for _ in 0..n {
+            let c = d.u64()?;
+            calls.insert(c, CallToken(d.u64()?));
+        }
+        let n = d.u32()? as usize;
+        if n > MAX_HOST_ITEMS {
+            return Err(host_snap_err());
+        }
+        let mut token_msg = HashMap::with_capacity(n.min(4096));
+        for _ in 0..n {
+            let t = CallToken(d.u64()?);
+            token_msg.insert(t, get_str(&mut d)?);
+        }
+        let wait = get_poll(&mut d)?;
+        let n = d.u32()? as usize;
+        if n > MAX_HOST_ITEMS {
+            return Err(host_snap_err());
+        }
+        let mut queue = VecDeque::with_capacity(n.min(4096));
+        for _ in 0..n {
+            queue.push_back(get_event(&mut d)?);
+        }
+        d.finish()?;
+
+        // Everything parsed; commit.
+        self.service.restore(&service_snap);
+        let st = &mut self.state;
+        st.next_token = next_token;
+        st.rng_seed = rng_seed;
+        st.rng_draws = rng_draws;
+        // Re-seed and replay the draw count: the agreed random stream
+        // continues exactly where the checkpointed replica left it.
+        st.rng = StdRng::seed_from_u64(rng_seed);
+        for _ in 0..rng_draws {
+            st.rng.next_u64();
+        }
+        st.engine.set_id_counter(id_counter);
+        st.handles = handles;
+        st.calls = calls;
+        st.token_msg = token_msg;
+        st.failed_sends.clear();
+        self.wait = wait;
+        self.queue = queue;
+        Ok(())
+    }
+}
+
 impl Executor for ServiceExecutor {
+    fn snapshot(&self) -> Vec<u8> {
+        self.encode_host()
+    }
+
+    fn restore(&mut self, snapshot: &[u8]) {
+        if let Err(e) = self.decode_host(snapshot) {
+            // The snapshot digest was vouched for by f+1 replicas before
+            // installation, so this is a local serialization bug; failing
+            // loudly beats silent divergence.
+            panic!("verified host snapshot failed to decode: {e}");
+        }
+    }
+
     fn on_event(&mut self, ev: AppEvent, out: &mut AppOutput) {
         // A finished service ignores events outright: no demarshal cost,
         // no bookkeeping growth.
@@ -295,6 +560,8 @@ impl Executor for ServiceExecutor {
         match ev {
             AppEvent::Init { seed } => {
                 self.state.rng = StdRng::seed_from_u64(seed);
+                self.state.rng_seed = seed;
+                self.state.rng_draws = 0;
                 self.queue.push_back(WsEvent::Init { seed });
             }
             AppEvent::Request { handle, payload } => {
@@ -657,6 +924,128 @@ mod tests {
             &mut out,
         );
         assert!(exec.is_done());
+    }
+
+    /// A stateful service with a real snapshot/restore implementation.
+    struct CountingService {
+        count: u64,
+    }
+    impl Service for CountingService {
+        fn snapshot(&self) -> Vec<u8> {
+            self.count.to_be_bytes().to_vec()
+        }
+        fn restore(&mut self, snapshot: &[u8]) {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(snapshot);
+            self.count = u64::from_be_bytes(b);
+        }
+        fn on_event(&mut self, ev: WsEvent, ctx: &mut ServiceCtx<'_>) -> Poll {
+            if let WsEvent::Request { request } = ev {
+                self.count += 1 + ctx.random_u64() % 2;
+                let reply = request.reply_with(
+                    "",
+                    pws_soap::XmlNode::new("n").with_text(self.count.to_string()),
+                );
+                ctx.reply(reply, &request);
+            }
+            Poll::request()
+        }
+    }
+
+    #[test]
+    fn host_snapshot_restores_into_an_identical_replica() {
+        let mk = || {
+            ServiceExecutor::new(
+                Box::new(CountingService { count: 0 }),
+                "ctr",
+                uris(),
+                WsCostModel::FREE,
+            )
+        };
+        let mut original = mk();
+        let mut out = AppOutput::new(0, 0);
+        original.on_event(AppEvent::Init { seed: 11 }, &mut out);
+        for i in 0..3 {
+            original.on_event(
+                AppEvent::Request {
+                    handle: RequestHandle {
+                        caller: GroupId(9),
+                        req_no: i,
+                    },
+                    payload: request_bytes(&format!("m{i}"), "op", "x"),
+                },
+                &mut out,
+            );
+        }
+        let snap = original.snapshot();
+
+        // A blank replica restores and must be byte-identical state-wise...
+        let mut recovered = mk();
+        recovered.restore(&snap);
+        assert_eq!(recovered.snapshot(), snap, "restore is a fixed point");
+        assert_eq!(
+            recovered.service_mut::<CountingService>().unwrap().count,
+            original.service_mut::<CountingService>().unwrap().count
+        );
+
+        // ...and behave identically from here on (same RNG position, same
+        // reply payloads, same assigned ids).
+        let next = |exec: &mut ServiceExecutor| {
+            let mut out = AppOutput::new(10, 10);
+            exec.on_event(
+                AppEvent::Request {
+                    handle: RequestHandle {
+                        caller: GroupId(9),
+                        req_no: 99,
+                    },
+                    payload: request_bytes("m99", "op", "x"),
+                },
+                &mut out,
+            );
+            format!("{:?}", out.cmds())
+        };
+        assert_eq!(next(&mut original), next(&mut recovered));
+    }
+
+    #[test]
+    fn host_snapshot_preserves_queued_events_and_wait_state() {
+        // A service waiting on a reply with a request held back in the
+        // queue: the queue and wait set must survive the round-trip.
+        let svc = Recorder {
+            events: Vec::new(),
+            poll: Poll::Next,
+        };
+        let mut exec = ServiceExecutor::new(Box::new(svc), "store", uris(), WsCostModel::FREE);
+        let mut out = AppOutput::new(0, 0);
+        exec.on_event(AppEvent::Init { seed: 5 }, &mut out);
+        exec.service_mut::<Recorder>().unwrap().poll = Poll::reply(CallToken(0));
+        exec.wait = Poll::Wait(crate::api::WaitSet::new().reply(CallToken(0)));
+        exec.on_event(
+            AppEvent::Request {
+                handle: RequestHandle {
+                    caller: GroupId(9),
+                    req_no: 1,
+                },
+                payload: request_bytes("m1", "op", "x"),
+            },
+            &mut out,
+        );
+        assert_eq!(exec.queue.len(), 1, "request held back");
+        let snap = exec.snapshot();
+
+        let mut recovered = ServiceExecutor::new(
+            Box::new(Recorder {
+                events: Vec::new(),
+                poll: Poll::Next,
+            }),
+            "store",
+            uris(),
+            WsCostModel::FREE,
+        );
+        recovered.restore(&snap);
+        assert_eq!(recovered.queue.len(), 1, "queued event survived");
+        assert_eq!(recovered.wait, Poll::reply(CallToken(0)), "wait survived");
+        assert_eq!(recovered.snapshot(), snap);
     }
 
     #[test]

@@ -43,6 +43,17 @@ impl PassiveUtils {
 pub trait PassiveService: 'static {
     /// Handles one request, returning the reply.
     fn handle(&mut self, request: MessageContext, utils: &mut PassiveUtils) -> MessageContext;
+
+    /// Captures the service's state at a sequence boundary (checkpointing
+    /// and state transfer). Same contract as [`crate::Service::snapshot`]:
+    /// deterministic bytes, and the default (empty) is only correct for
+    /// stateless services.
+    fn snapshot(&self) -> Vec<u8> {
+        Vec::new()
+    }
+
+    /// Restores a previously captured [`PassiveService::snapshot`].
+    fn restore(&mut self, _snapshot: &[u8]) {}
 }
 
 impl<F> PassiveService for F
@@ -73,6 +84,14 @@ impl PassiveHost {
 }
 
 impl Service for PassiveHost {
+    fn snapshot(&self) -> Vec<u8> {
+        self.service.snapshot()
+    }
+
+    fn restore(&mut self, snapshot: &[u8]) {
+        self.service.restore(snapshot);
+    }
+
     fn on_event(&mut self, ev: WsEvent, ctx: &mut ServiceCtx<'_>) -> Poll {
         if let WsEvent::Request { request } = ev {
             // A fresh per-request RNG derived from the agreed stream keeps

@@ -98,6 +98,9 @@ pub struct SystemBuilder {
     retry_interval: SimDuration,
     max_batch_size: usize,
     batch_delay: SimDuration,
+    checkpoint_interval: u64,
+    watermark_window: u64,
+    recovery_window: Option<SimDuration>,
     services: Vec<ServiceSpec>,
     clients: Vec<ClientSpec>,
 }
@@ -124,6 +127,9 @@ impl SystemBuilder {
             retry_interval: SimDuration::from_millis(700),
             max_batch_size: 16,
             batch_delay: SimDuration::from_millis(1),
+            checkpoint_interval: 64,
+            watermark_window: 256,
+            recovery_window: None,
             services: Vec::new(),
             clients: Vec::new(),
         }
@@ -166,6 +172,36 @@ impl SystemBuilder {
     /// wait for its batch to seal when the agreement pipeline is full.
     pub fn batch_delay(&mut self, d: SimDuration) -> &mut Self {
         self.batch_delay = d;
+        self
+    }
+
+    /// Overrides the checkpoint interval for every replica group: a voter
+    /// snapshots its application state and broadcasts a checkpoint
+    /// certificate vote every `k` executions. Smaller intervals bound the
+    /// state a recovering replica must re-fetch; larger ones amortize
+    /// snapshot cost.
+    pub fn checkpoint_interval(&mut self, k: u64) -> &mut Self {
+        self.checkpoint_interval = k.max(1);
+        self
+    }
+
+    /// Overrides the CLBFT log window (high watermark = stable checkpoint
+    /// + window) for every replica group.
+    pub fn watermark_window(&mut self, w: u64) -> &mut Self {
+        self.watermark_window = w.max(1);
+        self
+    }
+
+    /// Enables proactive recovery (paper §7 future work) for every
+    /// replicated service: each window, exactly one replica per group
+    /// (round-robin by index) tears its state down — voter log, driver
+    /// bookkeeping, session keys — and rejoins through checkpoint state
+    /// transfer. This time-bounds the `≤ f faulty replicas` assumption: a
+    /// silently compromised replica is flushed within `n` windows.
+    /// Singleton (`n = 1`) services are skipped — with no peers to fetch
+    /// state from, a wipe would be an irrecoverable crash.
+    pub fn proactive_recovery(&mut self, window: SimDuration) -> &mut Self {
+        self.recovery_window = Some(window);
         self
     }
 
@@ -321,6 +357,9 @@ impl SystemBuilder {
                 cfg.retry_interval = self.retry_interval;
                 cfg.max_batch_size = self.max_batch_size;
                 cfg.batch_delay = self.batch_delay;
+                cfg.checkpoint_interval = self.checkpoint_interval;
+                cfg.watermark_window = self.watermark_window;
+                cfg.recovery_interval = self.recovery_window;
                 cfg.fault = spec.faults.get(&idx).copied().unwrap_or_default();
                 let service: Box<dyn Service> = match &mut spec.factory {
                     Factory::Service(f) => f(idx),

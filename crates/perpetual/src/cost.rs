@@ -30,6 +30,11 @@ pub struct CostModel {
     /// first (demarshal + dispatch; the authenticator work is amortized
     /// across the whole batch, which is the point of batching).
     pub batch_item: SimDuration,
+    /// Fixed cost to serialize (or install) one application snapshot at a
+    /// checkpoint boundary.
+    pub snapshot_fixed: SimDuration,
+    /// Additional per-kilobyte cost of snapshot serialization/installation.
+    pub snapshot_per_kb: SimDuration,
 }
 
 impl CostModel {
@@ -46,6 +51,8 @@ impl CostModel {
         mac: SimDuration::from_micros(3),
         event_overhead: SimDuration::from_micros(260),
         batch_item: SimDuration::from_micros(90),
+        snapshot_fixed: SimDuration::from_micros(120),
+        snapshot_per_kb: SimDuration::from_micros(15),
     };
 
     /// A zero-cost model (for protocol unit tests where CPU time is noise).
@@ -57,6 +64,8 @@ impl CostModel {
         mac: SimDuration::ZERO,
         event_overhead: SimDuration::ZERO,
         batch_item: SimDuration::ZERO,
+        snapshot_fixed: SimDuration::ZERO,
+        snapshot_per_kb: SimDuration::ZERO,
     };
 
     /// Total CPU cost of delivering one ordered batch of `len` requests:
@@ -66,6 +75,12 @@ impl CostModel {
     /// strictly amortizing beyond.
     pub fn batch_cost(&self, len: usize) -> SimDuration {
         self.event_overhead + self.batch_item.saturating_mul(len.saturating_sub(1) as u64)
+    }
+
+    /// CPU cost of serializing or installing an application snapshot of
+    /// `len` bytes (charged at checkpoint boundaries and state installs).
+    pub fn snapshot_cost(&self, len: usize) -> SimDuration {
+        self.snapshot_fixed + self.snapshot_per_kb.saturating_mul(len as u64 / 1024)
     }
 
     /// Total CPU cost of sending a message of `len` bytes with `extra_macs`
@@ -126,6 +141,19 @@ mod tests {
         assert_eq!(c.send_cost(1 << 20, 100), SimDuration::ZERO);
         assert_eq!(c.recv_cost(1 << 20, 100), SimDuration::ZERO);
         assert_eq!(c.batch_cost(16), SimDuration::ZERO);
+        assert_eq!(c.snapshot_cost(1 << 20), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn snapshot_cost_scales_with_size() {
+        let c = CostModel::DEFAULT;
+        let small = c.snapshot_cost(100);
+        let big = c.snapshot_cost(10 * 1024);
+        assert_eq!(small, c.snapshot_fixed);
+        assert_eq!(
+            (big - small).as_micros(),
+            c.snapshot_per_kb.as_micros() * 10
+        );
     }
 
     #[test]

@@ -181,6 +181,19 @@ impl AppOutput {
 pub trait Executor: std::any::Any {
     /// Handles the next event in the agreed order.
     fn on_event(&mut self, ev: AppEvent, out: &mut AppOutput);
+
+    /// Captures the executor's application state at a sequence boundary,
+    /// for checkpoint certificates and state transfer. Must be a
+    /// deterministic function of the delivered event sequence (the bytes
+    /// feed the checkpoint digest replicas vote on). The default captures
+    /// nothing — correct only for stateless executors.
+    fn snapshot(&self) -> Vec<u8> {
+        Vec::new()
+    }
+
+    /// Restores a previously captured [`Executor::snapshot`] during state
+    /// transfer or proactive recovery.
+    fn restore(&mut self, _snapshot: &[u8]) {}
 }
 
 #[cfg(test)]

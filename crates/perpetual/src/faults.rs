@@ -17,6 +17,18 @@ pub enum FaultMode {
     /// drivers and a corrupted one to others (tests fault isolation on the
     /// calling side).
     EquivocatingResponder,
+    /// Churny mode: after `after_ms` of virtual time the replica silently
+    /// drops to a stale state — its voter log and driver bookkeeping are
+    /// wiped (the hosted application is left frozen: nothing executes
+    /// below the fresh watermark, and the install overwrites it wholesale)
+    /// as if the process rebooted from an empty disk without telling
+    /// anyone. The replica keeps participating from that stale state; only
+    /// checkpoint-vote lag evidence and state transfer (never retransmit
+    /// storms) can bring it back.
+    StaleDrop {
+        /// Virtual milliseconds after start at which the drop happens.
+        after_ms: u64,
+    },
 }
 
 impl FaultMode {

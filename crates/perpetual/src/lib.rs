@@ -41,6 +41,7 @@ pub mod faults;
 pub mod group;
 pub mod messages;
 pub mod replica;
+pub mod snapshot;
 
 pub use client::{ClientCore, ClientEvent};
 pub use cost::CostModel;
@@ -50,3 +51,4 @@ pub use faults::FaultMode;
 pub use group::{GroupId, Topology};
 pub use messages::{decode_pmsg, encode_pmsg, PMsg};
 pub use replica::{group_seed, PerpetualReplica, ReplicaConfig};
+pub use snapshot::{CallSnap, DriverSnapshot};

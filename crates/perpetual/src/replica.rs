@@ -64,6 +64,18 @@ pub struct ReplicaConfig {
     /// Upper bound on how long a queued request may wait for its batch to
     /// seal when the agreement pipeline is full.
     pub batch_delay: SimDuration,
+    /// The voter checkpoints (snapshot + certificate vote) every this many
+    /// executions.
+    pub checkpoint_interval: u64,
+    /// The voter's log window (high watermark = stable + window).
+    pub watermark_window: u64,
+    /// Proactive-recovery window: when set, this replica tears its state
+    /// down and rejoins via state transfer every `n × window`, staggered by
+    /// replica index so exactly one replica per group recovers per window.
+    /// `None` disables proactive recovery. Ignored for singleton groups
+    /// (`n = 1`): with no peers to fetch state from, a wipe would be an
+    /// irrecoverable crash.
+    pub recovery_interval: Option<SimDuration>,
     /// Fault injection mode.
     pub fault: FaultMode,
 }
@@ -82,8 +94,21 @@ impl ReplicaConfig {
             epoch_offset_ms: 1_190_000_000_000,
             max_batch_size: 16,
             batch_delay: SimDuration::from_millis(1),
+            checkpoint_interval: 64,
+            watermark_window: 256,
+            recovery_interval: None,
             fault: FaultMode::Correct,
         }
+    }
+
+    /// The CLBFT configuration this replica's voter runs with.
+    fn bft_config(&self, n: u32) -> Config {
+        let mut bft_cfg = Config::new(n);
+        bft_cfg.max_batch_size = self.max_batch_size.max(1);
+        bft_cfg.batch_delay_us = self.batch_delay.as_micros();
+        bft_cfg.checkpoint_interval = self.checkpoint_interval.max(1);
+        bft_cfg.watermark_window = self.watermark_window.max(1);
+        bft_cfg
     }
 }
 
@@ -166,6 +191,13 @@ pub struct PerpetualReplica {
     retry_timers: HashMap<TimerId, u64>,
     retry_by_call: HashMap<u64, TimerId>,
     retries: HashMap<u64, u32>,
+    /// Fires once for [`FaultMode::StaleDrop`].
+    stale_timer: Option<TimerId>,
+    /// Fires every `n × recovery_interval` for proactive recovery.
+    recovery_timer: Option<TimerId>,
+    /// Precomputed `clbft.exec.<group>` metric key (the per-batch path is
+    /// hot; no per-batch formatting).
+    exec_metric_key: String,
 }
 
 impl std::fmt::Debug for PerpetualReplica {
@@ -184,10 +216,7 @@ impl PerpetualReplica {
         let n = cfg.topology.n(cfg.group);
         let f = cfg.topology.f(cfg.group);
         assert!(cfg.index < n, "replica index out of range");
-        let mut bft_cfg = Config::new(n);
-        bft_cfg.max_batch_size = cfg.max_batch_size.max(1);
-        bft_cfg.batch_delay_us = cfg.batch_delay.as_micros();
-        let bft = BftReplica::new(ReplicaId(cfg.index), bft_cfg);
+        let bft = BftReplica::new(ReplicaId(cfg.index), cfg.bft_config(n));
         let keys = KeyTable::new(cfg.master_seed);
         PerpetualReplica {
             n,
@@ -216,6 +245,9 @@ impl PerpetualReplica {
             retry_timers: HashMap::new(),
             retry_by_call: HashMap::new(),
             retries: HashMap::new(),
+            stale_timer: None,
+            recovery_timer: None,
+            exec_metric_key: format!("clbft.exec.{}", cfg.group),
             cfg,
         }
     }
@@ -240,6 +272,29 @@ impl PerpetualReplica {
     /// The CLBFT view the voter is currently in (for tests).
     pub fn bft_view(&self) -> pws_clbft::View {
         self.bft.view()
+    }
+
+    /// The voter's last executed sequence number (for tests/assertions).
+    pub fn bft_last_executed(&self) -> pws_clbft::Seq {
+        self.bft.last_executed()
+    }
+
+    /// The voter's chained execution digest — byte-identical across
+    /// replicas that executed the same history (for digest-checked
+    /// recovery assertions).
+    pub fn bft_execution_chain(&self) -> Digest32 {
+        self.bft.execution_chain()
+    }
+
+    /// The voter's last stable checkpoint and its digest.
+    pub fn bft_stable_checkpoint(&self) -> (pws_clbft::Seq, Digest32) {
+        (self.bft.stable_seq(), self.bft.stable_digest())
+    }
+
+    /// The hosted executor's application snapshot (for digest-checked
+    /// recovery assertions).
+    pub fn service_snapshot(&self) -> Vec<u8> {
+        self.executor.snapshot()
     }
 
     /// Diagnostic snapshot: (view, last_exec, bft outstanding, gated
@@ -286,10 +341,29 @@ impl PerpetualReplica {
     fn process_actions(&mut self, actions: Vec<Action>, ctx: &mut Context<'_>) {
         for a in actions {
             match a {
-                Action::Send(to, msg) => self.send_bft(to, &msg, ctx),
-                Action::Broadcast(msg) => self.broadcast_bft(&msg, ctx),
+                Action::Send(to, msg) => {
+                    if matches!(msg, Msg::StateResponse(_)) {
+                        ctx.metrics().incr("clbft.recovery.responses_sent");
+                    }
+                    self.send_bft(to, &msg, ctx);
+                }
+                Action::Broadcast(msg) => {
+                    if matches!(msg, Msg::FetchState(_)) {
+                        ctx.metrics().incr("clbft.recovery.fetches_sent");
+                    }
+                    self.broadcast_bft(&msg, ctx);
+                }
                 Action::Execute { batch, .. } => self.handle_ordered_batch(batch, ctx),
-                Action::Stable(_) => ctx.metrics().incr("perpetual.checkpoints_stable"),
+                Action::TakeCheckpoint(seq) => self.take_checkpoint(seq, ctx),
+                Action::InstallState { snapshot, .. } => {
+                    ctx.metrics().incr("clbft.recovery.installs");
+                    ctx.spend(self.cfg.cost.snapshot_cost(snapshot.len()));
+                    self.restore_snapshot(&snapshot, ctx);
+                }
+                Action::Stable(_) => {
+                    ctx.metrics().incr("perpetual.checkpoints_stable");
+                    ctx.metrics().incr("clbft.ckpt.stable");
+                }
                 Action::EnteredView(_) => ctx.metrics().incr("perpetual.view_changes"),
                 Action::ViewTimer(TimerCmd::Restart) => {
                     if let Some(t) = self.view_timer.take() {
@@ -324,13 +398,201 @@ impl PerpetualReplica {
     /// Delivers one ordered batch to the driver: the per-slot agreement
     /// bookkeeping (authenticator work, ordering-table updates) is charged
     /// once for the whole batch, so multi-outcall services amortize it
-    /// across every request the slot carries.
+    /// across every request the slot carries. Occupancy is recorded both
+    /// globally and per group (`clbft.exec.<group>.*`), so topology sweeps
+    /// can spot straggler groups instead of averaging them away.
     fn handle_ordered_batch(&mut self, batch: Vec<pws_clbft::Request>, ctx: &mut Context<'_>) {
         ctx.metrics().record_batch("clbft.exec", batch.len());
+        ctx.metrics()
+            .record_batch(&self.exec_metric_key, batch.len());
         ctx.spend(self.cfg.cost.batch_cost(batch.len()));
         for request in batch {
             self.handle_ordered(request.payload, ctx);
         }
+    }
+
+    // ------------------------------------------- checkpointing & recovery
+
+    /// Answers the voter's [`Action::TakeCheckpoint`]: serialize the
+    /// durable driver state plus the executor's application snapshot,
+    /// charge the cost model, and hand the bytes back so the voter can
+    /// digest and broadcast its checkpoint vote.
+    fn take_checkpoint(&mut self, seq: pws_clbft::Seq, ctx: &mut Context<'_>) {
+        let snapshot = self.build_snapshot();
+        ctx.metrics().incr("clbft.ckpt.taken");
+        ctx.metrics()
+            .sample("clbft.ckpt.snapshot_bytes", snapshot.len() as f64);
+        ctx.spend(self.cfg.cost.snapshot_cost(snapshot.len()));
+        let actions = self.bft.on_snapshot(seq, snapshot);
+        self.process_actions(actions, ctx);
+    }
+
+    /// Serializes the durable driver + executor state, every collection in
+    /// sorted order so all correct replicas produce byte-identical
+    /// snapshots at the same agreed boundary.
+    fn build_snapshot(&self) -> Bytes {
+        let mut calls: Vec<crate::snapshot::CallSnap> = self
+            .calls
+            .iter()
+            .map(|(no, c)| crate::snapshot::CallSnap {
+                call_no: *no,
+                target: c.target.0,
+                done: c.done,
+                payload: c.payload.clone(),
+            })
+            .collect();
+        calls.sort_by_key(|c| c.call_no);
+        let mut delivered: Vec<(u32, u64)> = self
+            .delivered_external
+            .iter()
+            .map(|(g, r)| (g.0, *r))
+            .collect();
+        delivered.sort_unstable();
+        let mut reply_routes: Vec<(u32, u64, u32)> = self
+            .reply_info
+            .iter()
+            .map(|((g, r), route)| (g.0, *r, route.responder))
+            .collect();
+        reply_routes.sort_unstable();
+        let mut replies_sent: Vec<(u32, u64, Bytes)> = self
+            .replies_sent
+            .iter()
+            .map(|((g, r), payload)| (g.0, *r, payload.clone()))
+            .collect();
+        replies_sent.sort_by_key(|(g, r, _)| (*g, *r));
+        let mut resolved_tokens: Vec<u64> = self.resolved_tokens.iter().copied().collect();
+        resolved_tokens.sort_unstable();
+        crate::snapshot::DriverSnapshot {
+            next_call: self.next_call,
+            next_token: self.next_token,
+            calls,
+            delivered,
+            reply_routes,
+            replies_sent,
+            resolved_tokens,
+            executor: Bytes::from(self.executor.snapshot()),
+        }
+        .encode()
+    }
+
+    /// Installs a state-transferred snapshot: overwrite the durable driver
+    /// state and the hosted application, then re-arm the per-call timers
+    /// the restored call table implies. Transient pre-agreement state
+    /// (candidates, the validation gate, pending shares) is left alone —
+    /// it re-derives from retransmissions.
+    fn restore_snapshot(&mut self, snapshot: &Bytes, ctx: &mut Context<'_>) {
+        let snap = match crate::snapshot::DriverSnapshot::decode(snapshot) {
+            Ok(s) => s,
+            Err(e) => {
+                // The digest was vouched for by f+1 replicas, so this is a
+                // local bug, not a Byzantine payload; fail loudly.
+                panic!("verified snapshot failed to decode: {e}");
+            }
+        };
+        self.next_call = snap.next_call;
+        self.next_token = snap.next_token;
+        self.calls = snap
+            .calls
+            .iter()
+            .map(|c| {
+                (
+                    c.call_no,
+                    CallState {
+                        target: GroupId(c.target),
+                        done: c.done,
+                        payload: c.payload.clone(),
+                    },
+                )
+            })
+            .collect();
+        self.delivered_external = snap
+            .delivered
+            .iter()
+            .map(|(g, r)| (GroupId(*g), *r))
+            .collect();
+        self.reply_info = snap
+            .reply_routes
+            .iter()
+            .map(|(g, r, resp)| ((GroupId(*g), *r), ReplyRoute { responder: *resp }))
+            .collect();
+        self.replies_sent = snap
+            .replies_sent
+            .iter()
+            .map(|(g, r, payload)| ((GroupId(*g), *r), payload.clone()))
+            .collect();
+        self.resolved_tokens = snap.resolved_tokens.iter().copied().collect();
+        self.executor.restore(&snap.executor);
+        // Timer fixups: resolved calls need no timers; unresolved restored
+        // calls need a retry timer so responder rotation keeps masking
+        // faulty responders after recovery.
+        let call_nos: Vec<u64> = self.calls.keys().copied().collect();
+        for call_no in call_nos {
+            let done = self.calls[&call_no].done;
+            if done {
+                self.cancel_call_timer(call_no, ctx);
+            } else if !self.retry_by_call.contains_key(&call_no) {
+                let rt = ctx.set_timer(self.cfg.retry_interval);
+                self.retry_timers.insert(rt, call_no);
+                self.retry_by_call.insert(call_no, rt);
+            }
+        }
+    }
+
+    /// Tears this replica down to a blank reboot: fresh voter, empty
+    /// driver state, all timers cancelled. The hosted executor is left
+    /// untouched — it is frozen (nothing executes below the watermark) and
+    /// wholly overwritten when state transfer installs a snapshot.
+    fn wipe(&mut self, ctx: &mut Context<'_>) {
+        ctx.metrics().incr("clbft.recovery.wipes");
+        self.bft = BftReplica::new(ReplicaId(self.cfg.index), self.cfg.bft_config(self.n));
+        self.candidates.clear();
+        self.validated.clear();
+        self.validated_results.clear();
+        self.gated.clear();
+        self.abort_fired.clear();
+        self.calls.clear();
+        self.delivered_external.clear();
+        self.reply_info.clear();
+        self.replies_sent.clear();
+        self.submitted_results.clear();
+        self.resolved_tokens.clear();
+        self.responder_state.clear();
+        self.next_call = 0;
+        self.next_token = 0;
+        for t in self
+            .view_timer
+            .take()
+            .into_iter()
+            .chain(self.batch_timer.take())
+        {
+            ctx.cancel_timer(t);
+        }
+        for (t, _) in self.call_timers.drain() {
+            ctx.cancel_timer(t);
+        }
+        for (t, _) in self.retry_timers.drain() {
+            ctx.cancel_timer(t);
+        }
+        self.timers_by_call.clear();
+        self.retry_by_call.clear();
+        self.retries.clear();
+    }
+
+    /// One proactive-recovery turn (paper §7 future work): reboot from
+    /// nothing, renegotiate session keys, rejoin through state transfer.
+    /// With one replica per group per window, the `≤ f faulty` assumption
+    /// becomes time-bounded: a compromised-but-silent replica is flushed
+    /// within `n` windows.
+    fn proactive_recover(&mut self, ctx: &mut Context<'_>) {
+        ctx.metrics().incr("clbft.recovery.proactive_restarts");
+        self.wipe(ctx);
+        // Re-derive the pairwise session keys from scratch (the simulated
+        // stand-in for an SSL re-handshake with fresh key material) and
+        // charge one MAC-key derivation per peer principal.
+        self.keys = KeyTable::new(self.cfg.master_seed);
+        ctx.spend(self.cfg.cost.mac.saturating_mul(self.n as u64));
+        let actions = self.bft.begin_state_fetch();
+        self.process_actions(actions, ctx);
     }
 
     /// Whether an ordering proposal may enter agreement at this replica.
@@ -877,6 +1139,20 @@ impl Node for PerpetualReplica {
             return;
         }
         debug_assert_eq!(ctx.id(), self.my_node(), "topology/node mismatch");
+        if let FaultMode::StaleDrop { after_ms } = self.cfg.fault {
+            self.stale_timer = Some(ctx.set_timer(SimDuration::from_millis(after_ms)));
+        }
+        // A singleton group has no peers to transfer state back from: a
+        // wipe would be an irrecoverable crash, so proactive recovery only
+        // engages for replicated groups.
+        if self.n > 1 {
+            if let Some(window) = self.cfg.recovery_interval {
+                // Staggered by index: exactly one replica per group
+                // recovers per window, round-robin.
+                self.recovery_timer =
+                    Some(ctx.set_timer(window.saturating_mul(self.cfg.index as u64 + 1)));
+            }
+        }
         let seed = group_seed(self.cfg.master_seed, self.cfg.group);
         self.deliver(AppEvent::Init { seed }, ctx);
     }
@@ -914,6 +1190,25 @@ impl Node for PerpetualReplica {
 
     fn on_timer(&mut self, timer: TimerId, ctx: &mut Context<'_>) {
         if self.cfg.fault.is_silent() {
+            return;
+        }
+        if self.stale_timer == Some(timer) {
+            self.stale_timer = None;
+            ctx.metrics().incr("clbft.recovery.stale_drops");
+            // Churny fault: silently drop to a blank state — no fetch, no
+            // announcement. Only the peers' checkpoint-vote lag evidence
+            // can bring this replica back.
+            self.wipe(ctx);
+            return;
+        }
+        if self.recovery_timer == Some(timer) {
+            let period = self
+                .cfg
+                .recovery_interval
+                .expect("recovery timer implies an interval")
+                .saturating_mul(self.n as u64);
+            self.recovery_timer = Some(ctx.set_timer(period));
+            self.proactive_recover(ctx);
             return;
         }
         if self.view_timer == Some(timer) {

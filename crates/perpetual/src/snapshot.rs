@@ -1,0 +1,213 @@
+//! Replica snapshot codec for checkpointing and state transfer.
+//!
+//! A Perpetual replica's checkpointable state has two parts: the **driver**
+//! bookkeeping that must survive recovery (which external requests were
+//! delivered, which calls resolved, what was replied — everything needed to
+//! keep deduplicating and re-serving after a restore) and the opaque
+//! **executor** snapshot (the hosted application, captured through
+//! [`crate::Executor::snapshot`]). Both are serialized with the same
+//! dependency-free codec as the wire frames, with every map emitted in
+//! sorted key order so all correct replicas produce byte-identical
+//! snapshots at the same agreed boundary — the bytes feed the checkpoint
+//! digest the group votes on.
+//!
+//! Deliberately *excluded* is transient pre-agreement state (candidate
+//! votes, the validation gate, pending bundle shares): it is re-derivable
+//! from retransmissions and must not perturb the digest.
+
+use bytes::Bytes;
+pub use pws_clbft::wire::{Decoder, Encoder, WireError};
+
+/// Upper bound on any one collection in a snapshot, mirroring the wire
+/// codec's allocation caps.
+const MAX_SNAPSHOT_ITEMS: usize = 1 << 20;
+
+/// One outcall's durable state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallSnap {
+    /// The call number.
+    pub call_no: u64,
+    /// The target group (raw id).
+    pub target: u32,
+    /// Whether the call has resolved (reply or abort delivered).
+    pub done: bool,
+    /// The original request payload, kept for retransmission.
+    pub payload: Bytes,
+}
+
+/// The durable driver state captured at a checkpoint boundary.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DriverSnapshot {
+    /// Next outcall number to assign.
+    pub next_call: u64,
+    /// Next time-query token to assign.
+    pub next_token: u64,
+    /// Outcall table, sorted by call number.
+    pub calls: Vec<CallSnap>,
+    /// Delivered external requests `(caller group, req_no)`, sorted.
+    pub delivered: Vec<(u32, u64)>,
+    /// Reply routes `(caller group, req_no, responder)`, sorted by key.
+    pub reply_routes: Vec<(u32, u64, u32)>,
+    /// Produced replies `(caller group, req_no, payload)`, sorted by key.
+    pub replies_sent: Vec<(u32, u64, Bytes)>,
+    /// Resolved time-vote tokens, sorted.
+    pub resolved_tokens: Vec<u64>,
+    /// The opaque executor (application) snapshot.
+    pub executor: Bytes,
+}
+
+impl DriverSnapshot {
+    /// Serializes the snapshot (all collections must already be sorted;
+    /// [`DriverSnapshot`] builders in this crate guarantee it).
+    pub fn encode(&self) -> Bytes {
+        let mut e = Encoder::new();
+        e.put_u8(1); // version
+        e.put_u64(self.next_call);
+        e.put_u64(self.next_token);
+        e.put_u32(self.calls.len() as u32);
+        for c in &self.calls {
+            e.put_u64(c.call_no);
+            e.put_u32(c.target);
+            e.put_u8(u8::from(c.done));
+            e.put_bytes(&c.payload);
+        }
+        e.put_u32(self.delivered.len() as u32);
+        for (g, r) in &self.delivered {
+            e.put_u32(*g);
+            e.put_u64(*r);
+        }
+        e.put_u32(self.reply_routes.len() as u32);
+        for (g, r, resp) in &self.reply_routes {
+            e.put_u32(*g);
+            e.put_u64(*r);
+            e.put_u32(*resp);
+        }
+        e.put_u32(self.replies_sent.len() as u32);
+        for (g, r, payload) in &self.replies_sent {
+            e.put_u32(*g);
+            e.put_u64(*r);
+            e.put_bytes(payload);
+        }
+        e.put_u32(self.resolved_tokens.len() as u32);
+        for t in &self.resolved_tokens {
+            e.put_u64(*t);
+        }
+        e.put_bytes(&self.executor);
+        e.finish()
+    }
+
+    /// Deserializes a snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] for truncated, oversized, or unversioned
+    /// input.
+    pub fn decode(buf: &[u8]) -> Result<DriverSnapshot, WireError> {
+        let mut d = Decoder::new(buf);
+        if d.u8()? != 1 {
+            return Err(snapshot_err());
+        }
+        let next_call = d.u64()?;
+        let next_token = d.u64()?;
+        let calls = counted(&mut d, |d| {
+            Ok(CallSnap {
+                call_no: d.u64()?,
+                target: d.u32()?,
+                done: d.u8()? != 0,
+                payload: d.bytes()?,
+            })
+        })?;
+        let delivered = counted(&mut d, |d| Ok((d.u32()?, d.u64()?)))?;
+        let reply_routes = counted(&mut d, |d| Ok((d.u32()?, d.u64()?, d.u32()?)))?;
+        let replies_sent = counted(&mut d, |d| Ok((d.u32()?, d.u64()?, d.bytes()?)))?;
+        let resolved_tokens = counted(&mut d, |d| d.u64())?;
+        let executor = d.bytes()?;
+        d.finish()?;
+        Ok(DriverSnapshot {
+            next_call,
+            next_token,
+            calls,
+            delivered,
+            reply_routes,
+            replies_sent,
+            resolved_tokens,
+            executor,
+        })
+    }
+}
+
+fn counted<T>(
+    d: &mut Decoder<'_>,
+    mut item: impl FnMut(&mut Decoder<'_>) -> Result<T, WireError>,
+) -> Result<Vec<T>, WireError> {
+    let n = d.u32()? as usize;
+    if n > MAX_SNAPSHOT_ITEMS {
+        return Err(snapshot_err());
+    }
+    let mut out = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        out.push(item(d)?);
+    }
+    Ok(out)
+}
+
+fn snapshot_err() -> WireError {
+    WireError::malformed("malformed driver snapshot")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DriverSnapshot {
+        DriverSnapshot {
+            next_call: 7,
+            next_token: 3,
+            calls: vec![
+                CallSnap {
+                    call_no: 1,
+                    target: 2,
+                    done: true,
+                    payload: Bytes::from_static(b"req-1"),
+                },
+                CallSnap {
+                    call_no: 5,
+                    target: 2,
+                    done: false,
+                    payload: Bytes::from_static(b"req-5"),
+                },
+            ],
+            delivered: vec![(0, 1), (0, 2)],
+            reply_routes: vec![(0, 1, 3)],
+            replies_sent: vec![(0, 1, Bytes::from_static(b"reply"))],
+            resolved_tokens: vec![0, 1, 2],
+            executor: Bytes::from_static(b"app-state"),
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let s = sample();
+        let bytes = s.encode();
+        assert_eq!(DriverSnapshot::decode(&bytes).unwrap(), s);
+        let empty = DriverSnapshot::default();
+        assert_eq!(DriverSnapshot::decode(&empty.encode()).unwrap(), empty);
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        assert_eq!(sample().encode(), sample().encode());
+    }
+
+    #[test]
+    fn truncation_and_junk_rejected() {
+        let bytes = sample().encode();
+        for cut in 0..bytes.len() {
+            assert!(DriverSnapshot::decode(&bytes[..cut]).is_err(), "cut={cut}");
+        }
+        let mut long = bytes.to_vec();
+        long.push(0);
+        assert!(DriverSnapshot::decode(&long).is_err());
+        assert!(DriverSnapshot::decode(&[9]).is_err(), "bad version");
+    }
+}

@@ -10,6 +10,9 @@ use crate::handler::{AddressingOutHandler, Flow, HandlerError, Pipe, ValidateToH
 pub struct Engine {
     out_pipe: Pipe,
     in_pipe: Pipe,
+    /// Shared handle to the default [`AddressingOutHandler`]'s id counter,
+    /// so the engine's owner can checkpoint and restore it.
+    id_counter: std::sync::Arc<std::sync::atomic::AtomicU64>,
 }
 
 impl Default for Engine {
@@ -28,14 +31,29 @@ impl Engine {
     /// An engine whose assigned message ids carry `prefix` — replicas of a
     /// group must share the prefix so ids agree across replicas.
     pub fn with_id_prefix(prefix: impl Into<String>) -> Self {
+        let addressing = AddressingOutHandler::new(prefix);
+        let id_counter = addressing.counter_handle();
         let mut out_pipe = Pipe::new();
         out_pipe
             .add(Box::new(ValidateToHandler))
-            .add(Box::new(AddressingOutHandler::new(prefix)));
+            .add(Box::new(addressing));
         Engine {
             out_pipe,
             in_pipe: Pipe::new(),
+            id_counter,
         }
+    }
+
+    /// The number of message ids assigned so far (checkpoint state).
+    pub fn id_counter(&self) -> u64 {
+        self.id_counter.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Restores the id-assignment counter from a checkpoint, so a
+    /// recovered replica resumes the group-agreed id sequence.
+    pub fn set_id_counter(&self, n: u64) {
+        self.id_counter
+            .store(n, std::sync::atomic::Ordering::Relaxed);
     }
 
     /// Adds a custom handler to the OUT-PIPE.

@@ -99,10 +99,15 @@ impl Pipe {
 
 /// A built-in handler that assigns a `wsa:MessageID` if absent, as the
 /// Perpetual-WS MessageHandler does in stage (1) of §5.1.
+///
+/// The id counter is shared via [`AddressingOutHandler::counter_handle`] so
+/// an engine owner can checkpoint and restore it (the counter is part of a
+/// replica's deterministic state: a recovered replica must resume the
+/// agreed id sequence, not restart it).
 #[derive(Debug)]
 pub struct AddressingOutHandler {
     prefix: String,
-    counter: u64,
+    counter: std::sync::Arc<std::sync::atomic::AtomicU64>,
 }
 
 impl AddressingOutHandler {
@@ -113,8 +118,13 @@ impl AddressingOutHandler {
     pub fn new(prefix: impl Into<String>) -> Self {
         AddressingOutHandler {
             prefix: prefix.into(),
-            counter: 0,
+            counter: std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0)),
         }
+    }
+
+    /// A handle to the id counter, for checkpoint/restore.
+    pub fn counter_handle(&self) -> std::sync::Arc<std::sync::atomic::AtomicU64> {
+        self.counter.clone()
     }
 }
 
@@ -125,9 +135,11 @@ impl Handler for AddressingOutHandler {
 
     fn invoke(&mut self, ctx: &mut MessageContext) -> Result<Flow, HandlerError> {
         if ctx.addressing().message_id.is_none() {
-            self.counter += 1;
-            ctx.addressing_mut().message_id =
-                Some(format!("urn:uuid:{}-{}", self.prefix, self.counter));
+            let n = self
+                .counter
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+                + 1;
+            ctx.addressing_mut().message_id = Some(format!("urn:uuid:{}-{}", self.prefix, n));
         }
         Ok(Flow::Continue)
     }

@@ -1,0 +1,269 @@
+//! End-to-end checkpointing, state-transfer, and proactive-recovery tests.
+//!
+//! The acceptance bar (ISSUE 4): a replica wiped at sequence `N` rejoins
+//! via `FetchState`/`StateResponse` and executes requests `≥ N + 1` with
+//! state identical to its peers (digest-checked), and a full
+//! proactive-recovery rotation completes under client load with zero
+//! client-visible errors.
+
+use perpetual_ws::{PassiveService, PassiveUtils, SystemBuilder};
+use pws_perpetual::FaultMode;
+use pws_simnet::{SimDuration, SimTime};
+use pws_soap::{MessageContext, XmlNode};
+
+/// A stateful accumulator with a real snapshot/restore implementation: the
+/// running total is exactly the state a recovered replica must not lose.
+struct Counter {
+    total: u64,
+}
+
+impl PassiveService for Counter {
+    fn handle(&mut self, req: MessageContext, _u: &mut PassiveUtils) -> MessageContext {
+        let n: u64 = req.body().text.trim().parse().unwrap_or(0);
+        self.total += n;
+        req.reply_with("", XmlNode::new("sum").with_text(self.total.to_string()))
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        self.total.to_be_bytes().to_vec()
+    }
+
+    fn restore(&mut self, snapshot: &[u8]) {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(snapshot);
+        self.total = u64::from_be_bytes(b);
+    }
+}
+
+/// Collects each replica's recovery-relevant fingerprint: last executed
+/// seq, execution chain, stable checkpoint, and the application snapshot.
+fn fingerprints(
+    sys: &mut perpetual_ws::System,
+    service: &str,
+    n: u32,
+) -> Vec<(u64, [u8; 32], u64, Vec<u8>)> {
+    (0..n)
+        .map(|i| {
+            let r = sys.replica_mut(service, i).expect("replica exists");
+            let (stable, _) = r.bft_stable_checkpoint();
+            (
+                r.bft_last_executed().0,
+                r.bft_execution_chain().0,
+                stable.0,
+                r.service_snapshot(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn wiped_replica_recovers_via_state_transfer() {
+    // Replica 3 silently drops to a blank state mid-run (the churny
+    // StaleDrop fault). State transfer — not retransmit storms — must
+    // restore it: it rejoins at a fetched checkpoint, replays the
+    // committed suffix, and then tracks live traffic, ending bit-identical
+    // to its peers.
+    let mut b = SystemBuilder::new(9_001);
+    b.checkpoint_interval(8);
+    b.max_batch_size(1); // one slot per request: boundaries cross quickly
+    b.passive_service("ctr", 4, |_| Box::new(Counter { total: 0 }));
+    b.fault("ctr", 3, FaultMode::StaleDrop { after_ms: 150 });
+    b.scripted_client_windowed("user", "ctr", 240, 2);
+    let mut sys = b.build();
+    sys.run_until(SimTime::from_secs(120));
+
+    // Zero client-visible errors: every request answered.
+    assert_eq!(sys.client_replies("user").len(), 240);
+
+    let m = sys.metrics();
+    assert_eq!(m.counter("clbft.recovery.stale_drops"), 1);
+    assert!(
+        m.counter("clbft.recovery.fetches_sent") >= 1,
+        "lag evidence must trigger a fetch"
+    );
+    assert!(
+        m.counter("clbft.recovery.installs") >= 1,
+        "the wiped replica must install fetched state"
+    );
+    assert!(m.counter("clbft.ckpt.taken") > 0);
+    assert!(m.counter("clbft.ckpt.stable") > 0);
+    // State transfer, not retransmit storms: the recovery must not lean on
+    // client retries or share retransmissions, and lag evidence must not
+    // spam fetches.
+    assert!(
+        m.counter("client.call_retries") <= 2,
+        "retransmit storm: {} client retries",
+        m.counter("client.call_retries")
+    );
+    assert!(
+        m.counter("perpetual.shares_retransmitted") <= 2,
+        "retransmit storm: {} share retransmits",
+        m.counter("perpetual.shares_retransmitted")
+    );
+    assert!(
+        m.counter("clbft.recovery.fetches_sent") <= 3,
+        "fetch spam: {}",
+        m.counter("clbft.recovery.fetches_sent")
+    );
+
+    // Digest-checked convergence: the wiped replica executed past its wipe
+    // point and holds state identical to its peers — execution chain,
+    // stable checkpoint, and application snapshot.
+    let fps = fingerprints(&mut sys, "ctr", 4);
+    assert!(
+        fps[3].0 > 8,
+        "replica 3 executed past its wipe point: {:?}",
+        fps[3].0
+    );
+    for i in 1..4 {
+        assert_eq!(fps[0].0, fps[i].0, "last_exec diverges at replica {i}");
+        assert_eq!(fps[0].1, fps[i].1, "exec chain diverges at replica {i}");
+        assert_eq!(fps[0].2, fps[i].2, "stable seq diverges at replica {i}");
+        assert_eq!(fps[0].3, fps[i].3, "app snapshot diverges at replica {i}");
+    }
+}
+
+#[test]
+fn stale_drop_recovery_is_deterministic() {
+    // The whole crash-wipe-fetch-install path must be a deterministic
+    // function of the seed: same seed, same trace digest.
+    let run = |seed: u64| {
+        let mut b = SystemBuilder::new(seed);
+        b.checkpoint_interval(8);
+        b.max_batch_size(1);
+        b.passive_service("ctr", 4, |_| Box::new(Counter { total: 0 }));
+        b.fault("ctr", 3, FaultMode::StaleDrop { after_ms: 300 });
+        b.scripted_client_windowed("user", "ctr", 120, 2);
+        let mut sys = b.build();
+        sys.run_until(SimTime::from_secs(120));
+        assert_eq!(sys.client_replies("user").len(), 120);
+        sys.sim_mut().trace_digest().value()
+    };
+    assert_eq!(run(77), run(77));
+    assert_ne!(run(77), run(78));
+}
+
+#[test]
+fn proactive_rotation_completes_under_load() {
+    // One replica per group per 500 ms window reboots from nothing and
+    // rejoins via state transfer; a full rotation covers all four replicas
+    // by 2 s. The client must see zero errors throughout, and at the end
+    // every replica holds the identical digest-checked state.
+    let mut b = SystemBuilder::new(9_002);
+    b.checkpoint_interval(8);
+    b.max_batch_size(1);
+    b.proactive_recovery(SimDuration::from_millis(500));
+    b.passive_service("ctr", 4, |_| Box::new(Counter { total: 0 }));
+    b.scripted_client_windowed("user", "ctr", 600, 1);
+    let mut sys = b.build();
+    // Stop mid-window (rotation period 2 s, fires at k*500 ms): no replica
+    // is mid-recovery at the deadline.
+    sys.run_until(SimTime::from_millis(60_250));
+
+    assert_eq!(
+        sys.client_replies("user").len(),
+        600,
+        "zero client-visible errors under rotation"
+    );
+    let m = sys.metrics();
+    assert!(
+        m.counter("clbft.recovery.proactive_restarts") >= 4,
+        "a full rotation covers every replica: {}",
+        m.counter("clbft.recovery.proactive_restarts")
+    );
+    assert!(m.counter("clbft.recovery.installs") >= 3);
+
+    let fps = fingerprints(&mut sys, "ctr", 4);
+    for i in 1..4 {
+        assert_eq!(fps[0].0, fps[i].0, "last_exec diverges at replica {i}");
+        assert_eq!(fps[0].1, fps[i].1, "exec chain diverges at replica {i}");
+        assert_eq!(fps[0].3, fps[i].3, "app snapshot diverges at replica {i}");
+    }
+}
+
+#[test]
+fn healthy_runs_checkpoint_without_state_transfer() {
+    // Checkpoint certificates must not perturb a healthy run: no fetches,
+    // no installs, and two identical runs produce identical traces.
+    let run = |seed: u64| {
+        let mut b = SystemBuilder::new(seed);
+        b.checkpoint_interval(8);
+        b.max_batch_size(1);
+        b.passive_service("ctr", 4, |_| Box::new(Counter { total: 0 }));
+        b.scripted_client_windowed("user", "ctr", 60, 2);
+        let mut sys = b.build();
+        sys.run_until(SimTime::from_secs(60));
+        assert_eq!(sys.client_replies("user").len(), 60);
+        let m = sys.metrics();
+        assert!(m.counter("clbft.ckpt.taken") > 0, "checkpoints engaged");
+        assert!(m.counter("clbft.ckpt.stable") > 0, "checkpoints stabilized");
+        assert_eq!(m.counter("clbft.recovery.installs"), 0, "no installs");
+        assert_eq!(m.counter("clbft.recovery.wipes"), 0, "no wipes");
+        sys.sim_mut().trace_digest().value()
+    };
+    assert_eq!(run(55), run(55), "checkpointing is deterministic");
+}
+
+#[test]
+fn batch_occupancy_is_reported_per_group() {
+    // Two replicated services under load: occupancy must be keyed per
+    // group (clbft.exec.<group>.*) so sweeps can spot straggler groups,
+    // and the per-group counters must add up to the global ones.
+    let mut b = SystemBuilder::new(9_003);
+    b.passive_service("alpha", 4, |_| Box::new(Counter { total: 0 }));
+    b.passive_service("beta", 4, |_| Box::new(Counter { total: 0 }));
+    b.scripted_client_windowed("ua", "alpha", 40, 8);
+    b.scripted_client_windowed("ub", "beta", 40, 8);
+    let mut sys = b.build();
+    sys.run_until(SimTime::from_secs(60));
+    assert_eq!(sys.client_replies("ua").len(), 40);
+    assert_eq!(sys.client_replies("ub").len(), 40);
+
+    let ga = sys.group("alpha");
+    let gb = sys.group("beta");
+    let m = sys.metrics();
+    let a_batches = m.batches(&format!("clbft.exec.{ga}"));
+    let b_batches = m.batches(&format!("clbft.exec.{gb}"));
+    assert!(a_batches > 0, "group {ga} occupancy recorded");
+    assert!(b_batches > 0, "group {gb} occupancy recorded");
+    assert_eq!(
+        a_batches + b_batches,
+        m.batches("clbft.exec"),
+        "per-group batches sum to the global counter"
+    );
+    assert_eq!(
+        m.counter(&format!("clbft.exec.{ga}.requests"))
+            + m.counter(&format!("clbft.exec.{gb}.requests")),
+        m.counter("clbft.exec.requests"),
+        "per-group requests sum to the global counter"
+    );
+    assert!(m.mean_batch_occupancy(&format!("clbft.exec.{ga}")) >= 1.0);
+}
+
+/// Extended crash-wipe-recover smoke, run by CI with `PWS_RECOVERY_SMOKE=1`
+/// on every push: a longer load with both a churny stale-drop *and* a
+/// proactive rotation in the same deployment.
+#[test]
+fn recovery_smoke_extended() {
+    if std::env::var("PWS_RECOVERY_SMOKE").is_err() {
+        return;
+    }
+    let mut b = SystemBuilder::new(9_004);
+    b.checkpoint_interval(16);
+    b.proactive_recovery(SimDuration::from_millis(800));
+    b.passive_service("ctr", 4, |_| Box::new(Counter { total: 0 }));
+    b.fault("ctr", 2, FaultMode::StaleDrop { after_ms: 1_100 });
+    b.scripted_client_windowed("user", "ctr", 1_500, 4);
+    let mut sys = b.build();
+    sys.run_until(SimTime::from_millis(120_400));
+    assert_eq!(sys.client_replies("user").len(), 1_500);
+    let m = sys.metrics();
+    assert!(m.counter("clbft.recovery.proactive_restarts") >= 4);
+    assert!(m.counter("clbft.recovery.stale_drops") >= 1);
+    assert!(m.counter("clbft.recovery.installs") >= 4);
+    let fps = fingerprints(&mut sys, "ctr", 4);
+    for i in 1..4 {
+        assert_eq!(fps[0].1, fps[i].1, "exec chain diverges at replica {i}");
+        assert_eq!(fps[0].3, fps[i].3, "app snapshot diverges at replica {i}");
+    }
+}
