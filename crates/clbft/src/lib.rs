@@ -21,8 +21,9 @@
 //! checkpoint and garbage-collect the log below the low watermark),
 //! **state transfer** (`FetchState`/`StateResponse`: a lagging or wiped
 //! replica installs the latest stable snapshot — verified against `f + 1`
-//! matching checkpoint votes — plus the committed log suffix), sequence-
-//! number watermarks, and view changes with new-view re-proposals
+//! matching checkpoint votes — and replays the committed log suffix, each
+//! slot only once `f + 1` distinct responders sent an identical copy),
+//! sequence-number watermarks, and view changes with new-view re-proposals
 //! (including null-batch gap filling). A batch is ordered or dropped
 //! atomically — never split — including across view changes, because
 //! prepares and commits cover the batch digest.

@@ -219,9 +219,11 @@ pub struct FetchStateMsg {
     pub replica: ReplicaId,
 }
 
-/// One committed slot above the checkpoint, replayed during state transfer
+/// One committed slot above the checkpoint, shipped during state transfer
 /// so the fetcher lands at the responder's execution frontier instead of a
-/// checkpoint boundary.
+/// checkpoint boundary. The checkpoint digest does not cover the suffix,
+/// so the fetcher replays a slot only once `f + 1` distinct responders
+/// have sent an identical batch for it.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SuffixSlot {
     /// The slot's sequence number.
@@ -232,13 +234,16 @@ pub struct SuffixSlot {
 
 /// A stable checkpoint plus the committed log suffix, answering a
 /// [`FetchStateMsg`]. The fetcher verifies the checkpoint part against
-/// `f + 1` matching [`CheckpointMsg`] digests before installing.
+/// `f + 1` matching [`CheckpointMsg`] digests before installing; the
+/// suffix and view fields are *not* covered by that digest and only count
+/// as one vote each toward their own `f + 1` bars.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StateResponseMsg {
     /// The stable checkpoint's sequence number.
     pub seq: Seq,
-    /// The responder's current view, so a rebooted replica rejoins the live
-    /// view instead of stalling in view 0.
+    /// The responder's current view. A rebooted replica rejoins view `v`
+    /// only once `f + 1` distinct responders report a view `>= v` — a
+    /// single responder's claim is never trusted.
     pub view: View,
     /// The execution chain at `seq`.
     pub exec_chain: Digest32,

@@ -9,7 +9,7 @@ use crate::messages::{
 use crate::{Config, ReplicaId, Seq, View};
 use bytes::Bytes;
 use pws_crypto::sha256::{Digest32, Sha256};
-use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
 
 /// Timer guidance emitted alongside protocol actions. The harness maintains
 /// one view-change timer and one batch timer per replica and applies these
@@ -87,6 +87,19 @@ struct CheckpointState {
     executed: Vec<RequestId>,
 }
 
+/// Claims for the batch agreed at one suffix slot, collected across
+/// `StateResponse`s. The checkpoint digest does not cover the suffix, so a
+/// slot replays only once `f + 1` distinct responders sent the identical
+/// batch for it — then at least one correct replica vouches that this batch
+/// really committed there.
+#[derive(Debug, Default)]
+struct SuffixVotes {
+    /// Each responder's latest claim for this slot (a re-vote replaces).
+    by_replica: HashMap<ReplicaId, Digest32>,
+    /// The claimed batches, by batch digest.
+    batches: HashMap<Digest32, Batch>,
+}
+
 #[derive(Debug, Clone)]
 enum ReqState {
     /// Known but not yet ordered; payload retained for (re-)proposal.
@@ -118,6 +131,24 @@ pub struct Replica {
     stable_digest: Digest32,
     own_checkpoints: BTreeMap<Seq, Digest32>,
     checkpoint_votes: BTreeMap<Seq, HashMap<Digest32, HashSet<ReplicaId>>>,
+    /// Per-peer index of the seqs it holds votes for in `checkpoint_votes`,
+    /// capping how many entries any one peer can occupy (a Byzantine peer
+    /// could otherwise grow the vote map without bound by voting for
+    /// arbitrary far-future seqs that are never garbage-collected).
+    ckpt_vote_index: HashMap<ReplicaId, BTreeSet<Seq>>,
+    /// Suffix-slot claims gathered from `StateResponse`s; a slot replays
+    /// only with `f + 1` identical copies ([`Replica::try_replay_suffix`]).
+    suffix_votes: BTreeMap<Seq, SuffixVotes>,
+    /// The latest view each `StateResponse` sender reported. A rebooted
+    /// replica rejoins view `v` only when `f + 1` distinct responders
+    /// report a view `>= v` (so at least one correct replica really is
+    /// there); a lone Byzantine responder cannot strand it in a bogus
+    /// far-future view.
+    reported_views: HashMap<ReplicaId, View>,
+    /// `StateResponse`s served per requester at the current stable
+    /// checkpoint, bounding the large-message amplification a
+    /// `FetchState`-spamming peer can extract.
+    served_fetches: HashMap<ReplicaId, (Seq, u32)>,
     /// Chain/dedup values at checkpoint boundaries awaiting the harness's
     /// snapshot ([`Replica::on_snapshot`]).
     pending_boundaries: BTreeMap<Seq, BoundaryInfo>,
@@ -151,6 +182,11 @@ pub struct Replica {
 
 const STASH_CAP: usize = 10_000;
 
+/// Maximum `StateResponse`s served to one requester per stable checkpoint:
+/// one for the fetch that discovers the checkpoint, one spare in case the
+/// requester loses its state again before the next boundary stabilizes.
+const MAX_SERVES_PER_STABLE: u32 = 2;
+
 impl Replica {
     /// Creates a replica with the given id and group configuration.
     ///
@@ -177,6 +213,10 @@ impl Replica {
             stable_digest: Digest32::ZERO,
             own_checkpoints: BTreeMap::new(),
             checkpoint_votes: BTreeMap::new(),
+            ckpt_vote_index: HashMap::new(),
+            suffix_votes: BTreeMap::new(),
+            reported_views: HashMap::new(),
+            served_fetches: HashMap::new(),
             pending_boundaries: BTreeMap::new(),
             pending_states: BTreeMap::new(),
             latest_stable: None,
@@ -625,12 +665,7 @@ impl Replica {
             },
         );
         self.own_checkpoints.insert(seq, digest);
-        self.checkpoint_votes
-            .entry(seq)
-            .or_default()
-            .entry(digest)
-            .or_default()
-            .insert(self.id);
+        self.record_checkpoint_vote(seq, digest, self.id);
         out.push(Action::Broadcast(Msg::Checkpoint(CheckpointMsg {
             seq,
             state_digest: digest,
@@ -644,14 +679,65 @@ impl Replica {
         if c.seq <= self.stable_seq || from != c.replica {
             return;
         }
-        self.checkpoint_votes
-            .entry(c.seq)
-            .or_default()
-            .entry(c.state_digest)
-            .or_default()
-            .insert(c.replica);
+        self.record_checkpoint_vote(c.seq, c.state_digest, from);
         self.try_stabilize(c.seq, out);
         self.maybe_fetch(c.seq, out);
+    }
+
+    /// How many distinct checkpoint seqs one peer's votes may occupy: the
+    /// boundaries a correct replica can legitimately have in flight at once
+    /// (one per interval across the watermark window) plus slack for races
+    /// around stabilization.
+    fn max_tracked_ckpts(&self) -> usize {
+        (self.cfg.watermark_window / self.cfg.checkpoint_interval.max(1)) as usize + 2
+    }
+
+    /// Records one replica's checkpoint vote, keeping the vote map bounded:
+    /// votes off the interval cadence are rejected outright (honest
+    /// checkpoints only happen at boundaries), a peer voting two digests
+    /// for the same seq keeps only its first, and a peer exceeding
+    /// [`Replica::max_tracked_ckpts`] seqs has its lowest-seq vote evicted.
+    fn record_checkpoint_vote(&mut self, seq: Seq, digest: Digest32, from: ReplicaId) {
+        if seq.0 == 0 || !seq.0.is_multiple_of(self.cfg.checkpoint_interval) || from.0 >= self.cfg.n
+        {
+            return;
+        }
+        let cap = self.max_tracked_ckpts();
+        let per = self.checkpoint_votes.entry(seq).or_default();
+        if per
+            .iter()
+            .any(|(d, voters)| *d != digest && voters.contains(&from))
+        {
+            return; // equivocating vote; keep the first
+        }
+        per.entry(digest).or_default().insert(from);
+        let index = self.ckpt_vote_index.entry(from).or_default();
+        index.insert(seq);
+        if index.len() > cap {
+            // Evict this peer's lowest-seq vote (if the newcomer is itself
+            // the lowest, the newcomer is what gets dropped).
+            let evict = index.pop_first().expect("index non-empty");
+            if let Some(per) = self.checkpoint_votes.get_mut(&evict) {
+                per.retain(|_, voters| {
+                    voters.remove(&from);
+                    !voters.is_empty()
+                });
+                if per.is_empty() {
+                    self.checkpoint_votes.remove(&evict);
+                }
+            }
+        }
+    }
+
+    /// Drops per-peer vote-index entries at or below the new stable
+    /// checkpoint, mirroring the `checkpoint_votes` garbage collection.
+    fn gc_ckpt_vote_index(&mut self, stable: Seq) {
+        for index in self.ckpt_vote_index.values_mut() {
+            while index.first().is_some_and(|s| *s <= stable) {
+                index.pop_first();
+            }
+        }
+        self.ckpt_vote_index.retain(|_, index| !index.is_empty());
     }
 
     /// Lag detection: `f + 1` distinct replicas vouching for a checkpoint a
@@ -696,7 +782,7 @@ impl Replica {
     }
 
     fn handle_fetch_state(&mut self, from: ReplicaId, fs: FetchStateMsg, out: &mut Vec<Action>) {
-        if from != fs.replica || from == self.id {
+        if from != fs.replica || from == self.id || from.0 >= self.cfg.n {
             return;
         }
         let Some(state) = &self.latest_stable else {
@@ -713,6 +799,20 @@ impl Replica {
         if state.executed.len() > crate::wire::MAX_WIRE_EXECUTED {
             return;
         }
+        // Amplification bound: a requester gets at most
+        // [`MAX_SERVES_PER_STABLE`] full responses per stable checkpoint; a
+        // `FetchState`-spamming peer cannot extract more large messages
+        // until the group's next boundary stabilizes.
+        let stable = state.seq;
+        let served = self.served_fetches.entry(from).or_insert((stable, 0));
+        if served.0 != stable {
+            *served = (stable, 0);
+        }
+        if served.1 >= MAX_SERVES_PER_STABLE {
+            return;
+        }
+        served.1 += 1;
+        let state = self.latest_stable.as_ref().expect("checked above");
         let mut suffix: Vec<SuffixSlot> = self
             .log
             .executed_suffix(state.seq, self.last_exec)
@@ -734,37 +834,155 @@ impl Replica {
         ));
     }
 
-    /// Installs a fetched checkpoint if its digest is vouched for by
-    /// `f + 1` distinct replicas (so at least one correct replica holds
-    /// exactly this state), then replays the committed log suffix.
+    /// Handles a `StateResponse`. Only the checkpoint part is covered by
+    /// the `f + 1`-voucher digest check, so the rest of the frame is never
+    /// trusted from a single responder: suffix slots are held back until
+    /// `f + 1` distinct responders sent identical copies
+    /// ([`Replica::try_replay_suffix`]), and the view field only counts as
+    /// one report toward the `f + 1` needed to rejoin a later view
+    /// ([`Replica::adopt_reported_view`]).
     fn handle_state_response(
         &mut self,
         from: ReplicaId,
         sr: StateResponseMsg,
         out: &mut Vec<Action>,
     ) {
-        if from != sr.replica || sr.seq <= self.last_exec || sr.seq <= self.stable_seq {
+        if from != sr.replica || from == self.id || from.0 >= self.cfg.n {
             return;
         }
-        let digest = checkpoint_digest(sr.seq, &sr.snapshot, &sr.executed, &sr.exec_chain);
-        // The response itself is the sender's implicit checkpoint vote.
-        self.checkpoint_votes
-            .entry(sr.seq)
-            .or_default()
-            .entry(digest)
-            .or_default()
-            .insert(from);
-        let votes = self
-            .checkpoint_votes
-            .get(&sr.seq)
-            .and_then(|per| per.get(&digest))
-            .map_or(0, HashSet::len);
-        if votes <= self.cfg.f() as usize {
+        // Honest checkpoints sit on interval boundaries; anything else
+        // could only grow the vote maps.
+        if sr.seq.0 == 0 || !sr.seq.0.is_multiple_of(self.cfg.checkpoint_interval) {
             return;
         }
-        self.install_state(sr, digest, out);
+        if sr.seq < self.stable_seq {
+            return; // older than what we already hold
+        }
+        self.reported_views.insert(from, sr.view);
+        self.record_suffix_votes(&sr, from);
+        let mut installed = false;
+        if sr.seq > self.stable_seq && sr.seq > self.last_exec {
+            let digest = checkpoint_digest(sr.seq, &sr.snapshot, &sr.executed, &sr.exec_chain);
+            // The response itself is the sender's implicit checkpoint vote.
+            self.record_checkpoint_vote(sr.seq, digest, from);
+            let votes = self
+                .checkpoint_votes
+                .get(&sr.seq)
+                .and_then(|per| per.get(&digest))
+                .map_or(0, HashSet::len);
+            if votes > self.cfg.f() as usize {
+                self.install_state(sr, digest, out);
+                installed = true;
+            }
+        }
+        // Responses matching an already-installed checkpoint keep feeding
+        // suffix copies and view reports; replay whatever just reached the
+        // `f + 1` bar.
+        if self.try_replay_suffix(out) || installed {
+            self.post_transfer_progress(out);
+        }
+        self.adopt_reported_view(out);
     }
 
+    /// Records one responder's claimed suffix slots for
+    /// [`Replica::try_replay_suffix`]. Bounded regardless of peer behavior:
+    /// only slots within one watermark window above the response's
+    /// checkpoint count, a responder re-voting a slot replaces its earlier
+    /// claim, replayed slots are pruned, and far-future overflow is evicted
+    /// first (the slots closest to our frontier are the next to replay).
+    fn record_suffix_votes(&mut self, sr: &StateResponseMsg, from: ReplicaId) {
+        let horizon = Seq(sr.seq.0.saturating_add(self.cfg.watermark_window));
+        for slot in &sr.suffix {
+            if slot.seq <= self.last_exec || slot.seq <= sr.seq || slot.seq > horizon {
+                continue;
+            }
+            let digest = slot.batch.digest();
+            let votes = self.suffix_votes.entry(slot.seq).or_default();
+            if let Some(prev) = votes.by_replica.insert(from, digest) {
+                if prev != digest && !votes.by_replica.values().any(|d| *d == prev) {
+                    votes.batches.remove(&prev);
+                }
+            }
+            votes
+                .batches
+                .entry(digest)
+                .or_insert_with(|| slot.batch.clone());
+        }
+        let cap = self.cfg.watermark_window as usize + 16;
+        while self.suffix_votes.len() > cap {
+            self.suffix_votes.pop_last();
+        }
+    }
+
+    /// Replays contiguous suffix slots whose batch `f + 1` distinct
+    /// responders agree on: at least one of them is correct, and a correct
+    /// replica only ever puts committed slots in a suffix. Tie-breaking is
+    /// deterministic (vote count, then digest), though with at most `f`
+    /// faulty replicas two digests can never both reach `f + 1`. Returns
+    /// whether any slot replayed; the caller owns
+    /// [`Replica::post_transfer_progress`].
+    fn try_replay_suffix(&mut self, out: &mut Vec<Action>) -> bool {
+        let need = self.cfg.f() as usize + 1;
+        let mut progressed = false;
+        loop {
+            let next = self.last_exec.next();
+            while self
+                .suffix_votes
+                .first_key_value()
+                .is_some_and(|(s, _)| *s < next)
+            {
+                self.suffix_votes.pop_first();
+            }
+            let Some(votes) = self.suffix_votes.get(&next) else {
+                break;
+            };
+            let best = votes
+                .batches
+                .keys()
+                .map(|d| {
+                    let count = votes.by_replica.values().filter(|v| **v == *d).count();
+                    (count, *d)
+                })
+                .max();
+            let Some((count, digest)) = best else {
+                break;
+            };
+            if count < need {
+                break;
+            }
+            let batch = self
+                .suffix_votes
+                .remove(&next)
+                .and_then(|mut v| v.batches.remove(&digest))
+                .expect("tallied batch present");
+            self.apply_transferred_slot(next, batch, out);
+            progressed = true;
+        }
+        progressed
+    }
+
+    /// Rejoins a later view on `f + 1` distinct `StateResponse` reports:
+    /// the `(f + 1)`-th highest reported view is one at least one correct
+    /// replica really reached (views only advance), so a rebooted replica
+    /// rejoins the live primary without trusting any single responder.
+    fn adopt_reported_view(&mut self, out: &mut Vec<Action>) {
+        let f = self.cfg.f() as usize;
+        if self.reported_views.len() <= f {
+            return;
+        }
+        let mut views: Vec<View> = self.reported_views.values().copied().collect();
+        views.sort_unstable_by(|a, b| b.cmp(a));
+        let v = views[f];
+        if v > self.view {
+            self.enter_view(v, out);
+        }
+    }
+
+    /// Installs a fetched checkpoint whose digest is vouched for by
+    /// `f + 1` distinct replicas (so at least one correct replica holds
+    /// exactly this state). The committed log suffix is *not* installed
+    /// here — it replays separately, slot by slot, as copies reach the
+    /// `f + 1` bar ([`Replica::try_replay_suffix`]).
     fn install_state(&mut self, sr: StateResponseMsg, digest: Digest32, out: &mut Vec<Action>) {
         // Jump the protocol state to the verified checkpoint.
         self.last_exec = sr.seq;
@@ -775,6 +993,7 @@ impl Replica {
         self.own_checkpoints = self.own_checkpoints.split_off(&sr.seq);
         self.own_checkpoints.insert(sr.seq, digest);
         self.checkpoint_votes = self.checkpoint_votes.split_off(&sr.seq.next());
+        self.gc_ckpt_vote_index(sr.seq);
         self.pending_boundaries = self.pending_boundaries.split_off(&sr.seq.next());
         self.pending_states = self.pending_states.split_off(&sr.seq.next());
         self.latest_stable = Some(CheckpointState {
@@ -799,19 +1018,12 @@ impl Replica {
             snapshot: sr.snapshot,
         });
         out.push(Action::Stable(sr.seq));
-        // Rejoin the live view (a rebooted replica restarts in view 0 and
-        // would otherwise ignore the current primary forever).
-        if sr.view > self.view {
-            self.enter_view(sr.view, out);
-        }
-        // Replay the committed suffix so we land at the responder's
-        // execution frontier, not a checkpoint boundary.
-        for slot in sr.suffix {
-            if slot.seq != self.last_exec.next() {
-                break; // non-contiguous: stop trusting the remainder
-            }
-            self.apply_transferred_slot(slot.seq, slot.batch, out);
-        }
+    }
+
+    /// Shared tail of checkpoint installation and suffix replay: clear a
+    /// satisfied fetch, re-aim the proposal counter, reset the liveness
+    /// timer, and pick up whatever the jump unblocked.
+    fn post_transfer_progress(&mut self, out: &mut Vec<Action>) {
         if self.fetch_target.is_some_and(|t| t <= self.last_exec) {
             self.fetch_target = None;
         }
@@ -888,6 +1100,7 @@ impl Replica {
         self.log.gc_below(seq);
         self.own_checkpoints = self.own_checkpoints.split_off(&seq);
         self.checkpoint_votes = self.checkpoint_votes.split_off(&seq.next());
+        self.gc_ckpt_vote_index(seq);
         // Promote the full state to serve FetchState; drop older retained
         // checkpoints (and boundaries the harness never answered).
         if let Some(state) = self.pending_states.remove(&seq) {
@@ -1784,7 +1997,9 @@ mod tests {
         assert_eq!(target.stable_seq(), Seq(8));
 
         // A corrupted snapshot no longer matches the vouched digest.
-        let mut fresh = Replica::new(ReplicaId(3), Config::new(4));
+        let mut fresh_cfg = Config::new(4);
+        fresh_cfg.checkpoint_interval = 8;
+        let mut fresh = Replica::new(ReplicaId(3), fresh_cfg);
         let _ = fresh.on_message(
             ReplicaId(2),
             Msg::Checkpoint(CheckpointMsg {
@@ -1807,14 +2022,28 @@ mod tests {
         assert_eq!(fresh.last_executed(), Seq::ZERO);
     }
 
-    #[test]
-    fn non_contiguous_suffix_is_cut_at_the_gap() {
+    /// A `StateResponse` for checkpoint 8 with the given suffix, as
+    /// replica `from` would send it.
+    fn state_response(from: u32, view: u64, suffix: Vec<SuffixSlot>) -> StateResponseMsg {
+        StateResponseMsg {
+            seq: Seq(8),
+            view: View(view),
+            exec_chain: Digest32::ZERO,
+            snapshot: Bytes::from_static(b"state"),
+            executed: vec![],
+            suffix,
+            replica: ReplicaId(from),
+        }
+    }
+
+    /// A replica primed with one matching checkpoint vote for seq 8, so
+    /// the first `state_response` delivered to it reaches `f + 1 = 2`
+    /// checkpoint vouchers and installs.
+    fn primed_fetcher() -> Replica {
         let mut cfg = Config::new(4);
         cfg.checkpoint_interval = 8;
         let mut target = Replica::new(ReplicaId(3), cfg);
-        let snapshot = Bytes::from_static(b"state");
-        let chain = Digest32::ZERO;
-        let digest = crate::messages::checkpoint_digest(Seq(8), &snapshot, &[], &chain);
+        let digest = crate::messages::checkpoint_digest(Seq(8), b"state", &[], &Digest32::ZERO);
         let _ = target.on_message(
             ReplicaId(2),
             Msg::Checkpoint(CheckpointMsg {
@@ -1823,14 +2052,74 @@ mod tests {
                 replica: ReplicaId(2),
             }),
         );
-        let response = StateResponseMsg {
-            seq: Seq(8),
-            view: View(0),
-            exec_chain: chain,
-            snapshot,
-            executed: vec![],
-            // Slot 9 is contiguous; slot 11 is not and must be dropped.
-            suffix: vec![
+        target
+    }
+
+    #[test]
+    fn suffix_slots_require_f_plus_one_matching_copies() {
+        let mut target = primed_fetcher();
+        let suffix = vec![SuffixSlot {
+            seq: Seq(9),
+            batch: Batch::of(req(50)),
+        }];
+        // First response: the checkpoint installs (two vouchers), but the
+        // suffix has a single copy — a lone responder could have fabricated
+        // it, so nothing past the checkpoint executes.
+        let a = target.on_message(
+            ReplicaId(1),
+            Msg::StateResponse(state_response(1, 0, suffix)),
+        );
+        assert!(a.iter().any(|x| matches!(x, Action::InstallState { .. })));
+        assert_eq!(
+            target.last_executed(),
+            Seq(8),
+            "a single-responder suffix must not replay"
+        );
+        // A second responder sends a *different* batch for slot 9: still
+        // no digest with f + 1 copies, still no replay.
+        let forged = vec![SuffixSlot {
+            seq: Seq(9),
+            batch: Batch::of(req(66)),
+        }];
+        let _ = target.on_message(
+            ReplicaId(0),
+            Msg::StateResponse(state_response(0, 0, forged)),
+        );
+        assert_eq!(
+            target.last_executed(),
+            Seq(8),
+            "conflicting copies don't count"
+        );
+        // The second *matching* copy crosses the bar and the slot replays.
+        let suffix = vec![SuffixSlot {
+            seq: Seq(9),
+            batch: Batch::of(req(50)),
+        }];
+        let a = target.on_message(
+            ReplicaId(2),
+            Msg::StateResponse(state_response(2, 0, suffix)),
+        );
+        assert_eq!(
+            target.last_executed(),
+            Seq(9),
+            "f + 1 matching copies replay"
+        );
+        assert!(
+            a.iter().any(|x| matches!(
+                x,
+                Action::Execute { seq, .. } if *seq == Seq(9)
+            )),
+            "the vouched slot executes: {a:?}"
+        );
+    }
+
+    #[test]
+    fn non_contiguous_suffix_is_cut_at_the_gap() {
+        let mut target = primed_fetcher();
+        // Slot 9 is contiguous; slot 11 is not and must never replay, even
+        // with f + 1 matching copies of it.
+        let suffix = || {
+            vec![
                 SuffixSlot {
                     seq: Seq(9),
                     batch: Batch::of(req(50)),
@@ -1839,12 +2128,114 @@ mod tests {
                     seq: Seq(11),
                     batch: Batch::of(req(51)),
                 },
-            ],
-            replica: ReplicaId(1),
+            ]
         };
-        let a = target.on_message(ReplicaId(1), Msg::StateResponse(response));
+        let a = target.on_message(
+            ReplicaId(1),
+            Msg::StateResponse(state_response(1, 0, suffix())),
+        );
         assert!(a.iter().any(|x| matches!(x, Action::InstallState { .. })));
+        let _ = target.on_message(
+            ReplicaId(2),
+            Msg::StateResponse(state_response(2, 0, suffix())),
+        );
         assert_eq!(target.last_executed(), Seq(9), "stopped at the gap");
+    }
+
+    #[test]
+    fn rejoining_a_view_requires_f_plus_one_reports() {
+        let mut target = primed_fetcher();
+        // A Byzantine responder claims a far-future view; installing the
+        // (correct) checkpoint must not drag us there.
+        let a = target.on_message(
+            ReplicaId(1),
+            Msg::StateResponse(state_response(1, u64::MAX, vec![])),
+        );
+        assert!(a.iter().any(|x| matches!(x, Action::InstallState { .. })));
+        assert_eq!(target.view(), View(0), "one report must not move the view");
+        // A second report makes f + 1 = 2 distinct reporters; the adopted
+        // view is the (f+1)-th highest — the honest one, not the forgery.
+        let _ = target.on_message(
+            ReplicaId(2),
+            Msg::StateResponse(state_response(2, 3, vec![])),
+        );
+        assert_eq!(
+            target.view(),
+            View(3),
+            "f + 1 reports rejoin the vouched view"
+        );
+    }
+
+    #[test]
+    fn fetch_responses_are_rate_limited_per_stable_checkpoint() {
+        // Drive a group past a checkpoint so replica 0 holds a stable
+        // state, then spam it with FetchState from the same requester: at
+        // most MAX_SERVES_PER_STABLE responses may go out.
+        let mut rs = group_with(4, |c| {
+            c.max_batch_size = 1;
+            c.checkpoint_interval = 8;
+        });
+        let mut inbox = VecDeque::new();
+        let mut executed = vec![Vec::new(); 4];
+        for c in 1..=10 {
+            submit(&mut rs, 0, req(c), &mut inbox, &mut executed);
+        }
+        run_to_quiescence(&mut rs, inbox, &[]);
+        assert_eq!(rs[0].stable_seq(), Seq(8));
+        let fetch = FetchStateMsg {
+            have: Seq::ZERO,
+            replica: ReplicaId(3),
+        };
+        let mut responses = 0;
+        for _ in 0..10 {
+            let a = rs[0].on_message(ReplicaId(3), Msg::FetchState(fetch));
+            responses += a
+                .iter()
+                .filter(|x| matches!(x, Action::Send(_, Msg::StateResponse(_))))
+                .count();
+        }
+        assert_eq!(
+            responses, MAX_SERVES_PER_STABLE as usize,
+            "FetchState spam must not amplify"
+        );
+    }
+
+    #[test]
+    fn far_future_checkpoint_votes_stay_bounded() {
+        let mut cfg = Config::new(4);
+        cfg.checkpoint_interval = 8;
+        let mut target = Replica::new(ReplicaId(3), cfg);
+        let cap = target.max_tracked_ckpts();
+        // A Byzantine peer votes for thousands of distinct far-future
+        // boundaries; only its newest `cap` may remain tracked.
+        for i in 1..=1_000u64 {
+            let _ = target.on_message(
+                ReplicaId(1),
+                Msg::Checkpoint(CheckpointMsg {
+                    seq: Seq(i * 8),
+                    state_digest: Digest32([9u8; 32]),
+                    replica: ReplicaId(1),
+                }),
+            );
+        }
+        assert!(
+            target.checkpoint_votes.len() <= cap,
+            "vote map grew to {} entries (cap {cap})",
+            target.checkpoint_votes.len()
+        );
+        // Votes off the interval cadence are rejected outright.
+        let _ = target.on_message(
+            ReplicaId(2),
+            Msg::Checkpoint(CheckpointMsg {
+                seq: Seq(13),
+                state_digest: Digest32([9u8; 32]),
+                replica: ReplicaId(2),
+            }),
+        );
+        assert!(
+            !target.checkpoint_votes.contains_key(&Seq(13)),
+            "non-boundary votes must not be tracked"
+        );
     }
 
     #[test]

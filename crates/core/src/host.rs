@@ -40,13 +40,12 @@ struct HostState {
     own_uri: String,
     uris: Arc<UriMap>,
     ws_cost: WsCostModel,
-    /// Deterministic randomness seeded by the group-agreed seed.
+    /// Deterministic randomness seeded by the group-agreed seed. Snapshots
+    /// carry the raw generator state (`StdRng::state_bytes`), so a restored
+    /// replica continues the agreed random stream in O(1) — never by
+    /// replaying the draw history, which is unbounded over a service's
+    /// lifetime.
     rng: StdRng,
-    /// The seed behind `rng` and the number of values drawn from it —
-    /// checkpoint state: a restored replica re-seeds and replays the draw
-    /// count so the agreed random stream continues where it left off.
-    rng_seed: u64,
-    rng_draws: u64,
     /// Incoming request `wsa:MessageID` → reply handle.
     handles: HashMap<String, RequestHandle>,
     /// Outcall token assignment (deterministic dense counter).
@@ -168,7 +167,6 @@ impl ServiceCtx<'_> {
     /// Deterministic randomness seeded by the group-agreed seed. Replaces
     /// direct `java.util.Random` construction (§4.2).
     pub fn random_u64(&mut self) -> u64 {
-        self.st.rng_draws += 1;
         self.st.rng.next_u64()
     }
 
@@ -217,8 +215,6 @@ impl ServiceExecutor {
                 uris,
                 ws_cost,
                 rng: StdRng::seed_from_u64(0),
-                rng_seed: 0,
-                rng_draws: 0,
                 handles: HashMap::new(),
                 next_token: 0,
                 calls: HashMap::new(),
@@ -296,7 +292,7 @@ impl ServiceExecutor {
 // ------------------------------------------------------------ checkpointing
 
 use crate::api::WaitSet;
-use pws_perpetual::snapshot::{Decoder, Encoder, WireError};
+use pws_perpetual::snapshot::{counted, Decoder, Encoder, WireError};
 
 const EV_INIT: u8 = 1;
 const EV_REQUEST: u8 = 2;
@@ -399,12 +395,8 @@ fn get_poll(d: &mut Decoder<'_>) -> Result<Poll, WireError> {
             ws.requests = d.u8()? != 0;
             ws.any_reply = d.u8()? != 0;
             ws.times = d.u8()? != 0;
-            let n = d.u32()? as usize;
-            if n > MAX_HOST_ITEMS {
-                return Err(host_snap_err());
-            }
-            for _ in 0..n {
-                ws.replies.insert(CallToken(d.u64()?));
+            for t in counted(d, MAX_HOST_ITEMS, host_snap_err, |d| d.u64())? {
+                ws.replies.insert(CallToken(t));
             }
             Poll::Wait(ws)
         }
@@ -421,17 +413,19 @@ impl ServiceExecutor {
     /// piece of deterministic host state a recovered replica needs to
     /// resume mid-conversation — the reply-handle table, outcall token
     /// maps, the queued (not yet admitted) events in agreed order, the
-    /// declared wait set, the RNG position, and the engine's message-id
-    /// counter. All maps are emitted in sorted key order so correct
-    /// replicas produce byte-identical snapshots at the same boundary.
+    /// declared wait set, the raw RNG state (restored in O(1), never by
+    /// replaying the draw history), and the engine's message-id counter.
+    /// All maps are emitted in sorted key order so correct replicas
+    /// produce byte-identical snapshots at the same boundary.
     fn encode_host(&self) -> Vec<u8> {
         let st = &self.state;
         let mut e = Encoder::new();
-        e.put_u8(1); // version
+        // Version 2: the RNG is stored as raw state bytes (v1 stored a
+        // seed + draw count to replay).
+        e.put_u8(2);
         e.put_bytes(&self.service.snapshot());
         e.put_u64(st.next_token);
-        e.put_u64(st.rng_seed);
-        e.put_u64(st.rng_draws);
+        e.put_bytes(&st.rng.state_bytes());
         e.put_u64(st.engine.id_counter());
         let mut handles: Vec<(&String, &RequestHandle)> = st.handles.iter().collect();
         handles.sort_by_key(|(id, _)| id.as_str());
@@ -466,66 +460,52 @@ impl ServiceExecutor {
 
     fn decode_host(&mut self, snapshot: &[u8]) -> Result<(), WireError> {
         let mut d = Decoder::new(snapshot);
-        if d.u8()? != 1 {
+        if d.u8()? != 2 {
             return Err(host_snap_err());
         }
         let service_snap = d.bytes()?;
         let next_token = d.u64()?;
-        let rng_seed = d.u64()?;
-        let rng_draws = d.u64()?;
+        let rng_state = d.bytes()?;
+        if rng_state.len() != 32 {
+            return Err(host_snap_err());
+        }
         let id_counter = d.u64()?;
-        let n = d.u32()? as usize;
-        if n > MAX_HOST_ITEMS {
-            return Err(host_snap_err());
-        }
-        let mut handles = HashMap::with_capacity(n.min(4096));
-        for _ in 0..n {
-            let id = get_str(&mut d)?;
-            let caller = pws_perpetual::GroupId(d.u32()?);
-            let req_no = d.u64()?;
-            handles.insert(id, RequestHandle { caller, req_no });
-        }
-        let n = d.u32()? as usize;
-        if n > MAX_HOST_ITEMS {
-            return Err(host_snap_err());
-        }
-        let mut calls = HashMap::with_capacity(n.min(4096));
-        for _ in 0..n {
-            let c = d.u64()?;
-            calls.insert(c, CallToken(d.u64()?));
-        }
-        let n = d.u32()? as usize;
-        if n > MAX_HOST_ITEMS {
-            return Err(host_snap_err());
-        }
-        let mut token_msg = HashMap::with_capacity(n.min(4096));
-        for _ in 0..n {
-            let t = CallToken(d.u64()?);
-            token_msg.insert(t, get_str(&mut d)?);
-        }
+        let handles: HashMap<String, RequestHandle> =
+            counted(&mut d, MAX_HOST_ITEMS, host_snap_err, |d| {
+                let id = get_str(d)?;
+                let caller = pws_perpetual::GroupId(d.u32()?);
+                let req_no = d.u64()?;
+                Ok((id, RequestHandle { caller, req_no }))
+            })?
+            .into_iter()
+            .collect();
+        let calls: HashMap<u64, CallToken> = counted(&mut d, MAX_HOST_ITEMS, host_snap_err, |d| {
+            Ok((d.u64()?, CallToken(d.u64()?)))
+        })?
+        .into_iter()
+        .collect();
+        let token_msg: HashMap<CallToken, String> =
+            counted(&mut d, MAX_HOST_ITEMS, host_snap_err, |d| {
+                let t = CallToken(d.u64()?);
+                Ok((t, get_str(d)?))
+            })?
+            .into_iter()
+            .collect();
         let wait = get_poll(&mut d)?;
-        let n = d.u32()? as usize;
-        if n > MAX_HOST_ITEMS {
-            return Err(host_snap_err());
-        }
-        let mut queue = VecDeque::with_capacity(n.min(4096));
-        for _ in 0..n {
-            queue.push_back(get_event(&mut d)?);
-        }
+        let queue: VecDeque<WsEvent> =
+            counted(&mut d, MAX_HOST_ITEMS, host_snap_err, get_event)?.into();
         d.finish()?;
 
         // Everything parsed; commit.
         self.service.restore(&service_snap);
         let st = &mut self.state;
         st.next_token = next_token;
-        st.rng_seed = rng_seed;
-        st.rng_draws = rng_draws;
-        // Re-seed and replay the draw count: the agreed random stream
-        // continues exactly where the checkpointed replica left it.
-        st.rng = StdRng::seed_from_u64(rng_seed);
-        for _ in 0..rng_draws {
-            st.rng.next_u64();
-        }
+        // Restore the generator from its raw state: the agreed random
+        // stream continues exactly where the checkpointed replica left it,
+        // in O(1) regardless of how many values were ever drawn.
+        let mut seed = [0u8; 32];
+        seed.copy_from_slice(&rng_state);
+        st.rng = StdRng::from_seed(seed);
         st.engine.set_id_counter(id_counter);
         st.handles = handles;
         st.calls = calls;
@@ -560,8 +540,6 @@ impl Executor for ServiceExecutor {
         match ev {
             AppEvent::Init { seed } => {
                 self.state.rng = StdRng::seed_from_u64(seed);
-                self.state.rng_seed = seed;
-                self.state.rng_draws = 0;
                 self.queue.push_back(WsEvent::Init { seed });
             }
             AppEvent::Request { handle, payload } => {
@@ -1005,6 +983,37 @@ mod tests {
             format!("{:?}", out.cmds())
         };
         assert_eq!(next(&mut original), next(&mut recovered));
+    }
+
+    #[test]
+    fn rng_restore_continues_the_stream_after_many_draws() {
+        // The snapshot carries the raw RNG state, not a draw count to
+        // replay: restoring after a long drawing history must be exact
+        // (and O(1), not O(draws)).
+        let mk = || {
+            ServiceExecutor::new(
+                Box::new(CountingService { count: 0 }),
+                "ctr",
+                uris(),
+                WsCostModel::FREE,
+            )
+        };
+        let mut original = mk();
+        let mut out = AppOutput::new(0, 0);
+        original.on_event(AppEvent::Init { seed: 7 }, &mut out);
+        for _ in 0..50_000 {
+            original.state.rng.next_u64();
+        }
+        let snap = original.snapshot();
+        let mut recovered = mk();
+        recovered.restore(&snap);
+        for _ in 0..16 {
+            assert_eq!(
+                original.state.rng.next_u64(),
+                recovered.state.rng.next_u64(),
+                "restored stream diverged"
+            );
+        }
     }
 
     #[test]

@@ -109,7 +109,7 @@ impl DriverSnapshot {
         }
         let next_call = d.u64()?;
         let next_token = d.u64()?;
-        let calls = counted(&mut d, |d| {
+        let calls = counted(&mut d, MAX_SNAPSHOT_ITEMS, snapshot_err, |d| {
             Ok(CallSnap {
                 call_no: d.u64()?,
                 target: d.u32()?,
@@ -117,10 +117,16 @@ impl DriverSnapshot {
                 payload: d.bytes()?,
             })
         })?;
-        let delivered = counted(&mut d, |d| Ok((d.u32()?, d.u64()?)))?;
-        let reply_routes = counted(&mut d, |d| Ok((d.u32()?, d.u64()?, d.u32()?)))?;
-        let replies_sent = counted(&mut d, |d| Ok((d.u32()?, d.u64()?, d.bytes()?)))?;
-        let resolved_tokens = counted(&mut d, |d| d.u64())?;
+        let delivered = counted(&mut d, MAX_SNAPSHOT_ITEMS, snapshot_err, |d| {
+            Ok((d.u32()?, d.u64()?))
+        })?;
+        let reply_routes = counted(&mut d, MAX_SNAPSHOT_ITEMS, snapshot_err, |d| {
+            Ok((d.u32()?, d.u64()?, d.u32()?))
+        })?;
+        let replies_sent = counted(&mut d, MAX_SNAPSHOT_ITEMS, snapshot_err, |d| {
+            Ok((d.u32()?, d.u64()?, d.bytes()?))
+        })?;
+        let resolved_tokens = counted(&mut d, MAX_SNAPSHOT_ITEMS, snapshot_err, |d| d.u64())?;
         let executor = d.bytes()?;
         d.finish()?;
         Ok(DriverSnapshot {
@@ -136,13 +142,19 @@ impl DriverSnapshot {
     }
 }
 
-fn counted<T>(
+/// Reads a `u32`-count-prefixed sequence: counts past `cap` are rejected
+/// with `err` before anything is allocated, then `item` decodes each
+/// element. Shared by every snapshot-layer codec (driver and host) so the
+/// cap-then-read discipline lives in one place.
+pub fn counted<T>(
     d: &mut Decoder<'_>,
+    cap: usize,
+    err: fn() -> WireError,
     mut item: impl FnMut(&mut Decoder<'_>) -> Result<T, WireError>,
 ) -> Result<Vec<T>, WireError> {
     let n = d.u32()? as usize;
-    if n > MAX_SNAPSHOT_ITEMS {
-        return Err(snapshot_err());
+    if n > cap {
+        return Err(err());
     }
     let mut out = Vec::with_capacity(n.min(4096));
     for _ in 0..n {
