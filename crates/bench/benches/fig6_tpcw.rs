@@ -31,6 +31,7 @@ fn main() {
                 warmup: SimDuration::from_secs(15),
                 sync_pge: false,
                 think_mean: SimDuration::from_secs(7),
+                bookstore_shards: 1,
                 seed: 2007,
             });
             rows.push(vec![
@@ -84,6 +85,7 @@ fn main() {
         warmup: SimDuration::from_secs(15),
         sync_pge: false,
         think_mean: SimDuration::from_secs(7),
+        bookstore_shards: 1,
         seed: 2007,
     };
     let async_r = run_tpcw(cfg);

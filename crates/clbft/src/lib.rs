@@ -83,6 +83,7 @@
 
 mod client;
 mod config;
+mod dedup;
 mod log;
 mod messages;
 mod replica;
@@ -90,6 +91,7 @@ pub mod wire;
 
 pub use client::ReplyCollector;
 pub use config::Config;
+pub use dedup::ExecutedSet;
 pub use messages::{
     checkpoint_digest, Batch, CheckpointMsg, CommitMsg, FetchStateMsg, Msg, NewViewMsg,
     PrePrepareMsg, PrepareMsg, PreparedClaim, Request, RequestId, StateResponseMsg, SuffixSlot,

@@ -1,5 +1,6 @@
 //! Protocol messages.
 
+use crate::dedup::ExecutedSet;
 use crate::{ReplicaId, Seq, View};
 use bytes::Bytes;
 use pws_crypto::sha256::{Digest32, Sha256};
@@ -186,25 +187,24 @@ pub struct CheckpointMsg {
 
 /// The canonical digest of a checkpoint: covers the sequence number, the
 /// opaque application snapshot, the executed-request deduplication set
-/// (sorted by id), and the execution chain. Every correct replica computes
-/// the identical digest at the same sequence boundary, so `2f + 1` matching
+/// (its canonical per-origin compact encoding, [`ExecutedSet::encode`]),
+/// and the execution chain. Every correct replica computes the identical
+/// digest at the same sequence boundary, so `2f + 1` matching
 /// [`CheckpointMsg`]s prove the state is group-stable and `f + 1` prove at
 /// least one correct replica holds it (the state-transfer trust anchor).
 pub fn checkpoint_digest(
     seq: Seq,
     snapshot: &[u8],
-    executed: &[RequestId],
+    executed: &ExecutedSet,
     exec_chain: &Digest32,
 ) -> Digest32 {
     let mut h = Sha256::new();
     h.update_u64(seq.0);
     h.update_u64(snapshot.len() as u64);
     h.update(snapshot);
-    h.update_u64(executed.len() as u64);
-    for id in executed {
-        h.update_u64(id.origin);
-        h.update_u64(id.counter);
-    }
+    let dedup = executed.encode();
+    h.update_u64(dedup.len() as u64);
+    h.update(&dedup);
     h.update(exec_chain.as_bytes());
     h.finalize()
 }
@@ -249,8 +249,9 @@ pub struct StateResponseMsg {
     pub exec_chain: Digest32,
     /// The opaque application snapshot at `seq`.
     pub snapshot: Bytes,
-    /// Request ids executed up to `seq` (the dedup table), sorted.
-    pub executed: Vec<RequestId>,
+    /// Request ids executed up to `seq`: the dedup table, compacted per
+    /// origin ([`ExecutedSet`]).
+    pub executed: ExecutedSet,
     /// Committed slots in `(seq, responder's last_exec]`, in order.
     pub suffix: Vec<SuffixSlot>,
     /// Sender.
@@ -399,7 +400,10 @@ mod tests {
 
     #[test]
     fn checkpoint_digest_covers_every_component() {
-        let ids = [RequestId::new(1, 1), RequestId::new(1, 2)];
+        let ids: ExecutedSet = [RequestId::new(1, 1), RequestId::new(1, 2)]
+            .into_iter()
+            .collect();
+        let one: ExecutedSet = [RequestId::new(1, 1)].into_iter().collect();
         let base = checkpoint_digest(Seq(64), b"state", &ids, &Digest32::ZERO);
         assert_eq!(
             base,
@@ -416,7 +420,7 @@ mod tests {
         );
         assert_ne!(
             base,
-            checkpoint_digest(Seq(64), b"state", &ids[..1], &Digest32::ZERO)
+            checkpoint_digest(Seq(64), b"state", &one, &Digest32::ZERO)
         );
         let other_chain = Digest32([1u8; 32]);
         assert_ne!(

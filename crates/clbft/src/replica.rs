@@ -1,5 +1,6 @@
 //! The CLBFT replica state machine (sans-io).
 
+use crate::dedup::ExecutedSet;
 use crate::log::Log;
 use crate::messages::{
     checkpoint_digest, Batch, CheckpointMsg, CommitMsg, FetchStateMsg, Msg, NewViewMsg,
@@ -73,7 +74,7 @@ pub enum Action {
 #[derive(Debug, Clone)]
 struct BoundaryInfo {
     exec_chain: Digest32,
-    executed: Vec<RequestId>,
+    executed: ExecutedSet,
 }
 
 /// A fully-materialized checkpoint retained to serve state transfer. Its
@@ -84,7 +85,7 @@ struct CheckpointState {
     seq: Seq,
     exec_chain: Digest32,
     snapshot: Bytes,
-    executed: Vec<RequestId>,
+    executed: ExecutedSet,
 }
 
 /// Claims for the batch agreed at one suffix slot, collected across
@@ -106,8 +107,6 @@ enum ReqState {
     Pending(Request),
     /// Ordered in some slot; payload retained in case a view change drops it.
     Ordered(Request),
-    /// Executed; kept for deduplication.
-    Executed,
 }
 
 /// A CLBFT replica.
@@ -159,7 +158,13 @@ pub struct Replica {
     /// Highest checkpoint seq a lag-triggered fetch is in flight for
     /// (suppresses re-broadcasting for the same evidence).
     fetch_target: Option<Seq>,
+    /// Requests known but not yet executed (pending or ordered). Entries
+    /// move into the compact [`ExecutedSet`] on execution, so this map
+    /// stays bounded by the in-flight window, not by history.
     requests: HashMap<RequestId, ReqState>,
+    /// The executed-request dedup set, compacted per origin. Feeds the
+    /// checkpoint digest and ships in `StateResponse`s.
+    executed: ExecutedSet,
     outstanding: usize,
     /// Requests awaiting proposal at the primary: the batch accumulator.
     /// Drained into sealed batches by [`Replica::drain_queue`] whenever
@@ -222,6 +227,7 @@ impl Replica {
             latest_stable: None,
             fetch_target: None,
             requests: HashMap::new(),
+            executed: ExecutedSet::new(),
             outstanding: 0,
             queue: VecDeque::new(),
             batch_timer_armed: false,
@@ -314,10 +320,8 @@ impl Replica {
     /// Submits a request at this replica (from a local client/driver).
     pub fn on_request(&mut self, request: Request) -> Vec<Action> {
         let mut out = Vec::new();
-        match self.requests.get(&request.id) {
-            Some(ReqState::Executed) | Some(ReqState::Ordered(_)) => return out,
-            Some(ReqState::Pending(_)) => return out, // duplicate submission
-            None => {}
+        if self.executed.contains(&request.id) || self.requests.contains_key(&request.id) {
+            return out; // duplicate submission or already executed
         }
         self.requests
             .insert(request.id, ReqState::Pending(request.clone()));
@@ -478,6 +482,7 @@ impl Replica {
             match self.requests.get_mut(&r.id) {
                 Some(st @ ReqState::Pending(_)) => *st = ReqState::Ordered(r.clone()),
                 Some(_) => {}
+                None if self.executed.contains(&r.id) => {} // replayed history
                 None => {
                     self.requests.insert(r.id, ReqState::Ordered(r.clone()));
                     self.outstanding += 1;
@@ -514,6 +519,7 @@ impl Replica {
         if p.view != self.view || !self.in_watermarks(p.seq) || from != p.replica {
             return;
         }
+        self.forget_stale_votes(from, p.view);
         if p.replica == p.view.primary(self.cfg.n) {
             return; // the primary never prepares its own proposal
         }
@@ -524,6 +530,24 @@ impl Replica {
             .or_default()
             .insert(p.replica);
         self.try_prepare_transition(p.seq, out);
+    }
+
+    /// Vote hygiene: a prepare/commit from `from` in view `v` proves it is
+    /// operating normally there — a replica in a view change sends
+    /// neither — so any view-change votes it has parked for views above
+    /// `v` are stale (it abandoned them, see
+    /// [`Replica::adopt_reported_view`]) and must not count toward a later
+    /// quorum: the stale vote's prepared claims predate whatever `from`
+    /// prepares from here on. Dropping votes is strictly conservative —
+    /// view changes only get *harder* — and a replica that genuinely wants
+    /// one re-votes with fresh claims when it next joins.
+    fn forget_stale_votes(&mut self, from: ReplicaId, v: View) {
+        self.view_changes.retain(|target, votes| {
+            if *target > v {
+                votes.remove(&from);
+            }
+            !votes.is_empty()
+        });
     }
 
     fn try_prepare_transition(&mut self, seq: Seq, out: &mut Vec<Action>) {
@@ -549,6 +573,9 @@ impl Replica {
     fn handle_commit(&mut self, from: ReplicaId, c: CommitMsg, out: &mut Vec<Action>) {
         if !self.in_watermarks(c.seq) || from != c.replica {
             return;
+        }
+        if c.view == self.view {
+            self.forget_stale_votes(from, c.view);
         }
         self.log
             .slot_mut(c.seq)
@@ -581,13 +608,16 @@ impl Replica {
             self.exec_chain = h.finalize();
 
             // Unpack the batch in order, skipping already-executed requests
-            // (re-proposals across view changes can repeat them).
+            // (re-proposals across view changes can repeat them). Executed
+            // ids move from the live request map into the compact dedup
+            // set.
             let mut fresh = Vec::new();
             for request in batch.requests {
-                let already = matches!(self.requests.get(&request.id), Some(ReqState::Executed));
-                self.requests.insert(request.id, ReqState::Executed);
-                if !already {
+                let first_time = self.executed.insert(request.id);
+                if self.requests.remove(&request.id).is_some() {
                     self.outstanding = self.outstanding.saturating_sub(1);
+                }
+                if first_time {
                     fresh.push(request);
                 }
             }
@@ -624,22 +654,18 @@ impl Replica {
             seq,
             BoundaryInfo {
                 exec_chain: self.exec_chain,
-                executed: self.executed_ids(),
+                // The compact dedup set is canonical by construction, so
+                // this clone is identical at every correct replica at the
+                // same execution point (and O(origins), not O(history)).
+                executed: self.executed.clone(),
             },
         );
         out.push(Action::TakeCheckpoint(seq));
     }
 
-    /// The executed-request dedup set, sorted by id — identical at every
-    /// correct replica at the same execution point.
-    fn executed_ids(&self) -> Vec<RequestId> {
-        let mut ids: Vec<RequestId> = self
-            .requests
-            .iter()
-            .filter_map(|(id, st)| matches!(st, ReqState::Executed).then_some(*id))
-            .collect();
-        ids.sort_unstable();
-        ids
+    /// The executed-request dedup set (for assertions and size metrics).
+    pub fn executed_set(&self) -> &ExecutedSet {
+        &self.executed
     }
 
     /// The harness's answer to [`Action::TakeCheckpoint`]: `snapshot` is
@@ -792,11 +818,12 @@ impl Replica {
             return;
         }
         // Honest responders respect the wire caps. A dedup set past the
-        // executed-id cap cannot be shipped at all (no fetcher would
-        // decode the frame; bounding the set is the ROADMAP's
-        // dedup-compaction item), while an oversized suffix can simply be
-        // truncated — the fetcher lands earlier and re-fetches.
-        if state.executed.len() > crate::wire::MAX_WIRE_EXECUTED {
+        // entry cap cannot be shipped at all (no fetcher would decode the
+        // frame), while an oversized suffix can simply be truncated — the
+        // fetcher lands earlier and re-fetches. Per-origin compaction
+        // keeps honest sets at O(origins + reorder residue), far below
+        // the cap for any realistic deployment lifetime.
+        if state.executed.wire_entries() > crate::wire::MAX_WIRE_EXECUTED {
             return;
         }
         // Amplification bound: a requester gets at most
@@ -965,6 +992,28 @@ impl Replica {
     /// the `(f + 1)`-th highest reported view is one at least one correct
     /// replica really reached (views only advance), so a rebooted replica
     /// rejoins the live primary without trusting any single responder.
+    ///
+    /// The same evidence also *abandons a stale view change*: a replica
+    /// that voted for ever-higher views while partitioned away (its timer
+    /// kept firing with no peer to join it) would otherwise stay
+    /// `in_view_change` forever once healed — peers still in the old view
+    /// never send the NewView it waits for, and stashed proposals never
+    /// release. `f + 1` responders reporting the current view prove at
+    /// least one correct replica is live and serving there, so re-entering
+    /// it is exactly the recovering replica's move; liveness against a
+    /// genuinely dead primary is preserved because the view timer re-arms
+    /// with the outstanding work.
+    ///
+    /// Abandonment bends strict PBFT view-vote monotonicity (a replica
+    /// prepares in a view it once voted to leave, while its old vote's
+    /// frozen claims still circulate). Honest peers neutralize the stale
+    /// vote the moment they see the abandoner participating again
+    /// ([`Replica::forget_stale_votes`]), and the abandoner re-votes with
+    /// fresh claims if it ever rejoins that view change; the residual
+    /// window — a Byzantine peer racing the stale vote into a new-view
+    /// quorum before the drop lands — is subsumed by this
+    /// implementation's documented structural trust in the new-view
+    /// primary's re-proposals (see the crate-level trust-boundary note).
     fn adopt_reported_view(&mut self, out: &mut Vec<Action>) {
         let f = self.cfg.f() as usize;
         if self.reported_views.len() <= f {
@@ -973,8 +1022,8 @@ impl Replica {
         let mut views: Vec<View> = self.reported_views.values().copied().collect();
         views.sort_unstable_by(|a, b| b.cmp(a));
         let v = views[f];
-        if v > self.view {
-            self.enter_view(v, out);
+        if v > self.view || (self.in_view_change && v >= self.view) {
+            self.enter_view(v.max(self.view), out);
         }
     }
 
@@ -1003,15 +1052,19 @@ impl Replica {
             executed: sr.executed.clone(),
         });
         // Adopt the transferred dedup set so replayed or re-proposed
-        // requests are filtered exactly as at the peers.
-        for id in &sr.executed {
-            match self.requests.insert(*id, ReqState::Executed) {
-                Some(ReqState::Pending(_)) | Some(ReqState::Ordered(_)) => {
-                    self.outstanding = self.outstanding.saturating_sub(1);
-                    self.queue.retain(|q| q != id);
-                }
-                _ => {}
-            }
+        // requests are filtered exactly as at the peers, and drop live
+        // entries the set already covers.
+        self.executed = sr.executed.clone();
+        let covered: Vec<RequestId> = self
+            .requests
+            .keys()
+            .filter(|id| self.executed.contains(id))
+            .copied()
+            .collect();
+        for id in covered {
+            self.requests.remove(&id);
+            self.outstanding = self.outstanding.saturating_sub(1);
+            self.queue.retain(|q| *q != id);
         }
         out.push(Action::InstallState {
             seq: sr.seq,
@@ -1059,17 +1112,15 @@ impl Replica {
         self.exec_chain = h.finalize();
         let mut fresh = Vec::new();
         for request in batch.requests {
-            let prev = self.requests.insert(request.id, ReqState::Executed);
-            match prev {
-                Some(ReqState::Executed) => {}
-                Some(ReqState::Pending(_)) | Some(ReqState::Ordered(_)) => {
-                    self.outstanding = self.outstanding.saturating_sub(1);
-                    self.queue.retain(|q| *q != request.id);
-                    fresh.push(request);
-                }
-                // Unknown here, but agreed by the group: deliver without
-                // touching `outstanding` (it was never counted).
-                None => fresh.push(request),
+            let first_time = self.executed.insert(request.id);
+            if self.requests.remove(&request.id).is_some() {
+                self.outstanding = self.outstanding.saturating_sub(1);
+                self.queue.retain(|q| *q != request.id);
+            }
+            // Unknown-but-agreed requests also deliver; `outstanding` is
+            // only adjusted for entries this replica had counted.
+            if first_time {
+                fresh.push(request);
             }
         }
         if !fresh.is_empty() {
@@ -1306,6 +1357,11 @@ impl Replica {
         self.in_view_change = false;
         self.vc_target = v;
         self.view_changes = self.view_changes.split_off(&v.next());
+        // View reports served their purpose: abandoning a *future* view
+        // change (adopt_reported_view) must rest on fresh evidence
+        // gathered after this entry, never on reports from a bygone era
+        // in which the reported view was still live.
+        self.reported_views.clear();
         // The old view's batch accumulator is stale; `repropose_pending`
         // rebuilds it (or forwards) from the demoted request states below.
         self.queue.clear();
@@ -1957,7 +2013,7 @@ mod tests {
         let mut target = Replica::new(ReplicaId(3), cfg);
         let snapshot = Bytes::from_static(b"claimed-state");
         let chain = Digest32([7u8; 32]);
-        let executed = vec![RequestId::new(1, 1)];
+        let executed: ExecutedSet = [RequestId::new(1, 1)].into_iter().collect();
         let response = StateResponseMsg {
             seq: Seq(8),
             view: View(0),
@@ -2030,7 +2086,7 @@ mod tests {
             view: View(view),
             exec_chain: Digest32::ZERO,
             snapshot: Bytes::from_static(b"state"),
-            executed: vec![],
+            executed: ExecutedSet::new(),
             suffix,
             replica: ReplicaId(from),
         }
@@ -2043,7 +2099,12 @@ mod tests {
         let mut cfg = Config::new(4);
         cfg.checkpoint_interval = 8;
         let mut target = Replica::new(ReplicaId(3), cfg);
-        let digest = crate::messages::checkpoint_digest(Seq(8), b"state", &[], &Digest32::ZERO);
+        let digest = crate::messages::checkpoint_digest(
+            Seq(8),
+            b"state",
+            &ExecutedSet::new(),
+            &Digest32::ZERO,
+        );
         let _ = target.on_message(
             ReplicaId(2),
             Msg::Checkpoint(CheckpointMsg {
@@ -2167,6 +2228,34 @@ mod tests {
     }
 
     #[test]
+    fn stale_view_change_is_abandoned_on_f_plus_one_current_view_reports() {
+        // A replica whose view timer kept firing while it was partitioned
+        // away accumulates a far-future view-change target no peer will
+        // ever join. Once healed, f + 1 StateResponses reporting the
+        // group's *current* view must snap it out of the stale view
+        // change — otherwise it stashes live proposals forever.
+        let mut target = primed_fetcher();
+        let _ = target.on_request(req(1));
+        let _ = target.on_view_timer();
+        let _ = target.on_view_timer();
+        assert!(target.in_view_change(), "wedged in a lonely view change");
+        let _ = target.on_message(
+            ReplicaId(1),
+            Msg::StateResponse(state_response(1, 0, vec![])),
+        );
+        assert!(target.in_view_change(), "one report is not evidence");
+        let _ = target.on_message(
+            ReplicaId(2),
+            Msg::StateResponse(state_response(2, 0, vec![])),
+        );
+        assert!(
+            !target.in_view_change(),
+            "f + 1 current-view reports abandon the stale view change"
+        );
+        assert_eq!(target.view(), View(0), "still in the group's view");
+    }
+
+    #[test]
     fn fetch_responses_are_rate_limited_per_stable_checkpoint() {
         // Drive a group past a checkpoint so replica 0 holds a stable
         // state, then spam it with FetchState from the same requester: at
@@ -2235,6 +2324,61 @@ mod tests {
         assert!(
             !target.checkpoint_votes.contains_key(&Seq(13)),
             "non-boundary votes must not be tracked"
+        );
+    }
+
+    #[test]
+    fn prepares_in_the_current_view_drop_the_senders_stale_votes() {
+        // Replica 1 votes to leave view 0, then shows up preparing in
+        // view 0 again (it abandoned the view change): its parked vote
+        // must stop counting toward a later quorum, because its frozen
+        // claims no longer cover what it prepares from here on.
+        let mut rs = group(4);
+        let vc = ViewChangeMsg {
+            new_view: View(1),
+            stable_seq: Seq::ZERO,
+            stable_digest: Digest32::ZERO,
+            prepared: vec![],
+            replica: ReplicaId(1),
+        };
+        let _ = rs[3].on_message(ReplicaId(1), Msg::ViewChange(vc));
+        assert!(rs[3].view_changes.contains_key(&View(1)));
+        // Seed a pre-prepare so replica 3 accepts replica 1's prepare.
+        let b1 = Batch::of(req(1));
+        let pp = PrePrepareMsg {
+            view: View(0),
+            seq: Seq(1),
+            digest: b1.digest(),
+            batch: b1.clone(),
+        };
+        let _ = rs[3].on_message(ReplicaId(0), Msg::PrePrepare(pp));
+        let _ = rs[3].on_message(
+            ReplicaId(1),
+            Msg::Prepare(PrepareMsg {
+                view: View(0),
+                seq: Seq(1),
+                digest: b1.digest(),
+                replica: ReplicaId(1),
+            }),
+        );
+        assert!(
+            !rs[3].view_changes.contains_key(&View(1)),
+            "stale vote must be dropped once the voter prepares in view 0"
+        );
+        // A second vote for view 1 from replica 2 alone must not reach
+        // the f + 1 join bar using the dropped vote.
+        let vc2 = ViewChangeMsg {
+            new_view: View(1),
+            stable_seq: Seq::ZERO,
+            stable_digest: Digest32::ZERO,
+            prepared: vec![],
+            replica: ReplicaId(2),
+        };
+        let a = rs[3].on_message(ReplicaId(2), Msg::ViewChange(vc2));
+        assert!(
+            !a.iter()
+                .any(|x| matches!(x, Action::Broadcast(Msg::ViewChange(_)))),
+            "one live vote plus a dropped stale vote must not trigger a join"
         );
     }
 

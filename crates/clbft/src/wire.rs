@@ -215,12 +215,15 @@ const TAG_NEW_VIEW: u8 = 7;
 const TAG_FETCH_STATE: u8 = 8;
 const TAG_STATE_RESPONSE: u8 = 9;
 
-/// Hard cap on the executed-id count of one state response: bounds the
-/// allocation a hostile count prefix can drive, like the wire batch cap.
-/// Public because honest responders must also respect it — a dedup set
-/// past the cap cannot be shipped (see the ROADMAP's dedup-compaction
-/// item) and the responder stays silent rather than emit a frame no
-/// fetcher would accept.
+/// Hard cap on the executed-set *wire entries* of one state response
+/// (origins plus out-of-order residue counters; see
+/// [`crate::ExecutedSet::wire_entries`]): bounds the allocation a hostile
+/// count prefix can drive, like the wire batch cap. Public because honest
+/// responders must also respect it — a dedup set past the cap cannot be
+/// shipped and the responder stays silent rather than emit a frame no
+/// fetcher would accept. With per-origin compaction the entry count is
+/// O(origins + reorder residue), not O(executed requests), so honest sets
+/// sit far below this cap for the lifetime of a deployment.
 pub const MAX_WIRE_EXECUTED: usize = 1 << 20;
 
 /// Hard cap on the log-suffix slot count of one state response: the suffix
@@ -300,11 +303,7 @@ pub fn encode_msg(msg: &Msg) -> Bytes {
             e.put_u64(sr.view.0);
             e.put_digest(&sr.exec_chain);
             e.put_bytes(&sr.snapshot);
-            e.put_u32(sr.executed.len() as u32);
-            for id in &sr.executed {
-                e.put_u64(id.origin);
-                e.put_u64(id.counter);
-            }
+            sr.executed.encode_into(&mut e);
             e.put_u32(sr.suffix.len() as u32);
             for slot in &sr.suffix {
                 e.put_u64(slot.seq.0);
@@ -403,16 +402,7 @@ pub fn decode_msg(buf: &[u8]) -> Result<Msg, WireError> {
             let view = View(d.u64()?);
             let exec_chain = d.digest()?;
             let snapshot = d.bytes()?;
-            let exec_count = d.u32()? as usize;
-            if exec_count > MAX_WIRE_EXECUTED {
-                return Err(WireError::new("too many executed ids"));
-            }
-            let mut executed = Vec::with_capacity(exec_count.min(4096));
-            for _ in 0..exec_count {
-                let origin = d.u64()?;
-                let counter = d.u64()?;
-                executed.push(RequestId::new(origin, counter));
-            }
+            let executed = crate::ExecutedSet::decode_from(&mut d, MAX_WIRE_EXECUTED)?;
             let suffix_count = d.u32()? as usize;
             if suffix_count > MAX_WIRE_SUFFIX {
                 return Err(WireError::new("suffix too large"));
@@ -517,7 +507,14 @@ mod tests {
             view: View(2),
             exec_chain: sample_request(1).digest(),
             snapshot: Bytes::from_static(b"app-state"),
-            executed: vec![RequestId::new(3, 1), RequestId::new(3, 2)],
+            executed: [
+                RequestId::new(3, 0),
+                RequestId::new(3, 1),
+                RequestId::new(3, 5),
+                RequestId::new(0xFEED, 9),
+            ]
+            .into_iter()
+            .collect(),
             suffix: vec![SuffixSlot {
                 seq: Seq(65),
                 batch: Batch::of(sample_request(4)),
@@ -529,9 +526,20 @@ mod tests {
     #[test]
     fn oversized_state_response_counts_rejected() {
         let chain = sample_request(1).digest();
-        for (exec_count, suffix_count, what) in [
-            ((MAX_WIRE_EXECUTED + 1) as u32, 0, "too many executed ids"),
-            (0, (MAX_WIRE_SUFFIX + 1) as u32, "suffix too large"),
+        for (ranged_count, singles_count, suffix_count, what) in [
+            (
+                (MAX_WIRE_EXECUTED + 1) as u32,
+                0,
+                0,
+                "executed set too large",
+            ),
+            (
+                0,
+                (MAX_WIRE_EXECUTED + 1) as u32,
+                0,
+                "executed set too large",
+            ),
+            (0, 0, (MAX_WIRE_SUFFIX + 1) as u32, "suffix too large"),
         ] {
             let mut e = Encoder::new();
             e.put_u8(TAG_STATE_RESPONSE);
@@ -539,7 +547,8 @@ mod tests {
             e.put_u64(0); // view
             e.put_digest(&chain);
             e.put_bytes(b"snap");
-            e.put_u32(exec_count);
+            e.put_u32(ranged_count); // executed-set ranged section
+            e.put_u32(singles_count); // executed-set singleton section
             e.put_u32(suffix_count);
             let err = decode_msg(&e.finish()).unwrap_err();
             assert!(err.to_string().contains(what), "{err}");

@@ -54,9 +54,10 @@ struct HostState {
     calls: HashMap<u64, CallToken>,
     /// Token → request `wsa:MessageID`, for abort fault correlation.
     token_msg: HashMap<CallToken, String>,
-    /// Sends that failed locally (unroutable endpoint, marshal error):
-    /// surfaced as deterministic abort faults after the current event.
-    failed_sends: Vec<CallToken>,
+    /// Sends that failed locally (unroutable endpoint, cross-shard key,
+    /// marshal error), with the fault reason: surfaced as deterministic
+    /// abort faults after the current event.
+    failed_sends: Vec<(CallToken, String)>,
 }
 
 /// The handle through which a [`Service`] acts on the world during one
@@ -77,29 +78,48 @@ impl std::fmt::Debug for ServiceCtx<'_> {
 impl ServiceCtx<'_> {
     /// Sends a request message without blocking; returns the token that
     /// will identify its [`WsEvent::Reply`]. Sets `wsa:ReplyTo` to this
-    /// service's own URI if unset. A request that cannot be routed or
-    /// marshalled resolves deterministically to an abort fault delivered
-    /// after the current event (every replica does the same).
+    /// service's own URI if unset. Sharded targets are routed by the
+    /// request key (see [`crate::router`]). A request that cannot be
+    /// routed or marshalled — including a **cross-shard** key set, which
+    /// sharding rejects by design — resolves deterministically to an
+    /// abort fault delivered after the current event (every replica does
+    /// the same).
     pub fn send(&mut self, mut request: MessageContext) -> CallToken {
         let token = CallToken(self.st.next_token);
         self.st.next_token += 1;
         if request.addressing().reply_to.is_none() {
             request.addressing_mut().reply_to = Some(self.st.own_uri.clone());
         }
+        // The routing key is part of the message body; resolve ownership
+        // before the out-pipe mutates addressing.
+        let routed = {
+            let to = request.addressing().to.clone().unwrap_or_default();
+            self.st
+                .uris
+                .route(&to, crate::router::routing_key(&request))
+                .map(|(_, gid)| (gid, self.st.uris.shard_count(&to).is_some()))
+        };
         if self.st.engine.run_out_pipe(&mut request).is_err() {
-            self.st.failed_sends.push(token);
+            self.st
+                .failed_sends
+                .push((token, "request could not be marshalled".to_owned()));
             return token;
         }
         let msg_id = request.addressing().message_id.clone().unwrap_or_default();
-        let to = request.addressing().to.clone().unwrap_or_default();
         let timeout_ms = request.options().timeout_ms;
         let Ok(bytes) = request.to_bytes() else {
             self.st.token_msg.insert(token, msg_id);
-            self.st.failed_sends.push(token);
+            self.st
+                .failed_sends
+                .push((token, "request could not be marshalled".to_owned()));
             return token;
         };
-        match self.st.uris.group(&to) {
-            Some(target) => {
+        match routed {
+            Ok((target, sharded)) => {
+                if sharded {
+                    self.out.incr_metric("clbft.shard.routed");
+                    self.out.incr_metric(format!("clbft.shard.route.{target}"));
+                }
                 self.out.spend(self.st.ws_cost.marshal_cost(bytes.len()));
                 let call = self
                     .out
@@ -107,9 +127,12 @@ impl ServiceCtx<'_> {
                 self.st.calls.insert(call.0, token);
                 self.st.token_msg.insert(token, msg_id);
             }
-            None => {
+            Err(e) => {
+                if matches!(e, crate::router::RouteError::CrossShard { .. }) {
+                    self.out.incr_metric("clbft.shard.cross_rejected");
+                }
                 self.st.token_msg.insert(token, msg_id);
-                self.st.failed_sends.push(token);
+                self.st.failed_sends.push((token, e.to_string()));
             }
         }
         token
@@ -241,10 +264,10 @@ impl ServiceExecutor {
 
     /// A synthesized abort fault for `token`, correlated to the original
     /// request if its `wsa:MessageID` is known.
-    fn abort_fault(&mut self, token: CallToken) -> WsEvent {
+    fn abort_fault_with(&mut self, token: CallToken, reason: &str) -> WsEvent {
         let fault = Fault {
             code: "soap:Receiver".to_owned(),
-            reason: "request aborted by Perpetual-WS timeout".to_owned(),
+            reason: reason.to_owned(),
         };
         let mut mc = MessageContext::from_envelope(Envelope::fault(&fault));
         mc.addressing_mut().relates_to = self.state.token_msg.remove(&token);
@@ -278,10 +301,12 @@ impl ServiceExecutor {
             };
             let poll = self.service.on_event(ev, &mut ctx);
             // Locally-failed sends surface as deterministic abort faults,
-            // queued after the event that issued them.
-            let failed: Vec<CallToken> = std::mem::take(&mut self.state.failed_sends);
-            for token in failed {
-                let ev = self.abort_fault(token);
+            // queued after the event that issued them, carrying the typed
+            // routing error (unknown endpoint, cross-shard key) as the
+            // fault reason.
+            let failed: Vec<(CallToken, String)> = std::mem::take(&mut self.state.failed_sends);
+            for (token, reason) in failed {
+                let ev = self.abort_fault_with(token, &reason);
                 self.queue.push_back(ev);
             }
             self.wait = poll;
@@ -574,7 +599,7 @@ impl Executor for ServiceExecutor {
                 let Some(token) = self.state.calls.remove(&call.0) else {
                     return;
                 };
-                let ev = self.abort_fault(token);
+                let ev = self.abort_fault_with(token, "request aborted by Perpetual-WS timeout");
                 self.queue.push_back(ev);
             }
             AppEvent::Time { token, millis } => {

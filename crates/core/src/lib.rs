@@ -93,6 +93,7 @@ pub mod deployment;
 pub mod features;
 pub mod host;
 pub mod passive;
+pub mod router;
 pub mod runtime;
 pub mod wscost;
 
@@ -102,5 +103,6 @@ pub use features::{feature_matrix, Approach, FeatureRow};
 pub use host::{ServiceCtx, ServiceExecutor};
 pub use passive::{PassiveHost, PassiveService, PassiveUtils};
 pub use pws_perpetual::{CostModel, FaultMode, GroupId};
-pub use runtime::{ScriptedClient, System, SystemBuilder};
+pub use router::{routing_key, RendezvousRouter, RouteError, Router};
+pub use runtime::{ScriptedClient, System, SystemBuilder, UriMap};
 pub use wscost::WsCostModel;

@@ -4,6 +4,7 @@
 use crate::api::Service;
 use crate::host::ServiceExecutor;
 use crate::passive::{PassiveHost, PassiveService};
+use crate::router::{routing_key, split_keys, RendezvousRouter, RouteError, Router};
 use crate::wscost::WsCostModel;
 use bytes::Bytes;
 use pws_perpetual::{
@@ -18,10 +19,30 @@ use pws_soap::MessageContext;
 use std::collections::HashMap;
 use std::sync::Arc;
 
-/// Maps service URIs (`urn:svc:<name>`) to replica groups.
-#[derive(Debug, Default, Clone)]
+/// One logical sharded service: its shard groups in shard order plus the
+/// router that assigns keys to them.
+#[derive(Clone)]
+struct ShardedEntry {
+    shards: Vec<GroupId>,
+    router: Arc<dyn Router>,
+}
+
+/// Maps service URIs (`urn:svc:<name>`) to replica groups — directly for
+/// ordinary services, through a deterministic key [`Router`] for sharded
+/// ones (see [`crate::router`]).
+#[derive(Default, Clone)]
 pub struct UriMap {
     by_uri: HashMap<String, GroupId>,
+    sharded: HashMap<String, ShardedEntry>,
+}
+
+impl std::fmt::Debug for UriMap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UriMap")
+            .field("services", &self.by_uri.len())
+            .field("sharded", &self.sharded.len())
+            .finish()
+    }
 }
 
 impl UriMap {
@@ -30,9 +51,75 @@ impl UriMap {
         self.by_uri.insert(format!("urn:svc:{name}"), group);
     }
 
-    /// Resolves a URI to its group.
+    /// Registers logical service `name` as sharded across `shards` (in
+    /// shard order), routed by `router`. Each shard is also registered
+    /// directly under its shard-qualified name (`name#<k>`), so a caller
+    /// that has already pinned a shard can address it like any service.
+    pub fn insert_sharded(&mut self, name: &str, shards: Vec<GroupId>, router: Arc<dyn Router>) {
+        for (k, gid) in shards.iter().enumerate() {
+            self.insert(&format!("{name}#{k}"), *gid);
+        }
+        self.sharded
+            .insert(format!("urn:svc:{name}"), ShardedEntry { shards, router });
+    }
+
+    /// Resolves a URI to its group. Returns `None` for unknown URIs *and*
+    /// for sharded logical URIs, which need a key — use [`UriMap::route`].
     pub fn group(&self, uri: &str) -> Option<GroupId> {
         self.by_uri.get(uri).copied()
+    }
+
+    /// Number of shards behind a sharded logical URI (`None` if `uri` is
+    /// not sharded).
+    pub fn shard_count(&self, uri: &str) -> Option<u32> {
+        self.sharded.get(uri).map(|e| e.shards.len() as u32)
+    }
+
+    /// The shard groups behind a sharded logical URI, in shard order.
+    pub fn shard_groups(&self, uri: &str) -> Option<&[GroupId]> {
+        self.sharded.get(uri).map(|e| e.shards.as_slice())
+    }
+
+    /// Routes a request key to its owning group: directly for ordinary
+    /// services, through the service's [`Router`] for sharded ones.
+    /// Returns `(shard index, group)`; the index is 0 for unsharded
+    /// services.
+    ///
+    /// # Errors
+    ///
+    /// [`RouteError::UnknownService`] if `uri` resolves to nothing, and
+    /// [`RouteError::CrossShard`] if the key names entities owned by
+    /// different shards (single-shard operations only).
+    pub fn route(&self, uri: &str, key: &str) -> Result<(u32, GroupId), RouteError> {
+        if let Some(gid) = self.by_uri.get(uri) {
+            return Ok((0, *gid));
+        }
+        let Some(entry) = self.sharded.get(uri) else {
+            return Err(RouteError::UnknownService {
+                uri: uri.to_owned(),
+            });
+        };
+        let shards = entry.shards.len() as u32;
+        let mut owner: Option<u32> = None;
+        let mut spread: Vec<u32> = Vec::new();
+        for k in split_keys(key) {
+            let s = entry.router.shard(k, shards);
+            if owner.is_none_or(|o| o == s) {
+                owner = Some(s);
+            } else if !spread.contains(&s) {
+                spread.push(s);
+            }
+        }
+        if let Some(extra) = owner.filter(|_| !spread.is_empty()) {
+            spread.insert(0, extra);
+            spread.sort_unstable();
+            return Err(RouteError::CrossShard {
+                uri: uri.to_owned(),
+                shards: spread,
+            });
+        }
+        let s = owner.unwrap_or(0);
+        Ok((s, entry.shards[s as usize]))
     }
 }
 
@@ -58,13 +145,21 @@ pub fn default_ws_net() -> NetConfig {
 enum Factory {
     Service(Box<dyn FnMut(u32) -> Box<dyn Service>>),
     Passive(Box<dyn FnMut(u32) -> Box<dyn PassiveService>>),
+    /// Sharded factories receive `(shard, replica)`.
+    ShardedService(Box<dyn FnMut(u32, u32) -> Box<dyn Service>>),
+    ShardedPassive(Box<dyn FnMut(u32, u32) -> Box<dyn PassiveService>>),
 }
 
 struct ServiceSpec {
     name: String,
     n: u32,
+    /// Shard count; 1 for ordinary services.
+    shards: u32,
+    /// The key router for sharded services (`None` for ordinary ones).
+    router: Option<Arc<dyn Router>>,
     factory: Factory,
-    faults: HashMap<u32, FaultMode>,
+    /// Faults keyed by `(shard, replica)`; shard 0 for ordinary services.
+    faults: HashMap<(u32, u32), FaultMode>,
 }
 
 struct ClientSpec {
@@ -101,6 +196,7 @@ pub struct SystemBuilder {
     checkpoint_interval: u64,
     watermark_window: u64,
     recovery_window: Option<SimDuration>,
+    reply_retention: Option<usize>,
     services: Vec<ServiceSpec>,
     clients: Vec<ClientSpec>,
 }
@@ -130,6 +226,7 @@ impl SystemBuilder {
             checkpoint_interval: 64,
             watermark_window: 256,
             recovery_window: None,
+            reply_retention: None,
             services: Vec::new(),
             clients: Vec::new(),
         }
@@ -192,6 +289,16 @@ impl SystemBuilder {
         self
     }
 
+    /// Overrides how many produced replies (and reply routes) every
+    /// replica retains per calling group for retransmits. Smaller values
+    /// shrink checkpoint snapshots; a caller whose retry cadence is slower
+    /// than the group completing this many newer requests risks wedging a
+    /// stuck call (see the contract on the default in `pws-perpetual`).
+    pub fn reply_retention(&mut self, n: usize) -> &mut Self {
+        self.reply_retention = Some(n.max(1));
+        self
+    }
+
     /// Enables proactive recovery (paper §7 future work) for every
     /// replicated service: each window, exactly one replica per group
     /// (round-robin by index) tears its state down — voter log, driver
@@ -215,6 +322,8 @@ impl SystemBuilder {
         self.services.push(ServiceSpec {
             name: name.to_owned(),
             n,
+            shards: 1,
+            router: None,
             factory: Factory::Service(Box::new(move |i| factory(i))),
             faults: HashMap::new(),
         });
@@ -229,24 +338,113 @@ impl SystemBuilder {
         self.services.push(ServiceSpec {
             name: name.to_owned(),
             n,
+            shards: 1,
+            router: None,
             factory: Factory::Passive(Box::new(move |i| factory(i))),
             faults: HashMap::new(),
         });
         self
     }
 
-    /// Injects a fault into replica `idx` of service `name`.
+    /// Adds one *logical* service partitioned across `shards` independent
+    /// voter groups of `n` replicas each, routed by the default
+    /// [`RendezvousRouter`] on the request key. Every per-group subsystem
+    /// — batching, pipelining, checkpointing, state transfer, proactive
+    /// recovery — runs per shard, so agreement throughput scales out with
+    /// the shard count instead of asymptoting at one group's rate.
+    ///
+    /// The factory is invoked once per replica with `(shard, replica)`
+    /// and must produce deterministic services that are identical within
+    /// a shard. Shard `k` is addressable directly as `name#k`
+    /// (`urn:svc:name#k`); the logical URI `urn:svc:name` routes by key.
+    /// Requests whose keys span shards are rejected with the typed
+    /// [`RouteError::CrossShard`] (clients) or a deterministic abort
+    /// fault (service outcalls) — single-shard operations only.
+    pub fn sharded<F>(&mut self, name: &str, shards: u32, n: u32, factory: F) -> &mut Self
+    where
+        F: FnMut(u32, u32) -> Box<dyn Service> + 'static,
+    {
+        self.sharded_with_router(name, shards, n, Arc::new(RendezvousRouter::new()), factory)
+    }
+
+    /// [`SystemBuilder::sharded`] with an explicit key [`Router`].
+    pub fn sharded_with_router<F>(
+        &mut self,
+        name: &str,
+        shards: u32,
+        n: u32,
+        router: Arc<dyn Router>,
+        mut factory: F,
+    ) -> &mut Self
+    where
+        F: FnMut(u32, u32) -> Box<dyn Service> + 'static,
+    {
+        assert!(shards >= 1, "a sharded service needs at least one shard");
+        self.services.push(ServiceSpec {
+            name: name.to_owned(),
+            n,
+            shards,
+            router: Some(router),
+            factory: Factory::ShardedService(Box::new(move |s, i| factory(s, i))),
+            faults: HashMap::new(),
+        });
+        self
+    }
+
+    /// Sharded variant of [`SystemBuilder::passive_service`]: one logical
+    /// passive service across `shards` voter groups of `n` replicas,
+    /// routed by the default [`RendezvousRouter`].
+    pub fn sharded_passive<F>(
+        &mut self,
+        name: &str,
+        shards: u32,
+        n: u32,
+        mut factory: F,
+    ) -> &mut Self
+    where
+        F: FnMut(u32, u32) -> Box<dyn PassiveService> + 'static,
+    {
+        assert!(shards >= 1, "a sharded service needs at least one shard");
+        self.services.push(ServiceSpec {
+            name: name.to_owned(),
+            n,
+            shards,
+            router: Some(Arc::new(RendezvousRouter::new())),
+            factory: Factory::ShardedPassive(Box::new(move |s, i| factory(s, i))),
+            faults: HashMap::new(),
+        });
+        self
+    }
+
+    /// Injects a fault into replica `idx` of service `name`. For sharded
+    /// services address one shard as `name#<shard>`.
     ///
     /// # Panics
     ///
-    /// Panics if the service has not been added yet.
+    /// Panics if the service has not been added yet, or if a shard suffix
+    /// is malformed or out of range — a mistyped shard must fail loudly at
+    /// build time, not leave the fault silently uninjected.
     pub fn fault(&mut self, name: &str, idx: u32, fault: FaultMode) -> &mut Self {
+        let (base, shard) = match name.rsplit_once('#') {
+            Some((base, s)) if self.services.iter().any(|sp| sp.name == base) => {
+                let shard = s
+                    .parse::<u32>()
+                    .unwrap_or_else(|_| panic!("bad shard suffix in '{name}'"));
+                (base, shard)
+            }
+            _ => (name, 0),
+        };
         let spec = self
             .services
             .iter_mut()
-            .find(|s| s.name == name)
+            .find(|s| s.name == base)
             .unwrap_or_else(|| panic!("unknown service '{name}'"));
-        spec.faults.insert(idx, fault);
+        assert!(
+            shard < spec.shards,
+            "service '{base}' has {} shard(s); '{name}' is out of range",
+            spec.shards
+        );
+        spec.faults.insert((shard, idx), fault);
         self
     }
 
@@ -326,15 +524,29 @@ impl SystemBuilder {
         let mut next_group = 0u32;
 
         for spec in &self.services {
-            let gid = GroupId(next_group);
-            next_group += 1;
-            let nodes: Vec<NodeId> = (next_node..next_node + spec.n)
-                .map(NodeId::from_raw)
-                .collect();
-            next_node += spec.n;
-            topo.register(gid, nodes);
-            uris.insert(&spec.name, gid);
-            groups_by_name.insert(spec.name.clone(), gid);
+            // A sharded service occupies `shards` consecutive groups, each
+            // registered under its `name#k` alias; an unsharded one is the
+            // single-group degenerate case of the same loop.
+            let mut shard_groups = Vec::with_capacity(spec.shards as usize);
+            for k in 0..spec.shards {
+                let gid = GroupId(next_group);
+                next_group += 1;
+                let nodes: Vec<NodeId> = (next_node..next_node + spec.n)
+                    .map(NodeId::from_raw)
+                    .collect();
+                next_node += spec.n;
+                topo.register(gid, nodes);
+                if spec.router.is_some() {
+                    groups_by_name.insert(format!("{}#{k}", spec.name), gid);
+                } else {
+                    uris.insert(&spec.name, gid);
+                    groups_by_name.insert(spec.name.clone(), gid);
+                }
+                shard_groups.push(gid);
+            }
+            if let Some(router) = &spec.router {
+                uris.insert_sharded(&spec.name, shard_groups, router.clone());
+            }
         }
         for client in &self.clients {
             let gid = GroupId(next_group);
@@ -349,30 +561,43 @@ impl SystemBuilder {
 
         let mut client_nodes = HashMap::new();
         for mut spec in self.services {
-            let gid = groups_by_name[&spec.name];
-            for idx in 0..spec.n {
-                let mut cfg = ReplicaConfig::new(gid, idx, topo.clone(), self.seed);
-                cfg.cost = self.cost;
-                cfg.view_timeout = self.view_timeout;
-                cfg.retry_interval = self.retry_interval;
-                cfg.max_batch_size = self.max_batch_size;
-                cfg.batch_delay = self.batch_delay;
-                cfg.checkpoint_interval = self.checkpoint_interval;
-                cfg.watermark_window = self.watermark_window;
-                cfg.recovery_interval = self.recovery_window;
-                cfg.fault = spec.faults.get(&idx).copied().unwrap_or_default();
-                let service: Box<dyn Service> = match &mut spec.factory {
-                    Factory::Service(f) => f(idx),
-                    Factory::Passive(f) => Box::new(PassiveHost::new(f(idx))),
+            for shard in 0..spec.shards {
+                let (hosted_name, gid) = if spec.router.is_some() {
+                    let alias = format!("{}#{shard}", spec.name);
+                    let gid = groups_by_name[&alias];
+                    (alias, gid)
+                } else {
+                    (spec.name.clone(), groups_by_name[&spec.name])
                 };
-                let executor: Box<dyn Executor> = Box::new(ServiceExecutor::new(
-                    service,
-                    &spec.name,
-                    uris.clone(),
-                    self.ws_cost,
-                ));
-                let node = sim.add_node(Box::new(PerpetualReplica::new(cfg, executor)));
-                debug_assert_eq!(node, topo.node(gid, idx));
+                for idx in 0..spec.n {
+                    let mut cfg = ReplicaConfig::new(gid, idx, topo.clone(), self.seed);
+                    cfg.cost = self.cost;
+                    cfg.view_timeout = self.view_timeout;
+                    cfg.retry_interval = self.retry_interval;
+                    cfg.max_batch_size = self.max_batch_size;
+                    cfg.batch_delay = self.batch_delay;
+                    cfg.checkpoint_interval = self.checkpoint_interval;
+                    cfg.watermark_window = self.watermark_window;
+                    cfg.recovery_interval = self.recovery_window;
+                    if let Some(r) = self.reply_retention {
+                        cfg.reply_retention = r;
+                    }
+                    cfg.fault = spec.faults.get(&(shard, idx)).copied().unwrap_or_default();
+                    let service: Box<dyn Service> = match &mut spec.factory {
+                        Factory::Service(f) => f(idx),
+                        Factory::Passive(f) => Box::new(PassiveHost::new(f(idx))),
+                        Factory::ShardedService(f) => f(shard, idx),
+                        Factory::ShardedPassive(f) => Box::new(PassiveHost::new(f(shard, idx))),
+                    };
+                    let executor: Box<dyn Executor> = Box::new(ServiceExecutor::new(
+                        service,
+                        &hosted_name,
+                        uris.clone(),
+                        self.ws_cost,
+                    ));
+                    let node = sim.add_node(Box::new(PerpetualReplica::new(cfg, executor)));
+                    debug_assert_eq!(node, topo.node(gid, idx));
+                }
             }
         }
         for spec in self.clients {
@@ -387,13 +612,27 @@ impl SystemBuilder {
                     payload,
                     timeout,
                 } => {
-                    let target_gid = *groups_by_name
-                        .get(&target)
-                        .unwrap_or_else(|| panic!("client target '{target}' unknown"));
+                    let target_uri = service_uri(&target);
+                    // Service targets route through the URI map (sharded
+                    // ones per request key); anything else — e.g. another
+                    // client's degenerate group — stays pinned.
+                    let fixed = if uris.group(&target_uri).is_some()
+                        || uris.shard_count(&target_uri).is_some()
+                    {
+                        None
+                    } else {
+                        Some(
+                            *groups_by_name
+                                .get(&target)
+                                .unwrap_or_else(|| panic!("client target '{target}' unknown")),
+                        )
+                    };
                     Box::new(ScriptedClient {
                         core,
-                        target: target_gid,
-                        target_uri: service_uri(&target),
+                        uris: uris.clone(),
+                        fixed,
+                        shard_metric_keys: HashMap::new(),
+                        target_uri,
                         engine: Engine::with_id_prefix(spec.name.clone()),
                         ws_cost: self.ws_cost,
                         total,
@@ -516,6 +755,23 @@ impl System {
         Some(c.replies.len() as f64 / span)
     }
 
+    /// The span of a scripted client's run: `(first send, last
+    /// completion)`. `None` until both ends exist. Aggregating spans
+    /// across clients gives deployment-wide throughput for sharded
+    /// sweeps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the client name is unknown.
+    pub fn client_span(&mut self, name: &str) -> Option<(SimTime, SimTime)> {
+        let node = self.client_nodes[name];
+        let c = self
+            .sim
+            .node_mut::<ScriptedClient>(node)
+            .expect("scripted client");
+        Some((c.first_send?, c.last_complete?))
+    }
+
     /// The simnet node hosting a client (for typed access to custom client
     /// nodes).
     ///
@@ -554,7 +810,13 @@ impl System {
 /// micro-benchmarks (Figs. 7–9).
 pub struct ScriptedClient {
     core: ClientCore,
-    target: GroupId,
+    uris: Arc<UriMap>,
+    /// `Some` when the target is not a routed service (e.g. another
+    /// client's group); `None` routes per request through the URI map.
+    fixed: Option<GroupId>,
+    /// Cached per-shard metric names (`clbft.shard.route.<g>`), so the
+    /// hot path formats each key once.
+    shard_metric_keys: HashMap<GroupId, String>,
     target_uri: String,
     engine: Engine,
     ws_cost: WsCostModel,
@@ -588,25 +850,57 @@ impl std::fmt::Debug for ScriptedClient {
 
 impl ScriptedClient {
     fn fire(&mut self, ctx: &mut Context<'_>) {
-        if self.sent >= self.total {
+        // An unroutable request (cross-shard key, unknown service) burns
+        // its slot as a recorded error and the loop moves to the next one
+        // — a client whose whole script is unroutable finishes with zero
+        // replies and a telling `client.route_errors` count, instead of
+        // wedging its window forever.
+        while self.sent < self.total {
+            let seq = self.sent;
+            self.sent += 1;
+            let mut mc = MessageContext::request(&self.target_uri, &self.op);
+            mc.body_mut().name = self.op.clone();
+            mc.body_mut().text = if self.payload.is_empty() {
+                seq.to_string()
+            } else {
+                self.payload.clone()
+            };
+            mc.addressing_mut().reply_to = Some("urn:client".to_owned());
+            let target = match self.fixed {
+                Some(gid) => gid,
+                None => match self.uris.route(&self.target_uri, routing_key(&mc)) {
+                    Ok((_, gid)) => {
+                        if self.uris.shard_count(&self.target_uri).is_some() {
+                            ctx.metrics().incr("clbft.shard.routed");
+                            let key = self
+                                .shard_metric_keys
+                                .entry(gid)
+                                .or_insert_with(|| format!("clbft.shard.route.{gid}"));
+                            ctx.metrics().incr(key);
+                        }
+                        gid
+                    }
+                    Err(e) => {
+                        if matches!(e, RouteError::CrossShard { .. }) {
+                            ctx.metrics().incr("clbft.shard.cross_rejected");
+                        }
+                        ctx.metrics().incr("client.route_errors");
+                        continue;
+                    }
+                },
+            };
+            if self.engine.run_out_pipe(&mut mc).is_err() {
+                continue;
+            }
+            let Ok(bytes) = mc.to_bytes() else { continue };
+            ctx.spend(self.ws_cost.marshal_cost(bytes.len()));
+            let call = self.core.call(ctx, target, bytes);
+            self.after_fire(call, ctx);
             return;
         }
-        let seq = self.sent;
-        self.sent += 1;
-        let mut mc = MessageContext::request(&self.target_uri, &self.op);
-        mc.body_mut().name = self.op.clone();
-        mc.body_mut().text = if self.payload.is_empty() {
-            seq.to_string()
-        } else {
-            self.payload.clone()
-        };
-        mc.addressing_mut().reply_to = Some("urn:client".to_owned());
-        if self.engine.run_out_pipe(&mut mc).is_err() {
-            return;
-        }
-        let Ok(bytes) = mc.to_bytes() else { return };
-        ctx.spend(self.ws_cost.marshal_cost(bytes.len()));
-        let call = self.core.call(ctx, self.target, bytes);
+    }
+
+    fn after_fire(&mut self, call: pws_perpetual::CallId, ctx: &mut Context<'_>) {
         self.send_times.insert(call.0, ctx.now());
         if self.first_send.is_none() {
             self.first_send = Some(ctx.now());

@@ -34,6 +34,8 @@ pub enum ClientEvent {
 #[derive(Debug)]
 struct Pending {
     target: GroupId,
+    /// Dense per-target dedup sequence (see `Event::External::target_seq`).
+    target_seq: u64,
     done: bool,
     payload: Bytes,
     retries: u64,
@@ -47,6 +49,9 @@ pub struct ClientCore {
     keys: KeyTable,
     cost: CostModel,
     next_call: u64,
+    /// Dense per-target sequence counters (the dedup key space; a sharded
+    /// target's shards each see a contiguous stream).
+    next_target_seq: HashMap<GroupId, u64>,
     pending: HashMap<u64, Pending>,
 }
 
@@ -64,6 +69,7 @@ impl ClientCore {
             keys: KeyTable::new(master_seed),
             cost,
             next_call: 0,
+            next_target_seq: HashMap::new(),
             pending: HashMap::new(),
         }
     }
@@ -83,16 +89,20 @@ impl ClientCore {
     pub fn call(&mut self, ctx: &mut Context<'_>, target: GroupId, payload: Bytes) -> CallId {
         let call_no = self.next_call;
         self.next_call += 1;
+        let seq = self.next_target_seq.entry(target).or_insert(0);
+        let target_seq = *seq;
+        *seq += 1;
         self.pending.insert(
             call_no,
             Pending {
                 target,
+                target_seq,
                 done: false,
                 payload: payload.clone(),
                 retries: 0,
             },
         );
-        self.transmit(ctx, call_no, target, 0, payload);
+        self.transmit(ctx, call_no, target, target_seq, 0, payload);
         ctx.metrics().incr("client.calls_issued");
         CallId(call_no)
     }
@@ -108,9 +118,10 @@ impl ClientCore {
             return;
         }
         p.retries += 1;
-        let (target, retries, payload) = (p.target, p.retries, p.payload.clone());
+        let (target, target_seq, retries, payload) =
+            (p.target, p.target_seq, p.retries, p.payload.clone());
         ctx.metrics().incr("client.call_retries");
-        self.transmit(ctx, call.0, target, retries, payload);
+        self.transmit(ctx, call.0, target, target_seq, retries, payload);
     }
 
     fn transmit(
@@ -118,6 +129,7 @@ impl ClientCore {
         ctx: &mut Context<'_>,
         call_no: u64,
         target: GroupId,
+        target_seq: u64,
         retries: u64,
         payload: Bytes,
     ) {
@@ -126,6 +138,7 @@ impl ClientCore {
             caller: self.group,
             caller_n: 1,
             req_no: call_no,
+            target_seq,
             responder: ((call_no + retries) % target_n as u64) as u32,
             timeout_ms: 0,
             payload,
@@ -217,6 +230,7 @@ mod tests {
             0,
             Pending {
                 target: GroupId(0),
+                target_seq: 0,
                 done: false,
                 payload: Bytes::new(),
                 retries: 0,

@@ -69,8 +69,17 @@ pub enum Event {
         caller: GroupId,
         /// Size of the calling group (determines the `f_c + 1` threshold).
         caller_n: u32,
-        /// Caller-assigned call number (unique within the caller group).
+        /// Caller-assigned call number (unique within the caller group;
+        /// keys reply routing and retransmits).
         req_no: u64,
+        /// Caller-assigned *per-target* sequence number: dense within
+        /// `(caller, target group)`, so it keys deduplication. A caller's
+        /// global `req_no` stream is scattered across shards by key
+        /// routing — using it for dedup would leave permanent holes in
+        /// every shard's per-origin compaction ([`pws_clbft::ExecutedSet`]
+        /// would degenerate to O(history)); the per-target counter stays
+        /// contiguous at each receiving group by construction.
+        target_seq: u64,
         /// Index of the target replica chosen as responder for the reply.
         responder: u32,
         /// Timeout the caller wants (0 = never abort).
@@ -135,6 +144,7 @@ impl Event {
                 caller,
                 caller_n,
                 req_no,
+                target_seq,
                 responder,
                 timeout_ms,
                 payload,
@@ -143,6 +153,7 @@ impl Event {
                 e.put_u32(caller.0);
                 e.put_u32(*caller_n);
                 e.put_u64(*req_no);
+                e.put_u64(*target_seq);
                 e.put_u32(*responder);
                 e.put_u64(*timeout_ms);
                 e.put_bytes(payload);
@@ -188,6 +199,7 @@ impl Event {
                 caller: GroupId(d.u32()?),
                 caller_n: d.u32()?,
                 req_no: d.u64()?,
+                target_seq: d.u64()?,
                 responder: d.u32()?,
                 timeout_ms: d.u64()?,
                 payload: d.bytes()?,
@@ -232,9 +244,14 @@ impl Event {
     /// primary's suggestion is the one that gets ordered (§4.2).
     pub fn request_id(&self) -> RequestId {
         match self {
-            Event::External { caller, req_no, .. } => {
-                RequestId::new(origin::external(caller.0), *req_no)
-            }
+            // Dedup keys on the dense per-target sequence number, not the
+            // caller's global `req_no`: at any one (possibly sharded)
+            // target group the counters stay contiguous, so the executed
+            // set compacts to a per-caller prefix instead of a sparse
+            // residue.
+            Event::External {
+                caller, target_seq, ..
+            } => RequestId::new(origin::external(caller.0), *target_seq),
             Event::Result {
                 call_no, digest, ..
             } => {
@@ -272,6 +289,7 @@ mod tests {
                 caller: GroupId(3),
                 caller_n: 4,
                 req_no: 77,
+                target_seq: 41,
                 responder: 2,
                 timeout_ms: 5000,
                 payload: Bytes::from_static(b"do-it"),

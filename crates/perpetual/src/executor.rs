@@ -104,6 +104,7 @@ pub enum AppCmd {
 #[derive(Debug)]
 pub struct AppOutput {
     pub(crate) cmds: Vec<AppCmd>,
+    pub(crate) metrics: Vec<String>,
     next_call: u64,
     next_token: u64,
 }
@@ -113,9 +114,22 @@ impl AppOutput {
     pub fn new(next_call: u64, next_token: u64) -> Self {
         AppOutput {
             cmds: Vec::new(),
+            metrics: Vec::new(),
             next_call,
             next_token,
         }
+    }
+
+    /// Queues a counter increment the hosting replica applies after this
+    /// delivery (executors have no metrics registry of their own). Used by
+    /// the Web-Services layer for routing observability (`clbft.shard.*`).
+    pub fn incr_metric(&mut self, name: impl Into<String>) {
+        self.metrics.push(name.into());
+    }
+
+    /// Drains the queued metric increments.
+    pub fn take_metrics(&mut self) -> Vec<String> {
+        std::mem::take(&mut self.metrics)
     }
 
     /// Issues an asynchronous call to `target`; returns its id. The reply

@@ -170,6 +170,7 @@ mod tests {
                 caller: GroupId(1),
                 caller_n: 4,
                 req_no: 7,
+                target_seq: 5,
                 responder: 0,
                 timeout_ms: 0,
                 payload: Bytes::from_static(b"op"),

@@ -28,14 +28,64 @@ use crate::group::{GroupId, Topology};
 use crate::messages::{decode_pmsg, encode_pmsg, reply_digest, request_tag, PMsg};
 use bytes::Bytes;
 use pws_clbft::{
-    wire as bft_wire, Action, Config, Msg, Replica as BftReplica, ReplicaId, TimerCmd,
+    wire as bft_wire, Action, Config, ExecutedSet, Msg, Replica as BftReplica, ReplicaId,
+    RequestId as BftRequestId, TimerCmd,
 };
 use pws_crypto::auth::{verify_bundle, BundleShare};
 use pws_crypto::keys::KeyTable;
 use pws_crypto::sha256::Digest32;
 use pws_simnet::{Context, Node, NodeId, SimDuration, TimerId};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
+
+/// Default for [`ReplicaConfig::reply_retention`]: how many produced
+/// replies (and reply routes) are retained per calling group for
+/// responder-rotation retransmits. Callers only ever retry calls they
+/// still have outstanding, so pruning the oldest entries keeps the
+/// checkpointable driver state from growing with request history while
+/// preserving every retransmit any live caller can ask for.
+///
+/// **Contract:** a caller must keep far fewer than this many calls
+/// outstanding against one target group (every client and caller in this
+/// workspace uses windows ≤ 16), and its retry cadence must revisit a
+/// stuck call well before the group completes this many *newer* requests
+/// for it — eviction of a still-wanted reply wedges that call for good.
+/// The default gives a churn-degraded group several client retry cycles
+/// of slack. This mirrors Castro–Liskov, where the reply cache holds
+/// exactly *one* reply per client (their clients are
+/// single-outstanding); the window here is 512× more generous.
+pub const DEFAULT_REPLY_RETENTION: usize = 512;
+
+/// The dedup key for a delivered external request: the calling group is
+/// the origin, the caller's dense *per-target* sequence number the
+/// counter — exactly the shape [`ExecutedSet`] compacts to a contiguous
+/// prefix per caller, even when the caller scatters its global `req_no`
+/// stream across shards.
+fn delivered_key(caller: GroupId, target_seq: u64) -> BftRequestId {
+    BftRequestId::new(caller.0 as u64, target_seq)
+}
+
+/// Inserts into a per-caller retention-bounded map, evicting the
+/// lowest-numbered entries past `retention` — but never the entry just
+/// inserted. A straggler request can be ordered long after its numeric
+/// peers (dropped by a view change mid-churn and re-proposed), making the
+/// *newest* insertion the *lowest* key in the map; evicting it on sight
+/// would discard its reply or route before they were ever used.
+fn insert_bounded<T>(per: &mut BTreeMap<u64, T>, req_no: u64, value: T, retention: usize) {
+    per.insert(req_no, value);
+    while per.len() > retention.max(1) {
+        let lowest = *per.keys().next().expect("nonempty past retention");
+        let victim = if lowest == req_no {
+            match per.keys().nth(1) {
+                Some(k) => *k,
+                None => break,
+            }
+        } else {
+            lowest
+        };
+        per.remove(&victim);
+    }
+}
 
 /// Static configuration of one Perpetual replica.
 pub struct ReplicaConfig {
@@ -76,6 +126,10 @@ pub struct ReplicaConfig {
     /// (`n = 1`): with no peers to fetch state from, a wipe would be an
     /// irrecoverable crash.
     pub recovery_interval: Option<SimDuration>,
+    /// Produced replies and reply routes retained per calling group for
+    /// retransmits (see [`DEFAULT_REPLY_RETENTION`] for the caller-side
+    /// contract).
+    pub reply_retention: usize,
     /// Fault injection mode.
     pub fault: FaultMode,
 }
@@ -97,6 +151,7 @@ impl ReplicaConfig {
             checkpoint_interval: 64,
             watermark_window: 256,
             recovery_interval: None,
+            reply_retention: DEFAULT_REPLY_RETENTION,
             fault: FaultMode::Correct,
         }
     }
@@ -125,14 +180,11 @@ impl std::fmt::Debug for ReplicaConfig {
 #[derive(Debug)]
 struct CallState {
     target: GroupId,
+    /// Dense per-target dedup sequence (see `Event::External::target_seq`).
+    target_seq: u64,
     done: bool,
     /// Original request payload, kept for retransmission.
     payload: Bytes,
-}
-
-#[derive(Debug)]
-struct ReplyRoute {
-    responder: u32,
 }
 
 #[derive(Debug, Default)]
@@ -172,11 +224,22 @@ pub struct PerpetualReplica {
     executor: Box<dyn Executor>,
     next_call: u64,
     next_token: u64,
+    /// Dense per-target sequence counters: the dedup key space of our own
+    /// outcalls (see `Event::External::target_seq`).
+    next_target_seq: BTreeMap<u32, u64>,
     calls: HashMap<u64, CallState>,
-    delivered_external: HashSet<(GroupId, u64)>,
-    reply_info: HashMap<(GroupId, u64), ReplyRoute>,
-    /// Replies already produced, kept for responder-rotation retransmits.
-    replies_sent: HashMap<(GroupId, u64), Bytes>,
+    /// Delivered external requests, compacted per calling group (the
+    /// driver-level dedup mirror of the voter's [`ExecutedSet`]).
+    delivered_external: ExecutedSet,
+    /// Reply routes (chosen responder per delivered request), bounded per
+    /// caller like [`PerpetualReplica::replies_sent`] — retransmits
+    /// re-derive the route from the incoming request anyway, so old
+    /// entries carry no information a live caller still needs.
+    reply_info: HashMap<GroupId, BTreeMap<u64, u32>>,
+    /// Replies already produced, kept (bounded per caller by
+    /// [`ReplicaConfig::reply_retention`]) for responder-rotation
+    /// retransmits.
+    replies_sent: HashMap<GroupId, BTreeMap<u64, Bytes>>,
     /// Result proposals submitted into agreement, per call, so obsolete ones
     /// can be withdrawn when the call resolves.
     submitted_results: HashMap<u64, Vec<pws_clbft::RequestId>>,
@@ -230,9 +293,10 @@ impl PerpetualReplica {
             abort_fired: HashSet::new(),
             executor,
             next_call: 0,
+            next_target_seq: BTreeMap::new(),
             next_token: 0,
             calls: HashMap::new(),
-            delivered_external: HashSet::new(),
+            delivered_external: ExecutedSet::new(),
             reply_info: HashMap::new(),
             replies_sent: HashMap::new(),
             submitted_results: HashMap::new(),
@@ -291,6 +355,14 @@ impl PerpetualReplica {
         (self.bft.stable_seq(), self.bft.stable_digest())
     }
 
+    /// The voter's dedup-set footprint: `(request ids covered, wire
+    /// entries)`. The compaction evidence for tests: ids grow with request
+    /// history while entries stay `O(origins + reorder residue)`.
+    pub fn bft_dedup_footprint(&self) -> (u64, usize) {
+        let set = self.bft.executed_set();
+        (set.id_count(), set.wire_entries())
+    }
+
     /// The hosted executor's application snapshot (for digest-checked
     /// recovery assertions).
     pub fn service_snapshot(&self) -> Vec<u8> {
@@ -306,12 +378,24 @@ impl PerpetualReplica {
             self.bft.outstanding(),
             self.gated.len(),
             self.validated.len(),
-            self.delivered_external.len(),
+            self.delivered_external.id_count() as usize,
         )
     }
 
     fn my_node(&self) -> NodeId {
         self.cfg.topology.node(self.cfg.group, self.cfg.index)
+    }
+
+    /// Records the responder choice for a delivered request, bounded per
+    /// caller like the reply cache — retransmits re-derive the route from
+    /// the incoming request, so only the newest window matters.
+    fn record_reply_route(&mut self, caller: GroupId, req_no: u64, responder: u32) {
+        insert_bounded(
+            self.reply_info.entry(caller).or_default(),
+            req_no,
+            responder,
+            self.cfg.reply_retention,
+        );
     }
 
     fn send_pmsg(&mut self, to: NodeId, msg: &PMsg, extra_macs: usize, ctx: &mut Context<'_>) {
@@ -437,27 +521,22 @@ impl PerpetualReplica {
             .map(|(no, c)| crate::snapshot::CallSnap {
                 call_no: *no,
                 target: c.target.0,
+                target_seq: c.target_seq,
                 done: c.done,
                 payload: c.payload.clone(),
             })
             .collect();
         calls.sort_by_key(|c| c.call_no);
-        let mut delivered: Vec<(u32, u64)> = self
-            .delivered_external
-            .iter()
-            .map(|(g, r)| (g.0, *r))
-            .collect();
-        delivered.sort_unstable();
         let mut reply_routes: Vec<(u32, u64, u32)> = self
             .reply_info
             .iter()
-            .map(|((g, r), route)| (g.0, *r, route.responder))
+            .flat_map(|(g, per)| per.iter().map(|(r, resp)| (g.0, *r, *resp)))
             .collect();
         reply_routes.sort_unstable();
         let mut replies_sent: Vec<(u32, u64, Bytes)> = self
             .replies_sent
             .iter()
-            .map(|((g, r), payload)| (g.0, *r, payload.clone()))
+            .flat_map(|(g, per)| per.iter().map(|(r, payload)| (g.0, *r, payload.clone())))
             .collect();
         replies_sent.sort_by_key(|(g, r, _)| (*g, *r));
         let mut resolved_tokens: Vec<u64> = self.resolved_tokens.iter().copied().collect();
@@ -465,8 +544,9 @@ impl PerpetualReplica {
         crate::snapshot::DriverSnapshot {
             next_call: self.next_call,
             next_token: self.next_token,
+            next_target_seq: self.next_target_seq.iter().map(|(g, s)| (*g, *s)).collect(),
             calls,
-            delivered,
+            delivered: self.delivered_external.clone(),
             reply_routes,
             replies_sent,
             resolved_tokens,
@@ -491,6 +571,7 @@ impl PerpetualReplica {
         };
         self.next_call = snap.next_call;
         self.next_token = snap.next_token;
+        self.next_target_seq = snap.next_target_seq.iter().copied().collect();
         self.calls = snap
             .calls
             .iter()
@@ -499,27 +580,28 @@ impl PerpetualReplica {
                     c.call_no,
                     CallState {
                         target: GroupId(c.target),
+                        target_seq: c.target_seq,
                         done: c.done,
                         payload: c.payload.clone(),
                     },
                 )
             })
             .collect();
-        self.delivered_external = snap
-            .delivered
-            .iter()
-            .map(|(g, r)| (GroupId(*g), *r))
-            .collect();
-        self.reply_info = snap
-            .reply_routes
-            .iter()
-            .map(|(g, r, resp)| ((GroupId(*g), *r), ReplyRoute { responder: *resp }))
-            .collect();
-        self.replies_sent = snap
-            .replies_sent
-            .iter()
-            .map(|(g, r, payload)| ((GroupId(*g), *r), payload.clone()))
-            .collect();
+        self.delivered_external = snap.delivered.clone();
+        self.reply_info = HashMap::new();
+        for (g, r, resp) in &snap.reply_routes {
+            self.reply_info
+                .entry(GroupId(*g))
+                .or_default()
+                .insert(*r, *resp);
+        }
+        self.replies_sent = HashMap::new();
+        for (g, r, payload) in &snap.replies_sent {
+            self.replies_sent
+                .entry(GroupId(*g))
+                .or_default()
+                .insert(*r, payload.clone());
+        }
         self.resolved_tokens = snap.resolved_tokens.iter().copied().collect();
         self.executor.restore(&snap.executor);
         // Timer fixups: resolved calls need no timers; unresolved restored
@@ -551,13 +633,14 @@ impl PerpetualReplica {
         self.gated.clear();
         self.abort_fired.clear();
         self.calls.clear();
-        self.delivered_external.clear();
+        self.delivered_external = ExecutedSet::new();
         self.reply_info.clear();
         self.replies_sent.clear();
         self.submitted_results.clear();
         self.resolved_tokens.clear();
         self.responder_state.clear();
         self.next_call = 0;
+        self.next_target_seq.clear();
         self.next_token = 0;
         for t in self
             .view_timer
@@ -689,12 +772,13 @@ impl PerpetualReplica {
             caller,
             caller_n,
             req_no,
+            target_seq,
             ..
         } = &ev
         else {
             return;
         };
-        let (caller, caller_n, req_no) = (*caller, *caller_n, *req_no);
+        let (caller, caller_n, req_no, target_seq) = (*caller, *caller_n, *req_no, *target_seq);
         if !self.cfg.topology.contains(caller) || self.cfg.topology.n(caller) != caller_n {
             return;
         }
@@ -722,7 +806,10 @@ impl PerpetualReplica {
         if voters.len() < threshold {
             return;
         }
-        if self.delivered_external.contains(&key) {
+        if self
+            .delivered_external
+            .contains(&delivered_key(caller, target_seq))
+        {
             // A retransmit of an already-executed request: the caller is
             // still waiting for the reply (e.g. the original responder is
             // faulty). Honour the rotated responder choice and re-send our
@@ -731,9 +818,14 @@ impl PerpetualReplica {
                 return;
             };
             let responder = responder.min(self.n - 1);
-            self.reply_info.insert(key, ReplyRoute { responder });
+            self.record_reply_route(caller, req_no, responder);
             self.candidates.remove(&key);
-            if let Some(payload) = self.replies_sent.get(&key).cloned() {
+            let retained = self
+                .replies_sent
+                .get(&caller)
+                .and_then(|per| per.get(&req_no))
+                .cloned();
+            if let Some(payload) = retained {
                 ctx.metrics().incr("perpetual.shares_retransmitted");
                 self.send_share(caller, req_no, responder, payload, ctx);
             }
@@ -937,21 +1029,20 @@ impl PerpetualReplica {
             Event::External {
                 caller,
                 req_no,
+                target_seq,
                 responder,
                 payload,
                 ..
             } => {
                 let key = (caller, req_no);
-                if !self.delivered_external.insert(key) {
+                if !self
+                    .delivered_external
+                    .insert(delivered_key(caller, target_seq))
+                {
                     return;
                 }
                 self.candidates.remove(&key);
-                self.reply_info.insert(
-                    key,
-                    ReplyRoute {
-                        responder: responder.min(self.n - 1),
-                    },
-                );
+                self.record_reply_route(caller, req_no, responder.min(self.n - 1));
                 ctx.metrics().incr("perpetual.requests_delivered");
                 self.deliver(
                     AppEvent::Request {
@@ -1041,6 +1132,9 @@ impl PerpetualReplica {
         let (nc, nt) = out.counters();
         self.next_call = nc;
         self.next_token = nt;
+        for name in out.take_metrics() {
+            ctx.metrics().incr(&name);
+        }
         let cmds = std::mem::take(&mut out.cmds);
         for cmd in cmds {
             self.run_cmd(cmd, ctx);
@@ -1062,6 +1156,7 @@ impl PerpetualReplica {
                         call.0,
                         CallState {
                             target,
+                            target_seq: 0,
                             done: true,
                             payload,
                         },
@@ -1069,10 +1164,14 @@ impl PerpetualReplica {
                     self.deliver(AppEvent::Aborted { call }, ctx);
                     return;
                 }
+                let seq = self.next_target_seq.entry(target.0).or_insert(0);
+                let target_seq = *seq;
+                *seq += 1;
                 self.calls.insert(
                     call.0,
                     CallState {
                         target,
+                        target_seq,
                         done: false,
                         payload: payload.clone(),
                     },
@@ -1082,6 +1181,7 @@ impl PerpetualReplica {
                     caller: self.cfg.group,
                     caller_n: self.n,
                     req_no: call.0,
+                    target_seq,
                     responder: (call.0 % target_n as u64) as u32,
                     timeout_ms: timeout.map_or(0, |d| d.as_millis()),
                     payload,
@@ -1101,11 +1201,18 @@ impl PerpetualReplica {
                 self.retry_by_call.insert(call.0, rt);
             }
             AppCmd::Reply { to, payload } => {
-                let key = (to.caller, to.req_no);
-                let Some(route) = self.reply_info.get(&key) else {
-                    return;
-                };
-                let responder = route.responder;
+                // The recorded route is an optimization (it tracks the
+                // caller's rotated responder preference); a missing entry
+                // — e.g. evicted around a straggler delivery — falls back
+                // to the deterministic default responder, which every
+                // replica derives identically from the agreed request
+                // number and a retrying caller rotates past if faulty.
+                let responder = self
+                    .reply_info
+                    .get(&to.caller)
+                    .and_then(|per| per.get(&to.req_no))
+                    .copied()
+                    .unwrap_or((to.req_no % self.n as u64) as u32);
                 let mut payload = payload;
                 if self.cfg.fault == FaultMode::CorruptReplies {
                     let mut bad = payload.to_vec();
@@ -1116,7 +1223,15 @@ impl PerpetualReplica {
                     }
                     payload = Bytes::from(bad);
                 }
-                self.replies_sent.insert(key, payload.clone());
+                // Bounded retention: the oldest reply goes once the caller
+                // can no longer be waiting on it (see
+                // DEFAULT_REPLY_RETENTION for the contract).
+                insert_bounded(
+                    self.replies_sent.entry(to.caller).or_default(),
+                    to.req_no,
+                    payload.clone(),
+                    self.cfg.reply_retention,
+                );
                 ctx.metrics().incr("perpetual.replies_produced");
                 self.send_share(to.caller, to.req_no, responder, payload, ctx);
             }
@@ -1255,14 +1370,15 @@ impl Node for PerpetualReplica {
             let retries = *r as u64;
             ctx.metrics().incr("perpetual.call_retries");
             let target_n = self.cfg.topology.n(target);
-            let payload = match self.calls.get(&call_no) {
-                Some(c) => c.payload.clone(),
+            let (payload, target_seq) = match self.calls.get(&call_no) {
+                Some(c) => (c.payload.clone(), c.target_seq),
                 None => return,
             };
             let ev = Event::External {
                 caller: self.cfg.group,
                 caller_n: self.n,
                 req_no: call_no,
+                target_seq,
                 responder: ((call_no + retries) % target_n as u64) as u32,
                 timeout_ms: 0,
                 payload,

@@ -17,6 +17,7 @@
 
 use bytes::Bytes;
 pub use pws_clbft::wire::{Decoder, Encoder, WireError};
+use pws_clbft::ExecutedSet;
 
 /// Upper bound on any one collection in a snapshot, mirroring the wire
 /// codec's allocation caps.
@@ -29,6 +30,8 @@ pub struct CallSnap {
     pub call_no: u64,
     /// The target group (raw id).
     pub target: u32,
+    /// The dense per-target dedup sequence assigned to the call.
+    pub target_seq: u64,
     /// Whether the call has resolved (reply or abort delivered).
     pub done: bool,
     /// The original request payload, kept for retransmission.
@@ -42,13 +45,24 @@ pub struct DriverSnapshot {
     pub next_call: u64,
     /// Next time-query token to assign.
     pub next_token: u64,
+    /// Next per-target dedup sequence to assign, `(target group, next)`,
+    /// sorted.
+    pub next_target_seq: Vec<(u32, u64)>,
     /// Outcall table, sorted by call number.
     pub calls: Vec<CallSnap>,
-    /// Delivered external requests `(caller group, req_no)`, sorted.
-    pub delivered: Vec<(u32, u64)>,
+    /// Delivered external requests, compacted per calling group
+    /// (origin = caller group id, counter = the caller's dense per-target
+    /// `target_seq`): O(callers + reorder residue) bytes instead of 12
+    /// per delivered request, sharded targets included.
+    pub delivered: ExecutedSet,
     /// Reply routes `(caller group, req_no, responder)`, sorted by key.
+    /// Bounded per caller like `replies_sent`.
     pub reply_routes: Vec<(u32, u64, u32)>,
     /// Produced replies `(caller group, req_no, payload)`, sorted by key.
+    /// Bounded: the driver retains only the newest replies per caller
+    /// (`ReplicaConfig::reply_retention`, default
+    /// `DEFAULT_REPLY_RETENTION`), so this section no longer grows with
+    /// request history.
     pub replies_sent: Vec<(u32, u64, Bytes)>,
     /// Resolved time-vote tokens, sorted.
     pub resolved_tokens: Vec<u64>,
@@ -61,21 +75,25 @@ impl DriverSnapshot {
     /// [`DriverSnapshot`] builders in this crate guarantee it).
     pub fn encode(&self) -> Bytes {
         let mut e = Encoder::new();
-        e.put_u8(1); // version
+        // Version 2: `delivered` is a per-origin compact ExecutedSet (v1
+        // stored it as a flat `(group, req_no)` list).
+        e.put_u8(2);
         e.put_u64(self.next_call);
         e.put_u64(self.next_token);
+        e.put_u32(self.next_target_seq.len() as u32);
+        for (g, s) in &self.next_target_seq {
+            e.put_u32(*g);
+            e.put_u64(*s);
+        }
         e.put_u32(self.calls.len() as u32);
         for c in &self.calls {
             e.put_u64(c.call_no);
             e.put_u32(c.target);
+            e.put_u64(c.target_seq);
             e.put_u8(u8::from(c.done));
             e.put_bytes(&c.payload);
         }
-        e.put_u32(self.delivered.len() as u32);
-        for (g, r) in &self.delivered {
-            e.put_u32(*g);
-            e.put_u64(*r);
-        }
+        self.delivered.encode_into(&mut e);
         e.put_u32(self.reply_routes.len() as u32);
         for (g, r, resp) in &self.reply_routes {
             e.put_u32(*g);
@@ -104,22 +122,24 @@ impl DriverSnapshot {
     /// input.
     pub fn decode(buf: &[u8]) -> Result<DriverSnapshot, WireError> {
         let mut d = Decoder::new(buf);
-        if d.u8()? != 1 {
+        if d.u8()? != 2 {
             return Err(snapshot_err());
         }
         let next_call = d.u64()?;
         let next_token = d.u64()?;
+        let next_target_seq = counted(&mut d, MAX_SNAPSHOT_ITEMS, snapshot_err, |d| {
+            Ok((d.u32()?, d.u64()?))
+        })?;
         let calls = counted(&mut d, MAX_SNAPSHOT_ITEMS, snapshot_err, |d| {
             Ok(CallSnap {
                 call_no: d.u64()?,
                 target: d.u32()?,
+                target_seq: d.u64()?,
                 done: d.u8()? != 0,
                 payload: d.bytes()?,
             })
         })?;
-        let delivered = counted(&mut d, MAX_SNAPSHOT_ITEMS, snapshot_err, |d| {
-            Ok((d.u32()?, d.u64()?))
-        })?;
+        let delivered = ExecutedSet::decode_from(&mut d, MAX_SNAPSHOT_ITEMS)?;
         let reply_routes = counted(&mut d, MAX_SNAPSHOT_ITEMS, snapshot_err, |d| {
             Ok((d.u32()?, d.u64()?, d.u32()?))
         })?;
@@ -132,6 +152,7 @@ impl DriverSnapshot {
         Ok(DriverSnapshot {
             next_call,
             next_token,
+            next_target_seq,
             calls,
             delivered,
             reply_routes,
@@ -175,21 +196,29 @@ mod tests {
         DriverSnapshot {
             next_call: 7,
             next_token: 3,
+            next_target_seq: vec![(2, 6)],
             calls: vec![
                 CallSnap {
                     call_no: 1,
                     target: 2,
+                    target_seq: 0,
                     done: true,
                     payload: Bytes::from_static(b"req-1"),
                 },
                 CallSnap {
                     call_no: 5,
                     target: 2,
+                    target_seq: 1,
                     done: false,
                     payload: Bytes::from_static(b"req-5"),
                 },
             ],
-            delivered: vec![(0, 1), (0, 2)],
+            delivered: [
+                pws_clbft::RequestId::new(0, 1),
+                pws_clbft::RequestId::new(0, 2),
+            ]
+            .into_iter()
+            .collect(),
             reply_routes: vec![(0, 1, 3)],
             replies_sent: vec![(0, 1, Bytes::from_static(b"reply"))],
             resolved_tokens: vec![0, 1, 2],

@@ -73,6 +73,6 @@ pub mod trace;
 pub use context::{Context, TimerId};
 pub use net::{LinkConfig, NetConfig};
 pub use node::{Node, NodeId};
-pub use rng::DetRng;
+pub use rng::{splitmix64, DetRng};
 pub use sim::{RunOutcome, Simulation};
 pub use time::{SimDuration, SimTime};

@@ -8,8 +8,37 @@
 
 use crate::node::NodeId;
 use crate::rng::DetRng;
-use crate::time::SimDuration;
+use crate::time::{SimDuration, SimTime};
 use std::collections::{HashMap, HashSet};
+
+/// A scheduled *flapping* partition between two nodes: starting at
+/// `start`, the (bidirectional) link is severed for `down`, healed for
+/// `up`, severed again, and so on. The schedule is purely a function of
+/// virtual time, so fault injection stays deterministic — the same seed
+/// sees the same messages lost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Flap {
+    a: NodeId,
+    b: NodeId,
+    start: SimTime,
+    down: SimDuration,
+    up: SimDuration,
+}
+
+impl Flap {
+    /// Whether the link is in a severed phase at `now`.
+    fn severed_at(&self, now: SimTime) -> bool {
+        if now < self.start {
+            return false;
+        }
+        let period = (self.down + self.up).as_micros().max(1);
+        (now.as_micros() - self.start.as_micros()) % period < self.down.as_micros()
+    }
+
+    fn covers(&self, from: NodeId, to: NodeId) -> bool {
+        (self.a == from && self.b == to) || (self.a == to && self.b == from)
+    }
+}
 
 /// Latency/reliability parameters for a single directed link.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -57,6 +86,7 @@ pub struct NetConfig {
     /// self-sends); models a local queue hand-off.
     local: SimDuration,
     partitioned: HashSet<(NodeId, NodeId)>,
+    flaps: Vec<Flap>,
     crashed: HashSet<NodeId>,
 }
 
@@ -68,6 +98,7 @@ impl NetConfig {
             overrides: HashMap::new(),
             local: SimDuration::from_micros(1),
             partitioned: HashSet::new(),
+            flaps: Vec::new(),
             crashed: HashSet::new(),
         }
     }
@@ -103,9 +134,46 @@ impl NetConfig {
         self.partitioned.remove(&(from, to));
     }
 
-    /// Heals every partition.
+    /// Heals every partition and cancels every flap schedule.
     pub fn heal_all(&mut self) {
         self.partitioned.clear();
+        self.flaps.clear();
+    }
+
+    /// Schedules a *flapping* partition between `a` and `b` (both
+    /// directions): from `start`, the link is severed for `down`, healed
+    /// for `up`, severed again, and so on until [`NetConfig::clear_flaps`]
+    /// (or [`NetConfig::heal_all`]). Deterministic: purely a function of
+    /// virtual time. This is the churniest partition fault — protocols
+    /// must survive links that come back just long enough to leak partial
+    /// quorums.
+    pub fn flap_partition_both(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        start: SimTime,
+        down: SimDuration,
+        up: SimDuration,
+    ) {
+        self.flaps.push(Flap {
+            a,
+            b,
+            start,
+            down,
+            up,
+        });
+    }
+
+    /// Cancels every flap schedule (static partitions stay).
+    pub fn clear_flaps(&mut self) {
+        self.flaps.clear();
+    }
+
+    /// Whether any flap schedule currently severs `from → to` at `now`.
+    pub fn flap_severed(&self, from: NodeId, to: NodeId, now: SimTime) -> bool {
+        self.flaps
+            .iter()
+            .any(|f| f.covers(from, to) && f.severed_at(now))
     }
 
     /// Marks a node as crashed: it receives nothing and its messages vanish.
@@ -130,6 +198,7 @@ impl NetConfig {
         from: NodeId,
         to: NodeId,
         len: usize,
+        now: SimTime,
         rng: &mut DetRng,
     ) -> Option<SimDuration> {
         if self.crashed.contains(&from) || self.crashed.contains(&to) {
@@ -139,6 +208,9 @@ impl NetConfig {
             return Some(self.local);
         }
         if self.partitioned.contains(&(from, to)) {
+            return None;
+        }
+        if !self.flaps.is_empty() && self.flap_severed(from, to, now) {
             return None;
         }
         let link = self
@@ -172,7 +244,10 @@ mod tests {
         let net = NetConfig::new(LinkConfig::IDEAL);
         let mut rng = DetRng::derive(0, 0);
         let (a, b) = ids();
-        assert_eq!(net.latency(a, b, 100, &mut rng), Some(SimDuration::ZERO));
+        assert_eq!(
+            net.latency(a, b, 100, SimTime::ZERO, &mut rng),
+            Some(SimDuration::ZERO)
+        );
     }
 
     #[test]
@@ -189,7 +264,7 @@ mod tests {
         let mut rng = DetRng::derive(0, 0);
         let (a, b) = ids();
         assert_eq!(
-            net.latency(a, b, 100, &mut rng),
+            net.latency(a, b, 100, SimTime::ZERO, &mut rng),
             Some(SimDuration::from_micros(50))
         );
     }
@@ -200,10 +275,10 @@ mod tests {
         let (a, b) = ids();
         net.partition(a, b);
         let mut rng = DetRng::derive(0, 0);
-        assert!(net.latency(a, b, 0, &mut rng).is_none());
-        assert!(net.latency(b, a, 0, &mut rng).is_some());
+        assert!(net.latency(a, b, 0, SimTime::ZERO, &mut rng).is_none());
+        assert!(net.latency(b, a, 0, SimTime::ZERO, &mut rng).is_some());
         net.heal(a, b);
-        assert!(net.latency(a, b, 0, &mut rng).is_some());
+        assert!(net.latency(a, b, 0, SimTime::ZERO, &mut rng).is_some());
     }
 
     #[test]
@@ -213,10 +288,10 @@ mod tests {
         net.crash(b);
         assert!(net.is_crashed(b));
         let mut rng = DetRng::derive(0, 0);
-        assert!(net.latency(a, b, 0, &mut rng).is_none());
-        assert!(net.latency(b, a, 0, &mut rng).is_none());
+        assert!(net.latency(a, b, 0, SimTime::ZERO, &mut rng).is_none());
+        assert!(net.latency(b, a, 0, SimTime::ZERO, &mut rng).is_none());
         net.restart(b);
-        assert!(net.latency(a, b, 0, &mut rng).is_some());
+        assert!(net.latency(a, b, 0, SimTime::ZERO, &mut rng).is_some());
     }
 
     #[test]
@@ -227,7 +302,7 @@ mod tests {
         let mut rng = DetRng::derive(1, 2);
         let (a, b) = ids();
         let delivered = (0..2000)
-            .filter(|_| net.latency(a, b, 0, &mut rng).is_some())
+            .filter(|_| net.latency(a, b, 0, SimTime::ZERO, &mut rng).is_some())
             .count();
         assert!((800..1200).contains(&delivered), "delivered={delivered}");
     }
@@ -239,7 +314,7 @@ mod tests {
         let mut rng = DetRng::derive(0, 0);
         let a = NodeId(5);
         assert_eq!(
-            net.latency(a, a, 10_000, &mut rng),
+            net.latency(a, a, 10_000, SimTime::ZERO, &mut rng),
             Some(SimDuration::from_micros(2))
         );
     }
@@ -260,9 +335,65 @@ mod tests {
         );
         let mut rng = DetRng::derive(0, 0);
         assert_eq!(
-            net.latency(a, b, 0, &mut rng),
+            net.latency(a, b, 0, SimTime::ZERO, &mut rng),
             Some(SimDuration::from_millis(10))
         );
-        assert_eq!(net.latency(b, a, 0, &mut rng), Some(SimDuration::ZERO));
+        assert_eq!(
+            net.latency(b, a, 0, SimTime::ZERO, &mut rng),
+            Some(SimDuration::ZERO)
+        );
+    }
+
+    #[test]
+    fn flap_schedule_alternates_down_and_up_phases() {
+        let mut net = NetConfig::new(LinkConfig::IDEAL);
+        let (a, b) = ids();
+        // From t=1ms: down 2ms, up 3ms, period 5ms.
+        net.flap_partition_both(
+            a,
+            b,
+            SimTime::from_millis(1),
+            SimDuration::from_millis(2),
+            SimDuration::from_millis(3),
+        );
+        let mut rng = DetRng::derive(0, 0);
+        let up = |net: &NetConfig, t_ms: u64, rng: &mut DetRng| {
+            net.latency(a, b, 0, SimTime::from_millis(t_ms), rng)
+                .is_some()
+        };
+        assert!(up(&net, 0, &mut rng), "before start the link is healthy");
+        assert!(!up(&net, 1, &mut rng), "down phase begins at start");
+        assert!(!up(&net, 2, &mut rng));
+        assert!(up(&net, 3, &mut rng), "up phase after `down` elapses");
+        assert!(up(&net, 5, &mut rng));
+        assert!(!up(&net, 6, &mut rng), "next period severs again");
+        assert!(up(&net, 8, &mut rng));
+        // Both directions flap; unrelated pairs are untouched.
+        assert!(net
+            .latency(b, a, 0, SimTime::from_millis(1), &mut rng)
+            .is_none());
+        assert!(net
+            .latency(a, NodeId(9), 0, SimTime::from_millis(1), &mut rng)
+            .is_some());
+        assert!(net.flap_severed(a, b, SimTime::from_millis(1)));
+        net.clear_flaps();
+        assert!(up(&net, 1, &mut rng), "cleared flaps heal the link");
+    }
+
+    #[test]
+    fn heal_all_cancels_flaps_too() {
+        let mut net = NetConfig::new(LinkConfig::IDEAL);
+        let (a, b) = ids();
+        net.flap_partition_both(
+            a,
+            b,
+            SimTime::ZERO,
+            SimDuration::from_millis(1),
+            SimDuration::from_millis(1),
+        );
+        let mut rng = DetRng::derive(0, 0);
+        assert!(net.latency(a, b, 0, SimTime::ZERO, &mut rng).is_none());
+        net.heal_all();
+        assert!(net.latency(a, b, 0, SimTime::ZERO, &mut rng).is_some());
     }
 }

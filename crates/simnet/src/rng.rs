@@ -8,6 +8,21 @@
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
 
+/// The SplitMix64 increment ("golden gamma").
+const SPLITMIX64_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// One-shot SplitMix64 step: advances `z` by the golden gamma and applies
+/// the avalanche finalizer. The workspace's canonical 64-bit mixer —
+/// [`DetRng::derive`] builds seed material from it and the shard router
+/// decorrelates rendezvous claims with it — kept in one place so the
+/// constants can never silently diverge.
+pub fn splitmix64(z: u64) -> u64 {
+    let mut x = z.wrapping_add(SPLITMIX64_GAMMA);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
 /// A deterministic RNG stream, derived from a master seed and a stream label.
 #[derive(Debug)]
 pub struct DetRng {
@@ -20,14 +35,11 @@ impl DetRng {
     /// The derivation is a simple SplitMix64-style mix so distinct labels
     /// yield statistically independent streams.
     pub fn derive(master: u64, stream: u64) -> Self {
-        let mut z = master ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut z = master ^ stream.wrapping_mul(SPLITMIX64_GAMMA);
         let mut seed = [0u8; 32];
         for chunk in seed.chunks_mut(8) {
-            z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
-            let mut x = z;
-            x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-            x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-            x ^= x >> 31;
+            let x = splitmix64(z);
+            z = z.wrapping_add(SPLITMIX64_GAMMA);
             chunk.copy_from_slice(&x.to_le_bytes());
         }
         DetRng {

@@ -55,7 +55,10 @@ impl SimState {
     pub fn send_message(&mut self, from: NodeId, to: NodeId, msg: Bytes, depart: SimTime) {
         self.metrics.add("net.bytes_sent", msg.len() as u64);
         self.metrics.incr("net.messages_sent");
-        match self.net.latency(from, to, msg.len(), &mut self.net_rng) {
+        match self
+            .net
+            .latency(from, to, msg.len(), depart, &mut self.net_rng)
+        {
             Some(lat) => {
                 self.queue
                     .push(depart + lat, to, EventKind::Deliver { from, msg });

@@ -24,6 +24,10 @@ pub struct TpcwConfig {
     pub sync_pge: bool,
     /// Mean think time (TPC-W uses 7 s).
     pub think_mean: SimDuration,
+    /// Bookstore shard count: 1 is the paper's single front tier; more
+    /// partitions the store by customer (RBE session) key across
+    /// independently-agreeing groups, so the whole TPC-W mix fans out.
+    pub bookstore_shards: u32,
     /// Master seed.
     pub seed: u64,
 }
@@ -38,6 +42,7 @@ impl Default for TpcwConfig {
             warmup: SimDuration::from_secs(20),
             sync_pge: false,
             think_mean: SimDuration::from_secs(7),
+            bookstore_shards: 1,
             seed: 2007,
         }
     }
@@ -59,10 +64,20 @@ pub struct TpcwResult {
 /// Runs the TPC-W benchmark once.
 pub fn run_tpcw(cfg: TpcwConfig) -> TpcwResult {
     let mut b = SystemBuilder::new(cfg.seed);
-    // Bookstore: unreplicated active service (Tomcat-like front tier).
-    b.service("bookstore", 1, move |_| {
-        Box::new(Bookstore::new(1000, "pge"))
-    });
+    let shards = cfg.bookstore_shards.max(1);
+    if shards > 1 {
+        // Sharded front tier: the store is partitioned by customer
+        // (session) key, each shard an independently-agreeing group
+        // running its own order book — the scale-out topology.
+        b.sharded("bookstore", shards, 1, move |_, _| {
+            Box::new(Bookstore::new(1000, "pge"))
+        });
+    } else {
+        // Bookstore: unreplicated active service (Tomcat-like front tier).
+        b.service("bookstore", 1, move |_| {
+            Box::new(Bookstore::new(1000, "pge"))
+        });
+    }
     let sync_pge = cfg.sync_pge;
     b.service("pge", cfg.n_pge, move |_| {
         if sync_pge {
@@ -75,7 +90,12 @@ pub fn run_tpcw(cfg: TpcwConfig) -> TpcwResult {
     for i in 0..cfg.rbes {
         let think = cfg.think_mean;
         b.custom_client(&format!("rbe{i}"), move |core, uris| {
-            let bookstore = uris.group("urn:svc:bookstore").expect("bookstore");
+            // An RBE's whole session keys on its session id, so its owning
+            // shard is fixed for the session (unsharded stores route to
+            // their single group).
+            let (_, bookstore) = uris
+                .route("urn:svc:bookstore", &i.to_string())
+                .expect("bookstore routes");
             Box::new(Rbe::new(core, bookstore, i as u64, think))
         });
     }
@@ -110,6 +130,7 @@ mod tests {
             warmup: SimDuration::from_secs(10),
             sync_pge,
             think_mean: SimDuration::from_secs(7),
+            bookstore_shards: 1,
             seed: 7,
         }
     }
@@ -145,5 +166,43 @@ mod tests {
     fn sync_variant_also_completes() {
         let r = run_tpcw(small(4, true, 7));
         assert!(r.interactions > 20, "got {}", r.interactions);
+    }
+
+    #[test]
+    fn sharded_bookstore_drives_every_shard() {
+        // Partition the store by customer key across two shards; with
+        // enough concurrent sessions the rendezvous router must land
+        // traffic on both, and the mix still completes end to end.
+        let mut cfg = small(1, false, 10);
+        cfg.bookstore_shards = 2;
+        let mut b = SystemBuilder::new(cfg.seed);
+        b.sharded("bookstore", 2, 1, |_, _| {
+            Box::new(Bookstore::new(1000, "pge"))
+        });
+        b.service("pge", 1, |_| Box::new(Pge::new("bank")));
+        b.passive_service("bank", 1, |_| Box::new(Bank::new()));
+        for i in 0..cfg.rbes {
+            let think = cfg.think_mean;
+            b.custom_client(&format!("rbe{i}"), move |core, uris| {
+                let (_, bookstore) = uris
+                    .route("urn:svc:bookstore", &i.to_string())
+                    .expect("bookstore routes");
+                Box::new(Rbe::new(core, bookstore, i as u64, think))
+            });
+        }
+        let mut sys = b.build();
+        sys.run_for(SimDuration::from_secs(90));
+        let interactions = sys.metrics().counter("tpcw.web_interactions");
+        assert!(interactions > 20, "got {interactions}");
+        // Bookstore shards registered first: groups g0 and g1. Both must
+        // have executed agreed requests (the per-group exec metrics).
+        for g in 0..2 {
+            let served = sys.metrics().counter(&format!("clbft.exec.g{g}.requests"));
+            assert!(served > 0, "shard g{g} never served");
+        }
+
+        // The harness-level config reaches the same topology.
+        let r = run_tpcw(cfg);
+        assert!(r.interactions > 20, "harness run got {}", r.interactions);
     }
 }

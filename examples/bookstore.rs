@@ -20,6 +20,7 @@ fn main() {
             warmup: SimDuration::from_secs(10),
             sync_pge: false,
             think_mean: SimDuration::from_secs(7),
+            bookstore_shards: 1,
             seed: 2007,
         };
         let r = run_tpcw(cfg);

@@ -4,11 +4,19 @@
 //! ```sh
 //! cargo run --example quickstart
 //! PWS_QUICKSTART_GROUPS=12 cargo run --release --example quickstart  # scale smoke
+//! PWS_QUICKSTART_SHARDS=4 cargo run --release --example quickstart   # sharded topology
 //! ```
 //!
 //! `PWS_QUICKSTART_GROUPS=G` deploys G independent counter groups (4
 //! replicas each) with one client apiece — a large-topology smoke that the
 //! poll-driven runtime hosts without spawning a single thread.
+//!
+//! `PWS_QUICKSTART_SHARDS=S` instead deploys ONE logical counter service
+//! partitioned across S voter groups of 4 replicas with deterministic
+//! key→shard routing (`SystemBuilder::sharded`): each request's key picks
+//! its owning shard, every shard runs its own independent agreement
+//! pipeline, and throughput scales *out* (see
+//! `cargo bench --bench sharded_throughput`).
 
 use perpetual_ws::{PassiveService, PassiveUtils, SystemBuilder};
 use pws_simnet::SimTime;
@@ -29,6 +37,12 @@ impl PassiveService for Counter {
 }
 
 fn main() {
+    if let Some(shards) = std::env::var("PWS_QUICKSTART_SHARDS")
+        .ok()
+        .and_then(|v| v.parse::<u32>().ok())
+    {
+        return sharded_quickstart(shards.max(1));
+    }
     let groups: u32 = std::env::var("PWS_QUICKSTART_GROUPS")
         .ok()
         .and_then(|v| v.parse().ok())
@@ -75,5 +89,33 @@ fn main() {
     println!(
         "{groups} group(s) × 4 replicas agreed on every reply — all hosted \
          poll-driven on one thread."
+    );
+}
+
+/// One logical counter service sharded S ways: two clients fire keyed
+/// requests, the rendezvous router assigns each key an owning shard, and
+/// every shard independently agrees on (only) its own slice.
+fn sharded_quickstart(shards: u32) {
+    let mut b = SystemBuilder::new(42);
+    b.sharded_passive("counter", shards, 4, |_, _| Box::new(Counter(0)));
+    b.scripted_client_windowed("alice", "counter", 12, 4);
+    b.scripted_client_windowed("bob", "counter", 12, 4);
+    let mut sys = b.build();
+    sys.run_until(SimTime::from_secs(30));
+    for client in ["alice", "bob"] {
+        assert_eq!(sys.client_replies(client).len(), 12, "{client} completed");
+    }
+    let routed = sys.metrics().counter("clbft.shard.routed");
+    print!("sharded quickstart: 24 keyed requests routed over {shards} shard(s):");
+    for k in 0..shards {
+        let gid = sys.group(&format!("counter#{k}"));
+        let per = sys.metrics().counter(&format!("clbft.shard.route.{gid}"));
+        print!(" shard{k}={per}");
+    }
+    println!();
+    assert_eq!(routed, 24);
+    println!(
+        "{shards} shard(s) × 4 replicas, one logical service, deterministic \
+         key routing — every shard agreed independently on its own slice."
     );
 }

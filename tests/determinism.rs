@@ -67,12 +67,13 @@ fn full_stack_same_seed_reproduces_exactly() {
 /// change is *intended* to alter the event stream, re-pin the constant in
 /// the same commit and say why.
 const QUICKSTART_SEED: u64 = 42;
-// Re-pinned for the batched-agreement wire format (PR 3): pre-prepares now
-// carry a count-prefixed batch instead of a single request, so every frame
-// length — and therefore every cost-model charge and delivery time —
-// shifted. Previous value: 0x3b03_505f_7aac_8ce7 (single-request
-// pre-prepares, PR 2).
-const QUICKSTART_GOLDEN_DIGEST: u64 = 0xe3a1_09d3_61e7_4817;
+// Re-pinned for the sharding-ready dedup numbering (PR 5): external
+// events now carry a dense per-target `target_seq` (the dedup key that
+// keeps per-origin compaction contiguous at every shard), adding 8 bytes
+// to every `External` frame — so every cost-model charge and delivery
+// time shifted. Previous value: 0xe3a1_09d3_61e7_4817 (batched
+// pre-prepares, PR 3; PR 4 needed no re-pin).
+const QUICKSTART_GOLDEN_DIGEST: u64 = 0xa28a_61bc_ef6b_7bd1;
 
 struct Counter(u64);
 impl PassiveService for Counter {

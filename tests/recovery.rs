@@ -240,6 +240,59 @@ fn batch_occupancy_is_reported_per_group() {
     assert!(m.mean_batch_occupancy(&format!("clbft.exec.{ga}")) >= 1.0);
 }
 
+/// The dedup-compaction satellite (ISSUE 5): checkpoints used to carry the
+/// executed-id dedup set as a flat list (16 B per executed request,
+/// forever) and the driver retained every produced reply — so
+/// `clbft.ckpt.snapshot_bytes` grew linearly with request history. With
+/// per-origin compaction and bounded reply retention, snapshots must
+/// *plateau*: late boundaries may not be meaningfully larger than
+/// mid-run ones, even as the covered request count keeps growing.
+#[test]
+fn compacted_dedup_keeps_checkpoint_snapshots_bounded() {
+    let total = 480u64;
+    let mut b = SystemBuilder::new(77);
+    b.checkpoint_interval(16);
+    // A tight retransmit cache makes the plateau visible inside a short
+    // run; it is safe because the single client keeps only 4 calls
+    // outstanding and retries every 900 ms — far inside the contract.
+    b.reply_retention(64);
+    b.passive_service("ctr", 4, |_| Box::new(Counter { total: 0 }));
+    b.scripted_client_windowed("user", "ctr", total, 4);
+    let mut sys = b.build();
+    sys.run_until(SimTime::from_secs(240));
+    assert_eq!(sys.client_replies("user").len(), total as usize);
+
+    // The voter's dedup set covers the whole history in O(origins):
+    // hundreds of request ids, a handful of wire entries.
+    let (ids, entries) = sys.replica_mut("ctr", 0).unwrap().bft_dedup_footprint();
+    assert!(ids >= total, "dedup set covers the history: {ids}");
+    assert!(
+        entries <= 16,
+        "compaction failed: {entries} wire entries for {ids} ids"
+    );
+
+    // Snapshot sizes plateau: the biggest boundary snapshot of the run
+    // stays within a small factor of the median, where the uncompacted
+    // encoding grew without bound (~16 B/request dedup + every reply
+    // retained). The absolute ceiling makes regressions loud.
+    let s = sys
+        .metrics()
+        .summary("clbft.ckpt.snapshot_bytes")
+        .expect("boundaries sampled");
+    assert!(s.count >= 40, "enough samples: {}", s.count);
+    assert!(
+        s.max <= s.p50 * 1.5,
+        "snapshot bytes must plateau (p50 {} max {})",
+        s.p50,
+        s.max
+    );
+    assert!(
+        s.max < 120_000.0,
+        "absolute snapshot ceiling blown: {}",
+        s.max
+    );
+}
+
 /// Extended crash-wipe-recover smoke, run by CI with `PWS_RECOVERY_SMOKE=1`
 /// on every push: a longer load with both a churny stale-drop *and* a
 /// proactive rotation in the same deployment.

@@ -191,6 +191,7 @@ fn tpcw_more_rbes_more_wips() {
             warmup: SimDuration::from_secs(10),
             sync_pge: false,
             think_mean: SimDuration::from_secs(7),
+            bookstore_shards: 1,
             seed: 11,
         })
     };
