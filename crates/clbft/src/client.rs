@@ -14,13 +14,20 @@
 
 use crate::ReplicaId;
 use pws_crypto::sha256::Digest32;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Collects votes keyed by digest until a threshold of distinct voters agree.
+///
+/// Each replica gets exactly one counted vote *total*, not one per digest:
+/// a correct replica replies once, so a second vote from the same replica —
+/// for any digest — is Byzantine noise and is dropped without being stored.
+/// That keeps the vote table bounded by the group size `n` no matter how
+/// many distinct-digest replies a faulty replica floods.
 #[derive(Debug, Clone)]
 pub struct ReplyCollector<T> {
     threshold: usize,
     votes: HashMap<Digest32, Vec<(ReplicaId, T)>>,
+    voted: HashSet<ReplicaId>,
     decided: bool,
 }
 
@@ -35,21 +42,22 @@ impl<T: Clone> ReplyCollector<T> {
         ReplyCollector {
             threshold,
             votes: HashMap::new(),
+            voted: HashSet::new(),
             decided: false,
         }
     }
 
     /// Adds a vote. Returns the agreed value the first time the threshold is
-    /// reached, `None` otherwise. Duplicate votes from the same replica for
-    /// the same digest are ignored.
+    /// reached, `None` otherwise. Only the first vote from each replica
+    /// counts; later votes — same digest or not — are ignored.
     pub fn add(&mut self, from: ReplicaId, digest: Digest32, value: T) -> Option<T> {
         if self.decided {
             return None;
         }
-        let entry = self.votes.entry(digest).or_default();
-        if entry.iter().any(|(r, _)| *r == from) {
+        if !self.voted.insert(from) {
             return None;
         }
+        let entry = self.votes.entry(digest).or_default();
         entry.push((from, value));
         if entry.len() >= self.threshold {
             self.decided = true;
@@ -118,5 +126,97 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_threshold_panics() {
         let _ = ReplyCollector::<()>::new(0);
+    }
+
+    /// Regression: one Byzantine replica flooding distinct-digest replies
+    /// must neither grow the vote table nor influence the decision. Before
+    /// the per-replica dedup, each of these votes was stored, so the table
+    /// grew linearly with the flood.
+    #[test]
+    fn distinct_digest_flood_from_one_replica_stays_bounded() {
+        let mut c = ReplyCollector::new(2);
+        for i in 0u64..10_000 {
+            let d = sha256(&i.to_be_bytes());
+            assert!(c.add(ReplicaId(3), d, i).is_none());
+        }
+        assert_eq!(c.votes(), 1, "only the first vote may be stored");
+        assert!(!c.is_decided());
+        // Honest replicas still decide normally afterwards.
+        let good = sha256(b"good");
+        assert!(c.add(ReplicaId(0), good, 42).is_none());
+        assert_eq!(c.add(ReplicaId(1), good, 42), Some(42));
+    }
+
+    #[test]
+    fn equivocating_replica_gets_one_counted_vote() {
+        let mut c = ReplyCollector::new(2);
+        let a = sha256(b"a");
+        let b = sha256(b"b");
+        assert!(c.add(ReplicaId(0), a, "a").is_none());
+        // Same replica switching digests: ignored, not re-counted.
+        assert!(c.add(ReplicaId(0), b, "b").is_none());
+        assert_eq!(c.votes(), 1);
+        // Its first (and only) vote still contributes to that digest.
+        assert_eq!(c.add(ReplicaId(1), a, "a"), Some("a"));
+    }
+
+    mod adversarial {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// One adversarial vote packed into a `u32`: replica in the low
+        /// byte (mod 6), digest seed next (mod 4), value above. Small id
+        /// spaces force floods, equivocation, and late duplicates.
+        fn unpack(raw: u32) -> (u32, u8, u8) {
+            (raw % 6, ((raw >> 8) % 4) as u8, (raw >> 16) as u8)
+        }
+
+        proptest! {
+            #[test]
+            fn table_bounded_by_distinct_voters(votes in proptest::collection::vec(any::<u32>(), 0..200)) {
+                let mut c = ReplyCollector::new(3);
+                let mut seen = std::collections::HashSet::new();
+                let mut decided_at: Option<usize> = None;
+                for (i, raw) in votes.iter().enumerate() {
+                    let (r, d, v) = unpack(*raw);
+                    let got = c.add(ReplicaId(r), sha256(&[d]), v);
+                    let fresh = seen.insert(r);
+                    // Only a replica's first-ever vote can be the deciding
+                    // one, and nothing decides twice.
+                    if got.is_some() {
+                        prop_assert!(fresh, "vote {i}: duplicate voter decided");
+                        prop_assert!(decided_at.is_none(), "decided twice");
+                        decided_at = Some(i);
+                    }
+                    prop_assert!(c.votes() <= seen.len(), "table exceeds distinct voters");
+                }
+                prop_assert!(c.votes() <= 6, "table exceeds group size");
+            }
+
+            #[test]
+            fn decision_matches_threshold_of_first_votes(votes in proptest::collection::vec(any::<u32>(), 0..200)) {
+                let mut c = ReplyCollector::new(2);
+                // Model: count only each replica's first vote, per digest.
+                let mut first: std::collections::HashMap<u32, u8> = std::collections::HashMap::new();
+                let mut counts: std::collections::HashMap<u8, usize> = std::collections::HashMap::new();
+                let mut model_decided = false;
+                for raw in votes {
+                    let (r, d, v) = unpack(raw);
+                    let real = c.add(ReplicaId(r), sha256(&[d]), v);
+                    if !model_decided && !first.contains_key(&r) {
+                        first.insert(r, d);
+                        let n = counts.entry(d).or_insert(0);
+                        *n += 1;
+                        if *n >= 2 {
+                            model_decided = true;
+                            prop_assert!(real.is_some(), "model decided, collector did not");
+                            continue;
+                        }
+                    }
+                    prop_assert!(real.is_none(), "collector decided when model did not");
+                }
+                prop_assert_eq!(c.is_decided(), model_decided);
+            }
+        }
     }
 }

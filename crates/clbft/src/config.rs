@@ -29,6 +29,13 @@ pub struct Config {
     /// harness reads this value (via [`crate::Replica::config`]) to size
     /// the real timer.
     pub batch_delay_us: u64,
+    /// Speculative execution (Zyzzyva-style): when set, replicas emit
+    /// [`crate::Action::SpeculativeExecute`] as soon as a slot pre-prepares
+    /// in the current view, overlapping application execution with the
+    /// prepare/commit rounds. Commit then finalizes the speculative result
+    /// without re-executing; a view change that discards the slot emits
+    /// [`crate::Action::RollbackSpeculation`]. Off by default.
+    pub speculative: bool,
 }
 
 impl Config {
@@ -51,6 +58,7 @@ impl Config {
             max_batch_size: 16,
             pipeline_depth: 2,
             batch_delay_us: 1_000,
+            speculative: false,
         }
     }
 

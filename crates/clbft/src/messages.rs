@@ -38,19 +38,41 @@ pub struct Request {
     pub id: RequestId,
     /// Opaque payload; the harness interprets it after `Execute`.
     pub payload: Bytes,
+    /// Read-only marker (the PBFT read optimization): the replica answers
+    /// from committed state without consuming a sequence slot, and the
+    /// client accepts only on `2f + 1` matching replies. A read-only
+    /// request never enters the ordering path; if the client cannot gather
+    /// its quorum it falls back by resubmitting with this flag cleared.
+    pub read_only: bool,
 }
 
 impl Request {
-    /// Creates a request.
+    /// Creates an (ordered) request.
     pub fn new(id: RequestId, payload: Bytes) -> Self {
-        Request { id, payload }
+        Request {
+            id,
+            payload,
+            read_only: false,
+        }
     }
 
-    /// The canonical digest of this request.
+    /// Creates a read-only request: answered from committed state, never
+    /// ordered.
+    pub fn read_only(id: RequestId, payload: Bytes) -> Self {
+        Request {
+            id,
+            payload,
+            read_only: true,
+        }
+    }
+
+    /// The canonical digest of this request. Covers the read-only flag so
+    /// a flipped flag cannot ride an existing authenticator.
     pub fn digest(&self) -> Digest32 {
         let mut h = Sha256::new();
         h.update_u64(self.id.origin);
         h.update_u64(self.id.counter);
+        h.update(&[u8::from(self.read_only)]);
         h.update_u64(self.payload.len() as u64);
         h.update(&self.payload);
         h.finalize()
@@ -59,7 +81,13 @@ impl Request {
 
 impl std::fmt::Debug for Request {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Request({:?}, {} bytes)", self.id, self.payload.len())
+        write!(
+            f,
+            "Request({:?}, {} bytes{})",
+            self.id,
+            self.payload.len(),
+            if self.read_only { ", ro" } else { "" }
+        )
     }
 }
 
@@ -354,6 +382,10 @@ mod tests {
         assert_ne!(d0, r2.digest());
         let r3 = Request::new(RequestId::new(1, 2), Bytes::from_static(b"abd"));
         assert_ne!(d0, r3.digest());
+        let ro = Request::read_only(RequestId::new(1, 2), Bytes::from_static(b"abc"));
+        assert_ne!(d0, ro.digest(), "read-only flag is digest-covered");
+        assert!(ro.read_only);
+        assert!(!r.read_only);
     }
 
     #[test]

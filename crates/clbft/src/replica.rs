@@ -57,6 +57,35 @@ pub enum Action {
     },
     /// A checkpoint became stable; the log below it was discarded.
     Stable(Seq),
+    /// Answer a read-only request directly from committed application
+    /// state (the PBFT read optimization): no sequence slot is consumed
+    /// and nothing is broadcast. Emitted only while
+    /// [`Replica::can_serve_reads`] holds; the harness executes the
+    /// request against a scratch copy of state and sends the reply on its
+    /// own channel — the client accepts it only on `2f + 1` matching
+    /// copies.
+    ReadOnly(Request),
+    /// Speculatively execute the batch pre-prepared at `seq`
+    /// (Zyzzyva-style, emitted only with [`Config::speculative`]): the
+    /// harness must execute against a rollback-able copy of state, after
+    /// snapshotting enough to honour a later
+    /// [`Action::RollbackSpeculation`]. When the slot commits, the normal
+    /// [`Action::Execute`] for it follows with the identical batch — the
+    /// harness finalizes the speculative result instead of re-executing.
+    SpeculativeExecute {
+        /// The pre-prepared (not yet committed) slot.
+        seq: Seq,
+        /// The not-yet-executed requests of the slot's batch, in order
+        /// (deduplicated exactly as [`Action::Execute`] would).
+        batch: Vec<Request>,
+    },
+    /// A view change (or state install) discarded speculated slots: the
+    /// harness must restore application state to what it was after the
+    /// `Execute` for `to` (every `SpeculativeExecute` above `to` is void).
+    RollbackSpeculation {
+        /// The committed frontier speculation rolls back to.
+        to: Seq,
+    },
     /// The replica entered a new view.
     EnteredView(View),
     /// Maintain the view-change timer.
@@ -176,6 +205,21 @@ pub struct Replica {
     /// `try_execute` when a proposal executes synchronously (n = 1); the
     /// outer drain loop already continues, so inner calls are no-ops.
     draining: bool,
+    /// Highest slot speculatively executed ([`Config::speculative`]);
+    /// never below `last_exec` matters — reads are gated on
+    /// `last_spec <= last_exec`, i.e. no tentative state ahead of the
+    /// committed frontier.
+    last_spec: Seq,
+    /// Request ids delivered via [`Action::SpeculativeExecute`] whose slot
+    /// has not yet committed; keeps re-proposals from speculating a
+    /// request twice. Bounded by the in-flight window.
+    spec_overlay: HashSet<RequestId>,
+    /// State transfer in progress: set when this replica solicits a fetch
+    /// (lag evidence or explicit rejoin) and cleared only once the fetch
+    /// is satisfied *and* the known committed suffix has replayed — until
+    /// then the replica's state may be a bare checkpoint behind the
+    /// group's frontier and must not answer read-only requests.
+    recovering: bool,
     view_changes: BTreeMap<View, HashMap<ReplicaId, ViewChangeMsg>>,
     new_view_sent: HashSet<u64>,
     /// Pre-prepares/prepares for views we have not entered yet (e.g. a new
@@ -232,6 +276,9 @@ impl Replica {
             queue: VecDeque::new(),
             batch_timer_armed: false,
             draining: false,
+            last_spec: Seq::ZERO,
+            spec_overlay: HashSet::new(),
+            recovering: false,
             view_changes: BTreeMap::new(),
             new_view_sent: HashSet::new(),
             stashed: Vec::new(),
@@ -317,9 +364,42 @@ impl Replica {
         seq > self.stable_seq && seq <= self.high_watermark()
     }
 
+    /// Whether the read-only fast path may answer right now: not mid view
+    /// change, no state transfer in flight (a freshly installed checkpoint
+    /// may be a whole suffix behind the group), and no speculative results
+    /// ahead of the committed frontier (a read must never observe state
+    /// that could still roll back).
+    pub fn can_serve_reads(&self) -> bool {
+        !self.in_view_change && !self.recovering && self.last_spec <= self.last_exec
+    }
+
+    /// Whether a solicited state transfer is still in progress (reads stay
+    /// gated until the fetched checkpoint's committed suffix replays).
+    pub fn state_transfer_in_progress(&self) -> bool {
+        self.recovering
+    }
+
+    /// Highest speculatively executed slot (equals [`Replica::last_executed`]
+    /// or below whenever no tentative state is live).
+    pub fn last_speculated(&self) -> Seq {
+        self.last_spec.max(self.last_exec)
+    }
+
     /// Submits a request at this replica (from a local client/driver).
+    ///
+    /// A read-only request never enters the ordering path: when the fast
+    /// path is open it comes straight back as [`Action::ReadOnly`] —
+    /// consuming no sequence slot, touching no dedup state — and when it
+    /// is closed the request is silently dropped (the client's quorum
+    /// fails and it falls back to an ordered resubmission).
     pub fn on_request(&mut self, request: Request) -> Vec<Action> {
         let mut out = Vec::new();
+        if request.read_only {
+            if self.can_serve_reads() {
+                out.push(Action::ReadOnly(request));
+            }
+            return out;
+        }
         if self.executed.contains(&request.id) || self.requests.contains_key(&request.id) {
             return out; // duplicate submission or already executed
         }
@@ -395,6 +475,47 @@ impl Replica {
         out.push(Action::Broadcast(Msg::PrePrepare(pp)));
         // n = 1 degenerate group: prepared immediately.
         self.try_prepare_transition(seq, out);
+        self.try_speculate(out);
+    }
+
+    /// Speculative execution (Zyzzyva-style): as soon as slots
+    /// pre-prepare contiguously above the speculation frontier in the
+    /// current view, emit their not-yet-executed requests for tentative
+    /// execution — without waiting for prepare/commit. Commit later
+    /// finalizes each slot via the ordinary [`Action::Execute`]; a view
+    /// change that discards a speculated slot triggers
+    /// [`Action::RollbackSpeculation`] from [`Replica::enter_view`].
+    fn try_speculate(&mut self, out: &mut Vec<Action>) {
+        if !self.cfg.speculative || self.in_view_change || self.recovering {
+            return;
+        }
+        self.last_spec = self.last_spec.max(self.last_exec);
+        loop {
+            let next = self.last_spec.next();
+            let Some((v, batch)) = self
+                .log
+                .slot(next)
+                .and_then(|s| s.pre_prepare.as_ref())
+                .map(|(v, _, b)| (*v, b.clone()))
+            else {
+                break;
+            };
+            if v != self.view {
+                break;
+            }
+            self.last_spec = next;
+            let fresh: Vec<Request> = batch
+                .requests
+                .into_iter()
+                .filter(|r| !self.executed.contains(&r.id) && self.spec_overlay.insert(r.id))
+                .collect();
+            if !fresh.is_empty() {
+                out.push(Action::SpeculativeExecute {
+                    seq: next,
+                    batch: fresh,
+                });
+            }
+        }
     }
 
     /// Arms the batch timer while requests are waiting in the queue and
@@ -507,6 +628,7 @@ impl Replica {
             .insert(self.id);
         out.push(Action::Broadcast(Msg::Prepare(prep)));
         self.try_prepare_transition(pp.seq, out);
+        self.try_speculate(out);
     }
 
     fn handle_prepare(&mut self, from: ReplicaId, p: PrepareMsg, out: &mut Vec<Action>) {
@@ -614,6 +736,7 @@ impl Replica {
             let mut fresh = Vec::new();
             for request in batch.requests {
                 let first_time = self.executed.insert(request.id);
+                self.spec_overlay.remove(&request.id);
                 if self.requests.remove(&request.id).is_some() {
                     self.outstanding = self.outstanding.saturating_sub(1);
                 }
@@ -633,6 +756,7 @@ impl Replica {
             }
         }
         if progressed {
+            self.maybe_finish_recovery();
             out.push(Action::ViewTimer(if self.outstanding == 0 {
                 TimerCmd::Stop
             } else {
@@ -788,6 +912,7 @@ impl Replica {
             return;
         }
         self.fetch_target = Some(seq);
+        self.recovering = true;
         out.push(Action::Broadcast(Msg::FetchState(FetchStateMsg {
             have: self.stable_seq,
             replica: self.id,
@@ -801,6 +926,10 @@ impl Replica {
         if self.cfg.n == 1 {
             return Vec::new();
         }
+        // Gate the read-only fast path until the transfer completes (the
+        // suffix has replayed); a bare fetched checkpoint may be a whole
+        // suffix behind the group's committed frontier.
+        self.recovering = true;
         vec![Action::Broadcast(Msg::FetchState(FetchStateMsg {
             have: self.stable_seq,
             replica: self.id,
@@ -1033,7 +1162,13 @@ impl Replica {
     /// here — it replays separately, slot by slot, as copies reach the
     /// `f + 1` bar ([`Replica::try_replay_suffix`]).
     fn install_state(&mut self, sr: StateResponseMsg, digest: Digest32, out: &mut Vec<Action>) {
-        // Jump the protocol state to the verified checkpoint.
+        // Jump the protocol state to the verified checkpoint. Any live
+        // speculation is void — `InstallState` replaces application state
+        // wholesale, so no separate rollback action is needed — and reads
+        // stay gated until the committed suffix replays.
+        self.last_spec = sr.seq;
+        self.spec_overlay.clear();
+        self.recovering = true;
         self.last_exec = sr.seq;
         self.exec_chain = sr.exec_chain;
         self.stable_seq = sr.seq;
@@ -1080,6 +1215,7 @@ impl Replica {
         if self.fetch_target.is_some_and(|t| t <= self.last_exec) {
             self.fetch_target = None;
         }
+        self.maybe_finish_recovery();
         self.next_seq = self.next_seq.max(self.last_exec);
         out.push(Action::ViewTimer(if self.outstanding == 0 {
             TimerCmd::Stop
@@ -1093,6 +1229,21 @@ impl Replica {
             self.drain_queue(false, out);
         }
         self.update_batch_timer(out);
+    }
+
+    /// Re-opens the read-only fast path once a solicited transfer is fully
+    /// absorbed: the fetch target (if any) is satisfied and no further
+    /// committed-suffix slot is pending replay. A Byzantine responder
+    /// parking a bogus vote on the next slot can keep this replica's
+    /// fast path closed (a liveness-only degradation at one replica —
+    /// reads fall back to the ordered path); it cannot reopen it early.
+    fn maybe_finish_recovery(&mut self) {
+        if self.recovering
+            && self.fetch_target.is_none()
+            && !self.suffix_votes.contains_key(&self.last_exec.next())
+        {
+            self.recovering = false;
+        }
     }
 
     /// Applies one state-transferred slot: chains the execution digest,
@@ -1113,6 +1264,7 @@ impl Replica {
         let mut fresh = Vec::new();
         for request in batch.requests {
             let first_time = self.executed.insert(request.id);
+            self.spec_overlay.remove(&request.id);
             if self.requests.remove(&request.id).is_some() {
                 self.outstanding = self.outstanding.saturating_sub(1);
                 self.queue.retain(|q| *q != request.id);
@@ -1334,6 +1486,7 @@ impl Replica {
             }
             self.try_prepare_transition(pp.seq, out);
         }
+        self.try_speculate(out);
         self.repropose_pending(out);
     }
 
@@ -1353,6 +1506,15 @@ impl Replica {
     }
 
     fn enter_view(&mut self, v: View, out: &mut Vec<Action>) {
+        // Speculative execution beyond the committed prefix is void: the new
+        // view may re-propose those slots differently (or drop them). Tell
+        // the application to restore its last durable state and re-derive
+        // from the executed chain before anything from the new view runs.
+        if self.last_spec > self.last_exec {
+            out.push(Action::RollbackSpeculation { to: self.last_exec });
+        }
+        self.last_spec = self.last_exec;
+        self.spec_overlay.clear();
         self.view = v;
         self.in_view_change = false;
         self.vc_target = v;
@@ -1487,7 +1649,10 @@ mod tests {
                 | Action::Stable(_)
                 | Action::EnteredView(_)
                 | Action::ViewTimer(_)
-                | Action::BatchTimer(_) => {}
+                | Action::BatchTimer(_)
+                | Action::ReadOnly(_)
+                | Action::SpeculativeExecute { .. }
+                | Action::RollbackSpeculation { .. } => {}
             }
         }
     }
@@ -2403,5 +2568,296 @@ mod tests {
             "f+1 = 2 votes should trigger a join"
         );
         assert!(rs[3].in_view_change());
+    }
+
+    // ---- Read-only fast path ----
+
+    fn ro(c: u64) -> Request {
+        Request::read_only(RequestId::new(9, c), Bytes::from_static(b"get"))
+    }
+
+    #[test]
+    fn read_only_requests_consume_no_sequence_slot() {
+        let mut rs = group(4);
+        let mut inbox = VecDeque::new();
+        let mut executed = vec![Vec::new(); 4];
+        submit(&mut rs, 0, req(1), &mut inbox, &mut executed);
+        run_to_quiescence(&mut rs, inbox, &[]);
+        let frontier = rs[0].last_executed();
+        let next = rs[0].next_seq;
+        // A burst of reads at every replica: each answers straight from
+        // committed state — no protocol traffic, no ordering state touched.
+        for (i, rep) in rs.iter_mut().enumerate() {
+            for c in 0..50 {
+                let r = ro(c);
+                let a = rep.on_request(r.clone());
+                assert_eq!(a.len(), 1, "replica {i}: exactly one action: {a:?}");
+                assert!(matches!(&a[0], Action::ReadOnly(got) if got.id == r.id));
+            }
+            assert_eq!(rep.outstanding(), 0, "replica {i}");
+            assert_eq!(rep.queued(), 0, "replica {i}");
+        }
+        assert_eq!(
+            rs[0].next_seq, next,
+            "reads must not advance the proposal counter"
+        );
+        assert_eq!(rs[0].last_executed(), frontier);
+    }
+
+    #[test]
+    fn read_only_gate_closes_during_view_change() {
+        let mut rs = group(4);
+        assert!(rs[1].can_serve_reads());
+        let _ = rs[1].on_view_timer();
+        assert!(rs[1].in_view_change());
+        assert!(!rs[1].can_serve_reads());
+        let a = rs[1].on_request(ro(1));
+        assert!(a.is_empty(), "gated reads are dropped: {a:?}");
+    }
+
+    #[test]
+    fn read_only_gate_closes_during_state_transfer_until_suffix_replays() {
+        // A replica that installed a fetched checkpoint must not answer
+        // reads until the committed suffix has replayed: the bare
+        // checkpoint may be a whole suffix behind the group's frontier.
+        let mut target = primed_fetcher();
+        let _ = target.begin_state_fetch();
+        assert!(target.state_transfer_in_progress());
+        assert!(!target.can_serve_reads());
+        // The checkpoint installs, but slot 9 has a single-copy suffix
+        // claim: still mid-transfer, reads stay gated.
+        let suffix = vec![SuffixSlot {
+            seq: Seq(9),
+            batch: Batch::of(req(50)),
+        }];
+        let _ = target.on_message(
+            ReplicaId(1),
+            Msg::StateResponse(state_response(1, 0, suffix.clone())),
+        );
+        assert_eq!(target.last_executed(), Seq(8));
+        assert!(target.state_transfer_in_progress());
+        assert!(!target.can_serve_reads());
+        let a = target.on_request(ro(1));
+        assert!(a.is_empty(), "mid-transfer reads must be dropped: {a:?}");
+        // The second matching copy replays the suffix; reads reopen.
+        let _ = target.on_message(
+            ReplicaId(0),
+            Msg::StateResponse(state_response(0, 0, suffix)),
+        );
+        assert_eq!(target.last_executed(), Seq(9));
+        assert!(!target.state_transfer_in_progress());
+        assert!(target.can_serve_reads());
+    }
+
+    #[test]
+    fn wiped_replica_blocks_reads_until_recovered() {
+        // End-to-end variant against the full rejoin flow.
+        let mut cfg = Config::new(4);
+        cfg.max_batch_size = 1;
+        cfg.checkpoint_interval = 8;
+        let mut rs: Vec<Replica> = (0..4)
+            .map(|i| Replica::new(ReplicaId(i), cfg.clone()))
+            .collect();
+        let mut inbox = VecDeque::new();
+        let mut executed = vec![Vec::new(); 4];
+        for c in 1..=13 {
+            submit(&mut rs, 0, req(c), &mut inbox, &mut executed);
+        }
+        run_to_quiescence(&mut rs, inbox, &[]);
+        rs[3] = Replica::new(ReplicaId(3), cfg);
+        let mut inbox = VecDeque::new();
+        let actions = rs[3].begin_state_fetch();
+        assert!(!rs[3].can_serve_reads(), "fetch in flight gates reads");
+        route(&mut rs, 3, actions, &mut inbox, &mut executed);
+        run_to_quiescence(&mut rs, inbox, &[]);
+        assert_eq!(rs[3].last_executed(), rs[0].last_executed());
+        assert!(rs[3].can_serve_reads(), "reads reopen once caught up");
+    }
+
+    // ---- Speculative execution ----
+
+    #[test]
+    fn speculation_fires_at_pre_prepare_time() {
+        let mut rs = group_with(4, |c| c.speculative = true);
+        // The primary speculates at proposal time...
+        let a = rs[0].on_request(req(1));
+        assert!(
+            a.iter().any(|x| matches!(
+                x,
+                Action::SpeculativeExecute { seq, batch } if *seq == Seq(1) && batch.len() == 1
+            )),
+            "primary speculates its own proposal: {a:?}"
+        );
+        assert_eq!(rs[0].last_speculated(), Seq(1));
+        assert!(
+            !rs[0].can_serve_reads(),
+            "tentative state must not serve reads"
+        );
+        // ...and a backup speculates on receiving the pre-prepare.
+        let pp = a
+            .iter()
+            .find_map(|x| match x {
+                Action::Broadcast(Msg::PrePrepare(pp)) => Some(pp.clone()),
+                _ => None,
+            })
+            .expect("proposal broadcast");
+        let b = rs[1].on_message(ReplicaId(0), Msg::PrePrepare(pp.clone()));
+        assert!(
+            b.iter()
+                .any(|x| matches!(x, Action::SpeculativeExecute { seq, .. } if *seq == Seq(1))),
+            "backup speculates at pre-prepare: {b:?}"
+        );
+        // A duplicate pre-prepare must not re-execute the slot.
+        let dup = rs[1].on_message(ReplicaId(0), Msg::PrePrepare(pp));
+        assert!(
+            !dup.iter()
+                .any(|x| matches!(x, Action::SpeculativeExecute { .. })),
+            "{dup:?}"
+        );
+    }
+
+    #[test]
+    fn speculative_group_converges_and_folds_into_committed_frontier() {
+        let mut rs = group_with(4, |c| c.speculative = true);
+        let mut inbox = VecDeque::new();
+        let mut executed = vec![Vec::new(); 4];
+        for c in 1..=20 {
+            submit(&mut rs, (c % 4) as usize, req(c), &mut inbox, &mut executed);
+        }
+        let more = run_to_quiescence(&mut rs, inbox, &[]);
+        for (i, m) in more.into_iter().enumerate() {
+            executed[i].extend(m);
+        }
+        for ex in &executed {
+            assert_eq!(ex.len(), 20);
+        }
+        for i in 1..4 {
+            assert_eq!(executed[0], executed[i], "order differs at replica {i}");
+        }
+        for r in &rs {
+            assert_eq!(
+                r.last_speculated(),
+                r.last_executed(),
+                "no dangling speculation"
+            );
+            assert!(r.can_serve_reads());
+        }
+        let chains: HashSet<_> = rs.iter().map(|r| r.execution_chain()).collect();
+        assert_eq!(chains.len(), 1);
+    }
+
+    #[test]
+    fn view_change_rolls_back_uncommitted_speculation() {
+        let mut rs = group_with(4, |c| c.speculative = true);
+        // Replica 3 speculates slot 1 from a pre-prepare that never commits.
+        let b1 = Batch::of(req(1));
+        let pp = PrePrepareMsg {
+            view: View(0),
+            seq: Seq(1),
+            digest: b1.digest(),
+            batch: b1,
+        };
+        let a = rs[3].on_message(ReplicaId(0), Msg::PrePrepare(pp));
+        assert!(a
+            .iter()
+            .any(|x| matches!(x, Action::SpeculativeExecute { seq, .. } if *seq == Seq(1))));
+        assert_eq!(rs[3].last_speculated(), Seq(1));
+        // A valid NewView discards the slot: the replica must order a
+        // rollback to its committed frontier before any new-view work.
+        let nv = NewViewMsg {
+            view: View(1),
+            voters: vec![ReplicaId(1), ReplicaId(2), ReplicaId(3)],
+            pre_prepares: vec![],
+            replica: ReplicaId(1),
+        };
+        let a = rs[3].on_message(ReplicaId(1), Msg::NewView(nv));
+        let rb = a
+            .iter()
+            .position(|x| matches!(x, Action::RollbackSpeculation { to } if *to == Seq::ZERO))
+            .expect("rollback to the committed frontier");
+        let ev = a
+            .iter()
+            .position(|x| matches!(x, Action::EnteredView(_)))
+            .expect("view entry");
+        assert!(rb < ev, "rollback precedes the view entry: {a:?}");
+        assert_eq!(rs[3].last_speculated(), Seq::ZERO);
+        assert!(rs[3].can_serve_reads());
+    }
+
+    #[test]
+    fn speculation_rolled_back_by_view_change_leaves_converged_chains() {
+        let mut rs = group_with(4, |c| c.speculative = true);
+        let mut inbox = VecDeque::new();
+        let mut executed = vec![Vec::new(); 4];
+        submit(&mut rs, 0, req(1), &mut inbox, &mut executed);
+        let more = run_to_quiescence(&mut rs, inbox, &[]);
+        for (i, m) in more.into_iter().enumerate() {
+            executed[i].extend(m);
+        }
+        // Primary 0 proposes — and speculates — request 2, but the
+        // proposal never leaves: the group view-changes around it.
+        let mut lost = VecDeque::new();
+        submit(&mut rs, 0, req(2), &mut lost, &mut executed);
+        drop(lost);
+        assert_eq!(rs[0].last_speculated(), Seq(2));
+        assert!(!rs[0].can_serve_reads());
+        let mut inbox = VecDeque::new();
+        for i in 1..4 {
+            let actions = rs[i].on_view_timer();
+            route(&mut rs, i, actions, &mut inbox, &mut executed);
+        }
+        let more = run_to_quiescence(&mut rs, inbox, &[]);
+        for (i, m) in more.into_iter().enumerate() {
+            executed[i].extend(m);
+        }
+        // The demoted request re-proposes in the new view; every replica
+        // executes both requests exactly once and the chains converge —
+        // the rolled-back tentative execution left no trace.
+        for (i, ex) in executed.iter().enumerate() {
+            assert_eq!(ex.len(), 2, "replica {i} executed both exactly once");
+        }
+        for i in 1..4 {
+            assert_eq!(executed[0], executed[i], "order differs at replica {i}");
+        }
+        let chains: HashSet<_> = rs.iter().map(|r| r.execution_chain()).collect();
+        assert_eq!(chains.len(), 1, "chains converge after rollback");
+        for r in &rs {
+            assert_eq!(r.last_speculated(), r.last_executed());
+            assert!(r.can_serve_reads());
+        }
+    }
+
+    // ---- Batch-timer force path ----
+
+    #[test]
+    fn forced_batch_seal_respects_the_watermark() {
+        // Regression guard for the batch timer's force path: `force` may
+        // bypass the pipeline-depth brake, but never the high watermark —
+        // slots past `stable + window` must stay queued until a checkpoint
+        // stabilizes and the window slides.
+        let mut rs = group_with(4, |c| {
+            c.pipeline_depth = 0;
+            c.max_batch_size = 1;
+            c.watermark_window = 4;
+        });
+        for c in 1..=6 {
+            let _ = rs[0].on_request(req(c));
+        }
+        assert_eq!(rs[0].queued(), 6, "depth 0: nothing proposes untimed");
+        let fired = rs[0].on_batch_timer();
+        let seqs: Vec<Seq> = fired
+            .iter()
+            .filter_map(|a| match a {
+                Action::Broadcast(Msg::PrePrepare(pp)) => Some(pp.seq),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            seqs,
+            vec![Seq(1), Seq(2), Seq(3), Seq(4)],
+            "force stops at the watermark: {fired:?}"
+        );
+        assert_eq!(rs[0].queued(), 2, "overflow stays queued");
+        assert_eq!(rs[0].in_flight(), 4);
     }
 }

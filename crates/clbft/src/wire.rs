@@ -155,14 +155,22 @@ impl<'a> Decoder<'a> {
 fn put_request(e: &mut Encoder, r: &Request) {
     e.put_u64(r.id.origin);
     e.put_u64(r.id.counter);
+    e.put_u8(u8::from(r.read_only));
     e.put_bytes(&r.payload);
 }
 
 fn get_request(d: &mut Decoder<'_>) -> Result<Request, WireError> {
     let origin = d.u64()?;
     let counter = d.u64()?;
+    let read_only = match d.u8()? {
+        0 => false,
+        1 => true,
+        _ => return Err(WireError::new("bad read-only flag")),
+    };
     let payload = d.bytes()?;
-    Ok(Request::new(RequestId::new(origin, counter), payload))
+    let mut req = Request::new(RequestId::new(origin, counter), payload);
+    req.read_only = read_only;
+    Ok(req)
 }
 
 /// Hard cap on the request count of one wire batch: far above any sane
@@ -448,6 +456,10 @@ mod tests {
     #[test]
     fn roundtrip_all_variants() {
         roundtrip(Msg::Forward(sample_request(1)));
+        roundtrip(Msg::Forward(Request::read_only(
+            RequestId::new(3, 7),
+            Bytes::from_static(b"read"),
+        )));
         let batch = Batch::new(vec![sample_request(1), sample_request(2)]);
         let pp = PrePrepareMsg {
             view: View(2),
@@ -605,6 +617,18 @@ mod tests {
         let mut bytes = e.finish().to_vec();
         bytes.extend_from_slice(&[0; 16]);
         assert!(decode_msg(&bytes).is_err());
+    }
+
+    #[test]
+    fn junk_read_only_flag_rejected() {
+        let mut e = Encoder::new();
+        e.put_u8(TAG_FORWARD);
+        e.put_u64(1);
+        e.put_u64(2);
+        e.put_u8(2); // flag must be 0 or 1
+        e.put_bytes(b"x");
+        let err = decode_msg(&e.finish()).unwrap_err();
+        assert!(err.to_string().contains("read-only flag"), "{err}");
     }
 
     #[test]

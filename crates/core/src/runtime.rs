@@ -197,6 +197,8 @@ pub struct SystemBuilder {
     watermark_window: u64,
     recovery_window: Option<SimDuration>,
     reply_retention: Option<usize>,
+    speculative: bool,
+    read_only_quorum: Option<usize>,
     services: Vec<ServiceSpec>,
     clients: Vec<ClientSpec>,
 }
@@ -227,6 +229,8 @@ impl SystemBuilder {
             watermark_window: 256,
             recovery_window: None,
             reply_retention: None,
+            speculative: false,
+            read_only_quorum: None,
             services: Vec::new(),
             clients: Vec::new(),
         }
@@ -296,6 +300,26 @@ impl SystemBuilder {
     /// stuck call (see the contract on the default in `pws-perpetual`).
     pub fn reply_retention(&mut self, n: usize) -> &mut Self {
         self.reply_retention = Some(n.max(1));
+        self
+    }
+
+    /// Enables speculative execution for every replicated service: voters
+    /// execute a batch when it pre-prepares instead of when it commits,
+    /// rolling the application back from a snapshot if a view change
+    /// discards the slot. Commit then finalizes the already-computed
+    /// result without re-executing.
+    pub fn speculative(&mut self, on: bool) -> &mut Self {
+        self.speculative = on;
+        self
+    }
+
+    /// Overrides the read-only fast-path reply quorum for every caller
+    /// (replicated drivers and singleton clients alike). The default is
+    /// `2f_t + 1` matching replies from the target group, capped at `n_t`;
+    /// lowering it below that trades Byzantine safety for latency and is
+    /// only meant for experiments.
+    pub fn read_only_quorum(&mut self, q: usize) -> &mut Self {
+        self.read_only_quorum = Some(q.max(1));
         self
     }
 
@@ -582,6 +606,8 @@ impl SystemBuilder {
                     if let Some(r) = self.reply_retention {
                         cfg.reply_retention = r;
                     }
+                    cfg.speculative = self.speculative;
+                    cfg.read_only_quorum = self.read_only_quorum;
                     cfg.fault = spec.faults.get(&(shard, idx)).copied().unwrap_or_default();
                     let service: Box<dyn Service> = match &mut spec.factory {
                         Factory::Service(f) => f(idx),
@@ -602,7 +628,8 @@ impl SystemBuilder {
         }
         for spec in self.clients {
             let gid = groups_by_name[&spec.name];
-            let core = ClientCore::new(gid, topo.clone(), self.seed, self.cost);
+            let mut core = ClientCore::new(gid, topo.clone(), self.seed, self.cost);
+            core.set_read_only_quorum(self.read_only_quorum);
             let node_box: Box<dyn Node> = match spec.kind {
                 ClientKind::Scripted {
                     target,

@@ -15,8 +15,9 @@ use crate::messages::{decode_pmsg, encode_pmsg, reply_digest, request_tag, PMsg}
 use bytes::Bytes;
 use pws_crypto::auth::verify_bundle;
 use pws_crypto::keys::KeyTable;
+use pws_crypto::sha256::Digest32;
 use pws_simnet::{Context, SimDuration};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 /// What a client observes about one of its calls.
@@ -35,10 +36,23 @@ pub enum ClientEvent {
 struct Pending {
     target: GroupId,
     /// Dense per-target dedup sequence (see `Event::External::target_seq`).
+    /// A read-only call holds `0` until (and unless) it falls back to the
+    /// ordered path, which assigns the sequence lazily.
     target_seq: u64,
     done: bool,
+    /// Still on the read-only fast path. Cleared when the call falls back.
+    read_only: bool,
     payload: Bytes,
     retries: u64,
+}
+
+/// Read-reply tally for one outstanding fast-path read: one counted vote
+/// per target replica (bounding a reply-flooding replica to a single entry)
+/// and a payload-count per digest.
+#[derive(Debug, Default)]
+struct ReadTally {
+    voted: HashSet<u32>,
+    by_digest: HashMap<Digest32, (Bytes, usize)>,
 }
 
 /// The calling half of a Perpetual driver, for unreplicated endpoints.
@@ -53,6 +67,11 @@ pub struct ClientCore {
     /// target's shards each see a contiguous stream).
     next_target_seq: HashMap<GroupId, u64>,
     pending: HashMap<u64, Pending>,
+    /// Read-reply tallies for outstanding fast-path reads.
+    read_tallies: HashMap<u64, ReadTally>,
+    /// Override for the read-only reply quorum (default `2f_t + 1`, capped
+    /// at `n_t`).
+    read_only_quorum: Option<usize>,
 }
 
 impl ClientCore {
@@ -71,7 +90,14 @@ impl ClientCore {
             next_call: 0,
             next_target_seq: HashMap::new(),
             pending: HashMap::new(),
+            read_tallies: HashMap::new(),
+            read_only_quorum: None,
         }
+    }
+
+    /// Overrides the read-only reply quorum (default `2f_t + 1`).
+    pub fn set_read_only_quorum(&mut self, quorum: Option<usize>) {
+        self.read_only_quorum = quorum;
     }
 
     /// The client's group id.
@@ -98,6 +124,7 @@ impl ClientCore {
                 target,
                 target_seq,
                 done: false,
+                read_only: false,
                 payload: payload.clone(),
                 retries: 0,
             },
@@ -107,14 +134,66 @@ impl ClientCore {
         CallId(call_no)
     }
 
+    /// Issues a *read-only* call on the fast path: every target replica is
+    /// asked to answer from committed state, and the reply is accepted once
+    /// `2f_t + 1` matching copies arrive — no agreement slot is consumed at
+    /// the target. A [`ClientCore::retry`] on a still-read call falls back
+    /// to the ordered path (consuming the per-target sequence then), so
+    /// liveness never depends on the optimization.
+    pub fn call_read_only(
+        &mut self,
+        ctx: &mut Context<'_>,
+        target: GroupId,
+        payload: Bytes,
+    ) -> CallId {
+        let call_no = self.next_call;
+        self.next_call += 1;
+        self.pending.insert(
+            call_no,
+            Pending {
+                target,
+                target_seq: 0,
+                done: false,
+                read_only: true,
+                payload: payload.clone(),
+                retries: 0,
+            },
+        );
+        self.transmit_read(ctx, call_no, target, payload);
+        ctx.metrics().incr("client.calls_issued");
+        ctx.metrics().incr("client.reads_issued");
+        CallId(call_no)
+    }
+
     /// Retransmits an outstanding call, rotating the responder to the next
     /// target replica — the client half of Perpetual's fault handling for
-    /// an unresponsive responder. No-op for completed or unknown calls.
+    /// an unresponsive responder. A read-only call that failed to reach its
+    /// reply quorum in time falls back to the ordered path here instead.
+    /// No-op for completed or unknown calls.
     pub fn retry(&mut self, ctx: &mut Context<'_>, call: CallId) {
         let Some(p) = self.pending.get_mut(&call.0) else {
             return;
         };
         if p.done {
+            return;
+        }
+        if p.read_only {
+            // Quorum failure (slow replicas, view change, or > f lying
+            // responders): demote to the ordered path. The per-target
+            // sequence is consumed only now — pure-read workloads that
+            // never time out leave the dedup space untouched.
+            let target = p.target;
+            let payload = p.payload.clone();
+            let seq = self.next_target_seq.entry(target).or_insert(0);
+            let target_seq = *seq;
+            *seq += 1;
+            let p = self.pending.get_mut(&call.0).expect("still pending");
+            p.read_only = false;
+            p.target_seq = target_seq;
+            self.read_tallies.remove(&call.0);
+            ctx.metrics().incr("clbft.ro.fallbacks");
+            ctx.metrics().incr("client.call_retries");
+            self.transmit(ctx, call.0, target, target_seq, 0, payload);
             return;
         }
         p.retries += 1;
@@ -150,6 +229,25 @@ impl ClientCore {
         }
     }
 
+    fn transmit_read(
+        &mut self,
+        ctx: &mut Context<'_>,
+        call_no: u64,
+        target: GroupId,
+        payload: Bytes,
+    ) {
+        let msg = encode_pmsg(&PMsg::ReadRequest {
+            caller: self.group,
+            caller_n: 1,
+            req_no: call_no,
+            payload,
+        });
+        for &node in self.topology.nodes(target) {
+            ctx.spend(self.cost.send_cost(msg.len(), 0));
+            ctx.send(node, msg.clone());
+        }
+    }
+
     /// Abandons a call locally (e.g. after a client-side timeout); later
     /// replies for it are ignored.
     pub fn abandon(&mut self, call: CallId) {
@@ -162,11 +260,20 @@ impl ClientCore {
     /// message completed one of our calls.
     pub fn on_message(&mut self, msg: &[u8], ctx: &mut Context<'_>) -> Option<ClientEvent> {
         ctx.spend(self.cost.recv_cost(msg.len(), 0));
+        let decoded = decode_pmsg(msg);
+        if let Ok(PMsg::ReadReply {
+            req_no,
+            payload,
+            share,
+        }) = decoded
+        {
+            return self.on_read_reply(req_no, payload, share, ctx);
+        }
         let Ok(PMsg::ReplyBundle {
             req_no,
             payload,
             shares,
-        }) = decode_pmsg(msg)
+        }) = decoded
         else {
             return None;
         };
@@ -188,6 +295,71 @@ impl ClientCore {
         }
         p.done = true;
         ctx.metrics().incr("client.calls_completed");
+        Some(ClientEvent::Reply {
+            call: CallId(req_no),
+            payload,
+        })
+    }
+
+    /// Tallies one replica's fast-path read answer; completes the call once
+    /// `2f_t + 1` target replicas returned byte-identical payloads. The
+    /// share MAC authenticates the claimed replica (pairwise keys), and one
+    /// vote is counted per replica regardless of how many replies it sends.
+    fn on_read_reply(
+        &mut self,
+        req_no: u64,
+        payload: Bytes,
+        share: pws_crypto::auth::BundleShare,
+        ctx: &mut Context<'_>,
+    ) -> Option<ClientEvent> {
+        let p = self.pending.get(&req_no)?;
+        if p.done || !p.read_only {
+            return None;
+        }
+        let target = p.target;
+        if share.from.group != target.0 || share.from.replica >= self.topology.n(target) {
+            return None;
+        }
+        if share.reply_digest != reply_digest(&payload) {
+            return None;
+        }
+        let tally = self.read_tallies.entry(req_no).or_default();
+        if !tally.voted.insert(share.from.replica) {
+            ctx.metrics().incr("clbft.ro.duplicate_votes");
+            return None;
+        }
+        let me = self.topology.principal(self.group, 0);
+        let tag = request_tag(self.group, req_no);
+        ctx.spend(self.cost.mac);
+        if !share.verify(&mut self.keys, &tag, me) {
+            ctx.metrics().incr("clbft.ro.shares_rejected");
+            return None;
+        }
+        let tally = self.read_tallies.get_mut(&req_no).expect("vote counted");
+        let (_, count) = tally
+            .by_digest
+            .entry(share.reply_digest)
+            .or_insert_with(|| (payload, 0));
+        *count += 1;
+        let count = *count;
+        let target_f = self.topology.f(target) as usize;
+        let target_n = self.topology.n(target) as usize;
+        let threshold = self
+            .read_only_quorum
+            .unwrap_or((2 * target_f + 1).min(target_n));
+        if count < threshold {
+            return None;
+        }
+        let tally = self.read_tallies.remove(&req_no).expect("tally present");
+        let (payload, _) = tally
+            .by_digest
+            .into_iter()
+            .find(|(d, _)| *d == share.reply_digest)
+            .expect("quorum digest present")
+            .1;
+        self.pending.get_mut(&req_no).expect("pending read").done = true;
+        ctx.metrics().incr("client.calls_completed");
+        ctx.metrics().incr("clbft.ro.accepted");
         Some(ClientEvent::Reply {
             call: CallId(req_no),
             payload,
@@ -232,6 +404,7 @@ mod tests {
                 target: GroupId(0),
                 target_seq: 0,
                 done: false,
+                read_only: false,
                 payload: Bytes::new(),
                 retries: 0,
             },

@@ -35,6 +35,11 @@ pub struct CostModel {
     pub snapshot_fixed: SimDuration,
     /// Additional per-kilobyte cost of snapshot serialization/installation.
     pub snapshot_per_kb: SimDuration,
+    /// Cost of answering one read-only request on the fast path (scratch
+    /// execution against committed state, no agreement slot). Roughly the
+    /// per-request share of `batch_item` — what a read pays instead of the
+    /// full ordered `event_overhead` + three protocol rounds.
+    pub ro_serve: SimDuration,
 }
 
 impl CostModel {
@@ -53,6 +58,7 @@ impl CostModel {
         batch_item: SimDuration::from_micros(90),
         snapshot_fixed: SimDuration::from_micros(120),
         snapshot_per_kb: SimDuration::from_micros(15),
+        ro_serve: SimDuration::from_micros(90),
     };
 
     /// A zero-cost model (for protocol unit tests where CPU time is noise).
@@ -66,6 +72,7 @@ impl CostModel {
         batch_item: SimDuration::ZERO,
         snapshot_fixed: SimDuration::ZERO,
         snapshot_per_kb: SimDuration::ZERO,
+        ro_serve: SimDuration::ZERO,
     };
 
     /// Total CPU cost of delivering one ordered batch of `len` requests:
@@ -154,6 +161,16 @@ mod tests {
             (big - small).as_micros(),
             c.snapshot_per_kb.as_micros() * 10
         );
+    }
+
+    #[test]
+    fn read_only_serve_undercuts_an_ordered_slot() {
+        let c = CostModel::DEFAULT;
+        assert!(
+            c.ro_serve < c.batch_cost(1),
+            "the fast path must beat even a singleton ordered slot"
+        );
+        assert_eq!(CostModel::FREE.ro_serve, SimDuration::ZERO);
     }
 
     #[test]

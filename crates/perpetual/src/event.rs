@@ -133,6 +133,31 @@ mod origin {
     pub const RESULT: u64 = 0x5245_5355_4c54_0000;
     pub const ABORT: u64 = 0x4142_4f52_5400_0000;
     pub const TIME: u64 = 0x5449_4d45_0000_0000;
+
+    pub fn read(caller: u32) -> u64 {
+        0x5244_4f00_0000_0000 | caller as u64 // "RDO" | caller
+    }
+
+    pub const READ_MASK: u64 = 0xffff_ff00_0000_0000;
+}
+
+/// Builds the CLBFT read-only request for a fast-path read: never ordered,
+/// never executed — a replica whose read gate is open answers it directly
+/// from committed state ([`pws_clbft::Action::ReadOnly`]). The id encodes
+/// `(caller, req_no)` so the serving driver can address the reply; recover
+/// them with [`read_request_parts`].
+pub fn read_request(caller: GroupId, req_no: u64, payload: Bytes) -> Request {
+    Request::read_only(RequestId::new(origin::read(caller.0), req_no), payload)
+}
+
+/// Recovers `(caller, req_no)` from an id built by [`read_request`], or
+/// `None` if the id belongs to a different event family.
+pub fn read_request_parts(id: RequestId) -> Option<(GroupId, u64)> {
+    if id.origin & origin::READ_MASK == origin::read(0) {
+        Some((GroupId((id.origin & 0xffff_ffff) as u32), id.counter))
+    } else {
+        None
+    }
 }
 
 impl Event {
@@ -375,6 +400,18 @@ mod tests {
             shares: vec![],
         };
         assert_ne!(a.request_id(), b.request_id());
+    }
+
+    #[test]
+    fn read_request_roundtrips_caller_and_req_no() {
+        let r = read_request(GroupId(7), 42, Bytes::from_static(b"q"));
+        assert!(r.read_only);
+        assert_eq!(read_request_parts(r.id), Some((GroupId(7), 42)));
+        // Read ids never collide with ordered-event families.
+        for ev in sample_events() {
+            assert_eq!(read_request_parts(ev.request_id()), None);
+            assert_ne!(ev.request_id(), r.id);
+        }
     }
 
     #[test]

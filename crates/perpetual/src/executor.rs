@@ -80,6 +80,10 @@ pub enum AppCmd {
         payload: Bytes,
         /// Abort timeout; `None` means never abort (the paper's default).
         timeout: Option<SimDuration>,
+        /// Read-only hint: the call must not mutate target state, so the
+        /// driver may route it over the unordered fast path (answered from
+        /// the target's committed state, no agreement slot).
+        read_only: bool,
     },
     /// Send a reply to an external request.
     Reply {
@@ -141,6 +145,30 @@ impl AppOutput {
         payload: Bytes,
         timeout: Option<SimDuration>,
     ) -> CallId {
+        self.call_inner(target, payload, timeout, false)
+    }
+
+    /// Issues an asynchronous *read-only* call: the application promises the
+    /// request does not mutate target state, letting the driver serve it on
+    /// the unordered fast path (2f+1 matching replies against committed
+    /// state, no agreement slot). Semantics otherwise match [`Self::call`];
+    /// the reply or abort still arrives as an [`AppEvent`].
+    pub fn call_read_only(
+        &mut self,
+        target: GroupId,
+        payload: Bytes,
+        timeout: Option<SimDuration>,
+    ) -> CallId {
+        self.call_inner(target, payload, timeout, true)
+    }
+
+    fn call_inner(
+        &mut self,
+        target: GroupId,
+        payload: Bytes,
+        timeout: Option<SimDuration>,
+        read_only: bool,
+    ) -> CallId {
         let call = CallId(self.next_call);
         self.next_call += 1;
         self.cmds.push(AppCmd::Call {
@@ -148,6 +176,7 @@ impl AppOutput {
             target,
             payload,
             timeout,
+            read_only,
         });
         call
     }
@@ -229,6 +258,25 @@ mod tests {
         assert_eq!(t, 2);
         assert_eq!(out.counters(), (7, 3));
         assert_eq!(out.cmds().len(), 3);
+    }
+
+    #[test]
+    fn read_only_calls_share_the_id_space_and_set_the_flag() {
+        let mut out = AppOutput::new(0, 0);
+        let a = out.call(GroupId(1), Bytes::from_static(b"w"), None);
+        let b = out.call_read_only(GroupId(1), Bytes::from_static(b"r"), None);
+        assert_eq!((a, b), (CallId(0), CallId(1)));
+        match (&out.cmds()[0], &out.cmds()[1]) {
+            (
+                AppCmd::Call {
+                    read_only: false, ..
+                },
+                AppCmd::Call {
+                    read_only: true, ..
+                },
+            ) => {}
+            other => panic!("unexpected cmds: {other:?}"),
+        }
     }
 
     #[test]

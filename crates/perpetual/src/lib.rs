@@ -45,7 +45,7 @@ pub mod snapshot;
 
 pub use client::{ClientCore, ClientEvent};
 pub use cost::CostModel;
-pub use event::Event;
+pub use event::{read_request, read_request_parts, Event};
 pub use executor::{AppCmd, AppEvent, AppOutput, CallId, Executor, RequestHandle};
 pub use faults::FaultMode;
 pub use group::{GroupId, Topology};

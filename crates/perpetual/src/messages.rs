@@ -44,12 +44,42 @@ pub enum PMsg {
         /// Shares from distinct target replicas vouching for the payload.
         shares: Vec<BundleShare>,
     },
+    /// Fast-path read: a caller asks every target replica to answer a
+    /// read-only request directly from committed state, bypassing the
+    /// ordered stages entirely.
+    ReadRequest {
+        /// The calling group.
+        caller: GroupId,
+        /// Size of the calling group (the share MACs every caller replica).
+        caller_n: u32,
+        /// The caller's call number. Reads share the caller's call-id space
+        /// with ordered calls but consume no per-target sequence number —
+        /// they are never ordered, so never deduplicated.
+        req_no: u64,
+        /// Application payload.
+        payload: Bytes,
+    },
+    /// Fast-path read answer: one target replica's reply, sent straight
+    /// back to the asking node. The caller accepts the result only once
+    /// `2f_t + 1` replicas return matching payloads.
+    ReadReply {
+        /// The caller's call number.
+        req_no: u64,
+        /// The reply payload.
+        payload: Bytes,
+        /// This replica's MACed vouching share (same construction as the
+        /// ordered path, so a read result can be re-submitted as an
+        /// [`Event::Result`] proof).
+        share: BundleShare,
+    },
 }
 
 const TAG_BFT: u8 = 1;
 const TAG_OUT_REQUEST: u8 = 2;
 const TAG_REPLY_SHARE: u8 = 3;
 const TAG_REPLY_BUNDLE: u8 = 4;
+const TAG_READ_REQUEST: u8 = 5;
+const TAG_READ_REPLY: u8 = 6;
 
 fn wire_err() -> WireError {
     Event::decode(&[]).expect_err("empty input always fails")
@@ -92,6 +122,28 @@ pub fn encode_pmsg(msg: &PMsg) -> Bytes {
                 put_share(&mut e, s);
             }
         }
+        PMsg::ReadRequest {
+            caller,
+            caller_n,
+            req_no,
+            payload,
+        } => {
+            e.put_u8(TAG_READ_REQUEST);
+            e.put_u32(caller.0);
+            e.put_u32(*caller_n);
+            e.put_u64(*req_no);
+            e.put_bytes(payload);
+        }
+        PMsg::ReadReply {
+            req_no,
+            payload,
+            share,
+        } => {
+            e.put_u8(TAG_READ_REPLY);
+            e.put_u64(*req_no);
+            e.put_bytes(payload);
+            put_share(&mut e, share);
+        }
     }
     e.finish()
 }
@@ -133,6 +185,17 @@ pub fn decode_pmsg(buf: &[u8]) -> Result<PMsg, WireError> {
                 shares,
             }
         }
+        TAG_READ_REQUEST => PMsg::ReadRequest {
+            caller: GroupId(d.u32()?),
+            caller_n: d.u32()?,
+            req_no: d.u64()?,
+            payload: d.bytes()?,
+        },
+        TAG_READ_REPLY => PMsg::ReadReply {
+            req_no: d.u64()?,
+            payload: d.bytes()?,
+            share: get_share(&mut d)?,
+        },
         _ => return Err(wire_err()),
     };
     d.finish()?;
@@ -185,6 +248,17 @@ mod tests {
                 req_no: 7,
                 payload: Bytes::from_static(b"the-reply"),
                 shares: vec![sample_share(&mut keys, 0), sample_share(&mut keys, 1)],
+            },
+            PMsg::ReadRequest {
+                caller: GroupId(1),
+                caller_n: 4,
+                req_no: 8,
+                payload: Bytes::from_static(b"browse"),
+            },
+            PMsg::ReadReply {
+                req_no: 8,
+                payload: Bytes::from_static(b"the-reply"),
+                share: sample_share(&mut keys, 3),
             },
         ];
         for m in msgs {

@@ -29,13 +29,13 @@ use crate::messages::{decode_pmsg, encode_pmsg, reply_digest, request_tag, PMsg}
 use bytes::Bytes;
 use pws_clbft::{
     wire as bft_wire, Action, Config, ExecutedSet, Msg, Replica as BftReplica, ReplicaId,
-    RequestId as BftRequestId, TimerCmd,
+    RequestId as BftRequestId, Seq, TimerCmd,
 };
 use pws_crypto::auth::{verify_bundle, BundleShare};
 use pws_crypto::keys::KeyTable;
 use pws_crypto::sha256::Digest32;
 use pws_simnet::{Context, Node, NodeId, SimDuration, TimerId};
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
 /// Default for [`ReplicaConfig::reply_retention`]: how many produced
@@ -130,6 +130,15 @@ pub struct ReplicaConfig {
     /// retransmits (see [`DEFAULT_REPLY_RETENTION`] for the caller-side
     /// contract).
     pub reply_retention: usize,
+    /// Speculative execution: the voter emits
+    /// [`Action::SpeculativeExecute`] at pre-prepare time and the driver
+    /// executes against a rollback-able copy of state, overlapping
+    /// application work with the prepare/commit rounds.
+    pub speculative: bool,
+    /// Override for the read-only reply quorum. `None` uses the safe
+    /// default `2f_t + 1` (capped at `n_t`); experiments may lower it to
+    /// probe the latency/consistency trade-off.
+    pub read_only_quorum: Option<usize>,
     /// Fault injection mode.
     pub fault: FaultMode,
 }
@@ -152,6 +161,8 @@ impl ReplicaConfig {
             watermark_window: 256,
             recovery_interval: None,
             reply_retention: DEFAULT_REPLY_RETENTION,
+            speculative: false,
+            read_only_quorum: None,
             fault: FaultMode::Correct,
         }
     }
@@ -163,6 +174,7 @@ impl ReplicaConfig {
         bft_cfg.batch_delay_us = self.batch_delay.as_micros();
         bft_cfg.checkpoint_interval = self.checkpoint_interval.max(1);
         bft_cfg.watermark_window = self.watermark_window.max(1);
+        bft_cfg.speculative = self.speculative;
         bft_cfg
     }
 }
@@ -181,17 +193,75 @@ impl std::fmt::Debug for ReplicaConfig {
 struct CallState {
     target: GroupId,
     /// Dense per-target dedup sequence (see `Event::External::target_seq`).
+    /// Read-only calls never consume one and store `0`.
     target_seq: u64,
     done: bool,
+    /// Travels the read-only fast path: no `target_seq`, retransmits
+    /// re-broadcast the read.
+    read_only: bool,
     /// Original request payload, kept for retransmission.
     payload: Bytes,
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 struct ResponderEntry {
     /// payload + shares per digest (dedup by share origin).
     by_digest: HashMap<Digest32, (Bytes, Vec<BundleShare>)>,
     sent: bool,
+}
+
+/// Collects fast-path read replies for one outstanding read-only call.
+/// One counted vote per target replica — a Byzantine replica flooding
+/// conflicting replies burns its single vote and can neither reach quorum
+/// alone nor grow this collector beyond `n_t` entries.
+#[derive(Debug, Default)]
+struct RoCollector {
+    voted: HashSet<u32>,
+    by_digest: HashMap<Digest32, (Bytes, Vec<BundleShare>)>,
+}
+
+/// Side effects buffered while executing a batch speculatively: everything
+/// irreversible (network sends, timer arming, voter interactions) waits in
+/// here until commit finalizes the slot; a rollback just drops the buffers.
+#[derive(Debug, Default)]
+struct SpecBuffers {
+    /// Outbound non-voter messages `(node, encoded frame, extra MACs)`;
+    /// send cost is charged when the flush actually transmits.
+    sends: Vec<(NodeId, Bytes, usize)>,
+    /// Deferred driver operations, replayed in order at finalize.
+    deferred: Vec<DeferredOp>,
+}
+
+#[derive(Debug)]
+enum DeferredOp {
+    /// Arm the abort/retry timers for a call issued during speculation.
+    ArmCallTimers {
+        call_no: u64,
+        timeout: Option<SimDuration>,
+    },
+    /// Complete a call resolution: cancel timers, withdraw obsolete
+    /// proposals from the voter, re-drain the gate. The reversible half
+    /// (the `done` flag) was already set speculatively.
+    Resolve { call_no: u64 },
+    /// Submit the time vote for a query issued during speculation (the
+    /// clock is read at finalize, when the vote actually enters agreement).
+    SubmitTime { token: u64 },
+}
+
+/// One speculatively executed slot awaiting commit.
+#[derive(Debug)]
+struct SpecEntry {
+    seq: Seq,
+    /// Request ids the speculation covered, to match against the eventual
+    /// [`Action::Execute`].
+    ids: Vec<BftRequestId>,
+    /// Full driver+executor snapshot taken before executing, restored on
+    /// rollback.
+    pre_state: Bytes,
+    /// Responder bookkeeping is not snapshot-covered (it is transient
+    /// pre-agreement state), so it is saved aside explicitly.
+    responder_saved: HashMap<(GroupId, u64), ResponderEntry>,
+    bufs: SpecBuffers,
 }
 
 /// The group-agreed seed delivered in [`AppEvent::Init`].
@@ -244,6 +314,16 @@ pub struct PerpetualReplica {
     /// can be withdrawn when the call resolves.
     submitted_results: HashMap<u64, Vec<pws_clbft::RequestId>>,
     resolved_tokens: HashSet<u64>,
+    /// Fast-path read replies per outstanding read-only call. Transient:
+    /// not snapshot-covered (a recovering replica simply re-collects from
+    /// retransmits).
+    ro_replies: HashMap<u64, RoCollector>,
+    // ----- speculation -----
+    /// Speculatively executed slots, oldest first, awaiting commit.
+    spec_queue: VecDeque<SpecEntry>,
+    /// `Some` while a batch is executing speculatively: side effects are
+    /// routed into these buffers instead of happening.
+    spec_building: Option<SpecBuffers>,
     // ----- responder duty -----
     responder_state: HashMap<(GroupId, u64), ResponderEntry>,
     // ----- timers -----
@@ -301,6 +381,9 @@ impl PerpetualReplica {
             replies_sent: HashMap::new(),
             submitted_results: HashMap::new(),
             resolved_tokens: HashSet::new(),
+            ro_replies: HashMap::new(),
+            spec_queue: VecDeque::new(),
+            spec_building: None,
             responder_state: HashMap::new(),
             view_timer: None,
             batch_timer: None,
@@ -403,6 +486,11 @@ impl PerpetualReplica {
             return;
         }
         let bytes = encode_pmsg(msg);
+        if let Some(bufs) = self.spec_building.as_mut() {
+            // Speculating: nothing leaves the node until the slot commits.
+            bufs.sends.push((to, bytes, extra_macs));
+            return;
+        }
         ctx.spend(self.cfg.cost.send_cost(bytes.len(), extra_macs));
         ctx.metrics().incr("perpetual.messages_sent");
         ctx.send(to, bytes);
@@ -437,13 +525,25 @@ impl PerpetualReplica {
                     }
                     self.broadcast_bft(&msg, ctx);
                 }
-                Action::Execute { batch, .. } => self.handle_ordered_batch(batch, ctx),
+                Action::Execute { seq, batch } => self.handle_execute(seq, batch, ctx),
                 Action::TakeCheckpoint(seq) => self.take_checkpoint(seq, ctx),
                 Action::InstallState { snapshot, .. } => {
+                    // The transferred state supersedes anything speculated
+                    // locally; drop the buffers (the install overwrites the
+                    // state they would have rolled back).
+                    self.discard_speculation(ctx);
                     ctx.metrics().incr("clbft.recovery.installs");
                     ctx.spend(self.cfg.cost.snapshot_cost(snapshot.len()));
                     self.restore_snapshot(&snapshot, ctx);
                 }
+                Action::ReadOnly(_) => {
+                    // Reads are served inline by `handle_read_request`; an
+                    // action surfacing here has no reply address, so drop.
+                }
+                Action::SpeculativeExecute { seq, batch } => {
+                    self.speculative_execute(seq, batch, ctx);
+                }
+                Action::RollbackSpeculation { .. } => self.rollback_speculation(ctx),
                 Action::Stable(_) => {
                     ctx.metrics().incr("perpetual.checkpoints_stable");
                     ctx.metrics().incr("clbft.ckpt.stable");
@@ -495,6 +595,125 @@ impl PerpetualReplica {
         }
     }
 
+    // ----------------------------------------------------------- speculation
+
+    /// A slot committed. If its batch is exactly the oldest outstanding
+    /// speculation, the work is already done — release the buffered side
+    /// effects instead of re-executing. Any mismatch (a slot that was never
+    /// speculated, or state transfer racing past the queue) voids the whole
+    /// speculative suffix first, then executes the committed batch for real.
+    fn handle_execute(&mut self, seq: Seq, batch: Vec<pws_clbft::Request>, ctx: &mut Context<'_>) {
+        let matches = self.spec_queue.front().is_some_and(|e| {
+            e.seq == seq
+                && e.ids.len() == batch.len()
+                && e.ids.iter().zip(&batch).all(|(id, r)| *id == r.id)
+        });
+        if matches {
+            self.finalize_speculation(batch.len(), ctx);
+            return;
+        }
+        if !self.spec_queue.is_empty() {
+            self.rollback_speculation(ctx);
+        }
+        self.handle_ordered_batch(batch, ctx);
+    }
+
+    /// Executes a pre-prepared batch against the live executor while every
+    /// irreversible side effect (sends, timers, voter interactions) is
+    /// parked in [`SpecBuffers`]. The driver+executor snapshot taken first
+    /// makes the whole thing undoable; commit later flushes the buffers via
+    /// [`Self::finalize_speculation`] without re-executing.
+    fn speculative_execute(
+        &mut self,
+        seq: Seq,
+        batch: Vec<pws_clbft::Request>,
+        ctx: &mut Context<'_>,
+    ) {
+        let pre_state = self.build_snapshot();
+        let responder_saved = self.responder_state.clone();
+        let ids: Vec<BftRequestId> = batch.iter().map(|r| r.id).collect();
+        // The execution work is real and happens now — that is the point of
+        // speculating — so its CPU cost is charged now, not at finalize.
+        ctx.spend(self.cfg.cost.batch_cost(batch.len()));
+        self.spec_building = Some(SpecBuffers::default());
+        for request in batch {
+            self.handle_ordered(request.payload, ctx);
+        }
+        let bufs = self.spec_building.take().expect("speculation mode held");
+        self.spec_queue.push_back(SpecEntry {
+            seq,
+            ids,
+            pre_state,
+            responder_saved,
+            bufs,
+        });
+        ctx.metrics().incr("clbft.spec.executed");
+    }
+
+    /// Commit caught up with the oldest speculation: flush its buffered
+    /// sends (charging their send cost now) and replay the deferred driver
+    /// operations. The executor is already in the post-batch state.
+    fn finalize_speculation(&mut self, batch_len: usize, ctx: &mut Context<'_>) {
+        let entry = self.spec_queue.pop_front().expect("matched entry");
+        ctx.metrics().record_batch("clbft.exec", batch_len);
+        ctx.metrics().record_batch(&self.exec_metric_key, batch_len);
+        for (to, bytes, extra_macs) in entry.bufs.sends {
+            ctx.spend(self.cfg.cost.send_cost(bytes.len(), extra_macs));
+            ctx.metrics().incr("perpetual.messages_sent");
+            ctx.send(to, bytes);
+        }
+        for op in entry.bufs.deferred {
+            match op {
+                DeferredOp::ArmCallTimers { call_no, timeout } => {
+                    // Skip calls that resolved in the meantime (later in the
+                    // same batch, or in a later still-queued speculation).
+                    if self.calls.get(&call_no).is_some_and(|c| !c.done) {
+                        self.arm_call_timers(call_no, timeout, ctx);
+                    }
+                }
+                DeferredOp::Resolve { call_no } => self.resolve_call(call_no, ctx),
+                DeferredOp::SubmitTime { token } => {
+                    let millis = ctx.now().as_millis() + self.cfg.epoch_offset_ms;
+                    let ev = Event::TimeVote { token, millis };
+                    let actions = self.bft.on_request(ev.to_request());
+                    self.process_actions(actions, ctx);
+                }
+            }
+        }
+        ctx.metrics().incr("clbft.spec.finalized");
+    }
+
+    /// A view change (or mismatched commit) voided the speculative suffix:
+    /// restore the driver+executor snapshot taken before the *oldest*
+    /// speculated slot, put the responder bookkeeping back, and drop every
+    /// buffered side effect — nothing speculative ever left this node.
+    fn rollback_speculation(&mut self, ctx: &mut Context<'_>) {
+        let Some(front) = self.spec_queue.front() else {
+            return;
+        };
+        let pre_state = front.pre_state.clone();
+        let responder_saved = front.responder_saved.clone();
+        let voided = self.spec_queue.len();
+        self.spec_queue.clear();
+        // `restore_snapshot` also re-arms retry timers for restored
+        // unresolved calls, healing any timer a speculative resolution
+        // would have raced.
+        self.restore_snapshot(&pre_state, ctx);
+        self.responder_state = responder_saved;
+        for _ in 0..voided {
+            ctx.metrics().incr("clbft.spec.rolled_back");
+        }
+    }
+
+    /// Drops the speculative queue without restoring state, for paths that
+    /// overwrite the state wholesale right after (state install, wipe).
+    fn discard_speculation(&mut self, ctx: &mut Context<'_>) {
+        for _ in 0..self.spec_queue.len() {
+            ctx.metrics().incr("clbft.spec.rolled_back");
+        }
+        self.spec_queue.clear();
+    }
+
     // ------------------------------------------- checkpointing & recovery
 
     /// Answers the voter's [`Action::TakeCheckpoint`]: serialize the
@@ -523,6 +742,7 @@ impl PerpetualReplica {
                 target: c.target.0,
                 target_seq: c.target_seq,
                 done: c.done,
+                read_only: c.read_only,
                 payload: c.payload.clone(),
             })
             .collect();
@@ -582,6 +802,7 @@ impl PerpetualReplica {
                         target: GroupId(c.target),
                         target_seq: c.target_seq,
                         done: c.done,
+                        read_only: c.read_only,
                         payload: c.payload.clone(),
                     },
                 )
@@ -626,6 +847,9 @@ impl PerpetualReplica {
     /// wholly overwritten when state transfer installs a snapshot.
     fn wipe(&mut self, ctx: &mut Context<'_>) {
         ctx.metrics().incr("clbft.recovery.wipes");
+        self.discard_speculation(ctx);
+        self.spec_building = None;
+        self.ro_replies.clear();
         self.bft = BftReplica::new(ReplicaId(self.cfg.index), self.cfg.bft_config(self.n));
         self.candidates.clear();
         self.validated.clear();
@@ -900,6 +1124,206 @@ impl PerpetualReplica {
         self.process_actions(actions, ctx);
     }
 
+    // ------------------------------------------------------- read fast path
+
+    /// A caller replica asks us to answer a read from committed state. The
+    /// voter's read gate decides admissibility (not in a view change, not
+    /// mid-state-transfer, no speculation ahead of the committed frontier);
+    /// a closed gate drops the request silently and the caller's quorum
+    /// falls short until it retries or falls back to the ordered path.
+    fn handle_read_request(
+        &mut self,
+        from: NodeId,
+        caller: GroupId,
+        caller_n: u32,
+        req_no: u64,
+        payload: Bytes,
+        ctx: &mut Context<'_>,
+    ) {
+        if !self.cfg.topology.contains(caller)
+            || self.cfg.topology.n(caller) != caller_n
+            || !self.cfg.topology.nodes(caller).contains(&from)
+        {
+            return;
+        }
+        let req = crate::event::read_request(caller, req_no, payload);
+        let mut served = false;
+        let mut rest = Vec::new();
+        for a in self.bft.on_request(req) {
+            match a {
+                Action::ReadOnly(r) => {
+                    served = true;
+                    self.serve_read(from, r, ctx);
+                }
+                other => rest.push(other),
+            }
+        }
+        if !served {
+            ctx.metrics().incr("clbft.ro.refused");
+        }
+        self.process_actions(rest, ctx);
+    }
+
+    /// Executes a gate-approved read against a scratch copy of the
+    /// committed application state and sends the asking node our vouched
+    /// reply. The execution must prove itself side-effect free: anything
+    /// beyond one reply to the asking handle (plus CPU spends) means the
+    /// operation was not actually read-only, and the request is dropped —
+    /// the caller's quorum fails and it falls back to the ordered path.
+    fn serve_read(&mut self, from: NodeId, req: pws_clbft::Request, ctx: &mut Context<'_>) {
+        let Some((caller, req_no)) = crate::event::read_request_parts(req.id) else {
+            return;
+        };
+        if !self.spec_queue.is_empty() {
+            // Defense in depth: the voter's gate already refuses reads
+            // while speculation is outstanding, but the executor holding
+            // uncommitted state is disqualifying on its own.
+            ctx.metrics().incr("clbft.ro.unservable");
+            return;
+        }
+        let scratch = self.executor.snapshot();
+        let handle = RequestHandle { caller, req_no };
+        let mut out = AppOutput::new(self.next_call, self.next_token);
+        self.executor.on_event(
+            AppEvent::Request {
+                handle,
+                payload: req.payload,
+            },
+            &mut out,
+        );
+        self.executor.restore(&scratch);
+        let mut reply: Option<Bytes> = None;
+        let mut clean = true;
+        for cmd in out.cmds() {
+            match cmd {
+                AppCmd::Reply { to, payload } if *to == handle && reply.is_none() => {
+                    reply = Some(payload.clone());
+                }
+                AppCmd::Spend(d) => ctx.spend(*d),
+                _ => clean = false,
+            }
+        }
+        let Some(mut payload) = reply.filter(|_| clean) else {
+            ctx.metrics().incr("clbft.ro.unservable");
+            return;
+        };
+        ctx.spend(self.cfg.cost.ro_serve);
+        if self.cfg.fault == FaultMode::CorruptReplies {
+            let mut bad = payload.to_vec();
+            if let Some(b) = bad.first_mut() {
+                *b ^= 0xff;
+            } else {
+                bad.push(0xff);
+            }
+            payload = Bytes::from(bad);
+        }
+        let digest = reply_digest(&payload);
+        let caller_principals = self.cfg.topology.principals(caller);
+        let me = self.cfg.topology.principal(self.cfg.group, self.cfg.index);
+        let tag = request_tag(caller, req_no);
+        ctx.spend(
+            self.cfg
+                .cost
+                .mac
+                .saturating_mul(caller_principals.len() as u64),
+        );
+        let share = BundleShare::build(&mut self.keys, me, &tag, digest, &caller_principals);
+        ctx.metrics().incr("clbft.ro.served");
+        self.send_pmsg(
+            from,
+            &PMsg::ReadReply {
+                req_no,
+                payload,
+                share,
+            },
+            caller_principals.len(),
+            ctx,
+        );
+    }
+
+    /// One target replica's fast-path read answer. Votes are counted once
+    /// per replica (the reply-flood rule), shares must verify individually,
+    /// and only `2f_t + 1` matching payloads promote the result into this
+    /// group's own ordered stream as a share-proven [`Event::Result`] — the
+    /// same shape the ordered reply path produces, so the gate and the
+    /// executor cannot tell the two paths apart.
+    fn handle_read_reply(
+        &mut self,
+        from: NodeId,
+        req_no: u64,
+        payload: Bytes,
+        share: BundleShare,
+        ctx: &mut Context<'_>,
+    ) {
+        let Some(call) = self.calls.get(&req_no) else {
+            return;
+        };
+        if call.done || !call.read_only {
+            return;
+        }
+        let target = call.target;
+        if share.from.group != target.0 {
+            return;
+        }
+        let idx = share.from.replica;
+        // The sender must be the very replica the share claims to be from.
+        if self.cfg.topology.nodes(target).get(idx as usize) != Some(&from) {
+            return;
+        }
+        if share.reply_digest != reply_digest(&payload) {
+            return;
+        }
+        // One counted vote per target replica, bounded by n_t: a Byzantine
+        // replica spraying conflicting replies burns its single vote.
+        if !self.ro_replies.entry(req_no).or_default().voted.insert(idx) {
+            ctx.metrics().incr("clbft.ro.duplicate_votes");
+            return;
+        }
+        let me = self.cfg.topology.principal(self.cfg.group, self.cfg.index);
+        let tag = request_tag(self.cfg.group, req_no);
+        ctx.spend(self.cfg.cost.mac);
+        if !share.verify(&mut self.keys, &tag, me) {
+            ctx.metrics().incr("clbft.ro.shares_rejected");
+            return;
+        }
+        let digest = share.reply_digest;
+        let coll = self.ro_replies.get_mut(&req_no).expect("vote just counted");
+        let (_, shares) = coll
+            .by_digest
+            .entry(digest)
+            .or_insert_with(|| (payload, Vec::new()));
+        shares.push(share);
+        let target_f = self.cfg.topology.f(target) as usize;
+        let target_n = self.cfg.topology.n(target) as usize;
+        let threshold = self
+            .cfg
+            .read_only_quorum
+            .unwrap_or((2 * target_f + 1).min(target_n));
+        if shares.len() < threshold {
+            return;
+        }
+        let coll = self.ro_replies.remove(&req_no).expect("collector present");
+        let (payload, shares) = coll
+            .by_digest
+            .into_iter()
+            .find(|(d, _)| *d == digest)
+            .expect("quorum digest present")
+            .1;
+        ctx.metrics().incr("clbft.ro.accepted");
+        self.validated_results.insert((req_no, digest));
+        let ev = Event::Result {
+            call_no: req_no,
+            digest,
+            payload,
+            shares,
+        };
+        self.submitted_results
+            .entry(req_no)
+            .or_default()
+            .push(ev.request_id());
+        self.submit_event(&ev, ctx);
+    }
+
     // ------------------------------------------------------------ responder
 
     fn handle_reply_share(
@@ -1104,7 +1528,9 @@ impl PerpetualReplica {
 
     /// Marks a call resolved (first resolution wins). Cancels its timers and
     /// withdraws now-obsolete proposals from agreement. Returns whether this
-    /// was the first resolution.
+    /// was the first resolution. Under speculation only the reversible half
+    /// (the `done` flag, which the pre-state snapshot covers) happens now;
+    /// the voter- and timer-touching half waits in the commit buffers.
     fn mark_call_done(&mut self, call_no: u64, ctx: &mut Context<'_>) -> bool {
         let Some(call) = self.calls.get_mut(&call_no) else {
             return false;
@@ -1113,7 +1539,18 @@ impl PerpetualReplica {
             return false;
         }
         call.done = true;
+        if let Some(bufs) = self.spec_building.as_mut() {
+            bufs.deferred.push(DeferredOp::Resolve { call_no });
+            return true;
+        }
+        self.resolve_call(call_no, ctx);
+        true
+    }
+
+    /// The irreversible half of a call resolution.
+    fn resolve_call(&mut self, call_no: u64, ctx: &mut Context<'_>) {
         self.cancel_call_timer(call_no, ctx);
+        self.ro_replies.remove(&call_no);
         let mut obsolete = self.submitted_results.remove(&call_no).unwrap_or_default();
         obsolete.push(Event::Abort { call_no }.request_id());
         for id in obsolete {
@@ -1123,7 +1560,32 @@ impl PerpetualReplica {
         // The gate may be holding proposals that are now releasable
         // (aborts gate-open once the call is done).
         self.drain_gate(ctx);
-        true
+    }
+
+    /// Arms the abort-timeout and retry timers for a freshly issued call —
+    /// or defers the arming to commit time when speculating (a rolled-back
+    /// call must leave no timer behind).
+    fn arm_call_timers(
+        &mut self,
+        call_no: u64,
+        timeout: Option<SimDuration>,
+        ctx: &mut Context<'_>,
+    ) {
+        if let Some(bufs) = self.spec_building.as_mut() {
+            bufs.deferred
+                .push(DeferredOp::ArmCallTimers { call_no, timeout });
+            return;
+        }
+        if let Some(d) = timeout {
+            let t = ctx.set_timer(d);
+            self.call_timers.insert(t, call_no);
+            self.timers_by_call.insert(call_no, t);
+        }
+        if !self.retry_by_call.contains_key(&call_no) {
+            let rt = ctx.set_timer(self.cfg.retry_interval);
+            self.retry_timers.insert(rt, call_no);
+            self.retry_by_call.insert(call_no, rt);
+        }
     }
 
     fn deliver(&mut self, ev: AppEvent, ctx: &mut Context<'_>) {
@@ -1148,6 +1610,7 @@ impl PerpetualReplica {
                 target,
                 payload,
                 timeout,
+                read_only,
             } => {
                 if !self.cfg.topology.contains(target) || target == self.cfg.group {
                     // Unknown target or self-call: abort immediately and
@@ -1158,10 +1621,37 @@ impl PerpetualReplica {
                             target,
                             target_seq: 0,
                             done: true,
+                            read_only,
                             payload,
                         },
                     );
                     self.deliver(AppEvent::Aborted { call }, ctx);
+                    return;
+                }
+                if read_only {
+                    // Fast path: no per-target sequence number is consumed —
+                    // the read never enters the target's agreement stream.
+                    self.calls.insert(
+                        call.0,
+                        CallState {
+                            target,
+                            target_seq: 0,
+                            done: false,
+                            read_only: true,
+                            payload: payload.clone(),
+                        },
+                    );
+                    ctx.metrics().incr("perpetual.reads_issued");
+                    let msg = PMsg::ReadRequest {
+                        caller: self.cfg.group,
+                        caller_n: self.n,
+                        req_no: call.0,
+                        payload,
+                    };
+                    for node in self.cfg.topology.nodes(target).to_vec() {
+                        self.send_pmsg(node, &msg, 0, ctx);
+                    }
+                    self.arm_call_timers(call.0, timeout, ctx);
                     return;
                 }
                 let seq = self.next_target_seq.entry(target.0).or_insert(0);
@@ -1173,6 +1663,7 @@ impl PerpetualReplica {
                         target,
                         target_seq,
                         done: false,
+                        read_only: false,
                         payload: payload.clone(),
                     },
                 );
@@ -1191,14 +1682,7 @@ impl PerpetualReplica {
                 for node in self.cfg.topology.nodes(target).to_vec() {
                     self.send_pmsg(node, &msg, 0, ctx);
                 }
-                if let Some(d) = timeout {
-                    let t = ctx.set_timer(d);
-                    self.call_timers.insert(t, call.0);
-                    self.timers_by_call.insert(call.0, t);
-                }
-                let rt = ctx.set_timer(self.cfg.retry_interval);
-                self.retry_timers.insert(rt, call.0);
-                self.retry_by_call.insert(call.0, rt);
+                self.arm_call_timers(call.0, timeout, ctx);
             }
             AppCmd::Reply { to, payload } => {
                 // The recorded route is an optimization (it tracks the
@@ -1236,6 +1720,13 @@ impl PerpetualReplica {
                 self.send_share(to.caller, to.req_no, responder, payload, ctx);
             }
             AppCmd::QueryTime { token } => {
+                if let Some(bufs) = self.spec_building.as_mut() {
+                    // The vote enters agreement at commit time, reading the
+                    // clock then — a rolled-back speculation must not have
+                    // submitted anything to the voter.
+                    bufs.deferred.push(DeferredOp::SubmitTime { token });
+                    return;
+                }
                 let millis = ctx.now().as_millis() + self.cfg.epoch_offset_ms;
                 let ev = Event::TimeVote { token, millis };
                 // Every replica proposes its own local reading; CLBFT's
@@ -1300,6 +1791,17 @@ impl Node for PerpetualReplica {
                 payload,
                 shares,
             } => self.handle_reply_bundle(req_no, payload, shares, ctx),
+            PMsg::ReadRequest {
+                caller,
+                caller_n,
+                req_no,
+                payload,
+            } => self.handle_read_request(from, caller, caller_n, req_no, payload, ctx),
+            PMsg::ReadReply {
+                req_no,
+                payload,
+                share,
+            } => self.handle_read_reply(from, req_no, payload, share, ctx),
         }
     }
 
@@ -1362,6 +1864,30 @@ impl Node for PerpetualReplica {
                 return;
             }
             let target = call.target;
+            if call.read_only {
+                // A replicated caller must never demote a read to the
+                // ordered path at retry time: retries fire at
+                // non-deterministic moments, and consuming a target_seq
+                // then would diverge the replicas. Re-broadcasting the
+                // read is idempotent; persistent quorum failure surfaces
+                // as the call's abort timeout.
+                ctx.metrics().incr("perpetual.call_retries");
+                ctx.metrics().incr("clbft.ro.retries");
+                let payload = call.payload.clone();
+                let msg = PMsg::ReadRequest {
+                    caller: self.cfg.group,
+                    caller_n: self.n,
+                    req_no: call_no,
+                    payload,
+                };
+                for node in self.cfg.topology.nodes(target).to_vec() {
+                    self.send_pmsg(node, &msg, 0, ctx);
+                }
+                let rt = ctx.set_timer(self.cfg.retry_interval);
+                self.retry_timers.insert(rt, call_no);
+                self.retry_by_call.insert(call_no, rt);
+                return;
+            }
             // Rotate the responder and retransmit the request to every
             // target voter; already-executed requests only re-trigger the
             // reply path on the target side.

@@ -34,6 +34,10 @@ pub struct CallSnap {
     pub target_seq: u64,
     /// Whether the call has resolved (reply or abort delivered).
     pub done: bool,
+    /// Whether the call travels the read-only fast path (no `target_seq`
+    /// consumed; retransmits re-broadcast the read instead of an ordered
+    /// request).
+    pub read_only: bool,
     /// The original request payload, kept for retransmission.
     pub payload: Bytes,
 }
@@ -75,9 +79,10 @@ impl DriverSnapshot {
     /// [`DriverSnapshot`] builders in this crate guarantee it).
     pub fn encode(&self) -> Bytes {
         let mut e = Encoder::new();
-        // Version 2: `delivered` is a per-origin compact ExecutedSet (v1
-        // stored it as a flat `(group, req_no)` list).
-        e.put_u8(2);
+        // Version 3: calls carry a read-only flag (v2 made `delivered` a
+        // per-origin compact ExecutedSet; v1 stored it as a flat
+        // `(group, req_no)` list).
+        e.put_u8(3);
         e.put_u64(self.next_call);
         e.put_u64(self.next_token);
         e.put_u32(self.next_target_seq.len() as u32);
@@ -91,6 +96,7 @@ impl DriverSnapshot {
             e.put_u32(c.target);
             e.put_u64(c.target_seq);
             e.put_u8(u8::from(c.done));
+            e.put_u8(u8::from(c.read_only));
             e.put_bytes(&c.payload);
         }
         self.delivered.encode_into(&mut e);
@@ -122,7 +128,7 @@ impl DriverSnapshot {
     /// input.
     pub fn decode(buf: &[u8]) -> Result<DriverSnapshot, WireError> {
         let mut d = Decoder::new(buf);
-        if d.u8()? != 2 {
+        if d.u8()? != 3 {
             return Err(snapshot_err());
         }
         let next_call = d.u64()?;
@@ -136,6 +142,7 @@ impl DriverSnapshot {
                 target: d.u32()?,
                 target_seq: d.u64()?,
                 done: d.u8()? != 0,
+                read_only: d.u8()? != 0,
                 payload: d.bytes()?,
             })
         })?;
@@ -203,6 +210,7 @@ mod tests {
                     target: 2,
                     target_seq: 0,
                     done: true,
+                    read_only: false,
                     payload: Bytes::from_static(b"req-1"),
                 },
                 CallSnap {
@@ -210,6 +218,7 @@ mod tests {
                     target: 2,
                     target_seq: 1,
                     done: false,
+                    read_only: true,
                     payload: Bytes::from_static(b"req-5"),
                 },
             ],

@@ -13,6 +13,10 @@ use std::collections::HashMap;
 pub struct Bookstore {
     db: Db,
     pge_uri: String,
+    /// Divisor on the emulated DB page costs. `1` is the paper
+    /// calibration; large values emulate an in-memory front tier where
+    /// protocol costs dominate page rendering.
+    page_cost_scale: u32,
     /// Buy-confirms awaiting PGE authorization: call token → (original
     /// request, order id). The store keeps serving other pages while
     /// authorizations are in flight (asynchronous messaging, §6.1).
@@ -26,8 +30,16 @@ impl Bookstore {
         Bookstore {
             db: Db::new(item_count),
             pge_uri: format!("urn:svc:{pge}"),
+            page_cost_scale: 1,
             awaiting: HashMap::new(),
         }
+    }
+
+    /// Divides every emulated page cost by `scale` (an in-memory front
+    /// tier for protocol-overhead benchmarks).
+    pub fn with_page_cost_scale(mut self, scale: u32) -> Self {
+        self.page_cost_scale = scale.max(1);
+        self
     }
 
     fn page_reply(req: &MessageContext, page: Interaction, detail: String) -> MessageContext {
@@ -45,7 +57,9 @@ impl Bookstore {
             return;
         };
         let session: u64 = req.body().text.parse().unwrap_or(0);
-        ctx.spend(page_cost(page));
+        ctx.spend(pws_simnet::SimDuration::from_micros(
+            page_cost(page).as_micros() / u64::from(self.page_cost_scale),
+        ));
         match page {
             Interaction::ShoppingCart => {
                 let item = (ctx.random_u64() % self.db.item_count() as u64) as u32;

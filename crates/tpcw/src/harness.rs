@@ -10,6 +10,11 @@ use pws_simnet::SimDuration;
 /// Parameters of one TPC-W run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TpcwConfig {
+    /// Bookstore replica count (paper: 1, an unreplicated Tomcat-like
+    /// front tier; replicating it makes the read-only fast path earn its
+    /// keep — a browse page then needs a `2f + 1` reply quorum instead of
+    /// full agreement).
+    pub n_bookstore: u32,
     /// PGE replica count (paper: 1, 4, 7, 10).
     pub n_pge: u32,
     /// Bank replica count (paper keeps `n_bank = n_pge`).
@@ -28,6 +33,16 @@ pub struct TpcwConfig {
     /// partitions the store by customer (RBE session) key across
     /// independently-agreeing groups, so the whole TPC-W mix fans out.
     pub bookstore_shards: u32,
+    /// Route browse pages down the read-only fast path (mutating pages —
+    /// cart updates and order placement — always stay ordered).
+    pub read_only: bool,
+    /// Divisor on the emulated DB page costs (1 = paper calibration).
+    /// Large values emulate an in-memory front tier where protocol
+    /// overhead, not page rendering, dominates interaction latency.
+    pub page_cost_scale: u32,
+    /// Execute batches speculatively at pre-prepare on every replicated
+    /// service.
+    pub speculative: bool,
     /// Master seed.
     pub seed: u64,
 }
@@ -35,6 +50,7 @@ pub struct TpcwConfig {
 impl Default for TpcwConfig {
     fn default() -> Self {
         TpcwConfig {
+            n_bookstore: 1,
             n_pge: 4,
             n_bank: 4,
             rbes: 28,
@@ -43,6 +59,9 @@ impl Default for TpcwConfig {
             sync_pge: false,
             think_mean: SimDuration::from_secs(7),
             bookstore_shards: 1,
+            read_only: false,
+            page_cost_scale: 1,
+            speculative: false,
             seed: 2007,
         }
     }
@@ -59,23 +78,30 @@ pub struct TpcwResult {
     pub pge_interactions: u64,
     /// Fraction of traffic hitting the PGE.
     pub pge_share: f64,
+    /// Read-only requests served on the fast path (`clbft.ro.served`).
+    pub ro_served: u64,
+    /// Read-only calls demoted to the ordered path (`clbft.ro.fallbacks`).
+    pub ro_fallbacks: u64,
 }
 
 /// Runs the TPC-W benchmark once.
 pub fn run_tpcw(cfg: TpcwConfig) -> TpcwResult {
     let mut b = SystemBuilder::new(cfg.seed);
+    b.speculative(cfg.speculative);
     let shards = cfg.bookstore_shards.max(1);
+    let n_store = cfg.n_bookstore.max(1);
+    let page_scale = cfg.page_cost_scale.max(1);
     if shards > 1 {
         // Sharded front tier: the store is partitioned by customer
         // (session) key, each shard an independently-agreeing group
         // running its own order book — the scale-out topology.
-        b.sharded("bookstore", shards, 1, move |_, _| {
-            Box::new(Bookstore::new(1000, "pge"))
+        b.sharded("bookstore", shards, n_store, move |_, _| {
+            Box::new(Bookstore::new(1000, "pge").with_page_cost_scale(page_scale))
         });
     } else {
-        // Bookstore: unreplicated active service (Tomcat-like front tier).
-        b.service("bookstore", 1, move |_| {
-            Box::new(Bookstore::new(1000, "pge"))
+        // Bookstore front tier (paper: unreplicated, Tomcat-like).
+        b.service("bookstore", n_store, move |_| {
+            Box::new(Bookstore::new(1000, "pge").with_page_cost_scale(page_scale))
         });
     }
     let sync_pge = cfg.sync_pge;
@@ -89,6 +115,7 @@ pub fn run_tpcw(cfg: TpcwConfig) -> TpcwResult {
     b.passive_service("bank", cfg.n_bank, |_| Box::new(Bank::new()));
     for i in 0..cfg.rbes {
         let think = cfg.think_mean;
+        let read_only = cfg.read_only;
         b.custom_client(&format!("rbe{i}"), move |core, uris| {
             // An RBE's whole session keys on its session id, so its owning
             // shard is fixed for the session (unsharded stores route to
@@ -96,7 +123,7 @@ pub fn run_tpcw(cfg: TpcwConfig) -> TpcwResult {
             let (_, bookstore) = uris
                 .route("urn:svc:bookstore", &i.to_string())
                 .expect("bookstore routes");
-            Box::new(Rbe::new(core, bookstore, i as u64, think))
+            Box::new(Rbe::new(core, bookstore, i as u64, think).with_read_only(read_only))
         });
     }
     let mut sys = b.build();
@@ -114,6 +141,8 @@ pub fn run_tpcw(cfg: TpcwConfig) -> TpcwResult {
         } else {
             pge_interactions as f64 / interactions as f64
         },
+        ro_served: sys.metrics().counter("clbft.ro.served"),
+        ro_fallbacks: sys.metrics().counter("clbft.ro.fallbacks"),
     }
 }
 
@@ -123,6 +152,7 @@ mod tests {
 
     fn small(n: u32, sync_pge: bool, rbes: u32) -> TpcwConfig {
         TpcwConfig {
+            n_bookstore: 1,
             n_pge: n,
             n_bank: n,
             rbes,
@@ -131,6 +161,9 @@ mod tests {
             sync_pge,
             think_mean: SimDuration::from_secs(7),
             bookstore_shards: 1,
+            read_only: false,
+            page_cost_scale: 1,
+            speculative: false,
             seed: 7,
         }
     }
@@ -160,6 +193,38 @@ mod tests {
             r.pge_interactions,
             r.interactions
         );
+    }
+
+    #[test]
+    fn read_only_browse_pages_take_the_fast_path() {
+        let mut cfg = small(1, false, 7);
+        cfg.read_only = true;
+        let r = run_tpcw(cfg);
+        assert!(r.interactions > 20, "got {}", r.interactions);
+        assert!(r.ro_served > 0, "no fast-path reads served");
+    }
+
+    #[test]
+    fn read_only_against_a_replicated_bookstore() {
+        // A 4-replica store must assemble a 2f+1 = 3 matching-reply quorum
+        // for every browse page.
+        let mut cfg = small(1, false, 7);
+        cfg.n_bookstore = 4;
+        cfg.read_only = true;
+        let r = run_tpcw(cfg);
+        assert!(r.interactions > 20, "got {}", r.interactions);
+        assert!(
+            r.ro_served > 0,
+            "replicated store never served a fast-path read"
+        );
+    }
+
+    #[test]
+    fn speculative_mix_still_completes() {
+        let mut cfg = small(4, false, 7);
+        cfg.speculative = true;
+        let r = run_tpcw(cfg);
+        assert!(r.interactions > 20, "got {}", r.interactions);
     }
 
     #[test]

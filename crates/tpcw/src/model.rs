@@ -82,6 +82,13 @@ impl Interaction {
     pub fn hits_pge(self) -> bool {
         self == Interaction::BuyConfirm
     }
+
+    /// Whether this interaction leaves the bookstore unchanged and can
+    /// travel the read-only fast path. Only the cart update and the order
+    /// placement mutate store state; everything else renders from it.
+    pub fn is_read_only(self) -> bool {
+        !matches!(self, Interaction::ShoppingCart | Interaction::BuyConfirm)
+    }
 }
 
 /// Transition weights out of each page (destinations, weight per mille).
@@ -192,5 +199,18 @@ mod tests {
     fn only_buy_confirm_hits_pge() {
         assert!(Interaction::BuyConfirm.hits_pge());
         assert_eq!(Interaction::ALL.iter().filter(|i| i.hits_pge()).count(), 1);
+    }
+
+    #[test]
+    fn exactly_the_two_mutating_pages_are_not_read_only() {
+        let writers: Vec<_> = Interaction::ALL
+            .iter()
+            .copied()
+            .filter(|i| !i.is_read_only())
+            .collect();
+        assert_eq!(
+            writers,
+            vec![Interaction::ShoppingCart, Interaction::BuyConfirm]
+        );
     }
 }

@@ -18,6 +18,9 @@ pub struct Rbe {
     session: u64,
     page: Interaction,
     think_mean: SimDuration,
+    /// Send browse pages down the read-only fast path (mutating pages
+    /// always take the ordered path).
+    read_only: bool,
     /// Interactions completed (including warm-up).
     pub completed: u64,
     /// Completion timestamps, for windowed WIPS computation.
@@ -54,12 +57,19 @@ impl Rbe {
             session,
             page: Interaction::Home,
             think_mean,
+            read_only: false,
             completed: 0,
             completions: Vec::new(),
             outstanding: None,
             think_timer: None,
             sweep_timer: None,
         }
+    }
+
+    /// Routes browse pages through the read-only fast path.
+    pub fn with_read_only(mut self, on: bool) -> Self {
+        self.read_only = on;
+        self
     }
 
     fn schedule_think(&mut self, ctx: &mut Context<'_>) {
@@ -77,7 +87,11 @@ impl Rbe {
             return;
         }
         let Ok(bytes) = mc.to_bytes() else { return };
-        let call = self.core.call(ctx, self.bookstore, bytes);
+        let call = if self.read_only && self.page.is_read_only() {
+            self.core.call_read_only(ctx, self.bookstore, bytes)
+        } else {
+            self.core.call(ctx, self.bookstore, bytes)
+        };
         self.outstanding = Some((call, ctx.now()));
         if self.sweep_timer.is_none() {
             self.sweep_timer = Some(ctx.set_timer(SWEEP));

@@ -13,6 +13,7 @@ use pws_tpcw::{run_tpcw, TpcwConfig};
 fn main() {
     for n in [1u32, 4] {
         let cfg = TpcwConfig {
+            n_bookstore: 1,
             n_pge: n,
             n_bank: n,
             rbes: 28,
@@ -21,6 +22,9 @@ fn main() {
             sync_pge: false,
             think_mean: SimDuration::from_secs(7),
             bookstore_shards: 1,
+            read_only: false,
+            page_cost_scale: 1,
+            speculative: false,
             seed: 2007,
         };
         let r = run_tpcw(cfg);

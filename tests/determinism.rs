@@ -67,13 +67,12 @@ fn full_stack_same_seed_reproduces_exactly() {
 /// change is *intended* to alter the event stream, re-pin the constant in
 /// the same commit and say why.
 const QUICKSTART_SEED: u64 = 42;
-// Re-pinned for the sharding-ready dedup numbering (PR 5): external
-// events now carry a dense per-target `target_seq` (the dedup key that
-// keeps per-origin compaction contiguous at every shard), adding 8 bytes
-// to every `External` frame — so every cost-model charge and delivery
-// time shifted. Previous value: 0xe3a1_09d3_61e7_4817 (batched
-// pre-prepares, PR 3; PR 4 needed no re-pin).
-const QUICKSTART_GOLDEN_DIGEST: u64 = 0xa28a_61bc_ef6b_7bd1;
+// Re-pinned for the read-only fast path (PR 6): requests now carry a
+// read-only flag on the wire (one byte in every CLBFT request frame), so
+// every frame length, cost-model charge, and delivery time shifted —
+// even in this all-ordered workload. Previous value:
+// 0xa28a_61bc_ef6b_7bd1 (dense per-target dedup numbering, PR 5).
+const QUICKSTART_GOLDEN_DIGEST: u64 = 0x643f_5817_e03b_2f09;
 
 struct Counter(u64);
 impl PassiveService for Counter {

@@ -184,6 +184,7 @@ fn deployment_descriptor_drives_group_sizes() {
 fn tpcw_more_rbes_more_wips() {
     let run = |rbes| {
         pws_tpcw::run_tpcw(pws_tpcw::TpcwConfig {
+            n_bookstore: 1,
             n_pge: 1,
             n_bank: 1,
             rbes,
@@ -192,6 +193,9 @@ fn tpcw_more_rbes_more_wips() {
             sync_pge: false,
             think_mean: SimDuration::from_secs(7),
             bookstore_shards: 1,
+            read_only: false,
+            page_cost_scale: 1,
+            speculative: false,
             seed: 11,
         })
     };
