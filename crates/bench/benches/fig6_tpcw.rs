@@ -36,6 +36,7 @@ fn main() {
                 read_only: false,
                 page_cost_scale: 1,
                 speculative: false,
+                cross_shard_buys: false,
                 seed: 2007,
             });
             rows.push(vec![
@@ -94,6 +95,7 @@ fn main() {
         read_only: false,
         page_cost_scale: 1,
         speculative: false,
+        cross_shard_buys: false,
         seed: 2007,
     };
     let async_r = run_tpcw(cfg);
@@ -132,6 +134,7 @@ fn main() {
         read_only: false,
         page_cost_scale: 100,
         speculative: false,
+        cross_shard_buys: false,
         seed: 2007,
     };
     let ordered = run_tpcw(ro_cfg);

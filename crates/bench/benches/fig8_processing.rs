@@ -13,7 +13,7 @@
 //! batching is the classic throughput lever for this protocol family, and
 //! the sweep records how far it lifts the saturated hot path.
 
-use pws_bench::{emit_table, quick_mode, run_two_tier, run_two_tier_batched};
+use pws_bench::{emit_bench_json, emit_table, quick_mode, run_two_tier, run_two_tier_batched};
 use pws_simnet::SimDuration;
 
 fn main() {
@@ -131,5 +131,18 @@ fn main() {
         tput_at(2),
         tput_at(2) / tput_at(0),
         occ_at(2)
+    );
+
+    let n_hi = *sizes.last().unwrap();
+    emit_bench_json(
+        "fig8",
+        &[
+            ("proc_ms_max", t_hi as f64),
+            ("overhead_null_nmax", overhead(0, n_hi)),
+            ("overhead_hi_nmax", overhead(t_hi, n_hi)),
+            ("batch1_throughput_rps", tput_at(0)),
+            ("batch16_throughput_rps", tput_at(2)),
+            ("batch16_mean_occupancy", occ_at(2)),
+        ],
     );
 }

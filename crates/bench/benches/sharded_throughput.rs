@@ -13,8 +13,14 @@
 //! 2.5× the saturated throughput of the single group on the same
 //! workload, and every shard must actually serve (balance engaged, no
 //! silent hot-spotting).
+//!
+//! ISSUE 7 adds a cross-shard mix smoke: the same keyed workload with
+//! every 10th request naming keys on *two* shards, which the
+//! transactional routing layer runs as a two-phase commit. The smoke
+//! asserts the mix completes with exactly-once application — 2PC overhead
+//! is charged but atomicity never drops a request.
 
-use pws_bench::{emit_table, quick_mode, run_sharded};
+use pws_bench::{emit_bench_json, emit_table, quick_mode, run_sharded, run_sharded_mixed};
 
 fn main() {
     let (clients, per_client, window): (u32, u64, u64) = if quick_mode() {
@@ -74,5 +80,47 @@ fn main() {
     assert!(
         speedup4 >= floor,
         "4 shards must sustain >= {floor}x the single-group rate, got {speedup4:.2}x"
+    );
+
+    // ISSUE 7: 10% cross-shard transaction mix over 4 shards. Every
+    // caller's keys are unique, so no transaction can abort on lock
+    // conflict — the smoke demands all commits land and the summed
+    // per-shard application count proves exactly-once execution
+    // (single-key requests apply once, each commit applies both keys).
+    let (mix_callers, mix_per_caller): (u32, u64) = if quick_mode() { (4, 60) } else { (4, 120) };
+    let mix_total = mix_callers as u64 * mix_per_caller;
+    let mix = run_sharded_mixed(4, 4, mix_callers, mix_per_caller, 8, 10, 2107);
+    println!(
+        "\ncross-shard mix (10%): {} completed, {} committed, {} aborted, {} applied",
+        mix.completed, mix.commits, mix.aborts, mix.applied
+    );
+    assert_eq!(
+        mix.completed, mix_total,
+        "mix run must complete every request"
+    );
+    assert!(
+        mix.commits > 0,
+        "the 10% mix must exercise real 2PC commits"
+    );
+    assert_eq!(mix.aborts, 0, "disjoint key sets must never abort");
+    assert_eq!(
+        mix.applied,
+        mix_total + mix.commits,
+        "exactly-once: applications = single-key requests + 2 keys per commit"
+    );
+
+    emit_bench_json(
+        "sharded",
+        &[
+            ("shards_max", 4.0),
+            ("throughput_1shard_rps", tput[&1]),
+            ("throughput_2shard_rps", tput[&2]),
+            ("throughput_4shard_rps", tput[&4]),
+            ("speedup_2shard", speedup2),
+            ("speedup_4shard", speedup4),
+            ("mix_completed", mix.completed as f64),
+            ("mix_commits", mix.commits as f64),
+            ("mix_aborts", mix.aborts as f64),
+        ],
     );
 }

@@ -24,7 +24,8 @@
 #![warn(missing_docs)]
 
 use perpetual_ws::{
-    PassiveService, PassiveUtils, Poll, Service, ServiceCtx, SystemBuilder, WsEvent,
+    PassiveService, PassiveUtils, Poll, RendezvousRouter, Router, Service, ServiceCtx,
+    ServiceExecutor, SystemBuilder, TxnService, TxnShim, WsEvent, TXN_ABORTED_FAULT,
 };
 use pws_simnet::{SimDuration, SimTime};
 use pws_soap::{MessageContext, XmlNode};
@@ -290,6 +291,227 @@ pub fn run_sharded(
     }
 }
 
+/// A transactional null-op for the cross-shard mix sweep: counts
+/// applications (single-key requests and committed transaction keys
+/// alike), so exactly-once is auditable as a plain sum.
+#[derive(Debug, Default)]
+pub struct TxnIncrement {
+    /// Applications on this shard.
+    pub applied: u64,
+}
+
+impl Service for TxnIncrement {
+    fn on_event(&mut self, ev: WsEvent, ctx: &mut ServiceCtx<'_>) -> Poll {
+        if let WsEvent::Request { request } = ev {
+            self.applied += 1;
+            let reply = request.reply_with(
+                "",
+                XmlNode::new("incrementResult").with_text(self.applied.to_string()),
+            );
+            ctx.reply(reply, &request);
+        }
+        Poll::Next
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        self.applied.to_be_bytes().to_vec()
+    }
+
+    fn restore(&mut self, snapshot: &[u8]) {
+        let mut b = [0u8; 8];
+        if snapshot.len() == 8 {
+            b.copy_from_slice(snapshot);
+        }
+        self.applied = u64::from_be_bytes(b);
+    }
+}
+
+impl TxnService for TxnIncrement {
+    fn txn_execute(&mut self, _op: &str, keys: &[String]) -> String {
+        self.applied += keys.len() as u64;
+        format!("n={}", keys.len())
+    }
+}
+
+/// A [`LoadCaller`] variant that marks every `cross_every`-th request as
+/// *cross-shard*: its body names two keys owned by different shards, so a
+/// transactional sharded target must run it as a two-phase commit. All
+/// keys are unique per caller, so concurrent transactions never contend
+/// on locks.
+#[derive(Debug)]
+pub struct MixedCaller {
+    target_uri: String,
+    total: u64,
+    window: u64,
+    cross_every: u64,
+    shards: u32,
+    tag: u32,
+    sent: u64,
+    /// Requests completed (commits, aborts, and single-key replies).
+    pub done: u64,
+    /// Cross-shard transactions this caller saw commit.
+    pub commits: u64,
+    /// Cross-shard transactions this caller saw abort.
+    pub aborts: u64,
+}
+
+impl MixedCaller {
+    /// Creates a caller of sharded service `target` (over `shards`
+    /// shards); `tag` disambiguates this caller's key space.
+    pub fn new(
+        target: &str,
+        total: u64,
+        window: u64,
+        cross_every: u64,
+        shards: u32,
+        tag: u32,
+    ) -> Self {
+        MixedCaller {
+            target_uri: format!("urn:svc:{target}"),
+            total,
+            window: window.max(1),
+            cross_every,
+            shards,
+            tag,
+            sent: 0,
+            done: 0,
+            commits: 0,
+            aborts: 0,
+        }
+    }
+
+    fn key_for(&self, seq: u64) -> String {
+        let key = format!("c{}-{seq}", self.tag);
+        if self.shards < 2 || self.cross_every == 0 || !seq.is_multiple_of(self.cross_every) {
+            return key;
+        }
+        let router = RendezvousRouter::new();
+        let own = router.shard(&key, self.shards);
+        let partner = (0..64)
+            .map(|j| format!("c{}-{seq}-p{j}", self.tag))
+            .find(|p| router.shard(p, self.shards) != own);
+        match partner {
+            Some(p) => format!("{key}|{p}"),
+            None => key,
+        }
+    }
+
+    fn fire(&mut self, ctx: &mut ServiceCtx<'_>) {
+        let mut mc = MessageContext::request(&self.target_uri, "increment");
+        mc.body_mut().name = "increment".into();
+        mc.body_mut().text = self.key_for(self.sent);
+        let _ = ctx.send(mc);
+        self.sent += 1;
+    }
+}
+
+impl Service for MixedCaller {
+    fn on_event(&mut self, ev: WsEvent, ctx: &mut ServiceCtx<'_>) -> Poll {
+        match ev {
+            WsEvent::Init { .. } => {
+                while self.sent < self.window.min(self.total) {
+                    self.fire(ctx);
+                }
+            }
+            WsEvent::Reply { reply, .. } => {
+                self.done += 1;
+                match reply.envelope().as_fault() {
+                    Some(f) if f.code == TXN_ABORTED_FAULT => self.aborts += 1,
+                    Some(_) => {}
+                    None if reply.body().text.starts_with("txn=commit") => self.commits += 1,
+                    None => {}
+                }
+                if self.sent < self.total {
+                    self.fire(ctx);
+                }
+            }
+            WsEvent::Request { .. } | WsEvent::Time { .. } => {}
+        }
+        if self.done >= self.total {
+            Poll::Done
+        } else {
+            Poll::any_reply()
+        }
+    }
+}
+
+/// Result of one mixed (cross-shard transaction) sharded run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MixedResult {
+    /// Requests completed across all callers.
+    pub completed: u64,
+    /// Cross-shard commits observed at the callers.
+    pub commits: u64,
+    /// Cross-shard aborts observed at the callers.
+    pub aborts: u64,
+    /// Applications summed over all shards (replica 0 of each): for an
+    /// exactly-once run this equals single-key requests + 2 × commits.
+    pub applied: u64,
+}
+
+/// Runs the cross-shard transaction mix: a transactional sharded null-op
+/// target under `clients` callers firing `per_client` keyed requests each
+/// (window `window`), every `cross_every`-th of which spans two shards
+/// and runs as a 2PC. `cross_every = 10` is the 10 % mix of the CI smoke.
+pub fn run_sharded_mixed(
+    shards: u32,
+    n_per_shard: u32,
+    clients: u32,
+    per_client: u64,
+    window: u64,
+    cross_every: u64,
+    seed: u64,
+) -> MixedResult {
+    let mut b = SystemBuilder::new(seed);
+    b.sharded_txn("target", shards, n_per_shard, |_, _| {
+        Box::<TxnIncrement>::default()
+    });
+    for c in 0..clients {
+        b.service(&format!("load{c}"), 1, move |_| {
+            Box::new(MixedCaller::new(
+                "target",
+                per_client,
+                window,
+                cross_every,
+                shards,
+                c,
+            ))
+        });
+    }
+    let mut sys = b.build();
+    sys.run_until(SimTime::from_secs(3_600));
+    let (mut completed, mut commits, mut aborts) = (0u64, 0u64, 0u64);
+    for c in 0..clients {
+        let caller = sys
+            .replica_mut(&format!("load{c}"), 0)
+            .expect("caller group")
+            .executor_mut::<ServiceExecutor>()
+            .expect("service executor")
+            .service_mut::<MixedCaller>()
+            .expect("mixed caller");
+        completed += caller.done;
+        commits += caller.commits;
+        aborts += caller.aborts;
+    }
+    let mut applied = 0u64;
+    for shard in 0..shards {
+        let shim = sys
+            .replica_mut(&format!("target#{shard}"), 0)
+            .expect("shard replica")
+            .executor_mut::<ServiceExecutor>()
+            .expect("service executor")
+            .service_mut::<TxnShim>()
+            .expect("txn shim");
+        applied += shim.inner_mut::<TxnIncrement>().expect("inner").applied;
+    }
+    MixedResult {
+        completed,
+        commits,
+        aborts,
+        applied,
+    }
+}
+
 /// Prints an aligned table and writes it as CSV under `target/figures/`.
 pub fn emit_table(name: &str, header: &[&str], rows: &[Vec<String>]) {
     println!("\n== {name} ==");
@@ -321,6 +543,27 @@ pub fn emit_table(name: &str, header: &[&str], rows: &[Vec<String>]) {
     }
     if let Err(e) = write_csv(name, header, rows) {
         eprintln!("(csv not written: {e})");
+    }
+}
+
+/// Writes a flat JSON object of headline numbers to
+/// `target/figures/BENCH_<name>.json`, so CI (and humans) can diff a
+/// run's key results without parsing the printed tables. Values are
+/// emitted with enough precision to round-trip `f64` exactly.
+pub fn emit_bench_json(name: &str, fields: &[(&str, f64)]) {
+    let mut body = String::from("{\n");
+    for (i, (key, value)) in fields.iter().enumerate() {
+        let comma = if i + 1 < fields.len() { "," } else { "" };
+        body.push_str(&format!("  \"{key}\": {value}{comma}\n"));
+    }
+    body.push('}');
+    body.push('\n');
+    let dir = target_root().join("figures");
+    let path = dir.join(format!("BENCH_{name}.json"));
+    let write = std::fs::create_dir_all(&dir).and_then(|_| std::fs::write(&path, body));
+    match write {
+        Ok(()) => println!("(json -> {})", path.display()),
+        Err(e) => eprintln!("(json not written: {e})"),
     }
 }
 

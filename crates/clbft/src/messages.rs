@@ -44,6 +44,13 @@ pub struct Request {
     /// request never enters the ordering path; if the client cannot gather
     /// its quorum it falls back by resubmitting with this flag cleared.
     pub read_only: bool,
+    /// Configuration-record marker: the request carries a group-management
+    /// record (transaction decision, reshard step, epoch flip) rather than
+    /// ordinary application traffic. A config record is ordered like any
+    /// request but always seals a sequence slot of its own — never batched
+    /// with application requests — so the slot boundary itself marks the
+    /// atomic configuration point in the log.
+    pub config: bool,
 }
 
 impl Request {
@@ -53,6 +60,7 @@ impl Request {
             id,
             payload,
             read_only: false,
+            config: false,
         }
     }
 
@@ -63,16 +71,35 @@ impl Request {
             id,
             payload,
             read_only: true,
+            config: false,
         }
     }
 
-    /// The canonical digest of this request. Covers the read-only flag so
-    /// a flipped flag cannot ride an existing authenticator.
+    /// Creates an ordered configuration record: occupies a sequence slot
+    /// of its own, flushing any batch accumulating ahead of it.
+    pub fn config_record(id: RequestId, payload: Bytes) -> Self {
+        Request {
+            id,
+            payload,
+            read_only: false,
+            config: true,
+        }
+    }
+
+    /// The combined flag byte (bit 0: read-only, bit 1: config) — the
+    /// canonical wire and digest encoding of the request's markers.
+    pub fn flags(&self) -> u8 {
+        u8::from(self.read_only) | (u8::from(self.config) << 1)
+    }
+
+    /// The canonical digest of this request. Covers the flag byte so a
+    /// flipped read-only or config marker cannot ride an existing
+    /// authenticator.
     pub fn digest(&self) -> Digest32 {
         let mut h = Sha256::new();
         h.update_u64(self.id.origin);
         h.update_u64(self.id.counter);
-        h.update(&[u8::from(self.read_only)]);
+        h.update(&[self.flags()]);
         h.update_u64(self.payload.len() as u64);
         h.update(&self.payload);
         h.finalize()
@@ -83,10 +110,11 @@ impl std::fmt::Debug for Request {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "Request({:?}, {} bytes{})",
+            "Request({:?}, {} bytes{}{})",
             self.id,
             self.payload.len(),
-            if self.read_only { ", ro" } else { "" }
+            if self.read_only { ", ro" } else { "" },
+            if self.config { ", cfg" } else { "" }
         )
     }
 }
@@ -386,6 +414,13 @@ mod tests {
         assert_ne!(d0, ro.digest(), "read-only flag is digest-covered");
         assert!(ro.read_only);
         assert!(!r.read_only);
+        let cfg = Request::config_record(RequestId::new(1, 2), Bytes::from_static(b"abc"));
+        assert_ne!(d0, cfg.digest(), "config flag is digest-covered");
+        assert_ne!(ro.digest(), cfg.digest(), "flags occupy distinct bits");
+        assert!(cfg.config && !cfg.read_only);
+        assert_eq!(r.flags(), 0);
+        assert_eq!(ro.flags(), 1);
+        assert_eq!(cfg.flags(), 2);
     }
 
     #[test]

@@ -333,6 +333,14 @@ impl Replica {
         self.stable_digest
     }
 
+    /// Executed configuration records above the stable checkpoint, in slot
+    /// order. Together with the checkpointed application snapshot this is
+    /// the durable record a recovering coordinator replays so it never
+    /// forgets a transaction decision or reshard step it already ordered.
+    pub fn config_records_above_stable(&self) -> Vec<(Seq, Request)> {
+        self.log.config_records_above(self.stable_seq)
+    }
+
     /// Whether a view change is in progress.
     pub fn in_view_change(&self) -> bool {
         self.in_view_change
@@ -443,6 +451,17 @@ impl Replica {
                 // Entries can go stale in the queue (dropped via
                 // `drop_request`, or ordered through another path).
                 if let Some(ReqState::Pending(r)) = self.requests.get(&id) {
+                    // A config record always seals a slot of its own: an
+                    // accumulating batch closes ahead of it, and nothing
+                    // joins its slot behind it.
+                    if r.config {
+                        if requests.is_empty() {
+                            requests.push(r.clone());
+                        } else {
+                            self.queue.push_front(id);
+                        }
+                        break;
+                    }
                     requests.push(r.clone());
                 }
             }

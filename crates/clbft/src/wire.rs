@@ -155,21 +155,24 @@ impl<'a> Decoder<'a> {
 fn put_request(e: &mut Encoder, r: &Request) {
     e.put_u64(r.id.origin);
     e.put_u64(r.id.counter);
-    e.put_u8(u8::from(r.read_only));
+    e.put_u8(r.flags());
     e.put_bytes(&r.payload);
 }
 
 fn get_request(d: &mut Decoder<'_>) -> Result<Request, WireError> {
     let origin = d.u64()?;
     let counter = d.u64()?;
-    let read_only = match d.u8()? {
-        0 => false,
-        1 => true,
-        _ => return Err(WireError::new("bad read-only flag")),
-    };
+    // Flag bitfield: bit 0 read-only, bit 1 config. A plain request still
+    // encodes byte 0 and a read-only request byte 1, so pre-config frames
+    // decode (and re-encode) unchanged.
+    let flags = d.u8()?;
+    if flags > 3 {
+        return Err(WireError::new("bad request flags"));
+    }
     let payload = d.bytes()?;
     let mut req = Request::new(RequestId::new(origin, counter), payload);
-    req.read_only = read_only;
+    req.read_only = flags & 1 != 0;
+    req.config = flags & 2 != 0;
     Ok(req)
 }
 
@@ -620,15 +623,33 @@ mod tests {
     }
 
     #[test]
-    fn junk_read_only_flag_rejected() {
+    fn junk_request_flags_rejected() {
         let mut e = Encoder::new();
         e.put_u8(TAG_FORWARD);
         e.put_u64(1);
         e.put_u64(2);
-        e.put_u8(2); // flag must be 0 or 1
+        e.put_u8(4); // flags must fit the two defined bits
         e.put_bytes(b"x");
         let err = decode_msg(&e.finish()).unwrap_err();
-        assert!(err.to_string().contains("read-only flag"), "{err}");
+        assert!(err.to_string().contains("request flags"), "{err}");
+    }
+
+    #[test]
+    fn config_flag_roundtrips_and_plain_frames_stay_byte_identical() {
+        roundtrip(Msg::Forward(Request::config_record(
+            RequestId::new(5, 11),
+            Bytes::from_static(b"cfg"),
+        )));
+        // The flag byte is a bitfield over the byte read-only used alone,
+        // so frames without config records are unchanged on the wire.
+        let plain = Msg::Forward(sample_request(1));
+        let mut e = Encoder::new();
+        e.put_u8(TAG_FORWARD);
+        e.put_u64(3);
+        e.put_u64(1);
+        e.put_u8(0);
+        e.put_bytes(&[1u8; 5]);
+        assert_eq!(encode_msg(&plain), e.finish());
     }
 
     #[test]

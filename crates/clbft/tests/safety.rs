@@ -233,6 +233,37 @@ fn group_with_sealed_batch(k: u64) -> (Vec<Replica>, pws_clbft::PrePrepareMsg) {
     (rs, pp)
 }
 
+#[test]
+fn config_records_seal_their_own_slot() {
+    // Accumulate plain, config, plain around a held pipeline; the batch
+    // timer must seal three slots: [r0 r1], [config], [r3 r4] — the config
+    // record never shares a batch in either direction.
+    let mut cfg = Config::new(4);
+    cfg.pipeline_depth = 0;
+    let mut r0 = Replica::new(ReplicaId(0), cfg);
+    for c in 0..5u64 {
+        let req = if c == 2 {
+            Request::config_record(RequestId::new(7, c), Bytes::from_static(b"cfg"))
+        } else {
+            Request::new(RequestId::new(7, c), Bytes::from(format!("op{c}")))
+        };
+        r0.on_request(req);
+    }
+    let pps: Vec<pws_clbft::PrePrepareMsg> = r0
+        .on_batch_timer()
+        .into_iter()
+        .filter_map(|a| match a {
+            Action::Broadcast(Msg::PrePrepare(pp)) => Some(pp),
+            _ => None,
+        })
+        .collect();
+    let shape: Vec<usize> = pps.iter().map(|pp| pp.batch.len()).collect();
+    assert_eq!(shape, vec![2, 1, 2], "config slot stands alone");
+    assert!(pps[1].batch.requests[0].config);
+    assert!(pps[0].batch.requests.iter().all(|r| !r.config));
+    assert!(pps[2].batch.requests.iter().all(|r| !r.config));
+}
+
 /// Runs a view change to view 1 by firing timers at replicas 1..3 and
 /// letting them exchange messages (replica 0, the old primary, stays
 /// silent). Returns the NewView the new primary broadcast.

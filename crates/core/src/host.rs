@@ -84,7 +84,22 @@ impl ServiceCtx<'_> {
     /// sharding rejects by design — resolves deterministically to an
     /// abort fault delivered after the current event (every replica does
     /// the same).
-    pub fn send(&mut self, mut request: MessageContext) -> CallToken {
+    pub fn send(&mut self, request: MessageContext) -> CallToken {
+        self.send_impl(request, false)
+    }
+
+    /// [`ServiceCtx::send`], but the marshalled payload is wrapped with the
+    /// Perpetual **config** marker ([`pws_perpetual::CONFIG_PREFIX`]): the
+    /// target voter group gives the request a CLBFT agreement slot of its
+    /// own (never batched), the slot is replayable through
+    /// `config_records_above_stable`, and the receiving host strips the
+    /// marker before the service sees the request. The transport for
+    /// transaction and resharding records (see [`crate::txn`]).
+    pub fn send_config(&mut self, request: MessageContext) -> CallToken {
+        self.send_impl(request, true)
+    }
+
+    fn send_impl(&mut self, mut request: MessageContext, config: bool) -> CallToken {
         let token = CallToken(self.st.next_token);
         self.st.next_token += 1;
         if request.addressing().reply_to.is_none() {
@@ -113,6 +128,11 @@ impl ServiceCtx<'_> {
                 .failed_sends
                 .push((token, "request could not be marshalled".to_owned()));
             return token;
+        };
+        let bytes = if config {
+            pws_perpetual::config_payload(&bytes)
+        } else {
+            bytes
         };
         match routed {
             Ok((target, sharded)) => {
@@ -196,6 +216,13 @@ impl ServiceCtx<'_> {
     /// This service's own URI (`urn:svc:<name>`).
     pub fn own_uri(&self) -> &str {
         &self.st.own_uri
+    }
+
+    /// Increments a deployment metric counter. Deterministic infrastructure
+    /// telemetry (the transaction and resharding layers count protocol
+    /// outcomes through this); services should not treat metrics as state.
+    pub fn incr_metric(&mut self, name: impl Into<String>) {
+        self.out.incr_metric(name);
     }
 }
 
@@ -569,7 +596,11 @@ impl Executor for ServiceExecutor {
             }
             AppEvent::Request { handle, payload } => {
                 out.spend(self.state.ws_cost.demarshal_cost(payload.len()));
-                if let Ok(mut request) = MessageContext::from_bytes(&payload) {
+                // Config-flagged requests (transaction/resharding records)
+                // carry the Perpetual config marker; the envelope inside is
+                // ordinary SOAP.
+                let soap = pws_perpetual::strip_config_payload(&payload).unwrap_or(&payload);
+                if let Ok(mut request) = MessageContext::from_bytes(soap) {
                     let id = match &request.addressing().message_id {
                         Some(id) => id.clone(),
                         None => {

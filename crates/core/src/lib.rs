@@ -95,6 +95,7 @@ pub mod host;
 pub mod passive;
 pub mod router;
 pub mod runtime;
+pub mod txn;
 pub mod wscost;
 
 pub use api::{CallToken, Poll, Service, TimeToken, WaitSet, WsEvent};
@@ -103,6 +104,7 @@ pub use features::{feature_matrix, Approach, FeatureRow};
 pub use host::{ServiceCtx, ServiceExecutor};
 pub use passive::{PassiveHost, PassiveService, PassiveUtils};
 pub use pws_perpetual::{CostModel, FaultMode, GroupId};
-pub use router::{routing_key, RendezvousRouter, RouteError, Router};
+pub use router::{routing_key, RendezvousRouter, RouteError, Router, RouterEpoch};
 pub use runtime::{ScriptedClient, System, SystemBuilder, UriMap};
+pub use txn::{TxnService, TxnShim, TXN_ABORTED_FAULT, WRONG_SHARD_FAULT};
 pub use wscost::WsCostModel;

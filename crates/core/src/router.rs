@@ -25,9 +25,12 @@
 //! The **routing key** of a request is its SOAP body text (the entity id
 //! idiom used throughout this workspace: the TPC-W session, the bench
 //! sequence number). A request may name several entity keys joined with
-//! `|`; if they all map to one shard it routes there, otherwise it is a
-//! **cross-shard** request and is rejected with the typed
-//! [`RouteError::CrossShard`] — single-shard operations only, for now.
+//! `|`; if they all map to one shard it routes there. Keys spanning shards
+//! are rejected with the typed [`RouteError::CrossShard`] for plain
+//! sharded services, or routed to the first key's owner — the
+//! **coordinator** of a two-phase commit — for transactional ones (see
+//! [`crate::txn`]). [`RouterEpoch`] versions the active shard count so
+//! live resharding can grow a deployment without rebuilding it.
 
 use pws_soap::MessageContext;
 use std::fmt;
@@ -114,6 +117,64 @@ pub fn routing_key(request: &MessageContext) -> &str {
 /// Single-key requests — the overwhelmingly common case — yield themselves.
 pub fn split_keys(key: &str) -> impl Iterator<Item = &str> {
     key.split('|')
+}
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+/// An epoch-versioned view over a [`Router`]: the pure key→shard function
+/// paired with the deployment's current **active shard count**, which live
+/// resharding advances at the flip point.
+///
+/// The epoch is advisory routing for *clients and callers*: shards
+/// themselves never read it for agreed-execution decisions (they track the
+/// shard count through ordered reshard records — see [`crate::txn`]), so a
+/// replica replaying its log after recovery re-derives identical routing
+/// no matter when the atomic advanced. Epochs only grow; routing within
+/// one epoch is a pure function of the key (property-tested in
+/// `router_prop.rs`), and advancing from `S` to `S + 1` re-routes exactly
+/// the keys whose rendezvous winner is the new shard.
+#[derive(Clone, Debug)]
+pub struct RouterEpoch {
+    router: Arc<dyn Router>,
+    active: Arc<AtomicU32>,
+}
+
+impl RouterEpoch {
+    /// Wraps `router` with an initial active shard count.
+    pub fn new(router: Arc<dyn Router>, active_shards: u32) -> Self {
+        RouterEpoch {
+            router,
+            active: Arc::new(AtomicU32::new(active_shards.max(1))),
+        }
+    }
+
+    /// The underlying pure router.
+    pub fn router(&self) -> Arc<dyn Router> {
+        Arc::clone(&self.router)
+    }
+
+    /// The current active shard count (the epoch).
+    pub fn epoch(&self) -> u32 {
+        self.active.load(Ordering::SeqCst)
+    }
+
+    /// Advances the epoch to `new_count`. Epochs only grow; a stale (lower)
+    /// value is ignored so racing flips cannot regress routing.
+    pub fn advance(&self, new_count: u32) {
+        self.active.fetch_max(new_count, Ordering::SeqCst);
+    }
+
+    /// Routes `key` at the current epoch.
+    pub fn shard(&self, key: &str) -> u32 {
+        self.router.shard(key, self.epoch())
+    }
+}
+
+impl std::fmt::Debug for dyn Router {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Router")
+    }
 }
 
 /// Why a request could not be routed to a shard.
@@ -231,6 +292,26 @@ mod tests {
         assert_eq!(routing_key(&mc), "customer-7");
         assert_eq!(split_keys("a|b|a").collect::<Vec<_>>(), vec!["a", "b", "a"]);
         assert_eq!(split_keys("solo").collect::<Vec<_>>(), vec!["solo"]);
+    }
+
+    #[test]
+    fn router_epoch_only_grows_and_routes_at_current_count() {
+        let e = RouterEpoch::new(Arc::new(RendezvousRouter::new()), 2);
+        assert_eq!(e.epoch(), 2);
+        for i in 0..64 {
+            let key = format!("k{i}");
+            assert_eq!(e.shard(&key), e.router().shard(&key, 2));
+        }
+        e.advance(3);
+        assert_eq!(e.epoch(), 3);
+        e.advance(2); // stale flips are ignored
+        assert_eq!(e.epoch(), 3);
+        for i in 0..64 {
+            let key = format!("k{i}");
+            assert_eq!(e.shard(&key), e.router().shard(&key, 3));
+        }
+        let degenerate = RouterEpoch::new(Arc::new(RendezvousRouter::new()), 0);
+        assert_eq!(degenerate.epoch(), 1, "zero clamps to one shard");
     }
 
     #[test]

@@ -4,7 +4,11 @@
 use crate::api::Service;
 use crate::host::ServiceExecutor;
 use crate::passive::{PassiveHost, PassiveService};
-use crate::router::{routing_key, split_keys, RendezvousRouter, RouteError, Router};
+use crate::router::{routing_key, split_keys, RendezvousRouter, RouteError, Router, RouterEpoch};
+use crate::txn::{
+    decode_entries, from_hex, to_hex, ReshardExport, ReshardImport, TxnService, TxnShim,
+    OP_RESHARD_EXPORT, OP_RESHARD_IMPORT, WRONG_SHARD_FAULT,
+};
 use crate::wscost::WsCostModel;
 use bytes::Bytes;
 use pws_perpetual::{
@@ -16,15 +20,21 @@ use pws_simnet::{
 };
 use pws_soap::engine::Engine;
 use pws_soap::MessageContext;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
-/// One logical sharded service: its shard groups in shard order plus the
-/// router that assigns keys to them.
+/// The hidden client that drives live reshard migrations.
+const RESHARD_CONTROLLER: &str = "reshard-controller";
+
+/// One logical sharded service: its provisioned shard groups in shard
+/// order (active shards first, then dormant spares), the epoch-versioned
+/// router assigning keys to the *active* prefix, and whether cross-shard
+/// keys coordinate a transaction instead of being rejected.
 #[derive(Clone)]
 struct ShardedEntry {
     shards: Vec<GroupId>,
-    router: Arc<dyn Router>,
+    epoch: RouterEpoch,
+    txn: bool,
 }
 
 /// Maps service URIs (`urn:svc:<name>`) to replica groups — directly for
@@ -56,11 +66,30 @@ impl UriMap {
     /// directly under its shard-qualified name (`name#<k>`), so a caller
     /// that has already pinned a shard can address it like any service.
     pub fn insert_sharded(&mut self, name: &str, shards: Vec<GroupId>, router: Arc<dyn Router>) {
+        let epoch = RouterEpoch::new(router, shards.len() as u32);
+        self.insert_sharded_elastic(name, shards, epoch, false);
+    }
+
+    /// [`UriMap::insert_sharded`] with an explicit [`RouterEpoch`] (whose
+    /// active count may be *smaller* than `shards.len()` — the suffix are
+    /// dormant spares awaiting live resharding) and a transaction flag:
+    /// when `txn` is set, cross-shard keys route to the first key's owner
+    /// (the 2PC coordinator) instead of raising
+    /// [`RouteError::CrossShard`].
+    pub fn insert_sharded_elastic(
+        &mut self,
+        name: &str,
+        shards: Vec<GroupId>,
+        epoch: RouterEpoch,
+        txn: bool,
+    ) {
         for (k, gid) in shards.iter().enumerate() {
             self.insert(&format!("{name}#{k}"), *gid);
         }
-        self.sharded
-            .insert(format!("urn:svc:{name}"), ShardedEntry { shards, router });
+        self.sharded.insert(
+            format!("urn:svc:{name}"),
+            ShardedEntry { shards, epoch, txn },
+        );
     }
 
     /// Resolves a URI to its group. Returns `None` for unknown URIs *and*
@@ -69,10 +98,25 @@ impl UriMap {
         self.by_uri.get(uri).copied()
     }
 
-    /// Number of shards behind a sharded logical URI (`None` if `uri` is
-    /// not sharded).
+    /// Number of *provisioned* shards behind a sharded logical URI —
+    /// dormant spares included (`None` if `uri` is not sharded). See
+    /// [`UriMap::active_shards`] for the routable count.
     pub fn shard_count(&self, uri: &str) -> Option<u32> {
         self.sharded.get(uri).map(|e| e.shards.len() as u32)
+    }
+
+    /// Number of *active* (routable) shards behind a sharded logical URI
+    /// at the current epoch.
+    pub fn active_shards(&self, uri: &str) -> Option<u32> {
+        self.sharded
+            .get(uri)
+            .map(|e| e.epoch.epoch().min(e.shards.len() as u32))
+    }
+
+    /// The epoch handle of a sharded logical URI (shared with every clone
+    /// of this map), for observing or advancing the active shard count.
+    pub fn epoch_handle(&self, uri: &str) -> Option<RouterEpoch> {
+        self.sharded.get(uri).map(|e| e.epoch.clone())
     }
 
     /// The shard groups behind a sharded logical URI, in shard order.
@@ -89,7 +133,9 @@ impl UriMap {
     ///
     /// [`RouteError::UnknownService`] if `uri` resolves to nothing, and
     /// [`RouteError::CrossShard`] if the key names entities owned by
-    /// different shards (single-shard operations only).
+    /// different shards of a non-transactional service. Transactional
+    /// sharded services route cross-shard keys to the **first** key's
+    /// owner, which coordinates a two-phase commit (see [`crate::txn`]).
     pub fn route(&self, uri: &str, key: &str) -> Result<(u32, GroupId), RouteError> {
         if let Some(gid) = self.by_uri.get(uri) {
             return Ok((0, *gid));
@@ -99,11 +145,12 @@ impl UriMap {
                 uri: uri.to_owned(),
             });
         };
-        let shards = entry.shards.len() as u32;
+        let shards = entry.epoch.epoch().min(entry.shards.len() as u32);
+        let router = entry.epoch.router();
         let mut owner: Option<u32> = None;
         let mut spread: Vec<u32> = Vec::new();
         for k in split_keys(key) {
-            let s = entry.router.shard(k, shards);
+            let s = router.shard(k, shards);
             if owner.is_none_or(|o| o == s) {
                 owner = Some(s);
             } else if !spread.contains(&s) {
@@ -111,6 +158,11 @@ impl UriMap {
             }
         }
         if let Some(extra) = owner.filter(|_| !spread.is_empty()) {
+            if entry.txn {
+                // Coordinator = the first key's owner (`extra` holds the
+                // first owner seen; keys after it never overwrite it).
+                return Ok((extra, entry.shards[extra as usize]));
+            }
             spread.insert(0, extra);
             spread.sort_unstable();
             return Err(RouteError::CrossShard {
@@ -148,13 +200,18 @@ enum Factory {
     /// Sharded factories receive `(shard, replica)`.
     ShardedService(Box<dyn FnMut(u32, u32) -> Box<dyn Service>>),
     ShardedPassive(Box<dyn FnMut(u32, u32) -> Box<dyn PassiveService>>),
+    /// Transactional sharded services are wrapped in a [`TxnShim`].
+    Txn(Box<dyn FnMut(u32, u32) -> Box<dyn TxnService>>),
 }
 
 struct ServiceSpec {
     name: String,
     n: u32,
-    /// Shard count; 1 for ordinary services.
+    /// Active shard count at build time; 1 for ordinary services.
     shards: u32,
+    /// Dormant spare shards provisioned for live resharding
+    /// ([`SystemBuilder::add_shard`]); transactional services only.
+    spares: u32,
     /// The key router for sharded services (`None` for ordinary ones).
     router: Option<Arc<dyn Router>>,
     factory: Factory,
@@ -347,6 +404,7 @@ impl SystemBuilder {
             name: name.to_owned(),
             n,
             shards: 1,
+            spares: 0,
             router: None,
             factory: Factory::Service(Box::new(move |i| factory(i))),
             faults: HashMap::new(),
@@ -363,6 +421,7 @@ impl SystemBuilder {
             name: name.to_owned(),
             n,
             shards: 1,
+            spares: 0,
             router: None,
             factory: Factory::Passive(Box::new(move |i| factory(i))),
             faults: HashMap::new(),
@@ -408,6 +467,7 @@ impl SystemBuilder {
             name: name.to_owned(),
             n,
             shards,
+            spares: 0,
             router: Some(router),
             factory: Factory::ShardedService(Box::new(move |s, i| factory(s, i))),
             faults: HashMap::new(),
@@ -433,10 +493,62 @@ impl SystemBuilder {
             name: name.to_owned(),
             n,
             shards,
+            spares: 0,
             router: Some(Arc::new(RendezvousRouter::new())),
             factory: Factory::ShardedPassive(Box::new(move |s, i| factory(s, i))),
             faults: HashMap::new(),
         });
+        self
+    }
+
+    /// Adds a *transactional* sharded service: one logical [`TxnService`]
+    /// across `shards` voter groups of `n` replicas, routed by the default
+    /// [`RendezvousRouter`]. Each replica's service is wrapped in a
+    /// [`TxnShim`], so requests whose keys span shards become two-phase
+    /// commits coordinated by the first key's owner instead of
+    /// [`RouteError::CrossShard`] rejections, and the deployment supports
+    /// live resharding (see [`SystemBuilder::add_shard`]).
+    pub fn sharded_txn<F>(&mut self, name: &str, shards: u32, n: u32, mut factory: F) -> &mut Self
+    where
+        F: FnMut(u32, u32) -> Box<dyn TxnService> + 'static,
+    {
+        assert!(shards >= 1, "a sharded service needs at least one shard");
+        self.services.push(ServiceSpec {
+            name: name.to_owned(),
+            n,
+            shards,
+            spares: 0,
+            router: Some(Arc::new(RendezvousRouter::new())),
+            factory: Factory::Txn(Box::new(move |s, i| factory(s, i))),
+            faults: HashMap::new(),
+        });
+        self
+    }
+
+    /// Declares capacity for one *online* shard addition to transactional
+    /// sharded service `name`: a fresh voter group is provisioned dormant
+    /// (it holds all client traffic behind a gate) and stood up at runtime
+    /// by [`System::add_shard`], which flips the routing epoch and migrates
+    /// exactly the keys rendezvous routing reassigns. May be called
+    /// repeatedly to provision several spares.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` has not been added with
+    /// [`SystemBuilder::sharded_txn`] — only transactional services carry
+    /// the fence/import machinery resharding needs.
+    pub fn add_shard(&mut self, name: &str) -> &mut Self {
+        let spec = self
+            .services
+            .iter_mut()
+            .find(|s| s.name == name)
+            .unwrap_or_else(|| panic!("unknown service '{name}'"));
+        assert!(
+            matches!(spec.factory, Factory::Txn(_)),
+            "live resharding requires a transactional sharded service \
+             (SystemBuilder::sharded_txn); '{name}' is not one"
+        );
+        spec.spares += 1;
         self
     }
 
@@ -548,11 +660,13 @@ impl SystemBuilder {
         let mut next_group = 0u32;
 
         for spec in &self.services {
-            // A sharded service occupies `shards` consecutive groups, each
+            // A sharded service occupies `shards + spares` consecutive
+            // groups (active shards first, then dormant spares), each
             // registered under its `name#k` alias; an unsharded one is the
             // single-group degenerate case of the same loop.
-            let mut shard_groups = Vec::with_capacity(spec.shards as usize);
-            for k in 0..spec.shards {
+            let provisioned = spec.shards + spec.spares;
+            let mut shard_groups = Vec::with_capacity(provisioned as usize);
+            for k in 0..provisioned {
                 let gid = GroupId(next_group);
                 next_group += 1;
                 let nodes: Vec<NodeId> = (next_node..next_node + spec.n)
@@ -569,7 +683,9 @@ impl SystemBuilder {
                 shard_groups.push(gid);
             }
             if let Some(router) = &spec.router {
-                uris.insert_sharded(&spec.name, shard_groups, router.clone());
+                let epoch = RouterEpoch::new(router.clone(), spec.shards);
+                let txn = matches!(spec.factory, Factory::Txn(_));
+                uris.insert_sharded_elastic(&spec.name, shard_groups, epoch, txn);
             }
         }
         for client in &self.clients {
@@ -579,13 +695,31 @@ impl SystemBuilder {
             next_node += 1;
             groups_by_name.insert(client.name.clone(), gid);
         }
+        // Transactional deployments get a hidden reshard-controller client
+        // (registered last so every other node keeps its id) that drives
+        // export → import migrations when `System::add_shard` fires.
+        let controller_gid = if self
+            .services
+            .iter()
+            .any(|s| matches!(s.factory, Factory::Txn(_)))
+        {
+            let gid = GroupId(next_group);
+            next_group += 1;
+            topo.register(gid, vec![NodeId::from_raw(next_node)]);
+            next_node += 1;
+            groups_by_name.insert(RESHARD_CONTROLLER.to_owned(), gid);
+            Some(gid)
+        } else {
+            None
+        };
+        let _ = (next_node, next_group);
 
         let topo = Arc::new(topo);
         let uris = Arc::new(uris);
 
         let mut client_nodes = HashMap::new();
         for mut spec in self.services {
-            for shard in 0..spec.shards {
+            for shard in 0..spec.shards + spec.spares {
                 let (hosted_name, gid) = if spec.router.is_some() {
                     let alias = format!("{}#{shard}", spec.name);
                     let gid = groups_by_name[&alias];
@@ -614,6 +748,14 @@ impl SystemBuilder {
                         Factory::Passive(f) => Box::new(PassiveHost::new(f(idx))),
                         Factory::ShardedService(f) => f(shard, idx),
                         Factory::ShardedPassive(f) => Box::new(PassiveHost::new(f(shard, idx))),
+                        Factory::Txn(f) => Box::new(TxnShim::new(
+                            f(shard, idx),
+                            spec.name.as_str(),
+                            shard,
+                            spec.router.clone().expect("txn services are sharded"),
+                            spec.shards,
+                            shard >= spec.shards,
+                        )),
                     };
                     let executor: Box<dyn Executor> = Box::new(ServiceExecutor::new(
                         service,
@@ -669,6 +811,7 @@ impl SystemBuilder {
                         timeout,
                         sent: 0,
                         send_times: HashMap::new(),
+                        in_flight: HashMap::new(),
                         replies: Vec::new(),
                         latencies: Vec::new(),
                         first_send: None,
@@ -682,11 +825,28 @@ impl SystemBuilder {
             client_nodes.insert(spec.name.clone(), node);
             debug_assert_eq!(node, topo.node(gid, 0));
         }
+        let controller = controller_gid.map(|gid| {
+            let mut core = ClientCore::new(gid, topo.clone(), self.seed, self.cost);
+            core.set_read_only_quorum(self.read_only_quorum);
+            let node = sim.add_node(Box::new(ReshardController {
+                core,
+                uris: uris.clone(),
+                engine: Engine::with_id_prefix(RESHARD_CONTROLLER.to_owned()),
+                ws_cost: self.ws_cost,
+                jobs: BTreeMap::new(),
+                calls: BTreeMap::new(),
+                retry_timer: None,
+            }));
+            debug_assert_eq!(node, topo.node(gid, 0));
+            node
+        });
 
         System {
             sim,
             groups_by_name,
             client_nodes,
+            uris,
+            controller,
         }
     }
 }
@@ -696,6 +856,9 @@ pub struct System {
     sim: Simulation,
     groups_by_name: HashMap<String, GroupId>,
     client_nodes: HashMap<String, NodeId>,
+    uris: Arc<UriMap>,
+    /// The hidden reshard-controller node (transactional deployments only).
+    controller: Option<NodeId>,
 }
 
 impl std::fmt::Debug for System {
@@ -735,6 +898,52 @@ impl System {
     /// Direct access to the simulation (metrics, network faults, tracing).
     pub fn sim_mut(&mut self) -> &mut Simulation {
         &mut self.sim
+    }
+
+    /// The deployment's URI map (routing assertions, epoch observation).
+    pub fn uris(&self) -> &Arc<UriMap> {
+        &self.uris
+    }
+
+    /// Stands up the next provisioned spare shard of transactional service
+    /// `name` **online**: flips the routing epoch (clients immediately route
+    /// at the grown count; moved keys hit the new shard's admission gate or
+    /// the old shards' fences and are redirected, never lost), then drives
+    /// the migration — every source shard orders a `reshardExport` config
+    /// record that fences and extracts exactly the keys rendezvous routing
+    /// reassigns, and the new shard orders one `reshardImport` per source,
+    /// opening its gate when all have arrived
+    /// (`clbft.reshard.completed` increments). Returns the new active shard
+    /// count. Run the system afterwards to let the migration complete.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is not transactional or no spare shard remains
+    /// (see [`SystemBuilder::add_shard`]).
+    pub fn add_shard(&mut self, name: &str) -> u32 {
+        let uri = service_uri(name);
+        let provisioned = self
+            .uris
+            .shard_count(&uri)
+            .unwrap_or_else(|| panic!("unknown sharded service '{name}'"));
+        let epoch = self.uris.epoch_handle(&uri).expect("sharded entry");
+        let old = epoch.epoch().min(provisioned);
+        assert!(
+            old < provisioned,
+            "no spare shard left for '{name}': provision more with \
+             SystemBuilder::add_shard before build"
+        );
+        let new = old + 1;
+        epoch.advance(new);
+        self.sim.metrics_mut().incr("clbft.reshard.epoch_flips");
+        let controller = self
+            .controller
+            .expect("transactional deployments have a reshard controller");
+        // The controller is a simnet node; hand it the job as an injected
+        // message (the sender id is outside the deployment and unused).
+        let cmd = Bytes::from(format!("reshard|{name}|{old}|{new}"));
+        self.sim.inject(NodeId::from_raw(u32::MAX), controller, cmd);
+        new
     }
 
     /// The metrics registry.
@@ -832,6 +1041,190 @@ impl System {
     }
 }
 
+/// One in-flight reshard migration the controller is driving.
+#[derive(Debug)]
+struct ReshardJob {
+    old: u32,
+    new: u32,
+    imports_acked: u32,
+}
+
+/// One outstanding export/import record call, kept so a faulted call can be
+/// re-sent verbatim.
+struct PendingRecord {
+    name: String,
+    shard: u32,
+    is_import: bool,
+    target: GroupId,
+    payload: Bytes,
+}
+
+/// The hidden client node that executes live reshard migrations: for each
+/// `reshard|<name>|<old>|<new>` command (injected by [`System::add_shard`])
+/// it sends an ordered `reshardExport` to every source shard, forwards each
+/// export's extracted entries to the new shard as an ordered
+/// `reshardImport`, and counts the migration complete
+/// (`clbft.reshard.completed`) when every import is acknowledged. All state
+/// is in sorted maps so same-seed runs trace identically.
+struct ReshardController {
+    core: ClientCore,
+    uris: Arc<UriMap>,
+    engine: Engine,
+    ws_cost: WsCostModel,
+    jobs: BTreeMap<String, ReshardJob>,
+    calls: BTreeMap<u64, PendingRecord>,
+    retry_timer: Option<pws_simnet::TimerId>,
+}
+
+impl std::fmt::Debug for ReshardController {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReshardController")
+            .field("jobs", &self.jobs)
+            .field("outstanding", &self.calls.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ReshardController {
+    fn send_record(
+        &mut self,
+        ctx: &mut Context<'_>,
+        name: &str,
+        shard: u32,
+        op: &str,
+        record: &[u8],
+        is_import: bool,
+    ) {
+        let uri = format!("urn:svc:{name}#{shard}");
+        let Some(target) = self.uris.group(&uri) else {
+            return;
+        };
+        let mut mc = MessageContext::request(&uri, op);
+        mc.body_mut().name = op.to_owned();
+        mc.body_mut().text = to_hex(record);
+        mc.addressing_mut().reply_to = Some("urn:reshard".to_owned());
+        if self.engine.run_out_pipe(&mut mc).is_err() {
+            return;
+        }
+        let Ok(bytes) = mc.to_bytes() else { return };
+        ctx.spend(self.ws_cost.marshal_cost(bytes.len()));
+        let call = self.core.call_config(ctx, target, bytes.clone());
+        self.calls.insert(
+            call.0,
+            PendingRecord {
+                name: name.to_owned(),
+                shard,
+                is_import,
+                target,
+                payload: bytes,
+            },
+        );
+        if self.retry_timer.is_none() {
+            self.retry_timer = Some(ctx.set_timer(RETRY_SWEEP));
+        }
+    }
+
+    fn start(&mut self, name: &str, old: u32, new: u32, ctx: &mut Context<'_>) {
+        if self.jobs.contains_key(name) || new != old + 1 {
+            return; // one grow-by-one job per service at a time
+        }
+        let rec = ReshardExport { new_count: new }.encode();
+        for s in 0..old {
+            self.send_record(ctx, name, s, OP_RESHARD_EXPORT, &rec, false);
+        }
+        self.jobs.insert(
+            name.to_owned(),
+            ReshardJob {
+                old,
+                new,
+                imports_acked: 0,
+            },
+        );
+    }
+
+    fn on_reply(&mut self, raw: u64, payload: &[u8], ctx: &mut Context<'_>) {
+        let Some(p) = self.calls.remove(&raw) else {
+            return;
+        };
+        let Ok(mc) = MessageContext::from_bytes(payload) else {
+            return;
+        };
+        if mc.envelope().as_fault().is_some() {
+            // A shard that answered with a fault (e.g. mid-view-change
+            // abort) has not ordered the record; re-send a fresh call so
+            // the migration cannot stall.
+            ctx.metrics().incr("clbft.reshard.record_retries");
+            let call = self.core.call_config(ctx, p.target, p.payload.clone());
+            self.calls.insert(call.0, p);
+            return;
+        }
+        let Some(job) = self.jobs.get_mut(&p.name) else {
+            return;
+        };
+        if p.is_import {
+            job.imports_acked += 1;
+            if job.imports_acked >= job.old {
+                ctx.metrics().incr("clbft.reshard.completed");
+                self.jobs.remove(&p.name);
+            }
+            return;
+        }
+        // An export reply carries the extracted entries (hex); forward them
+        // to the new shard as this source's import.
+        let entries = from_hex(&mc.body().text)
+            .and_then(|b| decode_entries(&b).ok())
+            .unwrap_or_default();
+        let (old, new) = (job.old, job.new);
+        let rec = ReshardImport {
+            from_shard: p.shard,
+            old_count: old,
+            new_count: new,
+            sources: old,
+            entries,
+        }
+        .encode();
+        let name = p.name.clone();
+        self.send_record(ctx, &name, new - 1, OP_RESHARD_IMPORT, &rec, true);
+    }
+}
+
+impl Node for ReshardController {
+    fn on_message(&mut self, _from: NodeId, msg: Bytes, ctx: &mut Context<'_>) {
+        if let Ok(text) = std::str::from_utf8(&msg) {
+            if let Some(rest) = text.strip_prefix("reshard|") {
+                let mut it = rest.split('|');
+                if let (Some(name), Some(old), Some(new)) = (it.next(), it.next(), it.next()) {
+                    if let (Ok(old), Ok(new)) = (old.parse::<u32>(), new.parse::<u32>()) {
+                        let name = name.to_owned();
+                        self.start(&name, old, new, ctx);
+                    }
+                }
+                return;
+            }
+        }
+        if let Some(ClientEvent::Reply { call, payload }) = self.core.on_message(&msg, ctx) {
+            ctx.spend(self.ws_cost.demarshal_cost(payload.len()));
+            self.on_reply(call.0, &payload, ctx);
+        }
+    }
+
+    fn on_timer(&mut self, timer: pws_simnet::TimerId, ctx: &mut Context<'_>) {
+        if Some(timer) != self.retry_timer {
+            return;
+        }
+        // Retry sweep: rotate responders on every outstanding record call.
+        let outstanding: Vec<u64> = self.calls.keys().copied().collect();
+        for raw in outstanding {
+            self.core.retry(ctx, pws_perpetual::CallId(raw));
+        }
+        self.retry_timer = if self.calls.is_empty() {
+            None
+        } else {
+            Some(ctx.set_timer(RETRY_SWEEP))
+        };
+    }
+}
+
 /// A simnet node that drives a replicated service with a fixed script of
 /// requests, keeping a bounded window outstanding. The workhorse behind the
 /// micro-benchmarks (Figs. 7–9).
@@ -854,6 +1247,9 @@ pub struct ScriptedClient {
     timeout: Option<SimDuration>,
     sent: u64,
     send_times: HashMap<u64, SimTime>,
+    /// Outstanding calls' routing keys and how many `pws:WrongShard`
+    /// redirects each has already followed (bounded at one).
+    in_flight: HashMap<u64, (String, u8)>,
     /// Replies received, in completion order.
     pub replies: Vec<MessageContext>,
     /// Completion latencies, in completion order.
@@ -919,9 +1315,11 @@ impl ScriptedClient {
             if self.engine.run_out_pipe(&mut mc).is_err() {
                 continue;
             }
+            let key = mc.body().text.clone();
             let Ok(bytes) = mc.to_bytes() else { continue };
             ctx.spend(self.ws_cost.marshal_cost(bytes.len()));
             let call = self.core.call(ctx, target, bytes);
+            self.in_flight.insert(call.0, (key, 0));
             self.after_fire(call, ctx);
             return;
         }
@@ -935,6 +1333,37 @@ impl ScriptedClient {
         if let Some(t) = self.timeout {
             ctx.set_timer(t);
         }
+    }
+
+    /// Follows a `pws:WrongShard` redirect: re-routes the same routing key
+    /// at the *current* epoch and re-issues the call, carrying the original
+    /// send time over so the recorded latency spans both legs. Returns
+    /// `false` when the retry cannot be routed (the fault then surfaces as
+    /// an ordinary reply).
+    fn refire(&mut self, old_call: u64, key: String, ctx: &mut Context<'_>) -> bool {
+        let mut mc = MessageContext::request(&self.target_uri, &self.op);
+        mc.body_mut().name = self.op.clone();
+        mc.body_mut().text = key.clone();
+        mc.addressing_mut().reply_to = Some("urn:client".to_owned());
+        let Ok((_, target)) = self.uris.route(&self.target_uri, routing_key(&mc)) else {
+            return false;
+        };
+        if self.engine.run_out_pipe(&mut mc).is_err() {
+            return false;
+        }
+        let Ok(bytes) = mc.to_bytes() else {
+            return false;
+        };
+        ctx.spend(self.ws_cost.marshal_cost(bytes.len()));
+        ctx.metrics().incr("client.route_retries");
+        let call = self.core.call(ctx, target, bytes);
+        let sent_at = self
+            .send_times
+            .remove(&old_call)
+            .unwrap_or_else(|| ctx.now());
+        self.send_times.insert(call.0, sent_at);
+        self.in_flight.insert(call.0, (key, 1));
+        true
     }
 }
 
@@ -951,6 +1380,20 @@ impl Node for ScriptedClient {
         if let Some(ClientEvent::Reply { call, payload }) = self.core.on_message(&msg, ctx) {
             ctx.spend(self.ws_cost.demarshal_cost(payload.len()));
             if let Ok(mc) = MessageContext::from_bytes(&payload) {
+                let tracked = self.in_flight.remove(&call.0);
+                let wrong_shard = mc
+                    .envelope()
+                    .as_fault()
+                    .is_some_and(|f| f.code == WRONG_SHARD_FAULT);
+                if wrong_shard {
+                    // Typed retry guidance from an epoch flip: re-route at
+                    // the current epoch, once per request.
+                    if let Some((key, 0)) = tracked {
+                        if self.refire(call.0, key, ctx) {
+                            return;
+                        }
+                    }
+                }
                 if let Some(sent_at) = self.send_times.remove(&call.0) {
                     self.latencies.push(ctx.now() - sent_at);
                 }
@@ -990,6 +1433,7 @@ impl Node for ScriptedClient {
         if let Some((&call, &sent_at)) = self.send_times.iter().min_by_key(|(_, t)| **t) {
             if ctx.now() - sent_at >= timeout {
                 self.send_times.remove(&call);
+                self.in_flight.remove(&call);
                 self.core.abandon(pws_perpetual::CallId(call));
                 ctx.metrics().incr("client.abandoned");
                 self.fire(ctx);

@@ -6,9 +6,10 @@
 //! assignment everywhere (no seed, no instance state), minimal movement
 //! under shard-count growth, and balance within the documented bound.
 
-use perpetual_ws::{RendezvousRouter, Router, SystemBuilder};
+use perpetual_ws::{RendezvousRouter, Router, RouterEpoch, SystemBuilder};
 use proptest::prelude::*;
 use pws_simnet::SimTime;
+use std::sync::Arc;
 
 proptest! {
     /// Seed/instance independence: two separately constructed routers —
@@ -44,6 +45,67 @@ proptest! {
             after == before || after == shards,
             "key {:?} moved {} -> {} when shard {} was added",
             key, before, after, shards
+        );
+    }
+
+    /// Epoch transitions (ISSUE 7): flipping a `RouterEpoch` from `S` to
+    /// `S + 1` moves exactly the keys whose rendezvous winner changed —
+    /// and every one of those lands on the new shard. Routing before and
+    /// after the flip is the pure per-epoch function of the underlying
+    /// router; the epoch wrapper adds no state of its own.
+    #[test]
+    fn epoch_flip_moves_only_keys_whose_winner_changed(
+        keys in proptest::collection::vec("[a-z0-9:._-]{0,16}", 1..50),
+        shards in 1u32..10,
+    ) {
+        let raw = RendezvousRouter::new();
+        let epoch = RouterEpoch::new(Arc::new(RendezvousRouter::new()), shards);
+        prop_assert_eq!(epoch.epoch(), shards);
+        let before: Vec<u32> = keys.iter().map(|k| epoch.shard(k)).collect();
+        for (k, s) in keys.iter().zip(&before) {
+            prop_assert_eq!(*s, raw.shard(k, shards));
+        }
+        epoch.advance(shards + 1);
+        prop_assert_eq!(epoch.epoch(), shards + 1);
+        for (k, old) in keys.iter().zip(&before) {
+            let new = epoch.shard(k);
+            // A moved key moved because its rendezvous winner changed, and
+            // the only legal destination is the newly added shard.
+            prop_assert_eq!(new, raw.shard(k, shards + 1));
+            prop_assert!(
+                new == *old || new == shards,
+                "key {:?} moved {} -> {} on epoch flip {} -> {}",
+                k, old, new, shards, shards + 1
+            );
+        }
+        // Epochs only grow: a stale advance is a no-op.
+        epoch.advance(shards);
+        prop_assert_eq!(epoch.epoch(), shards + 1);
+    }
+
+    /// Movement volume on a flip stays near the fair share: growing from
+    /// `S` to `S + 1` shards reassigns roughly `1 / (S + 1)` of a large
+    /// corpus (within 2x either way), so a reshard migrates the minimum of
+    /// state rather than reshuffling the world.
+    #[test]
+    fn epoch_flip_moves_about_a_fair_share_of_keys(
+        base in any::<u32>(),
+        shards in 1u32..8,
+    ) {
+        let epoch = RouterEpoch::new(Arc::new(RendezvousRouter::new()), shards);
+        let keys = 2_000u32;
+        let before: Vec<u32> = (0..keys)
+            .map(|i| epoch.shard(&format!("k{base}-{i}")))
+            .collect();
+        epoch.advance(shards + 1);
+        let moved = (0..keys)
+            .filter(|i| epoch.shard(&format!("k{base}-{i}")) != before[*i as usize])
+            .count() as u32;
+        let fair = keys / (shards + 1);
+        prop_assert!(
+            moved * 2 >= fair && moved <= fair * 2,
+            "{} of {} keys moved on {} -> {} (fair share {})",
+            moved, keys, shards, shards + 1, fair
         );
     }
 

@@ -134,6 +134,23 @@ impl ClientCore {
         CallId(call_no)
     }
 
+    /// Issues an ordered *configuration* call: the payload is wrapped with
+    /// the [`crate::event::CONFIG_PREFIX`] marker so the target group
+    /// orders it as a CLBFT config record — digest-covered like any
+    /// request, but sealing a sequence slot of its own. Used for
+    /// transaction decisions and reshard steps, where the slot boundary is
+    /// the atomic configuration point.
+    pub fn call_config(
+        &mut self,
+        ctx: &mut Context<'_>,
+        target: GroupId,
+        payload: Bytes,
+    ) -> CallId {
+        let call = self.call(ctx, target, crate::event::config_payload(&payload));
+        ctx.metrics().incr("client.config_calls");
+        call
+    }
+
     /// Issues a *read-only* call on the fast path: every target replica is
     /// asked to answer from committed state, and the reply is accepted once
     /// `2f_t + 1` matching copies arrive — no agreement slot is consumed at

@@ -141,6 +141,29 @@ mod origin {
     pub const READ_MASK: u64 = 0xffff_ff00_0000_0000;
 }
 
+/// Marker prefix for configuration-record payloads (transaction decisions,
+/// reshard steps, epoch flips). A caller that wraps its application payload
+/// with [`config_payload`] gets the whole event ordered as a CLBFT *config
+/// record* ([`pws_clbft::Request::config_record`]): digest-covered like any
+/// request, but sealing a sequence slot of its own. SOAP payloads always
+/// start with `<`, so the prefix cannot collide with application traffic —
+/// and events without it encode byte-identically to every prior release.
+pub const CONFIG_PREFIX: [u8; 4] = *b"PWSC";
+
+/// Wraps `payload` so the event carrying it orders as a config record.
+pub fn config_payload(payload: &[u8]) -> Bytes {
+    let mut buf = Vec::with_capacity(4 + payload.len());
+    buf.extend_from_slice(&CONFIG_PREFIX);
+    buf.extend_from_slice(payload);
+    Bytes::from(buf)
+}
+
+/// Strips the config marker, returning the application payload if `buf`
+/// is a config-record payload and `None` otherwise.
+pub fn strip_config_payload(buf: &[u8]) -> Option<&[u8]> {
+    buf.strip_prefix(&CONFIG_PREFIX[..])
+}
+
 /// Builds the CLBFT read-only request for a fast-path read: never ordered,
 /// never executed — a replica whose read gate is open answers it directly
 /// from committed state ([`pws_clbft::Action::ReadOnly`]). The id encodes
@@ -292,9 +315,15 @@ impl Event {
         }
     }
 
-    /// Wraps this event into a CLBFT request.
+    /// Wraps this event into a CLBFT request. An external event whose
+    /// payload carries the [`CONFIG_PREFIX`] marker becomes a config
+    /// record — ordered in a sealed slot of its own.
     pub fn to_request(&self) -> Request {
-        Request::new(self.request_id(), self.encode())
+        let mut req = Request::new(self.request_id(), self.encode());
+        if let Event::External { payload, .. } = self {
+            req.config = strip_config_payload(payload).is_some();
+        }
+        req
     }
 }
 
@@ -421,5 +450,30 @@ mod tests {
         let r2 = ev.to_request();
         assert_eq!(r1.digest(), r2.digest());
         assert_eq!(r1.id, ev.request_id());
+        assert!(!r1.config, "plain payloads never become config records");
+    }
+
+    #[test]
+    fn config_payload_marks_the_request_and_roundtrips() {
+        let wrapped = config_payload(b"reshardExport:2");
+        assert_eq!(
+            strip_config_payload(&wrapped),
+            Some(&b"reshardExport:2"[..])
+        );
+        assert_eq!(strip_config_payload(b"<env>..</env>"), None);
+        let ev = Event::External {
+            caller: GroupId(3),
+            caller_n: 4,
+            req_no: 77,
+            target_seq: 41,
+            responder: 2,
+            timeout_ms: 0,
+            payload: wrapped,
+        };
+        let r = ev.to_request();
+        assert!(r.config, "marked payloads order as config records");
+        assert!(!r.read_only);
+        // Only External payloads are inspected.
+        assert!(!Event::Abort { call_no: 1 }.to_request().config);
     }
 }

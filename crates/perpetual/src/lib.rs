@@ -45,7 +45,9 @@ pub mod snapshot;
 
 pub use client::{ClientCore, ClientEvent};
 pub use cost::CostModel;
-pub use event::{read_request, read_request_parts, Event};
+pub use event::{
+    config_payload, read_request, read_request_parts, strip_config_payload, Event, CONFIG_PREFIX,
+};
 pub use executor::{AppCmd, AppEvent, AppOutput, CallId, Executor, RequestHandle};
 pub use faults::FaultMode;
 pub use group::{GroupId, Topology};

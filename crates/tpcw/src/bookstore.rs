@@ -4,7 +4,7 @@
 
 use crate::db::{page_cost, Db};
 use crate::model::Interaction;
-use perpetual_ws::{CallToken, Poll, Service, ServiceCtx, WsEvent};
+use perpetual_ws::{CallToken, Poll, Service, ServiceCtx, TxnService, WsEvent};
 use pws_soap::{MessageContext, XmlNode};
 use std::collections::HashMap;
 
@@ -21,6 +21,11 @@ pub struct Bookstore {
     /// request, order id). The store keeps serving other pages while
     /// authorizations are in flight (asynchronous messaging, §6.1).
     awaiting: HashMap<CallToken, (MessageContext, u64)>,
+    /// Orders placed through cross-shard transaction commits (exactly-once
+    /// audit: across all shards this must equal keys-per-commit × commits).
+    pub txn_orders: u64,
+    /// Cart lines added through cross-shard transaction commits.
+    pub txn_cart_lines: u64,
 }
 
 impl Bookstore {
@@ -32,7 +37,14 @@ impl Bookstore {
             pge_uri: format!("urn:svc:{pge}"),
             page_cost_scale: 1,
             awaiting: HashMap::new(),
+            txn_orders: 0,
+            txn_cart_lines: 0,
         }
+    }
+
+    /// Read access to the store database (post-run assertions).
+    pub fn db(&self) -> &Db {
+        &self.db
     }
 
     /// Divides every emulated page cost by `scale` (an in-memory front
@@ -56,7 +68,17 @@ impl Bookstore {
             ctx.reply(reply, &req);
             return;
         };
-        let session: u64 = req.body().text.parse().unwrap_or(0);
+        // Multi-customer keys (`a|b`) arriving on the ordinary path (all
+        // owned here) serve the first session; cross-shard spreads never
+        // reach this code — the transaction shim coordinates them.
+        let session: u64 = req
+            .body()
+            .text
+            .split('|')
+            .next()
+            .unwrap_or("")
+            .parse()
+            .unwrap_or(0);
         ctx.spend(pws_simnet::SimDuration::from_micros(
             page_cost(page).as_micros() / u64::from(self.page_cost_scale),
         ));
@@ -123,6 +145,39 @@ impl Service for Bookstore {
             WsEvent::Init { .. } | WsEvent::Time { .. } => {}
         }
         Poll::Next
+    }
+}
+
+impl TxnService for Bookstore {
+    /// Commit a multi-customer interaction on this shard's sessions: a
+    /// `buyConfirm` places (and settles) one order per local session, a
+    /// `shoppingCart` adds one line per local session. Anything else is a
+    /// no-op with an empty detail. Deterministic: the cart item derives
+    /// from the session id, not the RNG.
+    fn txn_execute(&mut self, op: &str, keys: &[String]) -> String {
+        let mut details = Vec::new();
+        for k in keys {
+            let session: u64 = k.parse().unwrap_or(0);
+            match op {
+                "shoppingCart" => {
+                    let item = (session % u64::from(self.db.item_count().max(1))) as u32;
+                    let lines = self.db.add_to_cart(session, item, 1);
+                    self.txn_cart_lines += 1;
+                    details.push(format!("cart:{session}={lines}"));
+                }
+                "buyConfirm" => {
+                    let (order, total) = self.db.place_order(session);
+                    // Cross-shard buys settle atomically with the commit
+                    // (the 2PC already ordered the decision; no separate
+                    // PGE authorization round).
+                    self.db.authorize_order(order);
+                    self.txn_orders += 1;
+                    details.push(format!("order:{session}={order}/{total}"));
+                }
+                _ => {}
+            }
+        }
+        details.join(",")
     }
 }
 

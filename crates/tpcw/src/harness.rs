@@ -36,6 +36,11 @@ pub struct TpcwConfig {
     /// Route browse pages down the read-only fast path (mutating pages —
     /// cart updates and order placement — always stay ordered).
     pub read_only: bool,
+    /// Make buy-confirm and shopping-cart interactions *multi-customer*:
+    /// each names the browser's own session plus a partner session owned
+    /// by a different shard, so the sharded store must run them as
+    /// cross-shard two-phase commits (requires `bookstore_shards >= 2`).
+    pub cross_shard_buys: bool,
     /// Divisor on the emulated DB page costs (1 = paper calibration).
     /// Large values emulate an in-memory front tier where protocol
     /// overhead, not page rendering, dominates interaction latency.
@@ -60,6 +65,7 @@ impl Default for TpcwConfig {
             think_mean: SimDuration::from_secs(7),
             bookstore_shards: 1,
             read_only: false,
+            cross_shard_buys: false,
             page_cost_scale: 1,
             speculative: false,
             seed: 2007,
@@ -82,6 +88,10 @@ pub struct TpcwResult {
     pub ro_served: u64,
     /// Read-only calls demoted to the ordered path (`clbft.ro.fallbacks`).
     pub ro_fallbacks: u64,
+    /// Cross-shard transactions committed (`clbft.txn.committed`).
+    pub txn_committed: u64,
+    /// Cross-shard transactions aborted (`clbft.txn.aborted`).
+    pub txn_aborted: u64,
 }
 
 /// Runs the TPC-W benchmark once.
@@ -91,7 +101,15 @@ pub fn run_tpcw(cfg: TpcwConfig) -> TpcwResult {
     let shards = cfg.bookstore_shards.max(1);
     let n_store = cfg.n_bookstore.max(1);
     let page_scale = cfg.page_cost_scale.max(1);
-    if shards > 1 {
+    let cross = cfg.cross_shard_buys && shards > 1;
+    if cross {
+        // Transactional sharded front tier: multi-customer buy pages
+        // become two-phase commits coordinated through the shards' own
+        // agreement logs.
+        b.sharded_txn("bookstore", shards, n_store, move |_, _| {
+            Box::new(Bookstore::new(1000, "pge").with_page_cost_scale(page_scale))
+        });
+    } else if shards > 1 {
         // Sharded front tier: the store is partitioned by customer
         // (session) key, each shard an independently-agreeing group
         // running its own order book — the scale-out topology.
@@ -123,7 +141,11 @@ pub fn run_tpcw(cfg: TpcwConfig) -> TpcwResult {
             let (_, bookstore) = uris
                 .route("urn:svc:bookstore", &i.to_string())
                 .expect("bookstore routes");
-            Box::new(Rbe::new(core, bookstore, i as u64, think).with_read_only(read_only))
+            let mut rbe = Rbe::new(core, bookstore, i as u64, think).with_read_only(read_only);
+            if cross {
+                rbe = rbe.with_cross_shard(shards);
+            }
+            Box::new(rbe)
         });
     }
     let mut sys = b.build();
@@ -143,6 +165,8 @@ pub fn run_tpcw(cfg: TpcwConfig) -> TpcwResult {
         },
         ro_served: sys.metrics().counter("clbft.ro.served"),
         ro_fallbacks: sys.metrics().counter("clbft.ro.fallbacks"),
+        txn_committed: sys.metrics().counter("clbft.txn.committed"),
+        txn_aborted: sys.metrics().counter("clbft.txn.aborted"),
     }
 }
 
@@ -162,6 +186,7 @@ mod tests {
             think_mean: SimDuration::from_secs(7),
             bookstore_shards: 1,
             read_only: false,
+            cross_shard_buys: false,
             page_cost_scale: 1,
             speculative: false,
             seed: 7,
@@ -269,5 +294,82 @@ mod tests {
         // The harness-level config reaches the same topology.
         let r = run_tpcw(cfg);
         assert!(r.interactions > 20, "harness run got {}", r.interactions);
+    }
+
+    #[test]
+    fn cross_shard_buys_update_inventory_exactly_once() {
+        use perpetual_ws::{ServiceExecutor, TxnShim};
+
+        // Two store shards, multi-customer buys: every buy-confirm and
+        // shopping-cart page names the browser's session plus a partner on
+        // the other shard, so each one runs as a two-phase commit.
+        let rbes = 10u32;
+        let mut b = SystemBuilder::new(4242);
+        b.sharded_txn("bookstore", 2, 1, |_, _| {
+            Box::new(Bookstore::new(1000, "pge"))
+        });
+        b.service("pge", 1, |_| Box::new(Pge::new("bank")));
+        b.passive_service("bank", 1, |_| Box::new(Bank::new()));
+        for i in 0..rbes {
+            b.custom_client(&format!("rbe{i}"), move |core, uris| {
+                let (_, bookstore) = uris
+                    .route("urn:svc:bookstore", &i.to_string())
+                    .expect("bookstore routes");
+                let rbe = Rbe::new(core, bookstore, i as u64, SimDuration::from_secs(7));
+                Box::new(rbe.with_cross_shard(2))
+            });
+        }
+        let mut sys = b.build();
+        sys.run_for(SimDuration::from_secs(300));
+        let committed = sys.metrics().counter("clbft.txn.committed");
+        assert!(committed > 0, "no cross-shard transactions committed");
+
+        // Exactly-once inventory audit: a committed cross-shard buy places
+        // one settled order on each of its two shards, and a committed
+        // cross-shard cart page adds one line per shard. Sum the per-shard
+        // transactional counters and square them against what the browsers
+        // observed (each browser has at most one interaction still in
+        // flight at the end of the run).
+        let mut orders = 0u64;
+        let mut cart_lines = 0u64;
+        for shard in 0..2u32 {
+            let shim = sys
+                .replica_mut(&format!("bookstore#{shard}"), 0)
+                .expect("shard replica")
+                .executor_mut::<ServiceExecutor>()
+                .expect("service executor")
+                .service_mut::<TxnShim>()
+                .expect("txn shim");
+            let store = shim.inner_mut::<Bookstore>().expect("bookstore inner");
+            orders += store.txn_orders;
+            cart_lines += store.txn_cart_lines;
+        }
+        let mut seen = 0u64;
+        for i in 0..rbes {
+            let node = sys.client_node(&format!("rbe{i}"));
+            seen += sys
+                .sim_mut()
+                .node_mut::<Rbe>(node)
+                .expect("rbe node")
+                .cross_buy_commits;
+        }
+        assert!(seen > 0, "no browser observed a committed cross-shard buy");
+        assert!(
+            orders >= 2 * seen,
+            "lost updates: {orders} orders for {seen} observed commits"
+        );
+        assert!(
+            orders <= 2 * (seen + u64::from(rbes)),
+            "duplicate updates: {orders} orders for {seen} observed commits"
+        );
+        assert!(cart_lines > 0, "no cross-shard cart lines committed");
+
+        // And the harness-level switch reaches the same topology.
+        let mut cfg = small(1, false, 8);
+        cfg.bookstore_shards = 2;
+        cfg.cross_shard_buys = true;
+        let r = run_tpcw(cfg);
+        assert!(r.interactions > 20, "harness run got {}", r.interactions);
+        assert!(r.txn_committed > 0, "harness run committed no txns");
     }
 }

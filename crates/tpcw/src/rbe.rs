@@ -3,7 +3,7 @@
 
 use crate::model::{next_interaction, Interaction};
 use bytes::Bytes;
-use perpetual_ws::GroupId;
+use perpetual_ws::{GroupId, RendezvousRouter, Router};
 use pws_perpetual::{CallId, ClientCore, ClientEvent};
 use pws_simnet::{Context, Node, NodeId, SimDuration, SimTime, TimerId};
 use pws_soap::engine::Engine;
@@ -21,6 +21,12 @@ pub struct Rbe {
     /// Send browse pages down the read-only fast path (mutating pages
     /// always take the ordered path).
     read_only: bool,
+    /// A partner session on a *different* bookstore shard: buy-confirm and
+    /// shopping-cart pages then name both customers (`a|b`), turning them
+    /// into cross-shard transactions.
+    cross_partner: Option<u64>,
+    /// Cross-shard buy-confirms this browser saw commit.
+    pub cross_buy_commits: u64,
     /// Interactions completed (including warm-up).
     pub completed: u64,
     /// Completion timestamps, for windowed WIPS computation.
@@ -58,6 +64,8 @@ impl Rbe {
             page: Interaction::Home,
             think_mean,
             read_only: false,
+            cross_partner: None,
+            cross_buy_commits: 0,
             completed: 0,
             completions: Vec::new(),
             outstanding: None,
@@ -72,6 +80,20 @@ impl Rbe {
         self
     }
 
+    /// Marks buy-confirm / shopping-cart pages as *multi-customer*: each
+    /// names this session plus a deterministic partner session owned by a
+    /// different shard (of `shards`), so the store must run them as
+    /// cross-shard transactions. Partner probes start at a per-session
+    /// offset, so concurrent browsers never contend on one partner key.
+    pub fn with_cross_shard(mut self, shards: u32) -> Self {
+        let router = RendezvousRouter::new();
+        let own = router.shard(&self.session.to_string(), shards);
+        let start = 1_000 + self.session * 101;
+        self.cross_partner =
+            (start..start + 64).find(|p| router.shard(&p.to_string(), shards) != own);
+        self
+    }
+
     fn schedule_think(&mut self, ctx: &mut Context<'_>) {
         let think = ctx.rng().exponential(self.think_mean.as_micros() as f64);
         self.think_timer = Some(ctx.set_timer(SimDuration::from_micros(think as u64)));
@@ -81,7 +103,12 @@ impl Rbe {
         self.page = next_interaction(self.page, ctx.rng());
         let mut mc = MessageContext::request(&self.bookstore_uri, self.page.op_name());
         mc.body_mut().name = self.page.op_name().to_owned();
-        mc.body_mut().text = self.session.to_string();
+        mc.body_mut().text = match (self.cross_partner, self.page) {
+            (Some(p), Interaction::BuyConfirm | Interaction::ShoppingCart) => {
+                format!("{}|{p}", self.session)
+            }
+            _ => self.session.to_string(),
+        };
         mc.addressing_mut().reply_to = Some(format!("urn:rbe:{}", self.session));
         if self.engine.run_out_pipe(&mut mc).is_err() {
             return;
@@ -105,8 +132,17 @@ impl Node for Rbe {
     }
 
     fn on_message(&mut self, _from: NodeId, msg: Bytes, ctx: &mut Context<'_>) {
-        if let Some(ClientEvent::Reply { call, .. }) = self.core.on_message(&msg, ctx) {
+        if let Some(ClientEvent::Reply { call, payload }) = self.core.on_message(&msg, ctx) {
             if self.outstanding.map(|(c, _)| c) == Some(call) {
+                if self.cross_partner.is_some() {
+                    if let Ok(mc) = MessageContext::from_bytes(&payload) {
+                        if mc.body().name == "buyConfirmResult"
+                            && mc.body().text.starts_with("txn=commit")
+                        {
+                            self.cross_buy_commits += 1;
+                        }
+                    }
+                }
                 self.outstanding = None;
                 self.completed += 1;
                 self.completions.push(ctx.now());

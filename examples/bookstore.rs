@@ -25,6 +25,7 @@ fn main() {
             read_only: false,
             page_cost_scale: 1,
             speculative: false,
+            cross_shard_buys: false,
             seed: 2007,
         };
         let r = run_tpcw(cfg);

@@ -3,8 +3,9 @@
 //!
 //! ```sh
 //! cargo run --example quickstart
-//! PWS_QUICKSTART_GROUPS=12 cargo run --release --example quickstart  # scale smoke
-//! PWS_QUICKSTART_SHARDS=4 cargo run --release --example quickstart   # sharded topology
+//! PWS_QUICKSTART_GROUPS=12 cargo run --release --example quickstart    # scale smoke
+//! PWS_QUICKSTART_SHARDS=4 cargo run --release --example quickstart     # sharded topology
+//! PWS_QUICKSTART_ADD_SHARD=1 cargo run --release --example quickstart  # live reshard
 //! ```
 //!
 //! `PWS_QUICKSTART_GROUPS=G` deploys G independent counter groups (4
@@ -17,10 +18,20 @@
 //! its owning shard, every shard runs its own independent agreement
 //! pipeline, and throughput scales *out* (see
 //! `cargo bench --bench sharded_throughput`).
+//!
+//! `PWS_QUICKSTART_ADD_SHARD=1` runs the elastic variant: a 2-shard
+//! transactional counter under a 600-request load grows to 3 shards
+//! *mid-run* (`System::add_shard`) — the epoch flips through an ordered
+//! config record, exactly the keys rendezvous routing reassigns migrate,
+//! and in-flight requests at the old epoch are redirected with a typed
+//! retry. Zero client-visible errors.
 
-use perpetual_ws::{PassiveService, PassiveUtils, SystemBuilder};
-use pws_simnet::SimTime;
+use perpetual_ws::{
+    PassiveService, PassiveUtils, Poll, Service, ServiceCtx, SystemBuilder, TxnService, WsEvent,
+};
+use pws_simnet::{SimDuration, SimTime};
 use pws_soap::{MessageContext, XmlNode};
+use std::collections::BTreeMap;
 
 /// The paper's `increment` null-op service: returns the old counter value.
 struct Counter(u64);
@@ -37,6 +48,9 @@ impl PassiveService for Counter {
 }
 
 fn main() {
+    if std::env::var("PWS_QUICKSTART_ADD_SHARD").is_ok_and(|v| v == "1") {
+        return elastic_quickstart();
+    }
     if let Some(shards) = std::env::var("PWS_QUICKSTART_SHARDS")
         .ok()
         .and_then(|v| v.parse::<u32>().ok())
@@ -117,5 +131,147 @@ fn sharded_quickstart(shards: u32) {
     println!(
         "{shards} shard(s) × 4 replicas, one logical service, deterministic \
          key routing — every shard agreed independently on its own slice."
+    );
+}
+
+/// The counter as a *transactional* sharded service, so the deployment can
+/// migrate its per-key state during a live reshard: `export_keys` hands
+/// over exactly the keys rendezvous routing reassigned, `import_keys`
+/// installs them on the new shard.
+#[derive(Default)]
+struct ElasticCounter {
+    counts: BTreeMap<String, u64>,
+}
+
+impl Service for ElasticCounter {
+    fn on_event(&mut self, ev: WsEvent, ctx: &mut ServiceCtx<'_>) -> Poll {
+        if let WsEvent::Request { request } = ev {
+            let key = request.body().text.clone();
+            let n = self.counts.entry(key).or_insert(0);
+            *n += 1;
+            let reply =
+                request.reply_with("", XmlNode::new("incrementResult").with_text(n.to_string()));
+            ctx.reply(reply, &request);
+        }
+        Poll::Next
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        let mut v = Vec::new();
+        v.extend((self.counts.len() as u32).to_be_bytes());
+        for (k, n) in &self.counts {
+            v.extend((k.len() as u32).to_be_bytes());
+            v.extend(k.as_bytes());
+            v.extend(n.to_be_bytes());
+        }
+        v
+    }
+
+    fn restore(&mut self, snapshot: &[u8]) {
+        self.counts.clear();
+        let mut at = 4usize;
+        let len = u32::from_be_bytes(snapshot[0..4].try_into().unwrap()) as usize;
+        for _ in 0..len {
+            let kl = u32::from_be_bytes(snapshot[at..at + 4].try_into().unwrap()) as usize;
+            at += 4;
+            let k = String::from_utf8(snapshot[at..at + kl].to_vec()).unwrap();
+            at += kl;
+            let n = u64::from_be_bytes(snapshot[at..at + 8].try_into().unwrap());
+            at += 8;
+            self.counts.insert(k, n);
+        }
+    }
+}
+
+impl TxnService for ElasticCounter {
+    fn txn_execute(&mut self, _op: &str, keys: &[String]) -> String {
+        let mut out = Vec::new();
+        for k in keys {
+            let n = self.counts.entry(k.clone()).or_insert(0);
+            *n += 1;
+            out.push(format!("{k}={n}"));
+        }
+        out.join(",")
+    }
+
+    fn export_keys(&mut self, moved: &dyn Fn(&str) -> bool) -> Vec<(String, Vec<u8>)> {
+        let gone: Vec<String> = self.counts.keys().filter(|k| moved(k)).cloned().collect();
+        gone.iter()
+            .map(|k| {
+                (
+                    k.clone(),
+                    self.counts.remove(k).unwrap().to_be_bytes().to_vec(),
+                )
+            })
+            .collect()
+    }
+
+    fn import_keys(&mut self, entries: &[(String, Vec<u8>)]) {
+        for (k, v) in entries {
+            let n = u64::from_be_bytes(v.as_slice().try_into().unwrap());
+            *self.counts.entry(k.clone()).or_insert(0) += n;
+        }
+    }
+}
+
+/// Live resharding: a 2-shard transactional counter under a 600-request
+/// load grows to 3 shards mid-run. The spare voter group is provisioned at
+/// build time (`SystemBuilder::add_shard`), then `System::add_shard` flips
+/// the routing epoch through an ordered config record and migrates exactly
+/// the keys whose rendezvous winner changed — with zero client-visible
+/// errors.
+fn elastic_quickstart() {
+    let per_client = 300u64;
+    let mut b = SystemBuilder::new(42);
+    b.checkpoint_interval(16);
+    b.sharded_txn("counter", 2, 4, |_, _| Box::<ElasticCounter>::default());
+    b.add_shard("counter"); // provision one dormant spare (counter#2)
+    b.scripted_client_windowed("alice", "counter", per_client, 8);
+    b.scripted_client_windowed("bob", "counter", per_client, 8);
+    let mut sys = b.build();
+
+    // Let part of the load land, then grow the deployment online.
+    let mut flipped = false;
+    for _ in 0..2_000 {
+        sys.run_for(SimDuration::from_millis(5));
+        if sys.metrics().counter("client.web_interactions") >= 150 {
+            let active = sys.add_shard("counter");
+            assert_eq!(active, 3, "epoch flips 2 -> 3");
+            flipped = true;
+            break;
+        }
+    }
+    assert!(flipped, "the load never reached the flip point");
+    sys.run_until(SimTime::from_secs(300));
+
+    for client in ["alice", "bob"] {
+        let replies = sys.client_replies(client);
+        assert_eq!(replies.len(), per_client as usize, "{client} completed");
+        assert!(
+            replies.iter().all(|r| r.envelope().as_fault().is_none()),
+            "{client} saw a fault during the reshard"
+        );
+    }
+    let m = sys.metrics();
+    println!(
+        "elastic quickstart: 600 requests across a live 2 -> 3 reshard \
+         (epoch flips {}, migrations completed {})",
+        m.counter("clbft.reshard.epoch_flips"),
+        m.counter("clbft.reshard.completed"),
+    );
+    println!(
+        "  {} keys exported, {} imported, {} redirect(s), {} bounded client \
+         retrie(s), 0 client-visible errors",
+        m.counter("clbft.reshard.exported_keys"),
+        m.counter("clbft.reshard.imported_keys"),
+        m.counter("clbft.reshard.redirects"),
+        m.counter("client.route_retries"),
+    );
+    assert_eq!(m.counter("clbft.reshard.epoch_flips"), 1);
+    assert_eq!(m.counter("clbft.reshard.completed"), 1);
+    assert_eq!(m.counter("client.route_errors"), 0);
+    println!(
+        "3 shards now agree independently — the deployment grew without \
+         stopping the world."
     );
 }

@@ -196,6 +196,7 @@ fn tpcw_more_rbes_more_wips() {
             read_only: false,
             page_cost_scale: 1,
             speculative: false,
+            cross_shard_buys: false,
             seed: 11,
         })
     };
