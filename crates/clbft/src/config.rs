@@ -29,6 +29,14 @@ pub struct Config {
     /// harness reads this value (via [`crate::Replica::config`]) to size
     /// the real timer.
     pub batch_delay_us: u64,
+    /// Snapshot page size in bytes for Merkle-partitioned state transfer
+    /// and incremental checkpoints: the application snapshot is chunked
+    /// into pages of this size (see [`crate::pages`]), checkpoint digests
+    /// cover the page tree's root, and state transfer fetches only pages
+    /// whose digests differ. Must be identical across the group — page
+    /// geometry is digest-covered, so a mismatched replica simply never
+    /// agrees with any checkpoint.
+    pub page_size: u32,
     /// Speculative execution (Zyzzyva-style): when set, replicas emit
     /// [`crate::Action::SpeculativeExecute`] as soon as a slot pre-prepares
     /// in the current view, overlapping application execution with the
@@ -58,6 +66,7 @@ impl Config {
             max_batch_size: 16,
             pipeline_depth: 2,
             batch_delay_us: 1_000,
+            page_size: crate::pages::DEFAULT_PAGE_SIZE,
             speculative: false,
         }
     }

@@ -19,10 +19,16 @@
 //! snapshot (the harness supplies the snapshot bytes in answer to
 //! [`Action::TakeCheckpoint`]; `2f + 1` matching digests stabilize the
 //! checkpoint and garbage-collect the log below the low watermark),
-//! **state transfer** (`FetchState`/`StateResponse`: a lagging or wiped
-//! replica installs the latest stable snapshot — verified against `f + 1`
-//! matching checkpoint votes — and replays the committed log suffix, each
-//! slot only once `f + 1` distinct responders sent an identical copy),
+//! **Merkle-partitioned state transfer** (`FetchState`/`StateResponse`
+//! ships the [`PageManifest`] of the latest stable snapshot — verified
+//! against `f + 1` matching checkpoint votes, whose digest covers the
+//! manifest's Merkle root — then the fetcher pulls only pages whose
+//! digests it does not already hold via range-bounded
+//! `FetchPages`/`PageResponse` frames, verifying every page against the
+//! certified manifest before installing, and replays the committed log
+//! suffix, each slot only once `f + 1` distinct responders sent an
+//! identical copy), **incremental checkpoints** (between boundaries only
+//! dirty pages are re-hashed; see [`pages`]),
 //! sequence-number watermarks, and view changes with new-view re-proposals
 //! (including null-batch gap filling). A batch is ordered or dropped
 //! atomically — never split — including across view changes, because
@@ -86,6 +92,7 @@ mod config;
 mod dedup;
 mod log;
 mod messages;
+pub mod pages;
 mod replica;
 pub mod wire;
 
@@ -93,10 +100,11 @@ pub use client::ReplyCollector;
 pub use config::Config;
 pub use dedup::ExecutedSet;
 pub use messages::{
-    checkpoint_digest, Batch, CheckpointMsg, CommitMsg, FetchStateMsg, Msg, NewViewMsg,
-    PrePrepareMsg, PrepareMsg, PreparedClaim, Request, RequestId, StateResponseMsg, SuffixSlot,
-    ViewChangeMsg,
+    checkpoint_digest, Batch, CheckpointMsg, CommitMsg, FetchPagesMsg, FetchStateMsg, Msg,
+    NewViewMsg, PageResponseMsg, PrePrepareMsg, PrepareMsg, PreparedClaim, Request, RequestId,
+    StateResponseMsg, SuffixSlot, ViewChangeMsg,
 };
+pub use pages::{PageCounters, PageManifest, DEFAULT_PAGE_SIZE, MAX_PAGES_PER_FETCH};
 pub use replica::{Action, Replica, TimerCmd};
 
 /// A replica index within one group: `0..n`.

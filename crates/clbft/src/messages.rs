@@ -1,6 +1,7 @@
 //! Protocol messages.
 
 use crate::dedup::ExecutedSet;
+use crate::pages::PageManifest;
 use crate::{ReplicaId, Seq, View};
 use bytes::Bytes;
 use pws_crypto::sha256::{Digest32, Sha256};
@@ -242,22 +243,25 @@ pub struct CheckpointMsg {
 }
 
 /// The canonical digest of a checkpoint: covers the sequence number, the
-/// opaque application snapshot, the executed-request deduplication set
-/// (its canonical per-origin compact encoding, [`ExecutedSet::encode`]),
-/// and the execution chain. Every correct replica computes the identical
-/// digest at the same sequence boundary, so `2f + 1` matching
-/// [`CheckpointMsg`]s prove the state is group-stable and `f + 1` prove at
-/// least one correct replica holds it (the state-transfer trust anchor).
+/// snapshot's page-tree Merkle root ([`PageManifest::root`], which in turn
+/// covers every page digest, the page geometry, and the total length), the
+/// executed-request deduplication set (its canonical per-origin compact
+/// encoding, [`ExecutedSet::encode`]), and the execution chain. Every
+/// correct replica computes the identical digest at the same sequence
+/// boundary, so `2f + 1` matching [`CheckpointMsg`]s prove the state is
+/// group-stable and `f + 1` prove at least one correct replica holds it
+/// (the state-transfer trust anchor). Because the root certifies the whole
+/// manifest, `f + 1` votes on this digest let a fetcher trust *every
+/// per-page digest* of a received manifest at once.
 pub fn checkpoint_digest(
     seq: Seq,
-    snapshot: &[u8],
+    pages: &PageManifest,
     executed: &ExecutedSet,
     exec_chain: &Digest32,
 ) -> Digest32 {
     let mut h = Sha256::new();
     h.update_u64(seq.0);
-    h.update_u64(snapshot.len() as u64);
-    h.update(snapshot);
+    h.update(pages.root().as_bytes());
     let dedup = executed.encode();
     h.update_u64(dedup.len() as u64);
     h.update(&dedup);
@@ -288,11 +292,12 @@ pub struct SuffixSlot {
     pub batch: Batch,
 }
 
-/// A stable checkpoint plus the committed log suffix, answering a
-/// [`FetchStateMsg`]. The fetcher verifies the checkpoint part against
-/// `f + 1` matching [`CheckpointMsg`] digests before installing; the
-/// suffix and view fields are *not* covered by that digest and only count
-/// as one vote each toward their own `f + 1` bars.
+/// A stable checkpoint's *manifest* plus the committed log suffix,
+/// answering a [`FetchStateMsg`]. The fetcher verifies the manifest (and
+/// the executed set and chain) against `f + 1` matching [`CheckpointMsg`]
+/// digests, then pulls only the pages it is missing with [`FetchPagesMsg`];
+/// the suffix and view fields are *not* covered by that digest and only
+/// count as one vote each toward their own `f + 1` bars.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StateResponseMsg {
     /// The stable checkpoint's sequence number.
@@ -303,13 +308,49 @@ pub struct StateResponseMsg {
     pub view: View,
     /// The execution chain at `seq`.
     pub exec_chain: Digest32,
-    /// The opaque application snapshot at `seq`.
-    pub snapshot: Bytes,
+    /// The page table of the application snapshot at `seq`: per-page
+    /// digests whose Merkle root the checkpoint digest covers. The pages
+    /// themselves travel separately, in [`PageResponseMsg`]s.
+    pub manifest: PageManifest,
     /// Request ids executed up to `seq`: the dedup table, compacted per
     /// origin ([`ExecutedSet`]).
     pub executed: ExecutedSet,
     /// Committed slots in `(seq, responder's last_exec]`, in order.
     pub suffix: Vec<SuffixSlot>,
+    /// Sender.
+    pub replica: ReplicaId,
+}
+
+/// A fetcher's range-bounded request for snapshot pages
+/// `[first, first + count)` of the stable checkpoint at `seq` (the
+/// vsr-rs `GetState` idiom: ask for an explicit range, then verify you got
+/// exactly that range back). `count` never exceeds
+/// [`crate::pages::MAX_PAGES_PER_FETCH`] in an honest frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FetchPagesMsg {
+    /// The checkpoint boundary whose pages are wanted.
+    pub seq: Seq,
+    /// First page index of the requested range.
+    pub first: u32,
+    /// Number of consecutive pages requested.
+    pub count: u32,
+    /// Sender.
+    pub replica: ReplicaId,
+}
+
+/// A responder's page range, answering a [`FetchPagesMsg`]. Pages are in
+/// index order starting at `first`; the fetcher verifies every page
+/// against its `f + 1`-vouched manifest ([`PageManifest::verify_page`])
+/// and rejects — counting — anything unsolicited, out of range, over the
+/// cap, duplicated, or digest-mismatched.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PageResponseMsg {
+    /// The checkpoint boundary the pages belong to.
+    pub seq: Seq,
+    /// Index of the first page carried.
+    pub first: u32,
+    /// The page contents, in index order.
+    pub pages: Vec<Bytes>,
     /// Sender.
     pub replica: ReplicaId,
 }
@@ -376,8 +417,12 @@ pub enum Msg {
     NewView(NewViewMsg),
     /// State-transfer request from a lagging replica.
     FetchState(FetchStateMsg),
-    /// State-transfer response: stable snapshot plus log suffix.
+    /// State-transfer response: stable checkpoint manifest plus log suffix.
     StateResponse(StateResponseMsg),
+    /// Range-bounded page request during state transfer.
+    FetchPages(FetchPagesMsg),
+    /// Page range answering a [`FetchPagesMsg`].
+    PageResponse(PageResponseMsg),
 }
 
 impl Msg {
@@ -393,6 +438,8 @@ impl Msg {
             Msg::NewView(_) => "new-view",
             Msg::FetchState(_) => "fetch-state",
             Msg::StateResponse(_) => "state-response",
+            Msg::FetchPages(_) => "fetch-pages",
+            Msg::PageResponse(_) => "page-response",
         }
     }
 }
@@ -463,6 +510,26 @@ mod tests {
             .kind(),
             "fetch-state"
         );
+        assert_eq!(
+            Msg::FetchPages(FetchPagesMsg {
+                seq: Seq(8),
+                first: 0,
+                count: 1,
+                replica: ReplicaId(0)
+            })
+            .kind(),
+            "fetch-pages"
+        );
+        assert_eq!(
+            Msg::PageResponse(PageResponseMsg {
+                seq: Seq(8),
+                first: 0,
+                pages: vec![Bytes::from_static(b"p")],
+                replica: ReplicaId(0)
+            })
+            .kind(),
+            "page-response"
+        );
     }
 
     #[test]
@@ -471,28 +538,34 @@ mod tests {
             .into_iter()
             .collect();
         let one: ExecutedSet = [RequestId::new(1, 1)].into_iter().collect();
-        let base = checkpoint_digest(Seq(64), b"state", &ids, &Digest32::ZERO);
+        let pages = PageManifest::compute(b"state", 4);
+        let base = checkpoint_digest(Seq(64), &pages, &ids, &Digest32::ZERO);
         assert_eq!(
             base,
-            checkpoint_digest(Seq(64), b"state", &ids, &Digest32::ZERO),
+            checkpoint_digest(Seq(64), &pages, &ids, &Digest32::ZERO),
             "deterministic"
         );
         assert_ne!(
             base,
-            checkpoint_digest(Seq(65), b"state", &ids, &Digest32::ZERO)
+            checkpoint_digest(Seq(65), &pages, &ids, &Digest32::ZERO)
+        );
+        let other_pages = PageManifest::compute(b"statf", 4);
+        assert_ne!(
+            base,
+            checkpoint_digest(Seq(64), &other_pages, &ids, &Digest32::ZERO),
+            "any page byte flip changes the root and so the digest"
+        );
+        let regeometry = PageManifest::compute(b"state", 2);
+        assert_ne!(
+            base,
+            checkpoint_digest(Seq(64), &regeometry, &ids, &Digest32::ZERO),
+            "page geometry is digest-covered"
         );
         assert_ne!(
             base,
-            checkpoint_digest(Seq(64), b"statf", &ids, &Digest32::ZERO)
-        );
-        assert_ne!(
-            base,
-            checkpoint_digest(Seq(64), b"state", &one, &Digest32::ZERO)
+            checkpoint_digest(Seq(64), &pages, &one, &Digest32::ZERO)
         );
         let other_chain = Digest32([1u8; 32]);
-        assert_ne!(
-            base,
-            checkpoint_digest(Seq(64), b"state", &ids, &other_chain)
-        );
+        assert_ne!(base, checkpoint_digest(Seq(64), &pages, &ids, &other_chain));
     }
 }

@@ -3,10 +3,11 @@
 use crate::dedup::ExecutedSet;
 use crate::log::Log;
 use crate::messages::{
-    checkpoint_digest, Batch, CheckpointMsg, CommitMsg, FetchStateMsg, Msg, NewViewMsg,
-    PrePrepareMsg, PrepareMsg, PreparedClaim, Request, RequestId, StateResponseMsg, SuffixSlot,
-    ViewChangeMsg,
+    checkpoint_digest, Batch, CheckpointMsg, CommitMsg, FetchPagesMsg, FetchStateMsg, Msg,
+    NewViewMsg, PageResponseMsg, PrePrepareMsg, PrepareMsg, PreparedClaim, Request, RequestId,
+    StateResponseMsg, SuffixSlot, ViewChangeMsg,
 };
+use crate::pages::{page_digest, PageCounters, PageManifest, MAX_PAGES_PER_FETCH};
 use crate::{Config, ReplicaId, Seq, View};
 use bytes::Bytes;
 use pws_crypto::sha256::{Digest32, Sha256};
@@ -108,13 +109,44 @@ struct BoundaryInfo {
 
 /// A fully-materialized checkpoint retained to serve state transfer. Its
 /// digest is recomputed by fetchers from these components, so it is not
-/// stored here.
+/// stored here. The manifest is the snapshot's page table
+/// ([`PageManifest`]): `StateResponse` ships the manifest, and the pages
+/// themselves are served range-by-range from `snapshot` in answer to
+/// `FetchPages`.
 #[derive(Debug, Clone)]
 struct CheckpointState {
     seq: Seq,
     exec_chain: Digest32,
     snapshot: Bytes,
+    manifest: PageManifest,
     executed: ExecutedSet,
+}
+
+/// An in-progress Merkle page transfer toward a certified checkpoint. The
+/// manifest arrived in a `StateResponse` whose checkpoint digest reached
+/// `f + 1` distinct vouchers — and that digest covers the manifest's Merkle
+/// root, which covers every per-page digest — so each received page is
+/// verified against the manifest before it fills a slot. The checkpoint
+/// installs only once no page is missing; a Byzantine responder can stall
+/// the transfer but never corrupt it.
+#[derive(Debug)]
+struct PageFetch {
+    seq: Seq,
+    digest: Digest32,
+    exec_chain: Digest32,
+    executed: ExecutedSet,
+    manifest: PageManifest,
+    /// Verified page bytes by index; `None` until fetched (pages already in
+    /// the local store are filled at fetch start).
+    pages: Vec<Option<Bytes>>,
+    /// Pages asked of some responder in the current solicitation round.
+    /// A page is never re-requested while this is set — redundant honest
+    /// responders would otherwise all ship the same range — and the flag
+    /// clears when the page's answer fails verification (re-ask another
+    /// peer immediately) or when a new `FetchState` round begins.
+    requested: Vec<bool>,
+    /// Count of `None` entries in `pages`.
+    missing: usize,
 }
 
 /// Claims for the batch agreed at one suffix slot, collected across
@@ -187,6 +219,26 @@ pub struct Replica {
     /// Highest checkpoint seq a lag-triggered fetch is in flight for
     /// (suppresses re-broadcasting for the same evidence).
     fetch_target: Option<Seq>,
+    /// In-progress Merkle page transfer toward a certified checkpoint
+    /// ([`Replica::begin_page_fetch`]); cleared on install or when a newer
+    /// certified checkpoint supersedes it.
+    page_fetch: Option<PageFetch>,
+    /// Content-addressed store of pages this replica holds (the latest
+    /// boundary's pages, plus verified fetched pages mid-transfer): the
+    /// diff base that lets a warm fetcher pull only pages it is missing.
+    /// Rebuilt wholesale at each boundary/install, so it stays bounded at
+    /// one snapshot's worth of pages.
+    page_store: HashMap<Digest32, Bytes>,
+    /// The previous boundary's snapshot and manifest: the diff base for
+    /// incremental hashing ([`PageManifest::compute_incremental`]).
+    last_hashed: Option<(Bytes, PageManifest)>,
+    /// Counters behind the `clbft.pages.*` metrics, drained by the harness
+    /// via [`Replica::take_page_counters`].
+    page_counters: PageCounters,
+    /// Pages served per requester at the current stable checkpoint: the
+    /// page-granular sibling of `served_fetches`, bounding the traffic a
+    /// `FetchPages`-spamming peer can extract.
+    served_pages: HashMap<ReplicaId, (Seq, u64)>,
     /// Requests known but not yet executed (pending or ordered). Entries
     /// move into the compact [`ExecutedSet`] on execution, so this map
     /// stays bounded by the in-flight window, not by history.
@@ -236,6 +288,29 @@ const STASH_CAP: usize = 10_000;
 /// requester loses its state again before the next boundary stabilizes.
 const MAX_SERVES_PER_STABLE: u32 = 2;
 
+/// Floor of the per-requester *page*-serve budget per stable checkpoint
+/// (the budget itself is `MAX_SERVES_PER_STABLE` full transfers' worth of
+/// pages); the floor keeps tiny snapshots from starving honest retries.
+const MIN_PAGE_BUDGET: u64 = 2 * MAX_PAGES_PER_FETCH as u64;
+
+/// The `Bytes` view of page `i` of `snapshot` (refcounted slice, no copy).
+fn page_slice(snapshot: &Bytes, manifest: &PageManifest, i: usize) -> Bytes {
+    let ps = manifest.page_size() as usize;
+    let start = i * ps;
+    snapshot.slice(start..(start + ps).min(snapshot.len()))
+}
+
+/// Concatenates a completed fetch's pages back into the snapshot bytes.
+/// Every page was verified against the certified manifest, so the result
+/// re-chunks to exactly that manifest.
+fn assemble_pages(pf: &PageFetch) -> Bytes {
+    let mut buf = Vec::with_capacity(pf.manifest.total_len() as usize);
+    for page in &pf.pages {
+        buf.extend_from_slice(page.as_ref().expect("fetch complete"));
+    }
+    Bytes::from(buf)
+}
+
 impl Replica {
     /// Creates a replica with the given id and group configuration.
     ///
@@ -270,6 +345,11 @@ impl Replica {
             pending_states: BTreeMap::new(),
             latest_stable: None,
             fetch_target: None,
+            page_fetch: None,
+            page_store: HashMap::new(),
+            last_hashed: None,
+            page_counters: PageCounters::default(),
+            served_pages: HashMap::new(),
             requests: HashMap::new(),
             executed: ExecutedSet::new(),
             outstanding: 0,
@@ -584,6 +664,8 @@ impl Replica {
             Msg::NewView(nv) => self.handle_new_view(from, nv, &mut out),
             Msg::FetchState(fs) => self.handle_fetch_state(from, fs, &mut out),
             Msg::StateResponse(sr) => self.handle_state_response(from, sr, &mut out),
+            Msg::FetchPages(fp) => self.handle_fetch_pages(from, fp, &mut out),
+            Msg::PageResponse(pr) => self.handle_page_response(from, pr, &mut out),
         }
         out
     }
@@ -811,10 +893,48 @@ impl Replica {
         &self.executed
     }
 
+    /// Drains the page-subsystem counters ([`PageCounters`]): the harness
+    /// publishes them as the `clbft.pages.*` metrics and charges hashing
+    /// and transfer costs from them.
+    pub fn take_page_counters(&mut self) -> PageCounters {
+        self.page_counters.take()
+    }
+
+    /// Hands over the content-addressed page store, e.g. so a harness can
+    /// carry still-warm pages across a state wipe. The replica keeps
+    /// nothing; re-seed the successor with [`Replica::seed_page_store`].
+    pub fn take_page_store(&mut self) -> Vec<Bytes> {
+        self.page_store.drain().map(|(_, page)| page).collect()
+    }
+
+    /// Seeds the content-addressed page store. Every page is keyed by its
+    /// *recomputed* content digest, never a claimed one, so corrupt or
+    /// stale seeds are harmless: a damaged page keys under its own (wrong)
+    /// digest, matches no certified manifest entry, and is simply fetched
+    /// over the wire instead — re-verification against the `f + 1`-vouched
+    /// root, not the seed itself, is what makes a warm restart trustworthy.
+    pub fn seed_page_store(&mut self, pages: impl IntoIterator<Item = Bytes>) {
+        for page in pages {
+            self.page_store.insert(page_digest(&page), page);
+        }
+    }
+
+    /// Replaces the page store with the pages of `snapshot`, bounding it at
+    /// one snapshot's worth (the working set a warm fetcher diffs against).
+    fn rebuild_page_store(&mut self, snapshot: &Bytes, manifest: &PageManifest) {
+        self.page_store.clear();
+        for i in 0..manifest.len() {
+            let d = *manifest.digest(i).expect("index in range");
+            self.page_store.insert(d, page_slice(snapshot, manifest, i));
+        }
+    }
+
     /// The harness's answer to [`Action::TakeCheckpoint`]: `snapshot` is
-    /// the application state at `seq`. Digests `(seq, snapshot, dedup set,
-    /// exec chain)`, retains the full state for state transfer, and
-    /// broadcasts this replica's checkpoint vote.
+    /// the application state at `seq`. Chunks it into the page table
+    /// (re-hashing only pages dirtied since the previous boundary), digests
+    /// `(seq, page-tree root, dedup set, exec chain)`, retains the full
+    /// state for state transfer, and broadcasts this replica's checkpoint
+    /// vote.
     pub fn on_snapshot(&mut self, seq: Seq, snapshot: Bytes) -> Vec<Action> {
         let mut out = Vec::new();
         let Some(info) = self.pending_boundaries.remove(&seq) else {
@@ -823,13 +943,22 @@ impl Replica {
         if seq <= self.stable_seq {
             return out;
         }
-        let digest = checkpoint_digest(seq, &snapshot, &info.executed, &info.exec_chain);
+        let (manifest, hashed, dirty) = {
+            let prev = self.last_hashed.as_ref().map(|(b, m)| (b.as_ref(), m));
+            PageManifest::compute_incremental(&snapshot, self.cfg.page_size, prev)
+        };
+        self.page_counters.hashed += hashed;
+        self.page_counters.dirty += dirty;
+        let digest = checkpoint_digest(seq, &manifest, &info.executed, &info.exec_chain);
+        self.rebuild_page_store(&snapshot, &manifest);
+        self.last_hashed = Some((snapshot.clone(), manifest.clone()));
         self.pending_states.insert(
             seq,
             CheckpointState {
                 seq,
                 exec_chain: info.exec_chain,
                 snapshot,
+                manifest,
                 executed: info.executed,
             },
         );
@@ -932,6 +1061,11 @@ impl Replica {
         }
         self.fetch_target = Some(seq);
         self.recovering = true;
+        // A new solicitation round: pages whose holder stalled become
+        // eligible for re-request from whoever answers this broadcast.
+        if let Some(pf) = &mut self.page_fetch {
+            pf.requested.fill(false);
+        }
         out.push(Action::Broadcast(Msg::FetchState(FetchStateMsg {
             have: self.stable_seq,
             replica: self.id,
@@ -949,6 +1083,11 @@ impl Replica {
         // suffix has replayed); a bare fetched checkpoint may be a whole
         // suffix behind the group's committed frontier.
         self.recovering = true;
+        // A new solicitation round re-opens stalled page requests (see
+        // `PageFetch::requested`).
+        if let Some(pf) = &mut self.page_fetch {
+            pf.requested.fill(false);
+        }
         vec![Action::Broadcast(Msg::FetchState(FetchStateMsg {
             have: self.stable_seq,
             replica: self.id,
@@ -1001,7 +1140,7 @@ impl Replica {
                 seq: state.seq,
                 view: self.view,
                 exec_chain: state.exec_chain,
-                snapshot: state.snapshot.clone(),
+                manifest: state.manifest.clone(),
                 executed: state.executed.clone(),
                 suffix,
                 replica: self.id,
@@ -1037,7 +1176,7 @@ impl Replica {
         self.record_suffix_votes(&sr, from);
         let mut installed = false;
         if sr.seq > self.stable_seq && sr.seq > self.last_exec {
-            let digest = checkpoint_digest(sr.seq, &sr.snapshot, &sr.executed, &sr.exec_chain);
+            let digest = checkpoint_digest(sr.seq, &sr.manifest, &sr.executed, &sr.exec_chain);
             // The response itself is the sender's implicit checkpoint vote.
             self.record_checkpoint_vote(sr.seq, digest, from);
             let votes = self
@@ -1046,8 +1185,7 @@ impl Replica {
                 .and_then(|per| per.get(&digest))
                 .map_or(0, HashSet::len);
             if votes > self.cfg.f() as usize {
-                self.install_state(sr, digest, out);
-                installed = true;
+                installed = self.begin_page_fetch(from, sr, digest, out);
             }
         }
         // Responses matching an already-installed checkpoint keep feeding
@@ -1057,6 +1195,231 @@ impl Replica {
             self.post_transfer_progress(out);
         }
         self.adopt_reported_view(out);
+    }
+
+    /// Starts (or continues) the page transfer toward the certified
+    /// checkpoint of `sr`: fills every page the local content-addressed
+    /// store already holds, then asks `from` for the rest in
+    /// [`MAX_PAGES_PER_FETCH`]-bounded ranges. Installs immediately — and
+    /// returns `true` — when nothing is missing (the warm-restart and
+    /// digest-identical-peer fast path: zero pages travel).
+    fn begin_page_fetch(
+        &mut self,
+        from: ReplicaId,
+        sr: StateResponseMsg,
+        digest: Digest32,
+        out: &mut Vec<Action>,
+    ) -> bool {
+        if let Some(pf) = &self.page_fetch {
+            if pf.seq == sr.seq && pf.digest == digest {
+                // Same certified target: ask this responder too for
+                // whatever is still missing and unclaimed this round.
+                self.request_missing_pages(from, out);
+                return false;
+            }
+            if pf.seq >= sr.seq {
+                // A stale (or equal-seq; two digests cannot both reach
+                // `f + 1` with at most `f` faults) response must not
+                // displace the newer in-flight target.
+                return false;
+            }
+        }
+        let manifest = sr.manifest;
+        let pages: Vec<Option<Bytes>> = (0..manifest.len())
+            .map(|i| {
+                manifest
+                    .digest(i)
+                    .and_then(|d| self.page_store.get(d))
+                    .cloned()
+            })
+            .collect();
+        let missing = pages.iter().filter(|p| p.is_none()).count();
+        let requested = vec![false; pages.len()];
+        let pf = PageFetch {
+            seq: sr.seq,
+            digest,
+            exec_chain: sr.exec_chain,
+            executed: sr.executed,
+            manifest,
+            pages,
+            requested,
+            missing,
+        };
+        if missing == 0 {
+            let snapshot = assemble_pages(&pf);
+            self.install_checkpoint(
+                pf.seq,
+                pf.exec_chain,
+                digest,
+                pf.manifest,
+                snapshot,
+                pf.executed,
+                out,
+            );
+            return true;
+        }
+        self.page_fetch = Some(pf);
+        self.request_missing_pages(from, out);
+        false
+    }
+
+    /// Sends `to` range-bounded `FetchPages` requests for every page that
+    /// is missing and not already requested from some responder this round,
+    /// marking the asked pages so redundant responders are not all asked
+    /// for the same range.
+    fn request_missing_pages(&mut self, to: ReplicaId, out: &mut Vec<Action>) {
+        let Some(pf) = &mut self.page_fetch else {
+            return;
+        };
+        let mut i = 0;
+        while i < pf.pages.len() {
+            if pf.pages[i].is_some() || pf.requested[i] {
+                i += 1;
+                continue;
+            }
+            let first = i;
+            let mut count: u32 = 0;
+            while i < pf.pages.len()
+                && pf.pages[i].is_none()
+                && !pf.requested[i]
+                && count < MAX_PAGES_PER_FETCH
+            {
+                pf.requested[i] = true;
+                count += 1;
+                i += 1;
+            }
+            out.push(Action::Send(
+                to,
+                Msg::FetchPages(FetchPagesMsg {
+                    seq: pf.seq,
+                    first: first as u32,
+                    count,
+                    replica: self.id,
+                }),
+            ));
+        }
+    }
+
+    /// Serves a range of stable-checkpoint pages. Honest requests name the
+    /// current stable boundary with an in-range, non-empty,
+    /// cap-respecting range; anything else is silently refused, and a
+    /// per-requester budget (two full transfers per stable checkpoint)
+    /// bounds the amplification a spamming peer can extract.
+    fn handle_fetch_pages(&mut self, from: ReplicaId, fp: FetchPagesMsg, out: &mut Vec<Action>) {
+        if from != fp.replica || from == self.id || from.0 >= self.cfg.n {
+            return;
+        }
+        if fp.count == 0 || fp.count > MAX_PAGES_PER_FETCH {
+            return;
+        }
+        let Some(state) = &self.latest_stable else {
+            return;
+        };
+        if state.seq != fp.seq {
+            return; // stale target; the fetcher will rediscover via FetchState
+        }
+        let first = fp.first as usize;
+        let count = fp.count as usize;
+        let Some(end) = first.checked_add(count) else {
+            return;
+        };
+        if end > state.manifest.len() {
+            return;
+        }
+        let budget = (state.manifest.len() as u64 * 2).max(MIN_PAGE_BUDGET);
+        let served = self.served_pages.entry(from).or_insert((state.seq, 0));
+        if served.0 != state.seq {
+            *served = (state.seq, 0);
+        }
+        if served.1.saturating_add(count as u64) > budget {
+            return;
+        }
+        served.1 += count as u64;
+        let state = self.latest_stable.as_ref().expect("checked above");
+        let pages = (first..end)
+            .map(|i| page_slice(&state.snapshot, &state.manifest, i))
+            .collect();
+        out.push(Action::Send(
+            from,
+            Msg::PageResponse(PageResponseMsg {
+                seq: fp.seq,
+                first: fp.first,
+                pages,
+                replica: self.id,
+            }),
+        ));
+    }
+
+    /// Absorbs a page range into the in-flight fetch. Every page is
+    /// verified against the `f + 1`-vouched manifest before it fills a
+    /// slot; unsolicited frames, wrong-target frames, empty or over-cap
+    /// frames, out-of-range ranges, duplicates of filled slots, and
+    /// digest-mismatched pages are all rejected *and counted* — a
+    /// Byzantine responder's misbehavior is observable, never installable.
+    /// When the last page fills, the checkpoint assembles and installs.
+    fn handle_page_response(
+        &mut self,
+        from: ReplicaId,
+        pr: PageResponseMsg,
+        out: &mut Vec<Action>,
+    ) {
+        if from != pr.replica || from == self.id || from.0 >= self.cfg.n {
+            return;
+        }
+        let Some(pf) = &mut self.page_fetch else {
+            self.page_counters.rejected += 1; // unsolicited
+            return;
+        };
+        let in_range = (pr.first as usize)
+            .checked_add(pr.pages.len())
+            .is_some_and(|end| end <= pf.manifest.len());
+        if pr.seq != pf.seq
+            || pr.pages.is_empty()
+            || pr.pages.len() > MAX_PAGES_PER_FETCH as usize
+            || !in_range
+        {
+            self.page_counters.rejected += 1;
+            return;
+        }
+        for (k, bytes) in pr.pages.iter().enumerate() {
+            let i = pr.first as usize + k;
+            if pf.pages[i].is_some() {
+                self.page_counters.rejected += 1; // duplicate
+                continue;
+            }
+            if !pf.manifest.verify_page(i, bytes) {
+                self.page_counters.rejected += 1;
+                // Re-ask another responder without waiting for a new round.
+                pf.requested[i] = false;
+                continue;
+            }
+            self.page_counters.fetched += 1;
+            self.page_counters.verified += 1;
+            self.page_store
+                .insert(*pf.manifest.digest(i).expect("in range"), bytes.clone());
+            pf.pages[i] = Some(bytes.clone());
+            pf.missing -= 1;
+        }
+        if self.page_fetch.as_ref().is_some_and(|p| p.missing == 0) {
+            let pf = self.page_fetch.take().expect("checked above");
+            if pf.seq > self.stable_seq && pf.seq > self.last_exec {
+                let snapshot = assemble_pages(&pf);
+                self.install_checkpoint(
+                    pf.seq,
+                    pf.exec_chain,
+                    pf.digest,
+                    pf.manifest,
+                    snapshot,
+                    pf.executed,
+                    out,
+                );
+                self.try_replay_suffix(out);
+            }
+            // Else execution caught up past the fetch target while pages
+            // were in flight: installing now would jump state backward, so
+            // the completed fetch is simply dropped.
+            self.post_transfer_progress(out);
+        }
     }
 
     /// Records one responder's claimed suffix slots for
@@ -1177,38 +1540,55 @@ impl Replica {
 
     /// Installs a fetched checkpoint whose digest is vouched for by
     /// `f + 1` distinct replicas (so at least one correct replica holds
-    /// exactly this state). The committed log suffix is *not* installed
-    /// here — it replays separately, slot by slot, as copies reach the
-    /// `f + 1` bar ([`Replica::try_replay_suffix`]).
-    fn install_state(&mut self, sr: StateResponseMsg, digest: Digest32, out: &mut Vec<Action>) {
+    /// exactly this state); `snapshot` was assembled from pages that each
+    /// verified against the vouched manifest. The committed log suffix is
+    /// *not* installed here — it replays separately, slot by slot, as
+    /// copies reach the `f + 1` bar ([`Replica::try_replay_suffix`]).
+    #[allow(clippy::too_many_arguments)]
+    fn install_checkpoint(
+        &mut self,
+        seq: Seq,
+        exec_chain: Digest32,
+        digest: Digest32,
+        manifest: PageManifest,
+        snapshot: Bytes,
+        executed: ExecutedSet,
+        out: &mut Vec<Action>,
+    ) {
         // Jump the protocol state to the verified checkpoint. Any live
         // speculation is void — `InstallState` replaces application state
         // wholesale, so no separate rollback action is needed — and reads
         // stay gated until the committed suffix replays.
-        self.last_spec = sr.seq;
+        self.last_spec = seq;
         self.spec_overlay.clear();
         self.recovering = true;
-        self.last_exec = sr.seq;
-        self.exec_chain = sr.exec_chain;
-        self.stable_seq = sr.seq;
+        self.last_exec = seq;
+        self.exec_chain = exec_chain;
+        self.stable_seq = seq;
         self.stable_digest = digest;
-        self.log.gc_below(sr.seq);
-        self.own_checkpoints = self.own_checkpoints.split_off(&sr.seq);
-        self.own_checkpoints.insert(sr.seq, digest);
-        self.checkpoint_votes = self.checkpoint_votes.split_off(&sr.seq.next());
-        self.gc_ckpt_vote_index(sr.seq);
-        self.pending_boundaries = self.pending_boundaries.split_off(&sr.seq.next());
-        self.pending_states = self.pending_states.split_off(&sr.seq.next());
+        self.log.gc_below(seq);
+        self.own_checkpoints = self.own_checkpoints.split_off(&seq);
+        self.own_checkpoints.insert(seq, digest);
+        self.checkpoint_votes = self.checkpoint_votes.split_off(&seq.next());
+        self.gc_ckpt_vote_index(seq);
+        self.pending_boundaries = self.pending_boundaries.split_off(&seq.next());
+        self.pending_states = self.pending_states.split_off(&seq.next());
+        // Any older in-flight page fetch is obsolete.
+        self.page_fetch = None;
+        self.rebuild_page_store(&snapshot, &manifest);
+        // The installed state is the next incremental-hashing diff base.
+        self.last_hashed = Some((snapshot.clone(), manifest.clone()));
         self.latest_stable = Some(CheckpointState {
-            seq: sr.seq,
-            exec_chain: sr.exec_chain,
-            snapshot: sr.snapshot.clone(),
-            executed: sr.executed.clone(),
+            seq,
+            exec_chain,
+            snapshot: snapshot.clone(),
+            manifest,
+            executed: executed.clone(),
         });
         // Adopt the transferred dedup set so replayed or re-proposed
         // requests are filtered exactly as at the peers, and drop live
         // entries the set already covers.
-        self.executed = sr.executed.clone();
+        self.executed = executed;
         let covered: Vec<RequestId> = self
             .requests
             .keys()
@@ -1220,11 +1600,8 @@ impl Replica {
             self.outstanding = self.outstanding.saturating_sub(1);
             self.queue.retain(|q| *q != id);
         }
-        out.push(Action::InstallState {
-            seq: sr.seq,
-            snapshot: sr.snapshot,
-        });
-        out.push(Action::Stable(sr.seq));
+        out.push(Action::InstallState { seq, snapshot });
+        out.push(Action::Stable(seq));
     }
 
     /// Shared tail of checkpoint installation and suffix replay: clear a
@@ -1251,14 +1628,26 @@ impl Replica {
     }
 
     /// Re-opens the read-only fast path once a solicited transfer is fully
-    /// absorbed: the fetch target (if any) is satisfied and no further
-    /// committed-suffix slot is pending replay. A Byzantine responder
-    /// parking a bogus vote on the next slot can keep this replica's
-    /// fast path closed (a liveness-only degradation at one replica —
-    /// reads fall back to the ordered path); it cannot reopen it early.
+    /// absorbed: the fetch target (if any) is satisfied, no page transfer
+    /// is mid-flight, and no further committed-suffix slot is pending
+    /// replay. A Byzantine responder parking a bogus vote on the next slot
+    /// can keep this replica's fast path closed (a liveness-only
+    /// degradation at one replica — reads fall back to the ordered path);
+    /// it cannot reopen it early.
     fn maybe_finish_recovery(&mut self) {
+        // A page fetch whose target execution has already passed is moot
+        // (installing it would jump state backward); drop it rather than
+        // let it gate reads forever.
+        if self
+            .page_fetch
+            .as_ref()
+            .is_some_and(|p| p.seq <= self.last_exec)
+        {
+            self.page_fetch = None;
+        }
         if self.recovering
             && self.fetch_target.is_none()
+            && self.page_fetch.is_none()
             && !self.suffix_votes.contains_key(&self.last_exec.next())
         {
             self.recovering = false;
@@ -2194,29 +2583,34 @@ mod tests {
     fn state_response_requires_f_plus_one_vouchers() {
         let mut cfg = Config::new(4);
         cfg.checkpoint_interval = 8;
+        cfg.page_size = 4;
         let mut target = Replica::new(ReplicaId(3), cfg);
         let snapshot = Bytes::from_static(b"claimed-state");
+        let manifest = PageManifest::compute(&snapshot, 4);
         let chain = Digest32([7u8; 32]);
         let executed: ExecutedSet = [RequestId::new(1, 1)].into_iter().collect();
         let response = StateResponseMsg {
             seq: Seq(8),
             view: View(0),
             exec_chain: chain,
-            snapshot: snapshot.clone(),
+            manifest: manifest.clone(),
             executed: executed.clone(),
             suffix: vec![],
             replica: ReplicaId(1),
         };
-        // One voucher (the responder itself) is not enough for f = 1.
+        // One voucher (the responder itself) is not enough for f = 1: no
+        // page fetch even starts.
         let a = target.on_message(ReplicaId(1), Msg::StateResponse(response.clone()));
         assert!(
-            !a.iter().any(|x| matches!(x, Action::InstallState { .. })),
+            !a.iter()
+                .any(|x| matches!(x, Action::Send(_, Msg::FetchPages(_)))),
             "a lone responder must not be believed: {a:?}"
         );
         assert_eq!(target.last_executed(), Seq::ZERO);
 
-        // A matching checkpoint vote from a second replica makes f + 1.
-        let digest = crate::messages::checkpoint_digest(Seq(8), &snapshot, &executed, &chain);
+        // A matching checkpoint vote from a second replica makes f + 1:
+        // the cold fetcher asks the responder for every page it lacks.
+        let digest = crate::messages::checkpoint_digest(Seq(8), &manifest, &executed, &chain);
         let _ = target.on_message(
             ReplicaId(2),
             Msg::Checkpoint(CheckpointMsg {
@@ -2226,19 +2620,52 @@ mod tests {
             }),
         );
         let a = target.on_message(ReplicaId(1), Msg::StateResponse(response));
+        let fp = a
+            .iter()
+            .find_map(|x| match x {
+                Action::Send(to, Msg::FetchPages(fp)) if *to == ReplicaId(1) => Some(*fp),
+                _ => None,
+            })
+            .expect("vouched manifest starts a page fetch");
+        assert_eq!((fp.first, fp.count as usize), (0, manifest.len()));
+        assert!(
+            !a.iter().any(|x| matches!(x, Action::InstallState { .. })),
+            "nothing installs before pages verify: {a:?}"
+        );
+
+        // The correct pages arrive: every one verifies against the vouched
+        // manifest and the checkpoint installs.
+        let pages: Vec<Bytes> = (0..manifest.len())
+            .map(|i| snapshot.slice(i * 4..snapshot.len().min((i + 1) * 4)))
+            .collect();
+        let a = target.on_message(
+            ReplicaId(1),
+            Msg::PageResponse(PageResponseMsg {
+                seq: Seq(8),
+                first: 0,
+                pages,
+                replica: ReplicaId(1),
+            }),
+        );
         assert!(
             a.iter().any(|x| matches!(
                 x,
                 Action::InstallState { seq, snapshot: s } if *seq == Seq(8) && s == &snapshot
             )),
-            "vouched state must install: {a:?}"
+            "vouched and verified state must install: {a:?}"
         );
         assert_eq!(target.last_executed(), Seq(8));
         assert_eq!(target.stable_seq(), Seq(8));
+        let c = target.take_page_counters();
+        assert_eq!(c.fetched, manifest.len() as u64);
+        assert_eq!(c.verified, manifest.len() as u64);
+        assert_eq!(c.rejected, 0);
 
-        // A corrupted snapshot no longer matches the vouched digest.
+        // A tampered manifest no longer matches the vouched digest: no
+        // fetch, no install.
         let mut fresh_cfg = Config::new(4);
         fresh_cfg.checkpoint_interval = 8;
+        fresh_cfg.page_size = 4;
         let mut fresh = Replica::new(ReplicaId(3), fresh_cfg);
         let _ = fresh.on_message(
             ReplicaId(2),
@@ -2252,14 +2679,23 @@ mod tests {
             seq: Seq(8),
             view: View(0),
             exec_chain: chain,
-            snapshot: Bytes::from_static(b"tampered-state"),
+            manifest: PageManifest::compute(b"tampered-state", 4),
             executed,
             suffix: vec![],
             replica: ReplicaId(1),
         };
         let a = fresh.on_message(ReplicaId(1), Msg::StateResponse(bogus));
-        assert!(!a.iter().any(|x| matches!(x, Action::InstallState { .. })));
+        assert!(!a.iter().any(|x| matches!(
+            x,
+            Action::Send(_, Msg::FetchPages(_)) | Action::InstallState { .. }
+        )));
         assert_eq!(fresh.last_executed(), Seq::ZERO);
+    }
+
+    /// The page table of the canonical test checkpoint state `b"state"`
+    /// (one page at the default page size).
+    fn test_manifest() -> PageManifest {
+        PageManifest::compute(b"state", crate::pages::DEFAULT_PAGE_SIZE)
     }
 
     /// A `StateResponse` for checkpoint 8 with the given suffix, as
@@ -2269,23 +2705,25 @@ mod tests {
             seq: Seq(8),
             view: View(view),
             exec_chain: Digest32::ZERO,
-            snapshot: Bytes::from_static(b"state"),
+            manifest: test_manifest(),
             executed: ExecutedSet::new(),
             suffix,
             replica: ReplicaId(from),
         }
     }
 
-    /// A replica primed with one matching checkpoint vote for seq 8, so
-    /// the first `state_response` delivered to it reaches `f + 1 = 2`
-    /// checkpoint vouchers and installs.
+    /// A replica primed with one matching checkpoint vote for seq 8 —
+    /// so the first `state_response` delivered to it reaches `f + 1 = 2`
+    /// checkpoint vouchers — and a warm page store already holding the
+    /// checkpoint's single page, so installation needs no page fetch.
     fn primed_fetcher() -> Replica {
         let mut cfg = Config::new(4);
         cfg.checkpoint_interval = 8;
         let mut target = Replica::new(ReplicaId(3), cfg);
+        target.seed_page_store([Bytes::from_static(b"state")]);
         let digest = crate::messages::checkpoint_digest(
             Seq(8),
-            b"state",
+            &test_manifest(),
             &ExecutedSet::new(),
             &Digest32::ZERO,
         );
@@ -2470,6 +2908,311 @@ mod tests {
         assert_eq!(
             responses, MAX_SERVES_PER_STABLE as usize,
             "FetchState spam must not amplify"
+        );
+    }
+
+    // ---- Merkle page transfer: adversarial battery ----
+
+    /// Sixteen bytes — four pages of four at the test page size.
+    const ADV_STATE: &[u8] = b"0123456789abcdef";
+
+    fn page_of(state: &'static [u8], i: usize) -> Bytes {
+        Bytes::from_static(&state[i * 4..state.len().min((i + 1) * 4)])
+    }
+
+    fn page_resp(from: u32, seq: Seq, first: u32, pages: Vec<Bytes>) -> Msg {
+        Msg::PageResponse(PageResponseMsg {
+            seq,
+            first,
+            pages,
+            replica: ReplicaId(from),
+        })
+    }
+
+    /// A cold fetcher mid page-fetch for checkpoint 8 over `state` at page
+    /// size 4: the manifest is certified (`f + 1` vouchers) and the
+    /// `FetchPages` request has gone out to replica 1.
+    fn mid_fetch(state: &'static [u8]) -> (Replica, PageManifest) {
+        let mut cfg = Config::new(4);
+        cfg.checkpoint_interval = 8;
+        cfg.page_size = 4;
+        let mut target = Replica::new(ReplicaId(3), cfg);
+        let manifest = PageManifest::compute(state, 4);
+        let digest = crate::messages::checkpoint_digest(
+            Seq(8),
+            &manifest,
+            &ExecutedSet::new(),
+            &Digest32::ZERO,
+        );
+        let _ = target.on_message(
+            ReplicaId(2),
+            Msg::Checkpoint(CheckpointMsg {
+                seq: Seq(8),
+                state_digest: digest,
+                replica: ReplicaId(2),
+            }),
+        );
+        let sr = StateResponseMsg {
+            seq: Seq(8),
+            view: View(0),
+            exec_chain: Digest32::ZERO,
+            manifest: manifest.clone(),
+            executed: ExecutedSet::new(),
+            suffix: vec![],
+            replica: ReplicaId(1),
+        };
+        let a = target.on_message(ReplicaId(1), Msg::StateResponse(sr));
+        assert!(a
+            .iter()
+            .any(|x| matches!(x, Action::Send(_, Msg::FetchPages(_)))));
+        (target, manifest)
+    }
+
+    #[test]
+    fn byzantine_page_responses_are_rejected_and_counted() {
+        let (mut target, _) = mid_fetch(ADV_STATE);
+        // Wrong checkpoint target.
+        let _ = target.on_message(
+            ReplicaId(0),
+            page_resp(0, Seq(16), 0, vec![page_of(ADV_STATE, 0)]),
+        );
+        assert_eq!(target.take_page_counters().rejected, 1);
+        // Empty frame.
+        let _ = target.on_message(ReplicaId(0), page_resp(0, Seq(8), 0, vec![]));
+        assert_eq!(target.take_page_counters().rejected, 1);
+        // Range running past the end of the manifest: the whole frame is
+        // refused even though its first page would have verified.
+        let _ = target.on_message(
+            ReplicaId(0),
+            page_resp(
+                0,
+                Seq(8),
+                3,
+                vec![page_of(ADV_STATE, 3), Bytes::from_static(b"xxxx")],
+            ),
+        );
+        assert_eq!(target.take_page_counters().rejected, 1);
+        // Over the per-frame protocol cap: decodes (the wire cap is
+        // higher), reaches the fetcher, rejected as one frame.
+        let over: Vec<Bytes> = (0..=MAX_PAGES_PER_FETCH as usize)
+            .map(|_| Bytes::from_static(b"xxxx"))
+            .collect();
+        let _ = target.on_message(ReplicaId(0), page_resp(0, Seq(8), 0, over));
+        assert_eq!(target.take_page_counters().rejected, 1);
+        // Digest-mismatched page bytes: rejected, nothing fills.
+        let _ = target.on_message(
+            ReplicaId(0),
+            page_resp(0, Seq(8), 0, vec![Bytes::from_static(b"evil")]),
+        );
+        let c = target.take_page_counters();
+        assert_eq!((c.rejected, c.fetched), (1, 0));
+        assert_eq!(target.last_executed(), Seq::ZERO, "nothing installed");
+        // An honest peer answers: every page verifies and the state
+        // installs — the corrupt responder only ever stalled the transfer,
+        // it never poisoned it.
+        let pages: Vec<Bytes> = (0..4).map(|i| page_of(ADV_STATE, i)).collect();
+        let a = target.on_message(ReplicaId(2), page_resp(2, Seq(8), 0, pages));
+        assert!(
+            a.iter().any(|x| matches!(
+                x,
+                Action::InstallState { seq, snapshot } if *seq == Seq(8)
+                    && snapshot == &Bytes::from_static(ADV_STATE)
+            )),
+            "honest pages must converge: {a:?}"
+        );
+        let c = target.take_page_counters();
+        assert_eq!((c.fetched, c.verified, c.rejected), (4, 4, 0));
+        assert_eq!(target.stable_seq(), Seq(8));
+    }
+
+    #[test]
+    fn duplicate_pages_are_rejected_and_counted() {
+        let (mut target, _) = mid_fetch(ADV_STATE);
+        let _ = target.on_message(
+            ReplicaId(1),
+            page_resp(1, Seq(8), 0, vec![page_of(ADV_STATE, 0)]),
+        );
+        assert_eq!(target.take_page_counters().fetched, 1);
+        // The same page again — byte-identical and digest-valid, but the
+        // slot is already filled: a duplicate is counted as a rejection.
+        let _ = target.on_message(
+            ReplicaId(2),
+            page_resp(2, Seq(8), 0, vec![page_of(ADV_STATE, 0)]),
+        );
+        let c = target.take_page_counters();
+        assert_eq!((c.fetched, c.rejected), (0, 1));
+        // The remaining pages complete the fetch normally.
+        let rest: Vec<Bytes> = (1..4).map(|i| page_of(ADV_STATE, i)).collect();
+        let a = target.on_message(ReplicaId(1), page_resp(1, Seq(8), 1, rest));
+        assert!(a.iter().any(|x| matches!(x, Action::InstallState { .. })));
+        assert_eq!(target.last_executed(), Seq(8));
+    }
+
+    #[test]
+    fn unsolicited_page_response_is_rejected_and_counted() {
+        let mut target = Replica::new(ReplicaId(3), Config::new(4));
+        let _ = target.on_message(
+            ReplicaId(1),
+            page_resp(1, Seq(8), 0, vec![Bytes::from_static(b"x")]),
+        );
+        assert_eq!(target.take_page_counters().rejected, 1);
+    }
+
+    #[test]
+    fn warm_fetcher_pulls_only_differing_pages() {
+        // The fetcher's store holds an old state differing from the
+        // certified one in exactly one page: only that page is requested
+        // and travels — an O(k) transfer for a k-page diff.
+        let old: &[u8] = b"0123XXXX89abcdef";
+        let mut cfg = Config::new(4);
+        cfg.checkpoint_interval = 8;
+        cfg.page_size = 4;
+        let mut target = Replica::new(ReplicaId(3), cfg);
+        target.seed_page_store((0..4).map(|i| page_of(old, i)));
+        let manifest = PageManifest::compute(ADV_STATE, 4);
+        let digest = crate::messages::checkpoint_digest(
+            Seq(8),
+            &manifest,
+            &ExecutedSet::new(),
+            &Digest32::ZERO,
+        );
+        let _ = target.on_message(
+            ReplicaId(2),
+            Msg::Checkpoint(CheckpointMsg {
+                seq: Seq(8),
+                state_digest: digest,
+                replica: ReplicaId(2),
+            }),
+        );
+        let sr = StateResponseMsg {
+            seq: Seq(8),
+            view: View(0),
+            exec_chain: Digest32::ZERO,
+            manifest,
+            executed: ExecutedSet::new(),
+            suffix: vec![],
+            replica: ReplicaId(1),
+        };
+        let a = target.on_message(ReplicaId(1), Msg::StateResponse(sr));
+        let fetches: Vec<_> = a
+            .iter()
+            .filter_map(|x| match x {
+                Action::Send(to, Msg::FetchPages(fp)) => Some((*to, *fp)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(fetches.len(), 1, "one bounded range request: {a:?}");
+        assert_eq!(
+            fetches[0].0,
+            ReplicaId(1),
+            "asked of the responder, not broadcast"
+        );
+        assert_eq!(
+            (fetches[0].1.first, fetches[0].1.count),
+            (1, 1),
+            "only the differing page is asked for"
+        );
+        let a = target.on_message(
+            ReplicaId(1),
+            page_resp(1, Seq(8), 1, vec![page_of(ADV_STATE, 1)]),
+        );
+        assert!(
+            a.iter().any(|x| matches!(
+                x,
+                Action::InstallState { seq, snapshot } if *seq == Seq(8)
+                    && snapshot == &Bytes::from_static(ADV_STATE)
+            )),
+            "reassembled from warm pages plus the one fetched: {a:?}"
+        );
+        let c = target.take_page_counters();
+        assert_eq!((c.fetched, c.verified, c.rejected), (1, 1, 0));
+    }
+
+    #[test]
+    fn page_requests_are_validated_and_budgeted() {
+        // Drive a group past a checkpoint so replica 0 can serve pages,
+        // then probe every responder-side guard.
+        let mut rs = group_with(4, |c| {
+            c.max_batch_size = 1;
+            c.checkpoint_interval = 8;
+            c.page_size = 2;
+        });
+        let mut inbox = VecDeque::new();
+        let mut executed = vec![Vec::new(); 4];
+        for c in 1..=10 {
+            submit(&mut rs, 0, req(c), &mut inbox, &mut executed);
+        }
+        run_to_quiescence(&mut rs, inbox, &[]);
+        assert_eq!(rs[0].stable_seq(), Seq(8));
+        let total = test_snapshot(Seq(8)).len().div_ceil(2) as u32;
+        let fetch = |first: u32, count: u32| {
+            Msg::FetchPages(FetchPagesMsg {
+                seq: Seq(8),
+                first,
+                count,
+                replica: ReplicaId(3),
+            })
+        };
+        let served_pages = |a: &[Action]| {
+            a.iter()
+                .filter_map(|x| match x {
+                    Action::Send(to, Msg::PageResponse(pr)) => {
+                        assert_eq!(*to, ReplicaId(3));
+                        assert_eq!(pr.seq, Seq(8));
+                        Some(pr.pages.len())
+                    }
+                    _ => None,
+                })
+                .sum::<usize>()
+        };
+        // An honest full-range request serves every page.
+        let mut total_served = served_pages(&rs[0].on_message(ReplicaId(3), fetch(0, total)));
+        assert_eq!(total_served as u32, total);
+        // Zero count, over-cap count, out-of-range, wrong boundary, and a
+        // spoofed requester id: all refused outright.
+        assert_eq!(
+            served_pages(&rs[0].on_message(ReplicaId(3), fetch(0, 0))),
+            0
+        );
+        assert_eq!(
+            served_pages(&rs[0].on_message(ReplicaId(3), fetch(0, MAX_PAGES_PER_FETCH + 1))),
+            0
+        );
+        assert_eq!(
+            served_pages(&rs[0].on_message(ReplicaId(3), fetch(total, 1))),
+            0
+        );
+        let wrong_seq = Msg::FetchPages(FetchPagesMsg {
+            seq: Seq(16),
+            first: 0,
+            count: 1,
+            replica: ReplicaId(3),
+        });
+        assert_eq!(served_pages(&rs[0].on_message(ReplicaId(3), wrong_seq)), 0);
+        let spoofed = Msg::FetchPages(FetchPagesMsg {
+            seq: Seq(8),
+            first: 0,
+            count: 1,
+            replica: ReplicaId(3),
+        });
+        assert!(!rs[0]
+            .on_message(ReplicaId(2), spoofed)
+            .iter()
+            .any(|x| matches!(x, Action::Send(_, Msg::PageResponse(_)))));
+        // A spamming requester exhausts its per-stable page budget and is
+        // then cut off entirely.
+        for _ in 0..200 {
+            let a = rs[0].on_message(ReplicaId(3), fetch(0, total));
+            total_served += served_pages(&a);
+        }
+        assert!(
+            total_served as u64 <= MIN_PAGE_BUDGET,
+            "FetchPages spam must not amplify: {total_served} pages"
+        );
+        assert_eq!(
+            served_pages(&rs[0].on_message(ReplicaId(3), fetch(0, total))),
+            0,
+            "budget stays exhausted until the next stable checkpoint"
         );
     }
 

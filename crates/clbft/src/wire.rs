@@ -6,9 +6,11 @@
 //! path.
 
 use crate::messages::{
-    Batch, CheckpointMsg, CommitMsg, FetchStateMsg, Msg, NewViewMsg, PrePrepareMsg, PrepareMsg,
-    PreparedClaim, Request, RequestId, StateResponseMsg, SuffixSlot, ViewChangeMsg,
+    Batch, CheckpointMsg, CommitMsg, FetchPagesMsg, FetchStateMsg, Msg, NewViewMsg,
+    PageResponseMsg, PrePrepareMsg, PrepareMsg, PreparedClaim, Request, RequestId,
+    StateResponseMsg, SuffixSlot, ViewChangeMsg,
 };
+use crate::pages::{PageManifest, MAX_WIRE_PAGES, MAX_WIRE_PAGE_RESPONSE};
 use crate::{ReplicaId, Seq, View};
 use bytes::{Bytes, BytesMut};
 use pws_crypto::sha256::Digest32;
@@ -225,6 +227,8 @@ const TAG_VIEW_CHANGE: u8 = 6;
 const TAG_NEW_VIEW: u8 = 7;
 const TAG_FETCH_STATE: u8 = 8;
 const TAG_STATE_RESPONSE: u8 = 9;
+const TAG_FETCH_PAGES: u8 = 10;
+const TAG_PAGE_RESPONSE: u8 = 11;
 
 /// Hard cap on the executed-set *wire entries* of one state response
 /// (origins plus out-of-order residue counters; see
@@ -313,7 +317,7 @@ pub fn encode_msg(msg: &Msg) -> Bytes {
             e.put_u64(sr.seq.0);
             e.put_u64(sr.view.0);
             e.put_digest(&sr.exec_chain);
-            e.put_bytes(&sr.snapshot);
+            sr.manifest.encode_into(&mut e);
             sr.executed.encode_into(&mut e);
             e.put_u32(sr.suffix.len() as u32);
             for slot in &sr.suffix {
@@ -321,6 +325,23 @@ pub fn encode_msg(msg: &Msg) -> Bytes {
                 put_batch(&mut e, &slot.batch);
             }
             e.put_u32(sr.replica.0);
+        }
+        Msg::FetchPages(fp) => {
+            e.put_u8(TAG_FETCH_PAGES);
+            e.put_u64(fp.seq.0);
+            e.put_u32(fp.first);
+            e.put_u32(fp.count);
+            e.put_u32(fp.replica.0);
+        }
+        Msg::PageResponse(pr) => {
+            e.put_u8(TAG_PAGE_RESPONSE);
+            e.put_u64(pr.seq.0);
+            e.put_u32(pr.first);
+            e.put_u32(pr.pages.len() as u32);
+            for p in &pr.pages {
+                e.put_bytes(p);
+            }
+            e.put_u32(pr.replica.0);
         }
     }
     e.finish()
@@ -412,7 +433,7 @@ pub fn decode_msg(buf: &[u8]) -> Result<Msg, WireError> {
             let seq = Seq(d.u64()?);
             let view = View(d.u64()?);
             let exec_chain = d.digest()?;
-            let snapshot = d.bytes()?;
+            let manifest = PageManifest::decode_from(&mut d, MAX_WIRE_PAGES)?;
             let executed = crate::ExecutedSet::decode_from(&mut d, MAX_WIRE_EXECUTED)?;
             let suffix_count = d.u32()? as usize;
             if suffix_count > MAX_WIRE_SUFFIX {
@@ -429,9 +450,37 @@ pub fn decode_msg(buf: &[u8]) -> Result<Msg, WireError> {
                 seq,
                 view,
                 exec_chain,
-                snapshot,
+                manifest,
                 executed,
                 suffix,
+                replica: ReplicaId(d.u32()?),
+            })
+        }
+        TAG_FETCH_PAGES => Msg::FetchPages(FetchPagesMsg {
+            seq: Seq(d.u64()?),
+            first: d.u32()?,
+            count: d.u32()?,
+            replica: ReplicaId(d.u32()?),
+        }),
+        TAG_PAGE_RESPONSE => {
+            let seq = Seq(d.u64()?);
+            let first = d.u32()?;
+            let count = d.u32()? as usize;
+            // Decode cap only: the protocol cap (MAX_PAGES_PER_FETCH) is
+            // enforced — and *counted* — by the fetch state machine, so an
+            // over-cap-but-decodable response is observable misbehavior,
+            // not a silent codec drop.
+            if count > MAX_WIRE_PAGE_RESPONSE {
+                return Err(WireError::new("too many response pages"));
+            }
+            let mut pages = Vec::with_capacity(count.min(4096));
+            for _ in 0..count {
+                pages.push(d.bytes()?);
+            }
+            Msg::PageResponse(PageResponseMsg {
+                seq,
+                first,
+                pages,
                 replica: ReplicaId(d.u32()?),
             })
         }
@@ -521,7 +570,7 @@ mod tests {
             seq: Seq(64),
             view: View(2),
             exec_chain: sample_request(1).digest(),
-            snapshot: Bytes::from_static(b"app-state"),
+            manifest: PageManifest::compute(b"app-state", 4),
             executed: [
                 RequestId::new(3, 0),
                 RequestId::new(3, 1),
@@ -535,6 +584,18 @@ mod tests {
                 batch: Batch::of(sample_request(4)),
             }],
             replica: ReplicaId(1),
+        }));
+        roundtrip(Msg::FetchPages(FetchPagesMsg {
+            seq: Seq(64),
+            first: 3,
+            count: 5,
+            replica: ReplicaId(2),
+        }));
+        roundtrip(Msg::PageResponse(PageResponseMsg {
+            seq: Seq(64),
+            first: 3,
+            pages: vec![Bytes::from_static(b"page"), Bytes::new()],
+            replica: ReplicaId(0),
         }));
     }
 
@@ -561,12 +622,88 @@ mod tests {
             e.put_u64(64); // seq
             e.put_u64(0); // view
             e.put_digest(&chain);
-            e.put_bytes(b"snap");
+            PageManifest::compute(b"snap", 4).encode_into(&mut e);
             e.put_u32(ranged_count); // executed-set ranged section
             e.put_u32(singles_count); // executed-set singleton section
             e.put_u32(suffix_count);
             let err = decode_msg(&e.finish()).unwrap_err();
             assert!(err.to_string().contains(what), "{err}");
+        }
+    }
+
+    #[test]
+    fn oversized_or_inconsistent_state_response_manifest_rejected() {
+        let chain = sample_request(1).digest();
+        // Page count past the wire cap.
+        let mut e = Encoder::new();
+        e.put_u8(TAG_STATE_RESPONSE);
+        e.put_u64(64);
+        e.put_u64(0);
+        e.put_digest(&chain);
+        e.put_u32(1); // page_size
+        e.put_u64(u64::MAX); // total_len
+        e.put_u32(u32::MAX); // absurd page count
+        let err = decode_msg(&e.finish()).unwrap_err();
+        assert!(err.to_string().contains("too many pages"), "{err}");
+        // Page count inconsistent with the claimed length.
+        let mut e = Encoder::new();
+        e.put_u8(TAG_STATE_RESPONSE);
+        e.put_u64(64);
+        e.put_u64(0);
+        e.put_digest(&chain);
+        e.put_u32(4); // page_size
+        e.put_u64(100); // total_len => 25 pages
+        e.put_u32(2); // but only 2 claimed
+        e.put_digest(&chain);
+        e.put_digest(&chain);
+        let err = decode_msg(&e.finish()).unwrap_err();
+        assert!(err.to_string().contains("mismatch"), "{err}");
+    }
+
+    #[test]
+    fn oversized_page_response_count_rejected() {
+        let mut e = Encoder::new();
+        e.put_u8(TAG_PAGE_RESPONSE);
+        e.put_u64(64); // seq
+        e.put_u32(0); // first
+        e.put_u32((MAX_WIRE_PAGE_RESPONSE + 1) as u32);
+        let err = decode_msg(&e.finish()).unwrap_err();
+        assert!(err.to_string().contains("too many response pages"), "{err}");
+    }
+
+    #[test]
+    fn truncated_page_frames_rejected() {
+        // Every proper prefix of both new frames must fail to decode.
+        let fp = encode_msg(&Msg::FetchPages(FetchPagesMsg {
+            seq: Seq(64),
+            first: 1,
+            count: 2,
+            replica: ReplicaId(3),
+        }));
+        for cut in 0..fp.len() {
+            assert!(decode_msg(&fp[..cut]).is_err(), "fetch-pages cut={cut}");
+        }
+        let pr = encode_msg(&Msg::PageResponse(PageResponseMsg {
+            seq: Seq(64),
+            first: 1,
+            pages: vec![Bytes::from_static(b"abcd"), Bytes::from_static(b"efgh")],
+            replica: ReplicaId(3),
+        }));
+        for cut in 0..pr.len() {
+            assert!(decode_msg(&pr[..cut]).is_err(), "page-response cut={cut}");
+        }
+        // And every prefix of a manifest-bearing state response.
+        let sr = encode_msg(&Msg::StateResponse(StateResponseMsg {
+            seq: Seq(64),
+            view: View(0),
+            exec_chain: sample_request(1).digest(),
+            manifest: PageManifest::compute(&[7u8; 33], 8),
+            executed: [RequestId::new(1, 1)].into_iter().collect(),
+            suffix: vec![],
+            replica: ReplicaId(2),
+        }));
+        for cut in 0..sr.len() {
+            assert!(decode_msg(&sr[..cut]).is_err(), "state-response cut={cut}");
         }
     }
 
@@ -670,6 +807,44 @@ mod tests {
             let m = Msg::Forward(Request::new(RequestId::new(origin, counter), Bytes::from(payload)));
             let back = decode_msg(&encode_msg(&m)).unwrap();
             prop_assert_eq!(m, back);
+        }
+
+        #[test]
+        fn fetch_pages_roundtrip(seq in any::<u64>(), first in any::<u32>(),
+                                 count in any::<u32>(), replica in any::<u32>()) {
+            let m = Msg::FetchPages(FetchPagesMsg {
+                seq: Seq(seq), first, count, replica: ReplicaId(replica),
+            });
+            prop_assert_eq!(decode_msg(&encode_msg(&m)).unwrap(), m);
+        }
+
+        #[test]
+        fn page_response_roundtrip(seq in any::<u64>(), first in any::<u32>(),
+                                   pages in proptest::collection::vec(
+                                       proptest::collection::vec(any::<u8>(), 0..64), 0..8)) {
+            let m = Msg::PageResponse(PageResponseMsg {
+                seq: Seq(seq),
+                first,
+                pages: pages.into_iter().map(Bytes::from).collect(),
+                replica: ReplicaId(1),
+            });
+            prop_assert_eq!(decode_msg(&encode_msg(&m)).unwrap(), m);
+        }
+
+        #[test]
+        fn state_response_manifest_roundtrip(
+            snapshot in proptest::collection::vec(any::<u8>(), 0..256),
+            ps in 1u32..32) {
+            let m = Msg::StateResponse(StateResponseMsg {
+                seq: Seq(64),
+                view: View(1),
+                exec_chain: Digest32::ZERO,
+                manifest: PageManifest::compute(&snapshot, ps),
+                executed: [RequestId::new(2, 1)].into_iter().collect(),
+                suffix: vec![],
+                replica: ReplicaId(0),
+            });
+            prop_assert_eq!(decode_msg(&encode_msg(&m)).unwrap(), m);
         }
     }
 }

@@ -6,8 +6,9 @@ use bytes::Bytes;
 use proptest::prelude::*;
 use pws_clbft::wire::{decode_msg, encode_msg};
 use pws_clbft::{
-    Batch, CheckpointMsg, CommitMsg, FetchStateMsg, Msg, NewViewMsg, PrePrepareMsg, PrepareMsg,
-    PreparedClaim, ReplicaId, Request, RequestId, Seq, StateResponseMsg, SuffixSlot, View,
+    Batch, CheckpointMsg, CommitMsg, FetchPagesMsg, FetchStateMsg, Msg, NewViewMsg, PageManifest,
+    PageResponseMsg, PrePrepareMsg, PrepareMsg, PreparedClaim, ReplicaId, Request, RequestId, Seq,
+    StateResponseMsg, SuffixSlot, View,
 };
 use pws_crypto::Digest32;
 use rand::rngs::StdRng;
@@ -50,12 +51,20 @@ fn arb_pre_prepare(rng: &mut StdRng) -> PrePrepareMsg {
     }
 }
 
-/// An arbitrary state-transfer response: snapshot bytes, a sorted executed
-/// set, and a (sometimes empty) committed log suffix.
-fn arb_state_response(rng: &mut StdRng) -> StateResponseMsg {
+/// An arbitrary page table over random snapshot bytes at a random page
+/// size, exercising 0..N pages and a ragged tail.
+fn arb_manifest(rng: &mut StdRng) -> PageManifest {
     let snap_len = rng.gen_range(0usize..128);
     let mut snapshot = vec![0u8; snap_len];
     rng.fill_bytes(&mut snapshot);
+    let page_size = rng.gen_range(1u32..=64);
+    PageManifest::compute(&snapshot, page_size)
+}
+
+/// An arbitrary state-transfer response: a page manifest, a sorted executed
+/// set, and a (sometimes empty) committed log suffix.
+fn arb_state_response(rng: &mut StdRng) -> StateResponseMsg {
+    let manifest = arb_manifest(rng);
     let executed = (0..rng.gen_range(0usize..8))
         .map(|_| RequestId::new(rng.next_u64(), rng.next_u64()))
         .collect();
@@ -70,9 +79,28 @@ fn arb_state_response(rng: &mut StdRng) -> StateResponseMsg {
         seq: Seq(base),
         view: View(rng.next_u64()),
         exec_chain: arb_digest(rng),
-        snapshot: Bytes::from(snapshot),
+        manifest,
         executed,
         suffix,
+        replica: ReplicaId(rng.next_u32()),
+    }
+}
+
+/// An arbitrary page-transfer response: 1..N pages of varied lengths
+/// (including empty pages, which the codec must carry faithfully).
+fn arb_page_response(rng: &mut StdRng) -> PageResponseMsg {
+    let pages = (0..rng.gen_range(1usize..6))
+        .map(|_| {
+            let len = rng.gen_range(0usize..96);
+            let mut page = vec![0u8; len];
+            rng.fill_bytes(&mut page);
+            Bytes::from(page)
+        })
+        .collect();
+    PageResponseMsg {
+        seq: Seq(rng.next_u64()),
+        first: rng.next_u32(),
+        pages,
         replica: ReplicaId(rng.next_u32()),
     }
 }
@@ -80,7 +108,7 @@ fn arb_state_response(rng: &mut StdRng) -> StateResponseMsg {
 /// Builds one message of each variant family, chosen and filled from `seed`.
 fn arb_msg(seed: u64) -> Msg {
     let mut rng = StdRng::seed_from_u64(seed);
-    match rng.gen_range(0u8..9) {
+    match rng.gen_range(0u8..11) {
         0 => Msg::Forward(arb_request(&mut rng)),
         1 => Msg::PrePrepare(arb_pre_prepare(&mut rng)),
         2 => Msg::Prepare(PrepareMsg {
@@ -135,7 +163,14 @@ fn arb_msg(seed: u64) -> Msg {
             have: Seq(rng.next_u64()),
             replica: ReplicaId(rng.next_u32()),
         }),
-        _ => Msg::StateResponse(arb_state_response(&mut rng)),
+        8 => Msg::StateResponse(arb_state_response(&mut rng)),
+        9 => Msg::FetchPages(FetchPagesMsg {
+            seq: Seq(rng.next_u64()),
+            first: rng.next_u32(),
+            count: rng.gen_range(1u32..=64),
+            replica: ReplicaId(rng.next_u32()),
+        }),
+        _ => Msg::PageResponse(arb_page_response(&mut rng)),
     }
 }
 
@@ -229,6 +264,59 @@ proptest! {
         bytes[pos] ^= flip;
         if let Ok(decoded) = decode_msg(&bytes) {
             prop_assert_ne!(decoded, msg);
+        }
+    }
+
+    /// Every proper prefix of a page-transfer response must fail to decode:
+    /// the per-page length prefixes promise more content than a truncated
+    /// frame carries.
+    #[test]
+    fn every_page_response_prefix_is_rejected(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let full = encode_msg(&Msg::PageResponse(arb_page_response(&mut rng)));
+        for cut in 0..full.len() {
+            prop_assert!(
+                decode_msg(&full[..cut]).is_err(),
+                "prefix of len {} decoded", cut
+            );
+        }
+    }
+
+    /// A corrupted page-transfer frame must never decode back to the
+    /// original message (and never panic) — a flipped page byte, length, or
+    /// range field always surfaces as a difference the fetcher's Merkle
+    /// verification or range checks can see.
+    #[test]
+    fn corrupted_page_response_never_aliases(
+        seed in any::<u64>(),
+        pos_seed in any::<u64>(),
+        flip in 1u8..=255,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let msg = Msg::PageResponse(arb_page_response(&mut rng));
+        let mut bytes = encode_msg(&msg).to_vec();
+        let pos = (pos_seed % bytes.len() as u64) as usize;
+        bytes[pos] ^= flip;
+        if let Ok(decoded) = decode_msg(&bytes) {
+            prop_assert_ne!(decoded, msg);
+        }
+    }
+
+    /// `FetchPages` is fixed-size: round-trips exactly, and every proper
+    /// prefix is rejected.
+    #[test]
+    fn fetch_pages_roundtrip_and_prefixes(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let msg = Msg::FetchPages(FetchPagesMsg {
+            seq: Seq(rng.next_u64()),
+            first: rng.next_u32(),
+            count: rng.gen_range(1u32..=64),
+            replica: ReplicaId(rng.next_u32()),
+        });
+        let full = encode_msg(&msg);
+        prop_assert_eq!(decode_msg(&full).unwrap(), msg);
+        for cut in 0..full.len() {
+            prop_assert!(decode_msg(&full[..cut]).is_err());
         }
     }
 }

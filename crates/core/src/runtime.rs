@@ -252,6 +252,7 @@ pub struct SystemBuilder {
     batch_delay: SimDuration,
     checkpoint_interval: u64,
     watermark_window: u64,
+    page_size: u32,
     recovery_window: Option<SimDuration>,
     reply_retention: Option<usize>,
     speculative: bool,
@@ -284,6 +285,7 @@ impl SystemBuilder {
             batch_delay: SimDuration::from_millis(1),
             checkpoint_interval: 64,
             watermark_window: 256,
+            page_size: pws_perpetual::DEFAULT_PAGE_SIZE,
             recovery_window: None,
             reply_retention: None,
             speculative: false,
@@ -347,6 +349,16 @@ impl SystemBuilder {
     /// + window) for every replica group.
     pub fn watermark_window(&mut self, w: u64) -> &mut Self {
         self.watermark_window = w.max(1);
+        self
+    }
+
+    /// Overrides the snapshot page size (bytes) for every replica group's
+    /// Merkle-partitioned checkpoints: checkpoint digests cover a page-tree
+    /// root at this granularity, boundaries re-hash only dirty pages, and
+    /// state transfer ships only pages whose digests differ. Smaller pages
+    /// tighten the transfer delta but grow the per-boundary manifest.
+    pub fn page_size(&mut self, bytes: u32) -> &mut Self {
+        self.page_size = bytes.max(1);
         self
     }
 
@@ -736,6 +748,7 @@ impl SystemBuilder {
                     cfg.batch_delay = self.batch_delay;
                     cfg.checkpoint_interval = self.checkpoint_interval;
                     cfg.watermark_window = self.watermark_window;
+                    cfg.page_size = self.page_size;
                     cfg.recovery_interval = self.recovery_window;
                     if let Some(r) = self.reply_retention {
                         cfg.reply_retention = r;

@@ -301,20 +301,45 @@ fn get_entries(d: &mut Decoder<'_>) -> Result<Vec<(String, Vec<u8>)>, WireError>
     })
 }
 
-/// Serializes exported `(key, state)` entries for a `reshardExport` reply.
+/// Page size the reshard-export integrity envelope chunks its payload at.
+/// Exports reuse the checkpoint subsystem's page index
+/// ([`pws_perpetual::PageManifest`]) rather than inventing a second
+/// digesting scheme.
+const RESHARD_PAGE_SIZE: u32 = pws_perpetual::DEFAULT_PAGE_SIZE;
+
+/// Serializes exported `(key, state)` entries for a `reshardExport` reply,
+/// sealed under the Merkle root of the payload's page table — the same
+/// page index checkpoints use. The importer recomputes the root over the
+/// received bytes ([`decode_entries`]) and rejects a corrupted or spliced
+/// export before anything installs.
 pub fn encode_entries(entries: &[(String, Vec<u8>)]) -> Vec<u8> {
+    let mut body = Encoder::new();
+    put_entries(&mut body, entries);
+    let body = body.finish();
+    let manifest = pws_perpetual::PageManifest::compute(&body, RESHARD_PAGE_SIZE);
     let mut e = Encoder::new();
-    put_entries(&mut e, entries);
+    e.put_digest(&manifest.root());
+    e.put_bytes(&body);
     e.finish().to_vec()
 }
 
-/// Inverse of [`encode_entries`].
+/// Inverse of [`encode_entries`]: verifies the payload's page-tree root
+/// before decoding the entries.
 ///
 /// # Errors
 ///
-/// Returns [`WireError`] for truncated, oversized, or trailing input.
+/// Returns [`WireError`] for truncated, oversized, or trailing input, or
+/// when the payload does not hash to the sealed root.
 pub fn decode_entries(buf: &[u8]) -> Result<Vec<(String, Vec<u8>)>, WireError> {
     let mut d = Decoder::new(buf);
+    let root = d.digest()?;
+    let body = d.bytes()?;
+    d.finish()?;
+    let manifest = pws_perpetual::PageManifest::compute(&body, RESHARD_PAGE_SIZE);
+    if manifest.root() != root {
+        return Err(WireError::malformed("reshard export root mismatch"));
+    }
+    let mut d = Decoder::new(&body);
     let entries = get_entries(&mut d)?;
     d.finish()?;
     Ok(entries)
@@ -1363,9 +1388,32 @@ mod tests {
 
     #[test]
     fn reshard_entry_count_is_capped() {
+        // A correctly-sealed frame whose body claims an absurd entry count
+        // must still be rejected by the cap, after the root verifies.
+        let mut body = Encoder::new();
+        body.put_u32(MAX_RESHARD_ENTRIES as u32 + 1);
+        let body = body.finish();
+        let manifest = pws_perpetual::PageManifest::compute(&body, 1024);
         let mut e = Encoder::new();
-        e.put_u32(MAX_RESHARD_ENTRIES as u32 + 1);
+        e.put_digest(&manifest.root());
+        e.put_bytes(&body);
         assert!(decode_entries(&e.finish()).is_err());
+    }
+
+    #[test]
+    fn corrupted_reshard_export_fails_the_root_check() {
+        let entries = vec![("k".to_owned(), vec![7u8; 16])];
+        let sealed = encode_entries(&entries);
+        // Flip one payload byte (past the 32-byte root and length prefix):
+        // the page-tree root no longer matches and nothing decodes.
+        let mut bad = sealed.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x40;
+        assert!(decode_entries(&bad).is_err());
+        // Truncations die too, at every prefix.
+        for cut in 0..sealed.len() {
+            assert!(decode_entries(&sealed[..cut]).is_err(), "cut={cut}");
+        }
     }
 
     #[test]

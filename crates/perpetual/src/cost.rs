@@ -35,6 +35,9 @@ pub struct CostModel {
     pub snapshot_fixed: SimDuration,
     /// Additional per-kilobyte cost of snapshot serialization/installation.
     pub snapshot_per_kb: SimDuration,
+    /// Cost to hash one snapshot page (incremental checkpoints charge this
+    /// only for dirty pages; state transfer charges it per verified page).
+    pub page_hash: SimDuration,
     /// Cost of answering one read-only request on the fast path (scratch
     /// execution against committed state, no agreement slot). Roughly the
     /// per-request share of `batch_item` — what a read pays instead of the
@@ -58,6 +61,7 @@ impl CostModel {
         batch_item: SimDuration::from_micros(90),
         snapshot_fixed: SimDuration::from_micros(120),
         snapshot_per_kb: SimDuration::from_micros(15),
+        page_hash: SimDuration::from_micros(2),
         ro_serve: SimDuration::from_micros(90),
     };
 
@@ -72,6 +76,7 @@ impl CostModel {
         batch_item: SimDuration::ZERO,
         snapshot_fixed: SimDuration::ZERO,
         snapshot_per_kb: SimDuration::ZERO,
+        page_hash: SimDuration::ZERO,
         ro_serve: SimDuration::ZERO,
     };
 
@@ -88,6 +93,14 @@ impl CostModel {
     /// `len` bytes (charged at checkpoint boundaries and state installs).
     pub fn snapshot_cost(&self, len: usize) -> SimDuration {
         self.snapshot_fixed + self.snapshot_per_kb.saturating_mul(len as u64 / 1024)
+    }
+
+    /// CPU cost of hashing (or verifying) `pages` snapshot pages. This is
+    /// what an incremental checkpoint pays instead of `snapshot_cost` over
+    /// the whole state: only dirty pages are re-hashed, so the charge stops
+    /// scaling with total state size.
+    pub fn page_cost(&self, pages: u64) -> SimDuration {
+        self.page_hash.saturating_mul(pages)
     }
 
     /// Total CPU cost of sending a message of `len` bytes with `extra_macs`
@@ -161,6 +174,17 @@ mod tests {
             (big - small).as_micros(),
             c.snapshot_per_kb.as_micros() * 10
         );
+    }
+
+    #[test]
+    fn page_cost_scales_with_dirty_pages_only() {
+        let c = CostModel::DEFAULT;
+        assert_eq!(c.page_cost(0), SimDuration::ZERO);
+        assert_eq!(c.page_cost(10), c.page_hash.saturating_mul(10));
+        // Re-hashing a handful of dirty pages must undercut a full
+        // snapshot serialization of even a modest state.
+        assert!(c.page_cost(4) < c.snapshot_cost(64 * 1024));
+        assert_eq!(CostModel::FREE.page_cost(1 << 20), SimDuration::ZERO);
     }
 
     #[test]

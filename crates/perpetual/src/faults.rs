@@ -29,12 +29,36 @@ pub enum FaultMode {
         /// Virtual milliseconds after start at which the drop happens.
         after_ms: u64,
     },
+    /// Like [`FaultMode::StaleDrop`], but the reboot also loses the local
+    /// page store: the replica comes back *cold* and state transfer must
+    /// ship every page instead of only the ones that changed. The
+    /// warm/cold pair is what the delta-recovery experiments compare.
+    StaleDropCold {
+        /// Virtual milliseconds after start at which the drop happens.
+        after_ms: u64,
+    },
+    /// Serves state transfer like a correct replica but corrupts the page
+    /// bytes in every `PageResponse` it sends. A fetcher must reject each
+    /// such page against the certified Merkle manifest (counting it) and
+    /// converge through honest responders — this mode can stall a
+    /// transfer, never poison it.
+    CorruptPages,
 }
 
 impl FaultMode {
     /// Whether the replica participates at all.
     pub fn is_silent(self) -> bool {
         matches!(self, FaultMode::Silent)
+    }
+
+    /// The virtual time (ms) at which this mode wipes the replica, if any.
+    pub fn stale_drop_after_ms(self) -> Option<u64> {
+        match self {
+            FaultMode::StaleDrop { after_ms } | FaultMode::StaleDropCold { after_ms } => {
+                Some(after_ms)
+            }
+            _ => None,
+        }
     }
 }
 
@@ -48,5 +72,19 @@ mod tests {
         assert!(!FaultMode::Correct.is_silent());
         assert!(FaultMode::Silent.is_silent());
         assert!(!FaultMode::CorruptReplies.is_silent());
+        assert!(!FaultMode::CorruptPages.is_silent());
+    }
+
+    #[test]
+    fn both_stale_drops_expose_their_deadline() {
+        assert_eq!(
+            FaultMode::StaleDrop { after_ms: 5 }.stale_drop_after_ms(),
+            Some(5)
+        );
+        assert_eq!(
+            FaultMode::StaleDropCold { after_ms: 7 }.stale_drop_after_ms(),
+            Some(7)
+        );
+        assert_eq!(FaultMode::Correct.stale_drop_after_ms(), None);
     }
 }

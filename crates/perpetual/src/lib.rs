@@ -52,5 +52,6 @@ pub use executor::{AppCmd, AppEvent, AppOutput, CallId, Executor, RequestHandle}
 pub use faults::FaultMode;
 pub use group::{GroupId, Topology};
 pub use messages::{decode_pmsg, encode_pmsg, PMsg};
+pub use pws_clbft::{PageManifest, DEFAULT_PAGE_SIZE};
 pub use replica::{group_seed, PerpetualReplica, ReplicaConfig};
 pub use snapshot::{CallSnap, DriverSnapshot};

@@ -119,6 +119,9 @@ pub struct ReplicaConfig {
     pub checkpoint_interval: u64,
     /// The voter's log window (high watermark = stable + window).
     pub watermark_window: u64,
+    /// Snapshot page size (bytes) for the voter's Merkle-partitioned
+    /// checkpoints and state transfer. Must match across the group.
+    pub page_size: u32,
     /// Proactive-recovery window: when set, this replica tears its state
     /// down and rejoins via state transfer every `n × window`, staggered by
     /// replica index so exactly one replica per group recovers per window.
@@ -159,6 +162,7 @@ impl ReplicaConfig {
             batch_delay: SimDuration::from_millis(1),
             checkpoint_interval: 64,
             watermark_window: 256,
+            page_size: pws_clbft::DEFAULT_PAGE_SIZE,
             recovery_interval: None,
             reply_retention: DEFAULT_REPLY_RETENTION,
             speculative: false,
@@ -174,6 +178,7 @@ impl ReplicaConfig {
         bft_cfg.batch_delay_us = self.batch_delay.as_micros();
         bft_cfg.checkpoint_interval = self.checkpoint_interval.max(1);
         bft_cfg.watermark_window = self.watermark_window.max(1);
+        bft_cfg.page_size = self.page_size.max(1);
         bft_cfg.speculative = self.speculative;
         bft_cfg
     }
@@ -513,9 +518,26 @@ impl PerpetualReplica {
     fn process_actions(&mut self, actions: Vec<Action>, ctx: &mut Context<'_>) {
         for a in actions {
             match a {
-                Action::Send(to, msg) => {
+                Action::Send(to, mut msg) => {
                     if matches!(msg, Msg::StateResponse(_)) {
                         ctx.metrics().incr("clbft.recovery.responses_sent");
+                    }
+                    if let Msg::PageResponse(pr) = &mut msg {
+                        ctx.metrics()
+                            .add("clbft.recovery.pages_sent", pr.pages.len() as u64);
+                        if self.cfg.fault == FaultMode::CorruptPages {
+                            // A compromised responder flips a byte in every
+                            // page it serves; the fetcher's Merkle check
+                            // must catch each one.
+                            for page in &mut pr.pages {
+                                let mut bad = page.to_vec();
+                                match bad.first_mut() {
+                                    Some(b) => *b ^= 0xA5,
+                                    None => bad.push(0xA5),
+                                }
+                                *page = bytes::Bytes::from(bad);
+                            }
+                        }
                     }
                     self.send_bft(to, &msg, ctx);
                 }
@@ -577,6 +599,25 @@ impl PerpetualReplica {
                 }
             }
         }
+        self.drain_page_metrics(ctx);
+    }
+
+    /// Drains the voter's page counters into the `clbft.pages.*` metrics
+    /// and charges the CPU cost of the hashing work they represent: each
+    /// page hashed at a boundary and each transferred page verified against
+    /// the certified manifest costs one `page_hash`.
+    fn drain_page_metrics(&mut self, ctx: &mut Context<'_>) {
+        let c = self.bft.take_page_counters();
+        if c == pws_clbft::PageCounters::default() {
+            return;
+        }
+        let m = ctx.metrics();
+        m.add("clbft.pages.hashed", c.hashed);
+        m.add("clbft.pages.dirty", c.dirty);
+        m.add("clbft.pages.fetched", c.fetched);
+        m.add("clbft.pages.verified", c.verified);
+        m.add("clbft.pages.rejected", c.rejected);
+        ctx.spend(self.cfg.cost.page_cost(c.hashed + c.verified));
     }
 
     /// Delivers one ordered batch to the driver: the per-slot agreement
@@ -725,7 +766,11 @@ impl PerpetualReplica {
         ctx.metrics().incr("clbft.ckpt.taken");
         ctx.metrics()
             .sample("clbft.ckpt.snapshot_bytes", snapshot.len() as f64);
-        ctx.spend(self.cfg.cost.snapshot_cost(snapshot.len()));
+        // Fixed serialization bookkeeping only: the digest work is charged
+        // per *dirty* page by `drain_page_metrics` after the voter's
+        // incremental re-hash, so checkpoint CPU stops scaling with total
+        // state size when the state is mostly quiescent.
+        ctx.spend(self.cfg.cost.snapshot_fixed);
         let actions = self.bft.on_snapshot(seq, snapshot);
         self.process_actions(actions, ctx);
     }
@@ -845,12 +890,25 @@ impl PerpetualReplica {
     /// driver state, all timers cancelled. The hosted executor is left
     /// untouched — it is frozen (nothing executes below the watermark) and
     /// wholly overwritten when state transfer installs a snapshot.
-    fn wipe(&mut self, ctx: &mut Context<'_>) {
+    ///
+    /// Unless `cold`, the voter's content-addressed page store survives the
+    /// reboot — modeling snapshot pages persisted on disk. The pages are
+    /// untrusted cache, not state: the rebooted voter only reuses one after
+    /// re-verifying its digest against the next `f + 1`-vouched manifest,
+    /// so a warm restart fetches only pages that actually changed (and a
+    /// corrupted disk page simply misses the manifest and is re-fetched).
+    fn wipe(&mut self, ctx: &mut Context<'_>, cold: bool) {
         ctx.metrics().incr("clbft.recovery.wipes");
         self.discard_speculation(ctx);
         self.spec_building = None;
         self.ro_replies.clear();
+        let warm_pages = if cold {
+            Vec::new()
+        } else {
+            self.bft.take_page_store()
+        };
         self.bft = BftReplica::new(ReplicaId(self.cfg.index), self.cfg.bft_config(self.n));
+        self.bft.seed_page_store(warm_pages);
         self.candidates.clear();
         self.validated.clear();
         self.validated_results.clear();
@@ -892,7 +950,11 @@ impl PerpetualReplica {
     /// within `n` windows.
     fn proactive_recover(&mut self, ctx: &mut Context<'_>) {
         ctx.metrics().incr("clbft.recovery.proactive_restarts");
-        self.wipe(ctx);
+        // Warm restart: the on-disk page cache survives (every page is
+        // re-verified against the next certified manifest before reuse, so
+        // nothing from before the reboot is trusted), keeping proactive
+        // recovery's transfer bill proportional to what actually changed.
+        self.wipe(ctx, false);
         // Re-derive the pairwise session keys from scratch (the simulated
         // stand-in for an SSL re-handshake with fresh key material) and
         // charge one MAC-key derivation per peer principal.
@@ -1745,7 +1807,7 @@ impl Node for PerpetualReplica {
             return;
         }
         debug_assert_eq!(ctx.id(), self.my_node(), "topology/node mismatch");
-        if let FaultMode::StaleDrop { after_ms } = self.cfg.fault {
+        if let Some(after_ms) = self.cfg.fault.stale_drop_after_ms() {
             self.stale_timer = Some(ctx.set_timer(SimDuration::from_millis(after_ms)));
         }
         // A singleton group has no peers to transfer state back from: a
@@ -1814,8 +1876,10 @@ impl Node for PerpetualReplica {
             ctx.metrics().incr("clbft.recovery.stale_drops");
             // Churny fault: silently drop to a blank state — no fetch, no
             // announcement. Only the peers' checkpoint-vote lag evidence
-            // can bring this replica back.
-            self.wipe(ctx);
+            // can bring this replica back. The warm variant keeps the
+            // on-disk page cache; the cold variant loses it too.
+            let cold = matches!(self.cfg.fault, FaultMode::StaleDropCold { .. });
+            self.wipe(ctx, cold);
             return;
         }
         if self.recovery_timer == Some(timer) {

@@ -79,10 +79,16 @@ impl DriverSnapshot {
     /// [`DriverSnapshot`] builders in this crate guarantee it).
     pub fn encode(&self) -> Bytes {
         let mut e = Encoder::new();
-        // Version 3: calls carry a read-only flag (v2 made `delivered` a
-        // per-origin compact ExecutedSet; v1 stored it as a flat
-        // `(group, req_no)` list).
-        e.put_u8(3);
+        // Version 4: the executor (application) bytes moved to the front,
+        // directly after the version byte. The executor section is large
+        // and mostly static while the driver bookkeeping ahead of it used
+        // to shift in length every boundary; leading with it keeps the
+        // application bytes at stable page offsets so incremental
+        // checkpoint hashing and Merkle page transfer see unchanged pages
+        // as unchanged. (v3 added the per-call read-only flag; v2 made
+        // `delivered` a per-origin compact ExecutedSet.)
+        e.put_u8(4);
+        e.put_bytes(&self.executor);
         e.put_u64(self.next_call);
         e.put_u64(self.next_token);
         e.put_u32(self.next_target_seq.len() as u32);
@@ -116,7 +122,6 @@ impl DriverSnapshot {
         for t in &self.resolved_tokens {
             e.put_u64(*t);
         }
-        e.put_bytes(&self.executor);
         e.finish()
     }
 
@@ -128,9 +133,10 @@ impl DriverSnapshot {
     /// input.
     pub fn decode(buf: &[u8]) -> Result<DriverSnapshot, WireError> {
         let mut d = Decoder::new(buf);
-        if d.u8()? != 3 {
+        if d.u8()? != 4 {
             return Err(snapshot_err());
         }
+        let executor = d.bytes()?;
         let next_call = d.u64()?;
         let next_token = d.u64()?;
         let next_target_seq = counted(&mut d, MAX_SNAPSHOT_ITEMS, snapshot_err, |d| {
@@ -154,7 +160,6 @@ impl DriverSnapshot {
             Ok((d.u32()?, d.u64()?, d.bytes()?))
         })?;
         let resolved_tokens = counted(&mut d, MAX_SNAPSHOT_ITEMS, snapshot_err, |d| d.u64())?;
-        let executor = d.bytes()?;
         d.finish()?;
         Ok(DriverSnapshot {
             next_call,
@@ -259,5 +264,29 @@ mod tests {
         long.push(0);
         assert!(DriverSnapshot::decode(&long).is_err());
         assert!(DriverSnapshot::decode(&[9]).is_err(), "bad version");
+        assert!(DriverSnapshot::decode(&[3]).is_err(), "v3 is not accepted");
+    }
+
+    #[test]
+    fn executor_bytes_lead_the_encoding() {
+        // The application snapshot sits at a fixed offset right after the
+        // version byte and its length prefix, independent of how much
+        // driver bookkeeping follows — that stability is what makes
+        // incremental page hashing effective.
+        let s = sample();
+        let bytes = s.encode();
+        let exec_start = 1 + 4; // version byte + u32 length prefix
+        assert_eq!(
+            &bytes[exec_start..exec_start + s.executor.len()],
+            s.executor.as_ref()
+        );
+        let mut bigger = s.clone();
+        bigger.resolved_tokens.extend(100..200);
+        let bytes2 = bigger.encode();
+        assert_eq!(
+            &bytes2[exec_start..exec_start + s.executor.len()],
+            s.executor.as_ref(),
+            "trailing bookkeeping growth must not move the executor bytes"
+        );
     }
 }

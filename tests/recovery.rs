@@ -293,6 +293,213 @@ fn compacted_dedup_keeps_checkpoint_snapshots_bounded() {
     );
 }
 
+// --------------------------- Merkle page transfer (ISSUE 8) ---------------
+
+/// Bytes of mostly-static application state in [`BigStateCounter`]. Large
+/// enough that the page set (at the 256-byte test page size) exceeds
+/// `MAX_PAGES_PER_FETCH`, so a transfer spans several solicitation rounds
+/// and several responders.
+const BLOB_LEN: usize = 32 * 1024;
+
+/// A service whose state is a large static blob plus a small mutating
+/// counter — the shape that makes page-granular transfer and incremental
+/// hashing pay off. The blob is a deterministic pseudo-random fill, so
+/// every replica snapshots identical bytes.
+struct BigStateCounter {
+    blob: Vec<u8>,
+    total: u64,
+}
+
+impl BigStateCounter {
+    fn new() -> Self {
+        let mut blob = vec![0u8; BLOB_LEN];
+        let mut x = 0x9e37_79b9_7f4a_7c15u64;
+        for b in blob.iter_mut() {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            *b = (x >> 56) as u8;
+        }
+        BigStateCounter { blob, total: 0 }
+    }
+}
+
+impl PassiveService for BigStateCounter {
+    fn handle(&mut self, req: MessageContext, _u: &mut PassiveUtils) -> MessageContext {
+        let n: u64 = req.body().text.trim().parse().unwrap_or(0);
+        self.total += n;
+        req.reply_with("", XmlNode::new("sum").with_text(self.total.to_string()))
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        let mut s = self.blob.clone();
+        s.extend_from_slice(&self.total.to_be_bytes());
+        s
+    }
+
+    fn restore(&mut self, snapshot: &[u8]) {
+        let (blob, tail) = snapshot.split_at(snapshot.len() - 8);
+        self.blob = blob.to_vec();
+        let mut b = [0u8; 8];
+        b.copy_from_slice(tail);
+        self.total = u64::from_be_bytes(b);
+    }
+}
+
+/// Runs the stale-drop workload over the big-state service and returns the
+/// page metrics `(fetched, verified, rejected, hashed)` plus the trace
+/// digest.
+fn delta_run(seed: u64, fault: FaultMode) -> (u64, u64, u64, u64, u64) {
+    let mut b = SystemBuilder::new(seed);
+    b.checkpoint_interval(8);
+    b.max_batch_size(1);
+    b.page_size(256);
+    b.reply_retention(4);
+    b.passive_service("big", 4, |_| Box::new(BigStateCounter::new()));
+    b.fault("big", 3, fault);
+    b.scripted_client_windowed("user", "big", 240, 2);
+    let mut sys = b.build();
+    sys.run_until(SimTime::from_secs(120));
+    assert_eq!(
+        sys.client_replies("user").len(),
+        240,
+        "zero client-visible errors"
+    );
+    let m = sys.metrics();
+    assert!(m.counter("clbft.recovery.installs") >= 1, "state installed");
+    let out = (
+        m.counter("clbft.pages.fetched"),
+        m.counter("clbft.pages.verified"),
+        m.counter("clbft.pages.rejected"),
+        m.counter("clbft.pages.hashed"),
+        sys.sim_mut().trace_digest().value(),
+    );
+    let fps = fingerprints(&mut sys, "big", 4);
+    for i in 1..4 {
+        assert_eq!(fps[0].1, fps[i].1, "exec chain diverges at replica {i}");
+        assert_eq!(fps[0].3, fps[i].3, "app snapshot diverges at replica {i}");
+    }
+    out
+}
+
+/// The delta-recovery satellite: a warm StaleDrop keeps its (untrusted,
+/// re-verified) page store across the wipe, so rejoining ships only the
+/// pages that actually changed; a cold drop of the same workload re-fetches
+/// everything. O(k) for a k-page diff, not O(state).
+#[test]
+fn warm_restart_fetches_strictly_fewer_pages_than_cold() {
+    let warm = delta_run(4_242, FaultMode::StaleDrop { after_ms: 150 });
+    let cold = delta_run(4_242, FaultMode::StaleDropCold { after_ms: 150 });
+    let total_pages = (BLOB_LEN / 256) as u64; // blob pages alone, floor
+    assert!(
+        cold.0 >= total_pages,
+        "a cold restart must fetch at least the whole blob: {} < {total_pages}",
+        cold.0
+    );
+    assert!(
+        warm.0 < cold.0,
+        "warm restart must fetch strictly fewer pages: warm {} vs cold {}",
+        warm.0,
+        cold.0
+    );
+    assert!(
+        warm.0 <= cold.0 / 2,
+        "the static blob must not travel on a warm restart: warm {} vs cold {}",
+        warm.0,
+        cold.0
+    );
+    // Every fetched page passed Merkle verification; honest peers sent
+    // nothing bogus.
+    assert_eq!(warm.0, warm.1);
+    assert_eq!(cold.0, cold.1);
+    assert_eq!(warm.2, 0, "no rejects in a fault-free transfer");
+    // Same seed, same trace: the whole delta-transfer path is
+    // deterministic.
+    let again = delta_run(4_242, FaultMode::StaleDrop { after_ms: 150 });
+    assert_eq!(warm, again, "delta recovery must be seed-deterministic");
+}
+
+/// The incremental-checkpoint satellite: with a mostly-static state, each
+/// boundary after the first re-hashes only the pages the small write
+/// actually dirtied — `clbft.pages.hashed` stays far below
+/// `boundaries × total_pages` — while the certified digests keep
+/// converging (checkpoints stabilize all run long).
+#[test]
+fn incremental_checkpoints_rehash_only_dirty_pages() {
+    let mut b = SystemBuilder::new(4_343);
+    b.checkpoint_interval(8);
+    b.max_batch_size(1);
+    b.page_size(256);
+    b.reply_retention(4);
+    b.passive_service("big", 4, |_| Box::new(BigStateCounter::new()));
+    b.scripted_client_windowed("user", "big", 240, 2);
+    let mut sys = b.build();
+    sys.run_until(SimTime::from_secs(120));
+    assert_eq!(sys.client_replies("user").len(), 240);
+    let m = sys.metrics();
+    let boundaries = m.counter("clbft.ckpt.taken");
+    let hashed = m.counter("clbft.pages.hashed");
+    let dirty = m.counter("clbft.pages.dirty");
+    let blob_pages = (BLOB_LEN / 256) as u64;
+    assert!(boundaries >= 40, "checkpoints engaged: {boundaries}");
+    assert!(
+        m.counter("clbft.ckpt.stable") > 0,
+        "certified digests converge at every boundary"
+    );
+    // Full re-hashing would cost at least boundaries × blob_pages; the
+    // incremental path must land far under it (first boundaries per
+    // replica hash everything, later ones only the dirty tail).
+    assert!(
+        hashed < boundaries * blob_pages / 4,
+        "incremental hashing regressed: {hashed} hashed over {boundaries} \
+         boundaries of ≥{blob_pages} pages"
+    );
+    assert_eq!(hashed, dirty, "exactly the dirty pages are re-hashed");
+    assert_eq!(m.counter("clbft.pages.fetched"), 0, "no transfer happened");
+}
+
+/// The adversarial-transfer satellite at system scale: a responder that
+/// corrupts every page it serves can stall a transfer but never poison it.
+/// The wiped replica rejects the bogus pages against the certified root
+/// (counting them), converges through honest peers, and the client sees
+/// zero errors. Replica 0 is the responder the fetcher solicits first at
+/// this seed, so the corrupt pages sit directly on the recovery path.
+#[test]
+fn corrupt_page_responder_cannot_poison_recovery() {
+    let mut b = SystemBuilder::new(4_444);
+    b.checkpoint_interval(8);
+    b.max_batch_size(1);
+    b.page_size(256);
+    b.reply_retention(4);
+    b.passive_service("big", 4, |_| Box::new(BigStateCounter::new()));
+    b.fault("big", 0, FaultMode::CorruptPages);
+    b.fault("big", 3, FaultMode::StaleDropCold { after_ms: 150 });
+    b.scripted_client_windowed("user", "big", 240, 2);
+    let mut sys = b.build();
+    sys.run_until(SimTime::from_secs(120));
+    assert_eq!(
+        sys.client_replies("user").len(),
+        240,
+        "zero client-visible errors despite the corrupt responder"
+    );
+    let m = sys.metrics();
+    assert!(m.counter("clbft.recovery.installs") >= 1);
+    assert!(
+        m.counter("clbft.pages.verified") > 0,
+        "honest pages got through"
+    );
+    assert!(
+        m.counter("clbft.pages.rejected") > 0,
+        "the corrupt responder's pages must be rejected and counted"
+    );
+    // Nothing corrupt ever installed: the peers all hold identical state.
+    let fps = fingerprints(&mut sys, "big", 4);
+    for i in [0usize, 2, 3] {
+        assert_eq!(fps[2].1, fps[i].1, "exec chain diverges at replica {i}");
+        assert_eq!(fps[2].3, fps[i].3, "app snapshot diverges at replica {i}");
+    }
+}
+
 /// Extended crash-wipe-recover smoke, run by CI with `PWS_RECOVERY_SMOKE=1`
 /// on every push: a longer load with both a churny stale-drop *and* a
 /// proactive rotation in the same deployment.
@@ -318,5 +525,54 @@ fn recovery_smoke_extended() {
     for i in 1..4 {
         assert_eq!(fps[0].1, fps[i].1, "exec chain diverges at replica {i}");
         assert_eq!(fps[0].3, fps[i].3, "app snapshot diverges at replica {i}");
+    }
+}
+
+/// Extended page-transfer smoke, run by CI with `PWS_RECOVERY_SMOKE=1`: the
+/// delta-recovery and adversarial suites at a longer load — a cold-wiped
+/// replica re-fetches the whole big state page by page while a corrupt
+/// responder keeps serving poisoned ranges, and incremental hashing holds
+/// across hundreds of checkpoint boundaries.
+#[test]
+fn recovery_smoke_page_transfer() {
+    if std::env::var("PWS_RECOVERY_SMOKE").is_err() {
+        return;
+    }
+    let mut b = SystemBuilder::new(9_005);
+    b.checkpoint_interval(16);
+    b.max_batch_size(1);
+    b.page_size(256);
+    b.reply_retention(4);
+    b.passive_service("big", 4, |_| Box::new(BigStateCounter::new()));
+    b.fault("big", 1, FaultMode::CorruptPages);
+    b.fault("big", 3, FaultMode::StaleDropCold { after_ms: 600 });
+    b.scripted_client_windowed("user", "big", 2_500, 4);
+    let mut sys = b.build();
+    sys.run_until(SimTime::from_secs(300));
+    assert_eq!(sys.client_replies("user").len(), 2_500);
+    let m = sys.metrics();
+    let blob_pages = (BLOB_LEN / 256) as u64;
+    assert!(m.counter("clbft.recovery.installs") >= 1);
+    assert!(
+        m.counter("clbft.pages.fetched") >= blob_pages,
+        "a cold wipe re-fetches the whole blob"
+    );
+    assert_eq!(
+        m.counter("clbft.pages.fetched"),
+        m.counter("clbft.pages.verified"),
+        "every installed page passed Merkle verification"
+    );
+    assert!(
+        m.counter("clbft.pages.rejected") > 0,
+        "the corrupt responder left a trace"
+    );
+    assert!(
+        m.counter("clbft.pages.hashed") < m.counter("clbft.ckpt.taken") * blob_pages / 4,
+        "incremental hashing holds at smoke scale"
+    );
+    let fps = fingerprints(&mut sys, "big", 4);
+    for i in [0usize, 2, 3] {
+        assert_eq!(fps[2].1, fps[i].1, "exec chain diverges at replica {i}");
+        assert_eq!(fps[2].3, fps[i].3, "app snapshot diverges at replica {i}");
     }
 }
