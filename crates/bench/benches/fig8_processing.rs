@@ -13,7 +13,11 @@
 //! batching is the classic throughput lever for this protocol family, and
 //! the sweep records how far it lifts the saturated hot path.
 
-use pws_bench::{emit_bench_json, emit_table, quick_mode, run_two_tier, run_two_tier_batched};
+use perpetual_ws::TraceLevel;
+use pws_bench::{
+    emit_bench_json, emit_table, quick_mode, run_two_tier, run_two_tier_batched,
+    run_two_tier_traced,
+};
 use pws_simnet::SimDuration;
 
 fn main() {
@@ -133,16 +137,40 @@ fn main() {
         occ_at(2)
     );
 
-    let n_hi = *sizes.last().unwrap();
-    emit_bench_json(
-        "fig8",
-        &[
-            ("proc_ms_max", t_hi as f64),
-            ("overhead_null_nmax", overhead(0, n_hi)),
-            ("overhead_hi_nmax", overhead(t_hi, n_hi)),
-            ("batch1_throughput_rps", tput_at(0)),
-            ("batch16_throughput_rps", tput_at(2)),
-            ("batch16_mean_occupancy", occ_at(2)),
-        ],
+    // Tracing companion: re-run the saturated batch-16 cell with
+    // request-lifecycle tracing at `Phases`. It contributes the per-phase
+    // latency percentiles to the committed artifact and measures the
+    // tracing tax on the identical workload (the headline numbers above
+    // stay tracing-off).
+    let (traced, lat) = run_two_tier_traced(
+        4,
+        4,
+        batch_total,
+        16,
+        SimDuration::ZERO,
+        2007,
+        16,
+        TraceLevel::Phases,
     );
+    assert_eq!(traced.completed, batch_total);
+    println!(
+        "tracing companion: {:.1} rps traced vs {:.1} rps untraced \
+         ({:+.2}% wall-clock-free tracing tax on simulated throughput)",
+        traced.throughput,
+        tput_at(2),
+        (traced.throughput / tput_at(2) - 1.0) * 100.0
+    );
+
+    let n_hi = *sizes.last().unwrap();
+    let mut fields: Vec<(String, f64)> = vec![
+        ("proc_ms_max".into(), t_hi as f64),
+        ("overhead_null_nmax".into(), overhead(0, n_hi)),
+        ("overhead_hi_nmax".into(), overhead(t_hi, n_hi)),
+        ("batch1_throughput_rps".into(), tput_at(0)),
+        ("batch16_throughput_rps".into(), tput_at(2)),
+        ("batch16_mean_occupancy".into(), occ_at(2)),
+    ];
+    fields.extend(lat);
+    let refs: Vec<(&str, f64)> = fields.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    emit_bench_json("fig8", &refs);
 }

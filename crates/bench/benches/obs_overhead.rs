@@ -1,0 +1,36 @@
+//! Criterion micro guarding the observability tax: the same small fig8
+//! cell (4×4 two-tier, 16-deep window, batch cap 16) wall-clocked with
+//! tracing `Off`, `Phases`, and `Full`.
+//!
+//! The `Off` path is the one that must stay near-free — its per-event
+//! cost is a single branch on the trace level — so `two_tier/off` here is
+//! the number to watch against the pre-observability baseline. `phases` /
+//! `full` quantify what turning the knob costs when you do want spans.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use perpetual_ws::TraceLevel;
+use pws_bench::run_two_tier_traced;
+use pws_simnet::SimDuration;
+use std::time::Duration;
+
+fn bench_obs_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("two_tier");
+    g.measurement_time(Duration::from_secs(5)).sample_size(20);
+    for (name, level) in [
+        ("off", TraceLevel::Off),
+        ("phases", TraceLevel::Phases),
+        ("full", TraceLevel::Full),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let (r, _) = run_two_tier_traced(4, 4, 60, 16, SimDuration::ZERO, 2007, 16, level);
+                assert_eq!(r.completed, 60);
+                r.throughput
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_obs_overhead);
+criterion_main!(benches);

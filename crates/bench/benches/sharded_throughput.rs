@@ -20,7 +20,10 @@
 //! asserts the mix completes with exactly-once application — 2PC overhead
 //! is charged but atomicity never drops a request.
 
-use pws_bench::{emit_bench_json, emit_table, quick_mode, run_sharded, run_sharded_mixed};
+use perpetual_ws::TraceLevel;
+use pws_bench::{
+    emit_bench_json, emit_table, quick_mode, run_sharded, run_sharded_mixed, run_sharded_traced,
+};
 
 fn main() {
     let (clients, per_client, window): (u32, u64, u64) = if quick_mode() {
@@ -109,18 +112,29 @@ fn main() {
         "exactly-once: applications = single-key requests + 2 keys per commit"
     );
 
-    emit_bench_json(
-        "sharded",
-        &[
-            ("shards_max", 4.0),
-            ("throughput_1shard_rps", tput[&1]),
-            ("throughput_2shard_rps", tput[&2]),
-            ("throughput_4shard_rps", tput[&4]),
-            ("speedup_2shard", speedup2),
-            ("speedup_4shard", speedup4),
-            ("mix_completed", mix.completed as f64),
-            ("mix_commits", mix.commits as f64),
-            ("mix_aborts", mix.aborts as f64),
-        ],
+    // Tracing companion: the 4-shard cell again with request-lifecycle
+    // tracing at `Phases`, supplying the per-phase latency percentiles
+    // for the committed artifact (the headline sweep stays tracing-off).
+    let (traced, lat) =
+        run_sharded_traced(4, 4, clients, per_client, window, 2007, TraceLevel::Phases);
+    assert_eq!(traced.completed, total);
+    println!(
+        "\ntracing companion: {:.1} rps traced vs {:.1} rps untraced at 4 shards",
+        traced.throughput, tput[&4]
     );
+
+    let mut fields: Vec<(String, f64)> = vec![
+        ("shards_max".into(), 4.0),
+        ("throughput_1shard_rps".into(), tput[&1]),
+        ("throughput_2shard_rps".into(), tput[&2]),
+        ("throughput_4shard_rps".into(), tput[&4]),
+        ("speedup_2shard".into(), speedup2),
+        ("speedup_4shard".into(), speedup4),
+        ("mix_completed".into(), mix.completed as f64),
+        ("mix_commits".into(), mix.commits as f64),
+        ("mix_aborts".into(), mix.aborts as f64),
+    ];
+    fields.extend(lat);
+    let refs: Vec<(&str, f64)> = fields.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    emit_bench_json("sharded", &refs);
 }

@@ -24,9 +24,10 @@
 #![warn(missing_docs)]
 
 use perpetual_ws::{
-    PassiveService, PassiveUtils, Poll, RendezvousRouter, Router, Service, ServiceCtx,
-    ServiceExecutor, SystemBuilder, TxnService, TxnShim, WsEvent, TXN_ABORTED_FAULT,
+    PassiveService, PassiveUtils, Phase, Poll, RendezvousRouter, Router, Service, ServiceCtx,
+    ServiceExecutor, SystemBuilder, TraceLevel, TxnService, TxnShim, WsEvent, TXN_ABORTED_FAULT,
 };
+use pws_simnet::metrics::Metrics;
 use pws_simnet::{SimDuration, SimTime};
 use pws_soap::{MessageContext, XmlNode};
 use std::io::Write as _;
@@ -184,7 +185,35 @@ pub fn run_two_tier_batched(
     seed: u64,
     max_batch: usize,
 ) -> TwoTierResult {
+    run_two_tier_traced(
+        nc,
+        nt,
+        total,
+        window,
+        processing,
+        seed,
+        max_batch,
+        TraceLevel::Off,
+    )
+    .0
+}
+
+/// [`run_two_tier_batched`] with request-lifecycle tracing at `trace`,
+/// additionally returning the per-phase latency percentiles of the run
+/// (see [`latency_fields`]) for the headline JSON artifacts.
+#[allow(clippy::too_many_arguments)]
+pub fn run_two_tier_traced(
+    nc: u32,
+    nt: u32,
+    total: u64,
+    window: u64,
+    processing: SimDuration,
+    seed: u64,
+    max_batch: usize,
+    trace: TraceLevel,
+) -> (TwoTierResult, Vec<(String, f64)>) {
     let mut b = SystemBuilder::new(seed);
+    b.tracing(trace);
     b.max_batch_size(max_batch);
     b.service("caller", nc, move |_| {
         Box::new(LoadCaller::new("target", total, window))
@@ -206,7 +235,7 @@ pub fn run_two_tier_batched(
     } else {
         0.0
     };
-    TwoTierResult {
+    let result = TwoTierResult {
         throughput,
         completion_ms: if completed > 0 {
             elapsed * 1000.0 / completed as f64
@@ -216,7 +245,33 @@ pub fn run_two_tier_batched(
         completed,
         batches: sys.metrics().batches("clbft.exec"),
         mean_batch: sys.metrics().mean_batch_occupancy("clbft.exec"),
+    };
+    (result, latency_fields(sys.metrics()))
+}
+
+/// Flattens a finished run's latency histograms into `(field, value)`
+/// pairs for [`emit_bench_json`]: p50/p95/p99 of every recorded lifecycle
+/// phase (tracing-enabled runs only), of the whole span, and of the
+/// client-observed round trip.
+pub fn latency_fields(m: &Metrics) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let mut push = |label: String, p50: f64, p95: f64, p99: f64| {
+        out.push((format!("lat_{label}_p50_ms"), p50));
+        out.push((format!("lat_{label}_p95_ms"), p95));
+        out.push((format!("lat_{label}_p99_ms"), p99));
+    };
+    for phase in Phase::ALL {
+        if let Some(h) = m.histogram(phase.metric_key()) {
+            push(phase.name().replace('-', "_"), h.p50(), h.p95(), h.p99());
+        }
     }
+    if let Some(h) = m.histogram("obs.lat.total_ms") {
+        push("total".into(), h.p50(), h.p95(), h.p99());
+    }
+    if let Some(h) = m.histogram("client.latency_ms") {
+        push("client".into(), h.p50(), h.p95(), h.p99());
+    }
+    out
 }
 
 /// Result of one sharded-throughput run.
@@ -250,7 +305,31 @@ pub fn run_sharded(
     window: u64,
     seed: u64,
 ) -> ShardedResult {
+    run_sharded_traced(
+        shards,
+        n_per_shard,
+        clients,
+        per_client,
+        window,
+        seed,
+        TraceLevel::Off,
+    )
+    .0
+}
+
+/// [`run_sharded`] with request-lifecycle tracing at `trace`, additionally
+/// returning the run's latency percentiles (see [`latency_fields`]).
+pub fn run_sharded_traced(
+    shards: u32,
+    n_per_shard: u32,
+    clients: u32,
+    per_client: u64,
+    window: u64,
+    seed: u64,
+    trace: TraceLevel,
+) -> (ShardedResult, Vec<(String, f64)>) {
     let mut b = SystemBuilder::new(seed);
+    b.tracing(trace);
     b.sharded_passive("target", shards, n_per_shard, |_, _| {
         Box::new(Increment::null())
     });
@@ -280,7 +359,7 @@ pub fn run_sharded(
             sys.metrics().counter(&format!("clbft.exec.{gid}.requests"))
         })
         .collect();
-    ShardedResult {
+    let result = ShardedResult {
         throughput: if span > 0.0 {
             completed as f64 / span
         } else {
@@ -288,7 +367,8 @@ pub fn run_sharded(
         },
         completed,
         per_shard_requests,
-    }
+    };
+    (result, latency_fields(sys.metrics()))
 }
 
 /// A transactional null-op for the cross-shard mix sweep: counts
@@ -546,10 +626,17 @@ pub fn emit_table(name: &str, header: &[&str], rows: &[Vec<String>]) {
     }
 }
 
+/// Headline benches whose JSON artifact is mirrored at the repository
+/// root and committed, so the perf trajectory accumulates in git history
+/// instead of dying with CI's discarded `target/` dir.
+pub const COMMITTED_BENCH_JSON: &[&str] = &["fig8", "sharded"];
+
 /// Writes a flat JSON object of headline numbers to
 /// `target/figures/BENCH_<name>.json`, so CI (and humans) can diff a
 /// run's key results without parsing the printed tables. Values are
-/// emitted with enough precision to round-trip `f64` exactly.
+/// emitted with enough precision to round-trip `f64` exactly. Headline
+/// artifacts ([`COMMITTED_BENCH_JSON`]) are also mirrored to
+/// `BENCH_<name>.json` at the repository root.
 pub fn emit_bench_json(name: &str, fields: &[(&str, f64)]) {
     let mut body = String::from("{\n");
     for (i, (key, value)) in fields.iter().enumerate() {
@@ -560,10 +647,18 @@ pub fn emit_bench_json(name: &str, fields: &[(&str, f64)]) {
     body.push('\n');
     let dir = target_root().join("figures");
     let path = dir.join(format!("BENCH_{name}.json"));
-    let write = std::fs::create_dir_all(&dir).and_then(|_| std::fs::write(&path, body));
+    let write = std::fs::create_dir_all(&dir).and_then(|_| std::fs::write(&path, &body));
     match write {
         Ok(()) => println!("(json -> {})", path.display()),
         Err(e) => eprintln!("(json not written: {e})"),
+    }
+    if COMMITTED_BENCH_JSON.contains(&name) {
+        let root = PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
+        let mirror = root.join(format!("BENCH_{name}.json"));
+        match std::fs::write(&mirror, &body) {
+            Ok(()) => println!("(json mirrored -> {})", mirror.display()),
+            Err(e) => eprintln!("(json mirror not written: {e})"),
+        }
     }
 }
 

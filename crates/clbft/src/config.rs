@@ -44,6 +44,13 @@ pub struct Config {
     /// without re-executing; a view change that discards the slot emits
     /// [`crate::Action::RollbackSpeculation`]. Off by default.
     pub speculative: bool,
+    /// Collect per-request lifecycle phase events
+    /// ([`crate::ObsEvent::Phase`]) for the harness to drain via
+    /// [`crate::Replica::take_obs_events`]. Off by default; flight events
+    /// ([`crate::ObsEvent::Flight`]) are collected regardless — they are
+    /// rare and the buffer bounded. Purely observational: no protocol
+    /// decision reads it.
+    pub obs_phases: bool,
 }
 
 impl Config {
@@ -68,6 +75,7 @@ impl Config {
             batch_delay_us: 1_000,
             page_size: crate::pages::DEFAULT_PAGE_SIZE,
             speculative: false,
+            obs_phases: false,
         }
     }
 

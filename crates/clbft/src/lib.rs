@@ -105,7 +105,7 @@ pub use messages::{
     StateResponseMsg, SuffixSlot, ViewChangeMsg,
 };
 pub use pages::{PageCounters, PageManifest, DEFAULT_PAGE_SIZE, MAX_PAGES_PER_FETCH};
-pub use replica::{Action, Replica, TimerCmd};
+pub use replica::{Action, ObsEvent, Replica, TimerCmd};
 
 /// A replica index within one group: `0..n`.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]

@@ -11,7 +11,44 @@ use crate::pages::{page_digest, PageCounters, PageManifest, MAX_PAGES_PER_FETCH}
 use crate::{Config, ReplicaId, Seq, View};
 use bytes::Bytes;
 use pws_crypto::sha256::{Digest32, Sha256};
+use pws_obs::{FlightKind, Phase};
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+
+/// An observability event collected by the replica for the harness to
+/// drain ([`Replica::take_obs_events`]) and stamp with real (sim) time.
+/// The sans-io replica owns no clock, so events carry no timestamp here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObsEvent {
+    /// A request-lifecycle phase was reached (collected only with
+    /// [`Config::obs_phases`]).
+    Phase {
+        /// The request the phase belongs to.
+        id: RequestId,
+        /// The phase reached.
+        phase: Phase,
+    },
+    /// A protocol event for the flight recorder (always collected; see
+    /// [`FlightKind`] for the meaning of `a`/`b`).
+    Flight {
+        /// What happened.
+        kind: FlightKind,
+        /// First payload slot.
+        a: u64,
+        /// Second payload slot.
+        b: u64,
+    },
+}
+
+/// Bound on the undrained obs buffer: a bare [`Replica`] whose harness
+/// never drains (e.g. a unit test) must not grow memory without limit.
+const OBS_BUFFER_CAP: usize = 1 << 16;
+
+/// Appends to the obs buffer, dropping events past the cap.
+fn push_obs(buf: &mut Vec<ObsEvent>, ev: ObsEvent) {
+    if buf.len() < OBS_BUFFER_CAP {
+        buf.push(ev);
+    }
+}
 
 /// Timer guidance emitted alongside protocol actions. The harness maintains
 /// one view-change timer and one batch timer per replica and applies these
@@ -279,6 +316,9 @@ pub struct Replica {
     /// Drained on view entry; bounded to keep Byzantine peers from
     /// ballooning memory.
     stashed: Vec<(ReplicaId, Msg)>,
+    /// Observability events awaiting the harness
+    /// ([`Replica::take_obs_events`]). Bounded by [`OBS_BUFFER_CAP`].
+    obs_events: Vec<ObsEvent>,
 }
 
 const STASH_CAP: usize = 10_000;
@@ -362,7 +402,27 @@ impl Replica {
             view_changes: BTreeMap::new(),
             new_view_sent: HashSet::new(),
             stashed: Vec::new(),
+            obs_events: Vec::new(),
         }
+    }
+
+    /// Records a request-lifecycle phase (no-op unless
+    /// [`Config::obs_phases`]).
+    fn obs_phase(&mut self, id: RequestId, phase: Phase) {
+        if self.cfg.obs_phases {
+            push_obs(&mut self.obs_events, ObsEvent::Phase { id, phase });
+        }
+    }
+
+    /// Records a flight-recorder event (always collected).
+    fn obs_flight(&mut self, kind: FlightKind, a: u64, b: u64) {
+        push_obs(&mut self.obs_events, ObsEvent::Flight { kind, a, b });
+    }
+
+    /// Drains the pending observability events. The harness stamps them
+    /// with sim-time and feeds them to the simulation's recorder.
+    pub fn take_obs_events(&mut self) -> Vec<ObsEvent> {
+        std::mem::take(&mut self.obs_events)
     }
 
     /// This replica's id.
@@ -571,6 +631,14 @@ impl Replica {
                 *state = ReqState::Ordered(r.clone());
             }
         }
+        if self.cfg.obs_phases {
+            // The primary never receives its own pre-prepare, so it stamps
+            // both the seal and its own acceptance here.
+            for r in &batch.requests {
+                self.obs_phase(r.id, Phase::Batched);
+                self.obs_phase(r.id, Phase::PrePrepared);
+            }
+        }
         out.push(Action::Broadcast(Msg::PrePrepare(pp)));
         // n = 1 degenerate group: prepared immediately.
         self.try_prepare_transition(seq, out);
@@ -714,6 +782,11 @@ impl Replica {
         if was_idle && self.outstanding > 0 {
             out.push(Action::ViewTimer(TimerCmd::Restart));
         }
+        if self.cfg.obs_phases {
+            for r in &pp.batch.requests {
+                self.obs_phase(r.id, Phase::PrePrepared);
+            }
+        }
         let prep = PrepareMsg {
             view: pp.view,
             seq: pp.seq,
@@ -784,6 +857,19 @@ impl Replica {
         };
         slot.commit_sent = true;
         slot.commits.entry((v, d)).or_default().insert(self.id);
+        if cfg.obs_phases {
+            if let Some((_, _, batch)) = &slot.pre_prepare {
+                for r in &batch.requests {
+                    push_obs(
+                        &mut self.obs_events,
+                        ObsEvent::Phase {
+                            id: r.id,
+                            phase: Phase::Prepared,
+                        },
+                    );
+                }
+            }
+        }
         out.push(Action::Broadcast(Msg::Commit(CommitMsg {
             view: v,
             seq,
@@ -846,6 +932,11 @@ impl Replica {
                 }
             }
             if !fresh.is_empty() {
+                if self.cfg.obs_phases {
+                    for r in &fresh {
+                        self.obs_phase(r.id, Phase::Committed);
+                    }
+                }
                 out.push(Action::Execute {
                     seq: next,
                     batch: fresh,
@@ -949,6 +1040,7 @@ impl Replica {
         };
         self.page_counters.hashed += hashed;
         self.page_counters.dirty += dirty;
+        self.obs_flight(FlightKind::CheckpointTaken, seq.0, snapshot.len() as u64);
         let digest = checkpoint_digest(seq, &manifest, &info.executed, &info.exec_chain);
         self.rebuild_page_store(&snapshot, &manifest);
         self.last_hashed = Some((snapshot.clone(), manifest.clone()));
@@ -1061,6 +1153,7 @@ impl Replica {
         }
         self.fetch_target = Some(seq);
         self.recovering = true;
+        self.obs_flight(FlightKind::StateFetchStarted, self.stable_seq.0, 0);
         // A new solicitation round: pages whose holder stalled become
         // eligible for re-request from whoever answers this broadcast.
         if let Some(pf) = &mut self.page_fetch {
@@ -1083,6 +1176,7 @@ impl Replica {
         // suffix has replayed); a bare fetched checkpoint may be a whole
         // suffix behind the group's committed frontier.
         self.recovering = true;
+        self.obs_flight(FlightKind::StateFetchStarted, self.stable_seq.0, 0);
         // A new solicitation round re-opens stalled page requests (see
         // `PageFetch::requested`).
         if let Some(pf) = &mut self.page_fetch {
@@ -1167,6 +1261,7 @@ impl Replica {
         // Honest checkpoints sit on interval boundaries; anything else
         // could only grow the vote maps.
         if sr.seq.0 == 0 || !sr.seq.0.is_multiple_of(self.cfg.checkpoint_interval) {
+            self.obs_flight(FlightKind::StateRejected, sr.seq.0, 0);
             return;
         }
         if sr.seq < self.stable_seq {
@@ -1368,6 +1463,14 @@ impl Replica {
         }
         let Some(pf) = &mut self.page_fetch else {
             self.page_counters.rejected += 1; // unsolicited
+            push_obs(
+                &mut self.obs_events,
+                ObsEvent::Flight {
+                    kind: FlightKind::PageRejected,
+                    a: pr.first as u64,
+                    b: 0,
+                },
+            );
             return;
         };
         let in_range = (pr.first as usize)
@@ -1379,6 +1482,14 @@ impl Replica {
             || !in_range
         {
             self.page_counters.rejected += 1;
+            push_obs(
+                &mut self.obs_events,
+                ObsEvent::Flight {
+                    kind: FlightKind::PageRejected,
+                    a: pr.first as u64,
+                    b: 0,
+                },
+            );
             return;
         }
         for (k, bytes) in pr.pages.iter().enumerate() {
@@ -1389,6 +1500,14 @@ impl Replica {
             }
             if !pf.manifest.verify_page(i, bytes) {
                 self.page_counters.rejected += 1;
+                push_obs(
+                    &mut self.obs_events,
+                    ObsEvent::Flight {
+                        kind: FlightKind::PageRejected,
+                        a: i as u64,
+                        b: 0,
+                    },
+                );
                 // Re-ask another responder without waiting for a new round.
                 pf.requested[i] = false;
                 continue;
@@ -1555,6 +1674,7 @@ impl Replica {
         executed: ExecutedSet,
         out: &mut Vec<Action>,
     ) {
+        self.obs_flight(FlightKind::StateInstalled, seq.0, manifest.len() as u64);
         // Jump the protocol state to the verified checkpoint. Any live
         // speculation is void — `InstallState` replaces application state
         // wholesale, so no separate rollback action is needed — and reads
@@ -1708,6 +1828,7 @@ impl Replica {
         }
         self.stable_seq = seq;
         self.stable_digest = own;
+        self.obs_flight(FlightKind::CheckpointStable, seq.0, 0);
         self.log.gc_below(seq);
         self.own_checkpoints = self.own_checkpoints.split_off(&seq);
         self.checkpoint_votes = self.checkpoint_votes.split_off(&seq.next());
@@ -1757,6 +1878,7 @@ impl Replica {
     }
 
     fn start_view_change(&mut self, target: View, out: &mut Vec<Action>) {
+        self.obs_flight(FlightKind::ViewChangeStarted, self.view.0, target.0);
         self.in_view_change = true;
         self.vc_target = target;
         // The primary role is suspended until the new view installs.
@@ -1924,6 +2046,7 @@ impl Replica {
         self.last_spec = self.last_exec;
         self.spec_overlay.clear();
         self.view = v;
+        self.obs_flight(FlightKind::EnteredView, v.0, 0);
         self.in_view_change = false;
         self.vc_target = v;
         self.view_changes = self.view_changes.split_off(&v.next());

@@ -16,7 +16,8 @@ use pws_perpetual::{
     ReplicaConfig, Topology,
 };
 use pws_simnet::{
-    Context, LinkConfig, NetConfig, Node, NodeId, RunOutcome, SimDuration, SimTime, Simulation,
+    escape_json, fmt_f64, Context, LinkConfig, NetConfig, Node, NodeId, RunOutcome, SimDuration,
+    SimTime, Simulation, TraceLevel,
 };
 use pws_soap::engine::Engine;
 use pws_soap::MessageContext;
@@ -257,6 +258,8 @@ pub struct SystemBuilder {
     reply_retention: Option<usize>,
     speculative: bool,
     read_only_quorum: Option<usize>,
+    trace: TraceLevel,
+    flight_capacity: Option<usize>,
     services: Vec<ServiceSpec>,
     clients: Vec<ClientSpec>,
 }
@@ -290,9 +293,34 @@ impl SystemBuilder {
             reply_retention: None,
             speculative: false,
             read_only_quorum: None,
+            trace: TraceLevel::Off,
+            flight_capacity: None,
             services: Vec::new(),
             clients: Vec::new(),
         }
+    }
+
+    /// Sets the observability trace level for the deployment.
+    ///
+    /// At [`TraceLevel::Phases`] every client-visible request gets a
+    /// lifecycle span (queued → … → replied) with per-phase latency
+    /// histograms; [`TraceLevel::Full`] additionally keeps every
+    /// per-sighting event for chrome://tracing export
+    /// ([`System::export_trace_json`]). Tracing is a pure side channel:
+    /// enabling it at any level leaves the simulation's event schedule —
+    /// and therefore its trace digest — byte-identical.
+    pub fn tracing(&mut self, level: TraceLevel) -> &mut Self {
+        self.trace = level;
+        self
+    }
+
+    /// Overrides the per-node flight-recorder ring capacity (default
+    /// [`pws_simnet::FlightRing`]'s 256). The flight recorder is always
+    /// on regardless of the trace level — its events are rare protocol
+    /// milestones and the ring bounded.
+    pub fn flight_capacity(&mut self, cap: usize) -> &mut Self {
+        self.flight_capacity = Some(cap.max(1));
+        self
     }
 
     /// Overrides the crypto/transport cost model.
@@ -665,6 +693,10 @@ impl SystemBuilder {
             Some(net) => Simulation::with_net(self.seed, net),
             None => Simulation::with_net(self.seed, default_ws_net()),
         };
+        sim.set_trace_level(self.trace);
+        if let Some(cap) = self.flight_capacity {
+            sim.obs_mut().set_flight_capacity(cap);
+        }
         let mut topo = Topology::new();
         let mut uris = UriMap::default();
         let mut groups_by_name = HashMap::new();
@@ -755,6 +787,7 @@ impl SystemBuilder {
                     }
                     cfg.speculative = self.speculative;
                     cfg.read_only_quorum = self.read_only_quorum;
+                    cfg.obs_phases = self.trace.spans_enabled();
                     cfg.fault = spec.faults.get(&(shard, idx)).copied().unwrap_or_default();
                     let service: Box<dyn Service> = match &mut spec.factory {
                         Factory::Service(f) => f(idx),
@@ -962,6 +995,86 @@ impl System {
     /// The metrics registry.
     pub fn metrics(&self) -> &pws_simnet::metrics::Metrics {
         self.sim.metrics()
+    }
+
+    /// Renders every node's flight-recorder ring as a readable timeline
+    /// (view changes, checkpoint boundaries, state-transfer verdicts,
+    /// rejections). Always available — the flight recorder runs regardless
+    /// of the trace level.
+    pub fn dump_flight_recorder(&self) -> String {
+        self.sim.obs().dump_all_flight()
+    }
+
+    /// Exports the recorded request-lifecycle spans as
+    /// chrome://tracing-compatible JSON (load it at `chrome://tracing` or
+    /// <https://ui.perfetto.dev>). Meaningful content requires
+    /// [`SystemBuilder::tracing`] at [`TraceLevel::Phases`] or above.
+    pub fn export_trace_json(&self) -> String {
+        self.sim.obs().export_trace_json()
+    }
+
+    /// Exports a metrics snapshot — every counter, every histogram's
+    /// summary statistics (count/mean/p50/p95/p99/max), and the span
+    /// open/close totals — as a JSON document.
+    pub fn export_obs_json(&self) -> String {
+        let m = self.sim.metrics();
+        let obs = self.sim.obs();
+        let mut out = String::from("{\n\"counters\": {");
+        let mut first = true;
+        for (name, v) in m.counters() {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("\n  \"{}\": {v}", escape_json(name)));
+        }
+        out.push_str("\n},\n\"histograms\": {");
+        let mut first = true;
+        for (name, h) in m.histograms() {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "\n  \"{}\": {{\"count\": {}, \"mean\": {}, \"p50\": {}, \"p95\": {}, \
+                 \"p99\": {}, \"min\": {}, \"max\": {}}}",
+                escape_json(name),
+                h.count(),
+                fmt_f64(h.mean()),
+                fmt_f64(h.p50()),
+                fmt_f64(h.p95()),
+                fmt_f64(h.p99()),
+                fmt_f64(h.min()),
+                fmt_f64(h.max()),
+            ));
+        }
+        out.push_str(&format!(
+            "\n}},\n\"spansOpened\": {},\n\"spansClosed\": {}\n}}\n",
+            obs.spans_opened(),
+            obs.spans_closed()
+        ));
+        out
+    }
+
+    /// Writes the chrome-trace and metrics-snapshot exports to
+    /// `target/figures/TRACE_<name>.json` and
+    /// `target/figures/OBS_<name>.json`, returning the two paths.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors from creating the directory or writing
+    /// the files.
+    pub fn write_obs_artifacts(
+        &self,
+        name: &str,
+    ) -> std::io::Result<(std::path::PathBuf, std::path::PathBuf)> {
+        let dir = std::path::Path::new("target/figures");
+        std::fs::create_dir_all(dir)?;
+        let trace = dir.join(format!("TRACE_{name}.json"));
+        std::fs::write(&trace, self.export_trace_json())?;
+        let snap = dir.join(format!("OBS_{name}.json"));
+        std::fs::write(&snap, self.export_obs_json())?;
+        Ok((trace, snap))
     }
 
     /// Replies recorded by a scripted client.
@@ -1408,7 +1521,10 @@ impl Node for ScriptedClient {
                     }
                 }
                 if let Some(sent_at) = self.send_times.remove(&call.0) {
-                    self.latencies.push(ctx.now() - sent_at);
+                    let lat = ctx.now() - sent_at;
+                    ctx.metrics()
+                        .record_hist("client.latency_ms", lat.as_secs_f64() * 1e3);
+                    self.latencies.push(lat);
                 }
                 self.replies.push(mc);
                 self.last_complete = Some(ctx.now());

@@ -141,6 +141,22 @@ mod origin {
     pub const READ_MASK: u64 = 0xffff_ff00_0000_0000;
 }
 
+/// Whether a CLBFT request-id origin belongs to a client-visible request
+/// family (external calls and fast-path reads). Only these open lifecycle
+/// spans — internal agreement records (results, aborts, time votes) would
+/// otherwise open spans that never close.
+pub(crate) fn is_traced_origin(origin: u64) -> bool {
+    (origin >> 32) == 0x4558_5400 || (origin & origin::READ_MASK) == origin::read(0)
+}
+
+/// The span key `(origin, counter)` of an external request from `caller`
+/// with per-target dedup sequence `target_seq` — the same id
+/// [`Event::request_id`] assigns, exposed so the driver can stamp span
+/// phases without re-encoding the event.
+pub(crate) fn external_span_id(caller: GroupId, target_seq: u64) -> (u64, u64) {
+    (origin::external(caller.0), target_seq)
+}
+
 /// Marker prefix for configuration-record payloads (transaction decisions,
 /// reshard steps, epoch flips). A caller that wraps its application payload
 /// with [`config_payload`] gets the whole event ordered as a CLBFT *config

@@ -28,13 +28,14 @@ use crate::group::{GroupId, Topology};
 use crate::messages::{decode_pmsg, encode_pmsg, reply_digest, request_tag, PMsg};
 use bytes::Bytes;
 use pws_clbft::{
-    wire as bft_wire, Action, Config, ExecutedSet, Msg, Replica as BftReplica, ReplicaId,
+    wire as bft_wire, Action, Config, ExecutedSet, Msg, ObsEvent, Replica as BftReplica, ReplicaId,
     RequestId as BftRequestId, Seq, TimerCmd,
 };
 use pws_crypto::auth::{verify_bundle, BundleShare};
 use pws_crypto::keys::KeyTable;
 use pws_crypto::sha256::Digest32;
-use pws_simnet::{Context, Node, NodeId, SimDuration, TimerId};
+use pws_simnet::metrics::BatchKeys;
+use pws_simnet::{Context, FlightKind, Node, NodeId, Phase, SimDuration, TimerId};
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
@@ -142,6 +143,10 @@ pub struct ReplicaConfig {
     /// default `2f_t + 1` (capped at `n_t`); experiments may lower it to
     /// probe the latency/consistency trade-off.
     pub read_only_quorum: Option<usize>,
+    /// Collect per-request lifecycle phase events from the voter (see
+    /// [`pws_clbft::Config::obs_phases`]). Set by the harness when tracing
+    /// is enabled; off by default. Purely observational.
+    pub obs_phases: bool,
     /// Fault injection mode.
     pub fault: FaultMode,
 }
@@ -167,6 +172,7 @@ impl ReplicaConfig {
             reply_retention: DEFAULT_REPLY_RETENTION,
             speculative: false,
             read_only_quorum: None,
+            obs_phases: false,
             fault: FaultMode::Correct,
         }
     }
@@ -180,6 +186,7 @@ impl ReplicaConfig {
         bft_cfg.watermark_window = self.watermark_window.max(1);
         bft_cfg.page_size = self.page_size.max(1);
         bft_cfg.speculative = self.speculative;
+        bft_cfg.obs_phases = self.obs_phases;
         bft_cfg
     }
 }
@@ -343,9 +350,16 @@ pub struct PerpetualReplica {
     stale_timer: Option<TimerId>,
     /// Fires every `n × recovery_interval` for proactive recovery.
     recovery_timer: Option<TimerId>,
-    /// Precomputed `clbft.exec.<group>` metric key (the per-batch path is
-    /// hot; no per-batch formatting).
-    exec_metric_key: String,
+    /// Precomputed `clbft.exec.*` metric keys (the per-batch path is hot;
+    /// no per-batch formatting).
+    exec_keys: BatchKeys,
+    /// Precomputed per-group `clbft.exec.<group>.*` metric keys.
+    exec_group_keys: BatchKeys,
+    /// Span routes for deferred replies: `(caller, req_no)` → the span key
+    /// `(origin, counter)` of the delivered external request. Populated at
+    /// delivery only while tracing is on, consumed (removed) when the
+    /// reply is produced, and bounded per caller like the reply cache.
+    traced_replies: HashMap<GroupId, BTreeMap<u64, (u64, u64)>>,
 }
 
 impl std::fmt::Debug for PerpetualReplica {
@@ -399,7 +413,9 @@ impl PerpetualReplica {
             retries: HashMap::new(),
             stale_timer: None,
             recovery_timer: None,
-            exec_metric_key: format!("clbft.exec.{}", cfg.group),
+            exec_keys: BatchKeys::new("clbft.exec"),
+            exec_group_keys: BatchKeys::new(&format!("clbft.exec.{}", cfg.group)),
+            traced_replies: HashMap::new(),
             cfg,
         }
     }
@@ -516,6 +532,11 @@ impl PerpetualReplica {
     }
 
     fn process_actions(&mut self, actions: Vec<Action>, ctx: &mut Context<'_>) {
+        // Drain voter-side phase events *before* acting on the actions:
+        // agreement phases (e.g. `committed`) must be stamped no later than
+        // the execution/reply phases the actions below will record, and
+        // `ctx.now()` advances with `spend` during action handling.
+        self.drain_obs_events(ctx);
         for a in actions {
             match a {
                 Action::Send(to, mut msg) => {
@@ -600,6 +621,25 @@ impl PerpetualReplica {
             }
         }
         self.drain_page_metrics(ctx);
+        self.drain_obs_events(ctx);
+    }
+
+    /// Drains the voter's buffered observability events, stamping each with
+    /// the current sim-time (the sans-io voter owns no clock). Only
+    /// client-visible request families open lifecycle spans — internal
+    /// agreement records (results, aborts, time votes) are filtered here by
+    /// origin, so every span the recorder opens can actually close.
+    fn drain_obs_events(&mut self, ctx: &mut Context<'_>) {
+        for ev in self.bft.take_obs_events() {
+            match ev {
+                ObsEvent::Phase { id, phase } => {
+                    if crate::event::is_traced_origin(id.origin) {
+                        ctx.obs_phase(self.cfg.group.0, id.origin, id.counter, phase);
+                    }
+                }
+                ObsEvent::Flight { kind, a, b } => ctx.obs_flight(kind, a, b),
+            }
+        }
     }
 
     /// Drains the voter's page counters into the `clbft.pages.*` metrics
@@ -627,9 +667,10 @@ impl PerpetualReplica {
     /// globally and per group (`clbft.exec.<group>.*`), so topology sweeps
     /// can spot straggler groups instead of averaging them away.
     fn handle_ordered_batch(&mut self, batch: Vec<pws_clbft::Request>, ctx: &mut Context<'_>) {
-        ctx.metrics().record_batch("clbft.exec", batch.len());
         ctx.metrics()
-            .record_batch(&self.exec_metric_key, batch.len());
+            .record_batch_with(&self.exec_keys, batch.len());
+        ctx.metrics()
+            .record_batch_with(&self.exec_group_keys, batch.len());
         ctx.spend(self.cfg.cost.batch_cost(batch.len()));
         for request in batch {
             self.handle_ordered(request.payload, ctx);
@@ -681,6 +722,11 @@ impl PerpetualReplica {
             self.handle_ordered(request.payload, ctx);
         }
         let bufs = self.spec_building.take().expect("speculation mode held");
+        for id in &ids {
+            if crate::event::is_traced_origin(id.origin) {
+                ctx.obs_phase(self.cfg.group.0, id.origin, id.counter, Phase::SpecExecuted);
+            }
+        }
         self.spec_queue.push_back(SpecEntry {
             seq,
             ids,
@@ -696,8 +742,9 @@ impl PerpetualReplica {
     /// operations. The executor is already in the post-batch state.
     fn finalize_speculation(&mut self, batch_len: usize, ctx: &mut Context<'_>) {
         let entry = self.spec_queue.pop_front().expect("matched entry");
-        ctx.metrics().record_batch("clbft.exec", batch_len);
-        ctx.metrics().record_batch(&self.exec_metric_key, batch_len);
+        ctx.metrics().record_batch_with(&self.exec_keys, batch_len);
+        ctx.metrics()
+            .record_batch_with(&self.exec_group_keys, batch_len);
         for (to, bytes, extra_macs) in entry.bufs.sends {
             ctx.spend(self.cfg.cost.send_cost(bytes.len(), extra_macs));
             ctx.metrics().incr("perpetual.messages_sent");
@@ -734,8 +781,14 @@ impl PerpetualReplica {
         };
         let pre_state = front.pre_state.clone();
         let responder_saved = front.responder_saved.clone();
+        let from_seq = front.seq.0;
         let voided = self.spec_queue.len();
+        let voided_ids = self.take_voided_span_ids(ctx);
         self.spec_queue.clear();
+        ctx.obs_flight(FlightKind::SpecRolledBack, from_seq, 0);
+        for (origin, counter) in voided_ids {
+            ctx.obs_phase(self.cfg.group.0, origin, counter, Phase::RolledBack);
+        }
         // `restore_snapshot` also re-arms retry timers for restored
         // unresolved calls, healing any timer a speculative resolution
         // would have raced.
@@ -749,10 +802,32 @@ impl PerpetualReplica {
     /// Drops the speculative queue without restoring state, for paths that
     /// overwrite the state wholesale right after (state install, wipe).
     fn discard_speculation(&mut self, ctx: &mut Context<'_>) {
+        if let Some(front) = self.spec_queue.front() {
+            ctx.obs_flight(FlightKind::SpecRolledBack, front.seq.0, 0);
+        }
         for _ in 0..self.spec_queue.len() {
             ctx.metrics().incr("clbft.spec.rolled_back");
         }
+        let voided_ids = self.take_voided_span_ids(ctx);
         self.spec_queue.clear();
+        for (origin, counter) in voided_ids {
+            ctx.obs_phase(self.cfg.group.0, origin, counter, Phase::RolledBack);
+        }
+    }
+
+    /// The traced span keys of every request in the speculative queue, for
+    /// stamping [`Phase::RolledBack`] after the queue is voided. Empty
+    /// (allocation-free) while tracing is off.
+    fn take_voided_span_ids(&self, ctx: &Context<'_>) -> Vec<(u64, u64)> {
+        if !ctx.trace_level().spans_enabled() {
+            return Vec::new();
+        }
+        self.spec_queue
+            .iter()
+            .flat_map(|e| e.ids.iter())
+            .filter(|id| crate::event::is_traced_origin(id.origin))
+            .map(|id| (id.origin, id.counter))
+            .collect()
     }
 
     // ------------------------------------------- checkpointing & recovery
@@ -899,6 +974,7 @@ impl PerpetualReplica {
     /// corrupted disk page simply misses the manifest and is re-fetched).
     fn wipe(&mut self, ctx: &mut Context<'_>, cold: bool) {
         ctx.metrics().incr("clbft.recovery.wipes");
+        ctx.obs_flight(FlightKind::Wiped, cold as u64, 0);
         self.discard_speculation(ctx);
         self.spec_building = None;
         self.ro_replies.clear();
@@ -921,6 +997,7 @@ impl PerpetualReplica {
         self.submitted_results.clear();
         self.resolved_tokens.clear();
         self.responder_state.clear();
+        self.traced_replies.clear();
         self.next_call = 0;
         self.next_target_seq.clear();
         self.next_token = 0;
@@ -950,6 +1027,7 @@ impl PerpetualReplica {
     /// within `n` windows.
     fn proactive_recover(&mut self, ctx: &mut Context<'_>) {
         ctx.metrics().incr("clbft.recovery.proactive_restarts");
+        ctx.obs_flight(FlightKind::ProactiveRestart, 0, 0);
         // Warm restart: the on-disk page cache survives (every page is
         // re-verified against the next certified manifest before reuse, so
         // nothing from before the reboot is trusted), keeping proactive
@@ -1045,6 +1123,14 @@ impl PerpetualReplica {
 
     fn submit_event(&mut self, ev: &Event, ctx: &mut Context<'_>) {
         let req = ev.to_request();
+        if crate::event::is_traced_origin(req.id.origin) {
+            ctx.obs_phase(
+                self.cfg.group.0,
+                req.id.origin,
+                req.id.counter,
+                Phase::Queued,
+            );
+        }
         self.validated.insert(req.digest());
         self.drain_gate(ctx);
         let actions = self.bft.on_request(req);
@@ -1241,8 +1327,10 @@ impl PerpetualReplica {
             // while speculation is outstanding, but the executor holding
             // uncommitted state is disqualifying on its own.
             ctx.metrics().incr("clbft.ro.unservable");
+            ctx.obs_flight(FlightKind::RoRefused, 0, 0);
             return;
         }
+        let rid = req.id;
         let scratch = self.executor.snapshot();
         let handle = RequestHandle { caller, req_no };
         let mut out = AppOutput::new(self.next_call, self.next_token);
@@ -1267,6 +1355,7 @@ impl PerpetualReplica {
         }
         let Some(mut payload) = reply.filter(|_| clean) else {
             ctx.metrics().incr("clbft.ro.unservable");
+            ctx.obs_flight(FlightKind::RoRefused, 0, 0);
             return;
         };
         ctx.spend(self.cfg.cost.ro_serve);
@@ -1291,6 +1380,7 @@ impl PerpetualReplica {
         );
         let share = BundleShare::build(&mut self.keys, me, &tag, digest, &caller_principals);
         ctx.metrics().incr("clbft.ro.served");
+        ctx.obs_phase(self.cfg.group.0, rid.origin, rid.counter, Phase::RoServed);
         self.send_pmsg(
             from,
             &PMsg::ReadReply {
@@ -1530,6 +1620,19 @@ impl PerpetualReplica {
                 self.candidates.remove(&key);
                 self.record_reply_route(caller, req_no, responder.min(self.n - 1));
                 ctx.metrics().incr("perpetual.requests_delivered");
+                if ctx.trace_level().spans_enabled() {
+                    let rid = crate::event::external_span_id(caller, target_seq);
+                    ctx.obs_phase(self.cfg.group.0, rid.0, rid.1, Phase::Executed);
+                    // The reply may be produced now (inline service) or much
+                    // later (after an outcall round-trip); either way the
+                    // route back to this span survives until then.
+                    insert_bounded(
+                        self.traced_replies.entry(caller).or_default(),
+                        req_no,
+                        rid,
+                        self.cfg.reply_retention,
+                    );
+                }
                 self.deliver(
                     AppEvent::Request {
                         handle: RequestHandle { caller, req_no },
@@ -1656,8 +1759,19 @@ impl PerpetualReplica {
         let (nc, nt) = out.counters();
         self.next_call = nc;
         self.next_token = nt;
+        let (mut txn_decided, mut reshard_step) = (false, false);
         for name in out.take_metrics() {
+            txn_decided |= name == "clbft.txn.committed" || name == "clbft.txn.aborted";
+            reshard_step |= name.starts_with("clbft.reshard.");
             ctx.metrics().incr(&name);
+        }
+        // At most one flight record per delivered event: the ring is for
+        // rare protocol milestones, not per-key accounting.
+        if txn_decided {
+            ctx.obs_flight(FlightKind::TxnRecord, 0, 0);
+        }
+        if reshard_step {
+            ctx.obs_flight(FlightKind::ReshardRecord, 0, 0);
         }
         let cmds = std::mem::take(&mut out.cmds);
         for cmd in cmds {
@@ -1779,6 +1893,13 @@ impl PerpetualReplica {
                     self.cfg.reply_retention,
                 );
                 ctx.metrics().incr("perpetual.replies_produced");
+                if let Some((origin, counter)) = self
+                    .traced_replies
+                    .get_mut(&to.caller)
+                    .and_then(|per| per.remove(&to.req_no))
+                {
+                    ctx.obs_phase(self.cfg.group.0, origin, counter, Phase::Replied);
+                }
                 self.send_share(to.caller, to.req_no, responder, payload, ctx);
             }
             AppCmd::QueryTime { token } => {

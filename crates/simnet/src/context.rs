@@ -6,6 +6,7 @@ use crate::rng::DetRng;
 use crate::sim::SimState;
 use crate::time::{SimDuration, SimTime};
 use bytes::Bytes;
+use pws_obs::{FlightKind, Phase, SpanKey, TraceLevel, TOTAL_LATENCY_KEY};
 use std::fmt;
 
 /// Identifies a timer set with [`Context::set_timer`], scoped to one node.
@@ -87,6 +88,49 @@ impl<'a> Context<'a> {
     /// Requests the simulation to stop after this handler returns.
     pub fn stop(&mut self) {
         self.state.stop = true;
+    }
+
+    /// The simulation's request-lifecycle tracing level. Protocol layers
+    /// check this before assembling span identities so the disabled path
+    /// costs one branch.
+    pub fn trace_level(&self) -> TraceLevel {
+        self.state.obs.level()
+    }
+
+    /// Records a request-lifecycle phase sighting for the span identified
+    /// by `(group, origin, counter)`, stamped with the current sim-time.
+    /// First sightings feed the per-phase latency histograms
+    /// (`obs.phase.*_ms`) and, on a terminal phase, the whole-span
+    /// histogram (`obs.lat.total_ms`). No-op when tracing is off.
+    pub fn obs_phase(&mut self, group: u32, origin: u64, counter: u64, phase: Phase) {
+        if !self.state.obs.level().spans_enabled() {
+            return;
+        }
+        let at_us = (self.state.now + self.elapsed).as_micros();
+        let key = SpanKey {
+            group,
+            origin,
+            counter,
+        };
+        let deltas = self
+            .state
+            .obs
+            .phase(key, phase, at_us, self.node.raw() as u64);
+        if let Some(ms) = deltas.phase_ms {
+            self.state.metrics.record_hist(phase.metric_key(), ms);
+        }
+        if let Some(ms) = deltas.total_ms {
+            self.state.metrics.record_hist(TOTAL_LATENCY_KEY, ms);
+        }
+    }
+
+    /// Records a protocol event into this node's flight ring. Always on
+    /// (flight events are rare and the ring bounded).
+    pub fn obs_flight(&mut self, kind: FlightKind, a: u64, b: u64) {
+        let at_us = (self.state.now + self.elapsed).as_micros();
+        self.state
+            .obs
+            .flight(self.node.raw() as u64, at_us, kind, a, b);
     }
 }
 

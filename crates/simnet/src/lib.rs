@@ -76,3 +76,10 @@ pub use node::{Node, NodeId};
 pub use rng::{splitmix64, DetRng};
 pub use sim::{RunOutcome, Simulation};
 pub use time::{SimDuration, SimTime};
+
+// Observability vocabulary, re-exported so protocol crates and tests can
+// speak it without depending on `pws-obs` directly.
+pub use pws_obs::{
+    escape_json, fmt_f64, FlightEvent, FlightKind, FlightRing, Histogram, Phase, Recorder, Span,
+    SpanKey, TraceLevel,
+};

@@ -1,13 +1,47 @@
 //! Lightweight metrics used by tests and the benchmark harnesses.
 
 use crate::time::SimDuration;
+use pws_obs::Histogram;
 use std::collections::BTreeMap;
 
-/// A registry of named counters and sample histograms.
+/// A registry of named counters, raw sample series, and fixed-bucket
+/// histograms.
+///
+/// Raw samples ([`Metrics::sample`]) keep every value and are right for
+/// short series a test wants to inspect exactly. Histograms
+/// ([`Metrics::record_hist`]) keep O(1) memory per series with a
+/// deterministic log-bucket layout and are right for hot-path latency
+/// series that may see millions of values.
 #[derive(Debug, Default)]
 pub struct Metrics {
     counters: BTreeMap<String, u64>,
     samples: BTreeMap<String, Vec<f64>>,
+    hists: BTreeMap<String, Histogram>,
+}
+
+/// Pre-formatted metric keys for one [`Metrics::record_batch_with`] prefix.
+///
+/// `record_batch` formats three key strings per call; on hot paths
+/// (per-ordered-batch) callers intern a `BatchKeys` once instead.
+#[derive(Debug, Clone)]
+pub struct BatchKeys {
+    /// `<prefix>.batches` counter key.
+    pub batches: String,
+    /// `<prefix>.requests` counter key.
+    pub requests: String,
+    /// `<prefix>.occupancy` histogram key.
+    pub occupancy: String,
+}
+
+impl BatchKeys {
+    /// Interns the three keys for `prefix`.
+    pub fn new(prefix: &str) -> Self {
+        BatchKeys {
+            batches: format!("{prefix}.batches"),
+            requests: format!("{prefix}.requests"),
+            occupancy: format!("{prefix}.occupancy"),
+        }
+    }
 }
 
 impl Metrics {
@@ -41,15 +75,31 @@ impl Metrics {
         self.sample(name, d.as_micros() as f64 / 1000.0);
     }
 
-    /// Summary statistics of the samples recorded under `name`.
-    pub fn summary(&self, name: &str) -> Option<Summary> {
-        let xs = self.samples.get(name)?;
-        Summary::of(xs)
+    /// Records `v` into the histogram `name`, creating it if absent.
+    pub fn record_hist(&mut self, name: &str, v: f64) {
+        self.hists.entry(name.to_owned()).or_default().record(v);
     }
 
-    /// Number of samples recorded under `name`.
+    /// The histogram recorded under `name`, if any.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.hists.get(name)
+    }
+
+    /// Summary statistics of the series recorded under `name`: raw samples
+    /// if any exist, otherwise a histogram-backed summary (exact count /
+    /// mean / min / max; bucket-approximate percentiles).
+    pub fn summary(&self, name: &str) -> Option<Summary> {
+        if let Some(xs) = self.samples.get(name) {
+            return Summary::of(xs);
+        }
+        self.hists.get(name).and_then(Summary::of_histogram)
+    }
+
+    /// Number of values recorded under `name` (raw samples plus histogram
+    /// entries).
     pub fn sample_count(&self, name: &str) -> usize {
         self.samples.get(name).map_or(0, Vec::len)
+            + self.hists.get(name).map_or(0, |h| h.count() as usize)
     }
 
     /// Iterates over `(name, value)` for all counters, sorted by name.
@@ -57,23 +107,41 @@ impl Metrics {
         self.counters.iter().map(|(k, v)| (k.as_str(), *v))
     }
 
-    /// Clears every counter and sample (used between benchmark phases so a
-    /// warm-up does not pollute measurements).
+    /// Iterates over `(name, values)` for all raw sample series, sorted by
+    /// name.
+    pub fn samples(&self) -> impl Iterator<Item = (&str, &[f64])> {
+        self.samples.iter().map(|(k, v)| (k.as_str(), v.as_slice()))
+    }
+
+    /// Iterates over `(name, histogram)` for all histograms, sorted by name.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.hists.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Clears every counter, sample, and histogram (used between benchmark
+    /// phases so a warm-up does not pollute measurements).
     pub fn reset(&mut self) {
         self.counters.clear();
         self.samples.clear();
+        self.hists.clear();
     }
 
     /// Records one ordered batch of `len` items under `prefix`: bumps
-    /// `<prefix>.batches`, adds `len` to `<prefix>.requests`, and samples
-    /// the occupancy under `<prefix>.occupancy`. Benches and tests use this
-    /// to assert batching actually engaged (via
+    /// `<prefix>.batches`, adds `len` to `<prefix>.requests`, and records
+    /// the occupancy into the `<prefix>.occupancy` histogram. Benches and
+    /// tests use this to assert batching actually engaged (via
     /// [`Metrics::mean_batch_occupancy`]) instead of inferring it from
     /// wall-clock.
     pub fn record_batch(&mut self, prefix: &str, len: usize) {
-        self.add(&format!("{prefix}.batches"), 1);
-        self.add(&format!("{prefix}.requests"), len as u64);
-        self.sample(&format!("{prefix}.occupancy"), len as f64);
+        self.record_batch_with(&BatchKeys::new(prefix), len);
+    }
+
+    /// Like [`Metrics::record_batch`] but with pre-interned keys, so the
+    /// per-batch hot path does not re-`format!` three strings.
+    pub fn record_batch_with(&mut self, keys: &BatchKeys, len: usize) {
+        self.add(&keys.batches, 1);
+        self.add(&keys.requests, len as u64);
+        self.record_hist(&keys.occupancy, len as f64);
     }
 
     /// Number of batches recorded under `prefix` via
@@ -132,6 +200,23 @@ impl Summary {
             p50: pct(0.50),
             p95: pct(0.95),
             p99: pct(0.99),
+        })
+    }
+
+    /// Computes a summary from a histogram; returns `None` if empty. Count,
+    /// mean, min, and max are exact; percentiles are bucket-approximate.
+    pub fn of_histogram(h: &Histogram) -> Option<Summary> {
+        if h.is_empty() {
+            return None;
+        }
+        Some(Summary {
+            count: h.count() as usize,
+            mean: h.mean(),
+            min: h.min(),
+            max: h.max(),
+            p50: h.p50(),
+            p95: h.p95(),
+            p99: h.p99(),
         })
     }
 }
@@ -201,8 +286,45 @@ mod tests {
         let mut m = Metrics::new();
         m.incr("a");
         m.sample("b", 1.0);
+        m.record_hist("c", 1.0);
         m.reset();
         assert_eq!(m.counter("a"), 0);
         assert_eq!(m.sample_count("b"), 0);
+        assert!(m.histogram("c").is_none());
+    }
+
+    #[test]
+    fn histograms_summarize_and_iterate() {
+        let mut m = Metrics::new();
+        for i in 1..=100 {
+            m.record_hist("lat", i as f64);
+        }
+        let s = m.summary("lat").unwrap();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        assert!((s.mean - 50.5).abs() < 1e-9);
+        // Bucket-approximate percentiles: within the ~6% bucket width.
+        assert!((s.p50 - 50.0).abs() <= 4.0, "p50={}", s.p50);
+        assert!((s.p95 - 95.0).abs() <= 7.0, "p95={}", s.p95);
+        assert_eq!(m.sample_count("lat"), 100);
+        let names: Vec<&str> = m.histograms().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["lat"]);
+        assert!(m.samples().next().is_none());
+    }
+
+    #[test]
+    fn batch_keys_match_record_batch() {
+        let mut a = Metrics::new();
+        let mut b = Metrics::new();
+        let keys = BatchKeys::new("clbft");
+        a.record_batch("clbft", 5);
+        b.record_batch_with(&keys, 5);
+        assert_eq!(a.batches("clbft"), b.batches("clbft"));
+        assert_eq!(a.counter("clbft.requests"), b.counter("clbft.requests"));
+        assert_eq!(
+            a.summary("clbft.occupancy").unwrap(),
+            b.summary("clbft.occupancy").unwrap()
+        );
     }
 }

@@ -9,6 +9,7 @@ use crate::rng::DetRng;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::TraceDigest;
 use bytes::Bytes;
+use pws_obs::{FlightKind, Recorder, TraceLevel};
 use std::any::Any;
 use std::collections::HashSet;
 
@@ -49,6 +50,9 @@ pub(crate) struct SimState {
     pub stop: bool,
     master_seed: u64,
     pub trace: TraceDigest,
+    /// Observability side channel (spans + flight recorder). Never consulted
+    /// by the scheduler: recording cannot perturb the trace digest.
+    pub obs: Recorder,
 }
 
 impl SimState {
@@ -95,6 +99,8 @@ pub struct Simulation {
     event_budget: u64,
     /// Set once a node handler panics; poisons all subsequent runs.
     panicked: Option<(NodeId, String)>,
+    /// The panicking node's flight-recorder dump, captured at panic time.
+    flight_dump: Option<String>,
 }
 
 impl std::fmt::Debug for Simulation {
@@ -131,10 +137,39 @@ impl Simulation {
                 stop: false,
                 master_seed,
                 trace: TraceDigest::new(),
+                obs: Recorder::new(),
             },
             event_budget: u64::MAX,
             panicked: None,
+            flight_dump: None,
         }
+    }
+
+    /// Sets the request-lifecycle tracing level (default
+    /// [`TraceLevel::Off`]). The flight recorder is always on.
+    pub fn set_trace_level(&mut self, level: TraceLevel) {
+        self.state.obs.set_level(level);
+    }
+
+    /// The current tracing level.
+    pub fn trace_level(&self) -> TraceLevel {
+        self.state.obs.level()
+    }
+
+    /// The observability recorder (spans, per-phase timings, flight rings).
+    pub fn obs(&self) -> &Recorder {
+        &self.state.obs
+    }
+
+    /// Mutable access to the observability recorder (e.g. to resize flight
+    /// rings or export traces).
+    pub fn obs_mut(&mut self) -> &mut Recorder {
+        &mut self.state.obs
+    }
+
+    /// The flight-recorder dump captured when a node panicked, if any.
+    pub fn flight_dump(&self) -> Option<&str> {
+        self.flight_dump.as_deref()
     }
 
     /// The payload of the node panic that poisoned this simulation, if any.
@@ -303,6 +338,16 @@ impl Simulation {
                     .or_else(|| payload.downcast_ref::<String>().cloned())
                     .unwrap_or_else(|| "non-string panic payload".to_owned());
                 drop(node); // the node's state is broken; leave the slot empty
+                            // Black-box moment: record the panic in the node's flight
+                            // ring and capture its dump so the post-mortem has the
+                            // replica's last protocol events alongside the payload.
+                let at_us = (ev.at + spent).as_micros();
+                self.state
+                    .obs
+                    .flight(to.0 as u64, at_us, FlightKind::NodePanic, 0, 0);
+                let dump = self.state.obs.dump_flight(to.0 as u64).unwrap_or_default();
+                eprintln!("node {} panicked: {msg}\n{dump}", to.0);
+                self.flight_dump = Some(dump);
                 self.panicked = Some((to, msg));
                 return RunOutcome::NodePanicked { node: to };
             }

@@ -6,6 +6,8 @@
 //! PWS_QUICKSTART_GROUPS=12 cargo run --release --example quickstart    # scale smoke
 //! PWS_QUICKSTART_SHARDS=4 cargo run --release --example quickstart     # sharded topology
 //! PWS_QUICKSTART_ADD_SHARD=1 cargo run --release --example quickstart  # live reshard
+//! PWS_TRACE=1 cargo run --example quickstart                           # phase tracing
+//! PWS_TRACE=full cargo run --example quickstart                        # chrome-trace export
 //! ```
 //!
 //! `PWS_QUICKSTART_GROUPS=G` deploys G independent counter groups (4
@@ -19,6 +21,14 @@
 //! pipeline, and throughput scales *out* (see
 //! `cargo bench --bench sharded_throughput`).
 //!
+//! `PWS_TRACE=1` (or `phases`) turns on request-lifecycle tracing: every
+//! call is tracked `queued → batched → pre-prepared → prepared → committed
+//! → executed → replied` and a per-phase latency breakdown is printed.
+//! `PWS_TRACE=full` additionally writes `target/figures/TRACE_quickstart.json`
+//! (load it in chrome://tracing or <https://ui.perfetto.dev>) and
+//! `OBS_quickstart.json`. Tracing never perturbs the run: the same-seed
+//! trace digest is byte-identical at every level.
+//!
 //! `PWS_QUICKSTART_ADD_SHARD=1` runs the elastic variant: a 2-shard
 //! transactional counter under a 600-request load grows to 3 shards
 //! *mid-run* (`System::add_shard`) — the epoch flips through an ordered
@@ -27,7 +37,8 @@
 //! retry. Zero client-visible errors.
 
 use perpetual_ws::{
-    PassiveService, PassiveUtils, Poll, Service, ServiceCtx, SystemBuilder, TxnService, WsEvent,
+    PassiveService, PassiveUtils, Phase, Poll, Service, ServiceCtx, SystemBuilder, TraceLevel,
+    TxnService, WsEvent,
 };
 use pws_simnet::{SimDuration, SimTime};
 use pws_soap::{MessageContext, XmlNode};
@@ -61,11 +72,16 @@ fn main() {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(1);
+    let trace = std::env::var("PWS_TRACE")
+        .ok()
+        .and_then(|v| TraceLevel::parse(&v))
+        .unwrap_or(TraceLevel::Off);
 
     // Each deployment group: one service replicated 4 ways (tolerates
     // f = 1 Byzantine replica), plus one unreplicated client firing ten
     // requests.
     let mut b = SystemBuilder::new(42);
+    b.tracing(trace);
     for g in 0..groups {
         b.passive_service(&format!("counter{g}"), 4, |_| Box::new(Counter(0)));
         b.scripted_client_windowed(&format!("client{g}"), &format!("counter{g}"), 10, 1);
@@ -104,6 +120,40 @@ fn main() {
         "{groups} group(s) × 4 replicas agreed on every reply — all hosted \
          poll-driven on one thread."
     );
+
+    if trace.spans_enabled() {
+        println!("\nrequest-lifecycle breakdown (PWS_TRACE={trace:?}):");
+        for phase in Phase::ALL {
+            if let Some(h) = sys.metrics().histogram(phase.metric_key()) {
+                println!(
+                    "  {:>13}: p50 {:7.3} ms  p99 {:7.3} ms  (n={})",
+                    phase.name(),
+                    h.p50(),
+                    h.p99(),
+                    h.count()
+                );
+            }
+        }
+        if let Some(h) = sys.metrics().histogram("obs.lat.total_ms") {
+            println!(
+                "  {:>13}: p50 {:7.3} ms  p99 {:7.3} ms  (n={})",
+                "total",
+                h.p50(),
+                h.p99(),
+                h.count()
+            );
+        }
+        if trace.events_enabled() {
+            match sys.write_obs_artifacts("quickstart") {
+                Ok((trace_path, obs_path)) => println!(
+                    "wrote {} (open in chrome://tracing) and {}",
+                    trace_path.display(),
+                    obs_path.display()
+                ),
+                Err(e) => eprintln!("could not write obs artifacts: {e}"),
+            }
+        }
+    }
 }
 
 /// One logical counter service sharded S ways: two clients fire keyed
