@@ -27,7 +27,7 @@ use perpetual_ws::{
     PassiveService, PassiveUtils, Phase, Poll, RendezvousRouter, Router, Service, ServiceCtx,
     ServiceExecutor, SystemBuilder, TraceLevel, TxnService, TxnShim, WsEvent, TXN_ABORTED_FAULT,
 };
-use pws_simnet::metrics::Metrics;
+use pws_simnet::metrics::{Metrics, Summary};
 use pws_simnet::{SimDuration, SimTime};
 use pws_soap::{MessageContext, XmlNode};
 use std::io::Write as _;
@@ -199,8 +199,9 @@ pub fn run_two_tier_batched(
 }
 
 /// [`run_two_tier_batched`] with request-lifecycle tracing at `trace`,
-/// additionally returning the per-phase latency percentiles of the run
-/// (see [`latency_fields`]) for the headline JSON artifacts.
+/// additionally returning the per-phase latency percentiles
+/// ([`latency_fields`]) and time-series gauge summaries
+/// ([`timeseries_fields`]) of the run for the headline JSON artifacts.
 #[allow(clippy::too_many_arguments)]
 pub fn run_two_tier_traced(
     nc: u32,
@@ -246,7 +247,9 @@ pub fn run_two_tier_traced(
         batches: sys.metrics().batches("clbft.exec"),
         mean_batch: sys.metrics().mean_batch_occupancy("clbft.exec"),
     };
-    (result, latency_fields(sys.metrics()))
+    let mut fields = latency_fields(sys.metrics());
+    fields.extend(timeseries_fields(sys.metrics()));
+    (result, fields)
 }
 
 /// Flattens a finished run's latency histograms into `(field, value)`
@@ -270,6 +273,33 @@ pub fn latency_fields(m: &Metrics) -> Vec<(String, f64)> {
     }
     if let Some(h) = m.histogram("client.latency_ms") {
         push("client".into(), h.p50(), h.p95(), h.p99());
+    }
+    out
+}
+
+/// Flattens a finished run's time-series gauge rings into `(field, value)`
+/// pairs for [`emit_bench_json`]: p50/p95 over the retained samples of the
+/// per-group queue-depth, in-flight, and batch-occupancy gauges,
+/// aggregated across groups. Gauges record only on traced runs
+/// ([`SystemBuilder::tracing`]), so untraced runs contribute nothing —
+/// callers feed the traced companion run's metrics here.
+pub fn timeseries_fields(m: &Metrics) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for (label, prefix) in [
+        ("ts_queue_depth", "ts.queue_depth."),
+        ("ts_inflight", "ts.inflight."),
+        ("ts_occupancy", "ts.batch_occupancy."),
+    ] {
+        let mut values: Vec<f64> = Vec::new();
+        for (name, ring) in m.gauges() {
+            if name.starts_with(prefix) {
+                values.extend(ring.iter().map(|(_, v)| v));
+            }
+        }
+        if let Some(s) = Summary::of(&values) {
+            out.push((format!("{label}_p50"), s.p50));
+            out.push((format!("{label}_p95"), s.p95));
+        }
     }
     out
 }
@@ -318,7 +348,8 @@ pub fn run_sharded(
 }
 
 /// [`run_sharded`] with request-lifecycle tracing at `trace`, additionally
-/// returning the run's latency percentiles (see [`latency_fields`]).
+/// returning the run's latency percentiles ([`latency_fields`]) and
+/// time-series gauge summaries ([`timeseries_fields`]).
 pub fn run_sharded_traced(
     shards: u32,
     n_per_shard: u32,
@@ -368,7 +399,9 @@ pub fn run_sharded_traced(
         completed,
         per_shard_requests,
     };
-    (result, latency_fields(sys.metrics()))
+    let mut fields = latency_fields(sys.metrics());
+    fields.extend(timeseries_fields(sys.metrics()));
+    (result, fields)
 }
 
 /// A transactional null-op for the cross-shard mix sweep: counts

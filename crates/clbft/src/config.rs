@@ -51,6 +51,10 @@ pub struct Config {
     /// rare and the buffer bounded. Purely observational: no protocol
     /// decision reads it.
     pub obs_phases: bool,
+    /// Collect protocol audit observations ([`crate::ObsEvent::Audit`])
+    /// for the harness to feed the online invariant auditor. Off by
+    /// default; purely observational, like `obs_phases`.
+    pub audit: bool,
 }
 
 impl Config {
@@ -76,6 +80,7 @@ impl Config {
             page_size: crate::pages::DEFAULT_PAGE_SIZE,
             speculative: false,
             obs_phases: false,
+            audit: false,
         }
     }
 

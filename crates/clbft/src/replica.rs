@@ -11,7 +11,7 @@ use crate::pages::{page_digest, PageCounters, PageManifest, MAX_PAGES_PER_FETCH}
 use crate::{Config, ReplicaId, Seq, View};
 use bytes::Bytes;
 use pws_crypto::sha256::{Digest32, Sha256};
-use pws_obs::{FlightKind, Phase};
+use pws_obs::{AuditEvent, FlightKind, Phase, ProtoFamily};
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
 
 /// An observability event collected by the replica for the harness to
@@ -37,6 +37,29 @@ pub enum ObsEvent {
         /// Second payload slot.
         b: u64,
     },
+    /// A protocol-plane span phase was reached (collected only with
+    /// [`Config::obs_phases`], like request phases). The group is
+    /// supplied by the hosting harness at drain time.
+    Proto {
+        /// The span family (view change / checkpoint / state transfer).
+        family: ProtoFamily,
+        /// The per-family span id (target view or sequence number).
+        id: u64,
+        /// The family's phase index.
+        phase: usize,
+        /// Optional payload (e.g. pages fetched), 0 when meaningless.
+        count: u64,
+    },
+    /// A protocol audit observation (collected only with
+    /// [`Config::audit`]) for the online invariant auditor.
+    Audit(AuditEvent),
+}
+
+/// Folds a 32-byte digest to 64 bits for audit events: auditing needs
+/// cheap inequality detection, not collision resistance.
+fn fold_digest(d: &Digest32) -> u64 {
+    let b = d.as_bytes();
+    u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]])
 }
 
 /// Bound on the undrained obs buffer: a bare [`Replica`] whose harness
@@ -419,6 +442,29 @@ impl Replica {
         push_obs(&mut self.obs_events, ObsEvent::Flight { kind, a, b });
     }
 
+    /// Records a protocol-plane span phase (collected only with
+    /// [`Config::obs_phases`], like request phases).
+    fn obs_proto(&mut self, family: ProtoFamily, id: u64, phase: usize, count: u64) {
+        if self.cfg.obs_phases {
+            push_obs(
+                &mut self.obs_events,
+                ObsEvent::Proto {
+                    family,
+                    id,
+                    phase,
+                    count,
+                },
+            );
+        }
+    }
+
+    /// Records an audit observation (collected only with [`Config::audit`]).
+    fn obs_audit(&mut self, ev: AuditEvent) {
+        if self.cfg.audit {
+            push_obs(&mut self.obs_events, ObsEvent::Audit(ev));
+        }
+    }
+
     /// Drains the pending observability events. The harness stamps them
     /// with sim-time and feeds them to the simulation's recorder.
     pub fn take_obs_events(&mut self) -> Vec<ObsEvent> {
@@ -639,6 +685,11 @@ impl Replica {
                 self.obs_phase(r.id, Phase::PrePrepared);
             }
         }
+        self.obs_audit(AuditEvent::PrePrepare {
+            view: self.view.0,
+            seq: seq.0,
+            digest: fold_digest(&digest),
+        });
         out.push(Action::Broadcast(Msg::PrePrepare(pp)));
         // n = 1 degenerate group: prepared immediately.
         self.try_prepare_transition(seq, out);
@@ -787,6 +838,11 @@ impl Replica {
                 self.obs_phase(r.id, Phase::PrePrepared);
             }
         }
+        self.obs_audit(AuditEvent::PrePrepare {
+            view: pp.view.0,
+            seq: pp.seq.0,
+            digest: fold_digest(&pp.digest),
+        });
         let prep = PrepareMsg {
             view: pp.view,
             seq: pp.seq,
@@ -870,6 +926,11 @@ impl Replica {
                 }
             }
         }
+        self.obs_audit(AuditEvent::Prepared {
+            view: v.0,
+            seq: seq.0,
+            digest: fold_digest(&d),
+        });
         out.push(Action::Broadcast(Msg::Commit(CommitMsg {
             view: v,
             seq,
@@ -915,6 +976,11 @@ impl Replica {
             h.update_u64(next.0);
             h.update(digest.as_bytes());
             self.exec_chain = h.finalize();
+            self.obs_audit(AuditEvent::Committed {
+                seq: next.0,
+                digest: fold_digest(&digest),
+                via_transfer: false,
+            });
 
             // Unpack the batch in order, skipping already-executed requests
             // (re-proposals across view changes can repeat them). Executed
@@ -1041,6 +1107,7 @@ impl Replica {
         self.page_counters.hashed += hashed;
         self.page_counters.dirty += dirty;
         self.obs_flight(FlightKind::CheckpointTaken, seq.0, snapshot.len() as u64);
+        self.obs_proto(ProtoFamily::Ckpt, seq.0, 0, snapshot.len() as u64);
         let digest = checkpoint_digest(seq, &manifest, &info.executed, &info.exec_chain);
         self.rebuild_page_store(&snapshot, &manifest);
         self.last_hashed = Some((snapshot.clone(), manifest.clone()));
@@ -1101,6 +1168,11 @@ impl Replica {
             return; // equivocating vote; keep the first
         }
         per.entry(digest).or_default().insert(from);
+        self.obs_audit(AuditEvent::CheckpointVote {
+            seq: seq.0,
+            digest: fold_digest(&digest),
+            voter: from.0 as u64,
+        });
         let index = self.ckpt_vote_index.entry(from).or_default();
         index.insert(seq);
         if index.len() > cap {
@@ -1154,6 +1226,11 @@ impl Replica {
         self.fetch_target = Some(seq);
         self.recovering = true;
         self.obs_flight(FlightKind::StateFetchStarted, self.stable_seq.0, 0);
+        // The lag-triggered transfer knows its certified target up front,
+        // so the `xfer.<seq>` span opens at "triggered" here. The proactive
+        // path ([`Replica::begin_state_fetch`]) learns its target only from
+        // the first response; its span opens at "manifest-verified".
+        self.obs_proto(ProtoFamily::Xfer, seq.0, 0, 0);
         // A new solicitation round: pages whose holder stalled become
         // eligible for re-request from whoever answers this broadcast.
         if let Some(pf) = &mut self.page_fetch {
@@ -1329,6 +1406,9 @@ impl Replica {
             })
             .collect();
         let missing = pages.iter().filter(|p| p.is_none()).count();
+        // The manifest is now `f + 1`-certified: the transfer has a trusted
+        // page-by-page work list (`count` = pages still to travel).
+        self.obs_proto(ProtoFamily::Xfer, sr.seq.0, 1, missing as u64);
         let requested = vec![false; pages.len()];
         let pf = PageFetch {
             seq: sr.seq,
@@ -1521,6 +1601,7 @@ impl Replica {
         }
         if self.page_fetch.as_ref().is_some_and(|p| p.missing == 0) {
             let pf = self.page_fetch.take().expect("checked above");
+            self.obs_proto(ProtoFamily::Xfer, pf.seq.0, 2, pf.manifest.len() as u64);
             if pf.seq > self.stable_seq && pf.seq > self.last_exec {
                 let snapshot = assemble_pages(&pf);
                 self.install_checkpoint(
@@ -1675,6 +1756,7 @@ impl Replica {
         out: &mut Vec<Action>,
     ) {
         self.obs_flight(FlightKind::StateInstalled, seq.0, manifest.len() as u64);
+        self.obs_proto(ProtoFamily::Xfer, seq.0, 3, manifest.len() as u64);
         // Jump the protocol state to the verified checkpoint. Any live
         // speculation is void — `InstallState` replaces application state
         // wholesale, so no separate rollback action is needed — and reads
@@ -1806,6 +1888,14 @@ impl Replica {
         if !fresh.is_empty() {
             out.push(Action::Execute { seq, batch: fresh });
         }
+        // `via_transfer`: this slot landed through an `f + 1`-agreed suffix
+        // copy, not a local commit certificate, so the auditor must not
+        // demand a covering prepare sighting for it.
+        self.obs_audit(AuditEvent::Committed {
+            seq: seq.0,
+            digest: fold_digest(&digest),
+            via_transfer: true,
+        });
         if seq.0.is_multiple_of(self.cfg.checkpoint_interval) {
             self.request_checkpoint(seq, out);
         }
@@ -1829,6 +1919,11 @@ impl Replica {
         self.stable_seq = seq;
         self.stable_digest = own;
         self.obs_flight(FlightKind::CheckpointStable, seq.0, 0);
+        self.obs_proto(ProtoFamily::Ckpt, seq.0, 1, 0);
+        self.obs_audit(AuditEvent::CheckpointStable {
+            seq: seq.0,
+            digest: fold_digest(&own),
+        });
         self.log.gc_below(seq);
         self.own_checkpoints = self.own_checkpoints.split_off(&seq);
         self.checkpoint_votes = self.checkpoint_votes.split_off(&seq.next());
@@ -1879,6 +1974,7 @@ impl Replica {
 
     fn start_view_change(&mut self, target: View, out: &mut Vec<Action>) {
         self.obs_flight(FlightKind::ViewChangeStarted, self.view.0, target.0);
+        self.obs_proto(ProtoFamily::Vc, target.0, 0, 0);
         self.in_view_change = true;
         self.vc_target = target;
         // The primary role is suspended until the new view installs.
@@ -2004,6 +2100,11 @@ impl Replica {
         self.next_seq = max_s;
         // Install our own re-proposals.
         for pp in pre_prepares {
+            self.obs_audit(AuditEvent::PrePrepare {
+                view: pp.view.0,
+                seq: pp.seq.0,
+                digest: fold_digest(&pp.digest),
+            });
             let slot = self.log.slot_mut(pp.seq);
             slot.pre_prepare = Some((pp.view, pp.digest, pp.batch.clone()));
             slot.commit_sent = false;
@@ -2047,6 +2148,9 @@ impl Replica {
         self.spec_overlay.clear();
         self.view = v;
         self.obs_flight(FlightKind::EnteredView, v.0, 0);
+        // Installing view `v` also retires every still-open view-change
+        // span below `v` (the recorder closes them as "abandoned").
+        self.obs_proto(ProtoFamily::Vc, v.0, 1, 0);
         self.in_view_change = false;
         self.vc_target = v;
         self.view_changes = self.view_changes.split_off(&v.next());

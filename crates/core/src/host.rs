@@ -15,7 +15,7 @@ use crate::api::{CallToken, Poll, Service, TimeToken, WsEvent};
 use crate::runtime::UriMap;
 use crate::wscost::WsCostModel;
 use pws_perpetual::{AppEvent, AppOutput, Executor, RequestHandle};
-use pws_simnet::SimDuration;
+use pws_simnet::{AuditEvent, ProtoFamily, SimDuration};
 use pws_soap::engine::Engine;
 use pws_soap::{Envelope, Fault, MessageContext};
 use rand::rngs::StdRng;
@@ -223,6 +223,25 @@ impl ServiceCtx<'_> {
     /// outcomes through this); services should not treat metrics as state.
     pub fn incr_metric(&mut self, name: impl Into<String>) {
         self.out.incr_metric(name);
+    }
+
+    /// Records a protocol-plane span phase (transaction / reshard spans).
+    /// The hosting replica stamps it with sim-time and its group id; a
+    /// no-op downstream when tracing is off. Purely observational.
+    pub fn obs_proto(&mut self, family: ProtoFamily, id: u64, phase: usize, count: u64) {
+        self.out.proto(family, id, phase, count);
+    }
+
+    /// Feeds one observation to the online protocol auditor (a no-op
+    /// downstream when auditing is off). Purely observational.
+    pub fn obs_audit(&mut self, ev: AuditEvent) {
+        self.out.audit(ev);
+    }
+
+    /// Records a time-series gauge sample (e.g. the transaction lock-table
+    /// size). A no-op downstream when tracing is off.
+    pub fn gauge(&mut self, name: impl Into<String>, value: f64) {
+        self.out.gauge(name, value);
     }
 }
 

@@ -104,7 +104,10 @@ pub use features::{feature_matrix, Approach, FeatureRow};
 pub use host::{ServiceCtx, ServiceExecutor};
 pub use passive::{PassiveHost, PassiveService, PassiveUtils};
 pub use pws_perpetual::{CostModel, FaultMode, GroupId};
-pub use pws_simnet::{FlightKind, Phase, TraceLevel};
+pub use pws_simnet::{
+    AuditEvent, AuditMode, FlightKind, Phase, ProtoFamily, ProtoKey, TraceLevel, Violation,
+    AUDIT_VIOLATIONS_KEY,
+};
 pub use router::{routing_key, RendezvousRouter, RouteError, Router, RouterEpoch};
 pub use runtime::{ScriptedClient, System, SystemBuilder, UriMap};
 pub use txn::{TxnService, TxnShim, TXN_ABORTED_FAULT, WRONG_SHARD_FAULT};

@@ -16,8 +16,8 @@ use pws_perpetual::{
     ReplicaConfig, Topology,
 };
 use pws_simnet::{
-    escape_json, fmt_f64, Context, LinkConfig, NetConfig, Node, NodeId, RunOutcome, SimDuration,
-    SimTime, Simulation, TraceLevel,
+    escape_json, fmt_f64, AuditMode, Auditor, Context, LinkConfig, NetConfig, Node, NodeId,
+    ProtoFamily, ProtoKey, RunOutcome, SimDuration, SimTime, Simulation, TraceLevel,
 };
 use pws_soap::engine::Engine;
 use pws_soap::MessageContext;
@@ -260,8 +260,26 @@ pub struct SystemBuilder {
     read_only_quorum: Option<usize>,
     trace: TraceLevel,
     flight_capacity: Option<usize>,
+    audit: Option<AuditMode>,
     services: Vec<ServiceSpec>,
     clients: Vec<ClientSpec>,
+}
+
+/// Resolves the `PWS_AUDIT` / `PWS_AUDIT_SMOKE` environment opt-in used
+/// when [`SystemBuilder::audit`] was not called: `1`/`record`/`on` audit
+/// and keep running, `strict`/`panic` fail the run at the first violation
+/// (`PWS_AUDIT_SMOKE=1` is the CI alias for strict).
+fn audit_mode_from_env() -> Option<AuditMode> {
+    if let Ok(v) = std::env::var("PWS_AUDIT") {
+        return match v.to_ascii_lowercase().as_str() {
+            "1" | "record" | "on" => Some(AuditMode::Record),
+            "strict" | "panic" => Some(AuditMode::Strict),
+            _ => None,
+        };
+    }
+    std::env::var("PWS_AUDIT_SMOKE")
+        .is_ok_and(|v| v == "1")
+        .then_some(AuditMode::Strict)
 }
 
 impl std::fmt::Debug for SystemBuilder {
@@ -295,6 +313,7 @@ impl SystemBuilder {
             read_only_quorum: None,
             trace: TraceLevel::Off,
             flight_capacity: None,
+            audit: None,
             services: Vec::new(),
             clients: Vec::new(),
         }
@@ -311,6 +330,26 @@ impl SystemBuilder {
     /// and therefore its trace digest — byte-identical.
     pub fn tracing(&mut self, level: TraceLevel) -> &mut Self {
         self.trace = level;
+        self
+    }
+
+    /// Enables the online protocol invariant auditor for the deployment.
+    ///
+    /// The auditor consumes replica-emitted protocol observations at
+    /// runtime and cross-checks the safety invariants the paper's protocol
+    /// promises (exactly-once delivery, no commit without a prepare
+    /// certificate, no slot divergence across views, checkpoint stability
+    /// quorums, 2PC decision agreement — see `pws_obs::Auditor`).
+    /// Violations bump `obs.audit.violations`, capture a flight-recorder
+    /// dump, and — in [`AuditMode::Strict`] — panic the run so test suites
+    /// fail loudly. Like tracing, auditing is a pure side channel: the
+    /// simulation's event schedule and trace digest stay byte-identical.
+    ///
+    /// When this is not called, the `PWS_AUDIT` environment variable
+    /// (`1`/`record`/`on` → record, `strict`/`panic` → strict) or the CI
+    /// alias `PWS_AUDIT_SMOKE=1` (strict) enables it instead.
+    pub fn audit(&mut self, mode: AuditMode) -> &mut Self {
+        self.audit = Some(mode);
         self
     }
 
@@ -697,6 +736,8 @@ impl SystemBuilder {
         if let Some(cap) = self.flight_capacity {
             sim.obs_mut().set_flight_capacity(cap);
         }
+        let audit = self.audit.or_else(audit_mode_from_env);
+        sim.set_auditor(audit);
         let mut topo = Topology::new();
         let mut uris = UriMap::default();
         let mut groups_by_name = HashMap::new();
@@ -718,6 +759,11 @@ impl SystemBuilder {
                     .collect();
                 next_node += spec.n;
                 topo.register(gid, nodes);
+                if let Some(aud) = sim.auditor_mut() {
+                    // The checkpoint-stability invariant needs the group's
+                    // fault bound f (stability requires f+1 matching votes).
+                    aud.register_group(gid.0, u64::from((spec.n - 1) / 3));
+                }
                 if spec.router.is_some() {
                     groups_by_name.insert(format!("{}#{k}", spec.name), gid);
                 } else {
@@ -788,6 +834,7 @@ impl SystemBuilder {
                     cfg.speculative = self.speculative;
                     cfg.read_only_quorum = self.read_only_quorum;
                     cfg.obs_phases = self.trace.spans_enabled();
+                    cfg.audit = audit.is_some();
                     cfg.fault = spec.faults.get(&(shard, idx)).copied().unwrap_or_default();
                     let service: Box<dyn Service> = match &mut spec.factory {
                         Factory::Service(f) => f(idx),
@@ -982,6 +1029,23 @@ impl System {
         let new = old + 1;
         epoch.advance(new);
         self.sim.metrics_mut().incr("clbft.reshard.epoch_flips");
+        // Open the reshard protocol span at its `flipped` phase (the new
+        // shard's group owns the span; later phases — fenced/exported from
+        // the sources, imported on the new shard — land on the same key).
+        if self.sim.trace_level().spans_enabled() {
+            if let Some(groups) = self.uris.shard_groups(&uri) {
+                let key = ProtoKey {
+                    group: groups[(new - 1) as usize].0,
+                    family: ProtoFamily::Reshard,
+                    id: u64::from(new),
+                };
+                let at_us = self.sim.now().as_micros();
+                let deltas = self.sim.obs_mut().proto(key, 0, at_us, u64::from(old));
+                if let Some((mk, ms)) = deltas.metric {
+                    self.sim.metrics_mut().record_hist(mk, ms);
+                }
+            }
+        }
         let controller = self
             .controller
             .expect("transactional deployments have a reshard controller");
@@ -1056,9 +1120,67 @@ impl System {
         out
     }
 
+    /// Exports every time-series gauge ring — the deterministic
+    /// `(t_us, value)` samples recorded via `Context::gauge` (queue depth,
+    /// in-flight slots, batch occupancy, lock-table size under the `ts.*`
+    /// convention) — as a JSON document: per gauge, summary statistics over
+    /// the retained window plus the raw samples. Gauges record only when
+    /// tracing is enabled ([`SystemBuilder::tracing`]), so this is `{}`
+    /// on untraced runs.
+    pub fn export_timeseries_json(&self) -> String {
+        let m = self.sim.metrics();
+        let mut out = String::from("{");
+        let mut first = true;
+        for (name, ring) in m.gauges() {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("\n\"{}\": {{", escape_json(name)));
+            if let Some(s) = ring.summary() {
+                out.push_str(&format!(
+                    "\"count\": {}, \"recorded\": {}, \"mean\": {}, \"p50\": {}, \
+                     \"p95\": {}, \"min\": {}, \"max\": {}, ",
+                    s.count,
+                    ring.total_recorded(),
+                    fmt_f64(s.mean),
+                    fmt_f64(s.p50),
+                    fmt_f64(s.p95),
+                    fmt_f64(s.min),
+                    fmt_f64(s.max),
+                ));
+            }
+            out.push_str("\"samples\": [");
+            for (i, (t_us, v)) in ring.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("[{t_us},{}]", fmt_f64(v)));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("\n}\n");
+        out
+    }
+
+    /// The online protocol auditor's structured report (`None` when
+    /// auditing is off — see [`SystemBuilder::audit`]). An empty audit
+    /// reads "audit clean".
+    pub fn audit_report(&self) -> Option<String> {
+        self.sim.auditor().map(Auditor::report)
+    }
+
+    /// Total protocol-invariant violations the auditor recorded (0 when
+    /// auditing is off).
+    pub fn audit_violations(&self) -> u64 {
+        self.sim.auditor().map_or(0, Auditor::violation_count)
+    }
+
     /// Writes the chrome-trace and metrics-snapshot exports to
     /// `target/figures/TRACE_<name>.json` and
-    /// `target/figures/OBS_<name>.json`, returning the two paths.
+    /// `target/figures/OBS_<name>.json` (plus the gauge time series to
+    /// `TS_<name>.json` when any gauge recorded), returning the trace and
+    /// snapshot paths.
     ///
     /// # Errors
     ///
@@ -1074,6 +1196,10 @@ impl System {
         std::fs::write(&trace, self.export_trace_json())?;
         let snap = dir.join(format!("OBS_{name}.json"));
         std::fs::write(&snap, self.export_obs_json())?;
+        if self.sim.metrics().gauges().next().is_some() {
+            let ts = dir.join(format!("TS_{name}.json"));
+            std::fs::write(ts, self.export_timeseries_json())?;
+        }
         Ok((trace, snap))
     }
 

@@ -33,6 +33,7 @@ use crate::api::{Poll, Service, WsEvent};
 use crate::host::ServiceCtx;
 use crate::router::{routing_key, split_keys, Router};
 use pws_perpetual::snapshot::{counted, Decoder, Encoder, WireError};
+use pws_simnet::{AuditEvent, ProtoFamily};
 use pws_soap::{Envelope, Fault, MessageContext, XmlNode};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
@@ -103,6 +104,19 @@ pub fn from_hex(s: &str) -> Option<Vec<u8>> {
 
 fn txn_err() -> WireError {
     WireError::malformed("malformed transaction record")
+}
+
+/// Folds a transaction's `wsa:MessageID` into the 64-bit protocol-span id
+/// space (FNV-1a over the id string). Observability needs a stable,
+/// deterministic identity shared by coordinator and participants — not
+/// collision resistance.
+fn txn_span_id(txn: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in txn.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 fn put_str(e: &mut Encoder, s: &str) {
@@ -617,6 +631,15 @@ impl TxnShim {
         format!("urn:svc:{}#{}", self.name, shard)
     }
 
+    /// Samples the lock-table size gauge after a lock-table transition
+    /// (acquire, release, decision). Sampling at mutation points rather
+    /// than on a timer keeps the series deterministic and proportional to
+    /// transaction activity. A no-op downstream when tracing is off.
+    fn gauge_locks(&mut self, ctx: &mut ServiceCtx<'_>) {
+        let name = format!("ts.lock_table.{}.{}", self.name, self.shard);
+        ctx.gauge(name, self.locks.len() as f64);
+    }
+
     fn send_record(
         &mut self,
         ctx: &mut ServiceCtx<'_>,
@@ -736,6 +759,11 @@ impl TxnShim {
         let local_keys = by_shard.remove(&self.shard).unwrap_or_default();
         if !self.locks.try_lock(&txn, &local_keys) || !self.inner.txn_validate(&op, &local_keys) {
             self.locks.release(&txn);
+            ctx.obs_audit(AuditEvent::TxnDecision {
+                txn: txn_span_id(&txn),
+                commit: false,
+                coordinator: true,
+            });
             self.decided.insert(txn, false);
             ctx.incr_metric("clbft.txn.vote_no");
             ctx.incr_metric("clbft.txn.aborted");
@@ -769,6 +797,8 @@ impl TxnShim {
             let token = self.send_record(ctx, *shard, OP_TXN_PREPARE, &rec, PREPARE_TIMEOUT_MS);
             self.prepare_calls.insert(token, (txn.clone(), *shard));
         }
+        ctx.obs_proto(ProtoFamily::Txn, txn_span_id(&txn), 0, remote.len() as u64);
+        self.gauge_locks(ctx);
         c.remote = remote;
         self.coord.insert(txn, c);
     }
@@ -795,6 +825,13 @@ impl TxnShim {
         } else {
             "clbft.txn.aborted"
         });
+        ctx.obs_proto(ProtoFamily::Txn, txn_span_id(txn), 2, u64::from(commit));
+        ctx.obs_audit(AuditEvent::TxnDecision {
+            txn: txn_span_id(txn),
+            commit,
+            coordinator: true,
+        });
+        self.gauge_locks(ctx);
         let c = self.coord.get_mut(txn).expect("coord entry checked above");
         c.decided = Some(commit);
         if commit {
@@ -831,6 +868,7 @@ impl TxnShim {
             return;
         }
         let c = self.coord.remove(txn).expect("coord entry checked above");
+        ctx.obs_proto(ProtoFamily::Txn, txn_span_id(txn), 3, c.acked.len() as u64);
         if commit {
             let joined: Vec<String> = c.results.iter().map(|(s, d)| format!("{s}={d}")).collect();
             let text = format!("txn=commit;{}", joined.join(";"));
@@ -853,6 +891,8 @@ impl TxnShim {
             if let Some(c) = self.coord.get_mut(&txn) {
                 if c.decided.is_none() {
                     c.votes.insert(shard, yes);
+                    let votes = c.votes.len() as u64;
+                    ctx.obs_proto(ProtoFamily::Txn, txn_span_id(&txn), 1, votes);
                     self.maybe_decide(&txn, ctx);
                 }
             }
@@ -925,6 +965,7 @@ impl TxnShim {
             "txnPrepareResult",
             if yes { "yes" } else { "no" },
         );
+        self.gauge_locks(ctx);
     }
 
     fn participant_decision(
@@ -970,8 +1011,14 @@ impl TxnShim {
             // late prepare votes NO instead of locking forever.
             None => "ack".to_owned(),
         };
+        ctx.obs_audit(AuditEvent::TxnDecision {
+            txn: txn_span_id(&txn),
+            commit,
+            coordinator: false,
+        });
         self.finished.insert(txn, text.clone());
         self.reply_text(ctx, &request, name, text);
+        self.gauge_locks(ctx);
         self.drain_deferred(ctx);
     }
 
@@ -1006,6 +1053,20 @@ impl TxnShim {
             ctx.incr_metric("clbft.reshard.exported_keys");
         }
         self.epoch_shards = new_count;
+        // One reshard span per epoch: "fenced" counts the keys this shard
+        // gave up, "exported" stamps the entries leaving in the reply.
+        ctx.obs_proto(
+            ProtoFamily::Reshard,
+            u64::from(new_count),
+            1,
+            entries.len() as u64,
+        );
+        ctx.obs_proto(
+            ProtoFamily::Reshard,
+            u64::from(new_count),
+            2,
+            entries.len() as u64,
+        );
         let text = to_hex(&encode_entries(&entries));
         self.last_export = Some((new_count, text.clone()));
         self.reply_text(ctx, &request, "reshardExportResult", text);
@@ -1045,6 +1106,12 @@ impl TxnShim {
         }
         self.inner.import_keys(&accepted);
         self.imported_sources.insert(imp.from_shard);
+        ctx.obs_proto(
+            ProtoFamily::Reshard,
+            u64::from(imp.new_count),
+            3,
+            accepted.len() as u64,
+        );
         let text = format!("ack;accepted={}", accepted.len());
         self.reply_text(ctx, &request, "reshardImportResult", text);
         if self.gate_closed && self.imported_sources.len() as u32 >= imp.sources {

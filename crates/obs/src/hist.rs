@@ -349,7 +349,98 @@ mod tests {
             && q(&fwd) == q(&shuf)
     }
 
+    #[test]
+    fn quantile_on_empty_is_zero_at_every_q() {
+        let h = Histogram::new();
+        for q in [0.0, 0.25, 0.5, 0.95, 0.99, 1.0, -3.0, 7.0] {
+            assert_eq!(h.quantile(q), 0.0, "empty quantile({q})");
+        }
+    }
+
+    #[test]
+    fn merge_with_disjoint_bucket_ranges() {
+        // `a` lives entirely in the sub-millisecond octaves, `b` entirely
+        // in the multi-second ones: no bucket overlaps.
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for i in 1..=10 {
+            a.record(i as f64 * 1.0e-4);
+            b.record(i as f64 * 1.0e4);
+        }
+        let (a_buckets, b_buckets) = (a.nonzero_buckets().count(), b.nonzero_buckets().count());
+        a.merge(&b);
+        assert_eq!(a.count(), 20);
+        assert_eq!(
+            a.nonzero_buckets().count(),
+            a_buckets + b_buckets,
+            "disjoint ranges merge without bucket collisions"
+        );
+        assert_eq!(a.min(), 1.0e-4);
+        assert_eq!(a.max(), 1.0e5);
+        // The median straddles the gap; both tails stay readable.
+        assert!(a.quantile(0.25) < 1.0, "low tail stays low");
+        assert!(a.quantile(0.9) > 1.0e3, "high tail stays high");
+    }
+
+    #[test]
+    fn merging_an_empty_histogram_changes_nothing() {
+        let mut a = Histogram::new();
+        a.record(2.5);
+        let before = a.clone();
+        a.merge(&Histogram::new());
+        assert_eq!(a, before);
+        // And empty ← non-empty adopts the source's exact min/max.
+        let mut e = Histogram::new();
+        e.merge(&before);
+        assert_eq!(e.min(), 2.5);
+        assert_eq!(e.max(), 2.5);
+        assert_eq!(e.count(), 1);
+    }
+
+    #[test]
+    fn single_sample_p99_is_the_sample() {
+        let mut h = Histogram::new();
+        h.record(3.7);
+        // Quantiles are bucket midpoints clamped to [min, max]; with one
+        // sample min == max, so every quantile is exact.
+        assert_eq!(h.p99(), 3.7);
+        assert_eq!(h.p50(), 3.7);
+        assert_eq!(h.quantile(0.0), 3.7);
+        assert_eq!(h.quantile(1.0), 3.7);
+    }
+
     proptest! {
+        /// Merge is order-independent: a⊎b and b⊎a produce identical
+        /// bucket counts and identical percentile reads.
+        #[test]
+        fn merge_is_order_independent(
+            raw_a in proptest::collection::vec(0u64..1_000_000_000_000, 0..100),
+            raw_b in proptest::collection::vec(0u64..1_000_000_000_000, 0..100),
+        ) {
+            let mut a1 = Histogram::new();
+            for &r in &raw_a {
+                a1.record(r as f64 / 1.0e6);
+            }
+            let mut b1 = Histogram::new();
+            for &r in &raw_b {
+                b1.record(r as f64 / 1.0e6);
+            }
+            let (mut ab, mut ba) = (a1.clone(), b1.clone());
+            ab.merge(&b1);
+            ba.merge(&a1);
+            prop_assert_eq!(
+                ab.nonzero_buckets().collect::<Vec<_>>(),
+                ba.nonzero_buckets().collect::<Vec<_>>()
+            );
+            prop_assert_eq!(ab.count(), ba.count());
+            prop_assert_eq!(ab.min().to_bits(), ba.min().to_bits());
+            prop_assert_eq!(ab.max().to_bits(), ba.max().to_bits());
+            for i in 0..=20 {
+                let q = i as f64 / 20.0;
+                prop_assert_eq!(ab.quantile(q).to_bits(), ba.quantile(q).to_bits());
+            }
+        }
+
         /// The satellite's bucket-determinism property: the same samples
         /// in any insertion order produce identical percentile reads.
         #[test]

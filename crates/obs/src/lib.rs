@@ -18,19 +18,34 @@
 //!   of recent protocol events (view changes, checkpoint boundaries,
 //!   state-transfer verdicts, rejections), dumped on node panic or on
 //!   demand to turn "the soak wedged" into a readable timeline.
+//! * [`ProtoFamily`] / [`ProtoKey`] — *protocol-plane* spans, keyed per
+//!   group: view changes (`vc.<view>`), checkpoint certification
+//!   (`ckpt.<seq>`), Merkle state transfer (`xfer.<seq>`), cross-shard
+//!   2PC (`txn.<id>`), and live resharding (`reshard.<epoch>`), with
+//!   per-phase latencies under `obs.proto.<family>.<phase>_ms`.
+//! * [`Auditor`] / [`AuditEvent`] — an opt-in online invariant auditor
+//!   that consumes the same event stream and cross-checks protocol
+//!   safety: exactly-once execution, commit-covered-by-prepare, one
+//!   batch per slot, checkpoint vote bars, and 2PC decision agreement.
 //! * chrome://tracing-compatible JSON export ([`Recorder::export_trace_json`]).
 //!
 //! The crate is dependency-free and knows nothing about the simulator;
 //! times are plain `u64` microseconds supplied by the caller.
 
+mod audit;
 mod flight;
 mod hist;
 mod json;
+mod proto;
 mod recorder;
 
+pub use audit::{AuditEvent, AuditMode, Auditor, Violation, AUDIT_VIOLATIONS_KEY};
 pub use flight::{FlightEvent, FlightKind, FlightRing, DEFAULT_FLIGHT_CAPACITY};
 pub use hist::Histogram;
 pub use json::{escape_json, fmt_f64};
+pub use proto::{
+    ProtoDeltas, ProtoFamily, ProtoKey, ProtoSpan, MAX_PROTO_PHASES, PROTO_FAMILY_COUNT,
+};
 pub use recorder::{PhaseDeltas, Recorder, Span, SpanKey};
 
 /// How much request-lifecycle tracing the simulation records.

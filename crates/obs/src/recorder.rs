@@ -3,6 +3,7 @@
 
 use crate::flight::{FlightEvent, FlightKind, FlightRing, DEFAULT_FLIGHT_CAPACITY};
 use crate::json::escape_json;
+use crate::proto::{ProtoDeltas, ProtoFamily, ProtoKey, ProtoSpan};
 use crate::{Phase, TraceLevel, PHASE_COUNT};
 use std::collections::BTreeMap;
 
@@ -94,7 +95,28 @@ pub struct PhaseDeltas {
     /// Whole-span milliseconds (first phase → terminal), reported once
     /// when a terminal phase first closes the span.
     pub total_ms: Option<f64>,
+    /// True when this first sighting landed *before* an already-recorded
+    /// later lifecycle phase, or *after* an already-recorded earlier one —
+    /// i.e. the span's first-seen times are no longer monotone along the
+    /// ordered path. The auditor turns this into a violation; honest runs
+    /// never set it (first-seen semantics make the earliest sighting win).
+    /// Only the ordered-path phases (queued → … → replied) participate;
+    /// the speculative/read-only phases interleave legally.
+    pub regressed: bool,
 }
+
+/// The ordered-path phases whose first-seen times must be monotone. The
+/// speculative and read-only phases (`SpecExecuted`, `RolledBack`,
+/// `RoServed`) interleave with the ordered path legally and are excluded.
+const ORDERED_PATH: [Phase; 7] = [
+    Phase::Queued,
+    Phase::Batched,
+    Phase::PrePrepared,
+    Phase::Prepared,
+    Phase::Committed,
+    Phase::Executed,
+    Phase::Replied,
+];
 
 /// Bound on concurrently tracked *open* spans; exceeding it evicts the
 /// smallest key deterministically (a safety valve for runs that never
@@ -114,6 +136,9 @@ pub struct Recorder {
     events: Vec<SpanEvent>,
     spans_opened: u64,
     spans_closed: u64,
+    protos: BTreeMap<ProtoKey, ProtoSpan>,
+    proto_spans_opened: u64,
+    proto_spans_closed: u64,
 }
 
 impl Default for Recorder {
@@ -134,6 +159,9 @@ impl Recorder {
             events: Vec::new(),
             spans_opened: 0,
             spans_closed: 0,
+            protos: BTreeMap::new(),
+            proto_spans_opened: 0,
+            proto_spans_closed: 0,
         }
     }
 
@@ -188,6 +216,11 @@ impl Recorder {
             return PhaseDeltas::default(); // repeat sighting
         }
         span.first_seen[idx] = at_us;
+        let regressed = ORDERED_PATH.contains(&phase)
+            && ORDERED_PATH.iter().any(|&p| {
+                let t = span.first_seen[p.index()];
+                t != UNSEEN && ((p < phase && t > at_us) || (p > phase && t < at_us))
+            });
         let prev = span.first_seen[..idx]
             .iter()
             .filter(|&&t| t != UNSEEN)
@@ -208,7 +241,11 @@ impl Recorder {
             }
             self.closed.insert(key, span);
         }
-        PhaseDeltas { phase_ms, total_ms }
+        PhaseDeltas {
+            phase_ms,
+            total_ms,
+            regressed,
+        }
     }
 
     /// Total spans ever opened.
@@ -239,6 +276,85 @@ impl Recorder {
     /// The raw per-sighting event log ([`TraceLevel::Full`] only).
     pub fn events(&self) -> &[SpanEvent] {
         &self.events
+    }
+
+    // ------------------------------------------------------- proto spans
+
+    /// Records a protocol-span phase sighting (first-seen semantics, like
+    /// request spans). `count` is an optional payload surfaced in the
+    /// export (e.g. pages fetched); pass 0 when meaningless.
+    ///
+    /// Installing a view change (`vc` phase 1) auto-closes every older
+    /// still-open `vc` span of the same group as `abandoned` — a replica
+    /// set that moves to view `w` has, by construction, given up on every
+    /// view change below `w`.
+    pub fn proto(&mut self, key: ProtoKey, phase: usize, at_us: u64, count: u64) -> ProtoDeltas {
+        if !self.level.spans_enabled() {
+            return ProtoDeltas::default();
+        }
+        let mut deltas = ProtoDeltas::default();
+        if !self.protos.contains_key(&key) {
+            if self.protos.len() >= OPEN_SPAN_CAP {
+                self.protos.pop_first();
+            }
+            self.protos.insert(key, ProtoSpan::new(key.family));
+            self.proto_spans_opened += 1;
+            deltas.opened = true;
+        }
+        let span = self.protos.get_mut(&key).expect("just ensured");
+        let was_closed = span.is_closed();
+        let (recorded, since_open) = span.record(phase, at_us, count);
+        if recorded {
+            if let (Some(ms), Some(mk)) = (since_open, key.family.metric_key(phase)) {
+                deltas.metric = Some((mk, ms));
+            }
+            if span.is_closed() && !was_closed {
+                self.proto_spans_closed += 1;
+                deltas.closed = span.closed_phase();
+            }
+        }
+        if key.family == ProtoFamily::Vc && phase == 1 && recorded {
+            let stale: Vec<ProtoKey> = self
+                .protos
+                .iter()
+                .filter(|(k, s)| {
+                    k.group == key.group
+                        && k.family == ProtoFamily::Vc
+                        && k.id < key.id
+                        && !s.is_closed()
+                })
+                .map(|(k, _)| *k)
+                .collect();
+            for k in stale {
+                let s = self.protos.get_mut(&k).expect("just listed");
+                if let Some(ms) = s.close_as(2, at_us) {
+                    self.proto_spans_closed += 1;
+                    deltas.abandoned.push((k.id, ms));
+                }
+            }
+        }
+        deltas
+    }
+
+    /// Total protocol spans ever opened.
+    pub fn proto_spans_opened(&self) -> u64 {
+        self.proto_spans_opened
+    }
+
+    /// Total protocol spans closed by a terminal phase (abandonment
+    /// included).
+    pub fn proto_spans_closed(&self) -> u64 {
+        self.proto_spans_closed
+    }
+
+    /// Iterates over every tracked protocol span, key-ordered.
+    pub fn proto_spans(&self) -> impl Iterator<Item = (&ProtoKey, &ProtoSpan)> {
+        self.protos.iter()
+    }
+
+    /// Looks up one protocol span.
+    pub fn proto_span(&self, key: &ProtoKey) -> Option<&ProtoSpan> {
+        self.protos.get(key)
     }
 
     // ------------------------------------------------------------ flight
@@ -333,6 +449,22 @@ impl Recorder {
                 key.group
             ));
         }
+        for (key, span) in self.proto_spans() {
+            let (Some(start), Some(end)) = (span.start_us(), span.end_us()) else {
+                continue;
+            };
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "\n{{\"name\":\"{}\",\"cat\":\"proto\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":{},\"tid\":0}}",
+                escape_json(&key.display()),
+                start,
+                end - start,
+                key.group
+            ));
+        }
         out.push_str("\n],\n\"displayTimeUnit\": \"ms\",\n\"spans\": [");
         let mut first = true;
         for (key, span) in self.spans() {
@@ -357,11 +489,49 @@ impl Recorder {
             }
             out.push_str("]}");
         }
+        out.push_str("\n],\n\"protoSpans\": [");
+        let mut first = true;
+        for (key, span) in self.proto_spans() {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "\n{{\"name\":\"{}\",\"group\":{},\"family\":\"{}\",\"id\":{},\"closed\":{},\"closedPhase\":{},\"phases\":[",
+                escape_json(&key.display()),
+                key.group,
+                key.family.name(),
+                key.id,
+                span.is_closed(),
+                match span.closed_phase() {
+                    Some(p) => format!("\"{p}\""),
+                    None => "null".to_string(),
+                }
+            ));
+            let mut fp = true;
+            for (p, t, c) in span.phases() {
+                if !fp {
+                    out.push(',');
+                }
+                fp = false;
+                out.push_str(&format!(
+                    "{{\"phase\":\"{p}\",\"ts_us\":{t},\"count\":{c}}}"
+                ));
+            }
+            out.push_str("]}");
+        }
+        // Accounting: never-closed spans are classified as open, not
+        // silently dropped — `opened == open + closed` must always hold.
         out.push_str(&format!(
-            "\n],\n\"spanCount\": {},\n\"spansOpened\": {},\n\"spansClosed\": {}\n}}\n",
+            "\n],\n\"spanCount\": {},\n\"spansOpened\": {},\n\"spansOpen\": {},\n\"spansClosed\": {},\n\"protoSpanCount\": {},\n\"protoSpansOpened\": {},\n\"protoSpansOpen\": {},\n\"protoSpansClosed\": {}\n}}\n",
             self.span_count(),
             self.spans_opened,
-            self.spans_closed
+            self.spans_opened - self.spans_closed,
+            self.spans_closed,
+            self.protos.len(),
+            self.proto_spans_opened,
+            self.proto_spans_opened - self.proto_spans_closed,
+            self.proto_spans_closed
         ));
         out
     }
@@ -438,6 +608,102 @@ mod tests {
         assert!(d.phase_ms.is_none(), "no predecessor phase");
         assert_eq!(d.total_ms, Some(0.0));
         assert!(r.span(&key(3)).unwrap().is_closed());
+    }
+
+    #[test]
+    fn proto_spans_first_seen_metrics_and_vc_abandonment() {
+        let mut r = Recorder::new();
+        r.set_level(TraceLevel::Phases);
+        let vc = |id| ProtoKey {
+            group: 2,
+            family: ProtoFamily::Vc,
+            id,
+        };
+        // View change to 1 starts but never installs; view change to 2
+        // wins. Installing 2 abandons 1.
+        let d = r.proto(vc(1), 0, 1000, 0);
+        assert!(d.opened && d.metric.is_none() && d.closed.is_none());
+        let d = r.proto(vc(2), 0, 2000, 0);
+        assert!(d.opened);
+        let d = r.proto(vc(2), 1, 5000, 0);
+        assert_eq!(d.metric, Some(("obs.proto.vc.installed_ms", 3.0)));
+        assert_eq!(d.closed, Some("installed"));
+        assert_eq!(d.abandoned, vec![(1, 4.0)]);
+        assert_eq!(r.proto_spans_opened(), 2);
+        assert_eq!(r.proto_spans_closed(), 2);
+        assert_eq!(
+            r.proto_span(&vc(1)).unwrap().closed_phase(),
+            Some("abandoned")
+        );
+        // Repeat sighting from another replica: no new deltas.
+        let d = r.proto(vc(2), 1, 9000, 0);
+        assert!(!d.opened && d.metric.is_none() && d.closed.is_none());
+    }
+
+    #[test]
+    fn proto_spans_respect_trace_level_and_carry_counts() {
+        let mut r = Recorder::new();
+        let xfer = ProtoKey {
+            group: 1,
+            family: ProtoFamily::Xfer,
+            id: 64,
+        };
+        let d = r.proto(xfer, 0, 100, 0);
+        assert!(!d.opened, "off level records nothing");
+        assert_eq!(r.proto_spans().count(), 0);
+
+        r.set_level(TraceLevel::Phases);
+        r.proto(xfer, 0, 100, 0);
+        r.proto(xfer, 1, 300, 128); // manifest verified: 128 pages differ
+        let d = r.proto(xfer, 2, 700, 128);
+        assert_eq!(d.metric, Some(("obs.proto.xfer.pages_fetched_ms", 0.6)));
+        r.proto(xfer, 3, 900, 0);
+        let span = r.proto_span(&xfer).unwrap();
+        assert!(span.is_closed());
+        assert_eq!(span.count(1), 128);
+        let json = r.export_trace_json();
+        assert!(json.contains("\"protoSpans\""));
+        assert!(json.contains("\"name\":\"xfer.64\""));
+        assert!(json.contains("\"phase\":\"manifest-verified\",\"ts_us\":300,\"count\":128"));
+        assert!(json.contains("\"protoSpansClosed\": 1"));
+    }
+
+    #[test]
+    fn accounting_classifies_never_closed_spans_as_open() {
+        let mut r = Recorder::new();
+        r.set_level(TraceLevel::Phases);
+        // A request span that closes, one that never does, and an
+        // in-flight view change at run end.
+        r.phase(key(0), Phase::Queued, 100, 0);
+        r.phase(key(0), Phase::Replied, 900, 0);
+        r.phase(key(1), Phase::Queued, 500, 0);
+        r.proto(
+            ProtoKey {
+                group: 1,
+                family: ProtoFamily::Vc,
+                id: 3,
+            },
+            0,
+            600,
+            0,
+        );
+        let json = r.export_trace_json();
+        assert!(json.contains("\"spansOpened\": 2"));
+        assert!(json.contains("\"spansOpen\": 1"), "open span accounted");
+        assert!(json.contains("\"spansClosed\": 1"));
+        assert!(json.contains("\"protoSpansOpen\": 1"));
+        assert!(json.contains("\"closed\":false"), "open span exported");
+    }
+
+    #[test]
+    fn ordered_path_regression_is_flagged() {
+        let mut r = Recorder::new();
+        r.set_level(TraceLevel::Phases);
+        assert!(!r.phase(key(4), Phase::Prepared, 5000, 0).regressed);
+        // Committed first seen *before* prepared's first sighting: broken.
+        assert!(r.phase(key(4), Phase::Committed, 4000, 1).regressed);
+        // Spec-executed interleaves legally wherever it lands.
+        assert!(!r.phase(key(4), Phase::SpecExecuted, 100, 0).regressed);
     }
 
     #[test]

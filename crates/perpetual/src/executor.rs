@@ -8,7 +8,7 @@
 
 use crate::group::GroupId;
 use bytes::Bytes;
-use pws_simnet::SimDuration;
+use pws_simnet::{AuditEvent, ProtoFamily, SimDuration};
 use std::fmt;
 
 /// Identifies one of this service's own outcalls.
@@ -101,6 +101,35 @@ pub enum AppCmd {
     Spend(SimDuration),
 }
 
+/// An observability emission queued by the application layer during one
+/// event delivery and applied by the hosting replica afterwards (executors
+/// own no clock, metrics registry, or auditor handle). Purely
+/// observational: no protocol decision may read these.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AppObs {
+    /// A protocol-plane span phase sighting (transaction / reshard spans;
+    /// see `pws_simnet::ProtoKey`). The hosting replica supplies the group.
+    Proto {
+        /// Span family (`Txn`, `Reshard`, ...).
+        family: ProtoFamily,
+        /// Span id within the family (folded txn id, reshard epoch, ...).
+        id: u64,
+        /// Phase index into the family's phase table.
+        phase: usize,
+        /// Optional payload (participant count, entries moved, ...).
+        count: u64,
+    },
+    /// An observation for the online protocol auditor.
+    Audit(AuditEvent),
+    /// A time-series gauge sample (e.g. the transaction lock-table size).
+    Gauge {
+        /// Gauge name (`ts.*` convention).
+        name: String,
+        /// Sampled value.
+        value: f64,
+    },
+}
+
 /// Collects an executor's commands during one event delivery.
 ///
 /// Call and token ids are assigned deterministically from counters that the
@@ -109,6 +138,7 @@ pub enum AppCmd {
 pub struct AppOutput {
     pub(crate) cmds: Vec<AppCmd>,
     pub(crate) metrics: Vec<String>,
+    pub(crate) obs: Vec<AppObs>,
     next_call: u64,
     next_token: u64,
 }
@@ -119,6 +149,7 @@ impl AppOutput {
         AppOutput {
             cmds: Vec::new(),
             metrics: Vec::new(),
+            obs: Vec::new(),
             next_call,
             next_token,
         }
@@ -134,6 +165,35 @@ impl AppOutput {
     /// Drains the queued metric increments.
     pub fn take_metrics(&mut self) -> Vec<String> {
         std::mem::take(&mut self.metrics)
+    }
+
+    /// Queues a protocol-plane span phase sighting; the hosting replica
+    /// timestamps it and attaches its group id.
+    pub fn proto(&mut self, family: ProtoFamily, id: u64, phase: usize, count: u64) {
+        self.obs.push(AppObs::Proto {
+            family,
+            id,
+            phase,
+            count,
+        });
+    }
+
+    /// Queues an observation for the online protocol auditor.
+    pub fn audit(&mut self, ev: AuditEvent) {
+        self.obs.push(AppObs::Audit(ev));
+    }
+
+    /// Queues a time-series gauge sample.
+    pub fn gauge(&mut self, name: impl Into<String>, value: f64) {
+        self.obs.push(AppObs::Gauge {
+            name: name.into(),
+            value,
+        });
+    }
+
+    /// Drains the queued observability emissions.
+    pub fn take_obs(&mut self) -> Vec<AppObs> {
+        std::mem::take(&mut self.obs)
     }
 
     /// Issues an asynchronous call to `target`; returns its id. The reply

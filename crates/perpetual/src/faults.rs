@@ -43,6 +43,13 @@ pub enum FaultMode {
     /// converge through honest responders — this mode can stall a
     /// transfer, never poison it.
     CorruptPages,
+    /// A Byzantine primary that equivocates: each pre-prepare it broadcasts
+    /// is delivered intact to most backups, but one backup receives a
+    /// variant carrying a different batch (and therefore digest) for the
+    /// same `(view, seq)` slot. Honest backups keep the first pre-prepare
+    /// they accept, so agreement is safe; the online invariant auditor must
+    /// flag the conflicting digests (`pre-prepare-equivocation`).
+    EquivocatingPrimary,
 }
 
 impl FaultMode {

@@ -22,7 +22,7 @@
 
 use crate::cost::CostModel;
 use crate::event::Event;
-use crate::executor::{AppCmd, AppEvent, AppOutput, CallId, Executor, RequestHandle};
+use crate::executor::{AppCmd, AppEvent, AppObs, AppOutput, CallId, Executor, RequestHandle};
 use crate::faults::FaultMode;
 use crate::group::{GroupId, Topology};
 use crate::messages::{decode_pmsg, encode_pmsg, reply_digest, request_tag, PMsg};
@@ -35,7 +35,9 @@ use pws_crypto::auth::{verify_bundle, BundleShare};
 use pws_crypto::keys::KeyTable;
 use pws_crypto::sha256::Digest32;
 use pws_simnet::metrics::BatchKeys;
-use pws_simnet::{Context, FlightKind, Node, NodeId, Phase, SimDuration, TimerId};
+use pws_simnet::{
+    AuditEvent, Context, FlightKind, Node, NodeId, Phase, ProtoKey, SimDuration, TimerId,
+};
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
@@ -147,6 +149,11 @@ pub struct ReplicaConfig {
     /// [`pws_clbft::Config::obs_phases`]). Set by the harness when tracing
     /// is enabled; off by default. Purely observational.
     pub obs_phases: bool,
+    /// Collect protocol audit observations from the voter and driver (see
+    /// [`pws_clbft::Config::audit`]) for the online invariant auditor. Set
+    /// by the harness when auditing is enabled; off by default. Purely
+    /// observational.
+    pub audit: bool,
     /// Fault injection mode.
     pub fault: FaultMode,
 }
@@ -173,6 +180,7 @@ impl ReplicaConfig {
             speculative: false,
             read_only_quorum: None,
             obs_phases: false,
+            audit: false,
             fault: FaultMode::Correct,
         }
     }
@@ -187,6 +195,7 @@ impl ReplicaConfig {
         bft_cfg.page_size = self.page_size.max(1);
         bft_cfg.speculative = self.speculative;
         bft_cfg.obs_phases = self.obs_phases;
+        bft_cfg.audit = self.audit;
         bft_cfg
     }
 }
@@ -242,6 +251,10 @@ struct SpecBuffers {
     sends: Vec<(NodeId, Bytes, usize)>,
     /// Deferred driver operations, replayed in order at finalize.
     deferred: Vec<DeferredOp>,
+    /// Application-layer observability emissions (txn/reshard spans, audit
+    /// observations, gauges). Stamped at finalize so a rolled-back
+    /// speculation leaves no phantom spans or audit sightings.
+    obs: Vec<AppObs>,
 }
 
 #[derive(Debug)]
@@ -531,6 +544,49 @@ impl PerpetualReplica {
         }
     }
 
+    /// [`FaultMode::EquivocatingPrimary`]: deliver the honest pre-prepare
+    /// to every backup but one, and a conflicting variant — same
+    /// `(view, seq)`, different batch, consistently recomputed digest — to
+    /// the victim. The variant corrupts one request payload, which the
+    /// victim's local-validation gate admits as a malformed event (executed
+    /// as a deterministic skip), so the conflicting proposal genuinely
+    /// enters agreement bookkeeping there. Returns `false` (fall back to an
+    /// honest broadcast) when the batch is empty or the group too small to
+    /// have a victim and a majority.
+    fn broadcast_equivocating(
+        &mut self,
+        pp: &pws_clbft::PrePrepareMsg,
+        ctx: &mut Context<'_>,
+    ) -> bool {
+        if pp.batch.requests.is_empty() || self.n < 3 {
+            return false;
+        }
+        let victim = (self.cfg.index + 1) % self.n;
+        let mut twisted = pp.batch.clone();
+        let mut bad = twisted.requests[0].payload.to_vec();
+        match bad.first_mut() {
+            Some(b) => *b ^= 0xA5,
+            None => bad.push(0xA5),
+        }
+        twisted.requests[0].payload = Bytes::from(bad);
+        let variant = Msg::PrePrepare(pws_clbft::PrePrepareMsg {
+            view: pp.view,
+            seq: pp.seq,
+            digest: twisted.digest(),
+            batch: twisted,
+        });
+        let honest = Msg::PrePrepare(pp.clone());
+        ctx.metrics().incr("perpetual.fault.equivocations");
+        for i in 0..self.n {
+            if i == self.cfg.index {
+                continue;
+            }
+            let msg = if i == victim { &variant } else { &honest };
+            self.send_bft(ReplicaId(i), msg, ctx);
+        }
+        true
+    }
+
     fn process_actions(&mut self, actions: Vec<Action>, ctx: &mut Context<'_>) {
         // Drain voter-side phase events *before* acting on the actions:
         // agreement phases (e.g. `committed`) must be stamped no later than
@@ -565,6 +621,13 @@ impl PerpetualReplica {
                 Action::Broadcast(msg) => {
                     if matches!(msg, Msg::FetchState(_)) {
                         ctx.metrics().incr("clbft.recovery.fetches_sent");
+                    }
+                    if self.cfg.fault == FaultMode::EquivocatingPrimary {
+                        if let Msg::PrePrepare(pp) = &msg {
+                            if self.broadcast_equivocating(pp, ctx) {
+                                continue;
+                            }
+                        }
                     }
                     self.broadcast_bft(&msg, ctx);
                 }
@@ -638,6 +701,20 @@ impl PerpetualReplica {
                     }
                 }
                 ObsEvent::Flight { kind, a, b } => ctx.obs_flight(kind, a, b),
+                ObsEvent::Proto {
+                    family,
+                    id,
+                    phase,
+                    count,
+                } => {
+                    let key = ProtoKey {
+                        group: self.cfg.group.0,
+                        family,
+                        id,
+                    };
+                    ctx.obs_proto(key, phase, count);
+                }
+                ObsEvent::Audit(ev) => ctx.obs_audit(self.cfg.group.0, ev),
             }
         }
     }
@@ -667,6 +744,7 @@ impl PerpetualReplica {
     /// globally and per group (`clbft.exec.<group>.*`), so topology sweeps
     /// can spot straggler groups instead of averaging them away.
     fn handle_ordered_batch(&mut self, batch: Vec<pws_clbft::Request>, ctx: &mut Context<'_>) {
+        self.sample_gauges(batch.len(), ctx);
         ctx.metrics()
             .record_batch_with(&self.exec_keys, batch.len());
         ctx.metrics()
@@ -675,6 +753,24 @@ impl PerpetualReplica {
         for request in batch {
             self.handle_ordered(request.payload, ctx);
         }
+    }
+
+    /// Samples the protocol-plane time-series gauges at a batch-execution
+    /// boundary — a deterministic, agreement-ordered point, so repeated
+    /// runs sample at identical virtual times. Primary-only: queue depth
+    /// and pipeline occupancy are primary-side quantities; sampling idle
+    /// backups would drown the series in structural zeros. Purely
+    /// observational and gated on tracing, like the span machinery.
+    fn sample_gauges(&mut self, batch_len: usize, ctx: &mut Context<'_>) {
+        if !ctx.trace_level().spans_enabled() || !self.bft.is_primary() {
+            return;
+        }
+        let g = self.cfg.group.0;
+        let queued = self.bft.queued() as f64;
+        let in_flight = self.bft.in_flight() as f64;
+        ctx.gauge(&format!("ts.queue_depth.{g}"), queued);
+        ctx.gauge(&format!("ts.inflight.{g}"), in_flight);
+        ctx.gauge(&format!("ts.batch_occupancy.{g}"), batch_len as f64);
     }
 
     // ----------------------------------------------------------- speculation
@@ -742,6 +838,7 @@ impl PerpetualReplica {
     /// operations. The executor is already in the post-batch state.
     fn finalize_speculation(&mut self, batch_len: usize, ctx: &mut Context<'_>) {
         let entry = self.spec_queue.pop_front().expect("matched entry");
+        self.sample_gauges(batch_len, ctx);
         ctx.metrics().record_batch_with(&self.exec_keys, batch_len);
         ctx.metrics()
             .record_batch_with(&self.exec_group_keys, batch_len);
@@ -750,6 +847,10 @@ impl PerpetualReplica {
             ctx.metrics().incr("perpetual.messages_sent");
             ctx.send(to, bytes);
         }
+        // Flush the deferred observability emissions before the deferred
+        // driver ops (which may advance time via `spend`): span phases get
+        // commit-time stamps, audit sightings enter in agreement order.
+        self.apply_app_obs(entry.bufs.obs, ctx);
         for op in entry.bufs.deferred {
             match op {
                 DeferredOp::ArmCallTimers { call_no, timeout } => {
@@ -901,6 +1002,10 @@ impl PerpetualReplica {
     /// (candidates, the validation gate, pending shares) is left alone —
     /// it re-derives from retransmissions.
     fn restore_snapshot(&mut self, snapshot: &Bytes, ctx: &mut Context<'_>) {
+        // Restoring rewinds `delivered_external` (speculation rollback) or
+        // replaces it wholesale (state install): either way this node's
+        // exactly-once ledger starts a fresh incarnation at the auditor.
+        ctx.obs_audit(self.cfg.group.0, AuditEvent::NodeReset);
         let snap = match crate::snapshot::DriverSnapshot::decode(snapshot) {
             Ok(s) => s,
             Err(e) => {
@@ -975,6 +1080,9 @@ impl PerpetualReplica {
     fn wipe(&mut self, ctx: &mut Context<'_>, cold: bool) {
         ctx.metrics().incr("clbft.recovery.wipes");
         ctx.obs_flight(FlightKind::Wiped, cold as u64, 0);
+        // The auditor's exactly-once ledger is per node *incarnation*: a
+        // wiped replica legitimately re-executes history during recovery.
+        ctx.obs_audit(self.cfg.group.0, AuditEvent::NodeReset);
         self.discard_speculation(ctx);
         self.spec_building = None;
         self.ro_replies.clear();
@@ -1617,6 +1725,13 @@ impl PerpetualReplica {
                 {
                     return;
                 }
+                ctx.obs_audit(
+                    self.cfg.group.0,
+                    AuditEvent::Executed {
+                        origin: caller.0 as u64,
+                        target_seq,
+                    },
+                );
                 self.candidates.remove(&key);
                 self.record_reply_route(caller, req_no, responder.min(self.n - 1));
                 ctx.metrics().incr("perpetual.requests_delivered");
@@ -1773,9 +1888,48 @@ impl PerpetualReplica {
         if reshard_step {
             ctx.obs_flight(FlightKind::ReshardRecord, 0, 0);
         }
+        let obs = out.take_obs();
+        if !obs.is_empty() {
+            // Under speculation the emissions wait in the commit buffers: a
+            // rolled-back slot must leave no phantom spans, gauge samples,
+            // or audit sightings behind.
+            if let Some(bufs) = self.spec_building.as_mut() {
+                bufs.obs.extend(obs);
+            } else {
+                self.apply_app_obs(obs, ctx);
+            }
+        }
         let cmds = std::mem::take(&mut out.cmds);
         for cmd in cmds {
             self.run_cmd(cmd, ctx);
+        }
+    }
+
+    /// Applies application-layer observability emissions, qualifying each
+    /// with this replica's group and the current sim-time.
+    fn apply_app_obs(&mut self, obs: Vec<AppObs>, ctx: &mut Context<'_>) {
+        for o in obs {
+            match o {
+                AppObs::Proto {
+                    family,
+                    id,
+                    phase,
+                    count,
+                } => {
+                    let key = ProtoKey {
+                        group: self.cfg.group.0,
+                        family,
+                        id,
+                    };
+                    ctx.obs_proto(key, phase, count);
+                }
+                AppObs::Audit(ev) => ctx.obs_audit(self.cfg.group.0, ev),
+                AppObs::Gauge { name, value } => {
+                    if ctx.trace_level().spans_enabled() {
+                        ctx.gauge(&name, value);
+                    }
+                }
+            }
         }
     }
 

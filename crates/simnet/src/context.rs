@@ -6,7 +6,10 @@ use crate::rng::DetRng;
 use crate::sim::SimState;
 use crate::time::{SimDuration, SimTime};
 use bytes::Bytes;
-use pws_obs::{FlightKind, Phase, SpanKey, TraceLevel, TOTAL_LATENCY_KEY};
+use pws_obs::{
+    AuditEvent, AuditMode, FlightKind, Phase, ProtoFamily, ProtoKey, SpanKey, TraceLevel,
+    AUDIT_VIOLATIONS_KEY, TOTAL_LATENCY_KEY,
+};
 use std::fmt;
 
 /// Identifies a timer set with [`Context::set_timer`], scoped to one node.
@@ -122,6 +125,85 @@ impl<'a> Context<'a> {
         if let Some(ms) = deltas.total_ms {
             self.state.metrics.record_hist(TOTAL_LATENCY_KEY, ms);
         }
+        if deltas.regressed {
+            self.obs_audit(group, AuditEvent::PhaseRegression { origin, counter });
+        }
+    }
+
+    /// Records a protocol-plane span phase (view change / checkpoint /
+    /// state transfer / 2PC / reshard) for the span `(group, family, id)`,
+    /// stamped with the current sim-time. `count` is an optional payload
+    /// (e.g. pages fetched). First sightings feed the
+    /// `obs.proto.<family>.<phase>_ms` histograms; view-change spans also
+    /// maintain the `clbft.vc.{started,completed,abandoned}` counters.
+    /// No-op when tracing is off.
+    pub fn obs_proto(&mut self, key: ProtoKey, phase: usize, count: u64) {
+        if !self.state.obs.level().spans_enabled() {
+            return;
+        }
+        let at_us = (self.state.now + self.elapsed).as_micros();
+        let deltas = self.state.obs.proto(key, phase, at_us, count);
+        if let Some((mk, ms)) = deltas.metric {
+            self.state.metrics.record_hist(mk, ms);
+        }
+        if key.family == ProtoFamily::Vc {
+            if deltas.opened {
+                self.state.metrics.incr("clbft.vc.started");
+            }
+            match deltas.closed {
+                Some("installed") => self.state.metrics.incr("clbft.vc.completed"),
+                Some("abandoned") => self.state.metrics.incr("clbft.vc.abandoned"),
+                _ => {}
+            }
+            for &(_, ms) in &deltas.abandoned {
+                self.state.metrics.incr("clbft.vc.abandoned");
+                self.state
+                    .metrics
+                    .record_hist("obs.proto.vc.abandoned_ms", ms);
+            }
+        }
+    }
+
+    /// Whether the online protocol auditor is enabled (protocol layers
+    /// check this before assembling audit events).
+    pub fn audit_enabled(&self) -> bool {
+        self.state.audit.is_some()
+    }
+
+    /// Feeds one protocol observation to the auditor (no-op when auditing
+    /// is off). A violation bumps `obs.audit.violations`, captures a
+    /// flight dump on first occurrence, and — in strict mode — panics,
+    /// which the simulator surfaces as a node panic so test suites fail
+    /// loudly.
+    pub fn obs_audit(&mut self, group: u32, ev: AuditEvent) {
+        let at_us = (self.state.now + self.elapsed).as_micros();
+        let node = self.node.raw() as u64;
+        let fired = match self.state.audit.as_mut() {
+            Some(aud) => aud.ingest(group, node, at_us, ev),
+            None => return,
+        };
+        if fired {
+            self.state.metrics.incr(AUDIT_VIOLATIONS_KEY);
+            if self.state.audit_dump.is_none() {
+                self.state.audit_dump = Some(self.state.obs.dump_all_flight());
+            }
+            let aud = self.state.audit.as_ref().expect("just ingested");
+            if aud.mode() == AuditMode::Strict {
+                let last = aud
+                    .violations()
+                    .last()
+                    .map(|v| v.to_string())
+                    .unwrap_or_default();
+                panic!("protocol audit violation: {last}");
+            }
+        }
+    }
+
+    /// Records a time-series gauge sample under `name`, stamped with the
+    /// current sim-time (see [`Metrics::gauge`]).
+    pub fn gauge(&mut self, name: &str, value: f64) {
+        let t_us = (self.state.now + self.elapsed).as_micros();
+        self.state.metrics.gauge(name, t_us, value);
     }
 
     /// Records a protocol event into this node's flight ring. Always on

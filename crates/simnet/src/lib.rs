@@ -80,6 +80,7 @@ pub use time::{SimDuration, SimTime};
 // Observability vocabulary, re-exported so protocol crates and tests can
 // speak it without depending on `pws-obs` directly.
 pub use pws_obs::{
-    escape_json, fmt_f64, FlightEvent, FlightKind, FlightRing, Histogram, Phase, Recorder, Span,
-    SpanKey, TraceLevel,
+    escape_json, fmt_f64, AuditEvent, AuditMode, Auditor, FlightEvent, FlightKind, FlightRing,
+    Histogram, Phase, ProtoFamily, ProtoKey, ProtoSpan, Recorder, Span, SpanKey, TraceLevel,
+    Violation, AUDIT_VIOLATIONS_KEY,
 };

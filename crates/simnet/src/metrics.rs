@@ -2,7 +2,7 @@
 
 use crate::time::SimDuration;
 use pws_obs::Histogram;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 
 /// A registry of named counters, raw sample series, and fixed-bucket
 /// histograms.
@@ -17,6 +17,83 @@ pub struct Metrics {
     counters: BTreeMap<String, u64>,
     samples: BTreeMap<String, Vec<f64>>,
     hists: BTreeMap<String, Histogram>,
+    gauges: BTreeMap<String, GaugeRing>,
+}
+
+/// Default capacity of a [`GaugeRing`]: enough for the tail of a bench
+/// run at one sample per ordered batch, fixed so memory never grows with
+/// run length.
+pub const DEFAULT_GAUGE_CAPACITY: usize = 4096;
+
+/// A fixed-capacity time-series ring of `(t_us, value)` gauge samples.
+///
+/// Unlike a counter (monotone total) or a histogram (distribution without
+/// time), a gauge ring answers *"what did this quantity look like over
+/// time"* — queue depth, in-flight slots, lock-table size. Capacity is
+/// fixed at creation; once full, the oldest sample is evicted, so the ring
+/// deterministically holds the most recent `capacity` samples and
+/// remembers how many it ever saw.
+#[derive(Debug, Clone)]
+pub struct GaugeRing {
+    cap: usize,
+    samples: VecDeque<(u64, f64)>,
+    total: u64,
+}
+
+impl GaugeRing {
+    /// An empty ring holding at most `cap` samples (min 1).
+    pub fn new(cap: usize) -> Self {
+        GaugeRing {
+            cap: cap.max(1),
+            samples: VecDeque::new(),
+            total: 0,
+        }
+    }
+
+    /// Appends a sample, evicting the oldest when full.
+    pub fn push(&mut self, t_us: u64, value: f64) {
+        if self.samples.len() == self.cap {
+            self.samples.pop_front();
+        }
+        self.samples.push_back((t_us, value));
+        self.total += 1;
+    }
+
+    /// Samples currently retained.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the ring holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Total samples ever pushed (retained + evicted).
+    pub fn total_recorded(&self) -> u64 {
+        self.total
+    }
+
+    /// Iterates over the retained `(t_us, value)` samples, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, f64)> + '_ {
+        self.samples.iter().copied()
+    }
+
+    /// The most recent sample, if any.
+    pub fn last(&self) -> Option<(u64, f64)> {
+        self.samples.back().copied()
+    }
+
+    /// Summary statistics over the retained values.
+    pub fn summary(&self) -> Option<Summary> {
+        let values: Vec<f64> = self.samples.iter().map(|&(_, v)| v).collect();
+        Summary::of(&values)
+    }
 }
 
 /// Pre-formatted metric keys for one [`Metrics::record_batch_with`] prefix.
@@ -118,12 +195,44 @@ impl Metrics {
         self.hists.iter().map(|(k, v)| (k.as_str(), v))
     }
 
-    /// Clears every counter, sample, and histogram (used between benchmark
-    /// phases so a warm-up does not pollute measurements).
+    /// Records a gauge sample `(t_us, value)` into the ring `name`,
+    /// creating it at [`DEFAULT_GAUGE_CAPACITY`] if absent.
+    pub fn gauge(&mut self, name: &str, t_us: u64, value: f64) {
+        self.gauges
+            .entry(name.to_owned())
+            .or_insert_with(|| GaugeRing::new(DEFAULT_GAUGE_CAPACITY))
+            .push(t_us, value);
+    }
+
+    /// The gauge ring recorded under `name`, if any.
+    pub fn gauge_ring(&self, name: &str) -> Option<&GaugeRing> {
+        self.gauges.get(name)
+    }
+
+    /// The retained time series of gauge `name`, oldest first (empty
+    /// iterator when the gauge was never written).
+    pub fn timeseries(&self, name: &str) -> impl Iterator<Item = (u64, f64)> + '_ {
+        self.gauges.get(name).into_iter().flat_map(GaugeRing::iter)
+    }
+
+    /// Iterates over `(name, ring)` for all gauge rings, sorted by name.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, &GaugeRing)> {
+        self.gauges.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Summary statistics over the retained values of gauge `name`.
+    pub fn gauge_summary(&self, name: &str) -> Option<Summary> {
+        self.gauges.get(name).and_then(GaugeRing::summary)
+    }
+
+    /// Clears every counter, sample, histogram, and gauge ring (used
+    /// between benchmark phases so a warm-up does not pollute
+    /// measurements).
     pub fn reset(&mut self) {
         self.counters.clear();
         self.samples.clear();
         self.hists.clear();
+        self.gauges.clear();
     }
 
     /// Records one ordered batch of `len` items under `prefix`: bumps
@@ -311,6 +420,45 @@ mod tests {
         let names: Vec<&str> = m.histograms().map(|(k, _)| k).collect();
         assert_eq!(names, vec!["lat"]);
         assert!(m.samples().next().is_none());
+    }
+
+    #[test]
+    fn gauge_ring_is_bounded_and_ordered() {
+        let mut r = GaugeRing::new(3);
+        for i in 0..5u64 {
+            r.push(i * 100, i as f64);
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.capacity(), 3);
+        assert_eq!(r.total_recorded(), 5);
+        let kept: Vec<_> = r.iter().collect();
+        assert_eq!(kept, vec![(200, 2.0), (300, 3.0), (400, 4.0)]);
+        assert_eq!(r.last(), Some((400, 4.0)));
+        let s = r.summary().unwrap();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.max, 4.0);
+    }
+
+    #[test]
+    fn metrics_gauges_timeseries_and_summary() {
+        let mut m = Metrics::new();
+        assert!(m.timeseries("q").next().is_none());
+        assert!(m.gauge_summary("q").is_none());
+        for i in 1..=10u64 {
+            m.gauge("q", i * 1000, i as f64);
+        }
+        assert_eq!(m.timeseries("q").count(), 10);
+        assert_eq!(
+            m.gauge_ring("q").unwrap().capacity(),
+            DEFAULT_GAUGE_CAPACITY
+        );
+        let s = m.gauge_summary("q").unwrap();
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 10.0);
+        let names: Vec<&str> = m.gauges().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["q"]);
+        m.reset();
+        assert!(m.gauge_ring("q").is_none());
     }
 
     #[test]

@@ -9,7 +9,7 @@ use crate::rng::DetRng;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::TraceDigest;
 use bytes::Bytes;
-use pws_obs::{FlightKind, Recorder, TraceLevel};
+use pws_obs::{AuditMode, Auditor, FlightKind, Recorder, TraceLevel};
 use std::any::Any;
 use std::collections::HashSet;
 
@@ -53,6 +53,11 @@ pub(crate) struct SimState {
     /// Observability side channel (spans + flight recorder). Never consulted
     /// by the scheduler: recording cannot perturb the trace digest.
     pub obs: Recorder,
+    /// Opt-in online protocol invariant auditor — like the recorder, a
+    /// pure consumer of the event stream.
+    pub audit: Option<Auditor>,
+    /// Flight dump captured at the first audit violation.
+    pub audit_dump: Option<String>,
 }
 
 impl SimState {
@@ -138,6 +143,8 @@ impl Simulation {
                 master_seed,
                 trace: TraceDigest::new(),
                 obs: Recorder::new(),
+                audit: None,
+                audit_dump: None,
             },
             event_budget: u64::MAX,
             panicked: None,
@@ -165,6 +172,31 @@ impl Simulation {
     /// rings or export traces).
     pub fn obs_mut(&mut self) -> &mut Recorder {
         &mut self.state.obs
+    }
+
+    /// Enables the online protocol auditor in the given mode (or disables
+    /// it with `None`). Like the recorder, the auditor only observes — it
+    /// cannot perturb the trace digest ([`AuditMode::Strict`] panics on a
+    /// violation, but a violation means the protocol already broke).
+    pub fn set_auditor(&mut self, mode: Option<AuditMode>) {
+        self.state.audit = mode.map(Auditor::new);
+        self.state.audit_dump = None;
+    }
+
+    /// The protocol auditor, if enabled.
+    pub fn auditor(&self) -> Option<&Auditor> {
+        self.state.audit.as_ref()
+    }
+
+    /// Mutable access to the auditor (e.g. to register group fault
+    /// bounds).
+    pub fn auditor_mut(&mut self) -> Option<&mut Auditor> {
+        self.state.audit.as_mut()
+    }
+
+    /// The flight dump captured at the first audit violation, if any.
+    pub fn audit_dump(&self) -> Option<&str> {
+        self.state.audit_dump.as_deref()
     }
 
     /// The flight-recorder dump captured when a node panicked, if any.

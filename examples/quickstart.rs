@@ -8,6 +8,7 @@
 //! PWS_QUICKSTART_ADD_SHARD=1 cargo run --release --example quickstart  # live reshard
 //! PWS_TRACE=1 cargo run --example quickstart                           # phase tracing
 //! PWS_TRACE=full cargo run --example quickstart                        # chrome-trace export
+//! PWS_AUDIT=1 cargo run --example quickstart                           # protocol auditor
 //! ```
 //!
 //! `PWS_QUICKSTART_GROUPS=G` deploys G independent counter groups (4
@@ -143,6 +144,29 @@ fn main() {
                 h.count()
             );
         }
+        // The protocol plane underneath the request phases: view-change
+        // outcomes and their durations (a quiet run shows zeroes — the
+        // counters prove the absence of churn, not just its presence).
+        let m = sys.metrics();
+        println!(
+            "  view changes : started {}, completed {}, abandoned {}",
+            m.counter("clbft.vc.started"),
+            m.counter("clbft.vc.completed"),
+            m.counter("clbft.vc.abandoned"),
+        );
+        for (label, key) in [
+            ("vc installed", "obs.proto.vc.installed_ms"),
+            ("vc abandoned", "obs.proto.vc.abandoned_ms"),
+        ] {
+            if let Some(h) = m.histogram(key) {
+                println!(
+                    "  {label:>13}: p50 {:7.3} ms  p99 {:7.3} ms  (n={})",
+                    h.p50(),
+                    h.p99(),
+                    h.count()
+                );
+            }
+        }
         if trace.events_enabled() {
             match sys.write_obs_artifacts("quickstart") {
                 Ok((trace_path, obs_path)) => println!(
@@ -153,6 +177,11 @@ fn main() {
                 Err(e) => eprintln!("could not write obs artifacts: {e}"),
             }
         }
+    }
+    // With PWS_AUDIT set, the online invariant auditor watched the whole
+    // run; a clean report is the quickstart's proof of protocol health.
+    if let Some(report) = sys.audit_report() {
+        print!("\n{report}");
     }
 }
 
@@ -182,6 +211,9 @@ fn sharded_quickstart(shards: u32) {
         "{shards} shard(s) × 4 replicas, one logical service, deterministic \
          key routing — every shard agreed independently on its own slice."
     );
+    if let Some(report) = sys.audit_report() {
+        print!("\n{report}");
+    }
 }
 
 /// The counter as a *transactional* sharded service, so the deployment can
@@ -324,4 +356,7 @@ fn elastic_quickstart() {
         "3 shards now agree independently — the deployment grew without \
          stopping the world."
     );
+    if let Some(report) = sys.audit_report() {
+        print!("\n{report}");
+    }
 }

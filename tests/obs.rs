@@ -4,7 +4,10 @@
 //! lifecycle-ordered phases, the flight recorder stays bounded, and a node
 //! panic leaves a readable dump behind.
 
-use perpetual_ws::{PassiveService, PassiveUtils, Phase, System, SystemBuilder, TraceLevel};
+use perpetual_ws::{
+    AuditMode, FaultMode, PassiveService, PassiveUtils, Phase, ProtoFamily, System, SystemBuilder,
+    TraceLevel, AUDIT_VIOLATIONS_KEY,
+};
 use pws_simnet::{RunOutcome, SimTime};
 use pws_soap::{MessageContext, XmlNode};
 
@@ -255,6 +258,150 @@ fn node_panic_dumps_the_flight_recorder() {
     // The on-demand dump covers every node, the panicking one included.
     let all = sys.dump_flight_recorder();
     assert!(all.contains("node-panic"));
+}
+
+/// The auditor is a pure side channel too: enabling it — in either mode,
+/// at every trace level — leaves the golden digest byte-identical, and a
+/// fault-free run reports a clean audit with zero violations.
+#[test]
+fn auditing_never_perturbs_the_golden_digest() {
+    for level in TraceLevel::ALL {
+        for mode in [AuditMode::Record, AuditMode::Strict] {
+            let mut b = SystemBuilder::new(QUICKSTART_SEED);
+            b.tracing(level);
+            b.audit(mode);
+            b.passive_service("counter", 4, |_| Box::new(Counter(0)));
+            b.scripted_client_windowed("client", "counter", QUICKSTART_REQUESTS, 1);
+            let mut sys = b.build();
+            sys.run_until(SimTime::from_secs(30));
+            assert_eq!(
+                sys.client_replies("client").len(),
+                QUICKSTART_REQUESTS as usize,
+                "workload completes at {level:?}/{mode:?}"
+            );
+            let digest = sys.sim_mut().trace_digest();
+            assert_eq!(
+                digest.value(),
+                QUICKSTART_GOLDEN_DIGEST,
+                "trace digest drifted with auditing at {level:?}/{mode:?}"
+            );
+            assert_eq!(sys.audit_violations(), 0, "clean run at {level:?}/{mode:?}");
+            let report = sys.audit_report().expect("auditor was enabled");
+            assert!(
+                report.contains("audit clean"),
+                "unexpected report:\n{report}"
+            );
+            assert_eq!(sys.metrics().counter(AUDIT_VIOLATIONS_KEY), 0);
+        }
+    }
+}
+
+/// The auditor catches a real protocol violation: a primary that sends
+/// conflicting pre-prepares for the same (view, seq) to different
+/// replicas. The honest quorum still completes the workload — which is
+/// exactly why the equivocation is invisible to clients and needs an
+/// auditor to surface.
+#[test]
+fn auditor_flags_an_equivocating_primary() {
+    let mut b = SystemBuilder::new(QUICKSTART_SEED);
+    b.audit(AuditMode::Record); // Record, not env-derived: assert, don't panic
+    b.passive_service("counter", 4, |_| Box::new(Counter(0)));
+    b.fault("counter", 0, FaultMode::EquivocatingPrimary);
+    b.scripted_client_windowed("client", "counter", QUICKSTART_REQUESTS, 1);
+    let mut sys = b.build();
+    sys.run_until(SimTime::from_secs(60));
+    assert_eq!(
+        sys.client_replies("client").len(),
+        QUICKSTART_REQUESTS as usize,
+        "honest quorum masks the equivocation for clients"
+    );
+    assert!(
+        sys.audit_violations() > 0,
+        "auditor must flag the equivocating primary"
+    );
+    let report = sys.audit_report().expect("auditor was enabled");
+    assert!(
+        report.contains("pre-prepare-equivocation"),
+        "wrong invariant fired:\n{report}"
+    );
+    assert!(
+        sys.metrics().counter(AUDIT_VIOLATIONS_KEY) > 0,
+        "violations are mirrored into the metrics counter"
+    );
+}
+
+/// Protocol spans cover the checkpoint machinery: a checkpoint-per-seq
+/// traced run opens one `ckpt.<seq>` span per stabilised checkpoint,
+/// closes every one, and feeds the `obs.proto.ckpt.stable_ms` histogram.
+#[test]
+fn protocol_spans_cover_checkpoints() {
+    let mut b = SystemBuilder::new(QUICKSTART_SEED);
+    b.tracing(TraceLevel::Full);
+    b.checkpoint_interval(1);
+    b.passive_service("counter", 4, |_| Box::new(Counter(0)));
+    b.scripted_client_windowed("client", "counter", QUICKSTART_REQUESTS, 1);
+    let mut sys = b.build();
+    sys.run_until(SimTime::from_secs(30));
+    assert_eq!(
+        sys.client_replies("client").len(),
+        QUICKSTART_REQUESTS as usize
+    );
+
+    let obs = sys.sim_mut().obs();
+    let ckpt: Vec<_> = obs
+        .proto_spans()
+        .filter(|(k, _)| k.family == ProtoFamily::Ckpt)
+        .collect();
+    assert!(!ckpt.is_empty(), "checkpoint spans were recorded");
+    for (key, span) in &ckpt {
+        assert!(span.is_closed(), "ckpt span {key:?} never stabilised");
+    }
+    assert!(obs.proto_spans_opened() >= ckpt.len() as u64);
+
+    let json = sys.export_trace_json();
+    assert!(json.contains("\"protoSpans\""));
+    assert!(json.contains("\"stable\""));
+
+    let h = sys
+        .metrics()
+        .histogram("obs.proto.ckpt.stable_ms")
+        .expect("checkpoint-stability histogram present");
+    assert!(h.count() >= 1 && h.p50() >= 0.0);
+}
+
+/// Time-series gauges record on traced runs (queue depth, in-flight,
+/// batch occupancy) and export through `export_timeseries_json`; with
+/// tracing off the gauge rings stay fully dormant.
+#[test]
+fn timeseries_gauges_record_on_traced_runs() {
+    let sys = run_quickstart(TraceLevel::Full);
+    let m = sys.metrics();
+    let names: Vec<&str> = m.gauges().map(|(name, _)| name).collect();
+    assert!(
+        names.iter().any(|n| n.starts_with("ts.queue_depth.")),
+        "queue-depth gauge present, got {names:?}"
+    );
+    assert!(
+        names.iter().any(|n| n.starts_with("ts.inflight.")),
+        "in-flight gauge present, got {names:?}"
+    );
+    assert!(
+        names.iter().any(|n| n.starts_with("ts.batch_occupancy.")),
+        "batch-occupancy gauge present, got {names:?}"
+    );
+    for (name, ring) in m.gauges() {
+        assert!(ring.total_recorded() > 0, "gauge {name} never sampled");
+        let s = ring.summary().expect("non-empty ring summarises");
+        assert!(s.min <= s.p50 && s.p50 <= s.p95 && s.p95 <= s.max);
+    }
+    let json = sys.export_timeseries_json();
+    assert!(json.contains("ts.queue_depth."));
+    assert!(json.contains("\"samples\""));
+
+    // Dormant with tracing off: no rings, empty export.
+    let off = run_quickstart(TraceLevel::Off);
+    assert_eq!(off.metrics().gauges().count(), 0, "gauges gated on tracing");
+    assert!(!off.export_timeseries_json().contains("ts."));
 }
 
 /// CI smoke: gated behind `PWS_OBS_SMOKE=1`. Runs the quickstart at
